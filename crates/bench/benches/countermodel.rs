@@ -1,0 +1,58 @@
+//! E-VIIIE: the §VIII.E finite counter-model construction, scaled over
+//! halting time.
+
+use cqfd_rainworm::countermodel::build_countermodel;
+use cqfd_rainworm::families::{counter_worm, halting_worm_short};
+use cqfd_rainworm::to_rules::tm_rules;
+use cqfd_separating::t_square;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_countermodel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("countermodel");
+    group.sample_size(10);
+    group.bench_function("short_worm", |b| {
+        let d = halting_worm_short();
+        let grid = t_square();
+        b.iter(|| {
+            let cm = build_countermodel(&d, &grid, 10_000).unwrap();
+            assert!(!cm.m_hat.has_12_pattern());
+            cm.m_hat.edge_count()
+        });
+    });
+    for m in [1u16, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("counter_worm", m), &m, |b, &m| {
+            let d = counter_worm(m);
+            let grid = t_square();
+            b.iter(|| {
+                let cm = build_countermodel(&d, &grid, 1_000_000).unwrap();
+                cm.m_hat.edge_count()
+            });
+        });
+    }
+    // Full verification cost (model checking both rule sets).
+    group.bench_function("verify_counter_worm_2", |b| {
+        let d = counter_worm(2);
+        let grid = t_square();
+        let cm = build_countermodel(&d, &grid, 1_000_000).unwrap();
+        let tm = tm_rules(&d);
+        b.iter(|| {
+            assert!(tm.is_model(&cm.m_hat));
+            assert!(grid.is_model(&cm.m_hat));
+        });
+    });
+    group.finish();
+
+    for m in [1u16, 2, 3] {
+        let cm = build_countermodel(&counter_worm(m), &t_square(), 1_000_000).unwrap();
+        println!(
+            "[viiie] counter_worm({m}): k_M={}, |M|={} edges, |M̂|={} edges, pattern-free={}",
+            cm.k_m,
+            cm.m.edge_count(),
+            cm.m_hat.edge_count(),
+            !cm.m_hat.has_12_pattern()
+        );
+    }
+}
+
+criterion_group!(benches, bench_countermodel);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E-FIG1: regenerating Figure 1 — `chase(T∞, DI)` stage by stage.
+//!
+//! The paper's Figure 1 is the infinite αβ-path the chase builds; the
+//! series here is (stages → atoms, words) with the *shape* invariant that
+//! each stage performs exactly one rule application.
+
+use cqfd_bench::wide_budget;
+use cqfd_greengraph::pg::words_of;
+use cqfd_greengraph::GreenGraph;
+use cqfd_separating::theorem14::separating_space;
+use cqfd_separating::tinf::t_infinity;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_chase_tinf");
+    for stages in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("chase", stages), &stages, |b, &stages| {
+            let sys = t_infinity();
+            let g = GreenGraph::di(separating_space());
+            b.iter(|| {
+                let (out, run) = sys.chase(&g, &wide_budget(stages));
+                assert!(run.stages.iter().all(|s| s.applications == 1));
+                out.edge_count()
+            });
+        });
+    }
+    // Reading the Figure 1 word language through parity glasses.
+    group.bench_function("words_extraction_32_stages", |b| {
+        let sys = t_infinity();
+        let g = GreenGraph::di(separating_space());
+        let (out, _) = sys.chase(&g, &wide_budget(32));
+        b.iter(|| words_of(&out, 40, 10_000).len());
+    });
+    group.finish();
+
+    // Report the Figure 1 series once (shape data for EXPERIMENTS.md).
+    let sys = t_infinity();
+    let g = GreenGraph::di(separating_space());
+    let (out, run) = sys.chase(&g, &wide_budget(16));
+    let words = words_of(&out, 24, 10_000);
+    println!(
+        "[fig1] 16 stages: {} edges, {} vertices, {} words (all α(β1β0)*η1 | α(β1β0)*β1η0)",
+        out.edge_count(),
+        out.node_count(),
+        words.len()
+    );
+    let _ = Arc::strong_count(g.space());
+    let _ = run;
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

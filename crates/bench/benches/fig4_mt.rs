@@ -1,0 +1,42 @@
+//! E-FIG4: regenerating Figure 4 — the harmless diagonal grids `M_t` over
+//! unfolded αβ-path prefixes. The chase terminates; the grid edge count is
+//! the series (quadratic in the prefix length); no 1-2 pattern appears.
+
+use cqfd_bench::wide_budget;
+use cqfd_separating::t_square;
+use cqfd_separating::theorem14::separating_space;
+use cqfd_separating::tinf::alpha_beta_chase_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mt");
+    group.sample_size(10);
+    for t in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("grids_over_prefix", t), &t, |b, &t| {
+            b.iter(|| {
+                let (g, _, _) = alpha_beta_chase_graph(separating_space(), t);
+                let (out, run, found) = t_square().chase_until_12(&g, &wide_budget(400));
+                assert!(!found);
+                assert!(run.reached_fixpoint());
+                out.edge_count()
+            });
+        });
+    }
+    group.finish();
+
+    for t in [2usize, 3, 4, 5, 6] {
+        let (g, _, _) = alpha_beta_chase_graph(separating_space(), t);
+        let before = g.edge_count();
+        let (out, run, _) = t_square().chase_until_12(&g, &wide_budget(400));
+        println!(
+            "[fig4] prefix t={t}: {} path edges → {} total edges in {} stages (fixpoint={})",
+            before,
+            out.edge_count(),
+            run.stage_count(),
+            run.reached_fixpoint()
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E-FO1 / E-FO2: the §IX constructions and the EF rank-type solver.
+
+use cqfd_fogames::ef::ef_equivalent;
+use cqfd_fogames::theorem2::{attempt1, attempt2, chase_world, projection_equalities};
+use cqfd_greenred::Color;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fogames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fogames");
+    group.sample_size(10);
+    group.bench_function("chase_world_8", |b| {
+        b.iter(|| chase_world(8, false).run.structure.atom_count());
+    });
+    let w = chase_world(10, false);
+    group.bench_function("projection_sentence_stage10", |b| {
+        let dy = w.stage_dalt(10, Color::Green);
+        b.iter(|| projection_equalities(&w, &dy));
+    });
+    for l in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("ef_attempt1_rank", l), &l, |b, &l| {
+            let (vy, py, vn, pn) = attempt1(&w, 9);
+            b.iter(|| ef_equivalent(&vy, &py, &vn, &pn, l));
+        });
+    }
+    for l in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("ef_attempt2_rank", l), &l, |b, &l| {
+            let (vy, py, vn, pn) = attempt2(&w, 4);
+            b.iter(|| ef_equivalent(&vy, &py, &vn, &pn, l));
+        });
+    }
+    group.finish();
+
+    // The E-FO1 truth table series.
+    for i in 4..=10 {
+        let dy = w.stage_dalt(i, Color::Green);
+        let dn = w.stage_dalt(i, Color::Red);
+        let g = projection_equalities(&w, &dy);
+        let r = projection_equalities(&w, &dn);
+        println!("[fo1] stage {i}: grace={g:?} ruby={r:?}");
+    }
+}
+
+criterion_group!(benches, bench_fogames);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E-L12: the abstraction-level translations — `Precompile`, `Compile`,
+//! the Appendix A.2 structure maps, and cross-level chase agreement.
+
+use cqfd_bench::wide_budget;
+use cqfd_greengraph::{L2Rule, L2System, Label};
+use cqfd_reduction::{precompile, precompile_map, reduce_l2};
+use cqfd_swarm::{compile, L1System, Swarm, SwarmContext};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn tiny_positive() -> L2System {
+    L2System::new(vec![L2Rule::antenna(
+        Label::Empty,
+        Label::Empty,
+        Label::ONE,
+        Label::TWO,
+    )])
+}
+
+fn bench_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("levels");
+
+    group.bench_function("precompile_t_separating", |b| {
+        let t = cqfd_separating::theorem14::t_separating();
+        b.iter(|| precompile(&t).rules.len());
+    });
+
+    group.bench_function("compile_to_cqs_t_separating", |b| {
+        let t = cqfd_separating::theorem14::t_separating();
+        b.iter(|| reduce_l2(&t).stats.total_atoms);
+    });
+
+    group.bench_function("swarm_chase_to_red_tiny", |b| {
+        let pre = precompile(&tiny_positive());
+        let ctx = Arc::new(SwarmContext::with_s(pre.s));
+        let sys = L1System::new(pre.rules.clone());
+        b.iter(|| {
+            let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+            let (_, _, found) = sys.chase_until_red(&sw, &wide_budget(16));
+            assert!(found);
+        });
+    });
+
+    group.bench_function("precompile_map_roundtrip", |b| {
+        // Definition 36 + Definition 35 on the minimal model of the
+        // tiny-negative system (the Lemma 32 round trip).
+        let t = L2System::new(vec![L2Rule::antenna(
+            Label::Empty,
+            Label::Empty,
+            Label::Alpha,
+            Label::Eta1,
+        )]);
+        let space = t.space_with([]);
+        let d = cqfd_greengraph::GreenGraph::di(Arc::clone(&space));
+        let (d, _) = t.chase(&d, &wide_budget(16));
+        let pre = precompile(&t);
+        let ctx = Arc::new(SwarmContext::with_s(pre.s));
+        b.iter(|| {
+            let (sw, a, bb) = precompile_map(&pre, Arc::clone(&ctx), &d);
+            let back = cqfd_reduction::deprecompile(&pre, Arc::clone(&space), &sw, a, bb);
+            assert_eq!(back.edge_count(), d.edge_count());
+        });
+    });
+
+    group.bench_function("compile_swarm_structures", |b| {
+        let pre = precompile(&tiny_positive());
+        let ctx = Arc::new(SwarmContext::with_s(pre.s));
+        let sys = L1System::new(pre.rules.clone());
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let (closed, _, _) = sys.chase_until_red(&sw, &wide_budget(8));
+        b.iter(|| closed.compile().0.atom_count());
+    });
+    group.finish();
+
+    // Shape data: rule/query counts through the pipeline.
+    let t = cqfd_separating::theorem14::t_separating();
+    let pre = precompile(&t);
+    let queries = compile(&pre.rules);
+    println!(
+        "[l12] T: {} L2 rules → {} L1 rules → {} binary queries (s = {})",
+        t.rules().len(),
+        pre.rules.len(),
+        queries.len(),
+        pre.s
+    );
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

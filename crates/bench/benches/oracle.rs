@@ -1,0 +1,71 @@
+//! E-DET: the determinacy oracle and the finite counter-example search.
+
+use cqfd_core::{Cq, Signature};
+use cqfd_greenred::{search_counterexample, DeterminacyOracle};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sig_rs() -> Signature {
+    let mut s = Signature::new();
+    s.add_predicate("R", 2);
+    s.add_predicate("S", 2);
+    s
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.bench_function("certify_join", |b| {
+        let sig = sig_rs();
+        let v1 = Cq::parse(&sig, "V1(x,y) :- R(x,y)").unwrap();
+        let v2 = Cq::parse(&sig, "V2(x,y) :- S(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
+        let oracle = DeterminacyOracle::new(sig);
+        b.iter(|| {
+            oracle
+                .try_certify(&[v1.clone(), v2.clone()], &q0, 16)
+                .unwrap()
+                .is_determined()
+        });
+    });
+    group.bench_function("refute_projection_fixpoint", |b| {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let oracle = DeterminacyOracle::new(sig);
+        b.iter(|| {
+            oracle
+                .try_certify(std::slice::from_ref(&v), &q0, 16)
+                .unwrap()
+        });
+    });
+    group.sample_size(10);
+    group.bench_function("counterexample_search_3_nodes", |b| {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let oracle = DeterminacyOracle::new(sig);
+        b.iter(|| search_counterexample(&oracle, std::slice::from_ref(&v), &q0, 3).is_some());
+    });
+    // The seeded workload: a mixed batch of determined/undetermined path
+    // instances, run end to end through the oracle.
+    group.bench_function("random_batch_16", |b| {
+        let batch = cqfd_greenred::instances::random_batch(7, 16);
+        b.iter(|| {
+            let mut certified = 0;
+            for inst in &batch {
+                let oracle = DeterminacyOracle::new(inst.sig.clone());
+                if oracle
+                    .try_certify(&inst.views, &inst.q0, 32)
+                    .unwrap()
+                    .is_determined()
+                {
+                    certified += 1;
+                }
+            }
+            certified
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

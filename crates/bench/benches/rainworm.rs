@@ -1,0 +1,86 @@
+//! E-RW / E-TM / E-RWGG: rainworm dynamics, the TM compiler, and the
+//! `∆ ↦ T_M∆` chase.
+
+use cqfd_bench::wide_budget;
+use cqfd_greengraph::{GreenGraph, LabelSpace};
+use cqfd_rainworm::encode::tm_to_rainworm;
+use cqfd_rainworm::families::{counter_worm, forever_worm};
+use cqfd_rainworm::run::{creep, trace, CreepOutcome};
+use cqfd_rainworm::tm::TuringMachine;
+use cqfd_rainworm::to_rules::tm_rules;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_rainworm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rainworm");
+
+    // E-RW: creep throughput (steps of Thue rewriting per second).
+    group.bench_function("creep_forever_2000_steps", |b| {
+        let d = forever_worm();
+        b.iter(|| {
+            let out = creep(&d, 2000);
+            assert!(!out.halted());
+        });
+    });
+
+    // Halting detection across the counter family.
+    for m in [1u16, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("counter_halt", m), &m, |b, &m| {
+            let d = counter_worm(m);
+            b.iter(|| match creep(&d, 2_000_000) {
+                CreepOutcome::Halted { steps, .. } => steps,
+                _ => panic!("must halt"),
+            });
+        });
+    }
+
+    // E-TM: compiling and running a TM through the rainworm.
+    group.bench_function("tm_compile_zigzag4", |b| {
+        let tm = TuringMachine::zigzag(4);
+        b.iter(|| tm_to_rainworm(&tm).len());
+    });
+    group.bench_function("tm_simulate_right_walker3", |b| {
+        let delta = tm_to_rainworm(&TuringMachine::right_walker(3));
+        b.iter(|| match creep(&delta, 1_000_000) {
+            CreepOutcome::Halted { steps, .. } => steps,
+            _ => panic!("must halt"),
+        });
+    });
+
+    // E-RWGG: the chase of T_M∆ from DI (configuration words emerge).
+    group.sample_size(10);
+    group.bench_function("tmrules_chase_30_stages", |b| {
+        let sys = tm_rules(&forever_worm());
+        let space = Arc::new(LabelSpace::new(sys.labels()));
+        let g = GreenGraph::di(space);
+        b.iter(|| {
+            let (out, _) = sys.chase(&g, &wide_budget(30));
+            out.edge_count()
+        });
+    });
+    group.finish();
+
+    // Shape series: k_M and slime length by m.
+    for m in [1u16, 2, 4, 8] {
+        if let CreepOutcome::Halted {
+            steps,
+            final_config,
+        } = creep(&counter_worm(m), 2_000_000)
+        {
+            println!(
+                "[rw] counter_worm({m}): k_M={steps}, |u_M|={}, slime={}",
+                final_config.len(),
+                final_config.slime().len()
+            );
+        }
+    }
+    let tr = trace(&forever_worm(), 2000);
+    println!(
+        "[rw] forever_worm: after 2000 steps config length {}, slime {}",
+        tr.last().unwrap().len(),
+        tr.last().unwrap().slime().len()
+    );
+}
+
+criterion_group!(benches, bench_rainworm);
+criterion_main!(benches);

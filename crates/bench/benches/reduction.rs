@@ -1,0 +1,51 @@
+//! E-RED: the full Theorem 5 reduction — pipeline cost and instance sizes
+//! as a function of the machine.
+
+use cqfd_rainworm::encode::tm_to_rainworm;
+use cqfd_rainworm::families::{counter_worm, forever_worm};
+use cqfd_rainworm::tm::TuringMachine;
+use cqfd_reduction::reduce;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction");
+    group.sample_size(10);
+    group.bench_function("forever_worm", |b| {
+        let d = forever_worm();
+        b.iter(|| reduce(&d).stats.total_atoms);
+    });
+    for m in [1u16, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("counter_worm", m), &m, |b, &m| {
+            let d = counter_worm(m);
+            b.iter(|| reduce(&d).stats.total_atoms);
+        });
+    }
+    group.bench_function("compiled_tm_right_walker2", |b| {
+        let d = tm_to_rainworm(&TuringMachine::right_walker(2));
+        b.iter(|| reduce(&d).stats.queries);
+    });
+    group.finish();
+
+    // Instance-size series (the E-RED table).
+    let machines: Vec<(String, cqfd_rainworm::Delta)> = vec![
+        ("forever_worm".into(), forever_worm()),
+        ("counter_worm(1)".into(), counter_worm(1)),
+        ("counter_worm(2)".into(), counter_worm(2)),
+        ("counter_worm(4)".into(), counter_worm(4)),
+    ];
+    for (name, d) in machines {
+        let s = reduce(&d).stats;
+        println!(
+            "[red] {name}: |∆|={} → L2={} L1={} CQs={} s={} atoms={}",
+            d.len(),
+            s.l2_rules,
+            s.l1_rules,
+            s.queries,
+            s.s,
+            s.total_atoms
+        );
+    }
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E-SPIDER / E-L12: spider algebra at Level 0 and the compile/decompile
+//! round trip, scaled over the parameter `s`.
+
+use cqfd_core::Structure;
+use cqfd_greenred::Color;
+use cqfd_spider::algebra::{apply_spider_query, singleton};
+use cqfd_spider::{
+    compile_swarm, decompile_structure, IdealSpider, Legs, SpiderContext, SpiderQuery, SwarmEdge,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn swarm_sample(n_edges: u32) -> (u32, Vec<SwarmEdge>) {
+    let edges: Vec<SwarmEdge> = (0..n_edges)
+        .map(|i| SwarmEdge {
+            spider: if i % 2 == 0 {
+                IdealSpider::full_green()
+            } else {
+                IdealSpider::red(Legs::new(Some(1), None))
+            },
+            tail: cqfd_core::Node(i % 4),
+            antenna: cqfd_core::Node((i + 1) % 4),
+        })
+        .collect();
+    (4, edges)
+}
+
+fn bench_spider(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spider");
+    // ♣ application cost as spiders grow.
+    for s in [2u16, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("club_apply", s), &s, |b, &s| {
+            let ctx = SpiderContext::new(s);
+            let f = SpiderQuery::new(Legs::new(Some(1), Some(2)));
+            let (d, _, _) = singleton(&ctx, IdealSpider::green(Legs::new(Some(1), None)));
+            b.iter(|| {
+                let out = apply_spider_query(&ctx, f, Color::Green, &d);
+                out.atom_count()
+            });
+        });
+    }
+    // compile/decompile round trip.
+    for s in [2u16, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("compile_roundtrip", s), &s, |b, &s| {
+            let ctx = SpiderContext::new(s);
+            let (n, edges) = swarm_sample(16);
+            b.iter(|| {
+                let (st, _) = compile_swarm(&ctx, n, &edges);
+                decompile_structure(&ctx, &st).len()
+            });
+        });
+    }
+    // Recognition over a crowd of spiders.
+    group.bench_function("recognise_64_spiders_s8", |b| {
+        let ctx = SpiderContext::new(8);
+        let mut d = Structure::new(Arc::clone(ctx.colored()));
+        for spider in ctx.ideal_spiders().into_iter().take(64) {
+            let t = d.fresh_node();
+            let a = d.fresh_node();
+            ctx.build_spider(&mut d, spider, t, a);
+        }
+        b.iter(|| ctx.all_spiders(&d).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spider);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! # cqfd-bench — benchmark support
+//!
+//! The benchmarks live under `benches/`, one Criterion group per
+//! experiment in EXPERIMENTS.md. This library crate only hosts shared
+//! helpers.
+
+#![forbid(unsafe_code)]
+
+use cqfd_chase::ChaseBudget;
+
+/// A generous budget for chases that are stopped by a monitor.
+pub fn wide_budget(stages: usize) -> ChaseBudget {
+    ChaseBudget {
+        max_stages: stages,
+        max_atoms: 1 << 22,
+        max_nodes: 1 << 22,
+    }
+}

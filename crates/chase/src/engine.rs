@@ -1,0 +1,751 @@
+//! The stage-indexed lazy chase (paper §II.C).
+
+use crate::tgd::Tgd;
+use cqfd_core::{
+    find_homomorphism, for_each_homomorphism, for_each_homomorphism_limited,
+    for_each_homomorphism_per_atom_limits, Node, Structure, Term, VarMap,
+};
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+/// Resource limits for a chase run.
+///
+/// The chase of this paper is often deliberately infinite
+/// (`chase(T∞, DI)` is an infinite path, §VII Step 1), so budgets are part
+/// of the API, not an afterthought: a run reports *why* it stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseBudget {
+    /// Maximum number of stages (`chase_i` levels) to compute.
+    pub max_stages: usize,
+    /// Stop once the structure holds at least this many atoms.
+    pub max_atoms: usize,
+    /// Stop once the structure holds at least this many nodes.
+    pub max_nodes: usize,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget {
+            max_stages: 64,
+            max_atoms: 1 << 20,
+            max_nodes: 1 << 20,
+        }
+    }
+}
+
+impl ChaseBudget {
+    /// A budget bounded only by stage count.
+    pub fn stages(max_stages: usize) -> Self {
+        ChaseBudget {
+            max_stages,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a chase run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// A stage applied no trigger: the structure is a model of the TGDs.
+    Fixpoint,
+    /// The stage budget ran out with triggers still active.
+    StageBudgetExhausted,
+    /// The atom/node budget ran out mid-stage.
+    SizeBudgetExhausted,
+    /// The caller's monitor requested a stop after some stage.
+    MonitorStopped,
+}
+
+/// Per-stage accounting of a chase run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageInfo {
+    /// Number of trigger applications performed in this stage.
+    pub applications: usize,
+    /// Atom count after the stage.
+    pub atoms_after: usize,
+    /// Node count after the stage.
+    pub nodes_after: u32,
+}
+
+/// The result of a chase run: the final structure, the per-stage history
+/// (`stages[i]` describes `chase_{i+1}`), and the stop reason.
+#[derive(Debug, Clone)]
+pub struct ChaseRun {
+    /// The chased structure (the last computed stage).
+    pub structure: Structure,
+    /// Stage history; `stages[i]` describes the transition to `chase_{i+1}`.
+    pub stages: Vec<StageInfo>,
+    /// Why the run stopped.
+    pub outcome: ChaseOutcome,
+    start_atoms: usize,
+    start_nodes: u32,
+}
+
+impl ChaseRun {
+    /// Number of computed stages (not counting `chase₀` = the start).
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Did the chase reach a fixpoint (i.e. terminate)?
+    pub fn reached_fixpoint(&self) -> bool {
+        self.outcome == ChaseOutcome::Fixpoint
+    }
+
+    /// Reconstructs the structure `chase_i` for `0 ≤ i ≤ stage_count()`.
+    ///
+    /// Possible because the chase only ever appends atoms and nodes; the
+    /// prefix of the final atom list up to the stage boundary *is* the
+    /// stage. Constant-node identities are preserved.
+    pub fn stage_structure(&self, i: usize) -> Structure {
+        let (atoms, nodes) = if i == 0 {
+            (self.start_atoms, self.start_nodes)
+        } else {
+            let s = self.stages[i - 1];
+            (s.atoms_after, s.nodes_after)
+        };
+        let mut out = Structure::new(std::sync::Arc::clone(self.structure.signature()));
+        // Reallocate the same node ids.
+        for n in 0..nodes {
+            let fresh = out.fresh_node();
+            debug_assert_eq!(fresh, Node(n));
+        }
+        for n in 0..nodes {
+            if let Some(c) = self.structure.const_of_node(Node(n)) {
+                out.pin_constant(c, Node(n));
+            }
+        }
+        for a in &self.structure.atoms()[..atoms] {
+            out.add_atom(a.clone());
+        }
+        out
+    }
+}
+
+/// Trigger-enumeration strategy for the chase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Re-enumerate all body matches over the frozen snapshot each stage —
+    /// the paper's procedure, verbatim. The default.
+    #[default]
+    Naive,
+    /// Semi-naive (delta-driven): enumerate only matches that use at least
+    /// one atom added in the previous stage, seeding each pattern atom on
+    /// the delta in turn with earlier atoms restricted to older prefixes
+    /// so each match is found exactly once. Sound because trigger
+    /// satisfaction is monotone under the chase (once a trigger's head is
+    /// witnessed it stays witnessed). Faster on long runs; within a stage
+    /// the triggers may be *applied in a different order* than the naive
+    /// strategy, so the two chases can produce different (always
+    /// hom-equivalent, both universal) structures.
+    SemiNaive,
+}
+
+/// The chase engine: a fixed list of TGDs, applied stage by stage.
+#[derive(Debug, Clone)]
+pub struct ChaseEngine {
+    tgds: Vec<Tgd>,
+    strategy: Strategy,
+}
+
+impl ChaseEngine {
+    /// Creates an engine over the given dependencies (naive strategy).
+    pub fn new(tgds: Vec<Tgd>) -> Self {
+        ChaseEngine {
+            tgds,
+            strategy: Strategy::Naive,
+        }
+    }
+
+    /// Selects the trigger-enumeration strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The engine's dependencies.
+    pub fn tgds(&self) -> &[Tgd] {
+        &self.tgds
+    }
+
+    /// Runs the chase from `start` under `budget`.
+    pub fn chase(&self, start: &Structure, budget: &ChaseBudget) -> ChaseRun {
+        self.chase_with_monitor(start, budget, |_, _| false)
+    }
+
+    /// Runs the chase, calling `monitor(structure, stage)` after every stage;
+    /// a `true` return stops the run with [`ChaseOutcome::MonitorStopped`].
+    ///
+    /// The monitor is the hook used by the determinacy oracle of §IV: after
+    /// each stage it checks whether `red(Q0)` has become true.
+    pub fn chase_with_monitor(
+        &self,
+        start: &Structure,
+        budget: &ChaseBudget,
+        mut monitor: impl FnMut(&Structure, usize) -> bool,
+    ) -> ChaseRun {
+        let mut d = start.clone();
+        let mut run = ChaseRun {
+            start_atoms: d.atom_count(),
+            start_nodes: d.node_count(),
+            structure: Structure::new(std::sync::Arc::clone(d.signature())),
+            stages: Vec::new(),
+            outcome: ChaseOutcome::StageBudgetExhausted,
+        };
+        if monitor(&d, 0) {
+            run.outcome = ChaseOutcome::MonitorStopped;
+            run.structure = d;
+            return run;
+        }
+        let mut prev_frozen: u32 = 0;
+        for _stage in 0..budget.max_stages {
+            let frozen = d.atom_count() as u32;
+            let (applications, size_ok) = self.run_stage(&mut d, budget, prev_frozen);
+            prev_frozen = frozen;
+            run.stages.push(StageInfo {
+                applications,
+                atoms_after: d.atom_count(),
+                nodes_after: d.node_count(),
+            });
+            if applications == 0 {
+                run.outcome = ChaseOutcome::Fixpoint;
+                // The empty stage proves the fixpoint; it is still recorded.
+                break;
+            }
+            if monitor(&d, run.stages.len()) {
+                run.outcome = ChaseOutcome::MonitorStopped;
+                break;
+            }
+            if !size_ok {
+                run.outcome = ChaseOutcome::SizeBudgetExhausted;
+                break;
+            }
+        }
+        run.structure = d;
+        run
+    }
+
+    /// One chase stage (the `forall pairs T, b̄ …` loop of §II.C):
+    /// enumerate triggers over the frozen snapshot, apply the active ones.
+    /// Returns `(applications, within_size_budget)`.
+    ///
+    /// `prev_frozen` is the snapshot boundary of the previous stage; the
+    /// semi-naive strategy only enumerates matches touching the delta
+    /// `[prev_frozen, frozen)`.
+    fn run_stage(
+        &self,
+        d: &mut Structure,
+        budget: &ChaseBudget,
+        prev_frozen: u32,
+    ) -> (usize, bool) {
+        let frozen = d.atom_count() as u32;
+        let mut applications = 0usize;
+        for tgd in &self.tgds {
+            // Collect the distinct frontier tuples b̄ with a body match in
+            // the frozen snapshot. (Conditions ¬/­ of §II.B depend only on b̄.)
+            let mut frontiers: Vec<Vec<Node>> = Vec::new();
+            let mut seen: HashSet<Vec<Node>> = HashSet::new();
+            let mut record = |m: &VarMap| {
+                let tuple: Vec<Node> = tgd.frontier().iter().map(|v| m[v]).collect();
+                if seen.insert(tuple.clone()) {
+                    frontiers.push(tuple);
+                }
+                ControlFlow::<()>::Continue(())
+            };
+            match self.strategy {
+                Strategy::Naive => {
+                    let _ = for_each_homomorphism_limited(
+                        tgd.body(),
+                        d,
+                        &VarMap::new(),
+                        frozen,
+                        &mut record,
+                    );
+                }
+                Strategy::SemiNaive => {
+                    // Every match with at least one body atom in the delta,
+                    // exactly once: seed position k directly on each delta
+                    // atom; atoms before k come from the old prefix, atoms
+                    // after k from the whole snapshot. (Atoms are
+                    // deduplicated, so "uses a delta atom at position k"
+                    // is exactly "position k's image was added this stage".)
+                    for k in 0..tgd.body().len() {
+                        let pattern_atom = &tgd.body()[k];
+                        let mut limits: Vec<u32> = vec![prev_frozen; tgd.body().len()];
+                        for l in limits.iter_mut().skip(k) {
+                            *l = frozen;
+                        }
+                        for idx in prev_frozen..frozen {
+                            let ground = &d.atoms()[idx as usize];
+                            if ground.pred != pattern_atom.pred {
+                                continue;
+                            }
+                            let Some(seed) = unify(pattern_atom, ground, d) else {
+                                continue;
+                            };
+                            let _ = for_each_homomorphism_per_atom_limits(
+                                tgd.body(),
+                                d,
+                                &seed,
+                                &limits,
+                                &mut record,
+                            );
+                        }
+                    }
+                }
+            }
+            for tuple in frontiers {
+                let fixed: VarMap = tgd
+                    .frontier()
+                    .iter()
+                    .copied()
+                    .zip(tuple.iter().copied())
+                    .collect();
+                // Condition ­: is ∃z̄ Ψ(z̄, b̄) already true in the *live* D?
+                if find_homomorphism(tgd.head(), d, &fixed).is_some() {
+                    continue;
+                }
+                self.apply(tgd, &fixed, d);
+                applications += 1;
+                if d.atom_count() >= budget.max_atoms || d.node_count() as usize >= budget.max_nodes
+                {
+                    return (applications, false);
+                }
+            }
+        }
+        (applications, true)
+    }
+
+    /// Applies one active trigger: `D := D(T, b̄)` — a fresh copy of `A[Ψ]`
+    /// glued to the old structure along the frontier (§II.B).
+    ///
+    /// (See also [`unify`] below, the seeding step of the semi-naive
+    /// strategy.)
+    fn apply(&self, tgd: &Tgd, fixed: &VarMap, d: &mut Structure) {
+        let mut assignment = fixed.clone();
+        for &v in tgd.existential() {
+            let n = d.fresh_node();
+            assignment.insert(v, n);
+        }
+        for a in tgd.head() {
+            let args: Vec<Node> = a
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => assignment[v],
+                    Term::Const(c) => d.node_for_const(*c),
+                })
+                .collect();
+            d.add(a.pred, args);
+        }
+    }
+
+    /// Model check: `D |= T` iff no trigger is active (both §II.B conditions).
+    pub fn is_model(&self, d: &Structure) -> bool {
+        self.first_violation(d).is_none()
+    }
+
+    /// Finds one active trigger `(tgd index, frontier assignment)`, if any.
+    pub fn first_violation(&self, d: &Structure) -> Option<(usize, VarMap)> {
+        for (i, tgd) in self.tgds.iter().enumerate() {
+            let hit = for_each_homomorphism(tgd.body(), d, &VarMap::new(), |m| {
+                let fixed: VarMap = tgd.frontier().iter().map(|v| (*v, m[v])).collect();
+                if find_homomorphism(tgd.head(), d, &fixed).is_none() {
+                    ControlFlow::Break(fixed)
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            if let ControlFlow::Break(fixed) = hit {
+                return Some((i, fixed));
+            }
+        }
+        None
+    }
+}
+
+/// Unifies a pattern atom with a ground atom: returns the variable
+/// binding, or `None` on a constant/repeated-variable mismatch.
+fn unify(
+    pattern: &cqfd_core::Atom<Term>,
+    ground: &cqfd_core::GroundAtom,
+    d: &Structure,
+) -> Option<VarMap> {
+    debug_assert_eq!(pattern.pred, ground.pred);
+    let mut m = VarMap::new();
+    for (t, &n) in pattern.args.iter().zip(&ground.args) {
+        match t {
+            Term::Const(c) => {
+                if d.existing_const_node(*c) != Some(n) {
+                    return None;
+                }
+            }
+            Term::Var(v) => match m.get(v) {
+                Some(&bound) if bound != n => return None,
+                _ => {
+                    m.insert(*v, n);
+                }
+            },
+        }
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_core::{structure_homomorphism, Atom, PredId, Signature, Var};
+    use std::sync::Arc;
+
+    fn sig_rs() -> Arc<Signature> {
+        let mut s = Signature::new();
+        s.add_predicate("R", 2);
+        s.add_predicate("S", 2);
+        Arc::new(s)
+    }
+
+    fn vat(p: PredId, vars: &[u32]) -> Atom<Term> {
+        Atom::new(p, vars.iter().map(|&v| Term::Var(Var(v))).collect())
+    }
+
+    #[test]
+    fn lazy_chase_skips_satisfied_triggers() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        // R(x,y) => exists z. R(x,z): already satisfied everywhere.
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(r, &[0, 2])]);
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run = engine.chase(&d, &ChaseBudget::default());
+        assert!(run.reached_fixpoint());
+        assert_eq!(run.structure.atom_count(), 1, "lazy chase adds nothing");
+    }
+
+    #[test]
+    fn infinite_chase_adds_one_atom_per_stage() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        // R(x,y) => exists z. R(y,z): an infinite forward path.
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(r, &[1, 2])]);
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run = engine.chase(&d, &ChaseBudget::stages(10));
+        assert_eq!(run.outcome, ChaseOutcome::StageBudgetExhausted);
+        assert_eq!(run.stage_count(), 10);
+        for s in &run.stages {
+            assert_eq!(s.applications, 1, "frozen-snapshot semantics: 1/stage");
+        }
+        assert_eq!(run.structure.atom_count(), 11);
+    }
+
+    #[test]
+    fn full_tgds_terminate_transitive_closure() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        // R(x,y) ∧ R(y,z) => R(x,z)
+        let t = Tgd::new_unchecked(
+            "trans",
+            vec![vat(r, &[0, 1]), vat(r, &[1, 2])],
+            vec![vat(r, &[0, 2])],
+        );
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let ns: Vec<Node> = (0..5).map(|_| d.fresh_node()).collect();
+        for w in ns.windows(2) {
+            d.add(r, vec![w[0], w[1]]);
+        }
+        let run = engine.chase(&d, &ChaseBudget::default());
+        assert!(run.reached_fixpoint());
+        // 4+3+2+1 = 10 pairs in the closure of a 4-edge path.
+        assert_eq!(run.structure.atom_count(), 10);
+        assert!(engine.is_model(&run.structure));
+        assert!(!engine.is_model(&d));
+    }
+
+    #[test]
+    fn stage_structures_are_monotone_prefixes() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(r, &[1, 2])]);
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run = engine.chase(&d, &ChaseBudget::stages(5));
+        let mut prev_atoms = 0;
+        for i in 0..=run.stage_count() {
+            let si = run.stage_structure(i);
+            assert!(si.atom_count() >= prev_atoms);
+            assert!(si.is_substructure_of(&run.structure));
+            prev_atoms = si.atom_count();
+        }
+        assert_eq!(run.stage_structure(0).atom_count(), 1);
+    }
+
+    #[test]
+    fn chase_is_universal_for_models() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        // R(x,y) => exists z. S(y,z)
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(s, &[1, 2])]);
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run = engine.chase(&d, &ChaseBudget::default());
+        assert!(run.reached_fixpoint());
+        // A model M ⊇ D: same R edge plus S(b, b).
+        let mut m = d.clone();
+        m.add(s, vec![b, b]);
+        assert!(engine.is_model(&m));
+        let h = structure_homomorphism(&run.structure, &m);
+        assert!(h.is_some(), "chase must map into every model extending D");
+    }
+
+    #[test]
+    fn monitor_stops_run() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(r, &[1, 2])]);
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run =
+            engine.chase_with_monitor(&d, &ChaseBudget::stages(100), |s, _| s.atom_count() >= 4);
+        assert_eq!(run.outcome, ChaseOutcome::MonitorStopped);
+        assert_eq!(run.structure.atom_count(), 4);
+    }
+
+    #[test]
+    fn size_budget_stops_run() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(r, &[1, 2])]);
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let budget = ChaseBudget {
+            max_stages: 1000,
+            max_atoms: 5,
+            max_nodes: 1 << 20,
+        };
+        let run = engine.chase(&d, &budget);
+        assert_eq!(run.outcome, ChaseOutcome::SizeBudgetExhausted);
+        assert_eq!(run.structure.atom_count(), 5);
+    }
+
+    #[test]
+    fn chase_is_deterministic() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        let t1 = Tgd::new_unchecked("t1", vec![vat(r, &[0, 1])], vec![vat(s, &[1, 2])]);
+        let t2 = Tgd::new_unchecked("t2", vec![vat(s, &[0, 1])], vec![vat(r, &[1, 0])]);
+        let engine = ChaseEngine::new(vec![t1, t2]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let r1 = engine.chase(&d, &ChaseBudget::stages(6));
+        let r2 = engine.chase(&d, &ChaseBudget::stages(6));
+        assert_eq!(r1.structure.atoms(), r2.structure.atoms());
+        assert_eq!(r1.stages, r2.stages);
+    }
+
+    #[test]
+    fn constants_in_heads_are_pinned() {
+        let mut sigm = Signature::new();
+        let r = sigm.add_predicate("R", 2);
+        let s = sigm.add_predicate("S", 2);
+        let c = sigm.add_constant("c0");
+        let sig = Arc::new(sigm);
+        // R(x,y) => S(y, #c0)
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![vat(r, &[0, 1])],
+            vec![Atom::new(s, vec![Term::Var(Var(1)), Term::Const(c)])],
+        );
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run = engine.chase(&d, &ChaseBudget::default());
+        assert!(run.reached_fixpoint());
+        let cn = run.structure.existing_const_node(c).unwrap();
+        assert!(run.structure.contains(s, &[b, cn]));
+    }
+
+    #[test]
+    fn multi_atom_head_shares_existential() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        // R(x,y) => exists z. S(x,z) ∧ S(y,z)
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![vat(r, &[0, 1])],
+            vec![vat(s, &[0, 2]), vat(s, &[1, 2])],
+        );
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run = engine.chase(&d, &ChaseBudget::default());
+        assert!(run.reached_fixpoint());
+        assert_eq!(run.structure.atom_count(), 3);
+        // Both new S atoms end in the same fresh node.
+        let satoms: Vec<_> = run.structure.atoms_with_pred(s).collect();
+        assert_eq!(satoms.len(), 2);
+        assert_eq!(satoms[0].args[1], satoms[1].args[1]);
+    }
+}
+
+#[cfg(test)]
+mod seminaive_tests {
+    use super::*;
+    use cqfd_core::{structure_homomorphism, Atom, Signature, Var};
+    use std::sync::Arc;
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    fn engines(tgds: Vec<Tgd>) -> (ChaseEngine, ChaseEngine) {
+        (
+            ChaseEngine::new(tgds.clone()),
+            ChaseEngine::new(tgds).with_strategy(Strategy::SemiNaive),
+        )
+    }
+
+    #[test]
+    fn strategies_agree_on_terminating_chase() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        let sig = Arc::new(sig);
+        // transitive closure + a symmetrizing existential rule
+        let t1 = Tgd::new_unchecked(
+            "trans",
+            vec![
+                Atom::new(r, vec![v(0), v(1)]),
+                Atom::new(r, vec![v(1), v(2)]),
+            ],
+            vec![Atom::new(r, vec![v(0), v(2)])],
+        );
+        let (naive, semi) = engines(vec![t1]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let ns: Vec<Node> = (0..5).map(|_| d.fresh_node()).collect();
+        for w in ns.windows(2) {
+            d.add(r, vec![w[0], w[1]]);
+        }
+        let rn = naive.chase(&d, &ChaseBudget::default());
+        let rs = semi.chase(&d, &ChaseBudget::default());
+        assert!(rn.reached_fixpoint() && rs.reached_fixpoint());
+        // Full TGDs: results must be literally equal as atom sets.
+        assert_eq!(rn.structure.atom_count(), rs.structure.atom_count());
+        for a in rn.structure.atoms() {
+            assert!(rs.structure.contains_atom(a));
+        }
+        assert!(naive.is_model(&rs.structure));
+    }
+
+    #[test]
+    fn strategies_agree_on_existential_chase_up_to_homs() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        let s = sig.add_predicate("S", 2);
+        let sig = Arc::new(sig);
+        // R(x,y) ⇒ ∃z S(y,z);  S(x,y) ⇒ R(x,x): terminates after the
+        // fresh S-target's R-loop turns out to be S-satisfied already.
+        let t1 = Tgd::new_unchecked(
+            "t1",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(s, vec![v(1), v(2)])],
+        );
+        let t2 = Tgd::new_unchecked(
+            "t2",
+            vec![Atom::new(s, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(0), v(0)])],
+        );
+        let (naive, semi) = engines(vec![t1, t2]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let x = d.fresh_node();
+        let y = d.fresh_node();
+        d.add(r, vec![x, y]);
+        let rn = naive.chase(&d, &ChaseBudget::default());
+        let rs = semi.chase(&d, &ChaseBudget::default());
+        assert!(rn.reached_fixpoint() && rs.reached_fixpoint());
+        assert!(naive.is_model(&rs.structure));
+        assert!(semi.is_model(&rn.structure));
+        // Universal models of the same instance: hom-equivalent.
+        assert!(structure_homomorphism(&rn.structure, &rs.structure).is_some());
+        assert!(structure_homomorphism(&rs.structure, &rn.structure).is_some());
+    }
+
+    #[test]
+    fn seminaive_matches_naive_stage_counts_on_tinf_like_system() {
+        // A single-trigger-per-stage system (like T∞): the two strategies
+        // must take identical stages.
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        let sig = Arc::new(sig);
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(1), v(2)])],
+        );
+        let (naive, semi) = engines(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let x = d.fresh_node();
+        let y = d.fresh_node();
+        d.add(r, vec![x, y]);
+        let rn = naive.chase(&d, &ChaseBudget::stages(12));
+        let rs = semi.chase(&d, &ChaseBudget::stages(12));
+        assert_eq!(rn.stages, rs.stages);
+        assert_eq!(rn.structure.atoms(), rs.structure.atoms());
+    }
+
+    #[test]
+    fn seminaive_is_deterministic() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        let s = sig.add_predicate("S", 2);
+        let sig = Arc::new(sig);
+        let t1 = Tgd::new_unchecked(
+            "t1",
+            vec![
+                Atom::new(r, vec![v(0), v(1)]),
+                Atom::new(s, vec![v(1), v(2)]),
+            ],
+            vec![Atom::new(r, vec![v(0), v(2)])],
+        );
+        let t2 = Tgd::new_unchecked(
+            "t2",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(s, vec![v(0), v(2)])],
+        );
+        let semi = ChaseEngine::new(vec![t1, t2]).with_strategy(Strategy::SemiNaive);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let ns: Vec<Node> = (0..3).map(|_| d.fresh_node()).collect();
+        d.add(r, vec![ns[0], ns[1]]);
+        d.add(s, vec![ns[1], ns[2]]);
+        let r1 = semi.chase(&d, &ChaseBudget::stages(8));
+        let r2 = semi.chase(&d, &ChaseBudget::stages(8));
+        assert_eq!(r1.structure.atoms(), r2.structure.atoms());
+        assert_eq!(r1.stages, r2.stages);
+    }
+}

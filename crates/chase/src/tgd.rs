@@ -1,0 +1,178 @@
+//! Tuple-generating dependencies.
+
+use cqfd_core::{Atom, CoreError, Signature, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A tuple-generating dependency `∀x̄,ȳ [Φ(x̄,ȳ) ⇒ ∃z̄ Ψ(z̄,ȳ)]` (paper §II.B).
+///
+/// * `body` is `Φ`; its variables are `x̄ ∪ ȳ`.
+/// * `head` is `Ψ`; its variables are `z̄ ∪ ȳ`.
+/// * The **frontier** `ȳ` is the set of variables shared between body and
+///   head — "the interface between the new part of the structure … and the
+///   old structure" (paper §II.B).
+/// * Head variables outside the body (`z̄`) are existential: each active
+///   application invents fresh nodes for them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    name: String,
+    body: Vec<Atom<Term>>,
+    head: Vec<Atom<Term>>,
+    frontier: Vec<Var>,
+    existential: Vec<Var>,
+}
+
+impl Tgd {
+    /// Builds a TGD, validating arities against the signature and computing
+    /// the frontier / existential-variable split.
+    pub fn try_new(
+        sig: &Signature,
+        name: impl Into<String>,
+        body: Vec<Atom<Term>>,
+        head: Vec<Atom<Term>>,
+    ) -> Result<Self, CoreError> {
+        for a in body.iter().chain(head.iter()) {
+            let expected = sig.arity(a.pred);
+            if a.args.len() != expected {
+                return Err(CoreError::ArityMismatch {
+                    pred: sig.pred_name(a.pred).to_owned(),
+                    expected,
+                    got: a.args.len(),
+                });
+            }
+        }
+        Ok(Self::new_unchecked(name, body, head))
+    }
+
+    /// Builds a TGD without arity validation (for generated rules that are
+    /// correct by construction).
+    pub fn new_unchecked(
+        name: impl Into<String>,
+        body: Vec<Atom<Term>>,
+        head: Vec<Atom<Term>>,
+    ) -> Self {
+        let body_vars: BTreeSet<Var> = body.iter().flat_map(|a| a.vars()).collect();
+        let head_vars: BTreeSet<Var> = head.iter().flat_map(|a| a.vars()).collect();
+        let frontier: Vec<Var> = head_vars.intersection(&body_vars).copied().collect();
+        let existential: Vec<Var> = head_vars.difference(&body_vars).copied().collect();
+        Tgd {
+            name: name.into(),
+            body,
+            head,
+            frontier,
+            existential,
+        }
+    }
+
+    /// The TGD's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The body `Φ`.
+    pub fn body(&self) -> &[Atom<Term>] {
+        &self.body
+    }
+
+    /// The head `Ψ`.
+    pub fn head(&self) -> &[Atom<Term>] {
+        &self.head
+    }
+
+    /// The frontier variables `ȳ` (shared body/head), sorted.
+    pub fn frontier(&self) -> &[Var] {
+        &self.frontier
+    }
+
+    /// The existential head variables `z̄`, sorted.
+    pub fn existential(&self) -> &[Var] {
+        &self.existential
+    }
+
+    /// A TGD is **full** if it has no existential head variables.
+    pub fn is_full(&self) -> bool {
+        self.existential.is_empty()
+    }
+
+    /// Renders the TGD over its signature.
+    pub fn display_with<'a>(&'a self, sig: &'a Signature) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Tgd, &'a Signature);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let namer = |v: Var| format!("x{}", v.0);
+                for (i, a) in self.0.body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{}", a.display_with(self.1, &namer))?;
+                }
+                write!(f, " ⇒ ")?;
+                if !self.0.existential.is_empty() {
+                    write!(f, "∃")?;
+                    for v in &self.0.existential {
+                        write!(f, " x{}", v.0)?;
+                    }
+                    write!(f, ". ")?;
+                }
+                for (i, a) in self.0.head.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{}", a.display_with(self.1, &namer))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_core::PredId;
+
+    fn atom(p: u32, vars: &[u32]) -> Atom<Term> {
+        Atom::new(PredId(p), vars.iter().map(|&v| Term::Var(Var(v))).collect())
+    }
+
+    #[test]
+    fn frontier_and_existentials() {
+        // R(x,y) => exists z. S(y,z)
+        let t = Tgd::new_unchecked("t", vec![atom(0, &[0, 1])], vec![atom(1, &[1, 2])]);
+        assert_eq!(t.frontier(), &[Var(1)]);
+        assert_eq!(t.existential(), &[Var(2)]);
+        assert!(!t.is_full());
+    }
+
+    #[test]
+    fn full_tgd() {
+        let t = Tgd::new_unchecked("t", vec![atom(0, &[0, 1])], vec![atom(1, &[1, 0])]);
+        assert!(t.is_full());
+        assert_eq!(t.frontier().len(), 2);
+    }
+
+    #[test]
+    fn arity_validation() {
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        let bad = Tgd::try_new(
+            &sig,
+            "bad",
+            vec![Atom::new(PredId(0), vec![Term::Var(Var(0))])],
+            vec![],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        sig.add_predicate("S", 2);
+        let t = Tgd::new_unchecked("t", vec![atom(0, &[0, 1])], vec![atom(1, &[1, 2])]);
+        let s = format!("{}", t.display_with(&sig));
+        assert!(s.contains("R(x0,x1)"));
+        assert!(s.contains("∃"));
+    }
+}

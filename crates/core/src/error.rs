@@ -1,0 +1,62 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by signature, structure and query construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A predicate name was declared twice with different arities.
+    ArityConflict {
+        /// The offending predicate name.
+        name: String,
+        /// Arity it was first declared with.
+        declared: usize,
+        /// Arity of the conflicting redeclaration.
+        conflicting: usize,
+    },
+    /// An atom used a predicate with the wrong number of arguments.
+    ArityMismatch {
+        /// Name of the predicate.
+        pred: String,
+        /// Arity recorded in the signature.
+        expected: usize,
+        /// Number of arguments actually supplied.
+        got: usize,
+    },
+    /// A predicate (or constant) was looked up that the signature lacks.
+    UnknownSymbol(String),
+    /// A query head used a variable that does not occur in its body.
+    UnsafeHeadVariable(String),
+    /// Parse error in the textual query / atom syntax.
+    Parse(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityConflict {
+                name,
+                declared,
+                conflicting,
+            } => write!(
+                f,
+                "predicate `{name}` declared with arity {declared}, redeclared with {conflicting}"
+            ),
+            CoreError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "atom over `{pred}` has {got} arguments, expected {expected}"
+            ),
+            CoreError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}`"),
+            CoreError::UnsafeHeadVariable(v) => {
+                write!(f, "head variable `{v}` does not occur in the query body")
+            }
+            CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

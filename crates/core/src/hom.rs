@@ -1,0 +1,457 @@
+//! Homomorphism search: matching conjunctions of atoms into structures.
+//!
+//! This is the single evaluation engine of the workspace. A *pattern* is a
+//! conjunction of [`Atom<Term>`]s; a homomorphism is an assignment of
+//! pattern variables to structure nodes such that every pattern atom, with
+//! constants pinned to their constant nodes, is an atom of the target.
+//!
+//! The search is classic backtracking join with two standard optimisations:
+//!
+//! * **atom ordering**: at each step the atom with the most bound argument
+//!   positions (and, among ties, the smallest candidate index) is expanded
+//!   next — a greedy most-constrained-first heuristic;
+//! * **index-driven candidates**: candidate target atoms come from the
+//!   by-(predicate, position, node) index whenever any argument is bound,
+//!   falling back to the by-predicate list otherwise.
+//!
+//! Used by conjunctive-query evaluation (`D |= Q(ā)`, paper §II.A), by TGD
+//! trigger enumeration in the chase (§II.B–C), and by the universality
+//! checks of §VII (homomorphisms from the chase into finite models).
+
+use crate::atom::Atom;
+use crate::structure::{Node, Structure};
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// A (partial) assignment of pattern variables to target nodes.
+pub type VarMap = HashMap<Var, Node>;
+
+/// Enumerates homomorphisms from `pattern` into `target` extending `fixed`,
+/// invoking `visit` on each one found. `visit` may stop the enumeration by
+/// returning [`ControlFlow::Break`].
+///
+/// Returns `Break(b)` if the visitor broke with value `b`, else `Continue`.
+///
+/// If a constant in the pattern has no node in the target, there is no
+/// homomorphism (constants must be fixed, and a target without the constant
+/// cannot host its atoms) — unless the constant appears in no pattern atom.
+pub fn for_each_homomorphism<B>(
+    pattern: &[Atom<Term>],
+    target: &Structure,
+    fixed: &VarMap,
+    visit: impl FnMut(&VarMap) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    let limits = vec![u32::MAX; pattern.len()];
+    for_each_homomorphism_per_atom_limits(pattern, target, fixed, &limits, visit)
+}
+
+/// Like [`for_each_homomorphism`], but candidate target atoms are restricted
+/// to the first `limit` atoms of the target (by insertion order).
+///
+/// This is the "frozen snapshot" matching mode the chase uses: at stage
+/// `i+1`, triggers are enumerated over the atoms of `chaseᵢ` only, while the
+/// head-satisfaction check runs over the live structure (paper §II.C).
+pub fn for_each_homomorphism_limited<B>(
+    pattern: &[Atom<Term>],
+    target: &Structure,
+    fixed: &VarMap,
+    limit: u32,
+    visit: impl FnMut(&VarMap) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    let limits = vec![limit; pattern.len()];
+    for_each_homomorphism_per_atom_limits(pattern, target, fixed, &limits, visit)
+}
+
+/// The most general matching mode: a separate insertion-order candidate cap
+/// per pattern atom. Used by the semi-naive chase strategy, which seeds one
+/// atom on the newest stage's delta and restricts earlier pattern atoms to
+/// older prefixes so every trigger is enumerated exactly once.
+pub fn for_each_homomorphism_per_atom_limits<B>(
+    pattern: &[Atom<Term>],
+    target: &Structure,
+    fixed: &VarMap,
+    limits: &[u32],
+    mut visit: impl FnMut(&VarMap) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    assert_eq!(limits.len(), pattern.len());
+    let mut assignment: VarMap = fixed.clone();
+    let mut order: Vec<usize> = (0..pattern.len()).collect();
+    let search = Search {
+        pattern,
+        target,
+        limits,
+    };
+    search.run(&mut assignment, &mut order, 0, &mut visit)
+}
+
+/// Finds one homomorphism from `pattern` into `target` extending `fixed`.
+pub fn find_homomorphism(
+    pattern: &[Atom<Term>],
+    target: &Structure,
+    fixed: &VarMap,
+) -> Option<VarMap> {
+    match for_each_homomorphism(pattern, target, fixed, |m| ControlFlow::Break(m.clone())) {
+        ControlFlow::Break(m) => Some(m),
+        ControlFlow::Continue(()) => None,
+    }
+}
+
+/// Collects **all** homomorphisms (use only when the count is known small).
+pub fn all_homomorphisms(
+    pattern: &[Atom<Term>],
+    target: &Structure,
+    fixed: &VarMap,
+) -> Vec<VarMap> {
+    let mut out = Vec::new();
+    let _: ControlFlow<()> = for_each_homomorphism(pattern, target, fixed, |m| {
+        out.push(m.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+struct Search<'a> {
+    pattern: &'a [Atom<Term>],
+    target: &'a Structure,
+    limits: &'a [u32],
+}
+
+impl Search<'_> {
+    fn run<B, F: FnMut(&VarMap) -> ControlFlow<B>>(
+        &self,
+        assignment: &mut VarMap,
+        order: &mut Vec<usize>,
+        depth: usize,
+        visit: &mut F,
+    ) -> ControlFlow<B> {
+        if depth == order.len() {
+            return visit(assignment);
+        }
+        // Pick the most-constrained remaining atom.
+        let pick = self.pick_atom(assignment, &order[depth..]);
+        order.swap(depth, depth + pick);
+        let atom_idx = order[depth];
+        let atom = &self.pattern[atom_idx];
+
+        // Enumerate candidate target atoms for `atom`.
+        let candidates = self.candidates(atom, atom_idx, assignment);
+        for cand in candidates {
+            let mut bound_here: Vec<Var> = Vec::new();
+            if self.try_bind(atom, cand, assignment, &mut bound_here) {
+                self.run(assignment, order, depth + 1, visit)?;
+            }
+            for v in bound_here {
+                assignment.remove(&v);
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    /// Index (into the `remaining` slice) of the best atom to expand next.
+    fn pick_atom(&self, assignment: &VarMap, remaining: &[usize]) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (usize::MAX, usize::MAX); // (candidate count, -bound) minimised
+        for (i, &ai) in remaining.iter().enumerate() {
+            let atom = &self.pattern[ai];
+            let mut bound = 0usize;
+            let mut min_index = self.target.pred_count(atom.pred);
+            for (pos, t) in atom.args.iter().enumerate() {
+                let node = match t {
+                    Term::Var(v) => assignment.get(v).copied(),
+                    Term::Const(c) => self.target.existing_const_node(*c),
+                };
+                if let Some(n) = node {
+                    bound += 1;
+                    min_index = min_index.min(self.target.index_size(atom.pred, pos as u8, n));
+                } else if t.as_var().is_none() {
+                    // Constant with no node in target: zero candidates.
+                    min_index = 0;
+                    bound += 1;
+                }
+            }
+            let key = (min_index, usize::MAX - bound);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Candidate target atoms for a pattern atom under the current bindings.
+    fn candidates(
+        &self,
+        atom: &Atom<Term>,
+        atom_idx: usize,
+        assignment: &VarMap,
+    ) -> Vec<&crate::atom::GroundAtom> {
+        let limit = self.limits[atom_idx];
+        // Find the tightest single-position index available.
+        let mut best: Option<(u8, Node, usize)> = None;
+        for (pos, t) in atom.args.iter().enumerate() {
+            let node = match t {
+                Term::Var(v) => assignment.get(v).copied(),
+                Term::Const(c) => match self.target.existing_const_node(*c) {
+                    Some(n) => Some(n),
+                    None => return Vec::new(), // constant absent: no candidates
+                },
+            };
+            if let Some(n) = node {
+                let sz = self.target.index_size(atom.pred, pos as u8, n);
+                if best.is_none_or(|(_, _, b)| sz < b) {
+                    best = Some((pos as u8, n, sz));
+                }
+            }
+        }
+        match best {
+            Some((pos, n, _)) => self
+                .target
+                .atoms_with_pred_pos_node_limited(atom.pred, pos, n, limit)
+                .collect(),
+            None => self
+                .target
+                .atoms_with_pred_limited(atom.pred, limit)
+                .collect(),
+        }
+    }
+
+    /// Attempts to unify `atom` with the ground candidate, extending
+    /// `assignment`; records newly bound vars in `bound_here`.
+    fn try_bind(
+        &self,
+        atom: &Atom<Term>,
+        cand: &crate::atom::GroundAtom,
+        assignment: &mut VarMap,
+        bound_here: &mut Vec<Var>,
+    ) -> bool {
+        debug_assert_eq!(atom.pred, cand.pred);
+        for (t, &n) in atom.args.iter().zip(&cand.args) {
+            match t {
+                Term::Const(c) => {
+                    if self.target.existing_const_node(*c) != Some(n) {
+                        return false;
+                    }
+                }
+                Term::Var(v) => match assignment.get(v) {
+                    Some(&m) => {
+                        if m != n {
+                            return false;
+                        }
+                    }
+                    None => {
+                        assignment.insert(*v, n);
+                        bound_here.push(*v);
+                    }
+                },
+            }
+        }
+        true
+    }
+}
+
+/// Searches for a homomorphism `h : source → target` between structures over
+/// the same signature: every atom of `source` must map to an atom of
+/// `target`, constants fixed (mapped to the target's constant nodes).
+///
+/// Only the *active* nodes of `source` (those in atoms or constants) are
+/// mapped; isolated nodes impose no constraints and are omitted from the
+/// returned map.
+///
+/// This is the universality tool of §VII Step 2: for every finite model `M`
+/// of `T` containing `DI` there is a homomorphism `chase(T, DI) → M`.
+pub fn structure_homomorphism(
+    source: &Structure,
+    target: &Structure,
+) -> Option<HashMap<Node, Node>> {
+    // View each source node as a variable, except constants which become
+    // constant terms.
+    let pattern: Vec<Atom<Term>> = source
+        .atoms()
+        .iter()
+        .map(|a| Atom {
+            pred: a.pred,
+            args: a
+                .args
+                .iter()
+                .map(|&n| match source.const_of_node(n) {
+                    Some(c) => Term::Const(c),
+                    None => Term::Var(Var(n.0)),
+                })
+                .collect(),
+        })
+        .collect();
+    let hom = find_homomorphism(&pattern, target, &VarMap::new())?;
+    let mut out: HashMap<Node, Node> = hom.into_iter().map(|(v, n)| (Node(v.0), n)).collect();
+    // Constants map to constant nodes.
+    for n in source.active_nodes() {
+        if let Some(c) = source.const_of_node(n) {
+            match target.existing_const_node(c) {
+                Some(m) => {
+                    out.insert(n, m);
+                }
+                None => return None,
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+    use std::sync::Arc;
+
+    fn path_structure(len: usize) -> (Structure, Vec<Node>) {
+        let mut sig = Signature::new();
+        sig.add_predicate("E", 2);
+        let sig = Arc::new(sig);
+        let e = sig.predicate("E").unwrap();
+        let mut d = Structure::new(sig);
+        let nodes: Vec<Node> = (0..=len).map(|_| d.fresh_node()).collect();
+        for w in nodes.windows(2) {
+            d.add(e, vec![w[0], w[1]]);
+        }
+        (d, nodes)
+    }
+
+    fn edge_atom(d: &Structure, x: u32, y: u32) -> Atom<Term> {
+        let e = d.signature().predicate("E").unwrap();
+        Atom::new(e, vec![Term::Var(Var(x)), Term::Var(Var(y))])
+    }
+
+    #[test]
+    fn finds_path_matches() {
+        let (d, _) = path_structure(3);
+        // pattern: E(x,y), E(y,z) — a path of length 2; 2 matches in a 3-path
+        let pattern = vec![edge_atom(&d, 0, 1), edge_atom(&d, 1, 2)];
+        let all = all_homomorphisms(&pattern, &d, &VarMap::new());
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn respects_fixed_bindings() {
+        let (d, nodes) = path_structure(3);
+        let pattern = vec![edge_atom(&d, 0, 1)];
+        let mut fixed = VarMap::new();
+        fixed.insert(Var(0), nodes[1]);
+        let all = all_homomorphisms(&pattern, &d, &fixed);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0][&Var(1)], nodes[2]);
+    }
+
+    #[test]
+    fn no_match_when_absent() {
+        let (d, nodes) = path_structure(1);
+        // E(x,x) requires a self-loop
+        let pattern = vec![edge_atom(&d, 0, 0)];
+        assert!(find_homomorphism(&pattern, &d, &VarMap::new()).is_none());
+        let mut fixed = VarMap::new();
+        fixed.insert(Var(0), nodes[1]); // terminal node has no outgoing edge
+        let pattern = vec![edge_atom(&d, 0, 1)];
+        assert!(find_homomorphism(&pattern, &d, &fixed).is_none());
+    }
+
+    #[test]
+    fn constants_pin_matches() {
+        let mut sig = Signature::new();
+        let e = sig.add_predicate("E", 2);
+        let a = sig.add_constant("a");
+        let sig = Arc::new(sig);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let na = d.node_for_const(a);
+        let x = d.fresh_node();
+        let y = d.fresh_node();
+        d.add(e, vec![na, x]);
+        d.add(e, vec![y, x]);
+        let pattern = vec![Atom::new(e, vec![Term::Const(a), Term::Var(Var(0))])];
+        let all = all_homomorphisms(&pattern, &d, &VarMap::new());
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0][&Var(0)], x);
+    }
+
+    #[test]
+    fn missing_constant_means_no_match() {
+        let mut sig = Signature::new();
+        let e = sig.add_predicate("E", 2);
+        let a = sig.add_constant("a");
+        let sig = Arc::new(sig);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let x = d.fresh_node();
+        let y = d.fresh_node();
+        d.add(e, vec![x, y]);
+        let pattern = vec![Atom::new(e, vec![Term::Const(a), Term::Var(Var(0))])];
+        assert!(find_homomorphism(&pattern, &d, &VarMap::new()).is_none());
+    }
+
+    #[test]
+    fn early_exit_via_break() {
+        let (d, _) = path_structure(5);
+        let pattern = vec![edge_atom(&d, 0, 1)];
+        let mut count = 0;
+        let res: ControlFlow<()> = for_each_homomorphism(&pattern, &d, &VarMap::new(), |_| {
+            count += 1;
+            if count == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(res.is_break());
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn structure_hom_path_into_cycle() {
+        // A path of length 3 maps homomorphically into a 2-cycle.
+        let (path, _) = path_structure(3);
+        let mut sig = Signature::new();
+        let e = sig.add_predicate("E", 2);
+        let sig = Arc::new(sig);
+        let mut cycle = Structure::new(sig);
+        let u = cycle.fresh_node();
+        let v = cycle.fresh_node();
+        cycle.add(e, vec![u, v]);
+        cycle.add(e, vec![v, u]);
+        let h = structure_homomorphism(&path, &cycle).expect("path -> cycle exists");
+        // All 4 active path nodes must be mapped.
+        assert_eq!(h.len(), 4);
+        // And the reverse direction must fail: a 2-cycle cannot map into a path
+        // (paths are acyclic and homomorphisms preserve edges).
+        assert!(structure_homomorphism(&cycle, &path).is_none());
+    }
+
+    #[test]
+    fn structure_hom_fixes_constants() {
+        let mut sig = Signature::new();
+        let e = sig.add_predicate("E", 2);
+        let a = sig.add_constant("a");
+        let sig = Arc::new(sig);
+        let mut s1 = Structure::new(Arc::clone(&sig));
+        let na = s1.node_for_const(a);
+        let x = s1.fresh_node();
+        s1.add(e, vec![na, x]);
+        // Target where the constant has an edge: fine.
+        let mut s2 = Structure::new(Arc::clone(&sig));
+        let ma = s2.node_for_const(a);
+        let y = s2.fresh_node();
+        s2.add(e, vec![ma, y]);
+        let h = structure_homomorphism(&s1, &s2).unwrap();
+        assert_eq!(h[&na], ma);
+        // Target where only a non-constant node has the edge: must fail.
+        let mut s3 = Structure::new(Arc::clone(&sig));
+        let p = s3.fresh_node();
+        let q = s3.fresh_node();
+        s3.add(e, vec![p, q]);
+        assert!(structure_homomorphism(&s1, &s3).is_none());
+    }
+
+    #[test]
+    fn empty_pattern_has_exactly_one_hom() {
+        let (d, _) = path_structure(1);
+        let all = all_homomorphisms(&[], &d, &VarMap::new());
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! A small textual syntax for conjunctive queries and atoms.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! cq    := NAME "(" varlist? ")" ":-" atom ("," atom)*
+//! atom  := PRED "(" term ("," term)* ")"  |  PRED "(" ")"
+//! term  := VAR | "#" CONST
+//! ```
+//!
+//! Predicate and constant names must exist in the signature; variables are
+//! any identifiers not prefixed with `#`. Head variables must occur in the
+//! body.
+
+use crate::atom::Atom;
+use crate::cq::Cq;
+use crate::error::CoreError;
+use crate::signature::Signature;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+
+/// Parses a conjunctive query; see the module docs for the grammar.
+pub fn parse_cq(sig: &Signature, text: &str) -> Result<Cq, CoreError> {
+    let (head, body) = text
+        .split_once(":-")
+        .ok_or_else(|| CoreError::Parse(format!("missing `:-` in `{text}`")))?;
+    let (name, head_args) = parse_call(head.trim())?;
+    let mut vars: HashMap<String, Var> = HashMap::new();
+    let mut var_names: Vec<String> = Vec::new();
+    let intern = |name: &str, vars: &mut HashMap<String, Var>, var_names: &mut Vec<String>| {
+        if let Some(&v) = vars.get(name) {
+            v
+        } else {
+            let v = Var(var_names.len() as u32);
+            vars.insert(name.to_owned(), v);
+            var_names.push(name.to_owned());
+            v
+        }
+    };
+    let head_vars: Vec<Var> = head_args
+        .iter()
+        .map(|a| {
+            if a.starts_with('#') {
+                Err(CoreError::Parse(format!("constant `{a}` in query head")))
+            } else {
+                Ok(intern(a, &mut vars, &mut var_names))
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    let mut atoms = Vec::new();
+    for part in split_atoms(body)? {
+        let (pred_name, args) = parse_call(&part)?;
+        let pred = sig
+            .predicate(&pred_name)
+            .ok_or_else(|| CoreError::UnknownSymbol(pred_name.clone()))?;
+        let mut terms = Vec::new();
+        for a in &args {
+            if let Some(cname) = a.strip_prefix('#') {
+                let c = sig
+                    .constant(cname)
+                    .ok_or_else(|| CoreError::UnknownSymbol(cname.to_owned()))?;
+                terms.push(Term::Const(c));
+            } else {
+                terms.push(Term::Var(intern(a, &mut vars, &mut var_names)));
+            }
+        }
+        atoms.push(Atom::new(pred, terms));
+    }
+    Cq::try_new(sig, name, head_vars, atoms, var_names)
+}
+
+/// Parses `NAME(arg1, …, argk)` into name and raw argument strings.
+fn parse_call(text: &str) -> Result<(String, Vec<String>), CoreError> {
+    let text = text.trim();
+    let open = text
+        .find('(')
+        .ok_or_else(|| CoreError::Parse(format!("missing `(` in `{text}`")))?;
+    if !text.ends_with(')') {
+        return Err(CoreError::Parse(format!("missing `)` in `{text}`")));
+    }
+    let name = text[..open].trim();
+    if name.is_empty() {
+        return Err(CoreError::Parse(format!("empty name in `{text}`")));
+    }
+    let inner = &text[open + 1..text.len() - 1];
+    let args = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|s| s.trim().to_owned()).collect()
+    };
+    for a in &args {
+        if a.is_empty() {
+            return Err(CoreError::Parse(format!("empty argument in `{text}`")));
+        }
+    }
+    Ok((name.to_owned(), args))
+}
+
+/// Splits a body on top-level commas: `R(x,y), S(y)` → [`R(x,y)`, `S(y)`].
+fn split_atoms(body: &str) -> Result<Vec<String>, CoreError> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in body.chars() {
+        match ch {
+            '(' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| CoreError::Parse("unbalanced `)`".into()))?;
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if depth != 0 {
+        return Err(CoreError::Parse("unbalanced `(`".into()));
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    let parts: Vec<String> = parts
+        .into_iter()
+        .map(|p| p.trim().to_owned())
+        .filter(|p| !p.is_empty())
+        .collect();
+    if parts.is_empty() {
+        return Err(CoreError::Parse("empty query body".into()));
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.add_predicate("R", 2);
+        s.add_predicate("T", 3);
+        s.add_predicate("U", 0);
+        s.add_constant("c");
+        s
+    }
+
+    #[test]
+    fn parses_basic_query() {
+        let sig = sig();
+        let q = parse_cq(&sig, "Q(x, y) :- R(x, z), R(z, y)").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.head_vars.len(), 2);
+        assert_eq!(q.body.len(), 2);
+        assert_eq!(q.all_vars().len(), 3);
+    }
+
+    #[test]
+    fn parses_constants_and_wide_atoms() {
+        let sig = sig();
+        let q = parse_cq(&sig, "Q(x) :- T(x, #c, y)").unwrap();
+        assert_eq!(q.body[0].args.len(), 3);
+        assert!(matches!(q.body[0].args[1], Term::Const(_)));
+    }
+
+    #[test]
+    fn parses_nullary_atoms() {
+        let sig = sig();
+        let q = parse_cq(&sig, "Q(x) :- R(x,x), U()").unwrap();
+        assert_eq!(q.body.len(), 2);
+        assert!(q.body[1].args.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_predicate() {
+        let sig = sig();
+        let err = parse_cq(&sig, "Q(x) :- Nope(x,x)").unwrap_err();
+        assert!(matches!(err, CoreError::UnknownSymbol(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_constant() {
+        let sig = sig();
+        let err = parse_cq(&sig, "Q(x) :- R(x,#zzz)").unwrap_err();
+        assert!(matches!(err, CoreError::UnknownSymbol(_)));
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let sig = sig();
+        let err = parse_cq(&sig, "Q(x) :- R(x,x,x)").unwrap_err();
+        assert!(matches!(err, CoreError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let sig = sig();
+        assert!(parse_cq(&sig, "Q(x) R(x,x)").is_err());
+        assert!(parse_cq(&sig, "Q(x) :- ").is_err());
+        assert!(parse_cq(&sig, "Q(x) :- R(x,").is_err());
+        assert!(parse_cq(&sig, "Q(#c) :- R(x,x)").is_err());
+    }
+
+    #[test]
+    fn variables_shared_between_head_and_body() {
+        let sig = sig();
+        let q = parse_cq(&sig, "Q(a) :- R(a, b)").unwrap();
+        assert_eq!(q.head_vars[0], q.body[0].args[0].as_var().unwrap());
+    }
+}

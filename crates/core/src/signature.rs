@@ -1,0 +1,224 @@
+//! Signatures: interned predicate symbols (with arities) and constants.
+//!
+//! A signature `Σ` in the paper's sense: a set of relation symbols, each with
+//! a fixed arity, plus a set of constants. Constants are never "colored" by
+//! the green–red construction of §IV, so they are interned separately.
+
+use crate::error::CoreError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned predicate symbol.
+///
+/// `PredId`s are dense indices into the owning [`Signature`]; they are only
+/// meaningful together with that signature (or a superset of it — signature
+/// extension never invalidates existing ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+/// Identifier of an interned constant symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstId(pub u32);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PredInfo {
+    name: String,
+    arity: usize,
+}
+
+/// A relational signature: predicate symbols with arities, plus constants.
+///
+/// Signatures are append-only: adding symbols never invalidates previously
+/// issued [`PredId`]s / [`ConstId`]s, so a structure built over a signature
+/// stays valid over any extension of it. This matters for §IV, where the
+/// two-colored signature `Σ̄` is an extension-style derivative of `Σ`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Signature {
+    preds: Vec<PredInfo>,
+    consts: Vec<String>,
+    pred_by_name: HashMap<String, PredId>,
+    const_by_name: HashMap<String, ConstId>,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a predicate symbol. Idempotent for matching arity; panics on
+    /// an arity conflict (that is a programming error, not a data error).
+    pub fn add_predicate(&mut self, name: &str, arity: usize) -> PredId {
+        match self.try_add_predicate(name, arity) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Interns a predicate symbol, reporting arity conflicts as errors.
+    pub fn try_add_predicate(&mut self, name: &str, arity: usize) -> Result<PredId, CoreError> {
+        if let Some(&id) = self.pred_by_name.get(name) {
+            let declared = self.preds[id.0 as usize].arity;
+            if declared != arity {
+                return Err(CoreError::ArityConflict {
+                    name: name.to_owned(),
+                    declared,
+                    conflicting: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.preds.push(PredInfo {
+            name: name.to_owned(),
+            arity,
+        });
+        self.pred_by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Interns a constant symbol. Idempotent.
+    pub fn add_constant(&mut self, name: &str) -> ConstId {
+        if let Some(&id) = self.const_by_name.get(name) {
+            return id;
+        }
+        let id = ConstId(self.consts.len() as u32);
+        self.consts.push(name.to_owned());
+        self.const_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a predicate by name.
+    pub fn predicate(&self, name: &str) -> Option<PredId> {
+        self.pred_by_name.get(name).copied()
+    }
+
+    /// Looks up a constant by name.
+    pub fn constant(&self, name: &str) -> Option<ConstId> {
+        self.const_by_name.get(name).copied()
+    }
+
+    /// The arity of a predicate.
+    pub fn arity(&self, pred: PredId) -> usize {
+        self.preds[pred.0 as usize].arity
+    }
+
+    /// The name of a predicate.
+    pub fn pred_name(&self, pred: PredId) -> &str {
+        &self.preds[pred.0 as usize].name
+    }
+
+    /// The name of a constant.
+    pub fn const_name(&self, c: ConstId) -> &str {
+        &self.consts[c.0 as usize]
+    }
+
+    /// Number of interned predicates.
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Number of interned constants.
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Iterates over all predicate ids, in interning order.
+    pub fn predicates(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.preds.len() as u32).map(PredId)
+    }
+
+    /// Iterates over all constant ids, in interning order.
+    pub fn constants(&self) -> impl Iterator<Item = ConstId> + '_ {
+        (0..self.consts.len() as u32).map(ConstId)
+    }
+
+    /// True if `other` contains every symbol of `self` with identical ids.
+    ///
+    /// Because signatures are append-only, a structure over `self` is also a
+    /// structure over any signature for which this holds.
+    pub fn is_prefix_of(&self, other: &Signature) -> bool {
+        self.preds.len() <= other.preds.len()
+            && self.consts.len() <= other.consts.len()
+            && self.preds[..] == other.preds[..self.preds.len()]
+            && self.consts[..] == other.consts[..self.consts.len()]
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.preds.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", p.name, p.arity)?;
+        }
+        if !self.consts.is_empty() {
+            write!(f, "; consts: {}", self.consts.join(", "))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut sig = Signature::new();
+        let r1 = sig.add_predicate("R", 2);
+        let r2 = sig.add_predicate("R", 2);
+        assert_eq!(r1, r2);
+        assert_eq!(sig.pred_count(), 1);
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        let err = sig.try_add_predicate("R", 3).unwrap_err();
+        assert!(matches!(err, CoreError::ArityConflict { .. }));
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut sig = Signature::new();
+        let a = sig.add_constant("a");
+        let b = sig.add_constant("b");
+        assert_ne!(a, b);
+        assert_eq!(sig.add_constant("a"), a);
+        assert_eq!(sig.const_name(b), "b");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        assert_eq!(sig.predicate("R"), Some(r));
+        assert_eq!(sig.predicate("S"), None);
+        assert_eq!(sig.arity(r), 2);
+        assert_eq!(sig.pred_name(r), "R");
+    }
+
+    #[test]
+    fn extension_keeps_prefix_relationship() {
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        let small = sig.clone();
+        sig.add_predicate("S", 1);
+        sig.add_constant("c");
+        assert!(small.is_prefix_of(&sig));
+        assert!(!sig.is_prefix_of(&small));
+        assert!(small.is_prefix_of(&small));
+    }
+
+    #[test]
+    fn display_lists_symbols() {
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        sig.add_constant("a");
+        assert_eq!(format!("{sig}"), "{R/2; consts: a}");
+    }
+}

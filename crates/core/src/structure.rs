@@ -1,0 +1,503 @@
+//! Finite relational structures with lookup indexes.
+
+use crate::atom::GroundAtom;
+use crate::signature::{ConstId, PredId, Signature};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// An element (vertex) of a structure, local to that structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Node(pub u32);
+
+/// A finite relational structure over a [`Signature`] (paper §II.A).
+///
+/// A structure is a set of positive ground atoms over a domain of [`Node`]s.
+/// Constants of the signature are materialised as dedicated nodes on first
+/// use and are fixed by every homomorphism.
+///
+/// Atoms are kept in insertion order (so iteration is deterministic) and
+/// deduplicated; two secondary indexes support homomorphism search:
+/// by-predicate and by-(predicate, position, node).
+#[derive(Debug, Clone)]
+pub struct Structure {
+    sig: Arc<Signature>,
+    atoms: Vec<GroundAtom>,
+    atom_set: HashSet<GroundAtom>,
+    by_pred: HashMap<PredId, Vec<u32>>,
+    by_pred_pos_node: HashMap<(PredId, u8, Node), Vec<u32>>,
+    node_count: u32,
+    const_node: HashMap<ConstId, Node>,
+    node_const: HashMap<Node, ConstId>,
+}
+
+impl Structure {
+    /// Creates an empty structure over a signature.
+    pub fn new(sig: Arc<Signature>) -> Self {
+        Structure {
+            sig,
+            atoms: Vec::new(),
+            atom_set: HashSet::new(),
+            by_pred: HashMap::new(),
+            by_pred_pos_node: HashMap::new(),
+            node_count: 0,
+            const_node: HashMap::new(),
+            node_const: HashMap::new(),
+        }
+    }
+
+    /// Creates an empty structure, wrapping the signature in an [`Arc`].
+    pub fn with_signature(sig: Signature) -> Self {
+        Self::new(Arc::new(sig))
+    }
+
+    /// The structure's signature.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// Allocates a fresh node.
+    pub fn fresh_node(&mut self) -> Node {
+        let n = Node(self.node_count);
+        self.node_count += 1;
+        n
+    }
+
+    /// The node representing a constant, allocated on first use.
+    pub fn node_for_const(&mut self, c: ConstId) -> Node {
+        if let Some(&n) = self.const_node.get(&c) {
+            return n;
+        }
+        let n = self.fresh_node();
+        self.const_node.insert(c, n);
+        self.node_const.insert(n, c);
+        n
+    }
+
+    /// The constant a node stands for, if it is a constant node.
+    pub fn const_of_node(&self, n: Node) -> Option<ConstId> {
+        self.node_const.get(&n).copied()
+    }
+
+    /// Pins a constant to an *already allocated* node. Used when
+    /// reconstructing a structure with a prescribed node numbering (e.g.
+    /// chase stage snapshots).
+    ///
+    /// # Panics
+    /// If the node is unallocated, or the constant is already pinned to a
+    /// different node, or the node already stands for another constant.
+    pub fn pin_constant(&mut self, c: ConstId, n: Node) {
+        assert!(n.0 < self.node_count, "node {n:?} not allocated");
+        if let Some(&old) = self.const_node.get(&c) {
+            assert_eq!(old, n, "constant already pinned elsewhere");
+            return;
+        }
+        assert!(
+            !self.node_const.contains_key(&n),
+            "node already pinned to another constant"
+        );
+        self.const_node.insert(c, n);
+        self.node_const.insert(n, c);
+    }
+
+    /// The node a constant is pinned to, if it has been materialised.
+    pub fn existing_const_node(&self, c: ConstId) -> Option<Node> {
+        self.const_node.get(&c).copied()
+    }
+
+    /// Number of nodes allocated (including constant nodes and nodes that do
+    /// not occur in any atom).
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// Iterates over all allocated nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> {
+        (0..self.node_count).map(Node)
+    }
+
+    /// The set of nodes that occur in at least one atom or stand for a
+    /// constant — the *active domain*.
+    pub fn active_nodes(&self) -> BTreeSet<Node> {
+        let mut s: BTreeSet<Node> = self
+            .atoms
+            .iter()
+            .flat_map(|a| a.args.iter().copied())
+            .collect();
+        s.extend(self.const_node.values().copied());
+        s
+    }
+
+    /// Inserts a ground atom; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// If the argument count does not match the predicate's arity, or an
+    /// argument node was never allocated in this structure.
+    pub fn add_atom(&mut self, atom: GroundAtom) -> bool {
+        assert_eq!(
+            atom.args.len(),
+            self.sig.arity(atom.pred),
+            "arity mismatch for predicate {}",
+            self.sig.pred_name(atom.pred)
+        );
+        for &n in &atom.args {
+            assert!(n.0 < self.node_count, "node {n:?} not allocated");
+        }
+        if self.atom_set.contains(&atom) {
+            return false;
+        }
+        let idx = self.atoms.len() as u32;
+        self.by_pred.entry(atom.pred).or_default().push(idx);
+        for (pos, &n) in atom.args.iter().enumerate() {
+            self.by_pred_pos_node
+                .entry((atom.pred, pos as u8, n))
+                .or_default()
+                .push(idx);
+        }
+        self.atom_set.insert(atom.clone());
+        self.atoms.push(atom);
+        true
+    }
+
+    /// Convenience: allocate-and-insert `pred(args…)`.
+    pub fn add(&mut self, pred: PredId, args: Vec<Node>) -> bool {
+        self.add_atom(GroundAtom::new(pred, args))
+    }
+
+    /// Does the structure contain this exact atom?
+    pub fn contains_atom(&self, atom: &GroundAtom) -> bool {
+        self.atom_set.contains(atom)
+    }
+
+    /// Does the structure contain `pred(args…)`?
+    pub fn contains(&self, pred: PredId, args: &[Node]) -> bool {
+        self.atom_set
+            .contains(&GroundAtom::new(pred, args.to_vec()))
+    }
+
+    /// All atoms, in insertion order.
+    pub fn atoms(&self) -> &[GroundAtom] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Atoms with the given predicate, in insertion order.
+    pub fn atoms_with_pred(&self, pred: PredId) -> impl Iterator<Item = &GroundAtom> {
+        self.by_pred
+            .get(&pred)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.atoms[i as usize])
+    }
+
+    /// Number of atoms with the given predicate.
+    pub fn pred_count(&self, pred: PredId) -> usize {
+        self.by_pred.get(&pred).map_or(0, Vec::len)
+    }
+
+    /// Atoms with the given predicate that carry `node` at position `pos`.
+    pub fn atoms_with_pred_pos_node(
+        &self,
+        pred: PredId,
+        pos: u8,
+        node: Node,
+    ) -> impl Iterator<Item = &GroundAtom> {
+        self.by_pred_pos_node
+            .get(&(pred, pos, node))
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.atoms[i as usize])
+    }
+
+    /// Number of atoms matching (pred, pos, node) — used for index selection.
+    pub fn index_size(&self, pred: PredId, pos: u8, node: Node) -> usize {
+        self.by_pred_pos_node
+            .get(&(pred, pos, node))
+            .map_or(0, Vec::len)
+    }
+
+    /// Like [`Self::atoms_with_pred`], restricted to the first `limit` atoms
+    /// (by insertion order). Index lists are insertion-ordered, so this is a
+    /// prefix scan. Used by the chase to enumerate triggers over a frozen
+    /// stage snapshot (paper §II.C: triggers range over `chaseᵢ`).
+    pub fn atoms_with_pred_limited(
+        &self,
+        pred: PredId,
+        limit: u32,
+    ) -> impl Iterator<Item = &GroundAtom> {
+        self.by_pred
+            .get(&pred)
+            .into_iter()
+            .flatten()
+            .take_while(move |&&i| i < limit)
+            .map(|&i| &self.atoms[i as usize])
+    }
+
+    /// Like [`Self::atoms_with_pred_pos_node`], restricted to the first
+    /// `limit` atoms by insertion order.
+    pub fn atoms_with_pred_pos_node_limited(
+        &self,
+        pred: PredId,
+        pos: u8,
+        node: Node,
+        limit: u32,
+    ) -> impl Iterator<Item = &GroundAtom> {
+        self.by_pred_pos_node
+            .get(&(pred, pos, node))
+            .into_iter()
+            .flatten()
+            .take_while(move |&&i| i < limit)
+            .map(|&i| &self.atoms[i as usize])
+    }
+
+    /// Is `self` a substructure of `other` (same signature family), i.e. is
+    /// every atom of `self` an atom of `other`? Nodes are compared by
+    /// identity, so this is the paper's literal substructure notion.
+    pub fn is_substructure_of(&self, other: &Structure) -> bool {
+        self.atoms.iter().all(|a| other.contains_atom(a))
+    }
+
+    /// Copies all atoms of `other` into `self`, translating nodes.
+    ///
+    /// Constant nodes of `other` map to the corresponding constant nodes of
+    /// `self`; every other node of `other` gets a fresh node in `self`
+    /// (shared across atoms). Returns the node translation used.
+    ///
+    /// This is the "disjoint union except for constants" operation of §IX
+    /// (footnote 25: constants "belong to all the copies").
+    pub fn absorb(&mut self, other: &Structure) -> HashMap<Node, Node> {
+        let mut map: HashMap<Node, Node> = HashMap::new();
+        for n in other.nodes() {
+            let image = match other.const_of_node(n) {
+                Some(c) => self.node_for_const(c),
+                None => self.fresh_node(),
+            };
+            map.insert(n, image);
+        }
+        for a in other.atoms() {
+            let args = a.args.iter().map(|n| map[n]).collect();
+            self.add(a.pred, args);
+        }
+        map
+    }
+
+    /// Builds the quotient of this structure under an equivalence given as a
+    /// representative-choosing map (`rep(n)` must be idempotent on its own
+    /// image). Returns the quotient structure and the node map into it.
+    ///
+    /// Used for "folding" chase prefixes (Figure 2: `h(b_t) = h(b_t')`) and
+    /// for the knee-gluing step of `compile` (Definition 29).
+    pub fn quotient(&self, rep: impl Fn(Node) -> Node) -> (Structure, HashMap<Node, Node>) {
+        let mut q = Structure::new(Arc::clone(&self.sig));
+        let mut map: HashMap<Node, Node> = HashMap::new();
+        for n in self.nodes() {
+            let r = rep(n);
+            let image = if let Some(&m) = map.get(&r) {
+                m
+            } else {
+                let m = match self.const_of_node(r) {
+                    Some(c) => q.node_for_const(c),
+                    None => q.fresh_node(),
+                };
+                map.insert(r, m);
+                m
+            };
+            map.insert(n, image);
+        }
+        for a in &self.atoms {
+            let args = a.args.iter().map(|n| map[n]).collect();
+            q.add(a.pred, args);
+        }
+        (q, map)
+    }
+
+    /// A copy of this structure keeping only atoms selected by `keep`.
+    /// The domain (node allocation, constants) is preserved unchanged.
+    pub fn filter_atoms(&self, keep: impl Fn(&GroundAtom) -> bool) -> Structure {
+        let mut s = Structure::new(Arc::clone(&self.sig));
+        s.node_count = self.node_count;
+        s.const_node = self.const_node.clone();
+        s.node_const = self.node_const.clone();
+        for a in &self.atoms {
+            if keep(a) {
+                s.add_atom(a.clone());
+            }
+        }
+        s
+    }
+
+    /// A copy of this structure with every atom's predicate replaced by
+    /// `f(pred)`, over the given (possibly different) signature.
+    ///
+    /// This implements the coloring maps `G(·)`, `R(·)` and `dalt(·)` of
+    /// §IV at the structure level. Arities must be preserved by `f`.
+    pub fn map_predicates(&self, sig: Arc<Signature>, f: impl Fn(PredId) -> PredId) -> Structure {
+        let mut s = Structure::new(sig);
+        s.node_count = self.node_count;
+        s.const_node = self.const_node.clone();
+        s.node_const = self.node_const.clone();
+        for a in &self.atoms {
+            s.add(f(a.pred), a.args.clone());
+        }
+        s
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "structure ({} nodes, {} atoms):",
+            self.node_count,
+            self.atoms.len()
+        )?;
+        for a in &self.atoms {
+            writeln!(f, "  {}", a.display_with(&self.sig))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig2() -> Arc<Signature> {
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        sig.add_predicate("S", 1);
+        sig.add_constant("c");
+        Arc::new(sig)
+    }
+
+    #[test]
+    fn add_and_dedup() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let mut d = Structure::new(sig);
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        assert!(d.add(r, vec![a, b]));
+        assert!(!d.add(r, vec![a, b]));
+        assert!(d.add(r, vec![b, a]));
+        assert_eq!(d.atom_count(), 2);
+        assert!(d.contains(r, &[a, b]));
+        assert!(!d.contains(r, &[a, a]));
+    }
+
+    #[test]
+    fn constant_nodes_are_stable() {
+        let sig = sig2();
+        let c = sig.constant("c").unwrap();
+        let mut d = Structure::new(sig);
+        let n1 = d.node_for_const(c);
+        let n2 = d.node_for_const(c);
+        assert_eq!(n1, n2);
+        assert_eq!(d.const_of_node(n1), Some(c));
+    }
+
+    #[test]
+    fn indexes_answer_lookups() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        let mut d = Structure::new(sig);
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        let c = d.fresh_node();
+        d.add(r, vec![a, b]);
+        d.add(r, vec![a, c]);
+        d.add(r, vec![b, c]);
+        d.add(s, vec![a]);
+        assert_eq!(d.pred_count(r), 3);
+        assert_eq!(d.atoms_with_pred_pos_node(r, 0, a).count(), 2);
+        assert_eq!(d.atoms_with_pred_pos_node(r, 1, c).count(), 2);
+        assert_eq!(d.index_size(r, 0, c), 0);
+    }
+
+    #[test]
+    fn substructure_checks() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let mut d1 = Structure::new(Arc::clone(&sig));
+        let a = d1.fresh_node();
+        let b = d1.fresh_node();
+        d1.add(r, vec![a, b]);
+        let mut d2 = d1.clone();
+        d2.add(r, vec![b, b]);
+        assert!(d1.is_substructure_of(&d2));
+        assert!(!d2.is_substructure_of(&d1));
+    }
+
+    #[test]
+    fn absorb_shares_constants_and_freshens_the_rest() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let c = sig.constant("c").unwrap();
+        let mut d1 = Structure::new(Arc::clone(&sig));
+        let cc = d1.node_for_const(c);
+        let x = d1.fresh_node();
+        d1.add(r, vec![cc, x]);
+        let mut d2 = Structure::new(Arc::clone(&sig));
+        let cc2 = d2.node_for_const(c);
+        let y = d2.fresh_node();
+        d2.add(r, vec![cc2, y]);
+        let map = d1.absorb(&d2);
+        assert_eq!(map[&cc2], cc, "constant nodes are identified");
+        assert_ne!(map[&y], x, "ordinary nodes stay disjoint");
+        assert_eq!(d1.atom_count(), 2);
+    }
+
+    #[test]
+    fn quotient_folds_nodes() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let mut d = Structure::new(sig);
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        let b2 = d.fresh_node();
+        d.add(r, vec![a, b]);
+        d.add(r, vec![a, b2]);
+        // fold b2 onto b
+        let (q, map) = d.quotient(|n| if n == b2 { b } else { n });
+        assert_eq!(map[&b], map[&b2]);
+        assert_eq!(q.atom_count(), 1, "the two atoms collapse");
+    }
+
+    #[test]
+    fn filter_and_map_predicates() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        let g = sig.add_predicate("G_R", 2);
+        let sig = Arc::new(sig);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        d.add(g, vec![b, a]);
+        let only_r = d.filter_atoms(|at| at.pred == r);
+        assert_eq!(only_r.atom_count(), 1);
+        assert_eq!(only_r.node_count(), d.node_count(), "domain preserved");
+        let swapped = d.map_predicates(Arc::clone(&sig), |p| if p == r { g } else { r });
+        assert!(swapped.contains(g, &[a, b]));
+        assert!(swapped.contains(r, &[b, a]));
+    }
+
+    #[test]
+    fn active_nodes_excludes_isolated() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let mut d = Structure::new(sig);
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        let _isolated = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let act = d.active_nodes();
+        assert_eq!(act.len(), 2);
+        assert!(act.contains(&a) && act.contains(&b));
+    }
+}

@@ -1,0 +1,84 @@
+//! Terms: variables and constants appearing in formulas.
+
+use crate::signature::ConstId;
+use std::fmt;
+
+/// A query variable, identified by a dense index.
+///
+/// Variable *names* are cosmetic and stored alongside queries (see
+/// [`crate::cq::Cq`]); the index is the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A term in a formula: either a variable or a constant of the signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant from the signature.
+    Const(ConstId),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// True for [`Term::Var`].
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<ConstId> for Term {
+    fn from(c: ConstId) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Term::Var(Var(3));
+        let c = Term::Const(ConstId(1));
+        assert_eq!(v.as_var(), Some(Var(3)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_const(), Some(ConstId(1)));
+        assert_eq!(c.as_var(), None);
+        assert!(v.is_var());
+        assert!(!c.is_var());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Term::from(Var(0)), Term::Var(Var(0)));
+        assert_eq!(Term::from(ConstId(2)), Term::Const(ConstId(2)));
+    }
+}

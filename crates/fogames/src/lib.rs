@@ -1,0 +1,37 @@
+//! # cqfd-fogames — Ehrenfeucht–Fraïssé games and Theorem 2 (paper §IX)
+//!
+//! Theorem 2: there are `Q`, `Q0` such that `Q` *finitely determines* `Q0`
+//! but the function computing `Q0`'s answer from the views `Q(D)` is not
+//! first-order definable. The proof outline plays an Ehrenfeucht–Fraïssé
+//! game on the **view images** of two structures: `Dy` (which satisfies
+//! `Q0`) and `Dn` (which does not), built so that the views are
+//! FO-indistinguishable at any fixed quantifier rank once the construction
+//! parameter `i` is Large Enough.
+//!
+//! This crate implements:
+//!
+//! * [`ef`] — an exact quantifier-rank-`l` equivalence test via recursive
+//!   rank-`l` type interning (two structures satisfy the same FO sentences
+//!   of quantifier rank ≤ `l`, with the pinned constants, iff their
+//!   rank-`l` types agree). On the highly symmetric disjoint unions of
+//!   §IX.B the memoised types collapse, keeping the test fast;
+//! * [`views`] — the "what the girls see": the view image `Q(D)` as a
+//!   relational structure over one predicate per query, restricted to the
+//!   active domain;
+//! * [`theorem2`] — the §IX constructions: `Q∞ = Compile(Precompile(T∞))`,
+//!   the Level-0 chase `chaseᵢ(T_Q∞, I)`, the *late fragments*
+//!   `chaseL₂ᵢ`, Attempt 1 (distinguishable — the views differ next to the
+//!   constants) and Attempt 2 (`Dy`/`Dn` with `i`-fold padding,
+//!   indistinguishable at small rank), plus the §IX.C observation that
+//!   grids do not shorten path-end distances (tested at Level 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ef;
+pub mod theorem2;
+pub mod views;
+
+pub use ef::{distinguishing_rank, ef_equivalent, rank_type, TypeInterner};
+pub use theorem2::{attempt1, attempt2, q_infinity, Theorem2World};
+pub use views::view_structure;

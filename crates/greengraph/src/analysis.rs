@@ -1,0 +1,99 @@
+//! Static label-flow analysis for `L2` systems.
+//!
+//! A sound over-approximation of which labels a chase can ever produce:
+//! ignore the graph structure entirely and close the set of *available*
+//! labels under "if both labels of one side of a rule are available, the
+//! other side's labels become available". Since every rule application
+//! consumes edges with available labels and produces edges with the
+//! opposite side's labels, the closure over-approximates the labels of
+//! `chase(T, D)` for any `D` labelled within the seed set.
+//!
+//! The payoff is a *static certificate*: if the closure from `{∅}` (the
+//! labels of `DI`) misses `⟨n,α,d̄,b̄⟩` or `⟨w,α,d̄,b̄⟩`, no chase from `DI`
+//! — indeed no minimal model — can contain a 1-2 pattern, so the system
+//! provably does not lead to the red spider. It certifies, e.g., that
+//! `T∞` alone (no grid labels at all) and `T□` alone (its trigger needs a
+//! `β0` that nothing produces from `∅`) are safe. It is deliberately
+//! coarse: because it ignores *which vertices* edges share, it cannot
+//! prove the E-GRID ablation (the literal fourth eastern-strip rule is
+//! abstractly fireable even though its two left-hand edges can never
+//! share a target) — that one needs the dynamic experiment.
+
+use crate::label::Label;
+use crate::rules::L2System;
+use std::collections::BTreeSet;
+
+/// The label closure: all labels producible from `seed` under `t`,
+/// ignoring graph structure (a sound over-approximation).
+pub fn label_closure(t: &L2System, seed: impl IntoIterator<Item = Label>) -> BTreeSet<Label> {
+    let mut avail: BTreeSet<Label> = seed.into_iter().collect();
+    loop {
+        let mut changed = false;
+        for rule in t.rules() {
+            for (from, to) in [(rule.lhs, rule.rhs), (rule.rhs, rule.lhs)] {
+                if avail.contains(&from.0) && avail.contains(&from.1) {
+                    changed |= avail.insert(to.0);
+                    changed |= avail.insert(to.1);
+                }
+            }
+        }
+        if !changed {
+            return avail;
+        }
+    }
+}
+
+/// Static sufficient condition for "`t` does **not** lead to the red
+/// spider" (Definition 11): from `DI`'s label `∅`, the pattern labels are
+/// unreachable. `false` means "no conclusion" (the pattern labels being
+/// *reachable* does not imply a pattern actually forms — that needs the
+/// graph-level diagonal argument of §VII).
+pub fn provably_never_red_spider(t: &L2System) -> bool {
+    let closure = label_closure(t, [Label::Empty]);
+    !closure.contains(&Label::ONE) || !closure.contains(&Label::TWO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::L2Rule;
+
+    #[test]
+    fn closure_follows_both_rule_directions() {
+        let t = L2System::new(vec![
+            L2Rule::antenna(Label::Empty, Label::Empty, Label::Alpha, Label::Eta1),
+            L2Rule::tail(Label::Alpha, Label::Eta1, Label::Beta0, Label::Beta1),
+        ]);
+        let c = label_closure(&t, [Label::Empty]);
+        assert!(c.contains(&Label::Alpha));
+        assert!(c.contains(&Label::Beta0));
+        assert!(c.contains(&Label::Beta1));
+        // Backward direction too: seed with the β side only.
+        let c2 = label_closure(&t, [Label::Beta0, Label::Beta1]);
+        assert!(c2.contains(&Label::Alpha), "equivalences flow both ways");
+        assert!(c2.contains(&Label::Empty));
+    }
+
+    #[test]
+    fn unreachable_labels_stay_out() {
+        let t = L2System::new(vec![L2Rule::antenna(
+            Label::Alpha,
+            Label::Alpha,
+            Label::Beta0,
+            Label::Beta1,
+        )]);
+        let c = label_closure(&t, [Label::Empty]);
+        assert_eq!(c.len(), 1, "no rule fires from ∅ alone");
+    }
+
+    #[test]
+    fn sound_on_simple_positive_instance() {
+        let t = L2System::new(vec![L2Rule::antenna(
+            Label::Empty,
+            Label::Empty,
+            Label::ONE,
+            Label::TWO,
+        )]);
+        assert!(!provably_never_red_spider(&t), "pattern labels reachable");
+    }
+}

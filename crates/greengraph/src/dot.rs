@@ -1,0 +1,67 @@
+//! Graphviz (DOT) export of green graphs — Figures 1–4, regenerable.
+
+use crate::graph::GreenGraph;
+use crate::label::Label;
+use std::fmt::Write;
+
+/// Renders the graph in Graphviz DOT format. The distinguished vertices
+/// `a` and `b` are boxed; grid edges are drawn dashed and gray so the
+/// αβ-skeleton (solid, colored) stands out, as in the paper's figures.
+pub fn to_dot(g: &GreenGraph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{title}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    let _ = writeln!(out, "  n{} [label=\"a\", shape=box, style=bold];", g.a().0);
+    let _ = writeln!(out, "  n{} [label=\"b\", shape=box, style=bold];", g.b().0);
+    for (l, x, y) in g.edges() {
+        let style = match l {
+            Label::Grid(_) => "style=dashed, color=gray50, fontcolor=gray50",
+            Label::Empty => "color=black, penwidth=2",
+            Label::Alpha => "color=forestgreen, penwidth=2",
+            Label::Beta0 | Label::Beta1 => "color=forestgreen",
+            Label::Eta0 | Label::Eta1 | Label::Eta11 => "color=steelblue",
+            Label::Gamma0 | Label::Gamma1 | Label::Omega0 => "color=darkorange",
+            Label::Sym { .. } => "color=purple",
+            Label::Reserved3 | Label::Reserved4 => "color=red",
+        };
+        let _ = writeln!(out, "  n{} -> n{} [label=\"{l}\", {style}];", x.0, y.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::LabelSpace;
+    use std::sync::Arc;
+
+    #[test]
+    fn dot_contains_all_edges_and_marks_constants() {
+        let space = Arc::new(LabelSpace::new([Label::Alpha, Label::Beta1]));
+        let mut g = GreenGraph::di(Arc::clone(&space));
+        let c = g.fresh_node();
+        g.add_edge(Label::Alpha, g.a(), c);
+        g.add_edge(Label::Beta1, c, g.b());
+        let dot = to_dot(&g, "test");
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches(" -> ").count(), 3);
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+        assert!(dot.contains("α"));
+    }
+
+    #[test]
+    fn grid_edges_are_dashed() {
+        let mut labels = vec![Label::Beta0];
+        labels.extend(Label::all_grid_labels());
+        let space = Arc::new(LabelSpace::new(labels));
+        let mut g = GreenGraph::empty(Arc::clone(&space));
+        let x = g.fresh_node();
+        let y = g.fresh_node();
+        g.add_edge(Label::ONE, x, y);
+        let dot = to_dot(&g, "grid");
+        assert!(dot.contains("style=dashed"));
+    }
+}

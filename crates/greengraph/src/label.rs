@@ -1,0 +1,277 @@
+//! The label alphabet `S̄ = S ∪ {∅}` of green graphs.
+//!
+//! The paper takes `S = {1, …, s}` and assigns meanings to numbers through
+//! "some fixed bijection" (footnote 13). We keep the labels *typed* and
+//! defer the numbering to the moment it is needed (the `Precompile` step,
+//! which maps labels to spider leg indices — see `cqfd-reduction`).
+//!
+//! Every label has a **parity** (Definition 19 distinguishes even and odd
+//! symbols; parity glasses reverse odd edges). Named labels carry the
+//! parities the paper assigns (`α, β0, η0, γ0, ω0` even; `β1, η1, η11, γ1`
+//! odd); generic machine symbols carry an explicit parity bit; grid labels
+//! are conventionally even (no words are ever read through grid edges, so
+//! the paper leaves their parity unspecified — the choice is documented
+//! here and nothing downstream depends on it).
+
+use std::fmt;
+
+/// Parity of a label (Definition 19's even/odd symbol classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Parity {
+    /// Even symbols: `α, β0, γ0, η0, ω0`, `A0`-tape symbols, even states.
+    Even,
+    /// Odd symbols: `β1, γ1, η1, η11`, `A1`-tape symbols, odd states.
+    Odd,
+}
+
+/// Direction component of a grid label (§VII Step 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// North — the edge heads north.
+    N,
+    /// East.
+    E,
+    /// South.
+    S,
+    /// West.
+    W,
+}
+
+/// Second component of a grid label: inherited from the "respective" element
+/// of one of the original αβ-paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kind {
+    /// Inherited from an `α` edge.
+    A,
+    /// Inherited from a `β` edge.
+    B,
+}
+
+/// A grid label `⟨n|e|s|w, α|β, d|d̄, b|b̄⟩` — one of the 32 relations for
+/// the inner edges of the grid (§VII Step 2).
+///
+/// * `diag`: does one end of the edge lie on the grid diagonal (`d`)?
+/// * `border`: does the edge share a vertex with one of the original
+///   αβ-paths (`b`)?
+///
+/// The 1-2 pattern labels are `⟨n, α, d̄, b̄⟩` (the paper's "1") and
+/// `⟨w, α, d̄, b̄⟩` (the paper's "2"); see [`Label::ONE`] / [`Label::TWO`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridLabel {
+    /// Direction the edge heads.
+    pub dir: Dir,
+    /// `α` or `β` heritage.
+    pub kind: Kind,
+    /// On-diagonal flag (`d` vs `d̄`).
+    pub diag: bool,
+    /// Border flag (`b` vs `b̄`).
+    pub border: bool,
+}
+
+/// A label from `S̄ = S ∪ {∅}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// `∅` — the label of the single edge of `DI`.
+    Empty,
+    /// `α` (even).
+    Alpha,
+    /// `β0` (even).
+    Beta0,
+    /// `β1` (odd).
+    Beta1,
+    /// `η0` (even).
+    Eta0,
+    /// `η1` (odd).
+    Eta1,
+    /// `η11` (odd) — the initial rainworm head state.
+    Eta11,
+    /// `γ0` (even) — rainworm rear-end marker.
+    Gamma0,
+    /// `γ1` (odd) — rainworm rear-end marker.
+    Gamma1,
+    /// `ω0` (even) — rainworm front-of-head marker.
+    Omega0,
+    /// One of the 32 grid labels.
+    Grid(GridLabel),
+    /// A machine symbol (rainworm tape symbol or state) with an explicit
+    /// parity. The `id` namespace is owned by the machine definition.
+    Sym {
+        /// Machine-defined identifier.
+        id: u16,
+        /// Parity of the symbol.
+        parity: Parity,
+    },
+    /// Reserved index 3 of `Precompile` (Definition 9). Never occurs in
+    /// green graph rules or graphs (Lemma 37); exists as a label only so
+    /// the numbering of `S` can account for it.
+    Reserved3,
+    /// Reserved index 4 of `Precompile`. See [`Label::Reserved3`].
+    Reserved4,
+}
+
+impl Label {
+    /// The "1" of the 1-2 pattern: `⟨n, α, d̄, b̄⟩`.
+    pub const ONE: Label = Label::Grid(GridLabel {
+        dir: Dir::N,
+        kind: Kind::A,
+        diag: false,
+        border: false,
+    });
+
+    /// The "2" of the 1-2 pattern: `⟨w, α, d̄, b̄⟩`.
+    pub const TWO: Label = Label::Grid(GridLabel {
+        dir: Dir::W,
+        kind: Kind::A,
+        diag: false,
+        border: false,
+    });
+
+    /// The label's parity. `∅` is conventionally even (it never occurs in a
+    /// rainworm configuration and parity glasses drop it before reading).
+    pub fn parity(self) -> Parity {
+        match self {
+            Label::Empty
+            | Label::Alpha
+            | Label::Beta0
+            | Label::Eta0
+            | Label::Gamma0
+            | Label::Omega0 => Parity::Even,
+            Label::Beta1 | Label::Eta1 | Label::Eta11 | Label::Gamma1 => Parity::Odd,
+            Label::Grid(_) => Parity::Even,
+            Label::Sym { parity, .. } => parity,
+            Label::Reserved3 | Label::Reserved4 => Parity::Even,
+        }
+    }
+
+    /// Is this label odd (parity glasses reverse odd edges)?
+    pub fn is_odd(self) -> bool {
+        self.parity() == Parity::Odd
+    }
+
+    /// All 32 grid labels, in a canonical order.
+    pub fn all_grid_labels() -> Vec<Label> {
+        let mut out = Vec::with_capacity(32);
+        for dir in [Dir::N, Dir::E, Dir::S, Dir::W] {
+            for kind in [Kind::A, Kind::B] {
+                for diag in [true, false] {
+                    for border in [true, false] {
+                        out.push(Label::Grid(GridLabel {
+                            dir,
+                            kind,
+                            diag,
+                            border,
+                        }));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Empty => write!(f, "∅"),
+            Label::Alpha => write!(f, "α"),
+            Label::Beta0 => write!(f, "β0"),
+            Label::Beta1 => write!(f, "β1"),
+            Label::Eta0 => write!(f, "η0"),
+            Label::Eta1 => write!(f, "η1"),
+            Label::Eta11 => write!(f, "η11"),
+            Label::Gamma0 => write!(f, "γ0"),
+            Label::Gamma1 => write!(f, "γ1"),
+            Label::Omega0 => write!(f, "ω0"),
+            Label::Grid(g) => {
+                let dir = match g.dir {
+                    Dir::N => "n",
+                    Dir::E => "e",
+                    Dir::S => "s",
+                    Dir::W => "w",
+                };
+                let kind = match g.kind {
+                    Kind::A => "α",
+                    Kind::B => "β",
+                };
+                let diag = if g.diag { "d" } else { "d̄" };
+                let border = if g.border { "b" } else { "b̄" };
+                write!(f, "⟨{dir},{kind},{diag},{border}⟩")
+            }
+            Label::Sym { id, parity } => {
+                let p = match parity {
+                    Parity::Even => "e",
+                    Parity::Odd => "o",
+                };
+                write!(f, "sym{id}{p}")
+            }
+            Label::Reserved3 => write!(f, "№3"),
+            Label::Reserved4 => write!(f, "№4"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_labels_number_32() {
+        let all = Label::all_grid_labels();
+        assert_eq!(all.len(), 32);
+        let set: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(set.len(), 32);
+    }
+
+    #[test]
+    fn paper_parities() {
+        assert_eq!(Label::Alpha.parity(), Parity::Even);
+        assert_eq!(Label::Beta0.parity(), Parity::Even);
+        assert_eq!(Label::Beta1.parity(), Parity::Odd);
+        assert_eq!(Label::Eta0.parity(), Parity::Even);
+        assert_eq!(Label::Eta1.parity(), Parity::Odd);
+        assert_eq!(Label::Eta11.parity(), Parity::Odd);
+        assert_eq!(Label::Gamma0.parity(), Parity::Even);
+        assert_eq!(Label::Gamma1.parity(), Parity::Odd);
+        assert_eq!(Label::Omega0.parity(), Parity::Even);
+    }
+
+    #[test]
+    fn one_two_are_the_nw_corner_labels() {
+        match Label::ONE {
+            Label::Grid(g) => {
+                assert_eq!(g.dir, Dir::N);
+                assert_eq!(g.kind, Kind::A);
+                assert!(!g.diag && !g.border);
+            }
+            _ => panic!("ONE must be a grid label"),
+        }
+        assert_ne!(Label::ONE, Label::TWO);
+        assert_eq!(format!("{}", Label::ONE), "⟨n,α,d̄,b̄⟩");
+        assert_eq!(format!("{}", Label::TWO), "⟨w,α,d̄,b̄⟩");
+    }
+
+    #[test]
+    fn sym_labels_carry_parity() {
+        let even = Label::Sym {
+            id: 7,
+            parity: Parity::Even,
+        };
+        let odd = Label::Sym {
+            id: 7,
+            parity: Parity::Odd,
+        };
+        assert_ne!(even, odd);
+        assert!(!even.is_odd());
+        assert!(odd.is_odd());
+    }
+
+    #[test]
+    fn labels_order_canonically() {
+        // Ord is derived; sorting must be stable and deduplicate correctly.
+        let mut v = vec![Label::Beta1, Label::Alpha, Label::Empty, Label::Beta1];
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], Label::Empty);
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal models (Definition 31): the important-edge closure.
+//!
+//! Reasoning about arbitrary finite models is hard; minimal models retain
+//! the chase's "built stage by stage" character (every edge is *important*
+//! — reachable from the `H∅(a,b)` seed through witness demands), which is
+//! what the inductive arguments of Appendix A ride on.
+
+use crate::graph::GreenGraph;
+use crate::label::Label;
+use crate::rules::{Join, L2System};
+use cqfd_core::Node;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An edge in (label, from, to) form.
+type Edge = (Label, Node, Node);
+
+/// Computes the set of **important** edges of a model `m` of `t`
+/// (Definition 31): the least set containing `H∅(a,b)` and closed under
+/// "if two important edges match one side of a rule, every pair of edges
+/// witnessing the other side is important".
+///
+/// (Definition 31 only demands *some* witness pair per demand; taking all
+/// of them keeps the closure canonical and still yields a model.)
+pub fn important_edges(t: &L2System, m: &GreenGraph) -> HashSet<Edge> {
+    let seed: Edge = (Label::Empty, m.a(), m.b());
+    let mut important: HashSet<Edge> = HashSet::new();
+    if !m.has_edge(Label::Empty, m.a(), m.b()) {
+        return important;
+    }
+    important.insert(seed);
+    let mut frontier: Vec<Edge> = vec![seed];
+    while let Some(e) = frontier.pop() {
+        // Pair e with every other important edge and check both rule sides.
+        let partners: Vec<Edge> = important.iter().copied().collect();
+        for e2 in partners {
+            for rule in t.rules() {
+                for (from, to) in [(rule.lhs, rule.rhs), (rule.rhs, rule.lhs)] {
+                    for (p1, p2) in [(e, e2), (e2, e)] {
+                        if p1.0 != from.0 || p2.0 != from.1 {
+                            continue;
+                        }
+                        let matched = match rule.join {
+                            Join::Antenna => p1.2 == p2.2, // share target
+                            Join::Tail => p1.1 == p2.1,    // share source
+                        };
+                        if !matched {
+                            continue;
+                        }
+                        // Collect all witness pairs for the `to` side.
+                        for w in witness_pairs(m, rule.join, to, p1, p2) {
+                            for edge in w {
+                                if important.insert(edge) {
+                                    frontier.push(edge);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    important
+}
+
+/// All pairs `(H_{to.0}(x, y′), H_{to.1}(x′, y′))` witnessing the demanded
+/// side for the matched pair `(p1, p2)`.
+fn witness_pairs(
+    m: &GreenGraph,
+    join: Join,
+    to: (Label, Label),
+    p1: (Label, Node, Node),
+    p2: (Label, Node, Node),
+) -> Vec<[Edge; 2]> {
+    let mut out = Vec::new();
+    match join {
+        Join::Antenna => {
+            let (x, xp) = (p1.1, p2.1);
+            for (sx, sy) in m.edges_with(to.0) {
+                if sx != x {
+                    continue;
+                }
+                if m.has_edge(to.1, xp, sy) {
+                    out.push([(to.0, sx, sy), (to.1, xp, sy)]);
+                }
+            }
+        }
+        Join::Tail => {
+            let (y, yp) = (p1.2, p2.2);
+            for (sx, sy) in m.edges_with(to.0) {
+                if sy != y {
+                    continue;
+                }
+                if m.has_edge(to.1, sx, yp) {
+                    out.push([(to.0, sx, sy), (to.1, sx, yp)]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the minimal model: the substructure of `m` on its important
+/// edges. If `m` models `t`, so does the result (tested).
+pub fn minimal_model(t: &L2System, m: &GreenGraph) -> GreenGraph {
+    let keep = important_edges(t, m);
+    let mut out = GreenGraph::empty(Arc::clone(m.space()));
+    // Preserve node identities by allocating up to m's node count.
+    while out.node_count() < m.node_count() {
+        out.fresh_node();
+    }
+    for (l, x, y) in m.edges() {
+        if keep.contains(&(l, x, y)) {
+            out.add_edge(l, x, y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::L2Rule;
+
+    use cqfd_chase::ChaseBudget;
+
+    fn sys() -> L2System {
+        L2System::new(vec![L2Rule::antenna(
+            Label::Empty,
+            Label::Empty,
+            Label::Alpha,
+            Label::Eta1,
+        )])
+    }
+
+    #[test]
+    fn chase_results_are_entirely_important() {
+        let t = sys();
+        let g = GreenGraph::di(t.space_with([]));
+        let (closed, run) = t.chase(&g, &ChaseBudget::stages(8));
+        assert!(run.reached_fixpoint());
+        let imp = important_edges(&t, &closed);
+        assert_eq!(imp.len(), closed.edge_count(), "nothing in a chase is junk");
+    }
+
+    #[test]
+    fn junk_edges_are_dropped() {
+        let t = sys();
+        let g = GreenGraph::di(t.space_with([Label::Beta0]));
+        let (mut closed, _) = t.chase(&g, &ChaseBudget::stages(8));
+        // Junk: an unreachable β0 edge between fresh vertices.
+        let u = closed.fresh_node();
+        let v = closed.fresh_node();
+        closed.add_edge(Label::Beta0, u, v);
+        assert!(t.is_model(&closed), "β0 triggers nothing in this system");
+        let minimal = minimal_model(&t, &closed);
+        assert_eq!(minimal.edge_count(), closed.edge_count() - 1);
+        assert!(!minimal.has_edge(Label::Beta0, u, v));
+        assert!(t.is_model(&minimal), "minimal models are still models");
+    }
+
+    #[test]
+    fn seedless_models_have_no_important_edges() {
+        let t = sys();
+        let space = t.space_with([]);
+        let mut g = GreenGraph::empty(space);
+        let x = g.fresh_node();
+        let y = g.fresh_node();
+        g.add_edge(Label::Alpha, x, y);
+        g.add_edge(Label::Eta1, x, y);
+        let imp = important_edges(&t, &g);
+        assert!(imp.is_empty(), "no H∅(a,b) seed, nothing is important");
+    }
+
+    #[test]
+    fn importance_closes_over_both_rule_directions() {
+        // Model where the rhs pattern exists with its lhs witnesses; the
+        // closure must walk backward through the equivalence too.
+        let t = sys();
+        let space = t.space_with([]);
+        let mut g = GreenGraph::di(Arc::clone(&space));
+        let c = g.fresh_node();
+        let (a, _b) = (g.a(), g.b());
+        g.add_edge(Label::Alpha, a, c);
+        g.add_edge(Label::Eta1, a, c);
+        assert!(t.is_model(&g));
+        let imp = important_edges(&t, &g);
+        assert_eq!(imp.len(), 3, "the α/η1 witnesses are important");
+    }
+}

@@ -1,0 +1,297 @@
+//! Parity glasses and the word-reading of green graphs
+//! (Definitions 15 and 16).
+//!
+//! In the interesting green graphs every vertex has in-degree 0 or
+//! out-degree 0, so no directed path is longer than one edge. **Parity
+//! glasses** fix this: drop the `∅` edges and reverse every edge with an
+//! odd label. Through the glasses, the chase of `T∞` becomes an honest
+//! path, and rainworm configurations become readable words
+//! (`words(M) = paths(PG(M), a, a) ∪ paths(PG(M), a, b)`).
+
+use crate::graph::GreenGraph;
+use crate::label::Label;
+use cqfd_core::Node;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The parity-glasses view `PG(M)` of a green graph: a directed
+/// label-preserving multigraph, read as a nondeterministic finite automaton
+/// (Definition 15).
+#[derive(Debug, Clone)]
+pub struct ParityGlasses {
+    adj: BTreeMap<Node, Vec<(Label, Node)>>,
+}
+
+impl ParityGlasses {
+    /// Applies Definition 16: remove `∅` edges, reverse odd-labelled edges.
+    pub fn new(g: &GreenGraph) -> Self {
+        let mut adj: BTreeMap<Node, Vec<(Label, Node)>> = BTreeMap::new();
+        for (l, x, y) in g.edges() {
+            if l == Label::Empty {
+                continue;
+            }
+            let (from, to) = if l.is_odd() { (y, x) } else { (x, y) };
+            adj.entry(from).or_default().push((l, to));
+        }
+        ParityGlasses { adj }
+    }
+
+    /// Outgoing transformed edges of a vertex.
+    pub fn successors(&self, n: Node) -> &[(Label, Node)] {
+        self.adj.get(&n).map_or(&[], Vec::as_slice)
+    }
+
+    /// One NFA step: all states reachable from `states` by one `l`-edge.
+    pub fn step(&self, states: &BTreeSet<Node>, l: Label) -> BTreeSet<Node> {
+        let mut out = BTreeSet::new();
+        for &s in states {
+            for &(el, t) in self.successors(s) {
+                if el == l {
+                    out.insert(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// States reachable from `s` by reading `word`.
+    pub fn reach(&self, s: Node, word: &[Label]) -> BTreeSet<Node> {
+        let mut states: BTreeSet<Node> = [s].into();
+        for &l in word {
+            states = self.step(&states, l);
+            if states.is_empty() {
+                break;
+            }
+        }
+        states
+    }
+
+    /// Is `word ∈ paths(PG(M), s, t)` (Definition 15)? — accepted from `s`
+    /// at `t`, with no nonempty proper prefix accepted.
+    pub fn is_path_word(&self, s: Node, t: Node, word: &[Label]) -> bool {
+        if word.is_empty() {
+            return false;
+        }
+        let mut states: BTreeSet<Node> = [s].into();
+        for (i, &l) in word.iter().enumerate() {
+            states = self.step(&states, l);
+            if states.is_empty() {
+                return false;
+            }
+            let accepted = states.contains(&t);
+            if i + 1 < word.len() {
+                if accepted {
+                    return false; // proper prefix accepted
+                }
+            } else {
+                return accepted;
+            }
+        }
+        unreachable!("loop returns on the last symbol")
+    }
+
+    /// Enumerates `paths(PG(M), s, t)` up to `max_len` symbols (and at most
+    /// `max_words` results, as a runaway guard for pathological graphs).
+    pub fn words(
+        &self,
+        s: Node,
+        t: Node,
+        max_len: usize,
+        max_words: usize,
+    ) -> BTreeSet<Vec<Label>> {
+        self.words_joint(s, &[t], max_len, max_words)
+    }
+
+    /// Enumerates the **jointly prefix-free** word set with several
+    /// accepting states: words accepted at some `t ∈ targets` none of whose
+    /// nonempty proper prefixes is accepted at *any* target.
+    ///
+    /// This is the reading under which the paper's Figure 1 example is
+    /// exact — `words(chase(T∞, DI)) = {α(β1β0)^k η1} ∪ {α(β1β0)^k β1 η0}`
+    /// requires pruning continuations through `a` as well as through `b`.
+    pub fn words_joint(
+        &self,
+        s: Node,
+        targets: &[Node],
+        max_len: usize,
+        max_words: usize,
+    ) -> BTreeSet<Vec<Label>> {
+        let mut out = BTreeSet::new();
+        let mut word: Vec<Label> = Vec::new();
+        let start: BTreeSet<Node> = [s].into();
+        self.dfs(&start, targets, max_len, max_words, &mut word, &mut out);
+        out
+    }
+
+    fn dfs(
+        &self,
+        states: &BTreeSet<Node>,
+        targets: &[Node],
+        max_len: usize,
+        max_words: usize,
+        word: &mut Vec<Label>,
+        out: &mut BTreeSet<Vec<Label>>,
+    ) {
+        if out.len() >= max_words {
+            return;
+        }
+        if !word.is_empty() && targets.iter().any(|t| states.contains(t)) {
+            // Accepted; prefix-freedom forbids extending this word.
+            out.insert(word.clone());
+            return;
+        }
+        if word.len() >= max_len {
+            return;
+        }
+        // Candidate next labels: those leaving any current state.
+        let labels: BTreeSet<Label> = states
+            .iter()
+            .flat_map(|&n| self.successors(n).iter().map(|&(l, _)| l))
+            .collect();
+        for l in labels {
+            let next = self.step(states, l);
+            if next.is_empty() {
+                continue;
+            }
+            word.push(l);
+            self.dfs(&next, targets, max_len, max_words, word, out);
+            word.pop();
+        }
+    }
+}
+
+/// `words(M)` (Definition 16): path words from `a` back to `a` or to `b`,
+/// jointly prefix-free (see [`ParityGlasses::words_joint`]), bounded by
+/// `max_len`/`max_words`.
+pub fn words_of(g: &GreenGraph, max_len: usize, max_words: usize) -> BTreeSet<Vec<Label>> {
+    let pg = ParityGlasses::new(g);
+    pg.words_joint(g.a(), &[g.a(), g.b()], max_len, max_words)
+}
+
+/// Is `word ∈ words(M)` — a path word from `a` back to `a` or to `b`?
+pub fn graph_contains_word(g: &GreenGraph, word: &[Label]) -> bool {
+    let pg = ParityGlasses::new(g);
+    pg.is_path_word(g.a(), g.a(), word) || pg.is_path_word(g.a(), g.b(), word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::LabelSpace;
+    use std::sync::Arc;
+
+    /// Builds the first few steps of Figure 1 by hand:
+    /// H∅(a,b), Hα(a,b1), Hη1(a,b1), Hη0(a1,b), Hβ1(a1,b1).
+    fn figure1_prefix() -> GreenGraph {
+        let sp = Arc::new(LabelSpace::new([
+            Label::Alpha,
+            Label::Beta0,
+            Label::Beta1,
+            Label::Eta0,
+            Label::Eta1,
+        ]));
+        let mut g = GreenGraph::di(Arc::clone(&sp));
+        let b1 = g.fresh_node();
+        let a1 = g.fresh_node();
+        let (a, b) = (g.a(), g.b());
+        g.add_edge(Label::Alpha, a, b1);
+        g.add_edge(Label::Eta1, a, b1);
+        g.add_edge(Label::Eta0, a1, b);
+        g.add_edge(Label::Beta1, a1, b1);
+        g
+    }
+
+    #[test]
+    fn odd_edges_are_reversed() {
+        let g = figure1_prefix();
+        let pg = ParityGlasses::new(&g);
+        // Hη1(a,b1) is odd: through the glasses it runs b1 → a.
+        let b1 = Node(2);
+        assert!(pg
+            .successors(b1)
+            .iter()
+            .any(|&(l, t)| l == Label::Eta1 && t == g.a()));
+        // Hα(a,b1) is even: a → b1.
+        assert!(pg
+            .successors(g.a())
+            .iter()
+            .any(|&(l, t)| l == Label::Alpha && t == b1));
+    }
+
+    #[test]
+    fn empty_edges_are_dropped() {
+        let g = figure1_prefix();
+        let pg = ParityGlasses::new(&g);
+        for (_, succs) in pg.adj.iter() {
+            assert!(succs.iter().all(|&(l, _)| l != Label::Empty));
+        }
+    }
+
+    #[test]
+    fn figure1_words() {
+        let g = figure1_prefix();
+        let pg = ParityGlasses::new(&g);
+        // α η1 ∈ paths(a, a)
+        assert!(pg.is_path_word(g.a(), g.a(), &[Label::Alpha, Label::Eta1]));
+        // α β1 η0 ∈ paths(a, b)
+        assert!(pg.is_path_word(g.a(), g.b(), &[Label::Alpha, Label::Beta1, Label::Eta0]));
+        // α alone reaches neither a nor b.
+        assert!(!pg.is_path_word(g.a(), g.a(), &[Label::Alpha]));
+        // The full word set up to length 4:
+        let ws = words_of(&g, 4, 100);
+        let expect: BTreeSet<Vec<Label>> = [
+            vec![Label::Alpha, Label::Eta1],
+            vec![Label::Alpha, Label::Beta1, Label::Eta0],
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(ws, expect);
+    }
+
+    #[test]
+    fn prefix_freedom_excludes_extensions() {
+        // A graph where a → a via x and then x continues; once accepted, the
+        // longer word must be excluded.
+        let sp = Arc::new(LabelSpace::new([Label::Alpha, Label::Beta0]));
+        let mut g = GreenGraph::empty(Arc::clone(&sp));
+        let a = g.a();
+        g.add_edge(Label::Alpha, a, a); // even self-loop a → a
+        let pg = ParityGlasses::new(&g);
+        assert!(pg.is_path_word(a, a, &[Label::Alpha]));
+        assert!(
+            !pg.is_path_word(a, a, &[Label::Alpha, Label::Alpha]),
+            "the one-symbol prefix is already accepted"
+        );
+        let ws = pg.words(a, a, 5, 100);
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn empty_word_never_accepted() {
+        let g = figure1_prefix();
+        let pg = ParityGlasses::new(&g);
+        assert!(!pg.is_path_word(g.a(), g.a(), &[]));
+    }
+
+    #[test]
+    fn reach_is_monotone_under_steps() {
+        let g = figure1_prefix();
+        let pg = ParityGlasses::new(&g);
+        let r = pg.reach(g.a(), &[Label::Alpha]);
+        assert_eq!(r.len(), 1);
+        let r2 = pg.reach(g.a(), &[Label::Alpha, Label::Beta1]);
+        assert_eq!(r2.len(), 1);
+        let dead = pg.reach(g.a(), &[Label::Beta0]);
+        assert!(dead.is_empty());
+    }
+
+    #[test]
+    fn graph_contains_word_checks_both_targets() {
+        let g = figure1_prefix();
+        assert!(graph_contains_word(&g, &[Label::Alpha, Label::Eta1]));
+        assert!(graph_contains_word(
+            &g,
+            &[Label::Alpha, Label::Beta1, Label::Eta0]
+        ));
+        assert!(!graph_contains_word(&g, &[Label::Eta0]));
+    }
+}

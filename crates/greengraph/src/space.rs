@@ -1,0 +1,138 @@
+//! The label space: the concrete signature `{H_i : i ∈ S̄}` for a chosen
+//! finite set of labels, plus the constants `a` and `b` of `DI`.
+
+use crate::label::Label;
+use cqfd_core::{ConstId, PredId, Signature};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A finite, canonically ordered set of labels together with the relational
+/// signature it induces: one binary predicate `H_ℓ` per label `ℓ`, plus the
+/// constants `a` and `b` (the two distinguished vertices of `DI`, §VII
+/// Step 1 — "please befriend them").
+#[derive(Debug, Clone)]
+pub struct LabelSpace {
+    labels: Vec<Label>,
+    index: HashMap<Label, usize>,
+    sig: Arc<Signature>,
+    preds: Vec<PredId>,
+    a: ConstId,
+    b: ConstId,
+}
+
+impl LabelSpace {
+    /// Builds a label space from any iterator of labels. `∅` is always
+    /// included (every green graph in the paper contains `DI`). Duplicates
+    /// are fine; the order is canonical (sorted), so two spaces built from
+    /// the same label set are interchangeable.
+    pub fn new(labels: impl IntoIterator<Item = Label>) -> Self {
+        let mut ls: Vec<Label> = labels.into_iter().collect();
+        ls.push(Label::Empty);
+        ls.sort();
+        ls.dedup();
+        let mut sig = Signature::new();
+        let mut preds = Vec::with_capacity(ls.len());
+        for l in &ls {
+            preds.push(sig.add_predicate(&format!("H[{l}]"), 2));
+        }
+        let a = sig.add_constant("a");
+        let b = sig.add_constant("b");
+        let index = ls.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+        LabelSpace {
+            labels: ls,
+            index,
+            sig: Arc::new(sig),
+            preds,
+            a,
+            b,
+        }
+    }
+
+    /// The induced signature.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// All labels, in canonical order.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The predicate `H_ℓ`. Panics if `ℓ` is not in the space (that is a
+    /// construction bug: spaces must be built from all labels in play).
+    pub fn pred(&self, l: Label) -> PredId {
+        self.preds[*self
+            .index
+            .get(&l)
+            .unwrap_or_else(|| panic!("label {l} not in this LabelSpace"))]
+    }
+
+    /// Is the label present?
+    pub fn contains(&self, l: Label) -> bool {
+        self.index.contains_key(&l)
+    }
+
+    /// The label of a predicate of this space.
+    pub fn label_of(&self, p: PredId) -> Label {
+        self.labels[self
+            .preds
+            .iter()
+            .position(|&q| q == p)
+            .expect("pred of space")]
+    }
+
+    /// The constant `a`.
+    pub fn a(&self) -> ConstId {
+        self.a
+    }
+
+    /// The constant `b`.
+    pub fn b(&self) -> ConstId {
+        self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_label_always_present() {
+        let sp = LabelSpace::new([Label::Alpha]);
+        assert!(sp.contains(Label::Empty));
+        assert!(sp.contains(Label::Alpha));
+        assert!(!sp.contains(Label::Beta0));
+        assert_eq!(sp.labels().len(), 2);
+    }
+
+    #[test]
+    fn canonical_order_makes_spaces_interchangeable() {
+        let sp1 = LabelSpace::new([Label::Beta0, Label::Alpha]);
+        let sp2 = LabelSpace::new([Label::Alpha, Label::Beta0, Label::Alpha]);
+        assert_eq!(sp1.labels(), sp2.labels());
+        assert_eq!(sp1.pred(Label::Alpha), sp2.pred(Label::Alpha));
+    }
+
+    #[test]
+    fn label_pred_round_trip() {
+        let sp = LabelSpace::new(Label::all_grid_labels());
+        for &l in sp.labels() {
+            assert_eq!(sp.label_of(sp.pred(l)), l);
+        }
+        assert_eq!(sp.labels().len(), 33); // 32 grid + ∅
+    }
+
+    #[test]
+    fn constants_a_b_exist() {
+        let sp = LabelSpace::new([]);
+        assert_eq!(sp.signature().const_name(sp.a()), "a");
+        assert_eq!(sp.signature().const_name(sp.b()), "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in this LabelSpace")]
+    fn missing_label_panics() {
+        let sp = LabelSpace::new([Label::Alpha]);
+        let _ = sp.pred(Label::Beta1);
+    }
+}

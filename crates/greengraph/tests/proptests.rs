@@ -1,0 +1,108 @@
+//! Property-based tests for green graphs, parity glasses and L2 rules.
+
+use cqfd_chase::ChaseBudget;
+use cqfd_greengraph::pg::words_of;
+use cqfd_greengraph::{GreenGraph, L2Rule, L2System, Label, LabelSpace, ParityGlasses};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn labels() -> Vec<Label> {
+    vec![
+        Label::Alpha,
+        Label::Beta0,
+        Label::Beta1,
+        Label::Eta0,
+        Label::Eta1,
+    ]
+}
+
+fn label_of(i: u8) -> Label {
+    labels()[(i as usize) % 5]
+}
+
+fn random_graph(edges: &[(u8, u32, u32)], n: u32) -> GreenGraph {
+    let space = Arc::new(LabelSpace::new(labels()));
+    let mut g = GreenGraph::di(space);
+    while g.node_count() < n {
+        g.fresh_node();
+    }
+    for &(l, x, y) in edges {
+        g.add_edge(label_of(l), cqfd_core::Node(x % n), cqfd_core::Node(y % n));
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every word the enumerator returns satisfies the path-word predicate,
+    /// and the enumerated set is prefix-free.
+    #[test]
+    fn words_are_sound_and_prefix_free(
+        edges in prop::collection::vec((0u8..5, 0u32..5, 0u32..5), 1..12),
+    ) {
+        let g = random_graph(&edges, 5);
+        let pg = ParityGlasses::new(&g);
+        let ws = pg.words_joint(g.a(), &[g.a(), g.b()], 6, 300);
+        for w in &ws {
+            prop_assert!(
+                pg.is_path_word(g.a(), g.a(), w) || pg.is_path_word(g.a(), g.b(), w),
+                "enumerated word must verify"
+            );
+            // prefix-freedom within the set
+            for v in &ws {
+                if v.len() < w.len() {
+                    prop_assert!(&w[..v.len()] != v.as_slice(), "prefix in the set");
+                }
+            }
+        }
+    }
+
+    /// Parity glasses drop exactly the ∅ edges and preserve edge counts
+    /// otherwise.
+    #[test]
+    fn pg_preserves_non_empty_edges(
+        edges in prop::collection::vec((0u8..5, 0u32..4, 0u32..4), 0..10),
+    ) {
+        let g = random_graph(&edges, 4);
+        let pg = ParityGlasses::new(&g);
+        let non_empty = g.edges().filter(|&(l, _, _)| l != Label::Empty).count();
+        let transformed: usize = g
+            .structure()
+            .nodes()
+            .map(|n| pg.successors(n).len())
+            .sum();
+        prop_assert_eq!(non_empty, transformed);
+    }
+
+    /// If the chase of a random single rule reaches a fixpoint, the result
+    /// is a model, and the input graph is a substructure of it.
+    #[test]
+    fn chase_fixpoints_are_models(
+        edges in prop::collection::vec((0u8..5, 0u32..4, 0u32..4), 0..6),
+        rule_pick in (0u8..5, 0u8..5, 0u8..5, 0u8..5),
+        antenna in any::<bool>(),
+    ) {
+        let (a, b, c, d) = rule_pick;
+        let rule = if antenna {
+            L2Rule::antenna(label_of(a), label_of(b), label_of(c), label_of(d))
+        } else {
+            L2Rule::tail(label_of(a), label_of(b), label_of(c), label_of(d))
+        };
+        let sys = L2System::new(vec![rule]);
+        let g = random_graph(&edges, 4);
+        let budget = ChaseBudget { max_stages: 12, max_atoms: 4000, max_nodes: 4000 };
+        let (out, run) = sys.chase(&g, &budget);
+        if run.reached_fixpoint() {
+            prop_assert!(sys.is_model(&out), "fixpoint must be a model of {rule}");
+            prop_assert!(g.structure().is_substructure_of(out.structure()));
+        }
+    }
+
+    /// `words_of` on DI alone is empty (a single ∅ edge has no words).
+    #[test]
+    fn di_has_no_words(_x in 0u8..2) {
+        let g = GreenGraph::di(Arc::new(LabelSpace::new(labels())));
+        prop_assert!(words_of(&g, 8, 100).is_empty());
+    }
+}

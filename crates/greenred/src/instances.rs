@@ -1,0 +1,181 @@
+//! A workload generator for determinacy instances.
+//!
+//! Produces families of `(views, Q0)` instances with known ground truth,
+//! used by the test suite and the oracle benchmarks:
+//!
+//! * **determined by construction** — `Q0` is a composition of views, so a
+//!   CQ rewriting exists and the oracle must certify;
+//! * **undetermined by construction** — the views lose a position of `Q0`
+//!   (projection), so a small finite counter-example exists;
+//! * **random path instances** — random path views over a random-length
+//!   path query, ground truth decided by divisibility (a `k`-path query is
+//!   CQ-rewritable over an `m`-path view iff `m | k`; for `m ∤ k` the
+//!   instance is not determined at all, since an `m`-cycle and an
+//!   `m·⌈k/m⌉`-cycle… in short: paths compose only along multiples).
+
+use cqfd_core::{Cq, Signature};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated instance with its ground truth, when known.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable name.
+    pub name: String,
+    /// The base signature.
+    pub sig: Signature,
+    /// The view queries.
+    pub views: Vec<Cq>,
+    /// The target query.
+    pub q0: Cq,
+    /// Ground truth for (unrestricted) determinacy, if known.
+    pub determined: Option<bool>,
+}
+
+fn sig_r() -> Signature {
+    let mut s = Signature::new();
+    s.add_predicate("R", 2);
+    s
+}
+
+/// The `m`-fold composition path query `Q(x0, xm) = R(x0,x1) ∧ … `.
+pub fn path_query(sig: &Signature, name: &str, m: usize) -> Cq {
+    assert!(m >= 1);
+    let mut text = format!("{name}(v0,v{m}) :- ");
+    for i in 0..m {
+        if i > 0 {
+            text.push_str(", ");
+        }
+        text.push_str(&format!("R(v{i},v{})", i + 1));
+    }
+    Cq::parse(sig, &text).unwrap()
+}
+
+/// A determined instance: the view is the `m`-path, the query the
+/// `m·k`-path (rewritable as the `k`-fold composition of the view).
+pub fn composed_path_instance(m: usize, k: usize) -> Instance {
+    let sig = sig_r();
+    let views = vec![path_query(&sig, "V", m)];
+    let q0 = path_query(&sig, "Q0", m * k);
+    Instance {
+        name: format!("path[{m}]^{k}"),
+        sig,
+        views,
+        q0,
+        determined: Some(true),
+    }
+}
+
+/// An undetermined instance: an `m`-path view against a `k`-path query
+/// with `m ∤ k` and `m > 1` — the view cannot tile the query.
+///
+/// (Ground truth for *unrestricted* determinacy: paths over view
+/// compositions only reach multiples of `m`; the \[P11\] decidability result
+/// for path queries backs this family.)
+pub fn mismatched_path_instance(m: usize, k: usize) -> Instance {
+    assert!(m > 1 && !k.is_multiple_of(m));
+    let sig = sig_r();
+    let views = vec![path_query(&sig, "V", m)];
+    let q0 = path_query(&sig, "Q0", k);
+    Instance {
+        name: format!("path[{m}] vs path[{k}]"),
+        sig,
+        views,
+        q0,
+        determined: Some(false),
+    }
+}
+
+/// A projection instance (never determined): the view drops `Q0`'s last
+/// variable.
+pub fn projection_instance() -> Instance {
+    let sig = sig_r();
+    let views = vec![Cq::parse(&sig, "V(x) :- R(x,y)").unwrap()];
+    let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+    Instance {
+        name: "projection".into(),
+        sig,
+        views,
+        q0,
+        determined: Some(false),
+    }
+}
+
+/// A random batch mixing the families, seeded for reproducibility.
+pub fn random_batch(seed: u64, count: usize) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let m = rng.gen_range(1..=3usize);
+        let k = rng.gen_range(1..=3usize);
+        let inst = match rng.gen_range(0..3) {
+            0 => composed_path_instance(m, k),
+            1 => {
+                let m = m.max(2);
+                let mut k2 = k;
+                while k2 % m == 0 {
+                    k2 += 1;
+                }
+                mismatched_path_instance(m, k2)
+            }
+            _ => projection_instance(),
+        };
+        out.push(inst);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DeterminacyOracle;
+    use crate::rewriting::cq_rewriting;
+    use std::sync::Arc;
+
+    #[test]
+    fn composed_paths_are_certified_and_rewritable() {
+        for (m, k) in [(1, 2), (2, 2), (2, 3), (3, 2)] {
+            let inst = composed_path_instance(m, k);
+            let oracle = DeterminacyOracle::new(inst.sig.clone());
+            let verdict = oracle.try_certify(&inst.views, &inst.q0, 48).unwrap();
+            assert!(verdict.is_determined(), "{}", inst.name);
+            let sig = Arc::new(inst.sig.clone());
+            let rw = cq_rewriting(&sig, &inst.views, &inst.q0).expect("rewriting");
+            assert_eq!(rw.query.body.len(), k, "{}: k view atoms", inst.name);
+        }
+    }
+
+    #[test]
+    fn mismatched_paths_are_not_rewritable() {
+        for (m, k) in [(2, 3), (2, 5), (3, 4), (3, 2)] {
+            let inst = mismatched_path_instance(m, k);
+            let sig = Arc::new(inst.sig.clone());
+            assert!(
+                cq_rewriting(&sig, &inst.views, &inst.q0).is_none(),
+                "{}",
+                inst.name
+            );
+            // And the oracle never (wrongly) certifies within a budget.
+            let oracle = DeterminacyOracle::new(inst.sig.clone());
+            let verdict = oracle.try_certify(&inst.views, &inst.q0, 10).unwrap();
+            assert!(!verdict.is_determined(), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn random_batches_are_reproducible_and_consistent() {
+        let b1 = random_batch(42, 12);
+        let b2 = random_batch(42, 12);
+        assert_eq!(b1.len(), b2.len());
+        for (i1, i2) in b1.iter().zip(&b2) {
+            assert_eq!(i1.name, i2.name);
+        }
+        for inst in &b1 {
+            let oracle = DeterminacyOracle::new(inst.sig.clone());
+            let verdict = oracle.try_certify(&inst.views, &inst.q0, 48).unwrap();
+            if let Some(truth) = inst.determined {
+                assert_eq!(verdict.is_determined(), truth, "{}", inst.name);
+            }
+        }
+    }
+}

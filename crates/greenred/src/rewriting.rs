@@ -1,0 +1,290 @@
+//! Conjunctive-query rewriting over views — the classical counterpoint to
+//! determinacy.
+//!
+//! `Q` *determines* `Q0` when the views fix the answer in principle;
+//! a **CQ rewriting** is the strongest possible certificate: a conjunctive
+//! query `R` over the view relations with `R(Q(D)) = Q0(D)` for all `D`.
+//! A CQ rewriting implies (finite and unrestricted) determinacy, but not
+//! conversely — and Theorem 2 of the paper shows that finite determinacy
+//! does not even imply an *FO* rewriting.
+//!
+//! The decision procedure here is the textbook candidate-rewriting test
+//! (Levy–Mendelzon–Sagiv–Srivastava): freeze `Q0`'s canonical structure,
+//! view it through `Q`, take *all* resulting view facts as the candidate
+//! body, and check that the candidate's expansion is equivalent to `Q0`.
+//! `Q0` has a CQ rewriting iff the candidate works.
+
+use cqfd_core::{Atom, Cq, Node, PredId, Signature, Term, Var};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A rewriting of `Q0` in terms of the views: a CQ over the view
+/// signature (one predicate per view, arity = the view's arity).
+#[derive(Debug, Clone)]
+pub struct Rewriting {
+    /// The view signature.
+    pub view_signature: Arc<Signature>,
+    /// The rewriting query (over `view_signature`).
+    pub query: Cq,
+}
+
+/// Decides whether `q0` has a conjunctive rewriting over `views` (all CQs
+/// over `sig`), returning one if so.
+pub fn cq_rewriting(sig: &Arc<Signature>, views: &[Cq], q0: &Cq) -> Option<Rewriting> {
+    // 1. Freeze Q0.
+    let (canon, var2node) = q0.canonical_structure(Arc::clone(sig));
+    let frees: Vec<Node> = q0.head_vars.iter().map(|v| var2node[v]).collect();
+
+    // 2. The view image of the frozen database.
+    let mut view_sig = Signature::new();
+    let preds: Vec<PredId> = views
+        .iter()
+        .map(|v| view_sig.add_predicate(&v.name, v.arity()))
+        .collect();
+    let view_sig = Arc::new(view_sig);
+    let mut body: Vec<Atom<Term>> = Vec::new();
+    let node_var = |n: Node| Var(n.0);
+    for (v, &p) in views.iter().zip(&preds) {
+        for tuple in v.eval(&canon) {
+            body.push(Atom::new(
+                p,
+                tuple.iter().map(|&n| Term::Var(node_var(n))).collect(),
+            ));
+        }
+    }
+
+    // 3. Safety: every free position of Q0 must appear in the candidate.
+    let head_vars: Vec<Var> = frees.iter().map(|&n| node_var(n)).collect();
+    for v in &head_vars {
+        if !body.iter().any(|a| a.vars().any(|w| w == *v)) {
+            return None;
+        }
+    }
+    let candidate = Cq::new_unchecked(format!("{}_rw", q0.name), head_vars, body, Vec::new());
+
+    // 4. The expansion of the candidate over Σ.
+    let expansion = expand(sig, views, &preds, &candidate);
+
+    // 5. Candidate works iff expansion ≡ Q0.
+    if !expansion.equivalent_to(q0, sig) {
+        return None;
+    }
+
+    // 6. Minimise: greedily drop candidate atoms while the expansion stays
+    // equivalent and the head stays safe (the full candidate usually
+    // contains redundant view facts — the whole view image of A[Q0]).
+    let minimised = minimise(sig, views, &preds, candidate, q0);
+    Some(Rewriting {
+        view_signature: view_sig,
+        query: minimised,
+    })
+}
+
+/// Greedy atom-removal minimisation of a working rewriting.
+fn minimise(sig: &Arc<Signature>, views: &[Cq], preds: &[PredId], mut q: Cq, q0: &Cq) -> Cq {
+    let mut i = 0;
+    while i < q.body.len() {
+        if q.body.len() == 1 {
+            break;
+        }
+        let mut trial = q.clone();
+        trial.body.remove(i);
+        let safe = trial
+            .head_vars
+            .iter()
+            .all(|v| trial.body.iter().any(|a| a.vars().any(|w| w == *v)));
+        if safe && expand(sig, views, preds, &trial).equivalent_to(q0, sig) {
+            q = trial; // atom was redundant; retry the same index
+        } else {
+            i += 1;
+        }
+    }
+    q
+}
+
+/// Unfolds a query over the view signature into a query over `Σ`: every
+/// view atom is replaced by the view's body, head variables substituted,
+/// existential variables freshly renamed per occurrence.
+pub fn expand(sig: &Arc<Signature>, views: &[Cq], preds: &[PredId], q: &Cq) -> Cq {
+    let _ = sig;
+    let mut next_var: u32 = q
+        .body
+        .iter()
+        .flat_map(|a| a.vars())
+        .chain(q.head_vars.iter().copied())
+        .map(|v| v.0 + 1)
+        .max()
+        .unwrap_or(0);
+    let mut body: Vec<Atom<Term>> = Vec::new();
+    for atom in &q.body {
+        let idx = preds
+            .iter()
+            .position(|&p| p == atom.pred)
+            .expect("atom over the view signature");
+        let view = &views[idx];
+        // Substitution: the view's head vars ↦ the atom's argument terms;
+        // existentials ↦ fresh vars.
+        let mut subst: HashMap<Var, Term> = HashMap::new();
+        for (hv, t) in view.head_vars.iter().zip(&atom.args) {
+            subst.insert(*hv, *t);
+        }
+        for ev in view.existential_vars() {
+            subst.insert(ev, Term::Var(Var(next_var)));
+            next_var += 1;
+        }
+        for batom in &view.body {
+            body.push(Atom::new(
+                batom.pred,
+                batom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => subst[v],
+                        c => *c,
+                    })
+                    .collect(),
+            ));
+        }
+    }
+    Cq::new_unchecked(
+        format!("{}_expanded", q.name),
+        q.head_vars.clone(),
+        body,
+        Vec::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::DeterminacyOracle;
+
+    fn sig_rs() -> Arc<Signature> {
+        let mut s = Signature::new();
+        s.add_predicate("R", 2);
+        s.add_predicate("S", 2);
+        Arc::new(s)
+    }
+
+    #[test]
+    fn identity_rewrites() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let rw = cq_rewriting(&sig, &[v], &q0).expect("identity must rewrite");
+        assert_eq!(rw.query.arity(), 2);
+        assert!(!rw.query.body.is_empty());
+    }
+
+    #[test]
+    fn join_of_views_rewrites() {
+        let sig = sig_rs();
+        let v1 = Cq::parse(&sig, "V1(x,y) :- R(x,y)").unwrap();
+        let v2 = Cq::parse(&sig, "V2(x,y) :- S(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
+        assert!(cq_rewriting(&sig, &[v1, v2], &q0).is_some());
+    }
+
+    #[test]
+    fn four_path_from_two_path_views() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x,z) :- R(x,y), R(y,z)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(a,e) :- R(a,b), R(b,c), R(c,d), R(d,e)").unwrap();
+        let rw = cq_rewriting(&sig, &[v], &q0).expect("V ∘ V covers the 4-path");
+        // Minimisation leaves exactly V(x,y) ∧ V(y,z).
+        assert_eq!(rw.query.body.len(), 2);
+    }
+
+    #[test]
+    fn minimised_rewriting_of_identity_is_one_atom() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let rw = cq_rewriting(&sig, &[v], &q0).unwrap();
+        assert_eq!(rw.query.body.len(), 1);
+    }
+
+    #[test]
+    fn odd_path_does_not_rewrite_over_even_views() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x,z) :- R(x,y), R(y,z)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(a,d) :- R(a,b), R(b,c), R(c,d)").unwrap();
+        assert!(cq_rewriting(&sig, &[v], &q0).is_none());
+    }
+
+    #[test]
+    fn projection_does_not_rewrite() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        assert!(cq_rewriting(&sig, &[v], &q0).is_none());
+    }
+
+    #[test]
+    fn reversal_rewrites() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x,y) :- R(y,x)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        assert!(cq_rewriting(&sig, &[v], &q0).is_some());
+    }
+
+    #[test]
+    fn boolean_query_rewrites() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0() :- R(x,x)").unwrap();
+        assert!(cq_rewriting(&sig, &[v], &q0).is_some());
+    }
+
+    /// Soundness against the oracle: a CQ rewriting implies determinacy.
+    #[test]
+    fn rewriting_implies_determinacy() {
+        let sig = sig_rs();
+        let cases = [
+            (vec!["V(x,y) :- R(x,y)"], "Q0(x,y) :- R(x,y)"),
+            (
+                vec!["V1(x,y) :- R(x,y)", "V2(x,y) :- S(x,y)"],
+                "Q0(x,z) :- R(x,y), S(y,z)",
+            ),
+            (
+                vec!["V(x,z) :- R(x,y), R(y,z)"],
+                "Q0(a,e) :- R(a,b), R(b,c), R(c,d), R(d,e)",
+            ),
+        ];
+        for (views, q0s) in cases {
+            let vq: Vec<Cq> = views.iter().map(|v| Cq::parse(&sig, v).unwrap()).collect();
+            let q0 = Cq::parse(&sig, q0s).unwrap();
+            if cq_rewriting(&sig, &vq, &q0).is_some() {
+                let oracle = DeterminacyOracle::new(Signature::clone(&sig));
+                let verdict = oracle.try_certify(&vq, &q0, 32).unwrap();
+                assert!(
+                    verdict.is_determined(),
+                    "rewriting exists but oracle disagrees on {q0s}"
+                );
+            }
+        }
+    }
+
+    /// The expansion operator substitutes heads and freshens existentials.
+    #[test]
+    fn expansion_shape() {
+        let sig = sig_rs();
+        let v = Cq::parse(&sig, "V(x,z) :- R(x,y), R(y,z)").unwrap();
+        let mut view_sig = Signature::new();
+        let p = view_sig.add_predicate("V", 2);
+        let q = Cq::new_unchecked(
+            "q",
+            vec![Var(0), Var(2)],
+            vec![
+                Atom::new(p, vec![Term::Var(Var(0)), Term::Var(Var(1))]),
+                Atom::new(p, vec![Term::Var(Var(1)), Term::Var(Var(2))]),
+            ],
+            Vec::new(),
+        );
+        let exp = expand(&sig, &[v], &[p], &q);
+        assert_eq!(exp.body.len(), 4, "two view atoms × two body atoms");
+        // The two occurrences use distinct existential middles.
+        let q0 = Cq::parse(&sig, "Q0(a,e) :- R(a,b), R(b,c), R(c,d), R(d,e)").unwrap();
+        assert!(exp.equivalent_to(&q0, &sig));
+    }
+}

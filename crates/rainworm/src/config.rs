@@ -1,0 +1,267 @@
+//! Rainworm configurations and the Definition 19 validator.
+
+use crate::symbol::RwSymbol;
+use cqfd_greengraph::Parity;
+use std::fmt;
+
+/// A rainworm configuration: a word over `A + Q`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Config(pub Vec<RwSymbol>);
+
+/// Why a word fails to be an RM configuration (Definition 19).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Not of shape `A⁺ Q A*` (condition 1).
+    HeadShape,
+    /// Last symbol not in `{η11, η0, η1, ω0}` (condition 2).
+    BadLastSymbol,
+    /// Two adjacent symbols of equal parity (condition 3).
+    ParityClash(usize),
+    /// The `w1 w2` split of condition 4 does not exist.
+    BadSplit,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::HeadShape => write!(f, "not of shape A+ Q A* (condition 1)"),
+            ConfigError::BadLastSymbol => write!(f, "last symbol not η11/η0/η1/ω0 (condition 2)"),
+            ConfigError::ParityClash(i) => write!(f, "parity clash at position {i} (condition 3)"),
+            ConfigError::BadSplit => write!(f, "no valid w1·w2 split (condition 4)"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// The initial configuration `α η11`.
+    pub fn initial() -> Config {
+        Config(vec![RwSymbol::Alpha, RwSymbol::Eta11])
+    }
+
+    /// The word.
+    pub fn word(&self) -> &[RwSymbol] {
+        &self.0
+    }
+
+    /// Word length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the word empty? (A valid configuration never is.)
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Position of the head symbol (the unique element of `Q`), if the
+    /// word has exactly one.
+    pub fn head_position(&self) -> Option<usize> {
+        let mut pos = None;
+        for (i, s) in self.0.iter().enumerate() {
+            if s.is_state() {
+                if pos.is_some() {
+                    return None;
+                }
+                pos = Some(i);
+            }
+        }
+        pos
+    }
+
+    /// Validates all four conditions of Definition 19.
+    ///
+    /// Condition 4 is implemented with the one reading that admits the
+    /// initial configuration: either `w = α η11`, or `w = w1 w2` with
+    /// `w1 ∈ α(β1β0)*` or `α(β1β0)*β1`, `w2` beginning with `γ0`, `γ1` or a
+    /// state from `Qγ0 ∪ Qγ1`, and none of `α, β0, β1` occurring in `w2`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let w = &self.0;
+        // (1) A+ Q A*
+        let head = self.head_position().ok_or(ConfigError::HeadShape)?;
+        if head == 0 {
+            return Err(ConfigError::HeadShape);
+        }
+        // (2) last symbol
+        match w.last() {
+            Some(RwSymbol::Eta11 | RwSymbol::Eta0 | RwSymbol::Eta1 | RwSymbol::Omega0) => {}
+            _ => return Err(ConfigError::BadLastSymbol),
+        }
+        // (3) alternation
+        for (i, pair) in w.windows(2).enumerate() {
+            if pair[0].parity() == pair[1].parity() {
+                return Err(ConfigError::ParityClash(i));
+            }
+        }
+        // (4) the slime/worm split
+        if w.as_slice() == [RwSymbol::Alpha, RwSymbol::Eta11] {
+            return Ok(());
+        }
+        self.split().map(|_| ()).ok_or(ConfigError::BadSplit)
+    }
+
+    /// The `(w1, w2)` split of condition 4: `w1` is the maximal prefix in
+    /// `α(β1β0)* (β1)?`; `w2` is the rest, which must start with `γ0 | γ1 |
+    /// Qγ0 | Qγ1` and contain no `α`, `β0`, `β1`. Returns the split point.
+    pub fn split(&self) -> Option<usize> {
+        let w = &self.0;
+        if w.first() != Some(&RwSymbol::Alpha) {
+            return None;
+        }
+        // scan the αβ prefix
+        let mut i = 1;
+        loop {
+            let expect = if i % 2 == 1 {
+                RwSymbol::Beta1
+            } else {
+                RwSymbol::Beta0
+            };
+            if i < w.len() && w[i] == expect {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        // w2 = w[i..]
+        let first = w.get(i)?;
+        let starts_ok = matches!(
+            first,
+            RwSymbol::Gamma0
+                | RwSymbol::Gamma1
+                | RwSymbol::StateGamma0(_)
+                | RwSymbol::StateGamma1(_)
+        );
+        if !starts_ok {
+            return None;
+        }
+        let clean = w[i..]
+            .iter()
+            .all(|s| !matches!(s, RwSymbol::Alpha | RwSymbol::Beta0 | RwSymbol::Beta1));
+        if clean {
+            Some(i)
+        } else {
+            None
+        }
+    }
+
+    /// The slime trail `w1` (the αβ prefix), as defined by [`Config::split`].
+    /// For `α η11` this is just `α`.
+    pub fn slime(&self) -> &[RwSymbol] {
+        if self.0.as_slice() == [RwSymbol::Alpha, RwSymbol::Eta11] {
+            return &self.0[..1];
+        }
+        match self.split() {
+            Some(i) => &self.0[..i],
+            None => &[],
+        }
+    }
+
+    /// The worm body `w2`.
+    pub fn worm(&self) -> &[RwSymbol] {
+        if self.0.as_slice() == [RwSymbol::Alpha, RwSymbol::Eta11] {
+            return &self.0[1..];
+        }
+        match self.split() {
+            Some(i) => &self.0[i..],
+            None => &[],
+        }
+    }
+
+    /// Parities alternate starting even (`α`)? — a cheaper invariant used
+    /// in property tests.
+    pub fn alternates(&self) -> bool {
+        self.0.first().map(|s| s.parity()) == Some(Parity::Even)
+            && self.0.windows(2).all(|p| p[0].parity() != p[1].parity())
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RwSymbol::*;
+
+    #[test]
+    fn initial_is_valid() {
+        let c = Config::initial();
+        c.validate().unwrap();
+        assert_eq!(c.slime(), &[Alpha]);
+        assert_eq!(c.worm(), &[Eta11]);
+    }
+
+    #[test]
+    fn early_creep_configs_are_valid() {
+        // α γ1 η0, α γ1 a0 η1, α γ1 a0 q̄1 ω0, α β1 g0 b0 ω0 …
+        for w in [
+            vec![Alpha, Gamma1, Eta0],
+            vec![Alpha, Gamma1, Tape0(0), Eta1],
+            vec![Alpha, Gamma1, Tape0(0), StateBar1(0), Omega0],
+            vec![Alpha, Beta1, StateGamma0(0), Tape1(0), Omega0],
+            vec![Alpha, Beta1, Gamma0, Tape1(0), Eta0],
+            vec![Alpha, Beta1, Beta0, Gamma1, Tape0(0), Eta1],
+        ] {
+            let c = Config(w.clone());
+            assert!(c.validate().is_ok(), "expected valid: {c}");
+        }
+    }
+
+    #[test]
+    fn rejects_two_heads() {
+        let c = Config(vec![Alpha, Eta11, Tape0(0), Eta1]);
+        assert_eq!(c.validate(), Err(ConfigError::HeadShape));
+    }
+
+    #[test]
+    fn rejects_leading_head() {
+        let c = Config(vec![Eta0, Tape1(0), Eta1]);
+        assert_eq!(c.validate(), Err(ConfigError::HeadShape));
+    }
+
+    #[test]
+    fn rejects_bad_last_symbol() {
+        let c = Config(vec![Alpha, Gamma1, Tape0(0), StateBar1(0), Tape0(1)]);
+        assert_eq!(c.validate(), Err(ConfigError::BadLastSymbol));
+    }
+
+    #[test]
+    fn rejects_parity_clash() {
+        let c = Config(vec![Alpha, Beta0, Gamma1, Eta0]);
+        assert!(matches!(c.validate(), Err(ConfigError::ParityClash(_))));
+    }
+
+    #[test]
+    fn rejects_beta_inside_worm() {
+        // β1 after γ — condition 4.
+        let c = Config(vec![Alpha, Gamma1, Beta0, Gamma1, Eta0]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn split_points() {
+        let c = Config(vec![Alpha, Beta1, Beta0, Gamma1, Tape0(0), Eta1]);
+        assert_eq!(c.split(), Some(3));
+        assert_eq!(c.slime().len(), 3);
+        assert_eq!(c.worm().len(), 3);
+        // w1 ending in β1:
+        let c = Config(vec![Alpha, Beta1, StateGamma0(0), Tape1(0), Omega0]);
+        assert_eq!(c.split(), Some(2));
+    }
+
+    #[test]
+    fn display_roundtrips_symbols() {
+        let c = Config(vec![Alpha, Gamma1, Tape0(2), Eta1]);
+        assert_eq!(format!("{c}"), "α γ1 a2 η1");
+    }
+}

@@ -1,0 +1,446 @@
+//! The TM → rainworm compiler (the "textbook technique" behind Lemma 21).
+//!
+//! A rainworm sweeps its whole body left and then right once per cycle,
+//! eats its rearmost cell (♦6/♦6′) and grows two cells at the front
+//! (♦2, ♦8). The simulation therefore **shifts the simulated tape right by
+//! one cell per cycle** — the rightward sweep carries a one-cell buffer in
+//! its state, writing the previous cell's content into each cell it
+//! passes, so the eaten rear cell's content survives and a fresh blank
+//! appears at the front (the TM's growing tape).
+//!
+//! TM cells are rainworm tape symbols carrying `(symbol, head-marker)`
+//! pairs, in even (`A0`) and odd (`A1`) variants (every sweep pass flips a
+//! cell's variant, keeping Definition 19's alternation). TM transitions are
+//! applied when a sweep passes the marked cell:
+//!
+//! * **L-moves** on the leftward sweep (the deposit target — the cell to
+//!   the left — is the next cell the sweep rewrites);
+//! * **R-moves** on the rightward sweep (deposit target = next cell
+//!   written), with one exception: an R-move whose source is the frontmost
+//!   cell is postponed a cycle, because its target would be the fixed ♦2
+//!   blank (which cannot carry a mark);
+//! * an **undefined** TM transition leaves the corresponding rainworm
+//!   window without an instruction — the worm halts, which is the point:
+//!   the worm creeps forever iff the TM runs forever.
+//!
+//! The head is planted once: the leftward-sweep states track whether any
+//! marker was seen (`seen`); at the γ boundary of the very first cycle
+//! (`seen == false`) the eaten-cell buffer is marked with the TM's start
+//! state, placing the head on logical cell 0.
+//!
+//! The machine must never move left from cell 0
+//! ([`crate::tm::TmOutcome::FellOffLeft`]); the compiler leaves ♦5/♦5′
+//! undefined for a pending deposit, so such a TM makes the worm halt
+//! spuriously — callers should validate inputs with a direct TM run.
+//!
+//! One decoding subtlety: when the TM halts with its head on logical cell
+//! 0 (including a TM with no transition at all from the start
+//! configuration), the worm halts during a *rightward* sweep with that
+//! cell's content — and the head marker — parked in the sweep-state
+//! buffer. [`decode_tape`] decodes the buffer in place, so the decoded
+//! tape, head position and state always match the TM's exactly (verified
+//! by property tests over random machines).
+
+use crate::machine::{Delta, Instr};
+use crate::symbol::RwSymbol;
+use crate::tm::{Move, TuringMachine};
+
+/// A simulated tape cell: TM symbol plus optional head marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellData {
+    /// TM tape symbol.
+    pub sym: u8,
+    /// TM state, if the head sits on this cell.
+    pub mark: Option<u16>,
+}
+
+/// Dense encodings of cells and sweep states into class ids.
+struct Enc {
+    states: u16,
+}
+
+impl Enc {
+    fn mark_code(&self, m: Option<u16>) -> u16 {
+        m.map_or(0, |s| s + 1)
+    }
+
+    fn cell_id(&self, c: CellData) -> u16 {
+        c.sym as u16 * (self.states + 1) + self.mark_code(c.mark)
+    }
+
+    fn lstate_id(&self, seen: bool, pending: Option<u16>) -> u16 {
+        (seen as u16) * (self.states + 1) + self.mark_code(pending)
+    }
+
+    fn gstate_id(&self, seen: bool) -> u16 {
+        seen as u16
+    }
+
+    fn rstate_id(&self, buffer: CellData, pend: Option<u16>) -> u16 {
+        self.cell_id(buffer) * (self.states + 1) + self.mark_code(pend)
+    }
+}
+
+/// Result of pushing one cell through a sweep window: the value to write
+/// and the next pending deposit. `None` = no instruction (worm halts).
+fn left_sweep(
+    tm: &TuringMachine,
+    cell: CellData,
+    seen: bool,
+    pending: Option<u16>,
+) -> Option<(CellData, bool, Option<u16>)> {
+    if let Some(s2) = pending {
+        if cell.mark.is_some() {
+            return None; // two heads — unreachable in valid runs
+        }
+        return Some((
+            CellData {
+                sym: cell.sym,
+                mark: Some(s2),
+            },
+            true,
+            None,
+        ));
+    }
+    match cell.mark {
+        Some(s) => match tm.transitions.get(&(s, cell.sym)) {
+            Some(&(s2, g2, Move::L)) => Some((
+                CellData {
+                    sym: g2,
+                    mark: None,
+                },
+                true,
+                Some(s2),
+            )),
+            Some(_) => Some((cell, true, None)), // R-move: rightward sweep's job
+            None => None,                        // TM halted
+        },
+        None => Some((cell, seen, None)),
+    }
+}
+
+/// The rightward sweep's write logic: what to write for the buffered cell
+/// and the next pending deposit. `at_front` marks the ♦8 write (R-moves are
+/// postponed there). `None` = no instruction.
+fn right_write(
+    tm: &TuringMachine,
+    buf: CellData,
+    pend: Option<u16>,
+    at_front: bool,
+) -> Option<(CellData, Option<u16>)> {
+    if let Some(s2) = pend {
+        if buf.mark.is_some() {
+            return None;
+        }
+        return Some((
+            CellData {
+                sym: buf.sym,
+                mark: Some(s2),
+            },
+            None,
+        ));
+    }
+    match buf.mark {
+        Some(s) => match tm.transitions.get(&(s, buf.sym)) {
+            Some(&(s2, g2, Move::R)) if !at_front => Some((
+                CellData {
+                    sym: g2,
+                    mark: None,
+                },
+                Some(s2),
+            )),
+            Some(_) => Some((buf, None)), // L-move or postponed front R-move
+            None => None,                 // TM halted (unreachable: left sweep halts first)
+        },
+        None => Some((buf, None)),
+    }
+}
+
+/// Compiles a Turing machine into a rainworm instruction set `∆` such that
+/// the worm creeps forever iff the TM (started on a blank tape) runs
+/// forever.
+pub fn tm_to_rainworm(tm: &TuringMachine) -> Delta {
+    let enc = Enc { states: tm.states };
+    let mut instrs: Vec<Instr> = vec![Instr::d1()];
+
+    // All cell values and sweep-state payloads.
+    let mut cells: Vec<CellData> = Vec::new();
+    for sym in 0..tm.symbols {
+        cells.push(CellData { sym, mark: None });
+        for s in 0..tm.states {
+            cells.push(CellData { sym, mark: Some(s) });
+        }
+    }
+    let mut marks: Vec<Option<u16>> = vec![None];
+    marks.extend((0..tm.states).map(Some));
+
+    let blank = CellData { sym: 0, mark: None };
+
+    // ♦2 / ♦3: grow a fresh blank, start the leftward sweep unseen.
+    instrs.push(Instr::d2(RwSymbol::Tape0(enc.cell_id(blank))).unwrap());
+    instrs.push(Instr::d3(RwSymbol::StateBar1(enc.lstate_id(false, None))).unwrap());
+
+    // ♦4 / ♦4′: the leftward sweep.
+    for &cell in &cells {
+        for &seen in &[false, true] {
+            for &pending in &marks {
+                if let Some((out, seen2, pend2)) = left_sweep(tm, cell, seen, pending) {
+                    // ♦4: odd cell, even state → odd state, even cell.
+                    instrs.push(
+                        Instr::d4(
+                            RwSymbol::Tape1(enc.cell_id(cell)),
+                            RwSymbol::StateBar0(enc.lstate_id(seen, pending)),
+                            RwSymbol::StateBar1(enc.lstate_id(seen2, pend2)),
+                            RwSymbol::Tape0(enc.cell_id(out)),
+                        )
+                        .unwrap(),
+                    );
+                    // ♦4′: even cell, odd state → even state, odd cell.
+                    instrs.push(
+                        Instr::d4p(
+                            RwSymbol::Tape0(enc.cell_id(cell)),
+                            RwSymbol::StateBar1(enc.lstate_id(seen, pending)),
+                            RwSymbol::StateBar0(enc.lstate_id(seen2, pend2)),
+                            RwSymbol::Tape1(enc.cell_id(out)),
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+        }
+    }
+
+    // ♦5 / ♦5′: only without a pending deposit (a deposit here would mean
+    // the TM fell off the left end — the worm halts instead).
+    for &seen in &[false, true] {
+        instrs.push(
+            Instr::d5(
+                RwSymbol::StateBar0(enc.lstate_id(seen, None)),
+                RwSymbol::StateGamma0(enc.gstate_id(seen)),
+            )
+            .unwrap(),
+        );
+        instrs.push(
+            Instr::d5p(
+                RwSymbol::StateBar1(enc.lstate_id(seen, None)),
+                RwSymbol::StateGamma1(enc.gstate_id(seen)),
+            )
+            .unwrap(),
+        );
+    }
+
+    // ♦6 / ♦6′: eat the rear cell into the buffer; plant the head if no
+    // marker was seen (first cycle).
+    for &cell in &cells {
+        for &seen in &[false, true] {
+            let buffer = if seen {
+                cell
+            } else {
+                if cell.mark.is_some() {
+                    continue; // unreachable: unseen marker
+                }
+                CellData {
+                    sym: cell.sym,
+                    mark: Some(0), // TM start state
+                }
+            };
+            instrs.push(
+                Instr::d6(
+                    RwSymbol::StateGamma1(enc.gstate_id(seen)),
+                    RwSymbol::Tape0(enc.cell_id(cell)),
+                    RwSymbol::State0(enc.rstate_id(buffer, None)),
+                )
+                .unwrap(),
+            );
+            instrs.push(
+                Instr::d6p(
+                    RwSymbol::StateGamma0(enc.gstate_id(seen)),
+                    RwSymbol::Tape1(enc.cell_id(cell)),
+                    RwSymbol::State1(enc.rstate_id(buffer, None)),
+                )
+                .unwrap(),
+            );
+        }
+    }
+
+    // ♦7 / ♦7′: the rightward (shifting) sweep.
+    for &buf in &cells {
+        for &pend in &marks {
+            for &next in &cells {
+                if let Some((written, pend2)) = right_write(tm, buf, pend, false) {
+                    instrs.push(
+                        Instr::d7(
+                            RwSymbol::State1(enc.rstate_id(buf, pend)),
+                            RwSymbol::Tape0(enc.cell_id(next)),
+                            RwSymbol::Tape1(enc.cell_id(written)),
+                            RwSymbol::State0(enc.rstate_id(next, pend2)),
+                        )
+                        .unwrap(),
+                    );
+                    instrs.push(
+                        Instr::d7p(
+                            RwSymbol::State0(enc.rstate_id(buf, pend)),
+                            RwSymbol::Tape1(enc.cell_id(next)),
+                            RwSymbol::Tape0(enc.cell_id(written)),
+                            RwSymbol::State1(enc.rstate_id(next, pend2)),
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+            // ♦8: flush the final buffer at the front. (A pending deposit
+            // here lands on the written cell itself — `right_write` already
+            // applied it; with `at_front` R-moves are postponed, so the
+            // returned pend is always None.)
+            if let Some((written, pend2)) = right_write(tm, buf, pend, true) {
+                debug_assert!(pend2.is_none());
+                instrs.push(
+                    Instr::d8(
+                        RwSymbol::State1(enc.rstate_id(buf, pend)),
+                        RwSymbol::Tape1(enc.cell_id(written)),
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+    }
+
+    // Deduplicate (the loops may regenerate identical ♦5 instructions).
+    let mut seen_lhs = std::collections::HashSet::new();
+    instrs.retain(|i| seen_lhs.insert(i.lhs().to_vec()));
+    Delta::new(instrs).expect("compiled ∆ is a partial function")
+}
+
+/// Decodes a rainworm configuration produced by a compiled worm back into
+/// the simulated TM tape: the body cells between the γ marker and the
+/// front, as `(symbol, mark)` pairs, rear-to-front.
+///
+/// A configuration halted mid-rightward-sweep carries one cell (and
+/// possibly the head marker and a pending deposit) inside the sweep
+/// state's buffer; the buffer is decoded in place — it logically sits
+/// exactly where the state symbol interrupts the cell sequence.
+pub fn decode_tape(c: &crate::config::Config, tm: &TuringMachine) -> Vec<CellData> {
+    let enc = Enc { states: tm.states };
+    let decode_cell = |id: u16| -> CellData {
+        let mark_code = id % (enc.states + 1);
+        let sym = (id / (enc.states + 1)) as u8;
+        CellData {
+            sym,
+            mark: if mark_code == 0 {
+                None
+            } else {
+                Some(mark_code - 1)
+            },
+        }
+    };
+    let mut out = Vec::new();
+    let mut pending_mark: Option<u16> = None;
+    for s in c.worm() {
+        let inherited = pending_mark.take();
+        let mut cell = match s {
+            RwSymbol::Tape0(i) | RwSymbol::Tape1(i) => decode_cell(*i),
+            RwSymbol::State0(i) | RwSymbol::State1(i) => {
+                // A rightward sweep state: its id packs (buffer, pend).
+                // The pend deposit targets the *next* cell in sequence.
+                let pend_code = i % (enc.states + 1);
+                if pend_code > 0 {
+                    pending_mark = Some(pend_code - 1);
+                }
+                decode_cell(i / (enc.states + 1))
+            }
+            _ => {
+                pending_mark = inherited;
+                continue;
+            }
+        };
+        if let Some(s2) = inherited {
+            debug_assert!(cell.mark.is_none());
+            cell.mark = Some(s2);
+        }
+        out.push(cell);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{creep, CreepOutcome};
+    use crate::tm::TmOutcome;
+
+    #[test]
+    fn halting_tm_gives_halting_worm() {
+        for k in [1u16, 2, 4] {
+            let tm = TuringMachine::right_walker(k);
+            assert!(matches!(tm.run(1000), TmOutcome::Halted { .. }));
+            let delta = tm_to_rainworm(&tm);
+            let out = creep(&delta, 200_000);
+            assert!(out.halted(), "worm for right_walker({k}) must halt");
+        }
+    }
+
+    #[test]
+    fn non_halting_tm_gives_creeping_worm() {
+        let tm = TuringMachine::forever_right();
+        let delta = tm_to_rainworm(&tm);
+        let out = creep(&delta, 20_000);
+        match out {
+            CreepOutcome::StillCreeping { config, .. } => {
+                assert!(config.slime().len() > 10, "slime must grow");
+            }
+            CreepOutcome::Halted {
+                steps,
+                final_config,
+            } => panic!("worm halted after {steps} at {final_config}"),
+        }
+    }
+
+    #[test]
+    fn zigzag_left_moves_are_simulated() {
+        let tm = TuringMachine::zigzag(2);
+        assert!(matches!(tm.run(1000), TmOutcome::Halted { .. }));
+        let delta = tm_to_rainworm(&tm);
+        let out = creep(&delta, 500_000);
+        assert!(out.halted(), "zigzag worm must halt");
+    }
+
+    /// The strong check: the worm's final tape content equals the TM's.
+    #[test]
+    fn final_tapes_agree() {
+        let tm = TuringMachine::right_walker(3);
+        let (tm_tape, tm_state, tm_head) = match tm.run(1000) {
+            TmOutcome::Halted {
+                tape, state, head, ..
+            } => (tape, state, head),
+            other => panic!("unexpected {other:?}"),
+        };
+        let delta = tm_to_rainworm(&tm);
+        let final_config = match creep(&delta, 500_000) {
+            CreepOutcome::Halted { final_config, .. } => final_config,
+            _ => panic!("must halt"),
+        };
+        let cells = decode_tape(&final_config, &tm);
+        // The decoded prefix must match the TM tape (rest are blanks).
+        for (i, cell) in cells.iter().enumerate() {
+            let expect = tm_tape.get(i).copied().unwrap_or(0);
+            assert_eq!(cell.sym, expect, "cell {i}");
+        }
+        // Exactly one marked cell carrying the TM's final state at its
+        // final head position.
+        let marked: Vec<(usize, u16)> = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.mark.map(|s| (i, s)))
+            .collect();
+        assert_eq!(marked.len(), 1);
+        assert_eq!(marked[0].1, tm_state);
+        assert_eq!(marked[0].0, tm_head);
+    }
+
+    #[test]
+    fn compiled_delta_is_reasonably_sized() {
+        let tm = TuringMachine::right_walker(2);
+        let delta = tm_to_rainworm(&tm);
+        assert!(delta.len() < 5000, "got {}", delta.len());
+    }
+}

@@ -1,0 +1,248 @@
+//! Concrete rainworm machines: a forever-creeper, a short halter, and a
+//! parametric counter worm.
+
+use crate::machine::{Delta, Instr};
+use crate::symbol::RwSymbol::{self, *};
+
+/// The minimal worm that creeps forever: one tape symbol per class
+/// (`A0 = {a0}`, `A1 = {b0}`), one state per class. Every configuration has
+/// a successor, so the slime trail `α(β1β0)*` grows without bound — the
+/// "η0 and η1 calling each other in an infinite loop" of §VIII.
+pub fn forever_worm() -> Delta {
+    let (a0, b1) = (Tape0(0), Tape1(0));
+    let (qb0, qb1) = (StateBar0(0), StateBar1(0));
+    let (g0, g1) = (StateGamma0(0), StateGamma1(0));
+    let (p0, p1) = (State0(0), State1(0));
+    Delta::new(vec![
+        Instr::d1(),
+        Instr::d2(a0).unwrap(),
+        Instr::d3(qb1).unwrap(),
+        Instr::d4(b1, qb0, qb1, a0).unwrap(),
+        Instr::d4p(a0, qb1, qb0, b1).unwrap(),
+        Instr::d5(qb0, g0).unwrap(),
+        Instr::d5p(qb1, g1).unwrap(),
+        Instr::d6(g1, a0, p0).unwrap(),
+        Instr::d6p(g0, b1, p1).unwrap(),
+        Instr::d7(p1, a0, b1, p0).unwrap(),
+        Instr::d7p(p0, b1, a0, p1).unwrap(),
+        Instr::d8(p1, b1).unwrap(),
+    ])
+    .expect("forever_worm is a partial function")
+}
+
+/// The forever worm with ♦8 removed: the first rightward sweep reaches `ω0`
+/// and finds no instruction — halts after a handful of steps. The smallest
+/// halting worm with a nonempty creep.
+pub fn halting_worm_short() -> Delta {
+    let mut instrs: Vec<Instr> = forever_worm().instrs().to_vec();
+    instrs.retain(|i| i.form() != crate::machine::Form::D8);
+    Delta::new(instrs).unwrap()
+}
+
+/// A parametric halting worm: tape symbols carry a counter `0..=m` that is
+/// incremented each time a cell is rewritten from `A0` to `A1` on the
+/// leftward sweep (♦4′); the increment is undefined at `m`, so the worm
+/// halts once some cell has been swept `m` times — after `Θ(m)` cycles and
+/// `Θ(m²)` rewriting steps. Used to scale halting time in benchmarks and
+/// in the §VIII.E counter-model experiments.
+pub fn counter_worm(m: u16) -> Delta {
+    assert!(m >= 1, "counter worm needs m ≥ 1");
+    let a = |i: u16| Tape0(i);
+    let b = |i: u16| Tape1(i);
+    let (qb0, qb1) = (StateBar0(0), StateBar1(0));
+    let (g0, g1) = (StateGamma0(0), StateGamma1(0));
+    let (p0, p1) = (State0(0), State1(0));
+    let mut instrs = vec![
+        Instr::d1(),
+        Instr::d2(a(0)).unwrap(),
+        Instr::d3(qb1).unwrap(),
+        Instr::d5(qb0, g0).unwrap(),
+        Instr::d5p(qb1, g1).unwrap(),
+        Instr::d8(p1, b(0)).unwrap(),
+    ];
+    for i in 0..=m {
+        // leftward sweep: A1 → A0 copies, A0 → A1 increments (halt at m)
+        instrs.push(Instr::d4(b(i), qb0, qb1, a(i)).unwrap());
+        if i < m {
+            instrs.push(Instr::d4p(a(i), qb1, qb0, b(i + 1)).unwrap());
+        }
+        // boundary: γ eats the first cell regardless of its counter
+        instrs.push(Instr::d6(g1, a(i), p0).unwrap());
+        instrs.push(Instr::d6p(g0, b(i), p1).unwrap());
+        // rightward sweep copies
+        instrs.push(Instr::d7(p1, a(i), b(i), p0).unwrap());
+        instrs.push(Instr::d7p(p0, b(i), a(i), p1).unwrap());
+    }
+    Delta::new(instrs).expect("counter_worm is a partial function")
+}
+
+/// Every symbol a family machine can ever write (useful for sizing label
+/// spaces): the union of [`Delta::symbols`] with nothing extra.
+pub fn alphabet_of(delta: &Delta) -> Vec<RwSymbol> {
+    delta.symbols().into_iter().collect()
+}
+
+/// A random well-formed rainworm, for fuzzing: random class sizes, random
+/// instruction choices per form. Every output is a valid `∆` (the
+/// constructors enforce the ♦-form side conditions, [`Delta::new`] the
+/// partial-function property), so Lemma 20 must hold on every run — the
+/// property tests creep these worms with full validation.
+///
+/// The worm may halt at any point (missing instructions are havoc by
+/// design) or creep forever; both are useful.
+pub fn random_worm(seed: u64) -> Delta {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_a = rng.gen_range(1..=3u16); // |A0| = |A1|
+    let n_q = rng.gen_range(1..=2u16); // states per class
+    let a = |i: u16| Tape0(i);
+    let b = |i: u16| Tape1(i);
+    let mut instrs = vec![Instr::d1()];
+    macro_rules! maybe {
+        ($p:expr, $i:expr) => {
+            if rng.gen_bool($p) {
+                instrs.push($i);
+            }
+        };
+    }
+    // ♦2 / ♦3: usually present, or the worm dies in its crib.
+    maybe!(0.9, Instr::d2(a(rng.gen_range(0..n_a))).unwrap());
+    maybe!(0.9, Instr::d3(StateBar1(rng.gen_range(0..n_q))).unwrap());
+    // Leftward sweep rules: one candidate per (cell, state) window.
+    for i in 0..n_a {
+        for q in 0..n_q {
+            maybe!(
+                0.8,
+                Instr::d4(
+                    b(i),
+                    StateBar0(q),
+                    StateBar1(rng.gen_range(0..n_q)),
+                    a(rng.gen_range(0..n_a)),
+                )
+                .unwrap()
+            );
+            maybe!(
+                0.8,
+                Instr::d4p(
+                    a(i),
+                    StateBar1(q),
+                    StateBar0(rng.gen_range(0..n_q)),
+                    b(rng.gen_range(0..n_a)),
+                )
+                .unwrap()
+            );
+        }
+    }
+    // Boundary rules.
+    for q in 0..n_q {
+        maybe!(
+            0.9,
+            Instr::d5(StateBar0(q), StateGamma0(rng.gen_range(0..n_q))).unwrap()
+        );
+        maybe!(
+            0.9,
+            Instr::d5p(StateBar1(q), StateGamma1(rng.gen_range(0..n_q))).unwrap()
+        );
+        for i in 0..n_a {
+            maybe!(
+                0.8,
+                Instr::d6(StateGamma1(q), a(i), State0(rng.gen_range(0..n_q))).unwrap()
+            );
+            maybe!(
+                0.8,
+                Instr::d6p(StateGamma0(q), b(i), State1(rng.gen_range(0..n_q))).unwrap()
+            );
+        }
+    }
+    // Rightward sweep + ♦8.
+    for q in 0..n_q {
+        for i in 0..n_a {
+            maybe!(
+                0.8,
+                Instr::d7(
+                    State1(q),
+                    a(i),
+                    b(rng.gen_range(0..n_a)),
+                    State0(rng.gen_range(0..n_q)),
+                )
+                .unwrap()
+            );
+            maybe!(
+                0.8,
+                Instr::d7p(
+                    State0(q),
+                    b(i),
+                    a(rng.gen_range(0..n_a)),
+                    State1(rng.gen_range(0..n_q)),
+                )
+                .unwrap()
+            );
+        }
+        maybe!(
+            0.85,
+            Instr::d8(State1(q), b(rng.gen_range(0..n_a))).unwrap()
+        );
+    }
+    Delta::new(instrs).expect("one candidate per window: a partial function")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{creep, CreepOutcome};
+
+    #[test]
+    fn forever_worm_is_deterministic_partial_function() {
+        let d = forever_worm();
+        assert_eq!(d.len(), 12);
+    }
+
+    #[test]
+    fn counter_worm_halts_with_growing_time() {
+        let mut last_steps = 0;
+        for m in 1..=4 {
+            let d = counter_worm(m);
+            match creep(&d, 100_000) {
+                CreepOutcome::Halted {
+                    steps,
+                    final_config,
+                } => {
+                    assert!(
+                        steps > last_steps,
+                        "k_M must grow with m (m={m}: {steps} ≤ {last_steps})"
+                    );
+                    final_config.validate().unwrap();
+                    last_steps = steps;
+                }
+                CreepOutcome::StillCreeping { config, .. } => {
+                    panic!("counter_worm({m}) did not halt; at {config}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_worm_slime_grows_with_m() {
+        let d2 = counter_worm(2);
+        let d4 = counter_worm(4);
+        let s2 = match creep(&d2, 100_000) {
+            CreepOutcome::Halted { final_config, .. } => final_config.slime().len(),
+            _ => panic!(),
+        };
+        let s4 = match creep(&d4, 100_000) {
+            CreepOutcome::Halted { final_config, .. } => final_config.slime().len(),
+            _ => panic!(),
+        };
+        assert!(s4 > s2, "longer-halting worm leaves a longer slime trail");
+    }
+
+    #[test]
+    fn short_worm_halts_quickly() {
+        let d = halting_worm_short();
+        match creep(&d, 1000) {
+            CreepOutcome::Halted { steps, .. } => assert!(steps < 20),
+            _ => panic!("short worm must halt"),
+        }
+    }
+}

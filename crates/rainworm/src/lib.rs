@@ -1,0 +1,65 @@
+//! # cqfd-rainworm — rainworm machines (paper §VIII)
+//!
+//! The **rainworm machine** (RM) is the paper's undecidability substrate: a
+//! variant of an oblivious Turing machine whose head sits *between* cells
+//! and whose configurations are words over `A + Q` rewritten by a Thue
+//! semi-system `∆` that is a partial function (deterministic). A rainworm
+//! grows by one cell per full sweep cycle and leaves behind an ever-longer
+//! αβ "slime trail"; whether a given `∆` creeps forever is undecidable
+//! (Lemma 21).
+//!
+//! This crate implements:
+//!
+//! * [`symbol`] — the symbol classes
+//!   `A = A0 ∪ A1 ∪ {α, β0, β1, γ0, γ1, ω0}` and
+//!   `Q = Q0 ∪ Q̄0 ∪ Q1 ∪ Q̄1 ∪ Qγ0 ∪ Qγ1 ∪ {η11, η0, η1}` with the
+//!   even/odd parities of Definition 19;
+//! * [`machine`] — the instruction forms ♦1–♦8 with validated constructors
+//!   and the partial-function set `∆` ([`Delta`]);
+//! * [`config`] — configurations and the full Definition 19 validator;
+//! * [`run`] — the deterministic creep (`⇒`, `⇒ᵏ`, `⇒*`), backward step
+//!   enumeration (Lemma 22(3)), halting runs `αη11 ⇒^{k_M} u_M`;
+//! * [`families`] — concrete worms: one that creeps forever, a trivially
+//!   halting one, and a parametric counter worm halting after `Θ(m)`
+//!   cycles;
+//! * [`tm`] + [`encode`] — single-tape Turing machines and the "textbook"
+//!   compiler TM → RM behind Lemma 21, tested against direct simulation;
+//! * [`to_rules`] — the translation `∆ ↦ T_M∆` into green-graph rewriting
+//!   rules (§VIII.C);
+//! * [`countermodel`] — the §VIII.E construction: for a *halting* worm, a
+//!   finite green graph `M̂ |= T_M∆ ∪ T□` containing `DI` with no 1-2
+//!   pattern — the finite counter-model behind the "⇐" direction of
+//!   Lemma 24.
+//!
+//! ```
+//! use cqfd_rainworm::families::counter_worm;
+//! use cqfd_rainworm::run::{creep, CreepOutcome};
+//!
+//! match creep(&counter_worm(2), 100_000) {
+//!     CreepOutcome::Halted { steps, final_config } => {
+//!         assert_eq!(steps, 43);                      // k_M
+//!         assert!(final_config.validate().is_ok());   // Definition 19
+//!         assert_eq!(final_config.slime().len(), 5);  // α(β1β0)²
+//!     }
+//!     _ => unreachable!("counter worms halt"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod countermodel;
+pub mod encode;
+pub mod families;
+pub mod machine;
+pub mod parse;
+pub mod run;
+pub mod symbol;
+pub mod tm;
+pub mod to_rules;
+
+pub use config::Config;
+pub use machine::{Delta, Form, Instr};
+pub use run::{creep, CreepOutcome};
+pub use symbol::RwSymbol;

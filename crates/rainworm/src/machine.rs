@@ -1,0 +1,461 @@
+//! Instruction forms ♦1–♦8 and the instruction set `∆` (paper §VIII.A).
+
+use crate::symbol::RwSymbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which of the paper's instruction forms an instruction instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variants are the paper's ♦ names
+pub enum Form {
+    D1,
+    D2,
+    D3,
+    D4,
+    D4p,
+    D5,
+    D5p,
+    D6,
+    D6p,
+    D7,
+    D7p,
+    D8,
+}
+
+impl Form {
+    /// Unprimed forms translate to `/··` green-graph rules, primed forms to
+    /// `&··` rules (§VIII.C). ♦1–♦3 have their own translations.
+    pub fn is_primed(self) -> bool {
+        matches!(self, Form::D4p | Form::D5p | Form::D6p | Form::D7p)
+    }
+}
+
+/// One rainworm instruction: a Thue semi-system rule `lhs ⇝ rhs`.
+///
+/// Instructions are built through the per-form constructors, which enforce
+/// the class-membership side conditions of §VIII.A; an instruction that
+/// violates them cannot be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instr {
+    form: Form,
+    lhs: Vec<RwSymbol>,
+    rhs: Vec<RwSymbol>,
+}
+
+/// Construction error for instructions and instruction sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// A symbol was not in the class the form requires.
+    BadClass {
+        /// The offending form.
+        form: Form,
+        /// Human-readable description.
+        what: String,
+    },
+    /// Two instructions share a left-hand side (∆ must be a partial
+    /// function — rainworms are deterministic).
+    DuplicateLhs(Vec<RwSymbol>),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::BadClass { form, what } => write!(f, "{form:?}: {what}"),
+            DeltaError::DuplicateLhs(lhs) => {
+                write!(f, "duplicate left-hand side:")?;
+                for s in lhs {
+                    write!(f, " {s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+fn require(cond: bool, form: Form, what: &str) -> Result<(), DeltaError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(DeltaError::BadClass {
+            form,
+            what: what.to_owned(),
+        })
+    }
+}
+
+impl Instr {
+    /// ♦1: `η11 ⇝ γ1 η0` (no parameters).
+    pub fn d1() -> Instr {
+        Instr {
+            form: Form::D1,
+            lhs: vec![RwSymbol::Eta11],
+            rhs: vec![RwSymbol::Gamma1, RwSymbol::Eta0],
+        }
+    }
+
+    /// ♦2: `η0 ⇝ b η1` with `b ∈ A0`.
+    pub fn d2(b: RwSymbol) -> Result<Instr, DeltaError> {
+        require(b.in_a0(), Form::D2, "b must be in A0")?;
+        Ok(Instr {
+            form: Form::D2,
+            lhs: vec![RwSymbol::Eta0],
+            rhs: vec![b, RwSymbol::Eta1],
+        })
+    }
+
+    /// ♦3: `η1 ⇝ q ω0` with `q ∈ Q̄1`.
+    pub fn d3(q: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(q, RwSymbol::StateBar1(_)),
+            Form::D3,
+            "q must be in Q̄1",
+        )?;
+        Ok(Instr {
+            form: Form::D3,
+            lhs: vec![RwSymbol::Eta1],
+            rhs: vec![q, RwSymbol::Omega0],
+        })
+    }
+
+    /// ♦4: `b′ q ⇝ q′ b` with `q ∈ Q̄0`, `q′ ∈ Q̄1`, `b ∈ A0`, `b′ ∈ A1`.
+    pub fn d4(bp: RwSymbol, q: RwSymbol, qp: RwSymbol, b: RwSymbol) -> Result<Instr, DeltaError> {
+        require(bp.in_a1(), Form::D4, "b′ must be in A1")?;
+        require(
+            matches!(q, RwSymbol::StateBar0(_)),
+            Form::D4,
+            "q must be in Q̄0",
+        )?;
+        require(
+            matches!(qp, RwSymbol::StateBar1(_)),
+            Form::D4,
+            "q′ must be in Q̄1",
+        )?;
+        require(b.in_a0(), Form::D4, "b must be in A0")?;
+        Ok(Instr {
+            form: Form::D4,
+            lhs: vec![bp, q],
+            rhs: vec![qp, b],
+        })
+    }
+
+    /// ♦4′: `b q′ ⇝ q b′` with `q ∈ Q̄0`, `q′ ∈ Q̄1`, `b ∈ A0`, `b′ ∈ A1`.
+    pub fn d4p(b: RwSymbol, qp: RwSymbol, q: RwSymbol, bp: RwSymbol) -> Result<Instr, DeltaError> {
+        require(b.in_a0(), Form::D4p, "b must be in A0")?;
+        require(
+            matches!(qp, RwSymbol::StateBar1(_)),
+            Form::D4p,
+            "q′ must be in Q̄1",
+        )?;
+        require(
+            matches!(q, RwSymbol::StateBar0(_)),
+            Form::D4p,
+            "q must be in Q̄0",
+        )?;
+        require(bp.in_a1(), Form::D4p, "b′ must be in A1")?;
+        Ok(Instr {
+            form: Form::D4p,
+            lhs: vec![b, qp],
+            rhs: vec![q, bp],
+        })
+    }
+
+    /// ♦5: `γ1 q ⇝ β1 q′` with `q ∈ Q̄0`, `q′ ∈ Qγ0`.
+    pub fn d5(q: RwSymbol, qp: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(q, RwSymbol::StateBar0(_)),
+            Form::D5,
+            "q must be in Q̄0",
+        )?;
+        require(
+            matches!(qp, RwSymbol::StateGamma0(_)),
+            Form::D5,
+            "q′ must be in Qγ0",
+        )?;
+        Ok(Instr {
+            form: Form::D5,
+            lhs: vec![RwSymbol::Gamma1, q],
+            rhs: vec![RwSymbol::Beta1, qp],
+        })
+    }
+
+    /// ♦5′: `γ0 q ⇝ β0 q′` with `q ∈ Q̄1`, `q′ ∈ Qγ1`.
+    pub fn d5p(q: RwSymbol, qp: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(q, RwSymbol::StateBar1(_)),
+            Form::D5p,
+            "q must be in Q̄1",
+        )?;
+        require(
+            matches!(qp, RwSymbol::StateGamma1(_)),
+            Form::D5p,
+            "q′ must be in Qγ1",
+        )?;
+        Ok(Instr {
+            form: Form::D5p,
+            lhs: vec![RwSymbol::Gamma0, q],
+            rhs: vec![RwSymbol::Beta0, qp],
+        })
+    }
+
+    /// ♦6: `q b ⇝ γ1 q′` with `q ∈ Qγ1`, `q′ ∈ Q0`, `b ∈ A0`.
+    pub fn d6(q: RwSymbol, b: RwSymbol, qp: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(q, RwSymbol::StateGamma1(_)),
+            Form::D6,
+            "q must be in Qγ1",
+        )?;
+        require(b.in_a0(), Form::D6, "b must be in A0")?;
+        require(
+            matches!(qp, RwSymbol::State0(_)),
+            Form::D6,
+            "q′ must be in Q0",
+        )?;
+        Ok(Instr {
+            form: Form::D6,
+            lhs: vec![q, b],
+            rhs: vec![RwSymbol::Gamma1, qp],
+        })
+    }
+
+    /// ♦6′: `q b ⇝ γ0 q′` with `q ∈ Qγ0`, `q′ ∈ Q1`, `b ∈ A1`.
+    pub fn d6p(q: RwSymbol, b: RwSymbol, qp: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(q, RwSymbol::StateGamma0(_)),
+            Form::D6p,
+            "q must be in Qγ0",
+        )?;
+        require(b.in_a1(), Form::D6p, "b must be in A1")?;
+        require(
+            matches!(qp, RwSymbol::State1(_)),
+            Form::D6p,
+            "q′ must be in Q1",
+        )?;
+        Ok(Instr {
+            form: Form::D6p,
+            lhs: vec![q, b],
+            rhs: vec![RwSymbol::Gamma0, qp],
+        })
+    }
+
+    /// ♦7: `q′ b ⇝ b′ q` with `q ∈ Q0`, `q′ ∈ Q1`, `b ∈ A0`, `b′ ∈ A1`.
+    pub fn d7(qp: RwSymbol, b: RwSymbol, bp: RwSymbol, q: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(qp, RwSymbol::State1(_)),
+            Form::D7,
+            "q′ must be in Q1",
+        )?;
+        require(b.in_a0(), Form::D7, "b must be in A0")?;
+        require(bp.in_a1(), Form::D7, "b′ must be in A1")?;
+        require(
+            matches!(q, RwSymbol::State0(_)),
+            Form::D7,
+            "q must be in Q0",
+        )?;
+        Ok(Instr {
+            form: Form::D7,
+            lhs: vec![qp, b],
+            rhs: vec![bp, q],
+        })
+    }
+
+    /// ♦7′: `q b′ ⇝ b q′` with `q ∈ Q0`, `q′ ∈ Q1`, `b ∈ A0`, `b′ ∈ A1`.
+    pub fn d7p(q: RwSymbol, bp: RwSymbol, b: RwSymbol, qp: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(q, RwSymbol::State0(_)),
+            Form::D7p,
+            "q must be in Q0",
+        )?;
+        require(bp.in_a1(), Form::D7p, "b′ must be in A1")?;
+        require(b.in_a0(), Form::D7p, "b must be in A0")?;
+        require(
+            matches!(qp, RwSymbol::State1(_)),
+            Form::D7p,
+            "q′ must be in Q1",
+        )?;
+        Ok(Instr {
+            form: Form::D7p,
+            lhs: vec![q, bp],
+            rhs: vec![b, qp],
+        })
+    }
+
+    /// ♦8: `q ω0 ⇝ b η0` with `q ∈ Q1`, `b ∈ A1`.
+    pub fn d8(q: RwSymbol, b: RwSymbol) -> Result<Instr, DeltaError> {
+        require(
+            matches!(q, RwSymbol::State1(_)),
+            Form::D8,
+            "q must be in Q1",
+        )?;
+        require(b.in_a1(), Form::D8, "b must be in A1")?;
+        Ok(Instr {
+            form: Form::D8,
+            lhs: vec![q, RwSymbol::Omega0],
+            rhs: vec![b, RwSymbol::Eta0],
+        })
+    }
+
+    /// The instruction's form.
+    pub fn form(&self) -> Form {
+        self.form
+    }
+
+    /// The left-hand side word.
+    pub fn lhs(&self) -> &[RwSymbol] {
+        &self.lhs
+    }
+
+    /// The right-hand side word.
+    pub fn rhs(&self) -> &[RwSymbol] {
+        &self.rhs
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.lhs {
+            write!(f, "{s} ")?;
+        }
+        write!(f, "⇝")?;
+        for s in &self.rhs {
+            write!(f, " {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An instruction set `∆`: a finite set of instructions forming a partial
+/// function on left-hand sides (the machine is deterministic).
+#[derive(Debug, Clone)]
+pub struct Delta {
+    instrs: Vec<Instr>,
+    by_lhs: HashMap<Vec<RwSymbol>, usize>,
+}
+
+impl Delta {
+    /// Builds `∆`, rejecting duplicate left-hand sides.
+    pub fn new(instrs: Vec<Instr>) -> Result<Self, DeltaError> {
+        let mut by_lhs = HashMap::new();
+        for (i, ins) in instrs.iter().enumerate() {
+            if by_lhs.insert(ins.lhs.clone(), i).is_some() {
+                return Err(DeltaError::DuplicateLhs(ins.lhs.clone()));
+            }
+        }
+        Ok(Delta { instrs, by_lhs })
+    }
+
+    /// All instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Looks up the instruction with the given left-hand side.
+    pub fn lookup(&self, lhs: &[RwSymbol]) -> Option<&Instr> {
+        self.by_lhs.get(lhs).map(|&i| &self.instrs[i])
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Every symbol occurring in `∆` (`Q` and `A` "can be reconstructed
+    /// from ∆", footnote 20).
+    pub fn symbols(&self) -> std::collections::BTreeSet<RwSymbol> {
+        self.instrs
+            .iter()
+            .flat_map(|i| i.lhs.iter().chain(i.rhs.iter()))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_enforce_classes() {
+        assert!(Instr::d2(RwSymbol::Tape0(0)).is_ok());
+        assert!(Instr::d2(RwSymbol::Tape1(0)).is_err());
+        assert!(Instr::d3(RwSymbol::StateBar1(0)).is_ok());
+        assert!(Instr::d3(RwSymbol::StateBar0(0)).is_err());
+        assert!(Instr::d8(RwSymbol::State1(0), RwSymbol::Tape1(0)).is_ok());
+        assert!(Instr::d8(RwSymbol::State0(0), RwSymbol::Tape1(0)).is_err());
+        assert!(Instr::d4(
+            RwSymbol::Tape1(0),
+            RwSymbol::StateBar0(0),
+            RwSymbol::StateBar1(0),
+            RwSymbol::Tape0(0)
+        )
+        .is_ok());
+        assert!(Instr::d4(
+            RwSymbol::Tape0(0), // wrong class
+            RwSymbol::StateBar0(0),
+            RwSymbol::StateBar1(0),
+            RwSymbol::Tape0(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parity_discipline_of_forms() {
+        use cqfd_greengraph::Parity;
+        // Appendix C uses: in a /·· translated (unprimed) rule the first
+        // symbols are odd and the second even; in a &·· (primed) rule the
+        // first are even and second odd. Check on representatives.
+        let d4 = Instr::d4(
+            RwSymbol::Tape1(0),
+            RwSymbol::StateBar0(0),
+            RwSymbol::StateBar1(0),
+            RwSymbol::Tape0(0),
+        )
+        .unwrap();
+        assert_eq!(d4.lhs()[0].parity(), Parity::Odd);
+        assert_eq!(d4.lhs()[1].parity(), Parity::Even);
+        assert_eq!(d4.rhs()[0].parity(), Parity::Odd);
+        assert_eq!(d4.rhs()[1].parity(), Parity::Even);
+        let d4p = Instr::d4p(
+            RwSymbol::Tape0(0),
+            RwSymbol::StateBar1(0),
+            RwSymbol::StateBar0(0),
+            RwSymbol::Tape1(0),
+        )
+        .unwrap();
+        assert_eq!(d4p.lhs()[0].parity(), Parity::Even);
+        assert_eq!(d4p.lhs()[1].parity(), Parity::Odd);
+    }
+
+    #[test]
+    fn delta_rejects_duplicates() {
+        let i1 = Instr::d2(RwSymbol::Tape0(0)).unwrap();
+        let i2 = Instr::d2(RwSymbol::Tape0(1)).unwrap();
+        let err = Delta::new(vec![i1, i2]).unwrap_err();
+        assert!(matches!(err, DeltaError::DuplicateLhs(_)));
+    }
+
+    #[test]
+    fn lookup_by_lhs() {
+        let d = Delta::new(vec![Instr::d1(), Instr::d2(RwSymbol::Tape0(0)).unwrap()]).unwrap();
+        assert!(d.lookup(&[RwSymbol::Eta11]).is_some());
+        assert!(d.lookup(&[RwSymbol::Eta0]).is_some());
+        assert!(d.lookup(&[RwSymbol::Eta1]).is_none());
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn symbols_reconstructs_alphabet() {
+        let d = Delta::new(vec![Instr::d1(), Instr::d2(RwSymbol::Tape0(3)).unwrap()]).unwrap();
+        let syms = d.symbols();
+        assert!(syms.contains(&RwSymbol::Eta11));
+        assert!(syms.contains(&RwSymbol::Gamma1));
+        assert!(syms.contains(&RwSymbol::Tape0(3)));
+        assert!(!syms.contains(&RwSymbol::Tape0(0)));
+    }
+}

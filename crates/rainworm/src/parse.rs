@@ -1,0 +1,186 @@
+//! A textual format for rainworm instruction sets.
+//!
+//! One instruction per line, `lhs ⇝ rhs` (ASCII `->` also accepted);
+//! `#` starts a comment. Symbols use the same names `Display` prints:
+//!
+//! ```text
+//! α β0 β1 γ0 γ1 ω0 η11 η0 η1     (ASCII: alpha beta0 beta1 gamma0 gamma1
+//!                                 omega0 eta11 eta0 eta1)
+//! a<i>  b<i>                      tape symbols in A0 / A1
+//! p<i>  r<i>                      states in Q0 / Q1
+//! q̄e<i> q̄o<i>                     states in Q̄0 / Q̄1 (ASCII: qe<i> qo<i>)
+//! g0_<i> g1_<i>                   states in Qγ0 / Qγ1
+//! ```
+//!
+//! The ♦-form of each instruction is inferred from its shape; lines that
+//! fit no form are rejected. `Display` output of a [`Delta`] parses back
+//! to the same machine (tested).
+
+use crate::machine::{Delta, DeltaError, Instr};
+use crate::symbol::RwSymbol;
+
+/// Parses one symbol name.
+pub fn parse_symbol(tok: &str) -> Result<RwSymbol, String> {
+    let named = match tok {
+        "α" | "alpha" => Some(RwSymbol::Alpha),
+        "β0" | "beta0" => Some(RwSymbol::Beta0),
+        "β1" | "beta1" => Some(RwSymbol::Beta1),
+        "γ0" | "gamma0" => Some(RwSymbol::Gamma0),
+        "γ1" | "gamma1" => Some(RwSymbol::Gamma1),
+        "ω0" | "omega0" => Some(RwSymbol::Omega0),
+        "η11" | "eta11" => Some(RwSymbol::Eta11),
+        "η0" | "eta0" => Some(RwSymbol::Eta0),
+        "η1" | "eta1" => Some(RwSymbol::Eta1),
+        _ => None,
+    };
+    if let Some(s) = named {
+        return Ok(s);
+    }
+    let num = |prefix: &str| -> Option<u16> {
+        tok.strip_prefix(prefix).and_then(|rest| rest.parse().ok())
+    };
+    for (prefix, mk) in [
+        ("a", RwSymbol::Tape0 as fn(u16) -> RwSymbol),
+        ("b", RwSymbol::Tape1),
+        ("p", RwSymbol::State0),
+        ("r", RwSymbol::State1),
+        ("q̄e", RwSymbol::StateBar0),
+        ("qe", RwSymbol::StateBar0),
+        ("q̄o", RwSymbol::StateBar1),
+        ("qo", RwSymbol::StateBar1),
+        ("g0_", RwSymbol::StateGamma0),
+        ("g1_", RwSymbol::StateGamma1),
+    ] {
+        if let Some(i) = num(prefix) {
+            return Ok(mk(i));
+        }
+    }
+    Err(format!("unknown symbol `{tok}`"))
+}
+
+/// Infers the ♦-form of a rewrite from its shape and builds the validated
+/// instruction.
+pub fn infer_instr(lhs: &[RwSymbol], rhs: &[RwSymbol]) -> Result<Instr, String> {
+    use RwSymbol::*;
+    let err = |e: DeltaError| format!("{e}");
+    match (lhs, rhs) {
+        ([Eta11], [Gamma1, Eta0]) => Ok(Instr::d1()),
+        ([Eta0], [b, Eta1]) => Instr::d2(*b).map_err(err),
+        ([Eta1], [q, Omega0]) => Instr::d3(*q).map_err(err),
+        ([bp @ Tape1(_), q @ StateBar0(_)], [qp @ StateBar1(_), b @ Tape0(_)]) => {
+            Instr::d4(*bp, *q, *qp, *b).map_err(err)
+        }
+        ([b @ Tape0(_), qp @ StateBar1(_)], [q @ StateBar0(_), bp @ Tape1(_)]) => {
+            Instr::d4p(*b, *qp, *q, *bp).map_err(err)
+        }
+        ([Gamma1, q @ StateBar0(_)], [Beta1, qp @ StateGamma0(_)]) => {
+            Instr::d5(*q, *qp).map_err(err)
+        }
+        ([Gamma0, q @ StateBar1(_)], [Beta0, qp @ StateGamma1(_)]) => {
+            Instr::d5p(*q, *qp).map_err(err)
+        }
+        ([q @ StateGamma1(_), b @ Tape0(_)], [Gamma1, qp @ State0(_)]) => {
+            Instr::d6(*q, *b, *qp).map_err(err)
+        }
+        ([q @ StateGamma0(_), b @ Tape1(_)], [Gamma0, qp @ State1(_)]) => {
+            Instr::d6p(*q, *b, *qp).map_err(err)
+        }
+        ([qp @ State1(_), b @ Tape0(_)], [bp @ Tape1(_), q @ State0(_)]) => {
+            Instr::d7(*qp, *b, *bp, *q).map_err(err)
+        }
+        ([q @ State0(_), bp @ Tape1(_)], [b @ Tape0(_), qp @ State1(_)]) => {
+            Instr::d7p(*q, *bp, *b, *qp).map_err(err)
+        }
+        ([q @ State1(_), Omega0], [b @ Tape1(_), Eta0]) => Instr::d8(*q, *b).map_err(err),
+        _ => Err(format!("rewrite fits no ♦-form: {lhs:?} ⇝ {rhs:?}")),
+    }
+}
+
+/// Parses a whole instruction set, one instruction per line.
+pub fn parse_delta(text: &str) -> Result<Delta, String> {
+    let mut instrs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (lhs_txt, rhs_txt) = line
+            .split_once('⇝')
+            .or_else(|| line.split_once("->"))
+            .ok_or_else(|| format!("line {}: missing `⇝` or `->`", lineno + 1))?;
+        let parse_side = |side: &str| -> Result<Vec<RwSymbol>, String> {
+            side.split_whitespace().map(parse_symbol).collect()
+        };
+        let lhs = parse_side(lhs_txt).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let rhs = parse_side(rhs_txt).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        instrs.push(infer_instr(&lhs, &rhs).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Delta::new(instrs).map_err(|e| format!("{e}"))
+}
+
+/// Renders an instruction set in the parseable format.
+pub fn render_delta(delta: &Delta) -> String {
+    let mut out = String::new();
+    for i in delta.instrs() {
+        out.push_str(&format!("{i}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{counter_worm, forever_worm, random_worm};
+
+    #[test]
+    fn family_worms_round_trip() {
+        for d in [forever_worm(), counter_worm(3), random_worm(7)] {
+            let text = render_delta(&d);
+            let back = parse_delta(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(back.len(), d.len());
+            for i in d.instrs() {
+                assert!(
+                    back.lookup(i.lhs()).is_some_and(|j| j.rhs() == i.rhs()),
+                    "{i} lost in round trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_aliases_parse() {
+        let text = "
+            eta11 -> gamma1 eta0
+            eta0 -> a0 eta1
+            eta1 -> qo0 omega0
+            a0 qo0 -> qe0 b0
+            gamma1 qe0 -> beta1 g0_0
+        ";
+        let d = parse_delta(text).unwrap();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a worm\n\nη11 ⇝ γ1 η0  # start\n";
+        assert_eq!(parse_delta(text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        assert!(parse_delta("η11 γ1 η0").unwrap_err().contains("line 1"));
+        assert!(parse_delta("xyz -> γ1 η0")
+            .unwrap_err()
+            .contains("unknown symbol"));
+        // Shape that fits no ♦-form:
+        assert!(parse_delta("α -> β0 β1").unwrap_err().contains("no ♦-form"));
+        // Class violation inside a form:
+        assert!(parse_delta("η0 -> b0 η1").unwrap_err().contains("A0"));
+    }
+
+    #[test]
+    fn duplicate_lhs_rejected() {
+        let text = "η0 -> a0 η1\nη0 -> a1 η1\n";
+        assert!(parse_delta(text).unwrap_err().contains("duplicate"));
+    }
+}

@@ -1,0 +1,349 @@
+//! The creep: forward and backward steps, runs, and halting detection.
+
+use crate::config::Config;
+use crate::machine::Delta;
+use crate::symbol::RwSymbol;
+
+/// All Thue-rewriting successors of a word under `∆`: every decomposition
+/// `w = w1 · s · w2` with `s ⇝ t ∈ ∆` gives `w1 · t · w2`.
+///
+/// Lemma 22(2): if `w` has exactly one state symbol there is at most one
+/// successor; [`step`] asserts this.
+pub fn successors(delta: &Delta, w: &Config) -> Vec<Config> {
+    let mut out = Vec::new();
+    let word = w.word();
+    for start in 0..word.len() {
+        for len in 1..=2usize.min(word.len() - start) {
+            if let Some(instr) = delta.lookup(&word[start..start + len]) {
+                let mut v: Vec<RwSymbol> = Vec::with_capacity(word.len() + 1);
+                v.extend_from_slice(&word[..start]);
+                v.extend_from_slice(instr.rhs());
+                v.extend_from_slice(&word[start + len..]);
+                out.push(Config(v));
+            }
+        }
+    }
+    out
+}
+
+/// The deterministic step `w ⇒_M v` (Lemma 22(2)). Returns `None` when no
+/// instruction applies — the machine has halted.
+///
+/// # Panics
+/// In debug builds, if more than one rewrite position exists for a word
+/// with a single head symbol (would contradict Lemma 22(2) and indicates a
+/// malformed `∆`).
+pub fn step(delta: &Delta, w: &Config) -> Option<Config> {
+    let succ = successors(delta, w);
+    debug_assert!(
+        succ.len() <= 1 || w.head_position().is_none(),
+        "Lemma 22(2) violated: {} successors of {w}",
+        succ.len()
+    );
+    succ.into_iter().next()
+}
+
+/// All predecessors of `v` under `∆`: words `w` with `w ⇒ v`. Finite, and
+/// bounded by a constant `c_M` depending only on `∆` when `v` has a single
+/// head symbol (Lemma 22(3)).
+pub fn predecessors(delta: &Delta, v: &Config) -> Vec<Config> {
+    let mut out = Vec::new();
+    let word = v.word();
+    for instr in delta.instrs() {
+        let t = instr.rhs();
+        let l = t.len();
+        if l > word.len() {
+            continue;
+        }
+        for start in 0..=word.len() - l {
+            if &word[start..start + l] == t {
+                let mut w: Vec<RwSymbol> = Vec::with_capacity(word.len());
+                w.extend_from_slice(&word[..start]);
+                w.extend_from_slice(instr.lhs());
+                w.extend_from_slice(&word[start + l..]);
+                out.push(Config(w));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Outcome of a bounded creep from the initial configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CreepOutcome {
+    /// No instruction applied after `steps` steps; `final_config = u_M` and
+    /// `steps = k_M` in the paper's notation (§VIII.B).
+    Halted {
+        /// `k_M`.
+        steps: usize,
+        /// `u_M`.
+        final_config: Config,
+    },
+    /// Still creeping when the budget ran out.
+    StillCreeping {
+        /// Steps taken.
+        steps: usize,
+        /// The configuration reached.
+        config: Config,
+    },
+}
+
+impl CreepOutcome {
+    /// Did the worm halt?
+    pub fn halted(&self) -> bool {
+        matches!(self, CreepOutcome::Halted { .. })
+    }
+}
+
+/// Runs the worm from `α η11` for at most `max_steps` steps, validating
+/// every intermediate configuration (Lemma 20: all reachable words are RM
+/// configurations — a violation panics, pointing at a malformed `∆`).
+pub fn creep(delta: &Delta, max_steps: usize) -> CreepOutcome {
+    creep_from(delta, Config::initial(), max_steps)
+}
+
+/// Runs the worm from an arbitrary configuration.
+pub fn creep_from(delta: &Delta, start: Config, max_steps: usize) -> CreepOutcome {
+    let mut cur = start;
+    if let Err(e) = cur.validate() {
+        panic!("invalid start configuration {cur}: {e}");
+    }
+    for k in 0..max_steps {
+        match step(delta, &cur) {
+            Some(next) => {
+                if let Err(e) = next.validate() {
+                    panic!("Lemma 20 violated at step {}: {next} ({e})", k + 1);
+                }
+                cur = next;
+            }
+            None => {
+                return CreepOutcome::Halted {
+                    steps: k,
+                    final_config: cur,
+                }
+            }
+        }
+    }
+    CreepOutcome::StillCreeping {
+        steps: max_steps,
+        config: cur,
+    }
+}
+
+/// The full trace `αη11 = w0 ⇒ w1 ⇒ …` up to `max_steps` configurations
+/// (inclusive of the start).
+pub fn trace(delta: &Delta, max_steps: usize) -> Vec<Config> {
+    let mut out = vec![Config::initial()];
+    for _ in 0..max_steps {
+        match step(delta, out.last().unwrap()) {
+            Some(next) => out.push(next),
+            None => break,
+        }
+    }
+    out
+}
+
+/// The backward cone `{w : w ⇒* u}` (Lemma 23(4): finite for a halting
+/// worm), capped at `max_size` elements as a runaway guard.
+pub fn backward_cone(delta: &Delta, u: &Config, max_size: usize) -> Vec<Config> {
+    let mut seen: std::collections::BTreeSet<Config> = [u.clone()].into();
+    let mut frontier = vec![u.clone()];
+    while let Some(v) = frontier.pop() {
+        if seen.len() >= max_size {
+            break;
+        }
+        for w in predecessors(delta, &v) {
+            if seen.insert(w.clone()) {
+                frontier.push(w);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{forever_worm, halting_worm_short};
+    use crate::machine::Instr;
+
+    #[test]
+    fn forever_worm_creeps() {
+        let d = forever_worm();
+        let out = creep(&d, 500);
+        match out {
+            CreepOutcome::StillCreeping { config, .. } => {
+                // The slime trail must have grown.
+                assert!(config.slime().len() > 3, "slime: {:?}", config.slime());
+            }
+            CreepOutcome::Halted {
+                steps,
+                final_config,
+            } => {
+                panic!("forever worm halted after {steps} steps at {final_config}")
+            }
+        }
+    }
+
+    #[test]
+    fn forever_worm_trace_is_valid_and_deterministic() {
+        let d = forever_worm();
+        let tr = trace(&d, 100);
+        assert_eq!(tr.len(), 101);
+        for w in &tr {
+            w.validate().unwrap_or_else(|e| panic!("invalid {w}: {e}"));
+            // exactly one successor (Lemma 22(2))
+            assert_eq!(successors(&d, w).len(), 1);
+        }
+    }
+
+    #[test]
+    fn short_worm_halts() {
+        let d = halting_worm_short();
+        let out = creep(&d, 100);
+        match out {
+            CreepOutcome::Halted {
+                steps,
+                final_config,
+            } => {
+                assert!(steps > 0);
+                final_config.validate().unwrap();
+                // no successor from u_M
+                assert!(step(&d, &final_config).is_none());
+            }
+            _ => panic!("short worm must halt"),
+        }
+    }
+
+    #[test]
+    fn predecessors_invert_step() {
+        let d = forever_worm();
+        let tr = trace(&d, 50);
+        for pair in tr.windows(2) {
+            let preds = predecessors(&d, &pair[1]);
+            assert!(
+                preds.contains(&pair[0]),
+                "{} must be a predecessor of {}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_cone_of_halting_worm_contains_initial() {
+        // Lemma 23(1): {w : w ⇔* αη11} = {w : w ⇒* u_M}.
+        let d = halting_worm_short();
+        let u = match creep(&d, 100) {
+            CreepOutcome::Halted { final_config, .. } => final_config,
+            _ => unreachable!(),
+        };
+        let cone = backward_cone(&d, &u, 10_000);
+        assert!(cone.contains(&Config::initial()));
+        // every cone element reaches u_M forward
+        for w in &cone {
+            let mut cur = w.clone();
+            let mut ok = false;
+            for _ in 0..200 {
+                if cur == u {
+                    ok = true;
+                    break;
+                }
+                match step(&d, &cur) {
+                    Some(next) => cur = next,
+                    None => {
+                        ok = cur == u;
+                        break;
+                    }
+                }
+            }
+            assert!(ok, "{w} does not reach u_M");
+        }
+    }
+
+    #[test]
+    fn slime_growth_is_monotone() {
+        let d = forever_worm();
+        let tr = trace(&d, 200);
+        let mut last = 0;
+        for w in &tr {
+            let s = w.slime().len();
+            assert!(s >= last, "slime never shrinks");
+            last = s;
+        }
+        assert!(last >= 5);
+    }
+
+    #[test]
+    fn malformed_delta_without_d1_cannot_start() {
+        // Only ♦2: the initial configuration has no redex.
+        let d = Delta::new(vec![Instr::d2(RwSymbol::Tape0(0)).unwrap()]).unwrap();
+        let out = creep(&d, 10);
+        assert!(matches!(out, CreepOutcome::Halted { steps: 0, .. }));
+    }
+}
+
+#[cfg(test)]
+mod lemma22_tests {
+    use super::*;
+    use crate::families::counter_worm;
+
+    /// Lemma 22(1): predecessors of valid configurations satisfy
+    /// conditions (1)–(3) of Definition 19 — exactly one head, a proper
+    /// last symbol, alternating parity. (Condition 4 may fail for
+    /// unreachable predecessors; the lemma deliberately omits it.)
+    #[test]
+    fn predecessors_satisfy_conditions_1_to_3() {
+        let d = counter_worm(2);
+        for w in trace(&d, 60) {
+            for p in predecessors(&d, &w) {
+                assert!(p.head_position().is_some(), "cond 1 at {p}");
+                assert!(
+                    matches!(
+                        p.word().last(),
+                        Some(
+                            crate::symbol::RwSymbol::Eta11
+                                | crate::symbol::RwSymbol::Eta0
+                                | crate::symbol::RwSymbol::Eta1
+                                | crate::symbol::RwSymbol::Omega0
+                        )
+                    ),
+                    "cond 2 at {p}"
+                );
+                assert!(
+                    p.word().windows(2).all(|w| w[0].parity() != w[1].parity()),
+                    "cond 3 at {p}"
+                );
+            }
+        }
+    }
+
+    /// Lemma 23(3): the distance to `u_M` is consistent — stepping from a
+    /// trace configuration `k` steps reaches `u_M` in exactly `k_M − k`
+    /// further steps.
+    #[test]
+    fn distances_to_u_m_are_consistent() {
+        let d = counter_worm(1);
+        let (k_m, u_m) = match creep(&d, 100_000) {
+            CreepOutcome::Halted {
+                steps,
+                final_config,
+            } => (steps, final_config),
+            _ => unreachable!(),
+        };
+        for (k, w) in trace(&d, k_m).iter().enumerate() {
+            match creep_from(&d, w.clone(), 100_000) {
+                CreepOutcome::Halted {
+                    steps,
+                    final_config,
+                } => {
+                    assert_eq!(steps, k_m - k);
+                    assert_eq!(final_config, u_m);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}

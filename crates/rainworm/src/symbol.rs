@@ -1,0 +1,315 @@
+//! Rainworm symbols: the alphabet `A`, the state set `Q`, and parities.
+
+use cqfd_greengraph::{Label, Parity};
+use std::fmt;
+
+/// A rainworm machine symbol — an element of `A + Q` (paper §VIII.A).
+///
+/// The tape alphabet is `A = A0 ∪ A1 ∪ {α, β0, β1, γ0, γ1, ω0}` and the
+/// state set is `Q = Q0 ∪ Q̄0 ∪ Q1 ∪ Q̄1 ∪ Qγ0 ∪ Qγ1 ∪ {η11, η0, η1}`,
+/// all disjoint. The numeric payloads of the parameterised classes are
+/// machine-defined identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RwSymbol {
+    /// `α` — start-of-slime marker (even tape symbol).
+    Alpha,
+    /// `β0` — even slime symbol.
+    Beta0,
+    /// `β1` — odd slime symbol.
+    Beta1,
+    /// `γ0` — even rear-end marker.
+    Gamma0,
+    /// `γ1` — odd rear-end marker.
+    Gamma1,
+    /// `ω0` — even front marker (appears while the head tours the body).
+    Omega0,
+    /// `η11` — the initial state (odd).
+    Eta11,
+    /// `η0` — front state, even.
+    Eta0,
+    /// `η1` — front state, odd.
+    Eta1,
+    /// A tape symbol from `A0` (even).
+    Tape0(u16),
+    /// A tape symbol from `A1` (odd).
+    Tape1(u16),
+    /// A state from `Q0` (even) — rightward sweep.
+    State0(u16),
+    /// A state from `Q1` (odd) — rightward sweep.
+    State1(u16),
+    /// A state from `Q̄0` (even) — leftward sweep.
+    StateBar0(u16),
+    /// A state from `Q̄1` (odd) — leftward sweep.
+    StateBar1(u16),
+    /// A state from `Qγ0` (even) — just rewrote `γ1` to `β1`.
+    StateGamma0(u16),
+    /// A state from `Qγ1` (odd) — just rewrote `γ0` to `β0`.
+    StateGamma1(u16),
+}
+
+impl RwSymbol {
+    /// Definition 19's parity. Even: `{α, β0, γ0, η0, ω0} ∪ Q0 ∪ Q̄0 ∪ Qγ0
+    /// ∪ A0`; odd: `{β1, γ1, η1, η11} ∪ Q1 ∪ Q̄1 ∪ Qγ1 ∪ A1`. (`ω0` is not
+    /// listed explicitly in Definition 19 but must be even for the
+    /// alternation invariant — it always follows an odd state.)
+    pub fn parity(self) -> Parity {
+        match self {
+            RwSymbol::Alpha
+            | RwSymbol::Beta0
+            | RwSymbol::Gamma0
+            | RwSymbol::Eta0
+            | RwSymbol::Omega0
+            | RwSymbol::Tape0(_)
+            | RwSymbol::State0(_)
+            | RwSymbol::StateBar0(_)
+            | RwSymbol::StateGamma0(_) => Parity::Even,
+            RwSymbol::Beta1
+            | RwSymbol::Gamma1
+            | RwSymbol::Eta1
+            | RwSymbol::Eta11
+            | RwSymbol::Tape1(_)
+            | RwSymbol::State1(_)
+            | RwSymbol::StateBar1(_)
+            | RwSymbol::StateGamma1(_) => Parity::Odd,
+        }
+    }
+
+    /// Is this a state symbol (an element of `Q`)?
+    pub fn is_state(self) -> bool {
+        matches!(
+            self,
+            RwSymbol::Eta11
+                | RwSymbol::Eta0
+                | RwSymbol::Eta1
+                | RwSymbol::State0(_)
+                | RwSymbol::State1(_)
+                | RwSymbol::StateBar0(_)
+                | RwSymbol::StateBar1(_)
+                | RwSymbol::StateGamma0(_)
+                | RwSymbol::StateGamma1(_)
+        )
+    }
+
+    /// Is this a tape symbol (an element of `A`)?
+    pub fn is_tape(self) -> bool {
+        !self.is_state()
+    }
+
+    /// Is this an element of `A0`?
+    pub fn in_a0(self) -> bool {
+        matches!(self, RwSymbol::Tape0(_))
+    }
+
+    /// Is this an element of `A1`?
+    pub fn in_a1(self) -> bool {
+        matches!(self, RwSymbol::Tape1(_))
+    }
+
+    /// The inverse of [`RwSymbol::to_label`]: recovers the machine symbol
+    /// from a green-graph label, if it is one.
+    pub fn from_label(l: Label) -> Option<RwSymbol> {
+        Some(match l {
+            Label::Alpha => RwSymbol::Alpha,
+            Label::Beta0 => RwSymbol::Beta0,
+            Label::Beta1 => RwSymbol::Beta1,
+            Label::Gamma0 => RwSymbol::Gamma0,
+            Label::Gamma1 => RwSymbol::Gamma1,
+            Label::Omega0 => RwSymbol::Omega0,
+            Label::Eta11 => RwSymbol::Eta11,
+            Label::Eta0 => RwSymbol::Eta0,
+            Label::Eta1 => RwSymbol::Eta1,
+            Label::Sym { id, .. } => {
+                let payload = id >> 3;
+                match id & 0b111 {
+                    0 => RwSymbol::Tape0(payload),
+                    1 => RwSymbol::Tape1(payload),
+                    2 => RwSymbol::State0(payload),
+                    3 => RwSymbol::State1(payload),
+                    4 => RwSymbol::StateBar0(payload),
+                    5 => RwSymbol::StateBar1(payload),
+                    6 => RwSymbol::StateGamma0(payload),
+                    _ => RwSymbol::StateGamma1(payload),
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    /// The green-graph label of this symbol, under the fixed injection of
+    /// machine symbols into `S̄` (footnote 13). Named specials map to their
+    /// named labels; parameterised classes map to [`Label::Sym`] with the
+    /// class tag packed into the low bits of the id.
+    pub fn to_label(self) -> Label {
+        let sym = |tag: u16, id: u16, parity: Parity| {
+            assert!(id < (1 << 12), "machine symbol id too large");
+            Label::Sym {
+                id: (id << 3) | tag,
+                parity,
+            }
+        };
+        match self {
+            RwSymbol::Alpha => Label::Alpha,
+            RwSymbol::Beta0 => Label::Beta0,
+            RwSymbol::Beta1 => Label::Beta1,
+            RwSymbol::Gamma0 => Label::Gamma0,
+            RwSymbol::Gamma1 => Label::Gamma1,
+            RwSymbol::Omega0 => Label::Omega0,
+            RwSymbol::Eta11 => Label::Eta11,
+            RwSymbol::Eta0 => Label::Eta0,
+            RwSymbol::Eta1 => Label::Eta1,
+            RwSymbol::Tape0(i) => sym(0, i, Parity::Even),
+            RwSymbol::Tape1(i) => sym(1, i, Parity::Odd),
+            RwSymbol::State0(i) => sym(2, i, Parity::Even),
+            RwSymbol::State1(i) => sym(3, i, Parity::Odd),
+            RwSymbol::StateBar0(i) => sym(4, i, Parity::Even),
+            RwSymbol::StateBar1(i) => sym(5, i, Parity::Odd),
+            RwSymbol::StateGamma0(i) => sym(6, i, Parity::Even),
+            RwSymbol::StateGamma1(i) => sym(7, i, Parity::Odd),
+        }
+    }
+}
+
+impl fmt::Display for RwSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwSymbol::Alpha => write!(f, "α"),
+            RwSymbol::Beta0 => write!(f, "β0"),
+            RwSymbol::Beta1 => write!(f, "β1"),
+            RwSymbol::Gamma0 => write!(f, "γ0"),
+            RwSymbol::Gamma1 => write!(f, "γ1"),
+            RwSymbol::Omega0 => write!(f, "ω0"),
+            RwSymbol::Eta11 => write!(f, "η11"),
+            RwSymbol::Eta0 => write!(f, "η0"),
+            RwSymbol::Eta1 => write!(f, "η1"),
+            RwSymbol::Tape0(i) => write!(f, "a{i}"),
+            RwSymbol::Tape1(i) => write!(f, "b{i}"),
+            RwSymbol::State0(i) => write!(f, "p{i}"),
+            RwSymbol::State1(i) => write!(f, "r{i}"),
+            RwSymbol::StateBar0(i) => write!(f, "q̄e{i}"),
+            RwSymbol::StateBar1(i) => write!(f, "q̄o{i}"),
+            RwSymbol::StateGamma0(i) => write!(f, "g0_{i}"),
+            RwSymbol::StateGamma1(i) => write!(f, "g1_{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parities_match_definition19() {
+        use Parity::*;
+        let cases = [
+            (RwSymbol::Alpha, Even),
+            (RwSymbol::Beta0, Even),
+            (RwSymbol::Beta1, Odd),
+            (RwSymbol::Gamma0, Even),
+            (RwSymbol::Gamma1, Odd),
+            (RwSymbol::Omega0, Even),
+            (RwSymbol::Eta11, Odd),
+            (RwSymbol::Eta0, Even),
+            (RwSymbol::Eta1, Odd),
+            (RwSymbol::Tape0(0), Even),
+            (RwSymbol::Tape1(0), Odd),
+            (RwSymbol::State0(0), Even),
+            (RwSymbol::State1(0), Odd),
+            (RwSymbol::StateBar0(0), Even),
+            (RwSymbol::StateBar1(0), Odd),
+            (RwSymbol::StateGamma0(0), Even),
+            (RwSymbol::StateGamma1(0), Odd),
+        ];
+        for (s, p) in cases {
+            assert_eq!(s.parity(), p, "{s}");
+        }
+    }
+
+    #[test]
+    fn state_tape_partition() {
+        assert!(RwSymbol::Eta11.is_state());
+        assert!(RwSymbol::StateGamma1(3).is_state());
+        assert!(RwSymbol::Alpha.is_tape());
+        assert!(RwSymbol::Tape1(2).is_tape());
+        assert!(RwSymbol::Omega0.is_tape());
+        assert!(!RwSymbol::Tape0(0).is_state());
+    }
+
+    #[test]
+    fn labels_are_injective() {
+        use std::collections::BTreeSet;
+        let mut all = vec![
+            RwSymbol::Alpha,
+            RwSymbol::Beta0,
+            RwSymbol::Beta1,
+            RwSymbol::Gamma0,
+            RwSymbol::Gamma1,
+            RwSymbol::Omega0,
+            RwSymbol::Eta11,
+            RwSymbol::Eta0,
+            RwSymbol::Eta1,
+        ];
+        for i in 0..5 {
+            all.push(RwSymbol::Tape0(i));
+            all.push(RwSymbol::Tape1(i));
+            all.push(RwSymbol::State0(i));
+            all.push(RwSymbol::State1(i));
+            all.push(RwSymbol::StateBar0(i));
+            all.push(RwSymbol::StateBar1(i));
+            all.push(RwSymbol::StateGamma0(i));
+            all.push(RwSymbol::StateGamma1(i));
+        }
+        let labels: BTreeSet<Label> = all.iter().map(|s| s.to_label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn label_parity_agrees_with_symbol_parity() {
+        for s in [
+            RwSymbol::Alpha,
+            RwSymbol::Eta11,
+            RwSymbol::Tape0(7),
+            RwSymbol::Tape1(7),
+            RwSymbol::StateGamma0(2),
+            RwSymbol::State1(4),
+        ] {
+            assert_eq!(s.parity(), s.to_label().parity(), "{s}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod inverse_tests {
+    use super::*;
+
+    #[test]
+    fn from_label_inverts_to_label() {
+        let mut all = vec![
+            RwSymbol::Alpha,
+            RwSymbol::Beta0,
+            RwSymbol::Beta1,
+            RwSymbol::Gamma0,
+            RwSymbol::Gamma1,
+            RwSymbol::Omega0,
+            RwSymbol::Eta11,
+            RwSymbol::Eta0,
+            RwSymbol::Eta1,
+        ];
+        for i in 0..6 {
+            all.extend([
+                RwSymbol::Tape0(i),
+                RwSymbol::Tape1(i),
+                RwSymbol::State0(i),
+                RwSymbol::State1(i),
+                RwSymbol::StateBar0(i),
+                RwSymbol::StateBar1(i),
+                RwSymbol::StateGamma0(i),
+                RwSymbol::StateGamma1(i),
+            ]);
+        }
+        for s in all {
+            assert_eq!(RwSymbol::from_label(s.to_label()), Some(s), "{s}");
+        }
+        assert_eq!(RwSymbol::from_label(Label::Empty), None);
+        assert_eq!(RwSymbol::from_label(Label::ONE), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Single-tape Turing machines — the substrate whose halting problem is
+//! reduced to rainworm creeping (Lemma 21).
+
+use std::collections::HashMap;
+
+/// Head movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Move {
+    /// One cell left.
+    L,
+    /// One cell right.
+    R,
+}
+
+/// A deterministic single-tape Turing machine with a right-infinite tape.
+///
+/// * States are `0..states`, the start state is `0`.
+/// * Tape symbols are `0..symbols`, the blank is `0`.
+/// * A missing transition halts the machine.
+/// * The machine must never move left from cell 0 (the rainworm encoding
+///   requires this; [`TuringMachine::run`] reports it as a distinct
+///   outcome so tests can reject such machines).
+#[derive(Debug, Clone)]
+pub struct TuringMachine {
+    /// Number of states.
+    pub states: u16,
+    /// Number of tape symbols (blank = 0).
+    pub symbols: u8,
+    /// The transition partial function.
+    pub transitions: HashMap<(u16, u8), (u16, u8, Move)>,
+}
+
+/// Outcome of a bounded TM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TmOutcome {
+    /// Halted (no transition) after `steps` steps.
+    Halted {
+        /// Steps taken.
+        steps: usize,
+        /// Final tape (trailing blanks trimmed).
+        tape: Vec<u8>,
+        /// Final head position.
+        head: usize,
+        /// Final state.
+        state: u16,
+    },
+    /// Still running at the step budget.
+    Running,
+    /// Attempted to move left from cell 0 — invalid for the encoding.
+    FellOffLeft {
+        /// Step at which it fell.
+        steps: usize,
+    },
+}
+
+impl TuringMachine {
+    /// Builds a machine, validating that transitions stay in range.
+    pub fn new(
+        states: u16,
+        symbols: u8,
+        transitions: impl IntoIterator<Item = ((u16, u8), (u16, u8, Move))>,
+    ) -> Self {
+        let transitions: HashMap<_, _> = transitions.into_iter().collect();
+        for (&(s, g), &(s2, g2, _)) in &transitions {
+            assert!(s < states && s2 < states, "state out of range");
+            assert!(g < symbols && g2 < symbols, "symbol out of range");
+        }
+        TuringMachine {
+            states,
+            symbols,
+            transitions,
+        }
+    }
+
+    /// Runs the machine from a blank tape for at most `max_steps` steps.
+    pub fn run(&self, max_steps: usize) -> TmOutcome {
+        let mut tape: Vec<u8> = vec![0];
+        let mut head: usize = 0;
+        let mut state: u16 = 0;
+        for k in 0..max_steps {
+            match self.transitions.get(&(state, tape[head])) {
+                None => {
+                    while tape.len() > 1 && *tape.last().unwrap() == 0 {
+                        tape.pop();
+                    }
+                    return TmOutcome::Halted {
+                        steps: k,
+                        tape,
+                        head,
+                        state,
+                    };
+                }
+                Some(&(s2, g2, mv)) => {
+                    tape[head] = g2;
+                    state = s2;
+                    match mv {
+                        Move::R => {
+                            head += 1;
+                            if head == tape.len() {
+                                tape.push(0);
+                            }
+                        }
+                        Move::L => {
+                            if head == 0 {
+                                return TmOutcome::FellOffLeft { steps: k };
+                            }
+                            head -= 1;
+                        }
+                    }
+                }
+            }
+        }
+        TmOutcome::Running
+    }
+
+    /// A machine that walks right `k` cells, writing `1`s, then halts.
+    pub fn right_walker(k: u16) -> TuringMachine {
+        let mut tr = HashMap::new();
+        for i in 0..k {
+            tr.insert((i, 0u8), (i + 1, 1u8, Move::R));
+        }
+        TuringMachine::new(k + 1, 2, tr)
+    }
+
+    /// A machine that never halts: writes `1` and moves right forever.
+    pub fn forever_right() -> TuringMachine {
+        TuringMachine::new(1, 2, [((0u16, 0u8), (0u16, 1u8, Move::R))])
+    }
+
+    /// A zig-zag machine exercising left moves: it marks cell 0 with a `2`,
+    /// walks right `k` cells writing `1`s, then walks back left over the
+    /// `1`s and halts on the `2` — never moving left from cell 0.
+    pub fn zigzag(k: u16) -> TuringMachine {
+        assert!(k >= 2);
+        let mut tr = HashMap::new();
+        tr.insert((0u16, 0u8), (1u16, 2u8, Move::R));
+        for i in 1..k {
+            tr.insert((i, 0u8), (i + 1, 1u8, Move::R));
+        }
+        // turn around on the blank past the last 1
+        tr.insert((k, 0u8), (k, 0u8, Move::L));
+        // walk left over the 1s
+        tr.insert((k, 1u8), (k, 1u8, Move::L));
+        // …no rule for (k, 2): halts at cell 0.
+        TuringMachine::new(k + 1, 3, tr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn right_walker_halts_in_k_steps() {
+        let tm = TuringMachine::right_walker(5);
+        match tm.run(100) {
+            TmOutcome::Halted {
+                steps,
+                tape,
+                head,
+                state,
+            } => {
+                assert_eq!(steps, 5);
+                assert_eq!(tape, vec![1, 1, 1, 1, 1]);
+                assert_eq!(head, 5);
+                assert_eq!(state, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forever_right_never_halts() {
+        let tm = TuringMachine::forever_right();
+        assert_eq!(tm.run(10_000), TmOutcome::Running);
+    }
+
+    #[test]
+    fn zigzag_halts_after_returning() {
+        let tm = TuringMachine::zigzag(3);
+        match tm.run(100) {
+            TmOutcome::Halted {
+                steps, tape, head, ..
+            } => {
+                assert!(steps > 3);
+                assert_eq!(head, 0);
+                assert_eq!(tape, vec![2, 1, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fell_off_left_is_reported() {
+        let tm = TuringMachine::new(1, 2, [((0u16, 0u8), (0u16, 1u8, Move::L))]);
+        assert_eq!(tm.run(10), TmOutcome::FellOffLeft { steps: 0 });
+    }
+}

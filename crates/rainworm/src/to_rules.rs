@@ -1,0 +1,157 @@
+//! `∆ ↦ T_M∆`: from rainworm instructions to green-graph rewriting rules
+//! (paper §VIII.C).
+
+use crate::machine::{Delta, Form};
+use crate::symbol::RwSymbol;
+use cqfd_greengraph::{L2Rule, L2System, Label};
+
+/// Builds the rule set `T_M∆ ⊆ L2`:
+///
+/// * `∅ &·· ∅ ] α &·· η11` and `η11 /·· ∅ ] γ1 /·· η0` are always present
+///   (the start-up rules; the second encodes ♦1);
+/// * `η0 &·· ∅ ] b &·· η1` for each ♦2 instruction `η0 ⇝ b η1`;
+/// * `η1 /·· ∅ ] q /·· ω0` for each ♦3 instruction `η1 ⇝ q ω0`;
+/// * `x /·· t ] x′ /·· t′` for each instruction `x t ⇝ x′ t′` of the
+///   unprimed forms ♦4–♦8 (whose windows are odd-then-even);
+/// * `x &·· t ] x′ &·· t′` for each instruction of the primed forms
+///   ♦4′–♦7′ (even-then-odd windows).
+pub fn tm_rules(delta: &Delta) -> L2System {
+    let mut rules = vec![
+        L2Rule::antenna(Label::Empty, Label::Empty, Label::Alpha, Label::Eta11),
+        L2Rule::tail(Label::Eta11, Label::Empty, Label::Gamma1, Label::Eta0),
+    ];
+    for instr in delta.instrs() {
+        let l = |s: RwSymbol| s.to_label();
+        match instr.form() {
+            Form::D1 => {
+                // already covered by the fixed start-up rule
+            }
+            Form::D2 => {
+                // η0 ⇝ b η1 : η0 &·· ∅ ] b &·· η1
+                rules.push(L2Rule::antenna(
+                    Label::Eta0,
+                    Label::Empty,
+                    l(instr.rhs()[0]),
+                    Label::Eta1,
+                ));
+            }
+            Form::D3 => {
+                // η1 ⇝ q ω0 : η1 /·· ∅ ] q /·· ω0
+                rules.push(L2Rule::tail(
+                    Label::Eta1,
+                    Label::Empty,
+                    l(instr.rhs()[0]),
+                    Label::Omega0,
+                ));
+            }
+            Form::D4 | Form::D5 | Form::D6 | Form::D7 | Form::D8 => {
+                rules.push(L2Rule::tail(
+                    l(instr.lhs()[0]),
+                    l(instr.lhs()[1]),
+                    l(instr.rhs()[0]),
+                    l(instr.rhs()[1]),
+                ));
+            }
+            Form::D4p | Form::D5p | Form::D6p | Form::D7p => {
+                rules.push(L2Rule::antenna(
+                    l(instr.lhs()[0]),
+                    l(instr.lhs()[1]),
+                    l(instr.rhs()[0]),
+                    l(instr.rhs()[1]),
+                ));
+            }
+        }
+    }
+    L2System::new(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::families::forever_worm;
+    use crate::run::trace;
+    use cqfd_chase::ChaseBudget;
+    use cqfd_greengraph::pg::ParityGlasses;
+    use cqfd_greengraph::{GreenGraph, LabelSpace};
+    use std::sync::Arc;
+
+    fn word_labels(c: &Config) -> Vec<Label> {
+        c.word().iter().map(|s| s.to_label()).collect()
+    }
+
+    #[test]
+    fn rule_count_matches_delta() {
+        let d = forever_worm();
+        let sys = tm_rules(&d);
+        // 2 fixed + one rule per instruction except ♦1.
+        assert_eq!(sys.rules().len(), 2 + d.len() - 1);
+    }
+
+    /// Lemma 25: every reachable configuration of a (creeping) worm appears
+    /// as a word of `chase(T_M∆, DI)`.
+    #[test]
+    fn lemma25_reachable_configs_are_chase_words() {
+        let d = forever_worm();
+        let sys = tm_rules(&d);
+        let space = Arc::new(LabelSpace::new(sys.labels()));
+        let g = GreenGraph::di(Arc::clone(&space));
+        let budget = ChaseBudget {
+            max_stages: 40,
+            max_atoms: 1 << 20,
+            max_nodes: 1 << 20,
+        };
+        let (out, _) = sys.chase(&g, &budget);
+        let pg = ParityGlasses::new(&out);
+        // Check each of the first dozen reachable configurations.
+        for c in trace(&d, 12) {
+            let w = word_labels(&c);
+            let found =
+                pg.is_path_word(out.a(), out.a(), &w) || pg.is_path_word(out.a(), out.b(), &w);
+            assert!(found, "configuration {c} not found among chase words");
+        }
+    }
+
+    /// The chase of `T_M∆` from `DI` contains no junk at the start: the
+    /// first word is `α η11` (one application of the first rule).
+    #[test]
+    fn initial_configuration_appears_first() {
+        let d = forever_worm();
+        let sys = tm_rules(&d);
+        let space = Arc::new(LabelSpace::new(sys.labels()));
+        let g = GreenGraph::di(Arc::clone(&space));
+        let (out, _) = sys.chase(&g, &ChaseBudget::stages(1));
+        let pg = ParityGlasses::new(&out);
+        assert!(pg.is_path_word(out.a(), out.a(), &word_labels(&Config::initial())));
+    }
+
+    /// Non-halting worm ⇒ unbounded αβ slime in the chase: the word
+    /// `α(β1β0)^k …` grows with the stage budget (the engine of the "⇒"
+    /// direction of Lemma 24).
+    #[test]
+    fn slime_grows_in_the_chase() {
+        let d = forever_worm();
+        let sys = tm_rules(&d);
+        let space = Arc::new(LabelSpace::new(sys.labels()));
+        let g = GreenGraph::di(Arc::clone(&space));
+        let (out, _) = sys.chase(
+            &g,
+            &ChaseBudget {
+                max_stages: 60,
+                max_atoms: 1 << 20,
+                max_nodes: 1 << 20,
+            },
+        );
+        let pg = ParityGlasses::new(&out);
+        // Find the longest reachable config within the budget and check its
+        // slime prefix is present as a path fragment.
+        let tr = trace(&d, 25);
+        let longest = tr.last().unwrap();
+        assert!(longest.slime().len() >= 4);
+        let w = word_labels(longest);
+        assert!(
+            pg.is_path_word(out.a(), out.a(), &w) || pg.is_path_word(out.a(), out.b(), &w),
+            "deep configuration {longest} must appear in the chase"
+        );
+    }
+}

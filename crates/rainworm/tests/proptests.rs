@@ -1,0 +1,173 @@
+//! Property-based tests for rainworm machines: determinism, validity,
+//! backward/forward consistency, and random-TM halting agreement.
+
+use cqfd_rainworm::encode::tm_to_rainworm;
+use cqfd_rainworm::families::counter_worm;
+use cqfd_rainworm::run::{creep, predecessors, step, successors, trace, CreepOutcome};
+use cqfd_rainworm::tm::{Move, TmOutcome, TuringMachine};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Along any counter-worm trace: configurations validate, steps are
+    /// unique (Lemma 22(2)), and predecessors invert steps.
+    #[test]
+    fn counter_worm_trace_invariants(m in 1u16..6, depth in 5usize..60) {
+        let d = counter_worm(m);
+        let tr = trace(&d, depth);
+        for w in &tr {
+            prop_assert!(w.validate().is_ok(), "Lemma 20 at {w}");
+            prop_assert!(successors(&d, w).len() <= 1, "Lemma 22(2) at {w}");
+        }
+        for pair in tr.windows(2) {
+            prop_assert!(predecessors(&d, &pair[1]).contains(&pair[0]), "Lemma 22(3) inversion");
+        }
+    }
+
+    /// The slime trail never shrinks and the head position stays inside
+    /// the word.
+    #[test]
+    fn slime_monotone(m in 1u16..5) {
+        let d = counter_worm(m);
+        let tr = trace(&d, 300);
+        let mut last = 0usize;
+        for w in &tr {
+            let s = w.slime().len();
+            prop_assert!(s >= last);
+            last = s;
+            let h = w.head_position().unwrap();
+            prop_assert!(h >= 1 && h < w.len());
+        }
+    }
+
+    /// Backward branching is uniformly bounded (Lemma 22(3)'s constant
+    /// `c_M`): no configuration on the trace has more predecessors than
+    /// the number of instructions.
+    #[test]
+    fn backward_branching_bounded(m in 1u16..5) {
+        let d = counter_worm(m);
+        for w in trace(&d, 150) {
+            let preds = predecessors(&d, &w);
+            prop_assert!(preds.len() <= d.len(), "c_M bound violated at {w}");
+        }
+    }
+
+    /// Random small Turing machines: if the TM halts (without falling off
+    /// the left edge), the compiled rainworm halts too, with the same
+    /// final tape content.
+    #[test]
+    fn random_tm_halting_agreement(
+        transitions in prop::collection::vec(
+            ((0u16..3, 0u8..2), (0u16..3, 0u8..2, any::<bool>())),
+            1..8,
+        ),
+    ) {
+        let tr: HashMap<(u16, u8), (u16, u8, Move)> = transitions
+            .into_iter()
+            .map(|((s, g), (s2, g2, right))| {
+                ((s, g), (s2, g2, if right { Move::R } else { Move::L }))
+            })
+            .collect();
+        let tm = TuringMachine::new(3, 2, tr);
+        match tm.run(60) {
+            TmOutcome::Halted { tape, state, head, steps } => {
+                let delta = tm_to_rainworm(&tm);
+                match creep(&delta, 500_000) {
+                    CreepOutcome::Halted { final_config, .. } => {
+                        let cells = cqfd_rainworm::encode::decode_tape(&final_config, &tm);
+                        for (i, cell) in cells.iter().enumerate() {
+                            let expect = tape.get(i).copied().unwrap_or(0);
+                            prop_assert_eq!(cell.sym, expect, "cell {} after {} TM steps", i, steps);
+                        }
+                        // Exactly one marked cell, at the TM's final head
+                        // position and state (the decoder also reads a
+                        // marker parked in the sweep-state buffer when the
+                        // worm halts mid-rightward-sweep).
+                        let _ = steps;
+                        let marked: Vec<_> = cells
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, c)| c.mark.map(|s| (i, s)))
+                            .collect();
+                        prop_assert_eq!(marked.len(), 1);
+                        prop_assert_eq!(marked[0], (head, state));
+                    }
+                    CreepOutcome::StillCreeping { config, .. } => {
+                        return Err(TestCaseError::fail(format!(
+                            "TM halted but worm still creeping at {config}"
+                        )));
+                    }
+                }
+            }
+            TmOutcome::Running | TmOutcome::FellOffLeft { .. } => {
+                // Out of the encoding's contract; skip.
+            }
+        }
+    }
+
+    /// A worm step never changes the word length by more than one symbol.
+    #[test]
+    fn step_changes_length_by_at_most_one(m in 1u16..5) {
+        let d = counter_worm(m);
+        let tr = trace(&d, 200);
+        for pair in tr.windows(2) {
+            let dl = pair[1].len() as i64 - pair[0].len() as i64;
+            prop_assert!(dl.abs() <= 1, "{} -> {}", pair[0], pair[1]);
+        }
+    }
+}
+
+/// Deterministic regression: stepping the halted configuration returns
+/// nothing, repeatedly.
+#[test]
+fn stepping_past_the_end_is_stable() {
+    let d = counter_worm(1);
+    if let CreepOutcome::Halted { final_config, .. } = creep(&d, 100_000) {
+        assert!(step(&d, &final_config).is_none());
+        assert!(successors(&d, &final_config).is_empty());
+    } else {
+        panic!("counter_worm(1) must halt");
+    }
+}
+
+mod fuzz {
+    use cqfd_rainworm::countermodel::build_countermodel;
+    use cqfd_rainworm::families::random_worm;
+    use cqfd_rainworm::run::{creep, CreepOutcome};
+    use cqfd_rainworm::to_rules::tm_rules;
+    use cqfd_separating::grid::t_square;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Lemma 20 holds for *every* well-formed ∆: creeping a random
+        /// worm never produces an invalid configuration (`creep` panics on
+        /// violation) and never violates step determinism.
+        #[test]
+        fn random_worms_respect_lemma20(seed in 0u64..10_000) {
+            let d = random_worm(seed);
+            let _ = creep(&d, 1500);
+        }
+
+        /// The §VIII.E construction works for *any* halting worm, not just
+        /// the curated families: the counter-model verifies fully.
+        #[test]
+        fn random_halting_worms_have_countermodels(seed in 0u64..2_000) {
+            let d = random_worm(seed);
+            match creep(&d, 800) {
+                CreepOutcome::Halted { steps, .. } if steps <= 120 => {
+                    let grid = t_square();
+                    let cm = build_countermodel(&d, &grid, 2_000).unwrap();
+                    let tm = tm_rules(&d);
+                    prop_assert!(tm.is_model(&cm.m_hat), "seed {seed}: M̂ ⊭ T_M∆");
+                    prop_assert!(grid.is_model(&cm.m_hat), "seed {seed}: M̂ ⊭ T□");
+                    prop_assert!(!cm.m_hat.has_12_pattern(), "seed {seed}: pattern!");
+                }
+                _ => {} // still creeping or too slow: out of fuzz scope
+            }
+        }
+    }
+}

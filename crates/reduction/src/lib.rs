@@ -1,0 +1,45 @@
+//! # cqfd-reduction — the Theorem 1/5 pipeline, end to end
+//!
+//! Chains every translation in the paper into the executable reduction
+//!
+//! ```text
+//! rainworm ∆  ──tm_rules──►  T_M∆ ∪ T□  ⊆ L2          (§VIII.C + §VII)
+//!            ──Precompile──►  T ⊆ L1                   (Definition 9)
+//!            ──Compile──►     Q ⊆ F2 (CQs over Σ)      (Definition 8)
+//! ```
+//!
+//! together with `Q0 = ∃* dalt(I)` (Observation 13). The produced
+//! [`CqfdpInstance`] is a *bona fide* instance of the Conjunctive Query
+//! Finite Determinacy Problem: `Q` finitely determines `Q0` iff the worm
+//! `∆` creeps forever. Since creeping-forever is undecidable (Lemma 21),
+//! CQfDP is undecidable (Theorem 1).
+//!
+//! Both computable translations are implemented here:
+//! [`precompile::precompile`] (Level 2 → Level 1, with the label → leg
+//! numbering the paper leaves to "some fixed bijection") and the
+//! composition [`pipeline::reduce`]. Lemma 12's level-agreement is
+//! exercised on tiny instances in the tests, including a full descent to
+//! Level 0 where the [`cqfd_greenred::DeterminacyOracle`] itself certifies
+//! the produced CQfDP instance.
+//!
+//! ```
+//! use cqfd_rainworm::families::forever_worm;
+//! use cqfd_reduction::reduce;
+//!
+//! let instance = reduce(&forever_worm());
+//! // A genuine CQfDP instance: views + a boolean target query over Σ.
+//! assert_eq!(instance.stats.queries, instance.queries.len());
+//! assert!(instance.q0.head_vars.is_empty());
+//! // Q finitely determines Q0 ⇔ the worm creeps forever (undecidable).
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod levels;
+pub mod pipeline;
+pub mod precompile;
+
+pub use levels::{deprecompile, precompile_map};
+pub use pipeline::{reduce, reduce_l2, CqfdpInstance, InstanceStats};
+pub use precompile::{precompile, LabelNumbering, Precompiled};

@@ -1,0 +1,207 @@
+//! `Precompile` (Definition 9): from green-graph rules to swarm rules.
+
+use cqfd_greengraph::{Join, L2System, Label};
+use cqfd_spider::{Legs, SpiderQuery};
+use cqfd_swarm::L1Rule;
+use std::collections::{BTreeSet, HashMap};
+
+/// The "fixed bijection" of footnote 13, made concrete: every non-`∅`
+/// label in play gets an element of `S`, with the 1-2 pattern labels at 1
+/// and 2 and the `Precompile` reserved indices at 3 and 4. Rule-numbering
+/// indices `2i+1 / 2i+2` (for the paper's rule numbers `i = 2..k+1`)
+/// extend `S` beyond the label codes.
+#[derive(Debug, Clone)]
+pub struct LabelNumbering {
+    code_of: HashMap<Label, u16>,
+    max_code: u16,
+}
+
+impl LabelNumbering {
+    /// Numbers the given labels; `∅` gets no code (it denotes the *empty*
+    /// leg set `I^∅ = I`).
+    pub fn new(labels: &BTreeSet<Label>) -> LabelNumbering {
+        let mut code_of = HashMap::new();
+        code_of.insert(Label::ONE, 1);
+        code_of.insert(Label::TWO, 2);
+        code_of.insert(Label::Reserved3, 3);
+        code_of.insert(Label::Reserved4, 4);
+        let mut next = 5u16;
+        for &l in labels {
+            if l == Label::Empty || code_of.contains_key(&l) {
+                continue;
+            }
+            code_of.insert(l, next);
+            next += 1;
+        }
+        LabelNumbering {
+            code_of,
+            max_code: next - 1,
+        }
+    }
+
+    /// The leg-set encoding of a label: `∅ ↦ None`, anything else its code.
+    pub fn leg(&self, l: Label) -> Option<u16> {
+        if l == Label::Empty {
+            None
+        } else {
+            Some(self.code_of[&l])
+        }
+    }
+
+    /// The inverse of [`LabelNumbering::leg`]: `None ↦ ∅`, a code back to
+    /// its label (if any label carries it — rule-numbering legs have none).
+    pub fn label_of(&self, leg: Option<u16>) -> Option<Label> {
+        match leg {
+            None => Some(Label::Empty),
+            Some(code) => self
+                .code_of
+                .iter()
+                .find(|&(_, &c)| c == code)
+                .map(|(&l, _)| l),
+        }
+    }
+
+    /// The largest label code in use.
+    pub fn max_code(&self) -> u16 {
+        self.max_code
+    }
+}
+
+/// The result of `Precompile`.
+#[derive(Debug, Clone)]
+pub struct Precompiled {
+    /// The `L1` rules.
+    pub rules: Vec<L1Rule>,
+    /// The label numbering used.
+    pub numbering: LabelNumbering,
+    /// The spider parameter `s` large enough for every leg index in use.
+    pub s: u16,
+}
+
+/// Definition 9. The output starts with the three fixed rules
+/// `f^1_1 &· f^2_2`, `f^3_1 &· f^4_2`, `f^3 &· f^4_3` (which turn a 1-2
+/// pattern into the full red spider in three steps — footnote 10); then
+/// each green-graph rule `I1 ⋈·· I2 ] I3 ⋈·· I4`, numbered `i` from 2,
+/// contributes `f^{I1}_{2i+1} ⋈· f^{I2}_{2i+2}` and
+/// `f^{I3}_{2i+1} ⋈· f^{I4}_{2i+2}`.
+pub fn precompile(t: &L2System) -> Precompiled {
+    let numbering = LabelNumbering::new(&t.labels());
+    let f = |u: Option<u16>, l: Option<u16>| SpiderQuery::new(Legs::new(u, l));
+    let mut rules = vec![
+        L1Rule::antenna(f(Some(1), Some(1)), f(Some(2), Some(2))),
+        L1Rule::antenna(f(Some(3), Some(1)), f(Some(4), Some(2))),
+        L1Rule::antenna(f(Some(3), None), f(Some(4), Some(3))),
+    ];
+    let mut max_lower = 3u16;
+    for (j, rule) in t.rules().iter().enumerate() {
+        let i = j as u16 + 2; // the paper numbers rules from 2
+        let (lo1, lo2) = (2 * i + 1, 2 * i + 2);
+        max_lower = lo2;
+        let mk = |l2join: Join, a: Label, b: Label| {
+            let fa = f(numbering.leg(a), Some(lo1));
+            let fb = f(numbering.leg(b), Some(lo2));
+            match l2join {
+                Join::Antenna => L1Rule::antenna(fa, fb),
+                Join::Tail => L1Rule::tail(fa, fb),
+            }
+        };
+        rules.push(mk(rule.join, rule.lhs.0, rule.lhs.1));
+        rules.push(mk(rule.join, rule.rhs.0, rule.rhs.1));
+    }
+    let s = numbering.max_code().max(max_lower).max(4);
+    Precompiled {
+        rules,
+        numbering,
+        s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_chase::ChaseBudget;
+    use cqfd_greengraph::{GreenGraph, L2Rule};
+    use cqfd_swarm::{L1System, Swarm, SwarmContext};
+    use std::sync::Arc;
+
+    fn tiny_positive() -> L2System {
+        // DI immediately produces a 1-2 pattern.
+        L2System::new(vec![L2Rule::antenna(
+            Label::Empty,
+            Label::Empty,
+            Label::ONE,
+            Label::TWO,
+        )])
+    }
+
+    fn tiny_negative() -> L2System {
+        // Produces only α/η1 edges — never the pattern labels.
+        L2System::new(vec![L2Rule::antenna(
+            Label::Empty,
+            Label::Empty,
+            Label::Alpha,
+            Label::Eta1,
+        )])
+    }
+
+    #[test]
+    fn shape_of_precompiled_output() {
+        let p = precompile(&tiny_positive());
+        assert_eq!(p.rules.len(), 3 + 2);
+        // rule 2 ⇒ lower legs 5, 6; labels ONE=1, TWO=2 ⇒ s = 6.
+        assert_eq!(p.s, 6);
+        assert_eq!(p.numbering.leg(Label::ONE), Some(1));
+        assert_eq!(p.numbering.leg(Label::TWO), Some(2));
+        assert_eq!(p.numbering.leg(Label::Empty), None);
+    }
+
+    #[test]
+    fn numbering_is_injective_and_reserved() {
+        let t = tiny_negative();
+        let p = precompile(&t);
+        let mut codes = std::collections::BTreeSet::new();
+        for l in t.labels() {
+            if l != Label::Empty {
+                assert!(codes.insert(p.numbering.leg(l).unwrap()));
+            }
+        }
+        // α and η1 got fresh codes ≥ 5.
+        assert!(codes.iter().all(|&c| c >= 5));
+    }
+
+    /// Lemma 12(2) on the positive instance: Level 2 finds the 1-2 pattern
+    /// and Level 1 finds the red spider.
+    #[test]
+    fn lemma12_2_positive_instance() {
+        let t = tiny_positive();
+        // Level 2:
+        let space = t.space_with([]);
+        let g = GreenGraph::di(Arc::clone(&space));
+        let (_, _, found2) = t.chase_until_12(&g, &ChaseBudget::stages(8));
+        assert!(found2);
+        // Level 1:
+        let p = precompile(&t);
+        let ctx = Arc::new(SwarmContext::with_s(p.s));
+        let sys = L1System::new(p.rules.clone());
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let (_, _, found1) = sys.chase_until_red(&sw, &ChaseBudget::stages(16));
+        assert!(found1, "precompiled rules must reach the red spider");
+    }
+
+    /// Lemma 12(2) on the negative instance: neither level reaches its
+    /// target within the budget.
+    #[test]
+    fn lemma12_2_negative_instance() {
+        let t = tiny_negative();
+        let space = t.space_with([Label::ONE, Label::TWO]);
+        let g = GreenGraph::di(Arc::clone(&space));
+        let (_, _, found2) = t.chase_until_12(&g, &ChaseBudget::stages(8));
+        assert!(!found2);
+        let p = precompile(&t);
+        let ctx = Arc::new(SwarmContext::with_s(p.s));
+        let sys = L1System::new(p.rules.clone());
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let (_, _, found1) = sys.chase_until_red(&sw, &ChaseBudget::stages(12));
+        assert!(!found1);
+    }
+}

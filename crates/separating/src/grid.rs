@@ -1,0 +1,276 @@
+//! `T□` — the 41 grid-building rules of §VII Step 2 (Figures 2–3).
+//!
+//! The rules tile the rectangle spanned by two αβ-paths that share their
+//! endpoint. Each rule consumes the southern and eastern edge of one little
+//! square and adds its western and northern edge (footnote 12: "adding two
+//! missing edges of a square is exactly what green graph rewriting rules
+//! are good at"). The `d`/`d̄` component tracks the grid diagonal; if and
+//! only if the two paths have *different* lengths does the north-western
+//! corner land off the diagonal, producing the labels
+//! `⟨n,α,d̄,b̄⟩` (= "1") and `⟨w,α,d̄,b̄⟩` (= "2") — a 1-2 pattern.
+//!
+//! ## Transcription note (documented repair)
+//!
+//! The fourth eastern-strip rule is printed in the paper as
+//!
+//! ```text
+//! α &·· ⟨w,β,d̄,b⟩ ] ⟨w,β,d̄,b⟩ &·· ⟨n,α,d̄,b̄⟩
+//! ```
+//!
+//! whose left-hand side can never match: eastern-strip tiles alternate
+//! source-joins at the path's `a`-vertices (consuming `⟨w,·,·,b⟩` edges,
+//! rules 1 and 3) and target-joins at its `b`-vertices (consuming
+//! `⟨e,·,·,b⟩` edges, rule 2), and the closing α-step is a target-join at
+//! `b1` — where only an `⟨e,β,d̄,b⟩` edge can be present (`⟨w,·,·,b⟩` edges
+//! always point into fresh tile corners, never into `b1`). The repaired
+//! rule, by exact symmetry with the second eastern rule, is
+//!
+//! ```text
+//! α &·· ⟨e,β,d̄,b⟩ ] ⟨w,β,d̄,b⟩ &·· ⟨n,α,d̄,b̄⟩
+//! ```
+//!
+//! — a one-letter fix (`w` → `e`) on the left-hand side. [`t_square`]
+//! ships the repaired rule; [`t_square_as_printed`] keeps the literal
+//! transcription so the discrepancy can be measured: with the literal rule
+//! the label `⟨n,α,d̄,b̄⟩` is never produced and no folded model ever shows
+//! a 1-2 pattern (experiment E-GRID in EXPERIMENTS.md).
+
+use cqfd_greengraph::{Dir, GridLabel, Kind, L2Rule, L2System, Label};
+
+/// Shorthand for a grid label.
+pub fn gl(dir: Dir, kind: Kind, diag: bool, border: bool) -> Label {
+    Label::Grid(GridLabel {
+        dir,
+        kind,
+        diag,
+        border,
+    })
+}
+
+/// The **grid triggering rule**: `β0 &·· β0 ] ⟨n,β,d,b⟩ &·· ⟨w,β,d,b⟩` —
+/// creates the tile in the south-eastern corner of the grid, at a vertex
+/// where two β0 edges end.
+pub fn trigger_rule() -> L2Rule {
+    L2Rule::antenna(
+        Label::Beta0,
+        Label::Beta0,
+        gl(Dir::N, Kind::B, true, true),
+        gl(Dir::W, Kind::B, true, true),
+    )
+}
+
+/// The four southern-strip rules (tiles adjacent to the southern border).
+pub fn southern_strip() -> Vec<L2Rule> {
+    vec![
+        // β1 /·· ⟨n,β,d,b⟩ ] ⟨s,β,d̄,b⟩ /·· ⟨e,β,d,b̄⟩
+        L2Rule::tail(
+            Label::Beta1,
+            gl(Dir::N, Kind::B, true, true),
+            gl(Dir::S, Kind::B, false, true),
+            gl(Dir::E, Kind::B, true, false),
+        ),
+        // β0 &·· ⟨s,β,d̄,b⟩ ] ⟨n,β,d̄,b⟩ &·· ⟨w,β,d̄,b̄⟩
+        L2Rule::antenna(
+            Label::Beta0,
+            gl(Dir::S, Kind::B, false, true),
+            gl(Dir::N, Kind::B, false, true),
+            gl(Dir::W, Kind::B, false, false),
+        ),
+        // β1 /·· ⟨n,β,d̄,b⟩ ] ⟨s,β,d̄,b⟩ /·· ⟨e,β,d̄,b̄⟩
+        L2Rule::tail(
+            Label::Beta1,
+            gl(Dir::N, Kind::B, false, true),
+            gl(Dir::S, Kind::B, false, true),
+            gl(Dir::E, Kind::B, false, false),
+        ),
+        // α &·· ⟨s,β,d̄,b⟩ ] ⟨n,β,d̄,b⟩ &·· ⟨w,α,d̄,b̄⟩
+        L2Rule::antenna(
+            Label::Alpha,
+            gl(Dir::S, Kind::B, false, true),
+            gl(Dir::N, Kind::B, false, true),
+            gl(Dir::W, Kind::A, false, false),
+        ),
+    ]
+}
+
+/// The four eastern-strip rules. `repaired = true` substitutes the
+/// symmetric form for the fourth rule's left-hand side (see the module
+/// docs).
+pub fn eastern_strip(repaired: bool) -> Vec<L2Rule> {
+    let fourth_lhs_second = if repaired {
+        gl(Dir::E, Kind::B, false, true)
+    } else {
+        gl(Dir::W, Kind::B, false, true) // literal transcription
+    };
+    vec![
+        // β1 /·· ⟨w,β,d,b⟩ ] ⟨e,β,d̄,b⟩ /·· ⟨s,β,d,b̄⟩
+        L2Rule::tail(
+            Label::Beta1,
+            gl(Dir::W, Kind::B, true, true),
+            gl(Dir::E, Kind::B, false, true),
+            gl(Dir::S, Kind::B, true, false),
+        ),
+        // β0 &·· ⟨e,β,d̄,b⟩ ] ⟨w,β,d̄,b⟩ &·· ⟨n,β,d̄,b̄⟩
+        L2Rule::antenna(
+            Label::Beta0,
+            gl(Dir::E, Kind::B, false, true),
+            gl(Dir::W, Kind::B, false, true),
+            gl(Dir::N, Kind::B, false, false),
+        ),
+        // β1 /·· ⟨w,β,d̄,b⟩ ] ⟨e,β,d̄,b⟩ /·· ⟨s,β,d̄,b̄⟩
+        L2Rule::tail(
+            Label::Beta1,
+            gl(Dir::W, Kind::B, false, true),
+            gl(Dir::E, Kind::B, false, true),
+            gl(Dir::S, Kind::B, false, false),
+        ),
+        // α &·· ⟨e|w,β,d̄,b⟩ ] ⟨w,β,d̄,b⟩ &·· ⟨n,α,d̄,b̄⟩
+        L2Rule::antenna(
+            Label::Alpha,
+            fourth_lhs_second,
+            gl(Dir::W, Kind::B, false, true),
+            gl(Dir::N, Kind::A, false, false),
+        ),
+    ]
+}
+
+/// The 32 inner rules (two schemes of 16), which tile the interior:
+///
+/// ```text
+/// ⟨e,Θ,X,b̄⟩ &·· ⟨s,Ω,Y,b̄⟩ ] ⟨n,Ω,X,b̄⟩ &·· ⟨w,Θ,Y,b̄⟩
+/// ⟨w,Θ,X,b̄⟩ /·· ⟨n,Ω,Y,b̄⟩ ] ⟨s,Ω,X,b̄⟩ /·· ⟨e,Θ,Y,b̄⟩
+/// ```
+///
+/// for `X, Y ∈ {d, d̄}` and `Θ, Ω ∈ {α, β}`.
+pub fn inner_rules() -> Vec<L2Rule> {
+    let mut out = Vec::with_capacity(32);
+    for theta in [Kind::A, Kind::B] {
+        for omega in [Kind::A, Kind::B] {
+            for x in [true, false] {
+                for y in [true, false] {
+                    out.push(L2Rule::antenna(
+                        gl(Dir::E, theta, x, false),
+                        gl(Dir::S, omega, y, false),
+                        gl(Dir::N, omega, x, false),
+                        gl(Dir::W, theta, y, false),
+                    ));
+                    out.push(L2Rule::tail(
+                        gl(Dir::W, theta, x, false),
+                        gl(Dir::N, omega, y, false),
+                        gl(Dir::S, omega, x, false),
+                        gl(Dir::E, theta, y, false),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `T□` with the documented repair — 41 rules.
+pub fn t_square() -> L2System {
+    build(true)
+}
+
+/// `T□` exactly as printed in the paper — 41 rules, fourth eastern rule
+/// left verbatim. Kept for the E-GRID ablation.
+pub fn t_square_as_printed() -> L2System {
+    build(false)
+}
+
+fn build(repaired: bool) -> L2System {
+    let mut rules = vec![trigger_rule()];
+    rules.extend(southern_strip());
+    rules.extend(eastern_strip(repaired));
+    rules.extend(inner_rules());
+    L2System::new(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forty_one_rules() {
+        assert_eq!(t_square().rules().len(), 41);
+        assert_eq!(t_square_as_printed().rules().len(), 41);
+        assert_eq!(inner_rules().len(), 32);
+    }
+
+    #[test]
+    fn repair_changes_exactly_one_label() {
+        let a = t_square();
+        let b = t_square_as_printed();
+        let diff: Vec<_> = a
+            .rules()
+            .iter()
+            .zip(b.rules())
+            .filter(|(x, y)| x != y)
+            .collect();
+        assert_eq!(diff.len(), 1);
+        let (rep, lit) = diff[0];
+        assert_eq!(rep.lhs.0, lit.lhs.0);
+        assert_ne!(rep.lhs.1, lit.lhs.1);
+        assert_eq!(rep.rhs, lit.rhs);
+    }
+
+    #[test]
+    fn pattern_labels_are_produced_by_the_strips() {
+        // ⟨w,α,d̄,b̄⟩ ("2") comes from the southern strip, ⟨n,α,d̄,b̄⟩ ("1")
+        // from the eastern strip — the α ends of the two borders.
+        let s4 = &southern_strip()[3];
+        assert_eq!(s4.rhs.1, Label::TWO);
+        let e4 = &eastern_strip(true)[3];
+        assert_eq!(e4.rhs.1, Label::ONE);
+    }
+
+    #[test]
+    fn trigger_only_consumes_beta0() {
+        let t = trigger_rule();
+        assert_eq!(t.lhs, (Label::Beta0, Label::Beta0));
+    }
+
+    #[test]
+    fn inner_rules_only_touch_non_border_labels() {
+        for r in inner_rules() {
+            for l in r.labels() {
+                match l {
+                    Label::Grid(g) => assert!(!g.border),
+                    other => panic!("inner rule with non-grid label {other}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod analysis_tests {
+    use super::*;
+    use cqfd_greengraph::analysis::{label_closure, provably_never_red_spider};
+    use cqfd_greengraph::Label;
+
+    /// The static label-flow certificate works where it can: `T∞` alone
+    /// produces no grid labels, and `T□` alone cannot even fire its
+    /// trigger from `DI` (no `β0` is producible) — both provably never
+    /// lead to the red spider, for *any* input labelled within `{∅}`.
+    #[test]
+    fn components_are_statically_safe_in_isolation() {
+        assert!(provably_never_red_spider(&crate::tinf::t_infinity()));
+        assert!(provably_never_red_spider(&t_square()));
+        let c = label_closure(&t_square(), [Label::Empty]);
+        assert_eq!(c.len(), 1, "T□'s trigger needs β0: nothing flows from ∅");
+    }
+
+    /// The union is beyond the analysis — as it must be: for the repaired
+    /// rules the pattern really forms (no sound analysis may certify
+    /// safety), and for the literal rules the failure is *structural*
+    /// (two edges that never share a target), invisible to label flow.
+    /// The E-GRID ablation therefore rests on the dynamic experiment.
+    #[test]
+    fn unions_are_beyond_label_flow() {
+        let repaired = crate::tinf::t_infinity().union(&t_square());
+        assert!(!provably_never_red_spider(&repaired));
+        let literal = crate::tinf::t_infinity().union(&t_square_as_printed());
+        assert!(!provably_never_red_spider(&literal));
+    }
+}

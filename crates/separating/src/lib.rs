@@ -1,0 +1,35 @@
+//! # cqfd-separating — the separating example (paper §VII, Theorem 14)
+//!
+//! Theorem 14: there is a set `T ⊆ L2` of green-graph rewriting rules that
+//! does **not** lead to the red spider but **finitely** leads to it — i.e.
+//! the chase never develops a 1-2 pattern, yet every *finite* model of `T`
+//! containing `DI` contains one. Through Lemma 12 this separates finite
+//! from unrestricted determinacy of conjunctive queries (no separating
+//! example was known before this paper).
+//!
+//! The construction:
+//!
+//! * [`tinf`] — the three rules of `T∞` whose chase from `DI` is the
+//!   infinite αβ-path of **Figure 1**, plus the finite "lasso" models of
+//!   `T∞` (an αβ-path folded into a ρ shape), which are what a finite model
+//!   of `T∞` must look like up to homomorphism;
+//! * [`grid`] — the 41 grid-building rules `T□` of Step 2 (**Figures 2–3**):
+//!   a trigger tile at a shared β0-endpoint, two border strips, and 32
+//!   inner rules that tile the rectangle between two αβ-paths, tracking the
+//!   diagonal in the `d`/`d̄` label component. If the two paths have
+//!   different lengths the north-western corner falls off the diagonal and
+//!   its labels `⟨n,α,d̄,b̄⟩ / ⟨w,α,d̄,b̄⟩` form the 1-2 pattern;
+//! * [`theorem14`] — `T = T∞ ∪ T□` and the executable evidence: unfolded
+//!   chase prefixes never contain the pattern (**Figure 4**'s harmless
+//!   grids `M_t`), while chasing from any lasso model produces it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod theorem14;
+pub mod tinf;
+
+pub use grid::{t_square, t_square_as_printed};
+pub use theorem14::t_separating;
+pub use tinf::{alpha_beta_chase_graph, lasso_model, t_infinity};

@@ -1,0 +1,237 @@
+//! Theorem 14, executably: `T = T∞ ∪ T□` finitely leads to the red spider
+//! but does not lead to it.
+
+use crate::grid::t_square;
+use crate::tinf::{lasso_model, t_infinity, tinf_labels};
+use cqfd_chase::{ChaseBudget, ChaseRun};
+use cqfd_greengraph::{GreenGraph, L2System, Label, LabelSpace};
+use std::sync::Arc;
+
+/// `T = T∞ ∪ T□` (44 rules): the separating rule set of Theorem 14.
+pub fn t_separating() -> L2System {
+    t_infinity().union(&t_square())
+}
+
+/// The label space of the separating example: `∅`, the five skeleton
+/// labels, and the 32 grid labels.
+pub fn separating_space() -> Arc<LabelSpace> {
+    let mut labels = tinf_labels();
+    labels.extend(Label::all_grid_labels());
+    Arc::new(LabelSpace::new(labels))
+}
+
+/// Evidence for the "does not lead to the red spider" half: chases
+/// `T` from `DI` for `stages` stages and reports whether a 1-2 pattern ever
+/// appeared (it must not — the chase builds only the harmless diagonal
+/// grids `M_t` of Figure 4).
+pub fn chase_from_di(stages: usize) -> (GreenGraph, ChaseRun, bool) {
+    let sys = t_separating();
+    let g = GreenGraph::di(separating_space());
+    let budget = ChaseBudget {
+        max_stages: stages,
+        max_atoms: 1 << 22,
+        max_nodes: 1 << 22,
+    };
+    sys.chase_until_12(&g, &budget)
+}
+
+/// Evidence for the "finitely leads to the red spider" half: starting from
+/// the lasso model of `T∞` (a ρ-folded αβ-path, `n` pairs, loop length
+/// `period`), chases `T` and reports whether the 1-2 pattern appeared.
+///
+/// The lasso contains two αβ-paths of lengths differing by `period` that
+/// share their endpoint, so the grid the chase builds between them is a
+/// non-square rectangle: its north-western corner is off the diagonal and
+/// gets the labels `⟨n,α,d̄,b̄⟩ / ⟨w,α,d̄,b̄⟩` — the 1-2 pattern. Since every
+/// finite model of `T` containing `DI` receives a homomorphism from the
+/// chase (and homomorphisms preserve the pattern), every such model
+/// contains it (Lemma 17).
+pub fn chase_from_lasso(n: usize, period: usize, stages: usize) -> (GreenGraph, ChaseRun, bool) {
+    let sys = t_separating();
+    let g = lasso_model(separating_space(), n, period);
+    let budget = ChaseBudget {
+        max_stages: stages,
+        max_atoms: 1 << 22,
+        max_nodes: 1 << 22,
+    };
+    sys.chase_until_12(&g, &budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_count() {
+        assert_eq!(t_separating().rules().len(), 44);
+    }
+
+    /// E-SEP (positive half): chasing from the smallest lasso produces the
+    /// 1-2 pattern — `T` finitely leads to the red spider.
+    #[test]
+    fn lasso_chase_finds_12_pattern() {
+        let (_, run, found) = chase_from_lasso(3, 1, 60);
+        assert!(
+            found,
+            "1-2 pattern must emerge from the folded model (ran {} stages, {} atoms)",
+            run.stage_count(),
+            run.structure.atom_count()
+        );
+    }
+
+    /// E-SEP (negative half): the unfolded chase never develops a pattern.
+    #[test]
+    fn di_chase_stays_clean() {
+        let (_, _, found) = chase_from_di(12);
+        assert!(!found, "chase(T, DI) must not contain a 1-2 pattern");
+    }
+
+    /// E-SEP: different lasso geometries all yield the pattern.
+    #[test]
+    fn various_lassos_all_fold_to_a_pattern() {
+        for (n, p) in [(4, 2), (4, 1), (5, 3)] {
+            let (_, _, found) = chase_from_lasso(n, p, 80);
+            assert!(found, "lasso(n={n}, p={p}) must develop a 1-2 pattern");
+        }
+    }
+
+    /// E-GRID ablation: with the fourth eastern-strip rule exactly as
+    /// printed in the paper, `⟨n,α,d̄,b̄⟩` is never produced and the folded
+    /// model never shows a pattern — evidence that the printed rule is a
+    /// typo and our one-letter repair is the intended rule.
+    #[test]
+    fn as_printed_rules_never_produce_label_one() {
+        let sys = t_infinity().union(&crate::grid::t_square_as_printed());
+        let g = lasso_model(separating_space(), 3, 1);
+        let budget = ChaseBudget {
+            max_stages: 25,
+            max_atoms: 1 << 20,
+            max_nodes: 1 << 20,
+        };
+        let (out, _, found) = sys.chase_until_12(&g, &budget);
+        assert!(!found);
+        assert_eq!(out.edges_with(Label::ONE).count(), 0);
+    }
+
+    /// E-FIG4: chasing `T□` alone over an *unfolded* αβ-path prefix builds
+    /// only the harmless diagonal grids `M_t` — the chase terminates and no
+    /// 1-2 pattern appears. (All β0 edges have distinct endpoints, so only
+    /// the degenerate x = x′ trigger matches fire, producing the grids of
+    /// Figure 4 whose north-western corners sit *on* the diagonal.)
+    #[test]
+    fn unfolded_prefix_grids_are_harmless() {
+        let sys = t_square();
+        let (g, _, _) = crate::tinf::alpha_beta_chase_graph(separating_space(), 4);
+        let budget = ChaseBudget {
+            max_stages: 200,
+            max_atoms: 1 << 20,
+            max_nodes: 1 << 20,
+        };
+        let (out, run, found) = sys.chase_until_12(&g, &budget);
+        assert!(!found, "diagonal grids must not contain a 1-2 pattern");
+        assert!(
+            run.reached_fixpoint(),
+            "T□ over a finite unfolded path terminates"
+        );
+        // The square grids' far corners land *on* the diagonal: the
+        // d-flavored α corner labels ⟨n,α,d,b̄⟩ / ⟨w,α,d,b̄⟩ exist.
+        // (Isolated ONE/TWO edges do appear — the strip rules emit them at
+        // each grid's first row and column — but they never share a target.)
+        use crate::grid::gl;
+        use cqfd_greengraph::{Dir, Kind};
+        assert!(
+            out.edges_with(gl(Dir::N, Kind::A, true, false))
+                .next()
+                .is_some()
+                || out
+                    .edges_with(gl(Dir::W, Kind::A, true, false))
+                    .next()
+                    .is_some(),
+            "the α corner is reached on the diagonal"
+        );
+    }
+
+    /// Lemma 17 mechanics: the pattern labels are exactly where §VII says —
+    /// a ONE and a TWO edge sharing their target.
+    #[test]
+    fn pattern_witness_shape() {
+        let (out, _, found) = chase_from_lasso(3, 1, 60);
+        assert!(found);
+        let g = out;
+        let (x, xp, y) = g.find_12_pattern().unwrap();
+        assert!(g.has_edge(Label::ONE, x, y));
+        assert!(g.has_edge(Label::TWO, xp, y));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    #[ignore]
+    fn debug_lasso_grid() {
+        let sys = t_separating();
+        let g = lasso_model(separating_space(), 3, 1);
+        let budget = ChaseBudget {
+            max_stages: 30,
+            max_atoms: 1 << 20,
+            max_nodes: 1 << 20,
+        };
+        let (out, run, found) = sys.chase_until_12(&g, &budget);
+        println!(
+            "stages={} atoms={} found={}",
+            run.stage_count(),
+            out.edge_count(),
+            found
+        );
+        for (i, s) in run.stages.iter().enumerate() {
+            println!(
+                "stage {}: apps={} atoms={}",
+                i + 1,
+                s.applications,
+                s.atoms_after
+            );
+        }
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for (l, _, _) in out.edges() {
+            *counts.entry(format!("{l}")).or_default() += 1;
+        }
+        for (l, c) in &counts {
+            println!("{l}: {c}");
+        }
+        println!("has ONE: {}", out.edges_with(Label::ONE).count());
+        println!("has TWO: {}", out.edges_with(Label::TWO).count());
+    }
+}
+
+#[cfg(test)]
+mod strategy_tests {
+    use super::*;
+    use crate::tinf::lasso_model;
+    use cqfd_chase::Strategy;
+
+    /// The semi-naive chase strategy reaches the same Theorem 14 verdicts:
+    /// pattern from the fold, no pattern from DI.
+    #[test]
+    fn seminaive_strategy_agrees_on_theorem14() {
+        let sys = t_separating();
+        let budget = ChaseBudget {
+            max_stages: 60,
+            max_atoms: 1 << 22,
+            max_nodes: 1 << 22,
+        };
+        let lasso = lasso_model(separating_space(), 3, 1);
+        let (_, _, found) = sys.chase_until_12_with(&lasso, &budget, Strategy::SemiNaive);
+        assert!(found, "semi-naive must find the pattern too");
+        let di = GreenGraph::di(separating_space());
+        let small = ChaseBudget {
+            max_stages: 10,
+            max_atoms: 1 << 22,
+            max_nodes: 1 << 22,
+        };
+        let (_, _, found) = sys.chase_until_12_with(&di, &small, Strategy::SemiNaive);
+        assert!(!found, "and must stay clean on DI");
+    }
+}

@@ -1,0 +1,209 @@
+//! `T∞` and its models (paper §VII Step 1, Figure 1).
+
+use cqfd_greengraph::{GreenGraph, L2Rule, L2System, Label, LabelSpace};
+use std::sync::Arc;
+
+/// The three rules of `T∞`:
+///
+/// ```text
+/// (I)   ∅ &·· ∅  ]  α  &·· η1
+/// (II)  ∅ /·· η1 ]  η0 /·· β1
+/// (III) ∅ &·· η0 ]  η1 &·· β0
+/// ```
+///
+/// `chase(T∞, DI)` is an infinite "path": rule (I) fires once, then (II)
+/// and (III) alternate forever, growing the sequences `b1, b2, …` (sinks)
+/// and `a1, a2, …` (sources) of Figure 1.
+pub fn t_infinity() -> L2System {
+    L2System::new(vec![
+        L2Rule::antenna(Label::Empty, Label::Empty, Label::Alpha, Label::Eta1),
+        L2Rule::tail(Label::Empty, Label::Eta1, Label::Eta0, Label::Beta1),
+        L2Rule::antenna(Label::Empty, Label::Eta0, Label::Eta1, Label::Beta0),
+    ])
+}
+
+/// The labels `T∞` and its models live over.
+pub fn tinf_labels() -> Vec<Label> {
+    vec![
+        Label::Alpha,
+        Label::Beta0,
+        Label::Beta1,
+        Label::Eta0,
+        Label::Eta1,
+    ]
+}
+
+/// Directly constructs the structure `chase(T∞, DI)` truncated to `n` pairs
+/// `(a_t, b_t)` — the Figure 1 shape, without running the chase:
+///
+/// * `H∅(a, b)`, `Hα(a, b1)`;
+/// * `Hη1(a, b_t)` and `Hβ1(a_t, b_t)` and `Hη0(a_t, b)` for `1 ≤ t ≤ n`;
+/// * `Hβ0(a_t, b_{t+1})` for `1 ≤ t < n`.
+///
+/// Returns the graph plus the vertex lists `(b_1…b_n, a_1…a_n)`.
+/// Tests verify this against the actual chase (E-FIG1).
+pub fn alpha_beta_chase_graph(
+    space: Arc<LabelSpace>,
+    n: usize,
+) -> (GreenGraph, Vec<cqfd_core::Node>, Vec<cqfd_core::Node>) {
+    let mut g = GreenGraph::di(space);
+    let bs: Vec<_> = (0..n).map(|_| g.fresh_node()).collect();
+    let as_: Vec<_> = (0..n).map(|_| g.fresh_node()).collect();
+    let (a, b) = (g.a(), g.b());
+    if n > 0 {
+        g.add_edge(Label::Alpha, a, bs[0]);
+    }
+    for t in 0..n {
+        g.add_edge(Label::Eta1, a, bs[t]);
+        g.add_edge(Label::Beta1, as_[t], bs[t]);
+        g.add_edge(Label::Eta0, as_[t], b);
+        if t + 1 < n {
+            g.add_edge(Label::Beta0, as_[t], bs[t + 1]);
+        }
+    }
+    (g, bs, as_)
+}
+
+/// A finite **lasso model** of `T∞`: the infinite αβ-path folded into a ρ.
+///
+/// `n` pairs `(a_t, b_t)` as in [`alpha_beta_chase_graph`], but the last
+/// β0 edge wraps around: `Hβ0(a_n, b_{n-period+1})`. Every finite model of
+/// `T∞` containing `DI` receives the chase homomorphically and therefore
+/// identifies two `b` vertices (§VII Step 2, Figure 2) — the lasso is the
+/// canonical such identification. Requires `1 ≤ period ≤ n - 1`.
+///
+/// The returned graph **is a model of `T∞`** (tested), so after the grid
+/// rules are added (`T = T∞ ∪ T□`), any model of `T` extending it must
+/// contain the 1-2 pattern: the wrap point `b_{n-period+1}` receives β0
+/// edges from both `a_{n-period}` and `a_n`, i.e. two αβ-paths of lengths
+/// differing by `period` share an endpoint.
+pub fn lasso_model(space: Arc<LabelSpace>, n: usize, period: usize) -> GreenGraph {
+    assert!(n >= 2, "need at least two pairs to fold");
+    assert!(
+        (1..n).contains(&period),
+        "period must be in 1..n (got {period} with n={n})"
+    );
+    let (mut g, bs, as_) = alpha_beta_chase_graph(space, n);
+    g.add_edge(Label::Beta0, as_[n - 1], bs[n - period]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_chase::ChaseBudget;
+    use cqfd_greengraph::pg::words_of;
+
+    fn space() -> Arc<LabelSpace> {
+        Arc::new(LabelSpace::new(tinf_labels()))
+    }
+
+    /// E-FIG1: the chase of `T∞` from `DI` applies exactly one rule per
+    /// stage and produces the Figure 1 structure.
+    #[test]
+    fn chase_matches_figure1() {
+        let sys = t_infinity();
+        let g = GreenGraph::di(space());
+        let (out, run) = sys.chase(&g, &ChaseBudget::stages(9));
+        for s in &run.stages {
+            assert_eq!(
+                s.applications, 1,
+                "Figure 1 caption: exactly one application per stage"
+            );
+        }
+        // Stages: (I), then (II)/(III) alternating: 9 stages = 1 + 4 pairs
+        // = b1..b5? Count pairs: stage 1 makes b1; stages 2,4,6,8 make a_t;
+        // stages 3,5,7,9 make b_{t+1}. After 9 stages: b1..b5, a1..a4.
+        // Each stage adds two edges: 1 (∅ of DI) + 9·2 = 19 edges, of which
+        // 1 α + 5 η1 (stages 1,3,5,7,9) + 4 β1/η0 (stages 2,4,6,8) + 4 β0.
+        assert_eq!(out.edge_count(), 19);
+        assert_eq!(out.edges_with(Label::Eta1).count(), 5);
+        assert_eq!(out.edges_with(Label::Beta0).count(), 4);
+        assert_eq!(out.edges_with(Label::Beta1).count(), 4);
+        assert_eq!(out.edges_with(Label::Eta0).count(), 4);
+        // Through parity glasses the words are exactly the Figure 1 language.
+        let ws = words_of(&out, 12, 1000);
+        for w in &ws {
+            let ok_eta1 = is_alpha_beta_eta1(w);
+            let ok_eta0 = is_alpha_beta_beta1_eta0(w);
+            assert!(ok_eta1 || ok_eta0, "unexpected word {w:?}");
+        }
+        // Both families are populated.
+        assert!(ws.iter().any(|w| is_alpha_beta_eta1(w)));
+        assert!(ws.iter().any(|w| is_alpha_beta_beta1_eta0(w)));
+    }
+
+    /// `α(β1β0)^k η1`?
+    fn is_alpha_beta_eta1(w: &[Label]) -> bool {
+        if w.first() != Some(&Label::Alpha) || w.last() != Some(&Label::Eta1) {
+            return false;
+        }
+        let mid = &w[1..w.len() - 1];
+        mid.len().is_multiple_of(2) && mid.chunks(2).all(|c| c == [Label::Beta1, Label::Beta0])
+    }
+
+    /// `α(β1β0)^k β1 η0`?
+    fn is_alpha_beta_beta1_eta0(w: &[Label]) -> bool {
+        if w.first() != Some(&Label::Alpha) || w.last() != Some(&Label::Eta0) {
+            return false;
+        }
+        let mid = &w[1..w.len() - 1];
+        if mid.last() != Some(&Label::Beta1) {
+            return false;
+        }
+        let mid = &mid[..mid.len() - 1];
+        mid.len().is_multiple_of(2) && mid.chunks(2).all(|c| c == [Label::Beta1, Label::Beta0])
+    }
+
+    #[test]
+    fn direct_graph_agrees_with_chase_words() {
+        let sys = t_infinity();
+        let g = GreenGraph::di(space());
+        let (out, _) = sys.chase(&g, &ChaseBudget::stages(13));
+        let (direct, _, _) = alpha_beta_chase_graph(space(), 7);
+        let wc = words_of(&out, 10, 1000);
+        let wd = words_of(&direct, 10, 1000);
+        assert_eq!(wc, wd, "chase and direct construction read the same");
+    }
+
+    /// The lasso is a genuine finite model of `T∞` (both rule directions).
+    #[test]
+    fn lasso_models_t_infinity() {
+        let sys = t_infinity();
+        for (n, p) in [(3, 1), (4, 2), (5, 3), (6, 2)] {
+            let m = lasso_model(space(), n, p);
+            assert!(
+                sys.is_model(&m),
+                "lasso(n={n}, p={p}) must model T∞: violation {:?}",
+                sys.first_violation(&m)
+            );
+        }
+    }
+
+    #[test]
+    fn unfolded_prefix_is_not_a_model() {
+        // The truncated path is *not* a model (rule III demands the next β0).
+        let sys = t_infinity();
+        let (g, _, _) = alpha_beta_chase_graph(space(), 4);
+        assert!(!sys.is_model(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn bad_period_is_rejected() {
+        let _ = lasso_model(space(), 3, 3);
+    }
+
+    /// Universality in action (§VII Step 2): the chase prefix maps
+    /// homomorphically into the lasso.
+    #[test]
+    fn chase_prefix_maps_into_lasso() {
+        use cqfd_core::structure_homomorphism;
+        let sys = t_infinity();
+        let g = GreenGraph::di(space());
+        let (out, _) = sys.chase(&g, &ChaseBudget::stages(9));
+        let m = lasso_model(space(), 6, 2);
+        let h = structure_homomorphism(out.structure(), m.structure());
+        assert!(h.is_some(), "chase(T∞, DI) prefix must map into the lasso");
+    }
+}

@@ -1,0 +1,165 @@
+//! The Rule of Spider Algebra ♣, as emergent behaviour of the generated
+//! green–red TGDs — verified exhaustively.
+
+use crate::anatomy::{IdealSpider, SpiderContext};
+use crate::queries::SpiderQuery;
+use cqfd_chase::{ChaseBudget, ChaseEngine};
+use cqfd_core::{Node, Structure};
+use cqfd_greenred::{tq::one_direction, Color};
+use std::sync::Arc;
+
+/// Applies the TGD `(f^I_J)^{from→opposite}` to a structure for one chase
+/// round and returns the resulting structure.
+pub fn apply_spider_query(
+    ctx: &SpiderContext,
+    f: SpiderQuery,
+    from: Color,
+    d: &Structure,
+) -> Structure {
+    let tgd = one_direction(ctx.greenred(), &f.cq(ctx), from);
+    let engine = ChaseEngine::new(vec![tgd]);
+    engine.chase(d, &ChaseBudget::stages(1)).structure
+}
+
+/// ♣ on ideal spiders, symbolically: `f^I_J(S) = dual(S)^{legs(f) \ flips(S)}`
+/// defined iff `flips(S) ⊆ legs(f)` and the **query color matches**: the
+/// TGD `(f^I_J)^{G→R}` consumes spiders with a green body, `(f^I_J)^{R→G}`
+/// red-bodied ones.
+pub fn club(f: SpiderQuery, s: IdealSpider) -> Option<IdealSpider> {
+    if !f.legs.contains(s.flips) {
+        return None;
+    }
+    Some(IdealSpider {
+        base: s.base.flip(),
+        flips: f.legs.minus(s.flips),
+    })
+}
+
+/// Test helper: a structure holding exactly one real copy of `spider`.
+pub fn singleton(ctx: &SpiderContext, spider: IdealSpider) -> (Structure, Node, Node) {
+    let mut d = Structure::new(Arc::clone(ctx.colored()));
+    let tail = d.fresh_node();
+    let antenna = d.fresh_node();
+    ctx.build_spider(&mut d, spider, tail, antenna);
+    (d, tail, antenna)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anatomy::Legs;
+
+    /// The headline E-SPIDER check: for every `f^I_J` and every green
+    /// spider `I^{I′}_{J′}` (exhaustive at s = 2 and s = 3), the TGD
+    /// `(f^I_J)^{G→R}` fires iff `I′ ⊆ I ∧ J′ ⊆ J`, and what emerges is
+    /// exactly the real red spider `H^{I\I′}_{J\J′}` — the Rule of Spider
+    /// Algebra.
+    #[test]
+    fn club_rule_exhaustive() {
+        for s in [2u16, 3] {
+            club_rule_exhaustive_at(s);
+        }
+    }
+
+    fn club_rule_exhaustive_at(s: u16) {
+        let ctx = SpiderContext::new(s);
+        let mut options: Vec<Option<u16>> = vec![None];
+        options.extend((1..=s).map(Some));
+        for &fu in &options {
+            for &fl in &options {
+                let f = SpiderQuery::new(Legs::new(fu, fl));
+                for &su in &options {
+                    for &sl in &options {
+                        let spider = IdealSpider::green(Legs::new(su, sl));
+                        let (d, tail, antenna) = singleton(&ctx, spider);
+                        let out = apply_spider_query(&ctx, f, Color::Green, &d);
+                        let expected = club(f, spider);
+                        let new_spiders: Vec<_> = ctx
+                            .all_spiders(&out)
+                            .into_iter()
+                            .filter(|(s, _, _)| *s != spider)
+                            .collect();
+                        match expected {
+                            None => {
+                                assert!(new_spiders.is_empty(), "{f} must not apply to {spider}")
+                            }
+                            Some(result) => {
+                                assert_eq!(
+                                    new_spiders.len(),
+                                    1,
+                                    "{f}({spider}) must produce one spider"
+                                );
+                                let (got, t, a) = new_spiders[0];
+                                assert_eq!(got, result, "{f}({spider})");
+                                assert_eq!((t, a), (tail, antenna), "shared endpoints");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The color-mirrored half of ♣ (`R→G` on red spiders), spot-checked.
+    #[test]
+    fn club_rule_red_to_green() {
+        let ctx = SpiderContext::new(2);
+        let f = SpiderQuery::new(Legs::new(Some(1), Some(2)));
+        let spider = IdealSpider::red(Legs::new(Some(1), None));
+        let (d, _, _) = singleton(&ctx, spider);
+        let out = apply_spider_query(&ctx, f, Color::Red, &d);
+        let produced: Vec<_> = ctx
+            .all_spiders(&out)
+            .into_iter()
+            .filter(|(s, _, _)| *s != spider)
+            .collect();
+        assert_eq!(produced.len(), 1);
+        assert_eq!(
+            produced[0].0,
+            IdealSpider::green(Legs::new(None, Some(2))),
+            "f^1_2(H^1) = I_2"
+        );
+    }
+
+    /// Queries of one color ignore spiders of the other body color.
+    #[test]
+    fn wrong_color_never_fires() {
+        let ctx = SpiderContext::new(2);
+        let f = SpiderQuery::full();
+        let (d, _, _) = singleton(&ctx, IdealSpider::full_red());
+        let out = apply_spider_query(&ctx, f, Color::Green, &d);
+        assert_eq!(out.atom_count(), d.atom_count());
+    }
+
+    /// The binary query semantics of §V.B: `(f & f′)^{G→R}` finds two green
+    /// spiders sharing their antenna and creates two red spiders sharing a
+    /// *fresh* antenna, glued to the old tails.
+    #[test]
+    fn binary_query_creates_sharing_pair() {
+        use crate::queries::BinaryQuery;
+        let ctx = SpiderContext::new(2);
+        let mut d = Structure::new(Arc::clone(ctx.colored()));
+        let t1 = d.fresh_node();
+        let t2 = d.fresh_node();
+        let shared_antenna = d.fresh_node();
+        ctx.build_spider(&mut d, IdealSpider::full_green(), t1, shared_antenna);
+        ctx.build_spider(&mut d, IdealSpider::full_green(), t2, shared_antenna);
+        let b = BinaryQuery::antenna(SpiderQuery::full(), SpiderQuery::full());
+        let tgd = one_direction(ctx.greenred(), &b.cq(&ctx), Color::Green);
+        let engine = ChaseEngine::new(vec![tgd]);
+        let out = engine.chase(&d, &ChaseBudget::stages(1)).structure;
+        let reds: Vec<_> = ctx
+            .all_spiders(&out)
+            .into_iter()
+            .filter(|(s, _, _)| s.base == Color::Red)
+            .collect();
+        // Matches include the two degenerate (x = x′) assignments, but some
+        // red pair must share a fresh antenna while keeping the old tails.
+        assert!(
+            reds.iter().any(|&(_, rt, ra)| rt == t1
+                && ra != shared_antenna
+                && reds.iter().any(|&(_, rt2, ra2)| rt2 == t2 && ra2 == ra)),
+            "a red pair sharing a fresh antenna with tails t1/t2 must appear"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # cqfd-spider — Abstraction Level 0: spiders and spider queries (§V)
+//!
+//! The paper's "hardware": a **spider** is a structure with `2s` legs
+//! (`s` upper, `s` lower), a tail, and an antenna. The ideal spiders
+//! `I^I_J` (green with red legs `I` upper / `J` lower) and `H^I_J` (the
+//! color dual), with `I, J` singletons or empty, form the set `A` of
+//! `2 + 4s + 2s²` spiders. The **spider queries** `f^I_J` obey the Rule of
+//! Spider Algebra:
+//!
+//! ```text
+//! f^I_J(H^{I′}_{J′}) = I^{I\I′}_{J\J′}    whenever I′ ⊆ I and J′ ⊆ J   (♣)
+//! ```
+//!
+//! \[GM15\] defines the exact anatomy; this paper uses spiders only through
+//! the interface above, so we implement a documented reconstruction (see
+//! DESIGN.md): a ternary `HEAD(head, tail, antenna)` atom; for each leg a
+//! `THIGH(head, knee)` and a `CALF(knee, c0)` atom, all calves sharing the
+//! single constant `c0` (paper Appendix A: "all those calves share a
+//! common end, which is a constant in Σ"). A leg's color is its calf's
+//! color. The query `f^I_J` is the spider body minus the calves of legs in
+//! `I ∪ J`; its free variables are the tail, the antenna and the knees of
+//! `I ∪ J`. The ♣ law is then *emergent* — and verified exhaustively in
+//! [`algebra`]'s tests.
+//!
+//! Binary queries (`f & f′`: antennas identified and quantified; `f / f′`:
+//! tails identified and quantified) form the instruction set `F2` that
+//! Level 1 programs compile into ([`queries::BinaryQuery`]).
+//!
+//! [`compile`] implements Definitions 28/29: `decompile` reads a colored
+//! structure as a swarm of ideal spiders; `compile` realises a swarm as a
+//! structure, gluing knees by (calf predicate, color) class; Lemma 30
+//! (`decompile ∘ compile = id`) is a tested law.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod anatomy;
+pub mod compile;
+pub mod queries;
+
+pub use anatomy::{IdealSpider, Legs, SpiderContext};
+pub use compile::{compile_swarm, decompile_structure, SwarmEdge};
+pub use queries::{BinaryJoin, BinaryQuery, SpiderQuery};

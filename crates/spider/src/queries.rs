@@ -1,0 +1,311 @@
+//! Spider queries `f^I_J` and the binary queries `F2` (paper §V.B).
+
+use crate::anatomy::{Leg, Legs, SpiderContext};
+use cqfd_core::{Atom, Cq, Term, Var};
+use std::fmt;
+
+/// The spider query `f^I_J`: the spider body **minus the calves of the
+/// legs in `I ∪ J`**, with the tail, the antenna and the knees of `I ∪ J`
+/// free. (See the crate docs for why this realises ♣.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpiderQuery {
+    /// The leg sets `(I, J)`.
+    pub legs: Legs,
+}
+
+impl SpiderQuery {
+    /// `f^I_J`.
+    pub fn new(legs: Legs) -> SpiderQuery {
+        SpiderQuery { legs }
+    }
+
+    /// `f` with no superscripts (the full-spider query).
+    pub fn full() -> SpiderQuery {
+        SpiderQuery { legs: Legs::none() }
+    }
+
+    /// Variable layout: tail.
+    pub const TAIL: Var = Var(0);
+    /// Variable layout: antenna.
+    pub const ANTENNA: Var = Var(1);
+    /// Variable layout: head.
+    pub const HEAD: Var = Var(2);
+
+    /// The knee variable of a leg.
+    pub fn knee_var(ctx: &SpiderContext, leg: Leg) -> Var {
+        let base = 3 + if leg.upper { 0 } else { ctx.s() as u32 };
+        Var(base + (leg.idx as u32 - 1))
+    }
+
+    /// Number of variables a single spider query uses.
+    pub fn var_count(ctx: &SpiderContext) -> u32 {
+        3 + 2 * ctx.s() as u32
+    }
+
+    /// The body atoms over `Σ` (uncolored).
+    pub fn body(&self, ctx: &SpiderContext) -> Vec<Atom<Term>> {
+        let mut atoms = vec![Atom::new(
+            ctx.head_pred(),
+            vec![
+                Term::Var(Self::HEAD),
+                Term::Var(Self::TAIL),
+                Term::Var(Self::ANTENNA),
+            ],
+        )];
+        for leg in ctx.legs().collect::<Vec<_>>() {
+            let knee = Self::knee_var(ctx, leg);
+            atoms.push(Atom::new(
+                ctx.thigh(leg),
+                vec![Term::Var(Self::HEAD), Term::Var(knee)],
+            ));
+            if !self.is_open_leg(leg) {
+                atoms.push(Atom::new(
+                    ctx.calf(leg),
+                    vec![Term::Var(knee), Term::Const(ctx.c0())],
+                ));
+            }
+        }
+        atoms
+    }
+
+    /// Is this leg in `I ∪ J` (calf omitted, knee free)?
+    pub fn is_open_leg(&self, leg: Leg) -> bool {
+        if leg.upper {
+            self.legs.upper == Some(leg.idx)
+        } else {
+            self.legs.lower == Some(leg.idx)
+        }
+    }
+
+    /// The free variables: tail, antenna, knees of `I ∪ J`.
+    pub fn free_vars(&self, ctx: &SpiderContext) -> Vec<Var> {
+        let mut v = vec![Self::TAIL, Self::ANTENNA];
+        for leg in ctx.legs().collect::<Vec<_>>() {
+            if self.is_open_leg(leg) {
+                v.push(Self::knee_var(ctx, leg));
+            }
+        }
+        v
+    }
+
+    /// The query as a [`Cq`] over `Σ`.
+    pub fn cq(&self, ctx: &SpiderContext) -> Cq {
+        Cq::new_unchecked(
+            format!("{self}"),
+            self.free_vars(ctx),
+            self.body(ctx),
+            Vec::new(),
+        )
+    }
+
+    /// The boolean query `∃* dalt(I)` of Observation 13 — the full-spider
+    /// body with every variable quantified. This is the `Q0` of the
+    /// reduction.
+    pub fn dalt_full_boolean(ctx: &SpiderContext) -> Cq {
+        Cq::new_unchecked("Q0", Vec::new(), SpiderQuery::full().body(ctx), Vec::new())
+    }
+}
+
+impl fmt::Display for SpiderQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f")?;
+        if let Some(i) = self.legs.upper {
+            write!(f, "^{i}")?;
+        }
+        if let Some(j) = self.legs.lower {
+            write!(f, "_{j}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How a binary query joins its two spider queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinaryJoin {
+    /// `f & f′`: antennas identified and existentially quantified; tails
+    /// free.
+    Antenna,
+    /// `f / f′`: tails identified and existentially quantified; antennas
+    /// free.
+    Tail,
+}
+
+/// A binary query from `F2`: `f1 & f2` or `f1 / f2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BinaryQuery {
+    /// The join.
+    pub join: BinaryJoin,
+    /// First spider query.
+    pub f1: SpiderQuery,
+    /// Second spider query.
+    pub f2: SpiderQuery,
+}
+
+impl BinaryQuery {
+    /// `f1 & f2`.
+    pub fn antenna(f1: SpiderQuery, f2: SpiderQuery) -> BinaryQuery {
+        BinaryQuery {
+            join: BinaryJoin::Antenna,
+            f1,
+            f2,
+        }
+    }
+
+    /// `f1 / f2`.
+    pub fn tail(f1: SpiderQuery, f2: SpiderQuery) -> BinaryQuery {
+        BinaryQuery {
+            join: BinaryJoin::Tail,
+            f1,
+            f2,
+        }
+    }
+
+    /// The query as a [`Cq`] over `Σ`: the two bodies with disjoint
+    /// variables except the identified (and quantified) join vertex; free
+    /// variables are the two un-joined endpoints plus both queries' open
+    /// knees ("they do the magic of ♣").
+    pub fn cq(&self, ctx: &SpiderContext) -> Cq {
+        let offset = SpiderQuery::var_count(ctx);
+        let joined = |v: Var| -> Var {
+            // rename f2's vars by +offset, then identify the join vertex
+            let v2 = Var(v.0 + offset);
+            match self.join {
+                BinaryJoin::Antenna if v == SpiderQuery::ANTENNA => SpiderQuery::ANTENNA,
+                BinaryJoin::Tail if v == SpiderQuery::TAIL => SpiderQuery::TAIL,
+                _ => v2,
+            }
+        };
+        let mut body = self.f1.body(ctx);
+        for atom in self.f2.body(ctx) {
+            body.push(atom.rename(joined));
+        }
+        let mut frees: Vec<Var> = Vec::new();
+        match self.join {
+            BinaryJoin::Antenna => {
+                frees.push(SpiderQuery::TAIL);
+                frees.push(joined(SpiderQuery::TAIL));
+            }
+            BinaryJoin::Tail => {
+                frees.push(SpiderQuery::ANTENNA);
+                frees.push(joined(SpiderQuery::ANTENNA));
+            }
+        }
+        for v in self.f1.free_vars(ctx) {
+            if v != SpiderQuery::TAIL && v != SpiderQuery::ANTENNA {
+                frees.push(v);
+            }
+        }
+        for v in self.f2.free_vars(ctx) {
+            if v != SpiderQuery::TAIL && v != SpiderQuery::ANTENNA {
+                frees.push(joined(v));
+            }
+        }
+        Cq::new_unchecked(format!("{self}"), frees, body, Vec::new())
+    }
+}
+
+impl fmt::Display for BinaryQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.join {
+            BinaryJoin::Antenna => "&",
+            BinaryJoin::Tail => "/",
+        };
+        write!(f, "{} {} {}", self.f1, op, self.f2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anatomy::SpiderContext;
+
+    #[test]
+    fn full_query_shape() {
+        let ctx = SpiderContext::new(2);
+        let q = SpiderQuery::full().cq(&ctx);
+        // HEAD + 4 thighs + 4 calves
+        assert_eq!(q.body.len(), 9);
+        assert_eq!(q.head_vars.len(), 2); // tail, antenna
+    }
+
+    #[test]
+    fn open_legs_drop_calves_and_free_knees() {
+        let ctx = SpiderContext::new(2);
+        let f = SpiderQuery::new(Legs::new(Some(1), Some(2)));
+        let q = f.cq(&ctx);
+        // HEAD + 4 thighs + 2 calves (legs u1 and l2 open)
+        assert_eq!(q.body.len(), 7);
+        assert_eq!(q.head_vars.len(), 4); // tail, antenna, two knees
+    }
+
+    #[test]
+    fn binary_antenna_join_identifies_antennas() {
+        let ctx = SpiderContext::new(2);
+        let b = BinaryQuery::antenna(SpiderQuery::full(), SpiderQuery::full());
+        let q = b.cq(&ctx);
+        assert_eq!(q.body.len(), 18);
+        // Frees: the two tails only (full queries have no open knees).
+        assert_eq!(q.head_vars.len(), 2);
+        // The shared antenna is existential: it appears in both HEAD atoms.
+        let heads: Vec<_> = q
+            .body
+            .iter()
+            .filter(|a| a.pred == ctx.head_pred())
+            .collect();
+        assert_eq!(heads.len(), 2);
+        assert_eq!(heads[0].args[2], heads[1].args[2], "antennas identified");
+        assert_ne!(heads[0].args[1], heads[1].args[1], "tails distinct");
+    }
+
+    #[test]
+    fn binary_tail_join_identifies_tails() {
+        let ctx = SpiderContext::new(2);
+        let b = BinaryQuery::tail(
+            SpiderQuery::new(Legs::new(Some(1), None)),
+            SpiderQuery::new(Legs::new(None, Some(2))),
+        );
+        let q = b.cq(&ctx);
+        let heads: Vec<_> = q
+            .body
+            .iter()
+            .filter(|a| a.pred == ctx.head_pred())
+            .collect();
+        assert_eq!(heads[0].args[1], heads[1].args[1], "tails identified");
+        assert_ne!(heads[0].args[2], heads[1].args[2], "antennas distinct");
+        // Frees: two antennas + one knee each.
+        assert_eq!(q.head_vars.len(), 4);
+    }
+
+    #[test]
+    fn q0_is_boolean() {
+        let ctx = SpiderContext::new(2);
+        let q0 = SpiderQuery::dalt_full_boolean(&ctx);
+        assert!(q0.head_vars.is_empty());
+        assert_eq!(q0.body.len(), 9);
+    }
+
+    #[test]
+    fn query_eval_on_built_spider() {
+        use crate::anatomy::IdealSpider;
+        use cqfd_core::Structure;
+        use cqfd_greenred::Color;
+        use std::sync::Arc;
+        let ctx = SpiderContext::new(2);
+        // A full green spider satisfies G(Q0) but not R(Q0).
+        let mut d = Structure::new(Arc::clone(ctx.colored()));
+        let t = d.fresh_node();
+        let a = d.fresh_node();
+        ctx.build_spider(&mut d, IdealSpider::full_green(), t, a);
+        let q0 = SpiderQuery::dalt_full_boolean(&ctx);
+        let gr = ctx.greenred();
+        let green_q0 = Cq::new_unchecked(
+            "g",
+            vec![],
+            gr.color_formula(Color::Green, &q0.body),
+            vec![],
+        );
+        let red_q0 = Cq::new_unchecked("r", vec![], gr.color_formula(Color::Red, &q0.body), vec![]);
+        assert!(green_q0.holds_boolean(&d));
+        assert!(!red_q0.holds_boolean(&d));
+    }
+}

@@ -1,0 +1,23 @@
+//! # cqfd-swarm — Abstraction Level 1: swarms (paper §VI)
+//!
+//! A **swarm** is a structure over the signature `{H(S, _, _) : S ∈ A}` —
+//! one binary relation per ideal spider. The rule language `L1`
+//! (Definition 7) lifts the binary queries of `F2`: the rule
+//! `f^{I1}_{J1} &· f^{I2}_{J2}` demands, for every pair of same-colored
+//! edges sharing their antenna end whose spiders `f1`/`f2` can consume
+//! (per ♣), a pair of opposite-colored result edges sharing a fresh
+//! antenna. `/·` is the tail-shared analogue.
+//!
+//! `Compile` (Definition 8) maps each `L1` rule to the corresponding
+//! binary query of `F2`, and Lemma 12(1) — tested here through the
+//! semi-decision procedures — says a set of rules leads to the red spider
+//! iff its compilation does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod rules;
+
+pub use context::{Swarm, SwarmContext};
+pub use rules::{compile, L1Rule, L1System};

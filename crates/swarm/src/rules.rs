@@ -1,0 +1,347 @@
+//! The rule language `L1` (Definition 7), its TGD expansion, `Compile`
+//! (Definition 8), and the Level-1 semi-decision procedures.
+
+use crate::context::{Swarm, SwarmContext};
+use cqfd_chase::{ChaseBudget, ChaseEngine, ChaseRun, Tgd};
+use cqfd_core::{Atom, Term, Var};
+use cqfd_greenred::Color;
+use cqfd_spider::{BinaryJoin, BinaryQuery, IdealSpider, Legs, SpiderQuery};
+use std::fmt;
+
+/// An `L1` rule `f1 ⋈· f2` with `⋈` the antenna (`&·`) or tail (`/·`) join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct L1Rule {
+    /// The join shape.
+    pub join: BinaryJoin,
+    /// First spider query.
+    pub f1: SpiderQuery,
+    /// Second spider query.
+    pub f2: SpiderQuery,
+}
+
+impl L1Rule {
+    /// `f1 &· f2`.
+    pub fn antenna(f1: SpiderQuery, f2: SpiderQuery) -> L1Rule {
+        L1Rule {
+            join: BinaryJoin::Antenna,
+            f1,
+            f2,
+        }
+    }
+
+    /// `f1 /· f2`.
+    pub fn tail(f1: SpiderQuery, f2: SpiderQuery) -> L1Rule {
+        L1Rule {
+            join: BinaryJoin::Tail,
+            f1,
+            f2,
+        }
+    }
+
+    /// Is the rule **lower** (Definition 33): both `J1` and `J2` nonempty?
+    pub fn is_lower(&self) -> bool {
+        self.f1.legs.lower.is_some() && self.f2.legs.lower.is_some()
+    }
+
+    /// Definition 7's TGD expansion: for every componentwise subset choice
+    /// `I1′ ⊆ I1, J1′ ⊆ J1, I2′ ⊆ I2, J2′ ⊆ J2` and each color direction,
+    ///
+    /// ```text
+    /// H(C^{I1′}_{J1′}, x, y) ∧ H(C^{I2′}_{J2′}, x′, y)
+    ///     ⇒ ∃y′ H(C̄^{I1\I1′}_{J1\J1′}, x, y′) ∧ H(C̄^{I2\I2′}_{J2\J2′}, x′, y′)
+    /// ```
+    ///
+    /// with `C`/`C̄` green/red or red/green (and shared first coordinates
+    /// for `/·`).
+    pub fn tgds(&self, ctx: &SwarmContext) -> Vec<Tgd> {
+        let mut out = Vec::new();
+        for sub1 in subsets(self.f1.legs) {
+            for sub2 in subsets(self.f2.legs) {
+                for color in [Color::Green, Color::Red] {
+                    let arg1 = IdealSpider {
+                        base: color,
+                        flips: sub1,
+                    };
+                    let arg2 = IdealSpider {
+                        base: color,
+                        flips: sub2,
+                    };
+                    let res1 = IdealSpider {
+                        base: color.flip(),
+                        flips: self.f1.legs.minus(sub1),
+                    };
+                    let res2 = IdealSpider {
+                        base: color.flip(),
+                        flips: self.f2.legs.minus(sub2),
+                    };
+                    let h = |s: IdealSpider, x: u32, y: u32| {
+                        Atom::new(ctx.pred(s), vec![Term::Var(Var(x)), Term::Var(Var(y))])
+                    };
+                    let (body, head) = match self.join {
+                        BinaryJoin::Antenna => (
+                            vec![h(arg1, 0, 2), h(arg2, 1, 2)],
+                            vec![h(res1, 0, 3), h(res2, 1, 3)],
+                        ),
+                        BinaryJoin::Tail => (
+                            vec![h(arg1, 2, 0), h(arg2, 2, 1)],
+                            vec![h(res1, 3, 0), h(res2, 3, 1)],
+                        ),
+                    };
+                    out.push(Tgd::new_unchecked(format!("{self}"), body, head));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Componentwise subsets of a leg selection (1, 2 or 4 of them).
+fn subsets(legs: Legs) -> Vec<Legs> {
+    let uppers: Vec<Option<u16>> = match legs.upper {
+        None => vec![None],
+        Some(i) => vec![None, Some(i)],
+    };
+    let lowers: Vec<Option<u16>> = match legs.lower {
+        None => vec![None],
+        Some(j) => vec![None, Some(j)],
+    };
+    let mut out = Vec::new();
+    for &u in &uppers {
+        for &l in &lowers {
+            out.push(Legs::new(u, l));
+        }
+    }
+    out
+}
+
+impl fmt::Display for L1Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.join {
+            BinaryJoin::Antenna => "&·",
+            BinaryJoin::Tail => "/·",
+        };
+        write!(f, "{} {} {}", self.f1, op, self.f2)
+    }
+}
+
+/// Definition 8: `Compile(T)` — treat each rule as the corresponding
+/// binary query from `F2`.
+pub fn compile(rules: &[L1Rule]) -> Vec<BinaryQuery> {
+    rules
+        .iter()
+        .map(|r| BinaryQuery {
+            join: r.join,
+            f1: r.f1,
+            f2: r.f2,
+        })
+        .collect()
+}
+
+/// A set `T ⊆ L1`, executable via the chase.
+#[derive(Debug, Clone, Default)]
+pub struct L1System {
+    rules: Vec<L1Rule>,
+}
+
+impl L1System {
+    /// Builds a system.
+    pub fn new(rules: Vec<L1Rule>) -> L1System {
+        L1System { rules }
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[L1Rule] {
+        &self.rules
+    }
+
+    /// All TGDs over the context.
+    pub fn tgds(&self, ctx: &SwarmContext) -> Vec<Tgd> {
+        self.rules.iter().flat_map(|r| r.tgds(ctx)).collect()
+    }
+
+    /// Chases a swarm until `H(H, _, _)` appears or the budget runs out;
+    /// the Level-1 "leads to the red spider" semi-decision (Definition 11).
+    pub fn chase_until_red(&self, sw: &Swarm, budget: &ChaseBudget) -> (Swarm, ChaseRun, bool) {
+        let ctx = std::sync::Arc::clone(sw.context());
+        let engine = ChaseEngine::new(self.tgds(&ctx));
+        let red = ctx.pred(IdealSpider::full_red());
+        let run = engine.chase_with_monitor(sw.structure(), budget, |st, _| st.pred_count(red) > 0);
+        let found = run.structure.pred_count(red) > 0;
+        let out = Swarm::from_structure(ctx, run.structure.clone());
+        (out, run, found)
+    }
+
+    /// Model check on a swarm.
+    pub fn is_model(&self, sw: &Swarm) -> bool {
+        ChaseEngine::new(self.tgds(sw.context())).is_model(sw.structure())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fq(u: Option<u16>, l: Option<u16>) -> SpiderQuery {
+        SpiderQuery::new(Legs::new(u, l))
+    }
+
+    #[test]
+    fn tgd_counts_follow_subset_lattice() {
+        let ctx = SwarmContext::with_s(2);
+        // no superscripts: 1 subset choice each side × 2 colors = 2 TGDs
+        assert_eq!(
+            L1Rule::antenna(fq(None, None), fq(None, None))
+                .tgds(&ctx)
+                .len(),
+            2
+        );
+        // one singleton each side: 2 × 2 × 2 = 8
+        assert_eq!(
+            L1Rule::antenna(fq(Some(1), None), fq(Some(2), None))
+                .tgds(&ctx)
+                .len(),
+            8
+        );
+        // full (I and J singletons both sides): 4 × 4 × 2 = 32
+        assert_eq!(
+            L1Rule::tail(fq(Some(1), Some(1)), fq(Some(2), Some(2)))
+                .tgds(&ctx)
+                .len(),
+            32
+        );
+    }
+
+    #[test]
+    fn full_query_rule_reaches_red_immediately() {
+        // f &· f with f the full query: a green pair sharing an antenna
+        // demands a red pair — H(I, a, b) matches with x = x′.
+        let ctx = Arc::new(SwarmContext::with_s(2));
+        let sys = L1System::new(vec![L1Rule::antenna(fq(None, None), fq(None, None))]);
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let (_, run, found) = sys.chase_until_red(&sw, &ChaseBudget::stages(4));
+        assert!(found, "f &· f leads to the red spider in one step");
+        assert!(run.stage_count() <= 2);
+    }
+
+    /// Footnote 10: from a 1-2 pattern, the three Precompile start rules
+    /// produce `H(H, _, _)` in three steps.
+    #[test]
+    fn footnote10_twelve_pattern_to_red_spider() {
+        let ctx = Arc::new(SwarmContext::with_s(4));
+        let sys = L1System::new(vec![
+            L1Rule::antenna(fq(Some(1), Some(1)), fq(Some(2), Some(2))),
+            L1Rule::antenna(fq(Some(3), Some(1)), fq(Some(4), Some(2))),
+            L1Rule::antenna(fq(Some(3), None), fq(Some(4), Some(3))),
+        ]);
+        let mut sw = Swarm::empty(Arc::clone(&ctx));
+        let a = sw.fresh_node();
+        let ap = sw.fresh_node();
+        let b = sw.fresh_node();
+        // The swarm image of a 1-2 pattern: I^1 and I^2 sharing the antenna.
+        sw.add_edge(IdealSpider::green(Legs::new(Some(1), None)), a, b);
+        sw.add_edge(IdealSpider::green(Legs::new(Some(2), None)), ap, b);
+        let (_, run, found) = sys.chase_until_red(&sw, &ChaseBudget::stages(8));
+        assert!(found, "the 1-2 pattern must lead to the red spider");
+        assert!(
+            run.stage_count() <= 4,
+            "…in three steps (got {})",
+            run.stage_count()
+        );
+    }
+
+    /// A rule set that never reaches the red spider: the first Precompile
+    /// rule alone cycles between flipped-leg spiders.
+    #[test]
+    fn partial_rule_does_not_reach_red() {
+        let ctx = Arc::new(SwarmContext::with_s(2));
+        let sys = L1System::new(vec![L1Rule::antenna(
+            fq(Some(1), Some(1)),
+            fq(Some(2), Some(2)),
+        )]);
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let (_, _, found) = sys.chase_until_red(&sw, &ChaseBudget::stages(12));
+        assert!(!found);
+    }
+
+    /// Lemma 27(i) on an instance: a swarm model of `T` compiles to a
+    /// Level-0 model of the TGDs generated by `Compile(T)`, preserving the
+    /// presence of the full green and absence of the full red spider.
+    #[test]
+    fn lemma27_compile_preserves_models() {
+        use cqfd_greenred::tq::greenred_tgds;
+        let ctx = Arc::new(SwarmContext::with_s(2));
+        let sys = L1System::new(vec![L1Rule::antenna(
+            fq(Some(1), Some(1)),
+            fq(Some(2), Some(2)),
+        )]);
+        // Close the seed under the rules to get a finite swarm model.
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let (closed, run, _) = sys.chase_until_red(&sw, &ChaseBudget::stages(64));
+        assert!(run.reached_fixpoint(), "this rule set closes finitely");
+        assert!(sys.is_model(&closed));
+        // Compile both the swarm and the rules.
+        let (st, _) = closed.compile();
+        let spider_ctx = ctx.spider();
+        let queries: Vec<_> = compile(sys.rules())
+            .iter()
+            .map(|b| b.cq(spider_ctx))
+            .collect();
+        let tgds = greenred_tgds(spider_ctx.greenred(), &queries);
+        let engine = ChaseEngine::new(tgds);
+        assert!(
+            engine.is_model(&st),
+            "compile(D) must model the Level-0 TGDs"
+        );
+        assert!(!spider_ctx.contains_full_red(&st));
+        assert!(spider_ctx
+            .all_spiders(&st)
+            .iter()
+            .any(|(s, _, _)| *s == IdealSpider::full_green()));
+    }
+
+    /// Lemma 12(1) on instances: Level-1 and Level-0 agree on
+    /// leads-to-red-spider for both a positive and a negative rule set.
+    #[test]
+    fn lemma12_1_levels_agree() {
+        use cqfd_greenred::tq::greenred_tgds;
+        let ctx = Arc::new(SwarmContext::with_s(2));
+        let spider_ctx = Arc::clone(ctx.spider());
+        let cases: Vec<(L1System, bool)> = vec![
+            (
+                L1System::new(vec![L1Rule::antenna(fq(None, None), fq(None, None))]),
+                true,
+            ),
+            (
+                L1System::new(vec![L1Rule::antenna(
+                    fq(Some(1), Some(1)),
+                    fq(Some(2), Some(2)),
+                )]),
+                false,
+            ),
+        ];
+        for (sys, expect) in cases {
+            // Level 1:
+            let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+            let (_, _, found1) = sys.chase_until_red(&sw, &ChaseBudget::stages(16));
+            assert_eq!(found1, expect, "level 1");
+            // Level 0: chase T_{Compile(T)} from a real full green spider.
+            let queries: Vec<_> = compile(sys.rules())
+                .iter()
+                .map(|b| b.cq(&spider_ctx))
+                .collect();
+            let tgds = greenred_tgds(spider_ctx.greenred(), &queries);
+            let engine = ChaseEngine::new(tgds);
+            let mut d = cqfd_core::Structure::new(Arc::clone(spider_ctx.colored()));
+            let t = d.fresh_node();
+            let a = d.fresh_node();
+            spider_ctx.build_spider(&mut d, IdealSpider::full_green(), t, a);
+            let sc = Arc::clone(&spider_ctx);
+            let run = engine.chase_with_monitor(&d, &ChaseBudget::stages(12), move |st, _| {
+                sc.contains_full_red(st)
+            });
+            let found0 = spider_ctx.contains_full_red(&run.structure);
+            assert_eq!(found0, expect, "level 0");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for Level 1: random rule sets, chase soundness,
+//! compile preservation.
+
+use cqfd_chase::ChaseBudget;
+use cqfd_greenred::tq::greenred_tgds;
+use cqfd_spider::{decompile_structure, Legs, SpiderQuery};
+use cqfd_swarm::{compile, L1Rule, L1System, Swarm, SwarmContext};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn legs(u: u8, l: u8, s: u16) -> Legs {
+    let opt = |x: u8| -> Option<u16> {
+        let v = x as u16 % (s + 1);
+        if v == 0 {
+            None
+        } else {
+            Some(v)
+        }
+    };
+    Legs::new(opt(u), opt(l))
+}
+
+fn rule(pick: (u8, u8, u8, u8, bool), s: u16) -> L1Rule {
+    let (a, b, c, d, antenna) = pick;
+    let f1 = SpiderQuery::new(legs(a, b, s));
+    let f2 = SpiderQuery::new(legs(c, d, s));
+    if antenna {
+        L1Rule::antenna(f1, f2)
+    } else {
+        L1Rule::tail(f1, f2)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// If a random rule system's swarm chase reaches a fixpoint, the
+    /// result models the system, and `compile` maps it to a Level-0
+    /// structure modelling the generated TGDs (Lemma 27(i)).
+    #[test]
+    fn fixpoints_compile_to_level0_models(
+        picks in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3, any::<bool>()), 1..3),
+    ) {
+        let s = 2u16;
+        let ctx = Arc::new(SwarmContext::with_s(s));
+        let rules: Vec<L1Rule> = picks.into_iter().map(|p| rule(p, s)).collect();
+        let sys = L1System::new(rules.clone());
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let budget = ChaseBudget { max_stages: 8, max_atoms: 3000, max_nodes: 3000 };
+        let (closed, run, _) = sys.chase_until_red(&sw, &budget);
+        if run.reached_fixpoint() {
+            prop_assert!(sys.is_model(&closed));
+            let (st, _) = closed.compile();
+            let queries: Vec<_> = compile(&rules)
+                .iter()
+                .map(|b| b.cq(ctx.spider()))
+                .collect();
+            let engine = cqfd_chase::ChaseEngine::new(greenred_tgds(
+                ctx.spider().greenred(),
+                &queries,
+            ));
+            prop_assert!(engine.is_model(&st), "Lemma 27(i) violated");
+        }
+    }
+
+    /// Lemma 30 under fire: compile-then-decompile returns the same swarm,
+    /// for swarms produced by random chases (not just hand-picked ones).
+    #[test]
+    fn chase_results_survive_compile_roundtrip(
+        picks in prop::collection::vec((0u8..3, 0u8..3, 0u8..3, 0u8..3, any::<bool>()), 1..3),
+    ) {
+        let s = 2u16;
+        let ctx = Arc::new(SwarmContext::with_s(s));
+        let rules: Vec<L1Rule> = picks.into_iter().map(|p| rule(p, s)).collect();
+        let sys = L1System::new(rules);
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let budget = ChaseBudget { max_stages: 5, max_atoms: 1500, max_nodes: 1500 };
+        let (closed, _, _) = sys.chase_until_red(&sw, &budget);
+        let (st, node_map) = closed.compile();
+        let back = decompile_structure(ctx.spider(), &st);
+        prop_assert_eq!(back.len(), closed.edges().len());
+        for e in closed.edges() {
+            prop_assert!(back.iter().any(|f| f.spider == e.spider
+                && f.tail == node_map[&e.tail]
+                && f.antenna == node_map[&e.antenna]));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Rainworms, their green-graph translations, and the full Theorem 5
+//! reduction.
+//!
+//! ```text
+//! cargo run --release --example rainworm_reduction
+//! ```
+//!
+//! Shows a rainworm creeping (the Thue rewriting of §VIII.A), compiles a
+//! Turing machine to a rainworm (Lemma 21), translates instruction sets to
+//! green-graph rules (§VIII.C), builds the §VIII.E finite counter-model
+//! for a halting worm, and produces the final CQfDP instances.
+
+use cqfd::rainworm::countermodel::build_countermodel;
+use cqfd::rainworm::encode::tm_to_rainworm;
+use cqfd::rainworm::families::{counter_worm, forever_worm};
+use cqfd::rainworm::run::{creep, trace, CreepOutcome};
+use cqfd::rainworm::tm::TuringMachine;
+use cqfd::rainworm::to_rules::tm_rules;
+use cqfd::reduction::reduce;
+use cqfd::separating::grid::t_square;
+
+fn main() {
+    println!("== A rainworm creeps (forever_worm, first 14 configurations) ==");
+    let delta = forever_worm();
+    for (k, c) in trace(&delta, 13).iter().enumerate() {
+        println!("   {k:>2}: {c}");
+    }
+
+    println!("\n== A halting worm: counter_worm(3) ==");
+    let halting = counter_worm(3);
+    match creep(&halting, 100_000) {
+        CreepOutcome::Halted {
+            steps,
+            final_config,
+        } => {
+            println!("   halts after k_M = {steps} steps");
+            println!("   u_M = {final_config}");
+            println!("   slime trail length: {}", final_config.slime().len());
+        }
+        _ => unreachable!(),
+    }
+
+    println!("\n== Lemma 21: compiling a Turing machine to a rainworm ==");
+    let tm = TuringMachine::zigzag(3);
+    let compiled = tm_to_rainworm(&tm);
+    println!(
+        "   zigzag(3): {} TM transitions → {} rainworm instructions",
+        tm.transitions.len(),
+        compiled.len()
+    );
+    match creep(&compiled, 500_000) {
+        CreepOutcome::Halted { steps, .. } => {
+            println!("   TM halts ⇒ worm halts (after {steps} rewriting steps)")
+        }
+        _ => println!("   unexpected: still creeping"),
+    }
+
+    println!("\n== §VIII.C: ∆ ↦ T_M∆ (green-graph rules) ==");
+    let t_m = tm_rules(&delta);
+    println!(
+        "   forever_worm: {} instructions → {} rules",
+        delta.len(),
+        t_m.rules().len()
+    );
+
+    println!("\n== §VIII.E: the finite counter-model for a halting worm ==");
+    let cm = build_countermodel(&counter_worm(2), &t_square(), 100_000).unwrap();
+    println!(
+        "   k_M = {}, |u_M| = {}; M has {} edges, M̂ (with grids) has {} edges",
+        cm.k_m,
+        cm.u_m.len(),
+        cm.m.edge_count(),
+        cm.m_hat.edge_count()
+    );
+    let tm_sys = tm_rules(&counter_worm(2));
+    println!(
+        "   M̂ |= T_M∆: {}   M̂ |= T□: {}   1-2 pattern: {}",
+        tm_sys.is_model(&cm.m_hat),
+        t_square().is_model(&cm.m_hat),
+        cm.m_hat.has_12_pattern()
+    );
+
+    println!("\n== Theorem 5: the full reduction ∆ ↦ (Q, Q0) ==");
+    for (name, delta) in [
+        ("forever_worm", forever_worm()),
+        ("counter_worm(2)", counter_worm(2)),
+    ] {
+        let inst = reduce(&delta);
+        println!(
+            "   {name}: |∆| = {:>3} → {} L2 rules → {} L1 rules → {} CQs, s = {}, {} atoms total",
+            delta.len(),
+            inst.stats.l2_rules,
+            inst.stats.l1_rules,
+            inst.stats.queries,
+            inst.stats.s,
+            inst.stats.total_atoms
+        );
+    }
+    println!("   Q finitely determines Q0  ⇔  the worm creeps forever  (undecidable).");
+}

@@ -1,0 +1,83 @@
+//! Writes Graphviz renderings of the paper's figures to `target/figures/`.
+//!
+//! ```text
+//! cargo run --release --example visualize
+//! dot -Tpdf target/figures/fig1_chase_tinf.dot -o fig1.pdf   # if graphviz is installed
+//! ```
+
+use cqfd::chase::ChaseBudget;
+use cqfd::greengraph::dot::to_dot;
+use cqfd::greengraph::GreenGraph;
+use cqfd::rainworm::countermodel::build_countermodel;
+use cqfd::rainworm::families::counter_worm;
+use cqfd::separating::grid::t_square;
+use cqfd::separating::theorem14::{chase_from_lasso, separating_space, t_separating};
+use cqfd::separating::tinf::{alpha_beta_chase_graph, t_infinity};
+use std::fs;
+use std::path::Path;
+
+fn write(dir: &Path, name: &str, dot: &str) {
+    let path = dir.join(name);
+    fs::write(&path, dot).expect("write dot file");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = Path::new("target/figures");
+    fs::create_dir_all(dir).expect("create target/figures");
+    let budget = ChaseBudget {
+        max_stages: 9,
+        max_atoms: 1 << 20,
+        max_nodes: 1 << 20,
+    };
+
+    // Figure 1: the chase of T∞.
+    let (fig1, _) = t_infinity().chase(&GreenGraph::di(separating_space()), &budget);
+    write(
+        dir,
+        "fig1_chase_tinf.dot",
+        &to_dot(&fig1, "Figure 1: chase(T∞, DI)"),
+    );
+
+    // Figure 4: harmless diagonal grids over an unfolded prefix.
+    let (prefix, _, _) = alpha_beta_chase_graph(separating_space(), 3);
+    let (fig4, _, _) = t_square().chase_until_12(
+        &prefix,
+        &ChaseBudget {
+            max_stages: 200,
+            max_atoms: 1 << 20,
+            max_nodes: 1 << 20,
+        },
+    );
+    write(
+        dir,
+        "fig4_harmless_grids.dot",
+        &to_dot(&fig4, "Figure 4: grids M_t"),
+    );
+
+    // Figures 2–3: the fatal grid over a folded path (stopped at the
+    // 1-2 pattern).
+    let (fig3, _, found) = chase_from_lasso(3, 1, 60);
+    assert!(found);
+    write(
+        dir,
+        "fig3_fatal_grid.dot",
+        &to_dot(
+            &fig3,
+            "Figures 2-3: grid over a folded path (contains the 1-2 pattern)",
+        ),
+    );
+
+    // A §VIII.E counter-model.
+    let cm = build_countermodel(&counter_worm(1), &t_square(), 100_000).unwrap();
+    write(
+        dir,
+        "viiie_countermodel.dot",
+        &to_dot(&cm.m_hat, "§VIII.E: finite counter-model M̂"),
+    );
+
+    println!(
+        "\n{} rules in T; render with `dot -Tpdf <file> -o out.pdf`",
+        t_separating().rules().len()
+    );
+}

@@ -1,0 +1,264 @@
+//! `cqfd` — command-line interface to the determinacy toolbox.
+//!
+//! ```text
+//! cqfd determine --sig R/2,S/2 --view "V(x,y) :- R(x,y)" --query "Q0(x,y) :- R(x,y)"
+//! cqfd rewrite   --sig R/2    --view "V(x,z) :- R(x,y), R(y,z)" --query "Q0(a,e) :- R(a,b), R(b,c), R(c,d), R(d,e)"
+//! cqfd creep     --worm counter:3 --steps 100000
+//! cqfd reduce    --worm forever
+//! cqfd separate
+//! ```
+
+use cqfd::core::{Cq, Signature};
+use cqfd::greenred::{cq_rewriting, search_counterexample, DeterminacyOracle, Verdict};
+use cqfd::rainworm::encode::tm_to_rainworm;
+use cqfd::rainworm::families::{counter_worm, forever_worm, halting_worm_short};
+use cqfd::rainworm::run::{creep, trace, CreepOutcome};
+use cqfd::rainworm::tm::TuringMachine;
+use cqfd::rainworm::Delta;
+use cqfd::reduction::reduce;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "determine" => determine(rest, false),
+        "rewrite" => determine(rest, true),
+        "creep" => creep_cmd(rest),
+        "reduce" => reduce_cmd(rest),
+        "separate" => separate_cmd(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "cqfd — conjunctive-query determinacy toolbox
+
+USAGE:
+  cqfd determine --sig <P/k,...> --view <CQ> [--view <CQ> ...] --query <CQ>
+                 [--stages <n>] [--search-nodes <n>]
+  cqfd rewrite   --sig <P/k,...> --view <CQ> ... --query <CQ>
+  cqfd creep     --worm <forever|short|counter:M|tm-walker:K|tm-zigzag:K|file:PATH>
+                 [--steps <n>] [--trace <n>]  [--emit]
+  cqfd reduce    --worm <...>
+  cqfd separate
+
+CQ syntax: `Name(x,y) :- R(x,z), S(z,y)`; constants as `#c`.";
+
+fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < args.len() + 1 {
+        if args.get(i).map(String::as_str) == Some(name) {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.as_str());
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    flag_values(args, name).into_iter().next()
+}
+
+fn parse_sig(spec: &str) -> Result<Signature, String> {
+    let mut sig = Signature::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, arity) = part
+            .split_once('/')
+            .ok_or_else(|| format!("bad predicate spec `{part}` (want Name/arity)"))?;
+        let arity: usize = arity
+            .parse()
+            .map_err(|_| format!("bad arity in `{part}`"))?;
+        sig.try_add_predicate(name.trim(), arity)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(sig)
+}
+
+fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
+    let sig = parse_sig(flag(args, "--sig").ok_or("missing --sig")?)?;
+    let views: Vec<Cq> = flag_values(args, "--view")
+        .into_iter()
+        .map(|v| Cq::parse(&sig, v).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if views.is_empty() {
+        return Err("at least one --view required".into());
+    }
+    let q0 = Cq::parse(&sig, flag(args, "--query").ok_or("missing --query")?)
+        .map_err(|e| e.to_string())?;
+
+    if rewriting_mode {
+        let arc = Arc::new(sig);
+        return match cq_rewriting(&arc, &views, &q0) {
+            Some(rw) => {
+                println!("CQ rewriting exists:");
+                println!("  {}", rw.query.display_with(&rw.view_signature));
+                println!("(a CQ rewriting implies finite and unrestricted determinacy)");
+                Ok(())
+            }
+            None => {
+                println!("no CQ rewriting exists (determinacy may still hold — try `determine`)");
+                Ok(())
+            }
+        };
+    }
+
+    let stages: usize = flag(args, "--stages").map_or(Ok(32), |s| {
+        s.parse().map_err(|_| "bad --stages".to_string())
+    })?;
+    let search_nodes: usize = flag(args, "--search-nodes").map_or(Ok(3), |s| {
+        s.parse().map_err(|_| "bad --search-nodes".to_string())
+    })?;
+    let oracle = DeterminacyOracle::new(sig);
+    match oracle
+        .try_certify(&views, &q0, stages)
+        .map_err(|e| e.to_string())?
+    {
+        Verdict::Determined { stage } => {
+            println!("DETERMINED — chase certificate at stage {stage}");
+            println!("(unrestricted determinacy, hence finite determinacy too)");
+        }
+        Verdict::NotDeterminedUnrestricted { stages } => {
+            println!("NOT determined (unrestricted) — chase fixpoint after {stages} stages");
+            match search_counterexample(&oracle, &views, &q0, search_nodes) {
+                Some(d) => {
+                    println!("finite counter-example ({} atoms over Σ̄):", d.atom_count());
+                    print!("{d}");
+                }
+                None => println!(
+                    "no finite counter-example with ≤ {search_nodes} nodes (finite \
+                     determinacy could still hold — see Theorem 14)"
+                ),
+            }
+        }
+        Verdict::Unknown { stages } => {
+            println!("UNKNOWN — chase still running after {stages} stages");
+            println!("(CQ finite determinacy is undecidable — Theorem 1)");
+        }
+    }
+    Ok(())
+}
+
+fn parse_worm(spec: &str) -> Result<Delta, String> {
+    if let Some(path) = spec.strip_prefix("file:") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return cqfd::rainworm::parse::parse_delta(&text);
+    }
+    if let Some(m) = spec.strip_prefix("counter:") {
+        let m: u16 = m.parse().map_err(|_| "bad counter parameter")?;
+        return Ok(counter_worm(m));
+    }
+    if let Some(k) = spec.strip_prefix("tm-walker:") {
+        let k: u16 = k.parse().map_err(|_| "bad walker parameter")?;
+        return Ok(tm_to_rainworm(&TuringMachine::right_walker(k)));
+    }
+    if let Some(k) = spec.strip_prefix("tm-zigzag:") {
+        let k: u16 = k.parse().map_err(|_| "bad zigzag parameter")?;
+        return Ok(tm_to_rainworm(&TuringMachine::zigzag(k)));
+    }
+    match spec {
+        "forever" => Ok(forever_worm()),
+        "short" => Ok(halting_worm_short()),
+        other => Err(format!("unknown worm `{other}`")),
+    }
+}
+
+fn creep_cmd(args: &[String]) -> Result<(), String> {
+    let delta = parse_worm(flag(args, "--worm").ok_or("missing --worm")?)?;
+    if args.iter().any(|a| a == "--emit") {
+        print!("{}", cqfd::rainworm::parse::render_delta(&delta));
+        return Ok(());
+    }
+    let steps: usize = flag(args, "--steps").map_or(Ok(100_000), |s| {
+        s.parse().map_err(|_| "bad --steps".to_string())
+    })?;
+    if let Some(t) = flag(args, "--trace") {
+        let t: usize = t.parse().map_err(|_| "bad --trace")?;
+        for (k, c) in trace(&delta, t).iter().enumerate() {
+            println!("{k:>4}: {c}");
+        }
+        return Ok(());
+    }
+    match creep(&delta, steps) {
+        CreepOutcome::Halted {
+            steps,
+            final_config,
+        } => {
+            println!("HALTED after k_M = {steps} steps");
+            println!("u_M = {final_config}");
+            println!("slime trail: {} symbols", final_config.slime().len());
+        }
+        CreepOutcome::StillCreeping { steps, config } => {
+            println!("still creeping after {steps} steps");
+            println!(
+                "current length {}, slime {}",
+                config.len(),
+                config.slime().len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn reduce_cmd(args: &[String]) -> Result<(), String> {
+    let delta = parse_worm(flag(args, "--worm").ok_or("missing --worm")?)?;
+    let inst = reduce(&delta);
+    let s = &inst.stats;
+    println!("∆: {} instructions", delta.len());
+    println!("T_M∆ ∪ T□: {} green-graph rules", s.l2_rules);
+    println!("Precompile: {} swarm rules", s.l1_rules);
+    println!(
+        "Compile:    {} conjunctive queries over Σ ({} predicates)",
+        s.queries, s.sigma_preds
+    );
+    println!(
+        "spider parameter s = {}, total body atoms = {}",
+        s.s, s.total_atoms
+    );
+    println!("Q0 = ∃*dalt(I): {} atoms", inst.q0.body.len());
+    println!();
+    println!("Q finitely determines Q0  ⇔  the worm creeps forever.");
+    Ok(())
+}
+
+fn separate_cmd() -> Result<(), String> {
+    use cqfd::separating::theorem14::{chase_from_di, chase_from_lasso};
+    let (_, run, found) = chase_from_di(10);
+    println!(
+        "chase(T, DI): {} stages, 1-2 pattern: {found}",
+        run.stage_count()
+    );
+    let (_, run, found) = chase_from_lasso(3, 1, 80);
+    println!(
+        "chase(T, lasso(3,1)): 1-2 pattern: {found} after {} stages",
+        run.stage_count()
+    );
+    println!();
+    println!("T does not lead to the red spider, but finitely leads to it (Theorem 14):");
+    println!("Compile(Precompile(T)) finitely determines ∃*dalt(I) without determining it.");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # cqfd — Conjunctive Query Finite Determinacy Is Undecidable, executably
+//!
+//! This crate is a facade over the `cqfd-*` workspace, an executable
+//! reproduction of Gogacz & Marcinkowski, *"Red Spider Meets a Rainworm:
+//! Conjunctive Query Finite Determinacy Is Undecidable"* (PODS 2016).
+//!
+//! The paper proves that it is undecidable whether a set `Q` of conjunctive
+//! queries *finitely determines* another conjunctive query `Q0`. The proof is
+//! a constructive reduction from the halting behaviour of *rainworm machines*
+//! through three "abstraction levels" of rewriting systems down to plain
+//! conjunctive queries. Every object in that chain is implemented here:
+//!
+//! * [`core`] — relational structures, homomorphisms, conjunctive queries;
+//! * [`chase`] — tuple-generating dependencies and the lazy chase;
+//! * [`greenred`] — the two-colored restatement of determinacy (paper §IV);
+//! * [`spider`] — Level 0: spiders and spider queries (paper §V);
+//! * [`swarm`] — Level 1: swarms and `Compile` (paper §VI);
+//! * [`greengraph`] — Level 2: green graphs and `Precompile` (paper §VI);
+//! * [`separating`] — the separating example of Theorem 14 (paper §VII);
+//! * [`rainworm`] — rainworm machines and their translation (paper §VIII);
+//! * [`fogames`] — Ehrenfeucht–Fraïssé games for Theorem 2 (paper §IX);
+//! * [`reduction`] — the end-to-end Theorem 1/5 reduction pipeline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cqfd::greenred::DeterminacyOracle;
+//! use cqfd::core::{Cq, Signature};
+//!
+//! // Does {V(x,y) = R(x,y)} determine Q0(x,y) = R(x,y)? (Trivially yes.)
+//! let mut sig = Signature::new();
+//! let r = sig.add_predicate("R", 2);
+//! let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+//! let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+//! let oracle = DeterminacyOracle::new(sig.clone());
+//! let verdict = oracle.try_certify(&[v], &q0, 16).unwrap();
+//! assert!(verdict.is_determined());
+//! let _ = r;
+//! ```
+
+pub use cqfd_chase as chase;
+pub use cqfd_core as core;
+pub use cqfd_fogames as fogames;
+pub use cqfd_greengraph as greengraph;
+pub use cqfd_greenred as greenred;
+pub use cqfd_rainworm as rainworm;
+pub use cqfd_reduction as reduction;
+pub use cqfd_separating as separating;
+pub use cqfd_spider as spider;
+pub use cqfd_swarm as swarm;

@@ -1,0 +1,166 @@
+//! Integration: a library of determinacy instances cross-validated
+//! between the chase oracle and the finite counter-example search, plus
+//! metamorphic invariances.
+
+use cqfd::core::{Cq, Signature};
+use cqfd::greenred::{search_counterexample, DeterminacyOracle, Verdict};
+
+fn sig_rs() -> Signature {
+    let mut s = Signature::new();
+    s.add_predicate("R", 2);
+    s.add_predicate("S", 2);
+    s
+}
+
+struct Case {
+    name: &'static str,
+    views: Vec<&'static str>,
+    q0: &'static str,
+    determined: bool,
+}
+
+fn suite() -> Vec<Case> {
+    vec![
+        Case {
+            name: "identity",
+            views: vec!["V(x,y) :- R(x,y)"],
+            q0: "Q0(x,y) :- R(x,y)",
+            determined: true,
+        },
+        Case {
+            name: "join-of-bases",
+            views: vec!["V1(x,y) :- R(x,y)", "V2(x,y) :- S(x,y)"],
+            q0: "Q0(x,z) :- R(x,y), S(y,z)",
+            determined: true,
+        },
+        Case {
+            name: "query-equals-view",
+            views: vec!["V(x,z) :- R(x,y), R(y,z)"],
+            q0: "Q0(a,c) :- R(a,b), R(b,c)",
+            determined: true,
+        },
+        Case {
+            name: "reversal",
+            views: vec!["V(x,y) :- R(y,x)"],
+            q0: "Q0(x,y) :- R(x,y)",
+            determined: true,
+        },
+        Case {
+            name: "boolean-from-binary",
+            views: vec!["V(x,y) :- R(x,y)"],
+            q0: "Q0() :- R(x,x)",
+            determined: true,
+        },
+        Case {
+            name: "projection-loses-target",
+            views: vec!["V(x) :- R(x,y)"],
+            q0: "Q0(x,y) :- R(x,y)",
+            determined: false,
+        },
+        Case {
+            name: "unrelated-relation",
+            views: vec!["V(x,y) :- S(x,y)"],
+            q0: "Q0(x,y) :- R(x,y)",
+            determined: false,
+        },
+        Case {
+            name: "boolean-views-lose-tuples",
+            views: vec!["V() :- R(x,y)"],
+            q0: "Q0(x,y) :- R(x,y)",
+            determined: false,
+        },
+    ]
+}
+
+/// Every positive case is certified by the chase; every negative case has
+/// a small finite counter-example (so non-determinacy is *witnessed*, not
+/// merely suspected).
+#[test]
+fn oracle_and_search_agree_on_the_suite() {
+    let sig = sig_rs();
+    let oracle = DeterminacyOracle::new(sig.clone());
+    for case in suite() {
+        let views: Vec<Cq> = case
+            .views
+            .iter()
+            .map(|v| Cq::parse(&sig, v).unwrap())
+            .collect();
+        let q0 = Cq::parse(&sig, case.q0).unwrap();
+        let verdict = oracle.try_certify(&views, &q0, 24).unwrap();
+        assert_eq!(
+            verdict.is_determined(),
+            case.determined,
+            "{}: oracle said {verdict:?}",
+            case.name
+        );
+        if !case.determined {
+            let witness = search_counterexample(&oracle, &views, &q0, 3);
+            assert!(
+                witness.is_some(),
+                "{}: negative case needs a finite witness",
+                case.name
+            );
+        }
+    }
+}
+
+/// Metamorphic: adding more views never destroys determinacy.
+#[test]
+fn adding_views_preserves_determinacy() {
+    let sig = sig_rs();
+    let oracle = DeterminacyOracle::new(sig.clone());
+    let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+    let extra = Cq::parse(&sig, "W(x) :- S(x,y)").unwrap();
+    let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+    let base = oracle
+        .try_certify(std::slice::from_ref(&v), &q0, 16)
+        .unwrap();
+    let more = oracle.try_certify(&[v, extra], &q0, 16).unwrap();
+    assert!(base.is_determined());
+    assert!(more.is_determined());
+}
+
+/// Metamorphic: determinacy is invariant under renaming the view's head
+/// and reordering body atoms.
+#[test]
+fn determinacy_is_syntactic_noise_invariant() {
+    let sig = sig_rs();
+    let oracle = DeterminacyOracle::new(sig.clone());
+    let q0 = Cq::parse(&sig, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
+    let variants = [
+        vec!["V1(x,y) :- R(x,y)", "V2(x,y) :- S(x,y)"],
+        vec!["Zed(p,q) :- R(p,q)", "Wye(u,v) :- S(u,v)"],
+        vec!["V2(x,y) :- S(x,y)", "V1(x,y) :- R(x,y)"],
+    ];
+    for views in variants {
+        let views: Vec<Cq> = views.iter().map(|v| Cq::parse(&sig, v).unwrap()).collect();
+        let verdict = oracle.try_certify(&views, &q0, 16).unwrap();
+        assert!(verdict.is_determined());
+    }
+}
+
+/// The verdicts carry their evidence: a `Determined` stage really is the
+/// first stage at which red(Q0) holds.
+#[test]
+fn certificate_stage_is_minimal() {
+    let sig = sig_rs();
+    let oracle = DeterminacyOracle::new(sig.clone());
+    let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+    let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+    match oracle
+        .try_certify(std::slice::from_ref(&v), &q0, 16)
+        .unwrap()
+    {
+        Verdict::Determined { stage } => {
+            let (run, tuple) =
+                oracle.chase_instance(&[v], &q0, &cqfd::chase::ChaseBudget::stages(stage));
+            // At the certified stage red(Q0) holds…
+            let red = oracle.colored_query(cqfd::greenred::Color::Red, &q0);
+            assert!(red.holds(&run.structure, &tuple));
+            // …and at stage - 1 it does not.
+            let prev = run.stage_structure(stage - 1);
+            assert!(!red.holds(&prev, &tuple));
+        }
+        other => panic!("expected Determined, got {other:?}"),
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration: the full Theorem 5 reduction, crossed between abstraction
+//! levels and judged by the determinacy oracle.
+
+use cqfd::chase::ChaseBudget;
+use cqfd::greengraph::{GreenGraph, L2Rule, L2System, Label};
+use cqfd::greenred::DeterminacyOracle;
+use cqfd::rainworm::families::{counter_worm, forever_worm};
+use cqfd::reduction::{precompile, reduce, reduce_l2};
+use cqfd::swarm::{L1System, Swarm, SwarmContext};
+use std::sync::Arc;
+
+/// A Level-2 system, its precompilation and its compilation must agree on
+/// "leads to the red spider" — Lemma 12, crossing three crates.
+#[test]
+fn three_levels_agree_on_tiny_instances() {
+    let cases: Vec<(L2System, bool)> = vec![
+        (
+            L2System::new(vec![L2Rule::antenna(
+                Label::Empty,
+                Label::Empty,
+                Label::ONE,
+                Label::TWO,
+            )]),
+            true,
+        ),
+        (
+            L2System::new(vec![L2Rule::tail(
+                Label::Empty,
+                Label::Empty,
+                Label::ONE,
+                Label::TWO,
+            )]),
+            true,
+        ),
+        (
+            L2System::new(vec![L2Rule::antenna(
+                Label::Empty,
+                Label::Empty,
+                Label::Alpha,
+                Label::Beta1,
+            )]),
+            false,
+        ),
+    ];
+    for (t, expect) in cases {
+        // Level 2: 1-2 pattern from DI.
+        let space = t.space_with([Label::ONE, Label::TWO]);
+        let g = GreenGraph::di(Arc::clone(&space));
+        let (_, _, found2) = t.chase_until_12(&g, &ChaseBudget::stages(10));
+        assert_eq!(found2, expect, "level 2");
+
+        // Level 1: red spider from H(I, a, b).
+        let pre = precompile(&t);
+        let ctx = Arc::new(SwarmContext::with_s(pre.s));
+        let sys = L1System::new(pre.rules.clone());
+        let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+        let (_, _, found1) = sys.chase_until_red(&sw, &ChaseBudget::stages(16));
+        assert_eq!(found1, expect, "level 1");
+
+        // Level 0: the oracle on the compiled CQfDP instance.
+        let inst = reduce_l2(&t);
+        let oracle = DeterminacyOracle::from_greenred(inst.spider_ctx.greenred().clone());
+        let verdict = oracle.try_certify(&inst.queries, &inst.q0, 12).unwrap();
+        assert_eq!(verdict.is_determined(), expect, "level 0 oracle");
+    }
+}
+
+/// The rainworm reduction is deterministic and its stats formula holds for
+/// several machines.
+#[test]
+fn reduction_statistics_are_structural() {
+    for delta in [forever_worm(), counter_worm(1), counter_worm(3)] {
+        let inst = reduce(&delta);
+        // T_M∆ = 2 fixed + (|∆| − 1) rules; plus the 41 grid rules.
+        assert_eq!(inst.stats.l2_rules, 2 + delta.len() - 1 + 41);
+        assert_eq!(inst.stats.l1_rules, 3 + 2 * inst.stats.l2_rules);
+        assert_eq!(inst.stats.queries, inst.stats.l1_rules);
+        // Larger machines, larger instances.
+        assert!(inst.stats.s as usize >= 2 * (inst.stats.l2_rules + 1) + 2);
+        // Q0 mentions the whole spider: 1 + 4s atoms.
+        assert_eq!(inst.q0.body.len(), 1 + 4 * inst.stats.s as usize);
+    }
+}
+
+/// Monotonicity of the reduction in the machine: a bigger worm yields a
+/// bigger instance.
+#[test]
+fn reduction_grows_with_the_machine() {
+    let small = reduce(&counter_worm(1));
+    let large = reduce(&counter_worm(4));
+    assert!(large.stats.l2_rules > small.stats.l2_rules);
+    assert!(large.stats.queries > small.stats.queries);
+    assert!(large.stats.total_atoms > small.stats.total_atoms);
+    assert!(large.stats.s > small.stats.s);
+}
+
+/// The instance queries survive a textual round trip (they are ordinary
+/// CQs over an ordinary signature — nothing exotic is smuggled in).
+#[test]
+fn instance_queries_round_trip_through_text() {
+    let inst = reduce_l2(&L2System::new(vec![L2Rule::antenna(
+        Label::Empty,
+        Label::Empty,
+        Label::ONE,
+        Label::TWO,
+    )]));
+    let sig = inst.spider_ctx.base();
+    for q in inst.queries.iter().take(3) {
+        let shown = format!("{}", q.display_with(sig));
+        let parsed = cqfd::core::Cq::parse(sig, &shown).unwrap();
+        assert!(parsed.equivalent_to(q, sig), "{}", q.name);
+    }
+}

@@ -1,0 +1,60 @@
+//! The flagship cross-level verification: Theorem 14's **actual** 91-rule
+//! separating instance, executed at Level 1 (swarms) in both directions.
+//!
+//! By Lemma 12, "finitely leads to the red spider" transfers between
+//! levels, so this is Theorem 14 verified on the real object (the Level-0
+//! rendition with its 66 799-atom queries is measured in EXPERIMENTS.md
+//! but is too slow for test time on the positive side).
+
+use cqfd::chase::ChaseBudget;
+use cqfd::greenred::Color;
+use cqfd::reduction::{precompile, precompile_map};
+use cqfd::separating::theorem14::{separating_space, t_separating};
+use cqfd::separating::tinf::lasso_model;
+use cqfd::swarm::{L1System, Swarm, SwarmContext};
+use std::sync::Arc;
+
+#[test]
+fn real_separating_instance_at_level1() {
+    let t = t_separating();
+    let pre = precompile(&t);
+    assert_eq!(pre.rules.len(), 91);
+    assert_eq!(pre.s, 92);
+    let ctx = Arc::new(SwarmContext::with_s(pre.s));
+    // |A| = 2(s+1)² ideal spiders — a 17 298-predicate signature.
+    assert_eq!(ctx.signature().pred_count(), 2 * 93 * 93);
+    let sys = L1System::new(pre.rules.clone());
+
+    // Negative half: from the bare green seed, no full red spider.
+    let (seed, _, _) = Swarm::green_seed(Arc::clone(&ctx));
+    let budget = ChaseBudget {
+        max_stages: 6,
+        max_atoms: 1 << 20,
+        max_nodes: 1 << 20,
+    };
+    let (_, _, found) = sys.chase_until_red(&seed, &budget);
+    assert!(!found, "the unfolded side must stay red-spider-free");
+
+    // Positive half: the folded lasso, translated to a swarm, reaches the
+    // full red spider.
+    let lasso = lasso_model(separating_space(), 3, 1);
+    let (lasso_swarm, _, _) = precompile_map(&pre, Arc::clone(&ctx), &lasso);
+    // The translation seeds green edges for the lasso plus one stage of red
+    // witnesses; both colors are present.
+    assert!(lasso_swarm
+        .edges()
+        .iter()
+        .any(|e| e.spider.base == Color::Green));
+    let budget = ChaseBudget {
+        max_stages: 40,
+        max_atoms: 1 << 21,
+        max_nodes: 1 << 21,
+    };
+    let (out, run, found) = sys.chase_until_red(&lasso_swarm, &budget);
+    assert!(
+        found,
+        "the folded side must produce H(H,_,_) (ran {} stages, {} edges)",
+        run.stage_count(),
+        out.edges().len()
+    );
+}

@@ -1,0 +1,94 @@
+//! Integration: Theorem 14 and the §VIII.E counter-models, across the
+//! separating, rainworm and greengraph crates.
+
+use cqfd::chase::ChaseBudget;
+use cqfd::greengraph::Label;
+use cqfd::rainworm::countermodel::build_countermodel;
+use cqfd::rainworm::families::{counter_worm, forever_worm, halting_worm_short};
+use cqfd::rainworm::run::{creep, CreepOutcome};
+use cqfd::rainworm::to_rules::tm_rules;
+use cqfd::separating::grid::{t_square, t_square_as_printed};
+use cqfd::separating::theorem14::{chase_from_di, chase_from_lasso, separating_space};
+use cqfd::separating::tinf::{lasso_model, t_infinity};
+
+/// Theorem 14, the two halves side by side.
+#[test]
+fn theorem14_separation() {
+    let (_, _, found_di) = chase_from_di(10);
+    assert!(!found_di, "unrestricted side: no 1-2 pattern from DI");
+    let (_, _, found_lasso) = chase_from_lasso(3, 1, 60);
+    assert!(found_lasso, "finite side: the folded model is fatal");
+}
+
+/// The ablation across crates: the literal (unrepaired) grid rules break
+/// the finite side but leave the unrestricted side intact.
+#[test]
+fn printed_rules_break_only_the_finite_side() {
+    let literal = t_infinity().union(&t_square_as_printed());
+    let g = cqfd::greengraph::GreenGraph::di(separating_space());
+    let budget = ChaseBudget {
+        max_stages: 10,
+        max_atoms: 1 << 20,
+        max_nodes: 1 << 20,
+    };
+    let (_, _, found_di) = literal.chase_until_12(&g, &budget);
+    assert!(!found_di);
+    let lasso = lasso_model(separating_space(), 3, 1);
+    let (out, _, found_lasso) = literal.chase_until_12(&lasso, &budget);
+    assert!(!found_lasso, "the typo kills the 1-2 pattern");
+    assert_eq!(out.edges_with(Label::ONE).count(), 0);
+}
+
+/// §VIII.E counter-models for every halting family member: finite, model
+/// of everything, pattern-free. This is the executable content of the
+/// "⇐" direction of Lemma 24.
+#[test]
+fn countermodels_for_halting_worms() {
+    for delta in [halting_worm_short(), counter_worm(1), counter_worm(2)] {
+        let cm = build_countermodel(&delta, &t_square(), 200_000).unwrap();
+        let tm = tm_rules(&delta);
+        assert!(tm.is_model(&cm.m_hat));
+        assert!(t_square().is_model(&cm.m_hat));
+        assert!(!cm.m_hat.has_12_pattern());
+        assert!(cm.m_hat.contains_green_spider());
+        // The counter-model scales with the worm's halting time.
+        match creep(&delta, 200_000) {
+            CreepOutcome::Halted { steps, .. } => assert_eq!(steps, cm.k_m),
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Counter-model size grows with `k_M` — the E-VIIIE series.
+#[test]
+fn countermodel_size_scales() {
+    let cm1 = build_countermodel(&counter_worm(1), &t_square(), 200_000).unwrap();
+    let cm2 = build_countermodel(&counter_worm(3), &t_square(), 200_000).unwrap();
+    assert!(cm2.k_m > cm1.k_m);
+    assert!(cm2.m.edge_count() > cm1.m.edge_count());
+    assert!(cm2.m_hat.edge_count() > cm1.m_hat.edge_count());
+}
+
+/// Conversely, the non-halting worm's rule set drives the lasso into the
+/// 1-2 pattern — the "⇒" direction on a concrete finite model candidate.
+#[test]
+fn forever_worm_rules_doom_finite_models() {
+    let delta = forever_worm();
+    let tm = tm_rules(&delta);
+    let full = tm.union(&t_square());
+    // A finite model of T_M∆ containing DI would have to contain the
+    // folded slime; chasing the T∞-style lasso approximates that fold.
+    // (The lasso is not a model of T_M∆, but the grid machinery only needs
+    // the folded αβ-path, which the lasso provides.)
+    let mut labels = full.labels();
+    labels.extend([Label::ONE, Label::TWO]);
+    let space = std::sync::Arc::new(cqfd::greengraph::LabelSpace::new(labels));
+    let lasso = lasso_model(space, 3, 1);
+    let budget = ChaseBudget {
+        max_stages: 60,
+        max_atoms: 1 << 21,
+        max_nodes: 1 << 21,
+    };
+    let (_, _, found) = full.chase_until_12(&lasso, &budget);
+    assert!(found, "the folded slime trail must develop the 1-2 pattern");
+}
