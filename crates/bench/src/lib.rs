@@ -14,5 +14,6 @@ pub fn wide_budget(stages: usize) -> ChaseBudget {
         max_stages: stages,
         max_atoms: 1 << 22,
         max_nodes: 1 << 22,
+        ..ChaseBudget::default()
     }
 }

@@ -3,17 +3,22 @@
 use crate::tgd::Tgd;
 use cqfd_core::{
     find_homomorphism, for_each_homomorphism, for_each_homomorphism_limited,
-    for_each_homomorphism_per_atom_limits, Node, Structure, Term, VarMap,
+    for_each_homomorphism_per_atom_limits, hom_nodes_explored, CancelToken, Node, Structure, Term,
+    VarMap,
 };
 use std::collections::HashSet;
 use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
 
 /// Resource limits for a chase run.
 ///
 /// The chase of this paper is often deliberately infinite
 /// (`chase(T∞, DI)` is an infinite path, §VII Step 1), so budgets are part
-/// of the API, not an afterthought: a run reports *why* it stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// of the API, not an afterthought: a run reports *why* it stopped. Besides
+/// the counting limits, a budget can carry a cooperative [`CancelToken`]
+/// and a wall-clock deadline — the hooks the `cqfd-service` job pool uses
+/// to stop runaway jobs without killing worker threads.
+#[derive(Debug, Clone)]
 pub struct ChaseBudget {
     /// Maximum number of stages (`chase_i` levels) to compute.
     pub max_stages: usize,
@@ -21,7 +26,25 @@ pub struct ChaseBudget {
     pub max_atoms: usize,
     /// Stop once the structure holds at least this many nodes.
     pub max_nodes: usize,
+    /// Cooperative cancellation token, polled at stage and trigger
+    /// boundaries. Inert by default.
+    pub cancel: CancelToken,
+    /// Absolute wall-clock deadline; the run stops as [`ChaseOutcome::Cancelled`]
+    /// once it passes. `None` by default.
+    pub deadline: Option<Instant>,
 }
+
+/// Budgets compare by their declared *limits*; the token and deadline are
+/// runtime controls, not part of the budget's identity.
+impl PartialEq for ChaseBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_stages == other.max_stages
+            && self.max_atoms == other.max_atoms
+            && self.max_nodes == other.max_nodes
+    }
+}
+
+impl Eq for ChaseBudget {}
 
 impl Default for ChaseBudget {
     fn default() -> Self {
@@ -29,6 +52,8 @@ impl Default for ChaseBudget {
             max_stages: 64,
             max_atoms: 1 << 20,
             max_nodes: 1 << 20,
+            cancel: CancelToken::inert(),
+            deadline: None,
         }
     }
 }
@@ -40,6 +65,32 @@ impl ChaseBudget {
             max_stages,
             ..Self::default()
         }
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets a wall-clock deadline `timeout` from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The cooperative stop hook: has the token been cancelled, or the
+    /// deadline passed? Polled by the chase at stage and trigger
+    /// boundaries; other long loops (creep, counter-example search) poll
+    /// the same budget through their own drivers.
+    pub fn should_stop(&self) -> bool {
+        self.cancel.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -54,6 +105,9 @@ pub enum ChaseOutcome {
     SizeBudgetExhausted,
     /// The caller's monitor requested a stop after some stage.
     MonitorStopped,
+    /// The budget's cancellation token fired or its deadline passed
+    /// ([`ChaseBudget::should_stop`]).
+    Cancelled,
 }
 
 /// Per-stage accounting of a chase run.
@@ -77,6 +131,12 @@ pub struct ChaseRun {
     pub stages: Vec<StageInfo>,
     /// Why the run stopped.
     pub outcome: ChaseOutcome,
+    /// Wall-clock time the run took.
+    pub elapsed: Duration,
+    /// Homomorphism-search nodes explored during the run (trigger
+    /// enumeration *and* head-satisfaction checks), from the thread-local
+    /// counter in `cqfd_core::hom`.
+    pub hom_nodes: u64,
     start_atoms: usize,
     start_nodes: u32,
 }
@@ -85,6 +145,11 @@ impl ChaseRun {
     /// Number of computed stages (not counting `chase₀` = the start).
     pub fn stage_count(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Total trigger applications across all stages.
+    pub fn triggers_fired(&self) -> usize {
+        self.stages.iter().map(|s| s.applications).sum()
     }
 
     /// Did the chase reach a fixpoint (i.e. terminate)?
@@ -184,6 +249,8 @@ impl ChaseEngine {
         budget: &ChaseBudget,
         mut monitor: impl FnMut(&Structure, usize) -> bool,
     ) -> ChaseRun {
+        let started = Instant::now();
+        let hom_start = hom_nodes_explored();
         let mut d = start.clone();
         let mut run = ChaseRun {
             start_atoms: d.atom_count(),
@@ -191,23 +258,36 @@ impl ChaseEngine {
             structure: Structure::new(std::sync::Arc::clone(d.signature())),
             stages: Vec::new(),
             outcome: ChaseOutcome::StageBudgetExhausted,
+            elapsed: Duration::ZERO,
+            hom_nodes: 0,
+        };
+        let finish = |mut run: ChaseRun, d: Structure| {
+            run.structure = d;
+            run.elapsed = started.elapsed();
+            run.hom_nodes = hom_nodes_explored() - hom_start;
+            run
         };
         if monitor(&d, 0) {
             run.outcome = ChaseOutcome::MonitorStopped;
-            run.structure = d;
-            return run;
+            return finish(run, d);
         }
         let mut prev_frozen: u32 = 0;
         for _stage in 0..budget.max_stages {
+            if budget.should_stop() {
+                run.outcome = ChaseOutcome::Cancelled;
+                break;
+            }
             let frozen = d.atom_count() as u32;
-            let (applications, size_ok) = self.run_stage(&mut d, budget, prev_frozen);
+            let (applications, early_stop) = self.run_stage(&mut d, budget, prev_frozen);
             prev_frozen = frozen;
             run.stages.push(StageInfo {
                 applications,
                 atoms_after: d.atom_count(),
                 nodes_after: d.node_count(),
             });
-            if applications == 0 {
+            // A fixpoint or a monitor hit is a *result* and outranks a
+            // simultaneous budget stop; budget stops only say "gave up".
+            if applications == 0 && early_stop.is_none() {
                 run.outcome = ChaseOutcome::Fixpoint;
                 // The empty stage proves the fixpoint; it is still recorded.
                 break;
@@ -216,18 +296,19 @@ impl ChaseEngine {
                 run.outcome = ChaseOutcome::MonitorStopped;
                 break;
             }
-            if !size_ok {
-                run.outcome = ChaseOutcome::SizeBudgetExhausted;
+            if let Some(reason) = early_stop {
+                run.outcome = reason;
                 break;
             }
         }
-        run.structure = d;
-        run
+        finish(run, d)
     }
 
     /// One chase stage (the `forall pairs T, b̄ …` loop of §II.C):
     /// enumerate triggers over the frozen snapshot, apply the active ones.
-    /// Returns `(applications, within_size_budget)`.
+    /// Returns `(applications, early_stop)` where `early_stop` reports a
+    /// mid-stage budget violation ([`ChaseOutcome::SizeBudgetExhausted`] or
+    /// [`ChaseOutcome::Cancelled`]), if any.
     ///
     /// `prev_frozen` is the snapshot boundary of the previous stage; the
     /// semi-naive strategy only enumerates matches touching the delta
@@ -237,10 +318,13 @@ impl ChaseEngine {
         d: &mut Structure,
         budget: &ChaseBudget,
         prev_frozen: u32,
-    ) -> (usize, bool) {
+    ) -> (usize, Option<ChaseOutcome>) {
         let frozen = d.atom_count() as u32;
         let mut applications = 0usize;
         for tgd in &self.tgds {
+            if budget.should_stop() {
+                return (applications, Some(ChaseOutcome::Cancelled));
+            }
             // Collect the distinct frontier tuples b̄ with a body match in
             // the frozen snapshot. (Conditions ¬/­ of §II.B depend only on b̄.)
             let mut frontiers: Vec<Vec<Node>> = Vec::new();
@@ -294,7 +378,13 @@ impl ChaseEngine {
                     }
                 }
             }
-            for tuple in frontiers {
+            for (i, tuple) in frontiers.into_iter().enumerate() {
+                // Poll the cooperative stop hook every few hundred
+                // triggers: often enough to honour deadlines promptly,
+                // rarely enough to keep `Instant::now` off the hot path.
+                if i % 256 == 0 && budget.should_stop() {
+                    return (applications, Some(ChaseOutcome::Cancelled));
+                }
                 let fixed: VarMap = tgd
                     .frontier()
                     .iter()
@@ -309,11 +399,11 @@ impl ChaseEngine {
                 applications += 1;
                 if d.atom_count() >= budget.max_atoms || d.node_count() as usize >= budget.max_nodes
                 {
-                    return (applications, false);
+                    return (applications, Some(ChaseOutcome::SizeBudgetExhausted));
                 }
             }
         }
-        (applications, true)
+        (applications, None)
     }
 
     /// Applies one active trigger: `D := D(T, b̄)` — a fresh copy of `A[Ψ]`
@@ -541,6 +631,7 @@ mod tests {
             max_stages: 1000,
             max_atoms: 5,
             max_nodes: 1 << 20,
+            ..ChaseBudget::default()
         };
         let run = engine.chase(&d, &budget);
         assert_eq!(run.outcome, ChaseOutcome::SizeBudgetExhausted);

@@ -1,0 +1,88 @@
+//! Cooperative cancellation tokens.
+//!
+//! Long-running computations in this workspace — the chase, the oracle, the
+//! worm creep — are *semi-decision* procedures that may legitimately never
+//! terminate (Theorem 1 guarantees a supply of such inputs). Anything that
+//! serves them to callers therefore needs a way to stop them mid-flight.
+//! A [`CancelToken`] is a cheap, cloneable handle around an `AtomicBool`:
+//! the owner flips it, the computation polls it at loop boundaries via
+//! hooks such as `ChaseBudget::should_stop` and unwinds cleanly with a
+//! "cancelled" outcome instead of a result.
+//!
+//! The default token is *inert* (never cancelled, no allocation), so code
+//! paths that do not care about cancellation pay one `Option` check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a controller and a
+/// computation. Cloning shares the underlying flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A live token that can later be [cancelled](CancelToken::cancel).
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// An inert token: never cancelled, allocation-free. This is the
+    /// `Default`, so budget structs embedding a token cost nothing when
+    /// cancellation is unused.
+    pub fn inert() -> Self {
+        CancelToken { flag: None }
+    }
+
+    /// Requests cancellation. All clones of this token observe it. On an
+    /// inert token this is a no-op.
+    pub fn cancel(&self) {
+        if let Some(f) = &self.flag {
+            f.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Is this a live (non-inert) token?
+    pub fn is_live(&self) -> bool {
+        self.flag.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let t = CancelToken::inert();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(!t.is_live());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        assert!(u.is_live());
+    }
+
+    #[test]
+    fn default_is_inert() {
+        assert!(!CancelToken::default().is_live());
+    }
+}

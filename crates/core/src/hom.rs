@@ -21,11 +21,29 @@
 use crate::atom::Atom;
 use crate::structure::{Node, Structure};
 use crate::term::{Term, Var};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
 /// A (partial) assignment of pattern variables to target nodes.
 pub type VarMap = HashMap<Var, Node>;
+
+thread_local! {
+    /// Candidate-binding attempts made by the search on this thread.
+    static HOM_NODES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of homomorphism-search nodes (candidate-binding attempts)
+/// explored on the **current thread** since it started.
+///
+/// The counter is monotone and thread-local: callers that want the cost of
+/// one computation take a reading before and after and subtract (see
+/// `cqfd-service`'s per-job metrics). Thread-locality means a worker thread
+/// observes exactly its own jobs' work, with no cross-thread noise and no
+/// synchronisation on the hot path.
+pub fn hom_nodes_explored() -> u64 {
+    HOM_NODES.get()
+}
 
 /// Enumerates homomorphisms from `pattern` into `target` extending `fixed`,
 /// invoking `visit` on each one found. `visit` may stop the enumeration by
@@ -226,6 +244,7 @@ impl Search<'_> {
         bound_here: &mut Vec<Var>,
     ) -> bool {
         debug_assert_eq!(atom.pred, cand.pred);
+        HOM_NODES.set(HOM_NODES.get() + 1);
         for (t, &n) in atom.args.iter().zip(&cand.args) {
             match t {
                 Term::Const(c) => {

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod atom;
+pub mod cancel;
 pub mod core_of;
 pub mod cq;
 pub mod error;
@@ -58,12 +59,13 @@ pub mod structure;
 pub mod term;
 
 pub use atom::{Atom, GroundAtom};
+pub use cancel::CancelToken;
 pub use core_of::{compact, core_of, hom_equivalent, is_core};
 pub use cq::{AnswerSet, Cq};
 pub use error::CoreError;
 pub use hom::{
     all_homomorphisms, find_homomorphism, for_each_homomorphism, for_each_homomorphism_limited,
-    for_each_homomorphism_per_atom_limits, structure_homomorphism, VarMap,
+    for_each_homomorphism_per_atom_limits, hom_nodes_explored, structure_homomorphism, VarMap,
 };
 pub use iso::isomorphic;
 pub use signature::{ConstId, PredId, Signature};

@@ -60,6 +60,7 @@ pub fn chase_world(stages: usize, include_start: bool) -> Theorem2World {
             max_stages: stages,
             max_atoms: 1 << 22,
             max_nodes: 1 << 22,
+            ..ChaseBudget::default()
         },
     );
     Theorem2World {

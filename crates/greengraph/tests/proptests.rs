@@ -91,7 +91,7 @@ proptest! {
         };
         let sys = L2System::new(vec![rule]);
         let g = random_graph(&edges, 4);
-        let budget = ChaseBudget { max_stages: 12, max_atoms: 4000, max_nodes: 4000 };
+        let budget = ChaseBudget { max_stages: 12, max_atoms: 4000, max_nodes: 4000, ..ChaseBudget::default() };
         let (out, run) = sys.chase(&g, &budget);
         if run.reached_fixpoint() {
             prop_assert!(sys.is_model(&out), "fixpoint must be a model of {rule}");

@@ -88,32 +88,45 @@ impl DeterminacyOracle {
         q0: &Cq,
         max_stages: usize,
     ) -> Result<Verdict, cqfd_core::CoreError> {
-        let (run, tuple) = self.chase_instance(views, q0, &ChaseBudget::stages(max_stages));
+        let (verdict, _run) = self.certify_run(views, q0, &ChaseBudget::stages(max_stages));
+        Ok(verdict)
+    }
+
+    /// Runs the oracle under an arbitrary [`ChaseBudget`] — including its
+    /// cancellation token and deadline — and returns both the verdict and
+    /// the full [`ChaseRun`] so callers (the `cqfd-service` job pool, the
+    /// CLI) can report stage/trigger/hom-node metrics alongside the answer.
+    ///
+    /// A cancelled or budget-exhausted run yields [`Verdict::Unknown`]: by
+    /// Theorem 1 nothing else can be concluded.
+    pub fn certify_run(&self, views: &[Cq], q0: &Cq, budget: &ChaseBudget) -> (Verdict, ChaseRun) {
+        let (run, tuple) = self.chase_instance(views, q0, budget);
         let red_q0 = self.colored_query(Color::Red, q0);
-        match run.outcome {
+        let verdict = match run.outcome {
             ChaseOutcome::MonitorStopped => {
                 // The monitor fired at the first stage where red(Q0) held.
-                Ok(Verdict::Determined {
+                Verdict::Determined {
                     stage: run.stage_count(),
-                })
+                }
             }
             ChaseOutcome::Fixpoint => {
                 // Double-check on the fixpoint (monitor already covered it,
                 // but the final check keeps this robust to monitor ordering).
                 if red_q0.holds(&run.structure, &tuple) {
-                    Ok(Verdict::Determined {
+                    Verdict::Determined {
                         stage: run.stage_count(),
-                    })
+                    }
                 } else {
-                    Ok(Verdict::NotDeterminedUnrestricted {
+                    Verdict::NotDeterminedUnrestricted {
                         stages: run.stage_count(),
-                    })
+                    }
                 }
             }
-            _ => Ok(Verdict::Unknown {
+            _ => Verdict::Unknown {
                 stages: run.stage_count(),
-            }),
-        }
+            },
+        };
+        (verdict, run)
     }
 
     /// Runs the chase of `T_Q` from `green(A[Q0])` with the given budget,

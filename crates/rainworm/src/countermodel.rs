@@ -140,6 +140,7 @@ pub fn build_countermodel(
         max_stages: 10_000,
         max_atoms: 1 << 22,
         max_nodes: 1 << 22,
+        ..ChaseBudget::default()
     };
     let (m_hat, run) = grid.chase(&m, &budget);
     assert!(

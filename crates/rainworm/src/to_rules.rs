@@ -100,6 +100,7 @@ mod tests {
             max_stages: 40,
             max_atoms: 1 << 20,
             max_nodes: 1 << 20,
+            ..ChaseBudget::default()
         };
         let (out, _) = sys.chase(&g, &budget);
         let pg = ParityGlasses::new(&out);
@@ -140,6 +141,7 @@ mod tests {
                 max_stages: 60,
                 max_atoms: 1 << 20,
                 max_nodes: 1 << 20,
+                ..ChaseBudget::default()
             },
         );
         let pg = ParityGlasses::new(&out);

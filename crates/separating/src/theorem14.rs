@@ -31,6 +31,7 @@ pub fn chase_from_di(stages: usize) -> (GreenGraph, ChaseRun, bool) {
         max_stages: stages,
         max_atoms: 1 << 22,
         max_nodes: 1 << 22,
+        ..ChaseBudget::default()
     };
     sys.chase_until_12(&g, &budget)
 }
@@ -53,6 +54,7 @@ pub fn chase_from_lasso(n: usize, period: usize, stages: usize) -> (GreenGraph, 
         max_stages: stages,
         max_atoms: 1 << 22,
         max_nodes: 1 << 22,
+        ..ChaseBudget::default()
     };
     sys.chase_until_12(&g, &budget)
 }
@@ -107,6 +109,7 @@ mod tests {
             max_stages: 25,
             max_atoms: 1 << 20,
             max_nodes: 1 << 20,
+            ..ChaseBudget::default()
         };
         let (out, _, found) = sys.chase_until_12(&g, &budget);
         assert!(!found);
@@ -126,6 +129,7 @@ mod tests {
             max_stages: 200,
             max_atoms: 1 << 20,
             max_nodes: 1 << 20,
+            ..ChaseBudget::default()
         };
         let (out, run, found) = sys.chase_until_12(&g, &budget);
         assert!(!found, "diagonal grids must not contain a 1-2 pattern");
@@ -178,6 +182,7 @@ mod debug_tests {
             max_stages: 30,
             max_atoms: 1 << 20,
             max_nodes: 1 << 20,
+            ..ChaseBudget::default()
         };
         let (out, run, found) = sys.chase_until_12(&g, &budget);
         println!(
@@ -221,6 +226,7 @@ mod strategy_tests {
             max_stages: 60,
             max_atoms: 1 << 22,
             max_nodes: 1 << 22,
+            ..ChaseBudget::default()
         };
         let lasso = lasso_model(separating_space(), 3, 1);
         let (_, _, found) = sys.chase_until_12_with(&lasso, &budget, Strategy::SemiNaive);
@@ -230,6 +236,7 @@ mod strategy_tests {
             max_stages: 10,
             max_atoms: 1 << 22,
             max_nodes: 1 << 22,
+            ..ChaseBudget::default()
         };
         let (_, _, found) = sys.chase_until_12_with(&di, &small, Strategy::SemiNaive);
         assert!(!found, "and must stay clean on DI");

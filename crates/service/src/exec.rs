@@ -1,0 +1,282 @@
+//! The single-job execution path, shared by pool workers, `cqfd batch`,
+//! and the TCP server.
+
+use crate::job::{Job, JobBudget};
+use crate::outcome::{JobMetrics, JobOutcome, JobResult};
+use cqfd_chase::{ChaseBudget, ChaseOutcome, ChaseRun};
+use cqfd_core::{hom_nodes_explored, CancelToken};
+use cqfd_greenred::{cq_rewriting, search_counterexample, DeterminacyOracle, Verdict};
+use cqfd_rainworm::config::Config;
+use cqfd_rainworm::run::step;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Executes one job to completion (or budget exhaustion / cancellation)
+/// on the calling thread, returning its result.
+///
+/// The `cancel` token is the pool's cooperative kill switch: chase-based
+/// jobs thread it into [`ChaseBudget`] (polled at stage and trigger
+/// boundaries), creep jobs poll it every step. Homomorphism-search nodes
+/// are metered via the thread-local counter in `cqfd_core::hom`, read as
+/// a before/after delta — correct under pool concurrency because each job
+/// runs entirely on one worker thread.
+pub fn execute(id: u64, job: &Job, cancel: &CancelToken) -> JobResult {
+    let started = Instant::now();
+    let homs_before = hom_nodes_explored();
+    let mut metrics = JobMetrics::default();
+    let outcome = if cancel.is_cancelled() {
+        JobOutcome::BudgetExceeded {
+            detail: "cancelled".into(),
+        }
+    } else {
+        run_job(job, cancel, &mut metrics)
+    };
+    metrics.homs = hom_nodes_explored() - homs_before;
+    metrics.elapsed = started.elapsed();
+    JobResult {
+        id,
+        kind: job.kind(),
+        outcome,
+        metrics,
+    }
+}
+
+/// Builds the chase budget for a job: declared limits plus the pool's
+/// cancellation token and (if any) a deadline starting now.
+fn chase_budget(budget: &JobBudget, cancel: &CancelToken) -> ChaseBudget {
+    let mut b = ChaseBudget::stages(budget.max_stages).with_cancel(cancel.clone());
+    if let Some(t) = budget.timeout {
+        b = b.with_timeout(t);
+    }
+    b
+}
+
+/// Harvests chase-run metrics (stages, triggers, structure peaks).
+fn record_run(metrics: &mut JobMetrics, run: &ChaseRun) {
+    metrics.stages += run.stage_count();
+    metrics.triggers += run.triggers_fired();
+    metrics.peak_atoms = metrics.peak_atoms.max(run.structure.atom_count());
+    metrics.peak_nodes = metrics.peak_nodes.max(run.structure.node_count());
+}
+
+/// Names what stopped a cancelled run: the token or the clock.
+fn stop_detail(cancel: &CancelToken) -> String {
+    if cancel.is_cancelled() {
+        "cancelled".into()
+    } else {
+        "deadline".into()
+    }
+}
+
+fn run_job(job: &Job, cancel: &CancelToken, metrics: &mut JobMetrics) -> JobOutcome {
+    match job {
+        Job::Determine {
+            sig,
+            views,
+            q0,
+            budget,
+        } => {
+            let oracle = DeterminacyOracle::new(sig.clone());
+            let (verdict, run) = oracle.certify_run(views, q0, &chase_budget(budget, cancel));
+            record_run(metrics, &run);
+            if run.outcome == ChaseOutcome::Cancelled {
+                return JobOutcome::BudgetExceeded {
+                    detail: stop_detail(cancel),
+                };
+            }
+            match verdict {
+                Verdict::Determined { stage } => JobOutcome::Determined { stage },
+                Verdict::NotDeterminedUnrestricted { stages } => {
+                    JobOutcome::NotDetermined { stages }
+                }
+                Verdict::Unknown { stages } => JobOutcome::Unknown { stages },
+            }
+        }
+        Job::Rewrite { sig, views, q0 } => {
+            let arc = Arc::new(sig.clone());
+            match cq_rewriting(&arc, views, q0) {
+                Some(rw) => JobOutcome::RewritingFound {
+                    rewriting: rw.query.display_with(&rw.view_signature).to_string(),
+                },
+                None => JobOutcome::NoRewriting,
+            }
+        }
+        Job::Reduce { delta } => {
+            let inst = cqfd_reduction::reduce(delta);
+            JobOutcome::Reduced {
+                queries: inst.stats.queries,
+                total_atoms: inst.stats.total_atoms,
+                s: inst.stats.s,
+            }
+        }
+        Job::Creep { delta, budget } => creep_job(delta, budget, cancel),
+        Job::Separate { budget } => {
+            let (_, run_di, di_pattern) =
+                cqfd_separating::theorem14::chase_from_di(budget.max_stages);
+            record_run(metrics, &run_di);
+            let (_, run_lasso, lasso_pattern) =
+                cqfd_separating::theorem14::chase_from_lasso(3, 1, budget.max_stages);
+            record_run(metrics, &run_lasso);
+            JobOutcome::Separated {
+                di_pattern,
+                lasso_pattern,
+            }
+        }
+        Job::CounterexampleSearch {
+            sig,
+            views,
+            q0,
+            budget,
+        } => {
+            let oracle = DeterminacyOracle::new(sig.clone());
+            match search_counterexample(&oracle, views, q0, budget.max_search_nodes) {
+                Some(d) => {
+                    metrics.peak_atoms = metrics.peak_atoms.max(d.atom_count());
+                    metrics.peak_nodes = metrics.peak_nodes.max(d.node_count());
+                    JobOutcome::CounterexampleFound {
+                        atoms: d.atom_count(),
+                    }
+                }
+                None => JobOutcome::NoCounterexample {
+                    nodes: budget.max_search_nodes,
+                },
+            }
+        }
+    }
+}
+
+/// The creep loop with cooperative cancellation: the rainworm step
+/// function itself is untouched; the service drives it one `⇒` at a time,
+/// polling the token every step and the clock every 64 steps.
+fn creep_job(delta: &cqfd_rainworm::Delta, budget: &JobBudget, cancel: &CancelToken) -> JobOutcome {
+    let deadline = budget.timeout.map(|t| Instant::now() + t);
+    let mut cur = Config::initial();
+    if let Err(e) = cur.validate() {
+        return JobOutcome::Error {
+            message: format!("invalid start configuration: {e}"),
+        };
+    }
+    for k in 0..budget.max_steps {
+        if cancel.is_cancelled() {
+            return JobOutcome::BudgetExceeded {
+                detail: "cancelled".into(),
+            };
+        }
+        if k % 64 == 0 {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return JobOutcome::BudgetExceeded {
+                        detail: "deadline".into(),
+                    };
+                }
+            }
+        }
+        match step(delta, &cur) {
+            Some(next) => {
+                if let Err(e) = next.validate() {
+                    return JobOutcome::Error {
+                        message: format!("Lemma 20 violated at step {}: {e}", k + 1),
+                    };
+                }
+                cur = next;
+            }
+            None => return JobOutcome::Halted { steps: k },
+        }
+    }
+    JobOutcome::StillCreeping {
+        steps: budget.max_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_core::{Cq, Signature};
+    use cqfd_rainworm::families::{forever_worm, halting_worm_short};
+    use std::time::Duration;
+
+    fn sig_r() -> Signature {
+        let mut s = Signature::new();
+        s.add_predicate("R", 2);
+        s
+    }
+
+    #[test]
+    fn determine_job_certifies_identity_view() {
+        let sig = sig_r();
+        let views = vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()];
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let job = Job::Determine {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default(),
+        };
+        let r = execute(1, &job, &CancelToken::inert());
+        assert_eq!(r.outcome, JobOutcome::Determined { stage: 1 });
+        assert!(r.metrics.stages >= 1);
+        assert!(r.metrics.homs > 0, "hom search was metered");
+        assert!(r.metrics.peak_atoms > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_job_does_not_run() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let job = Job::Creep {
+            delta: forever_worm(),
+            budget: JobBudget::default(),
+        };
+        let r = execute(1, &job, &cancel);
+        assert!(r.outcome.is_budget_exceeded());
+    }
+
+    #[test]
+    fn creep_job_halts_and_respects_deadline() {
+        let halting = Job::Creep {
+            delta: halting_worm_short(),
+            budget: JobBudget::default(),
+        };
+        let r = execute(1, &halting, &CancelToken::inert());
+        assert!(matches!(r.outcome, JobOutcome::Halted { .. }));
+
+        let forever = Job::Creep {
+            delta: forever_worm(),
+            budget: JobBudget::default()
+                .with_steps(usize::MAX)
+                .with_timeout(Duration::from_millis(50)),
+        };
+        let r = execute(2, &forever, &CancelToken::inert());
+        assert_eq!(
+            r.outcome,
+            JobOutcome::BudgetExceeded {
+                detail: "deadline".into()
+            }
+        );
+        assert!(r.metrics.elapsed < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn determine_with_deadline_reports_budget_exceeded() {
+        // Composed-view instance whose chase diverges: with an immediate
+        // deadline the oracle must stop as budget-exceeded, not Unknown.
+        let sig = sig_r();
+        let views = vec![Cq::parse(&sig, "V(x,z) :- R(x,y), R(y,z)").unwrap()];
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let job = Job::Determine {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default()
+                .with_stages(usize::MAX)
+                .with_timeout(Duration::ZERO),
+        };
+        let r = execute(1, &job, &CancelToken::inert());
+        assert_eq!(
+            r.outcome,
+            JobOutcome::BudgetExceeded {
+                detail: "deadline".into()
+            }
+        );
+    }
+}

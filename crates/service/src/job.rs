@@ -1,0 +1,145 @@
+//! Job descriptions: what to run, and under which budget.
+
+use cqfd_core::{Cq, Signature};
+use cqfd_rainworm::Delta;
+use std::time::Duration;
+
+/// Resource limits for a single job.
+///
+/// Every limit is cooperative: the executing code polls the budget at loop
+/// boundaries (chase stages, trigger applications, creep steps) and stops
+/// with [`JobOutcome::BudgetExceeded`](crate::JobOutcome::BudgetExceeded)
+/// rather than being killed. A `timeout` becomes an absolute deadline when
+/// the job *starts executing* (not when it is submitted), so queueing time
+/// does not count against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobBudget {
+    /// Maximum chase stages (determinacy / separation jobs).
+    pub max_stages: usize,
+    /// Maximum counter-example search nodes (structure size cap).
+    pub max_search_nodes: usize,
+    /// Maximum creep steps (rainworm jobs).
+    pub max_steps: usize,
+    /// Wall-clock limit for the job, measured from execution start.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for JobBudget {
+    fn default() -> Self {
+        JobBudget {
+            max_stages: 32,
+            max_search_nodes: 3,
+            max_steps: 100_000,
+            timeout: None,
+        }
+    }
+}
+
+impl JobBudget {
+    /// Sets the stage limit.
+    pub fn with_stages(mut self, max_stages: usize) -> Self {
+        self.max_stages = max_stages;
+        self
+    }
+
+    /// Sets the creep-step limit.
+    pub fn with_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the counter-example node limit.
+    pub fn with_search_nodes(mut self, max_search_nodes: usize) -> Self {
+        self.max_search_nodes = max_search_nodes;
+        self
+    }
+
+    /// Sets the wall-clock limit.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// A unit of work for the pool — one invocation of one of the toolbox's
+/// semi-decision procedures, with its inputs and budget.
+///
+/// The variants mirror the `cqfd` CLI commands; [`crate::exec::execute`]
+/// is the single execution path shared by the pool workers, `cqfd batch`,
+/// and the TCP server.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// Run the CQfDP.3 determinacy oracle on `(views, q0)`.
+    Determine {
+        /// The base signature `Σ`.
+        sig: Signature,
+        /// The view queries `Q`.
+        views: Vec<Cq>,
+        /// The target query `Q0`.
+        q0: Cq,
+        /// Limits (stages + timeout apply).
+        budget: JobBudget,
+    },
+    /// Look for a CQ rewriting of `q0` over the views.
+    Rewrite {
+        /// The base signature `Σ`.
+        sig: Signature,
+        /// The view queries `Q`.
+        views: Vec<Cq>,
+        /// The target query `Q0`.
+        q0: Cq,
+    },
+    /// Run the Theorem 5 reduction `∆ ↦ (Q, Q0)` and report its size.
+    Reduce {
+        /// The rainworm instruction set.
+        delta: Delta,
+    },
+    /// Creep a rainworm from its initial configuration.
+    Creep {
+        /// The rainworm instruction set.
+        delta: Delta,
+        /// Limits (steps + timeout apply).
+        budget: JobBudget,
+    },
+    /// Demonstrate the Theorem 14 separating example.
+    Separate {
+        /// Limits (stages applies, to both the DI and the lasso chase).
+        budget: JobBudget,
+    },
+    /// Brute-force search for a finite counter-example to determinacy.
+    CounterexampleSearch {
+        /// The base signature `Σ`.
+        sig: Signature,
+        /// The view queries `Q`.
+        views: Vec<Cq>,
+        /// The target query `Q0`.
+        q0: Cq,
+        /// Limits (search-nodes applies).
+        budget: JobBudget,
+    },
+}
+
+impl Job {
+    /// The job's kind as a lowercase tag (used in result lines and logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Job::Determine { .. } => "determine",
+            Job::Rewrite { .. } => "rewrite",
+            Job::Reduce { .. } => "reduce",
+            Job::Creep { .. } => "creep",
+            Job::Separate { .. } => "separate",
+            Job::CounterexampleSearch { .. } => "counterexample",
+        }
+    }
+
+    /// The job's budget, when the variant carries one.
+    pub fn budget(&self) -> Option<&JobBudget> {
+        match self {
+            Job::Determine { budget, .. }
+            | Job::Creep { budget, .. }
+            | Job::Separate { budget }
+            | Job::CounterexampleSearch { budget, .. } => Some(budget),
+            Job::Rewrite { .. } | Job::Reduce { .. } => None,
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Job results: verdicts plus execution metrics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What a job concluded.
+///
+/// The first group of variants carries domain verdicts; the last two are
+/// service-level: [`JobOutcome::BudgetExceeded`] when the cancellation
+/// token fired or a deadline/step/stage limit cut the run short of any
+/// conclusion, [`JobOutcome::Error`] when the job could not run at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Determinacy certified at the given chase stage.
+    Determined {
+        /// The certifying stage.
+        stage: usize,
+    },
+    /// The chase terminated without certifying: not determined, with a
+    /// finite refutation (unrestricted *and* finite determinacy fail).
+    NotDetermined {
+        /// Stages to the fixpoint.
+        stages: usize,
+    },
+    /// Budget ran out before the chase could conclude (the fundamental
+    /// Theorem 1 situation).
+    Unknown {
+        /// Stages run before giving up.
+        stages: usize,
+    },
+    /// A CQ rewriting of `Q0` over the views exists.
+    RewritingFound {
+        /// The rewriting, rendered over the view signature.
+        rewriting: String,
+    },
+    /// No CQ rewriting exists (determinacy may still hold).
+    NoRewriting,
+    /// The Theorem 5 reduction produced a CQfDP instance.
+    Reduced {
+        /// Number of view queries produced.
+        queries: usize,
+        /// Total body atoms across the queries.
+        total_atoms: usize,
+        /// The spider parameter `s`.
+        s: u16,
+    },
+    /// The worm halted: `αη11 ⇒^{k_M} u_M`.
+    Halted {
+        /// `k_M`.
+        steps: usize,
+    },
+    /// The worm was still creeping when the step budget ran out.
+    StillCreeping {
+        /// Steps taken.
+        steps: usize,
+    },
+    /// The Theorem 14 separation demonstration ran.
+    Separated {
+        /// Did the chase from `DI` show a 1-2 pattern? (It must not.)
+        di_pattern: bool,
+        /// Did the chase from the lasso model show one? (It must.)
+        lasso_pattern: bool,
+    },
+    /// A finite counter-example to determinacy was found.
+    CounterexampleFound {
+        /// Atoms in the counter-example (over `Σ̄`).
+        atoms: usize,
+    },
+    /// No counter-example with at most the budgeted node count.
+    NoCounterexample {
+        /// The node cap that was searched.
+        nodes: usize,
+    },
+    /// The job was cancelled or ran out of wall-clock/step budget before
+    /// reaching any conclusion.
+    BudgetExceeded {
+        /// What gave out (e.g. `deadline`, `cancelled`, `steps`).
+        detail: String,
+    },
+    /// The job could not be executed.
+    Error {
+        /// Why.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// A short lowercase verdict tag for result lines.
+    pub fn verdict(&self) -> &'static str {
+        match self {
+            JobOutcome::Determined { .. } => "determined",
+            JobOutcome::NotDetermined { .. } => "not-determined",
+            JobOutcome::Unknown { .. } => "unknown",
+            JobOutcome::RewritingFound { .. } => "rewriting",
+            JobOutcome::NoRewriting => "no-rewriting",
+            JobOutcome::Reduced { .. } => "reduced",
+            JobOutcome::Halted { .. } => "halted",
+            JobOutcome::StillCreeping { .. } => "still-creeping",
+            JobOutcome::Separated { .. } => "separated",
+            JobOutcome::CounterexampleFound { .. } => "counterexample",
+            JobOutcome::NoCounterexample { .. } => "no-counterexample",
+            JobOutcome::BudgetExceeded { .. } => "budget-exceeded",
+            JobOutcome::Error { .. } => "error",
+        }
+    }
+
+    /// Is this a budget/cancellation stop?
+    pub fn is_budget_exceeded(&self) -> bool {
+        matches!(self, JobOutcome::BudgetExceeded { .. })
+    }
+}
+
+/// Execution metrics harvested from the instrumented chase and
+/// homomorphism search.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobMetrics {
+    /// Chase stages run (0 for non-chase jobs).
+    pub stages: usize,
+    /// Trigger applications across all stages.
+    pub triggers: usize,
+    /// Homomorphism-search nodes explored (thread-local counter delta —
+    /// covers chase trigger enumeration, oracle checks, rewriting search,
+    /// and counter-example verification alike).
+    pub homs: u64,
+    /// Peak atom count of the structure the job built.
+    pub peak_atoms: usize,
+    /// Peak node count of the structure the job built.
+    pub peak_nodes: u32,
+    /// Wall-clock execution time (excludes queueing).
+    pub elapsed: Duration,
+}
+
+/// The result of one job: its id, kind, outcome, and metrics.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The pool-assigned job id (submission order, starting at 1).
+    pub id: u64,
+    /// The job kind tag ([`crate::Job::kind`]).
+    pub kind: &'static str,
+    /// What the job concluded.
+    pub outcome: JobOutcome,
+    /// Execution metrics.
+    pub metrics: JobMetrics,
+}
+
+impl fmt::Display for JobResult {
+    /// The one-line result format used by `cqfd batch` and the TCP
+    /// protocol: `job=<id> kind=<kind> verdict=<tag> [detail...] stages=…
+    /// triggers=… homs=… peak_atoms=… peak_nodes=… elapsed_ms=…`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "job={} kind={} verdict={}",
+            self.id,
+            self.kind,
+            self.outcome.verdict()
+        )?;
+        match &self.outcome {
+            JobOutcome::Determined { stage } => write!(f, " stage={stage}")?,
+            JobOutcome::NotDetermined { stages } | JobOutcome::Unknown { stages } => {
+                write!(f, " chase_stages={stages}")?
+            }
+            JobOutcome::RewritingFound { rewriting } => write!(f, " rewriting={rewriting:?}")?,
+            JobOutcome::Reduced {
+                queries,
+                total_atoms,
+                s,
+            } => write!(f, " queries={queries} total_atoms={total_atoms} s={s}")?,
+            JobOutcome::Halted { steps } | JobOutcome::StillCreeping { steps } => {
+                write!(f, " steps={steps}")?
+            }
+            JobOutcome::Separated {
+                di_pattern,
+                lasso_pattern,
+            } => write!(f, " di_pattern={di_pattern} lasso_pattern={lasso_pattern}")?,
+            JobOutcome::CounterexampleFound { atoms } => write!(f, " atoms={atoms}")?,
+            JobOutcome::NoCounterexample { nodes } => write!(f, " nodes={nodes}")?,
+            JobOutcome::BudgetExceeded { detail } => write!(f, " detail={detail}")?,
+            JobOutcome::Error { message } => write!(f, " message={message:?}")?,
+            JobOutcome::NoRewriting => {}
+        }
+        let m = &self.metrics;
+        write!(
+            f,
+            " stages={} triggers={} homs={} peak_atoms={} peak_nodes={} elapsed_ms={:.1}",
+            m.stages,
+            m.triggers,
+            m.homs,
+            m.peak_atoms,
+            m.peak_nodes,
+            m.elapsed.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_line_is_one_line_and_tagged() {
+        let r = JobResult {
+            id: 7,
+            kind: "determine",
+            outcome: JobOutcome::Determined { stage: 3 },
+            metrics: JobMetrics {
+                stages: 3,
+                triggers: 12,
+                homs: 99,
+                peak_atoms: 20,
+                peak_nodes: 11,
+                elapsed: Duration::from_micros(1500),
+            },
+        };
+        let line = r.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("job=7 kind=determine verdict=determined stage=3"));
+        assert!(line.contains("triggers=12"));
+        assert!(line.contains("homs=99"));
+        assert!(line.contains("elapsed_ms=1.5"));
+    }
+
+    #[test]
+    fn budget_exceeded_is_flagged() {
+        let o = JobOutcome::BudgetExceeded {
+            detail: "deadline".into(),
+        };
+        assert!(o.is_budget_exceeded());
+        assert_eq!(o.verdict(), "budget-exceeded");
+        assert!(!JobOutcome::NoRewriting.is_budget_exceeded());
+    }
+}

@@ -1,0 +1,308 @@
+//! The worker pool: bounded submission queue, cooperative cancellation,
+//! graceful shutdown.
+//!
+//! Plain `std` threads and channels — no executor, no dependency. Workers
+//! share a single receiver behind a mutex (the classic shared-dequeue
+//! pattern); the queue is a `sync_channel`, so `try_send` gives
+//! backpressure ([`SubmitError::QueueFull`]) and `send` blocks. Dropping
+//! the sender is the shutdown signal: workers drain the queue and exit,
+//! and [`Pool::drop`] joins every handle, so no detached threads survive
+//! the pool.
+
+use crate::exec::execute;
+use crate::job::Job;
+use crate::outcome::{JobOutcome, JobResult};
+use cqfd_core::CancelToken;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Pool sizing knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of worker threads. Defaults to the machine's available
+    /// parallelism (at least 1).
+    pub workers: usize,
+    /// Bounded submission-queue capacity; a full queue makes
+    /// [`Pool::submit`] report backpressure.
+    pub queue_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// A pool with exactly `workers` threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the submission-queue capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — backpressure; retry later or use
+    /// [`Pool::submit_blocking`].
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue full (backpressure)"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Submission {
+    id: u64,
+    job: Job,
+    cancel: CancelToken,
+    reply: mpsc::Sender<JobResult>,
+}
+
+/// A submitted job: its id, a cancellation handle, and the result channel.
+#[derive(Debug)]
+pub struct JobHandle {
+    /// The pool-assigned job id (submission order, starting at 1).
+    pub id: u64,
+    cancel: CancelToken,
+    rx: mpsc::Receiver<JobResult>,
+}
+
+impl JobHandle {
+    /// Requests cooperative cancellation. If the job is still queued it
+    /// returns immediately as budget-exceeded when a worker picks it up;
+    /// if it is running, the chase/creep loop stops at the next poll.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the job's result is available.
+    pub fn wait(self) -> JobResult {
+        let id = self.id;
+        self.rx.recv().unwrap_or_else(|_| JobResult {
+            id,
+            kind: "unknown",
+            outcome: JobOutcome::Error {
+                message: "worker disappeared before reporting a result".into(),
+            },
+            metrics: Default::default(),
+        })
+    }
+
+    /// Non-blocking poll: the result, if already available.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// A fixed-size worker pool executing [`Job`]s from a bounded queue.
+///
+/// ```
+/// use cqfd_service::{Job, JobBudget, Pool, PoolConfig};
+/// use cqfd_core::{Cq, Signature};
+///
+/// let mut sig = Signature::new();
+/// sig.add_predicate("R", 2);
+/// let job = Job::Determine {
+///     views: vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()],
+///     q0: Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap(),
+///     sig,
+///     budget: JobBudget::default(),
+/// };
+/// let pool = Pool::new(PoolConfig::default().with_workers(2));
+/// let handle = pool.submit(job).unwrap();
+/// let result = handle.wait();
+/// assert_eq!(result.outcome.verdict(), "determined");
+/// pool.shutdown();
+/// ```
+pub struct Pool {
+    tx: Option<SyncSender<Submission>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Pool {
+    /// Spawns the worker threads and returns the pool.
+    pub fn new(config: PoolConfig) -> Pool {
+        let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("cqfd-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Pool {
+            tx: Some(tx),
+            workers,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job without blocking. A full queue is reported as
+    /// [`SubmitError::QueueFull`] — the caller decides whether to retry,
+    /// shed load, or block via [`Pool::submit_blocking`].
+    pub fn submit(&self, job: Job) -> Result<JobHandle, SubmitError> {
+        let (sub, handle) = self.package(job);
+        match self.sender().try_send(sub) {
+            Ok(()) => Ok(handle),
+            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            // Workers only disconnect at shutdown, which consumes the pool.
+            Err(TrySendError::Disconnected(_)) => unreachable!("pool alive while submitting"),
+        }
+    }
+
+    /// Submits a job, blocking while the queue is full (backpressure by
+    /// waiting instead of by error).
+    pub fn submit_blocking(&self, job: Job) -> JobHandle {
+        let (sub, handle) = self.package(job);
+        self.sender()
+            .send(sub)
+            .expect("pool alive while submitting");
+        handle
+    }
+
+    /// Runs a whole batch through the pool with blocking submission and
+    /// returns the results in submission order.
+    pub fn run_batch(&self, jobs: Vec<Job>) -> Vec<JobResult> {
+        let handles: Vec<JobHandle> = jobs.into_iter().map(|j| self.submit_blocking(j)).collect();
+        handles.into_iter().map(JobHandle::wait).collect()
+    }
+
+    /// Graceful shutdown: stops accepting jobs, lets queued jobs finish,
+    /// and joins every worker thread. (Merely dropping the pool does the
+    /// same; this method just makes the point explicit at call sites.)
+    pub fn shutdown(self) {}
+
+    fn sender(&self) -> &SyncSender<Submission> {
+        self.tx.as_ref().expect("sender live until drop")
+    }
+
+    fn package(&self, job: Job) -> (Submission, JobHandle) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let (reply, rx) = mpsc::channel();
+        (
+            Submission {
+                id,
+                job,
+                cancel: cancel.clone(),
+                reply,
+            },
+            JobHandle { id, cancel, rx },
+        )
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Dropping the sender disconnects the queue; workers finish what
+        // is queued and exit. Joining here guarantees no detached threads.
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Submission>>) {
+    loop {
+        // Hold the lock only for the dequeue, not for the job.
+        let sub = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling panicked while dequeuing
+        };
+        match sub {
+            Ok(s) => {
+                let result = execute(s.id, &s.job, &s.cancel);
+                // The submitter may have dropped its handle; that's fine.
+                let _ = s.reply.send(result);
+            }
+            Err(_) => return, // disconnected: shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBudget;
+    use cqfd_rainworm::families::halting_worm_short;
+
+    fn creep_job() -> Job {
+        Job::Creep {
+            delta: halting_worm_short(),
+            budget: JobBudget::default(),
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_results_ordered() {
+        let pool = Pool::new(PoolConfig::default().with_workers(2));
+        let results = pool.run_batch(vec![creep_job(), creep_job(), creep_job()]);
+        let ids: Vec<u64> = results.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert!(results.iter().all(|r| r.outcome.verdict() == "halted"));
+    }
+
+    #[test]
+    fn queue_overflow_reports_backpressure() {
+        // One worker, capacity 1: submissions beyond worker+queue overflow.
+        let pool = Pool::new(PoolConfig::default().with_workers(1).with_queue_capacity(1));
+        let mut accepted = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..50 {
+            match pool.submit(creep_job()) {
+                Ok(h) => accepted.push(h),
+                Err(SubmitError::QueueFull) => rejected += 1,
+            }
+        }
+        assert!(rejected > 0, "50 instant submissions must overflow cap 1");
+        for h in accepted {
+            assert_eq!(h.wait().outcome.verdict(), "halted");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dropping_the_pool_joins_workers() {
+        let pool = Pool::new(PoolConfig::default().with_workers(3));
+        let h = pool.submit_blocking(creep_job());
+        drop(pool); // must not hang, must let the queued job finish
+        assert_eq!(h.wait().outcome.verdict(), "halted");
+    }
+}

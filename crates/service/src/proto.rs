@@ -1,0 +1,367 @@
+//! The line protocol shared by `cqfd batch` job files and the TCP server.
+//!
+//! One job per line: a kind tag followed by `key=value` pairs; values with
+//! spaces are double-quoted. Blank lines and `#` comments are skipped.
+//!
+//! ```text
+//! determine sig=R/2,S/2 view="V1(x,y) :- R(x,y)" view="V2(x,y) :- S(x,y)" query="Q0(x,z) :- R(x,y), S(y,z)"
+//! determine instance=path:2x3 stages=48
+//! determine instance=projection
+//! rewrite sig=R/2 view="V(x,z) :- R(x,y), R(y,z)" query="Q0(a,e) :- R(a,b), R(b,c), R(c,d), R(d,e)"
+//! creep worm=counter:3 steps=100000
+//! creep worm=forever steps=max timeout-ms=1000
+//! reduce worm=forever
+//! separate stages=80
+//! counterexample sig=R/2 view="V(x) :- R(x,y)" query="Q0(x,y) :- R(x,y)" nodes=3
+//! ```
+//!
+//! Results go back as the one-line rendering of
+//! [`JobResult`](crate::JobResult)'s `Display` impl.
+
+use crate::job::{Job, JobBudget};
+use cqfd_core::{Cq, Signature};
+use cqfd_greenred::instances;
+use cqfd_rainworm::encode::tm_to_rainworm;
+use cqfd_rainworm::families::{counter_worm, forever_worm, halting_worm_short};
+use cqfd_rainworm::tm::TuringMachine;
+use cqfd_rainworm::Delta;
+use std::time::Duration;
+
+/// Splits a protocol line into tokens, honoring double quotes inside
+/// `key="value with spaces"` pairs.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote".into());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    Ok(out)
+}
+
+/// Key/value view of one line's tokens (after the kind tag).
+struct Fields {
+    pairs: Vec<(String, String)>,
+}
+
+impl Fields {
+    fn parse(tokens: &[String]) -> Result<Fields, String> {
+        let mut pairs = Vec::new();
+        for t in tokens {
+            let (k, v) = t
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{t}`"))?;
+            pairs.push((k.to_string(), v.to_string()));
+        }
+        Ok(Fields { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_all(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing {key}="))
+    }
+
+    /// Rejects keys outside the allowed set, so typos fail loudly instead
+    /// of silently running with defaults.
+    fn check_keys(&self, allowed: &[&str]) -> Result<(), String> {
+        for (k, _) in &self.pairs {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown key `{k}` (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some("max") => Ok(usize::MAX),
+            Some(v) => v.parse().map_err(|_| format!("bad {key}={v}")),
+        }
+    }
+
+    /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`.
+    fn budget(&self) -> Result<JobBudget, String> {
+        let d = JobBudget::default();
+        let timeout = match self.get("timeout-ms") {
+            None => None,
+            Some(ms) => {
+                let ms: u64 = ms.parse().map_err(|_| format!("bad timeout-ms={ms}"))?;
+                Some(Duration::from_millis(ms))
+            }
+        };
+        Ok(JobBudget {
+            max_stages: self.usize_or("stages", d.max_stages)?,
+            max_steps: self.usize_or("steps", d.max_steps)?,
+            max_search_nodes: self.usize_or("nodes", d.max_search_nodes)?,
+            timeout,
+        })
+    }
+}
+
+/// Parses a worm spec: `forever`, `short`, `counter:M`, `tm-walker:K`,
+/// `tm-zigzag:K`.
+pub fn parse_worm(spec: &str) -> Result<Delta, String> {
+    if let Some(m) = spec.strip_prefix("counter:") {
+        let m: u16 = m.parse().map_err(|_| "bad counter parameter")?;
+        return Ok(counter_worm(m));
+    }
+    if let Some(k) = spec.strip_prefix("tm-walker:") {
+        let k: u16 = k.parse().map_err(|_| "bad walker parameter")?;
+        return Ok(tm_to_rainworm(&TuringMachine::right_walker(k)));
+    }
+    if let Some(k) = spec.strip_prefix("tm-zigzag:") {
+        let k: u16 = k.parse().map_err(|_| "bad zigzag parameter")?;
+        return Ok(tm_to_rainworm(&TuringMachine::zigzag(k)));
+    }
+    match spec {
+        "forever" => Ok(forever_worm()),
+        "short" => Ok(halting_worm_short()),
+        other => Err(format!("unknown worm `{other}`")),
+    }
+}
+
+/// Parses a signature spec `P/k,...` (same syntax as the CLI `--sig`).
+pub fn parse_sig(spec: &str) -> Result<Signature, String> {
+    let mut sig = Signature::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, arity) = part
+            .split_once('/')
+            .ok_or_else(|| format!("bad predicate spec `{part}` (want Name/arity)"))?;
+        let arity: usize = arity
+            .parse()
+            .map_err(|_| format!("bad arity in `{part}`"))?;
+        sig.try_add_predicate(name.trim(), arity)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(sig)
+}
+
+/// Resolves an `instance=` shortcut into the generated families of
+/// `cqfd_greenred::instances`: `projection`, `path:MxK` (determined),
+/// `mismatch:MxK` (not determined).
+fn parse_instance(spec: &str) -> Result<instances::Instance, String> {
+    fn mxk(s: &str) -> Result<(usize, usize), String> {
+        let (m, k) = s
+            .split_once('x')
+            .ok_or_else(|| format!("want MxK in `{s}`"))?;
+        let m = m.parse().map_err(|_| format!("bad M in `{s}`"))?;
+        let k = k.parse().map_err(|_| format!("bad K in `{s}`"))?;
+        Ok((m, k))
+    }
+    if spec == "projection" {
+        return Ok(instances::projection_instance());
+    }
+    if let Some(rest) = spec.strip_prefix("path:") {
+        let (m, k) = mxk(rest)?;
+        if m < 1 || k < 1 {
+            return Err("path:MxK needs M,K ≥ 1".into());
+        }
+        return Ok(instances::composed_path_instance(m, k));
+    }
+    if let Some(rest) = spec.strip_prefix("mismatch:") {
+        let (m, k) = mxk(rest)?;
+        if m < 2 || k.is_multiple_of(m) {
+            return Err("mismatch:MxK needs M ≥ 2 and M ∤ K".into());
+        }
+        return Ok(instances::mismatched_path_instance(m, k));
+    }
+    Err(format!(
+        "unknown instance `{spec}` (want projection | path:MxK | mismatch:MxK)"
+    ))
+}
+
+/// The `(sig, views, q0)` triple from either an `instance=` shortcut or
+/// explicit `sig=`/`view=`/`query=` keys.
+fn parse_cq_inputs(f: &Fields) -> Result<(Signature, Vec<Cq>, Cq), String> {
+    if let Some(spec) = f.get("instance") {
+        let inst = parse_instance(spec)?;
+        return Ok((inst.sig, inst.views, inst.q0));
+    }
+    let sig = parse_sig(f.require("sig")?)?;
+    let views: Vec<Cq> = f
+        .get_all("view")
+        .into_iter()
+        .map(|v| Cq::parse(&sig, v).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+    if views.is_empty() {
+        return Err("at least one view= required".into());
+    }
+    let q0 = Cq::parse(&sig, f.require("query")?).map_err(|e| e.to_string())?;
+    Ok((sig, views, q0))
+}
+
+/// Parses one protocol line into a [`Job`]. Returns `Ok(None)` for blank
+/// lines and `#` comments.
+pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let tokens = tokenize(line)?;
+    let (kind, rest) = tokens.split_first().expect("non-empty line has tokens");
+    let f = Fields::parse(rest)?;
+    let job = match kind.as_str() {
+        "determine" => {
+            f.check_keys(&["sig", "view", "query", "instance", "stages", "timeout-ms"])?;
+            let (sig, views, q0) = parse_cq_inputs(&f)?;
+            Job::Determine {
+                sig,
+                views,
+                q0,
+                budget: f.budget()?,
+            }
+        }
+        "rewrite" => {
+            f.check_keys(&["sig", "view", "query", "instance"])?;
+            let (sig, views, q0) = parse_cq_inputs(&f)?;
+            Job::Rewrite { sig, views, q0 }
+        }
+        "reduce" => {
+            f.check_keys(&["worm"])?;
+            Job::Reduce {
+                delta: parse_worm(f.require("worm")?)?,
+            }
+        }
+        "creep" => {
+            f.check_keys(&["worm", "steps", "timeout-ms"])?;
+            Job::Creep {
+                delta: parse_worm(f.require("worm")?)?,
+                budget: f.budget()?,
+            }
+        }
+        "separate" => {
+            f.check_keys(&["stages"])?;
+            // The lasso chase needs ~80 stages to exhibit the 1-2 pattern,
+            // so `separate` defaults higher than the generic budget.
+            Job::Separate {
+                budget: JobBudget::default().with_stages(f.usize_or("stages", 80)?),
+            }
+        }
+        "counterexample" => {
+            f.check_keys(&["sig", "view", "query", "instance", "nodes"])?;
+            let (sig, views, q0) = parse_cq_inputs(&f)?;
+            Job::CounterexampleSearch {
+                sig,
+                views,
+                q0,
+                budget: f.budget()?,
+            }
+        }
+        other => return Err(format!("unknown job kind `{other}`")),
+    };
+    Ok(Some(job))
+}
+
+/// Parses a whole job file (one job per line), reporting the first error
+/// with its 1-based line number.
+pub fn parse_jobs(text: &str) -> Result<Vec<Job>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_job(line) {
+            Ok(Some(job)) => out.push(job),
+            Ok(None) => {}
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoted_views_parse() {
+        let job = parse_job(
+            r#"determine sig=R/2,S/2 view="V1(x,y) :- R(x,y)" view="V2(x,y) :- S(x,y)" query="Q0(x,z) :- R(x,y), S(y,z)" stages=16"#,
+        )
+        .unwrap()
+        .unwrap();
+        match job {
+            Job::Determine { views, budget, .. } => {
+                assert_eq!(views.len(), 2);
+                assert_eq!(budget.max_stages, 16);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn instance_shortcuts_resolve() {
+        for (spec, n_views) in [("projection", 1), ("path:2x3", 1), ("mismatch:2x3", 1)] {
+            let line = format!("determine instance={spec}");
+            match parse_job(&line).unwrap().unwrap() {
+                Job::Determine { views, .. } => assert_eq!(views.len(), n_views, "{spec}"),
+                other => panic!("wrong kind: {other:?}"),
+            }
+        }
+        assert!(parse_job("determine instance=mismatch:2x4").is_err());
+    }
+
+    #[test]
+    fn comments_blanks_and_errors() {
+        assert!(parse_job("").unwrap().is_none());
+        assert!(parse_job("  # a comment").unwrap().is_none());
+        assert!(parse_job("frobnicate x=1").is_err());
+        assert!(parse_job("determine instance=projection bogus=1").is_err());
+        assert!(parse_job(r#"determine sig=R/2 view="unterminated"#).is_err());
+    }
+
+    #[test]
+    fn creep_line_with_timeout() {
+        match parse_job("creep worm=forever steps=max timeout-ms=250")
+            .unwrap()
+            .unwrap()
+        {
+            Job::Creep { budget, .. } => {
+                assert_eq!(budget.max_steps, usize::MAX);
+                assert_eq!(budget.timeout, Some(Duration::from_millis(250)));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_file_reports_line_numbers() {
+        let text = "creep worm=short\n\n# comment\nbogus\n";
+        let err = parse_jobs(text).unwrap_err();
+        assert!(err.starts_with("line 4:"), "{err}");
+        assert_eq!(parse_jobs("creep worm=short\nseparate\n").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! The TCP line-protocol daemon behind `cqfd serve`.
+//!
+//! Each connection sends one job per line (the [`crate::proto`] syntax)
+//! and receives one result line per job. Two control words:
+//!
+//! * `quit` — closes this connection;
+//! * `shutdown` — stops the whole server.
+//!
+//! Shutdown is graceful: the accept loop is unblocked with a loopback
+//! self-connect, every open connection's socket is shut down (so blocked
+//! reads return), every connection thread is joined, and the pool drains
+//! and joins its workers. Nothing survives [`Server::shutdown`] /
+//! [`ServerHandle::join`].
+
+use crate::pool::{Pool, PoolConfig};
+use crate::proto::parse_job;
+use cqfd_core::CancelToken;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared server state: the pool, the stop flag, and the live-connection
+/// registry used to unblock reads at shutdown.
+struct Shared {
+    pool: Pool,
+    stop: CancelToken,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A bound, not-yet-running server. Binding first and running second lets
+/// callers (and the integration tests) bind to port 0 and learn the real
+/// address before any client connects.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: CancelToken,
+    thread: JoinHandle<()>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    pub fn bind(addr: impl ToSocketAddrs, pool_config: PoolConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                pool: Pool::new(pool_config),
+                stop: CancelToken::new(),
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until a client sends
+    /// `shutdown` (or [`ServerHandle::shutdown`] is called on a spawned
+    /// server). Joins every connection thread before returning.
+    pub fn run(self) {
+        let Server { listener, shared } = self;
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if shared.stop.is_cancelled() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if let Ok(clone) = stream.try_clone() {
+                shared.conns.lock().expect("conns lock").push(clone);
+            }
+            let shared = Arc::clone(&shared);
+            conn_threads.push(
+                std::thread::Builder::new()
+                    .name("cqfd-conn".into())
+                    .spawn(move || serve_connection(stream, &shared))
+                    .expect("spawn connection thread"),
+            );
+        }
+        // Unblock any connection still waiting in read_line.
+        for c in shared.conns.lock().expect("conns lock").drain(..) {
+            let _ = c.shutdown(Shutdown::Both);
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        // `shared` is ours alone now; dropping it drains and joins the pool.
+    }
+
+    /// Runs the server on a background thread, returning a handle that can
+    /// stop it and join it.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = self.shared.stop.clone();
+        let thread = std::thread::Builder::new()
+            .name("cqfd-serve".into())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { addr, stop, thread })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the server and joins its thread (and, transitively, every
+    /// connection thread and pool worker).
+    pub fn shutdown(self) {
+        request_stop(&self.stop, self.addr);
+        let _ = self.thread.join();
+    }
+
+    /// Waits for the server to stop on its own (a client's `shutdown`).
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+/// Flags the stop token and pokes the accept loop awake with a loopback
+/// self-connect (a blocked `accept` has no timeout in std).
+fn request_stop(stop: &CancelToken, addr: SocketAddr) {
+    stop.cancel();
+    let _ = TcpStream::connect(addr);
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(peer_read) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(peer_read);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // disconnected (or shut down under us)
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        match trimmed {
+            "quit" => {
+                let _ = writeln!(writer, "bye");
+                return;
+            }
+            "shutdown" => {
+                let _ = writeln!(writer, "bye");
+                if let Ok(addr) = writer.local_addr() {
+                    request_stop(&shared.stop, addr);
+                }
+                return;
+            }
+            _ => {}
+        }
+        let reply = match parse_job(trimmed) {
+            Ok(None) => continue, // blank line / comment: no reply
+            Ok(Some(job)) => match shared.pool.submit(job) {
+                Ok(handle) => handle.wait().to_string(),
+                Err(e) => format!("error: {e}"),
+            },
+            Err(e) => format!("error: {e}"),
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+
+    fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        (reader, stream)
+    }
+
+    #[test]
+    fn serves_a_determine_request_and_quits() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(2)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        writeln!(writer, "determine instance=projection").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("verdict=not-determined"), "{line}");
+        writeln!(writer, "quit").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "bye");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_stops_the_server() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(addr);
+        writeln!(writer, "shutdown").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "bye");
+        handle.join(); // returns only once everything is joined
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly on some platforms; a fresh bind
+                // succeeding proves the listener is gone.
+                TcpListener::bind(addr).is_ok()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_lines_get_error_replies() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        writeln!(writer, "frobnicate x=1").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("error:"), "{line}");
+        handle.shutdown();
+    }
+}

@@ -46,7 +46,7 @@ proptest! {
         let rules: Vec<L1Rule> = picks.into_iter().map(|p| rule(p, s)).collect();
         let sys = L1System::new(rules.clone());
         let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
-        let budget = ChaseBudget { max_stages: 8, max_atoms: 3000, max_nodes: 3000 };
+        let budget = ChaseBudget { max_stages: 8, max_atoms: 3000, max_nodes: 3000, ..ChaseBudget::default() };
         let (closed, run, _) = sys.chase_until_red(&sw, &budget);
         if run.reached_fixpoint() {
             prop_assert!(sys.is_model(&closed));
@@ -74,7 +74,7 @@ proptest! {
         let rules: Vec<L1Rule> = picks.into_iter().map(|p| rule(p, s)).collect();
         let sys = L1System::new(rules);
         let (sw, _, _) = Swarm::green_seed(Arc::clone(&ctx));
-        let budget = ChaseBudget { max_stages: 5, max_atoms: 1500, max_nodes: 1500 };
+        let budget = ChaseBudget { max_stages: 5, max_atoms: 1500, max_nodes: 1500, ..ChaseBudget::default() };
         let (closed, _, _) = sys.chase_until_red(&sw, &budget);
         let (st, node_map) = closed.compile();
         let back = decompile_structure(ctx.spider(), &st);

@@ -31,6 +31,7 @@ fn wide(stages: usize) -> ChaseBudget {
         max_stages: stages,
         max_atoms: 1 << 22,
         max_nodes: 1 << 22,
+        ..ChaseBudget::default()
     }
 }
 

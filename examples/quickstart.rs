@@ -10,8 +10,20 @@
 //! where the chase cannot decide (the fundamental situation Theorem 1
 //! proves unavoidable).
 
+use cqfd::chase::ChaseBudget;
 use cqfd::core::{Cq, Signature};
 use cqfd::greenred::{search_counterexample, DeterminacyOracle, Verdict};
+
+/// Renders a chase run's metrics the same way `cqfd batch` result lines do.
+fn metrics_line(run: &cqfd::chase::ChaseRun) -> String {
+    format!(
+        "stages={} triggers={} homs={} elapsed_ms={:.1}",
+        run.stage_count(),
+        run.triggers_fired(),
+        run.hom_nodes,
+        run.elapsed.as_secs_f64() * 1e3
+    )
+}
 
 fn main() {
     let mut sig = Signature::new();
@@ -23,10 +35,12 @@ fn main() {
     let v2 = Cq::parse(&sig, "V2(x,y) :- S(x,y)").unwrap();
     let q0 = Cq::parse(&sig, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
     let oracle = DeterminacyOracle::new(sig.clone());
-    match oracle.try_certify(&[v1, v2], &q0, 16).unwrap() {
+    let (verdict, run) = oracle.certify_run(&[v1, v2], &q0, &ChaseBudget::stages(16));
+    match verdict {
         Verdict::Determined { stage } => {
             println!("   determined — chase certificate at stage {stage}");
             println!("   (unrestricted determinacy, hence finite determinacy too)");
+            println!("   metrics: {}", metrics_line(&run));
         }
         other => println!("   unexpected: {other:?}"),
     }
@@ -60,10 +74,12 @@ fn main() {
     // yet no finite stage can rule determinacy out.
     let inst = cqfd::reduction::reduce_l2(&cqfd::separating::tinf::t_infinity());
     let oracle2 = DeterminacyOracle::from_greenred(inst.spider_ctx.greenred().clone());
-    match oracle2.try_certify(&inst.queries, &inst.q0, 8).unwrap() {
+    let (verdict, run) = oracle2.certify_run(&inst.queries, &inst.q0, &ChaseBudget::stages(8));
+    match verdict {
         Verdict::Unknown { stages } => {
             println!("   chase still running after {stages} stages — no verdict.");
             println!("   Theorem 1 of the paper: no procedure decides this in general.");
+            println!("   metrics: {}", metrics_line(&run));
         }
         other => println!("   verdict: {other:?}"),
     }

@@ -29,6 +29,7 @@ fn main() {
         max_stages: 9,
         max_atoms: 1 << 20,
         max_nodes: 1 << 20,
+        ..ChaseBudget::default()
     };
 
     // Figure 1: the chase of T∞.
@@ -47,6 +48,7 @@ fn main() {
             max_stages: 200,
             max_atoms: 1 << 20,
             max_nodes: 1 << 20,
+            ..ChaseBudget::default()
         },
     );
     write(

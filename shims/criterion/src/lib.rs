@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *subset* of the criterion 0.5 API its benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId::new`, `Bencher::iter`, and `black_box`.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed samples of a batch sized to take roughly a
+//! millisecond, and prints min / median / max per-iteration wall-clock time
+//! to stdout. No plots, no statistics beyond the three quantiles, no
+//! baseline comparison — enough to spot order-of-magnitude regressions by
+//! eye, which is how the EXPERIMENTS.md figures are read.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-value helper preventing the optimiser from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterised benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Filled by [`Bencher::iter`]: per-iteration durations, one per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `samples` samples of a batch sized to
+    /// amortise timer overhead.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and batch sizing: grow the batch until it takes ≥ ~1ms
+        // (or the single-call time is already large).
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.results.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn report(label: &str, results: &mut [Duration]) {
+    if results.is_empty() {
+        println!("{label:<48} (no samples — empty bench body?)");
+        return;
+    }
+    results.sort();
+    let min = results[0];
+    let med = results[results.len() / 2];
+    let max = results[results.len() - 1];
+    println!("{label:<48} min {min:>12.3?}   med {med:>12.3?}   max {max:>12.3?}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &mut b.results);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &mut b.results);
+        self
+    }
+
+    /// Ends the group (upstream: emits the summary; here: a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Upstream prints the final summary here; a no-op in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` (and libtest smoke modes) pass flags;
+            // the shim runs everything unconditionally, which is fine for
+            // its scale, but it must not choke on the arguments.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: 3,
+            results: Vec::new(),
+        };
+        b.iter(|| black_box(2u64).wrapping_mul(3));
+        assert_eq!(b.results.len(), 3);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("one", |b| {
+                b.iter(|| 1 + 1);
+            });
+            g.bench_with_input(BenchmarkId::new("two", 7), &7, |b, &x| {
+                ran = x;
+                b.iter(|| x * 2);
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 7);
+    }
+}

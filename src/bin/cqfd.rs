@@ -6,8 +6,11 @@
 //! cqfd creep     --worm counter:3 --steps 100000
 //! cqfd reduce    --worm forever
 //! cqfd separate
+//! cqfd batch     jobs.txt --workers 4
+//! cqfd serve     --listen 127.0.0.1:7878
 //! ```
 
+use cqfd::chase::ChaseBudget;
 use cqfd::core::{Cq, Signature};
 use cqfd::greenred::{cq_rewriting, search_counterexample, DeterminacyOracle, Verdict};
 use cqfd::rainworm::encode::tm_to_rainworm;
@@ -16,8 +19,10 @@ use cqfd::rainworm::run::{creep, trace, CreepOutcome};
 use cqfd::rainworm::tm::TuringMachine;
 use cqfd::rainworm::Delta;
 use cqfd::reduction::reduce;
+use cqfd::service::{parse_jobs, Pool, PoolConfig, Server};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,7 +36,9 @@ fn main() -> ExitCode {
         "rewrite" => determine(rest, true),
         "creep" => creep_cmd(rest),
         "reduce" => reduce_cmd(rest),
-        "separate" => separate_cmd(),
+        "separate" => separate_cmd(rest),
+        "batch" => batch_cmd(rest),
+        "serve" => serve_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -56,15 +63,43 @@ USAGE:
   cqfd creep     --worm <forever|short|counter:M|tm-walker:K|tm-zigzag:K|file:PATH>
                  [--steps <n>] [--trace <n>]  [--emit]
   cqfd reduce    --worm <...>
-  cqfd separate
+  cqfd separate  [--stages <n>]
+  cqfd batch     <jobs-file> [--workers <n>] [--queue <n>]
+  cqfd serve     --listen <addr> [--workers <n>] [--queue <n>]
 
-CQ syntax: `Name(x,y) :- R(x,z), S(z,y)`; constants as `#c`.";
+CQ syntax: `Name(x,y) :- R(x,z), S(z,y)`; constants as `#c`.
+Job-file syntax: one job per line, e.g. `determine instance=path:2x3`;
+see the cqfd-service docs (`cqfd::service::proto`).";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["--emit"];
+
+/// Rejects flags outside `allowed` (and double-dash tokens in value
+/// position are fine: `--view --weird` treats `--weird` as the value).
+fn check_flags(args: &[String], allowed: &[&str]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if !allowed.contains(&a) {
+                return Err(format!(
+                    "unknown flag `{a}` (allowed: {})",
+                    allowed.join(", ")
+                ));
+            }
+            i += if BOOLEAN_FLAGS.contains(&a) { 1 } else { 2 };
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
+}
 
 fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
     let mut out = Vec::new();
     let mut i = 0;
-    while i + 1 < args.len() + 1 {
-        if args.get(i).map(String::as_str) == Some(name) {
+    while i < args.len() {
+        if args[i] == name {
             if let Some(v) = args.get(i + 1) {
                 out.push(v.as_str());
                 i += 2;
@@ -78,6 +113,22 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     flag_values(args, name).into_iter().next()
+}
+
+/// Positional (non-flag) arguments, skipping each value flag's value.
+fn positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            i += if BOOLEAN_FLAGS.contains(&a) { 1 } else { 2 };
+        } else {
+            out.push(a);
+            i += 1;
+        }
+    }
+    out
 }
 
 fn parse_sig(spec: &str) -> Result<Signature, String> {
@@ -100,6 +151,10 @@ fn parse_sig(spec: &str) -> Result<Signature, String> {
 }
 
 fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
+    check_flags(
+        args,
+        &["--sig", "--view", "--query", "--stages", "--search-nodes"],
+    )?;
     let sig = parse_sig(flag(args, "--sig").ok_or("missing --sig")?)?;
     let views: Vec<Cq> = flag_values(args, "--view")
         .into_iter()
@@ -134,10 +189,8 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
         s.parse().map_err(|_| "bad --search-nodes".to_string())
     })?;
     let oracle = DeterminacyOracle::new(sig);
-    match oracle
-        .try_certify(&views, &q0, stages)
-        .map_err(|e| e.to_string())?
-    {
+    let (verdict, run) = oracle.certify_run(&views, &q0, &ChaseBudget::stages(stages));
+    match verdict {
         Verdict::Determined { stage } => {
             println!("DETERMINED — chase certificate at stage {stage}");
             println!("(unrestricted determinacy, hence finite determinacy too)");
@@ -160,6 +213,14 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
             println!("(CQ finite determinacy is undecidable — Theorem 1)");
         }
     }
+    println!(
+        "metrics: stages={} triggers={} homs={} peak_atoms={} elapsed_ms={:.1}",
+        run.stage_count(),
+        run.triggers_fired(),
+        run.hom_nodes,
+        run.structure.atom_count(),
+        run.elapsed.as_secs_f64() * 1e3
+    );
     Ok(())
 }
 
@@ -188,6 +249,7 @@ fn parse_worm(spec: &str) -> Result<Delta, String> {
 }
 
 fn creep_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--worm", "--steps", "--trace", "--emit"])?;
     let delta = parse_worm(flag(args, "--worm").ok_or("missing --worm")?)?;
     if args.iter().any(|a| a == "--emit") {
         print!("{}", cqfd::rainworm::parse::render_delta(&delta));
@@ -203,7 +265,10 @@ fn creep_cmd(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    match creep(&delta, steps) {
+    let started = Instant::now();
+    let outcome = creep(&delta, steps);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    match outcome {
         CreepOutcome::Halted {
             steps,
             final_config,
@@ -211,6 +276,7 @@ fn creep_cmd(args: &[String]) -> Result<(), String> {
             println!("HALTED after k_M = {steps} steps");
             println!("u_M = {final_config}");
             println!("slime trail: {} symbols", final_config.slime().len());
+            println!("metrics: steps={steps} elapsed_ms={elapsed_ms:.1}");
         }
         CreepOutcome::StillCreeping { steps, config } => {
             println!("still creeping after {steps} steps");
@@ -219,12 +285,14 @@ fn creep_cmd(args: &[String]) -> Result<(), String> {
                 config.len(),
                 config.slime().len()
             );
+            println!("metrics: steps={steps} elapsed_ms={elapsed_ms:.1}");
         }
     }
     Ok(())
 }
 
 fn reduce_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--worm"])?;
     let delta = parse_worm(flag(args, "--worm").ok_or("missing --worm")?)?;
     let inst = reduce(&delta);
     let s = &inst.stats;
@@ -245,14 +313,18 @@ fn reduce_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn separate_cmd() -> Result<(), String> {
+fn separate_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--stages"])?;
     use cqfd::separating::theorem14::{chase_from_di, chase_from_lasso};
-    let (_, run, found) = chase_from_di(10);
+    let stages: usize = flag(args, "--stages").map_or(Ok(80), |s| {
+        s.parse().map_err(|_| "bad --stages".to_string())
+    })?;
+    let (_, run, found) = chase_from_di(stages.min(10));
     println!(
         "chase(T, DI): {} stages, 1-2 pattern: {found}",
         run.stage_count()
     );
-    let (_, run, found) = chase_from_lasso(3, 1, 80);
+    let (_, run, found) = chase_from_lasso(3, 1, stages);
     println!(
         "chase(T, lasso(3,1)): 1-2 pattern: {found} after {} stages",
         run.stage_count()
@@ -260,5 +332,52 @@ fn separate_cmd() -> Result<(), String> {
     println!();
     println!("T does not lead to the red spider, but finitely leads to it (Theorem 14):");
     println!("Compile(Precompile(T)) finitely determines ∃*dalt(I) without determining it.");
+    Ok(())
+}
+
+/// Builds a pool from `--workers`/`--queue` flags.
+fn pool_config(args: &[String]) -> Result<PoolConfig, String> {
+    let mut cfg = PoolConfig::default();
+    if let Some(w) = flag(args, "--workers") {
+        cfg = cfg.with_workers(w.parse().map_err(|_| "bad --workers".to_string())?);
+    }
+    if let Some(q) = flag(args, "--queue") {
+        cfg = cfg.with_queue_capacity(q.parse().map_err(|_| "bad --queue".to_string())?);
+    }
+    Ok(cfg)
+}
+
+fn batch_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--workers", "--queue"])?;
+    let pos = positionals(args);
+    let [path] = pos.as_slice() else {
+        return Err("batch takes exactly one <jobs-file>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let jobs = parse_jobs(&text)?;
+    if jobs.is_empty() {
+        return Err("no jobs in file".into());
+    }
+    let cfg = pool_config(args)?;
+    eprintln!("{} jobs on {} workers", jobs.len(), cfg.workers);
+    let pool = Pool::new(cfg);
+    // Submit everything (blocking on backpressure), then print results in
+    // job order as they complete.
+    let handles: Vec<_> = jobs.into_iter().map(|j| pool.submit_blocking(j)).collect();
+    for h in handles {
+        println!("{}", h.wait());
+    }
+    pool.shutdown();
+    Ok(())
+}
+
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--listen", "--workers", "--queue"])?;
+    let addr = flag(args, "--listen").ok_or("missing --listen")?;
+    let server = Server::bind(addr, pool_config(args)?).map_err(|e| format!("{addr}: {e}"))?;
+    let local = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {local} (send `quit` to close a connection, `shutdown` to stop)");
+    server.run();
+    println!("server stopped");
     Ok(())
 }

@@ -19,7 +19,9 @@
 //! * [`separating`] — the separating example of Theorem 14 (paper §VII);
 //! * [`rainworm`] — rainworm machines and their translation (paper §VIII);
 //! * [`fogames`] — Ehrenfeucht–Fraïssé games for Theorem 2 (paper §IX);
-//! * [`reduction`] — the end-to-end Theorem 1/5 reduction pipeline.
+//! * [`reduction`] — the end-to-end Theorem 1/5 reduction pipeline;
+//! * [`service`] — the concurrent job pool and TCP front-end behind
+//!   `cqfd batch` and `cqfd serve`.
 //!
 //! ## Quickstart
 //!
@@ -46,5 +48,6 @@ pub use cqfd_greenred as greenred;
 pub use cqfd_rainworm as rainworm;
 pub use cqfd_reduction as reduction;
 pub use cqfd_separating as separating;
+pub use cqfd_service as service;
 pub use cqfd_spider as spider;
 pub use cqfd_swarm as swarm;

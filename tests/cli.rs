@@ -103,3 +103,81 @@ fn bad_usage_fails_cleanly() {
     let (ok, _) = cqfd(&["frobnicate"]);
     assert!(!ok);
 }
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let (ok, text) = cqfd(&[
+        "determine",
+        "--sig",
+        "R/2",
+        "--view",
+        "V(x,y) :- R(x,y)",
+        "--query",
+        "Q0(x,y) :- R(x,y)",
+        "--frobnicate",
+        "3",
+    ]);
+    assert!(!ok);
+    assert!(text.contains("unknown flag"), "{text}");
+    let (ok, text) = cqfd(&["creep", "--worm", "short", "--stages", "3"]);
+    assert!(!ok);
+    assert!(text.contains("unknown flag"), "{text}");
+}
+
+#[test]
+fn determine_prints_metrics() {
+    let (ok, text) = cqfd(&[
+        "determine",
+        "--sig",
+        "R/2",
+        "--view",
+        "V(x,y) :- R(x,y)",
+        "--query",
+        "Q0(x,y) :- R(x,y)",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("metrics: stages="), "{text}");
+    assert!(text.contains("elapsed_ms="), "{text}");
+}
+
+#[test]
+fn batch_runs_a_mixed_jobs_file() {
+    let jobs = "\
+# a mixed workload
+determine instance=path:2x3 stages=48
+determine instance=projection
+creep worm=counter:2
+creep worm=forever steps=max timeout-ms=1000
+separate stages=80
+";
+    let path = std::env::temp_dir().join("cqfd_cli_batch_test.txt");
+    std::fs::write(&path, jobs).unwrap();
+    let (ok, text) = cqfd(&["batch", path.to_str().unwrap(), "--workers", "4"]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("job=1 kind=determine verdict=determined"),
+        "{text}"
+    );
+    assert!(
+        text.contains("job=2 kind=determine verdict=not-determined"),
+        "{text}"
+    );
+    assert!(text.contains("job=3 kind=creep verdict=halted"), "{text}");
+    assert!(
+        text.contains("job=4 kind=creep verdict=budget-exceeded detail=deadline"),
+        "{text}"
+    );
+    assert!(
+        text.contains("job=5 kind=separate verdict=separated di_pattern=false lasso_pattern=true"),
+        "{text}"
+    );
+}
+
+#[test]
+fn batch_rejects_bad_job_files() {
+    let path = std::env::temp_dir().join("cqfd_cli_batch_bad_test.txt");
+    std::fs::write(&path, "creep worm=short\nfrobnicate x=1\n").unwrap();
+    let (ok, text) = cqfd(&["batch", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(text.contains("line 2"), "{text}");
+}

@@ -31,6 +31,7 @@ fn real_separating_instance_at_level1() {
         max_stages: 6,
         max_atoms: 1 << 20,
         max_nodes: 1 << 20,
+        ..ChaseBudget::default()
     };
     let (_, _, found) = sys.chase_until_red(&seed, &budget);
     assert!(!found, "the unfolded side must stay red-spider-free");
@@ -49,6 +50,7 @@ fn real_separating_instance_at_level1() {
         max_stages: 40,
         max_atoms: 1 << 21,
         max_nodes: 1 << 21,
+        ..ChaseBudget::default()
     };
     let (out, run, found) = sys.chase_until_red(&lasso_swarm, &budget);
     assert!(

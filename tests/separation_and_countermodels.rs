@@ -30,6 +30,7 @@ fn printed_rules_break_only_the_finite_side() {
         max_stages: 10,
         max_atoms: 1 << 20,
         max_nodes: 1 << 20,
+        ..ChaseBudget::default()
     };
     let (_, _, found_di) = literal.chase_until_12(&g, &budget);
     assert!(!found_di);
@@ -88,6 +89,7 @@ fn forever_worm_rules_doom_finite_models() {
         max_stages: 60,
         max_atoms: 1 << 21,
         max_nodes: 1 << 21,
+        ..ChaseBudget::default()
     };
     let (_, _, found) = full.chase_until_12(&lasso, &budget);
     assert!(found, "the folded slime trail must develop the 1-2 pattern");
