@@ -1,0 +1,92 @@
+//! E-CERT: checking a certificate vs producing it by search.
+//!
+//! The point of `cqfd-cert` is the asymmetry measured here: the producer
+//! pays for a chase (and a homomorphism search for the witness), the
+//! checker pays only for substitution and set lookups over the recorded
+//! trace — so `check` should sit well below `produce` at every size.
+
+use cqfd_chase::ChaseBudget;
+use cqfd_core::{Cq, Signature};
+use cqfd_greenred::DeterminacyOracle;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sig_rs() -> Signature {
+    let mut s = Signature::new();
+    s.add_predicate("R", 2);
+    s.add_predicate("S", 2);
+    s
+}
+
+/// The determined join instance: `V1 = R, V2 = S, Q0 = R ⋈ S`.
+fn join_instance() -> (Signature, Vec<Cq>, Cq) {
+    let sig = sig_rs();
+    let v1 = Cq::parse(&sig, "V1(x,y) :- R(x,y)").unwrap();
+    let v2 = Cq::parse(&sig, "V2(x,y) :- S(x,y)").unwrap();
+    let q0 = Cq::parse(&sig, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
+    (sig, vec![v1, v2], q0)
+}
+
+fn bench_cert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cert");
+
+    // The producing search: chase + monitor + witness homomorphism.
+    group.bench_function("produce_determine_join", |b| {
+        let (sig, views, q0) = join_instance();
+        let oracle = DeterminacyOracle::new(sig);
+        b.iter(|| {
+            oracle
+                .certify_run(&views, &q0, &ChaseBudget::stages(16))
+                .certificate
+                .kind()
+        });
+    });
+
+    // The trusted checker replaying the same verdict.
+    group.bench_function("check_determine_join", |b| {
+        let (sig, views, q0) = join_instance();
+        let oracle = DeterminacyOracle::new(sig);
+        let cert = oracle
+            .certify_run(&views, &q0, &ChaseBudget::stages(16))
+            .certificate;
+        b.iter(|| cqfd_cert::check(&cert).unwrap().steps);
+    });
+
+    // Wire round-trip cost on the same certificate.
+    group.bench_function("encode_parse_determine_join", |b| {
+        let (sig, views, q0) = join_instance();
+        let oracle = DeterminacyOracle::new(sig);
+        let cert = oracle
+            .certify_run(&views, &q0, &ChaseBudget::stages(16))
+            .certificate;
+        b.iter(|| cqfd_cert::parse(&cqfd_cert::encode(&cert)).unwrap().kind());
+    });
+
+    // The Theorem 14 separation: an ~80-stage chase on the producer side
+    // vs a single witnessed pattern claim on the checker side.
+    group.sample_size(10);
+    group.bench_function("produce_separation", |b| {
+        b.iter(|| {
+            cqfd_separating::theorem14::separation_certificate(60)
+                .expect("pattern emerges")
+                .kind()
+        });
+    });
+    group.bench_function("check_separation", |b| {
+        let cert = cqfd_separating::theorem14::separation_certificate(60).unwrap();
+        b.iter(|| cqfd_cert::check(&cert).unwrap().steps);
+    });
+
+    // A creep trace: the checker re-creeps between checkpoints, so this
+    // one is O(k_M) on both sides — the certificate buys auditability
+    // (and spot-checkability from any checkpoint), not asymptotics.
+    group.bench_function("check_creep_counter_2", |b| {
+        let delta = cqfd_rainworm::families::counter_worm(2);
+        let cert = cqfd_cert::emit::creep_certificate(&delta, 10_000, 8);
+        b.iter(|| cqfd_cert::check(&cert).unwrap().steps);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cert);
+criterion_main!(benches);

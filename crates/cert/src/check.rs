@@ -1,0 +1,614 @@
+//! The trusted certificate checker.
+//!
+//! This module is the kernel of the subsystem's trust story, so it is kept
+//! deliberately primitive: its only operations are substitution, hash-set
+//! atom lookup, and plain nested-loop enumeration for the claims that are
+//! inherently universal (TGD satisfaction, `fails` claims). It does **not**
+//! use `cqfd_core::hom` or any other search code from the producing crates
+//! — the entire point is that a bug in the optimised backtracking join
+//! cannot also hide here. The one outside dependency is `cqfd_rainworm`'s
+//! *semantics* (symbol parsing, the Definition 19 validator, the
+//! deterministic `step` function) for creep traces: a rainworm step is a
+//! total, deterministic rewrite — definition, not search.
+//!
+//! Every check is low polynomial in the certificate size: linear for
+//! witnessed claims and trace replay, `O(|atoms|^{|body|})` worst case for
+//! the enumerated ones (rule bodies in this repo have ≤ 3 atoms).
+
+use crate::{
+    Certificate, FailsClaim, FiringSpec, HoldsClaim, PatAtom, RuleSpec, SigSpec, StructSpec,
+    TermSpec,
+};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// What a successful check validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// The certificate kind.
+    pub kind: &'static str,
+    /// Units of work re-validated: replayed firings, creep steps, or
+    /// checked claims/rules.
+    pub steps: usize,
+    /// `true` for [`Certificate::NonHomRefutation`]: the certificate
+    /// *attests* an exhausted search but is not an independent proof.
+    pub attestation: bool,
+    /// Human-readable one-line summary.
+    pub summary: String,
+}
+
+/// The checker's own structure representation: arities, a node bound,
+/// constant pins, and the atom set (plus a per-predicate list for the
+/// enumerated checks). Built fresh from the certificate — nothing is
+/// shared with `cqfd_core::Structure`.
+struct World {
+    arities: Vec<usize>,
+    nodes: u32,
+    consts: Vec<Option<u32>>,
+    atoms: HashSet<(usize, Vec<u32>)>,
+    by_pred: Vec<Vec<Vec<u32>>>,
+}
+
+impl World {
+    fn build(sig: &SigSpec, st: &StructSpec) -> Result<World, String> {
+        check_sig(sig)?;
+        let mut w = World {
+            arities: sig.preds.iter().map(|(_, a)| *a).collect(),
+            nodes: st.nodes,
+            consts: vec![None; sig.consts.len()],
+            atoms: HashSet::new(),
+            by_pred: vec![Vec::new(); sig.preds.len()],
+        };
+        let mut pinned_nodes: HashSet<u32> = HashSet::new();
+        for &(c, n) in &st.pins {
+            let slot = w
+                .consts
+                .get_mut(c)
+                .ok_or_else(|| format!("pin of unknown constant index {c}"))?;
+            if n >= st.nodes {
+                return Err(format!("pin to unallocated node {n}"));
+            }
+            if slot.is_some() {
+                return Err(format!("constant {c} pinned twice"));
+            }
+            if !pinned_nodes.insert(n) {
+                return Err(format!("node {n} pinned to two constants"));
+            }
+            *slot = Some(n);
+        }
+        for a in &st.atoms {
+            w.insert(a.pred, a.args.clone())?;
+        }
+        Ok(w)
+    }
+
+    fn insert(&mut self, pred: usize, args: Vec<u32>) -> Result<bool, String> {
+        let arity = *self
+            .arities
+            .get(pred)
+            .ok_or_else(|| format!("atom with unknown predicate index {pred}"))?;
+        if args.len() != arity {
+            return Err(format!(
+                "atom arity mismatch for predicate {pred}: {} vs {arity}",
+                args.len()
+            ));
+        }
+        if let Some(&n) = args.iter().find(|&&n| n >= self.nodes) {
+            return Err(format!("atom argument {n} is not an allocated node"));
+        }
+        if self.atoms.insert((pred, args.clone())) {
+            self.by_pred[pred].push(args);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    fn fresh_node(&mut self) -> u32 {
+        let n = self.nodes;
+        self.nodes += 1;
+        n
+    }
+
+    /// The node of a constant, materialising it if needed — mirroring the
+    /// chase's `node_for_const` allocation discipline, which trace replay
+    /// depends on.
+    fn node_for_const(&mut self, c: usize) -> Result<u32, String> {
+        match self.consts.get(c) {
+            None => Err(format!("unknown constant index {c}")),
+            Some(Some(n)) => Ok(*n),
+            Some(None) => {
+                let n = self.fresh_node();
+                self.consts[c] = Some(n);
+                Ok(n)
+            }
+        }
+    }
+
+    /// Grounds a pattern atom under `asg`; every variable must be bound
+    /// and every constant already materialised.
+    fn ground(&self, pat: &PatAtom, asg: &BTreeMap<u32, u32>) -> Result<(usize, Vec<u32>), String> {
+        let arity = *self
+            .arities
+            .get(pat.pred)
+            .ok_or_else(|| format!("unknown predicate index {}", pat.pred))?;
+        if pat.terms.len() != arity {
+            return Err(format!("pattern arity mismatch on predicate {}", pat.pred));
+        }
+        let mut args = Vec::with_capacity(pat.terms.len());
+        for t in &pat.terms {
+            args.push(match t {
+                TermSpec::Var(v) => *asg.get(v).ok_or_else(|| format!("variable v{v} unbound"))?,
+                TermSpec::Const(c) => self
+                    .consts
+                    .get(*c)
+                    .copied()
+                    .flatten()
+                    .ok_or_else(|| format!("constant {c} not materialised"))?,
+            });
+        }
+        Ok((pat.pred, args))
+    }
+
+    /// Is there an assignment extending `fixed` matching all of `atoms`?
+    /// Plain left-to-right enumeration over per-predicate atom lists — the
+    /// checker's *only* universal primitive.
+    fn exists_match(&self, atoms: &[PatAtom], fixed: &BTreeMap<u32, u32>) -> Result<bool, String> {
+        let Some((first, rest)) = atoms.split_first() else {
+            return Ok(true);
+        };
+        let arity = *self
+            .arities
+            .get(first.pred)
+            .ok_or_else(|| format!("unknown predicate index {}", first.pred))?;
+        if first.terms.len() != arity {
+            return Err(format!(
+                "pattern arity mismatch on predicate {}",
+                first.pred
+            ));
+        }
+        'cand: for ground in &self.by_pred[first.pred] {
+            let mut asg = fixed.clone();
+            for (t, &n) in first.terms.iter().zip(ground) {
+                match t {
+                    TermSpec::Const(c) => {
+                        if self.consts.get(*c).copied().flatten() != Some(n) {
+                            continue 'cand;
+                        }
+                    }
+                    TermSpec::Var(v) => match asg.get(v) {
+                        Some(&bound) if bound != n => continue 'cand,
+                        _ => {
+                            asg.insert(*v, n);
+                        }
+                    },
+                }
+            }
+            if self.exists_match(rest, &asg)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+fn check_sig(sig: &SigSpec) -> Result<(), String> {
+    if sig.preds.iter().any(|(name, _)| name.is_empty()) {
+        return Err("empty predicate name".into());
+    }
+    if sig.consts.iter().any(String::is_empty) {
+        return Err("empty constant name".into());
+    }
+    Ok(())
+}
+
+fn vars_of(atoms: &[PatAtom]) -> BTreeSet<u32> {
+    atoms
+        .iter()
+        .flat_map(|a| &a.terms)
+        .filter_map(|t| match t {
+            TermSpec::Var(v) => Some(*v),
+            TermSpec::Const(_) => None,
+        })
+        .collect()
+}
+
+/// Validates `D |= Q(ā)` by substituting the witness and looking each
+/// body atom up — no search.
+fn check_holds(world: &World, claim: &HoldsClaim, label: &str) -> Result<(), String> {
+    let q = &claim.query;
+    if q.free.len() != claim.tuple.len() {
+        return Err(format!(
+            "{label} {}: tuple arity {} does not match {} free variables",
+            q.name,
+            claim.tuple.len(),
+            q.free.len()
+        ));
+    }
+    let mut asg: BTreeMap<u32, u32> = BTreeMap::new();
+    for &(v, n) in &claim.witness {
+        if asg.insert(v, n).is_some() {
+            return Err(format!("{label} {}: variable v{v} bound twice", q.name));
+        }
+        if n >= world.nodes {
+            return Err(format!(
+                "{label} {}: witness maps v{v} off the domain",
+                q.name
+            ));
+        }
+    }
+    for (&v, &n) in q.free.iter().zip(&claim.tuple) {
+        if asg.get(&v) != Some(&n) {
+            return Err(format!(
+                "{label} {}: witness disagrees with the answer tuple on v{v}",
+                q.name
+            ));
+        }
+    }
+    for v in vars_of(&q.body) {
+        if !asg.contains_key(&v) {
+            return Err(format!("{label} {}: body variable v{v} unbound", q.name));
+        }
+    }
+    for pat in &q.body {
+        let ground = world
+            .ground(pat, &asg)
+            .map_err(|e| format!("{label} {}: {e}", q.name))?;
+        if !world.atoms.contains(&ground) {
+            return Err(format!(
+                "{label} {}: substituted atom {}({:?}) is not in the structure",
+                q.name, ground.0, ground.1
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates `D ⊭ Q(ā)` by exhaustive enumeration.
+fn check_fails(world: &World, claim: &FailsClaim) -> Result<(), String> {
+    let q = &claim.query;
+    if q.free.len() != claim.tuple.len() {
+        return Err(format!(
+            "fails {}: tuple arity {} does not match {} free variables",
+            q.name,
+            claim.tuple.len(),
+            q.free.len()
+        ));
+    }
+    let fixed: BTreeMap<u32, u32> = q
+        .free
+        .iter()
+        .copied()
+        .zip(claim.tuple.iter().copied())
+        .collect();
+    if world.exists_match(&q.body, &fixed)? {
+        return Err(format!("fails {}: the query has a match after all", q.name));
+    }
+    Ok(())
+}
+
+/// Validates `D |= rule`: every body match has a head extension.
+fn check_rule(world: &World, rule: &RuleSpec) -> Result<(), String> {
+    // Recursive enumeration of body matches, atom by atom.
+    fn descend(
+        world: &World,
+        body: &[PatAtom],
+        head: &[PatAtom],
+        asg: &BTreeMap<u32, u32>,
+        name: &str,
+    ) -> Result<(), String> {
+        let Some((first, rest)) = body.split_first() else {
+            if world.exists_match(head, asg)? {
+                return Ok(());
+            }
+            return Err(format!(
+                "rule {name}: body match {asg:?} has no head extension"
+            ));
+        };
+        let arity = *world
+            .arities
+            .get(first.pred)
+            .ok_or_else(|| format!("rule {name}: unknown predicate index {}", first.pred))?;
+        if first.terms.len() != arity {
+            return Err(format!(
+                "rule {name}: pattern arity mismatch on predicate {}",
+                first.pred
+            ));
+        }
+        'cand: for ground in &world.by_pred[first.pred] {
+            let mut next = asg.clone();
+            for (t, &n) in first.terms.iter().zip(ground) {
+                match t {
+                    TermSpec::Const(c) => {
+                        if world.consts.get(*c).copied().flatten() != Some(n) {
+                            continue 'cand;
+                        }
+                    }
+                    TermSpec::Var(v) => match next.get(v) {
+                        Some(&bound) if bound != n => continue 'cand,
+                        _ => {
+                            next.insert(*v, n);
+                        }
+                    },
+                }
+            }
+            descend(world, rest, head, &next, name)?;
+        }
+        Ok(())
+    }
+    descend(world, &rule.body, &rule.head, &BTreeMap::new(), &rule.name)
+}
+
+/// Replays a chase trace: every firing's body must be present under its
+/// recorded assignment, existential variables get fresh nodes (ascending,
+/// mirroring [`cqfd_chase::Tgd`]'s discipline), head atoms are added, and
+/// the final counts must agree.
+fn replay_trace(
+    world: &mut World,
+    rules: &[RuleSpec],
+    firings: &[FiringSpec],
+) -> Result<(), String> {
+    let mut last_stage = 0usize;
+    for (k, f) in firings.iter().enumerate() {
+        let label = format!("firing {} (stage {})", k + 1, f.stage);
+        let rule = rules
+            .get(f.rule)
+            .ok_or_else(|| format!("{label}: unknown rule index {}", f.rule))?;
+        if f.stage < last_stage {
+            return Err(format!("{label}: stages must be non-decreasing"));
+        }
+        last_stage = f.stage;
+        let mut asg: BTreeMap<u32, u32> = BTreeMap::new();
+        for &(v, n) in &f.assignment {
+            if asg.insert(v, n).is_some() {
+                return Err(format!("{label}: variable v{v} bound twice"));
+            }
+        }
+        let body_vars = vars_of(&rule.body);
+        for &v in &body_vars {
+            if !asg.contains_key(&v) {
+                return Err(format!(
+                    "{label}: body variable v{v} of rule {} unbound",
+                    rule.name
+                ));
+            }
+        }
+        for pat in &rule.body {
+            let ground = world
+                .ground(pat, &asg)
+                .map_err(|e| format!("{label}: {e}"))?;
+            if !world.atoms.contains(&ground) {
+                return Err(format!(
+                    "{label}: body atom of rule {} is not present under the assignment",
+                    rule.name
+                ));
+            }
+        }
+        // Existentials: head variables not in the body, ascending.
+        for v in vars_of(&rule.head) {
+            if !body_vars.contains(&v) {
+                let n = world.fresh_node();
+                asg.insert(v, n);
+            }
+        }
+        for pat in &rule.head {
+            let arity = *world
+                .arities
+                .get(pat.pred)
+                .ok_or_else(|| format!("{label}: unknown predicate index {}", pat.pred))?;
+            if pat.terms.len() != arity {
+                return Err(format!("{label}: head arity mismatch"));
+            }
+            let mut args = Vec::with_capacity(pat.terms.len());
+            for t in &pat.terms {
+                args.push(match t {
+                    TermSpec::Var(v) => *asg
+                        .get(v)
+                        .ok_or_else(|| format!("{label}: head variable v{v} unbound"))?,
+                    TermSpec::Const(c) => world
+                        .node_for_const(*c)
+                        .map_err(|e| format!("{label}: {e}"))?,
+                });
+            }
+            world
+                .insert(pat.pred, args)
+                .map_err(|e| format!("{label}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn check_creep(
+    delta_lines: &[String],
+    checkpoints: &[(usize, String)],
+    halted: bool,
+) -> Result<usize, String> {
+    use cqfd_rainworm::config::Config;
+    use cqfd_rainworm::parse::{parse_delta, parse_symbol};
+    use cqfd_rainworm::run::step;
+
+    let delta = parse_delta(&delta_lines.join("\n")).map_err(|e| format!("bad delta: {e}"))?;
+    let parse_config = |word: &str| -> Result<Config, String> {
+        let syms = word
+            .split_whitespace()
+            .map(parse_symbol)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Config(syms))
+    };
+    let Some(((first_step, first_word), rest)) = checkpoints.split_first() else {
+        return Err("creep trace has no checkpoints".into());
+    };
+    if *first_step != 0 {
+        return Err("first checkpoint must be step 0".into());
+    }
+    let mut current = parse_config(first_word)?;
+    if current != Config::initial() {
+        return Err("step 0 is not the initial configuration αη11".into());
+    }
+    let mut at = 0usize;
+    let mut replayed = 0usize;
+    for (target, word) in rest {
+        if *target <= at {
+            return Err("checkpoint steps must be strictly increasing".into());
+        }
+        let claimed = parse_config(word)?;
+        claimed.validate().map_err(|e| {
+            format!("checkpoint at step {target} is not a valid configuration: {e}")
+        })?;
+        while at < *target {
+            current = step(&delta, &current)
+                .ok_or_else(|| format!("the run halts at step {at}, before checkpoint {target}"))?;
+            at += 1;
+            replayed += 1;
+        }
+        if current != claimed {
+            return Err(format!(
+                "checkpoint at step {target} does not match the replay"
+            ));
+        }
+    }
+    let next = step(&delta, &current);
+    if halted && next.is_some() {
+        return Err(format!(
+            "claimed halt at step {at}, but the worm still creeps"
+        ));
+    }
+    if !halted && next.is_none() {
+        return Err(format!(
+            "claimed still creeping at step {at}, but the worm halts"
+        ));
+    }
+    Ok(replayed)
+}
+
+/// Validates a certificate, returning what was checked or the first
+/// rejection reason.
+pub fn check(cert: &Certificate) -> Result<CheckReport, String> {
+    let kind = cert.kind();
+    let report = |steps: usize, attestation: bool, summary: String| CheckReport {
+        kind,
+        steps,
+        attestation,
+        summary,
+    };
+    match cert {
+        Certificate::HomWitness {
+            sig,
+            structure,
+            claim,
+        } => {
+            let world = World::build(sig, structure)?;
+            check_holds(&world, claim, "holds")?;
+            Ok(report(
+                1,
+                false,
+                format!(
+                    "witnessed {}({:?}) in a structure with {} atoms",
+                    claim.query.name,
+                    claim.tuple,
+                    structure.atoms.len()
+                ),
+            ))
+        }
+        Certificate::ChaseTrace {
+            sig,
+            rules,
+            start,
+            firings,
+            final_atoms,
+            final_nodes,
+            goal,
+        } => {
+            let mut world = World::build(sig, start)?;
+            replay_trace(&mut world, rules, firings)?;
+            if world.atoms.len() != *final_atoms {
+                return Err(format!(
+                    "replay produced {} atoms, certificate claims {final_atoms}",
+                    world.atoms.len()
+                ));
+            }
+            if world.nodes != *final_nodes {
+                return Err(format!(
+                    "replay produced {} nodes, certificate claims {final_nodes}",
+                    world.nodes
+                ));
+            }
+            if let Some(g) = goal {
+                check_holds(&world, g, "goal")?;
+            }
+            Ok(report(
+                firings.len(),
+                false,
+                format!(
+                    "replayed {} firings to {} atoms{}",
+                    firings.len(),
+                    final_atoms,
+                    if goal.is_some() { "; goal holds" } else { "" }
+                ),
+            ))
+        }
+        Certificate::FiniteModel {
+            sig,
+            rules,
+            structure,
+            holds,
+            fails,
+        } => {
+            let world = World::build(sig, structure)?;
+            for rule in rules {
+                check_rule(&world, rule)?;
+            }
+            for claim in holds {
+                check_holds(&world, claim, "holds")?;
+            }
+            for claim in fails {
+                check_fails(&world, claim)?;
+            }
+            Ok(report(
+                rules.len() + holds.len() + fails.len(),
+                false,
+                format!(
+                    "model of {} rules; {} holds / {} fails claims verified",
+                    rules.len(),
+                    holds.len(),
+                    fails.len()
+                ),
+            ))
+        }
+        Certificate::CreepTrace {
+            delta,
+            checkpoints,
+            halted,
+        } => {
+            let steps = check_creep(delta, checkpoints, *halted)?;
+            let last = checkpoints.last().map_or(0, |&(s, _)| s);
+            Ok(report(
+                steps,
+                false,
+                format!(
+                    "replayed {steps} creep steps; {} at step {last}",
+                    if *halted { "halted" } else { "still creeping" }
+                ),
+            ))
+        }
+        Certificate::NonHomRefutation {
+            sig,
+            what,
+            bound,
+            explored,
+        } => {
+            check_sig(sig)?;
+            if what.is_empty() {
+                return Err("attestation with empty description".into());
+            }
+            if *bound == 0 {
+                return Err("attestation with zero bound".into());
+            }
+            Ok(report(
+                0,
+                true,
+                format!(
+                    "attestation only: {what} exhausted bound {bound} ({explored} nodes explored)"
+                ),
+            ))
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! High-level certificate emitters for the rainworm constructions.
+//!
+//! These live here (rather than in `cqfd-rainworm`) to keep the dependency
+//! arrow pointing one way: certificates know about worms, worms do not
+//! know about certificates.
+
+use crate::convert::{rule_spec, sig_spec, struct_spec};
+use crate::{Certificate, FailsClaim, HoldsClaim, PatAtom, QuerySpec, TermSpec};
+use cqfd_greengraph::{L2System, Label};
+use cqfd_rainworm::config::Config;
+use cqfd_rainworm::countermodel::Countermodel;
+use cqfd_rainworm::parse::render_delta;
+use cqfd_rainworm::run::step;
+use cqfd_rainworm::to_rules::tm_rules;
+use cqfd_rainworm::Delta;
+
+/// A replayable creep trace from the initial configuration `αη11`:
+/// checkpoints every `interval` steps (plus step 0 and the final step),
+/// claiming a halt if one occurs within `max_steps`, and "still creeping"
+/// otherwise.
+pub fn creep_certificate(delta: &Delta, max_steps: usize, interval: usize) -> Certificate {
+    let interval = interval.max(1);
+    let mut checkpoints: Vec<(usize, String)> = Vec::new();
+    let mut current = Config::initial();
+    checkpoints.push((0, current.to_string()));
+    let mut at = 0usize;
+    let mut halted = false;
+    while at < max_steps {
+        match step(delta, &current) {
+            Some(next) => {
+                current = next;
+                at += 1;
+                if at.is_multiple_of(interval) {
+                    checkpoints.push((at, current.to_string()));
+                }
+            }
+            None => {
+                halted = true;
+                break;
+            }
+        }
+    }
+    if checkpoints.last().map(|&(s, _)| s) != Some(at) {
+        checkpoints.push((at, current.to_string()));
+    }
+    Certificate::CreepTrace {
+        delta: render_delta(delta).lines().map(str::to_owned).collect(),
+        checkpoints,
+        halted,
+    }
+}
+
+/// The boolean 1-2-pattern query `∃x,x′,y H₁(x,y) ∧ H₂(x′,y)`
+/// (Definition 11) over the given space, as a spec.
+fn pattern_query(space: &cqfd_greengraph::LabelSpace) -> QuerySpec {
+    let one = space.pred(Label::ONE).0 as usize;
+    let two = space.pred(Label::TWO).0 as usize;
+    QuerySpec {
+        name: "pattern12".into(),
+        free: vec![],
+        body: vec![
+            PatAtom {
+                pred: one,
+                terms: vec![TermSpec::Var(0), TermSpec::Var(2)],
+            },
+            PatAtom {
+                pred: two,
+                terms: vec![TermSpec::Var(1), TermSpec::Var(2)],
+            },
+        ],
+    }
+}
+
+/// A [`Certificate::FiniteModel`] for a §VIII.E counter-model: `M̂` models
+/// `T_M∆ ∪ T□`, contains `DI` (witnessed), and has **no** 1-2 pattern
+/// (checked exhaustively) — the constructive content of Lemma 24's "⇐"
+/// direction for a halting worm.
+pub fn countermodel_certificate(delta: &Delta, grid: &L2System, cm: &Countermodel) -> Certificate {
+    let space = cm.m_hat.space();
+    let st = cm.m_hat.structure();
+    let rules = tm_rules(delta)
+        .union(grid)
+        .tgds(space)
+        .iter()
+        .map(rule_spec)
+        .collect();
+    // DI containment: H∅(a, b), a ground boolean claim with no variables.
+    let di = HoldsClaim {
+        query: QuerySpec {
+            name: "di".into(),
+            free: vec![],
+            body: vec![PatAtom {
+                pred: space.pred(Label::Empty).0 as usize,
+                terms: vec![
+                    TermSpec::Const(space.a().0 as usize),
+                    TermSpec::Const(space.b().0 as usize),
+                ],
+            }],
+        },
+        tuple: vec![],
+        witness: vec![],
+    };
+    let no_pattern = FailsClaim {
+        query: pattern_query(space),
+        tuple: vec![],
+    };
+    Certificate::FiniteModel {
+        sig: sig_spec(space.signature()),
+        rules,
+        structure: struct_spec(st),
+        holds: vec![di],
+        fails: vec![no_pattern],
+    }
+}
+
+/// A [`Certificate::FiniteModel`] asserting that a (chased) green graph
+/// **contains** the 1-2 pattern, with the witness edges spelled out — the
+/// positive half of the Theorem 14 separation.
+pub fn pattern_certificate(g: &cqfd_greengraph::GreenGraph) -> Option<Certificate> {
+    let (x, xp, y) = g.find_12_pattern()?;
+    Some(Certificate::FiniteModel {
+        sig: sig_spec(g.space().signature()),
+        rules: vec![],
+        structure: struct_spec(g.structure()),
+        holds: vec![HoldsClaim {
+            query: pattern_query(g.space()),
+            tuple: vec![],
+            witness: vec![(0, x.0), (1, xp.0), (2, y.0)],
+        }],
+        fails: vec![],
+    })
+}

@@ -1,0 +1,193 @@
+//! The line-oriented text encoding of certificates.
+//!
+//! The format is self-describing and hand-rolled (the build environment is
+//! offline; see `cqfd_core::parse` for the house grammar style). One
+//! statement per line, first token is the keyword; names are
+//! double-quoted with `\"`/`\\` escapes, everything else is bare tokens.
+//! A file starts with `cqfd-cert v1 <kind>` and ends with a lone `end` —
+//! a truncated certificate never parses.
+
+use crate::{
+    Certificate, FailsClaim, FiringSpec, HoldsClaim, PatAtom, RuleSpec, SigSpec, StructSpec,
+    TermSpec,
+};
+use std::fmt::Write as _;
+
+/// Quotes a name for the wire: `"…"` with `\` and `"` escaped.
+pub(crate) fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
+}
+
+fn term(t: &TermSpec) -> String {
+    match t {
+        TermSpec::Var(v) => format!("v{v}"),
+        TermSpec::Const(c) => format!("c{c}"),
+    }
+}
+
+fn num_list(xs: &[u32]) -> String {
+    xs.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+}
+
+fn push_pairs(line: &mut String, pairs: &[(u32, u32)]) {
+    for (v, n) in pairs {
+        let _ = write!(line, " v{v}={n}");
+    }
+}
+
+fn push_sig(out: &mut String, sig: &SigSpec) {
+    for (name, arity) in &sig.preds {
+        let _ = writeln!(out, "pred {} {arity}", quote(name));
+    }
+    for name in &sig.consts {
+        let _ = writeln!(out, "const {}", quote(name));
+    }
+}
+
+fn push_pat_atoms(out: &mut String, keyword: &str, atoms: &[PatAtom]) {
+    for a in atoms {
+        let terms: Vec<String> = a.terms.iter().map(term).collect();
+        let _ = writeln!(out, "{keyword} {} {}", a.pred, terms.join(" "));
+    }
+}
+
+fn push_rules(out: &mut String, rules: &[RuleSpec]) {
+    for r in rules {
+        let _ = writeln!(out, "rule {}", quote(&r.name));
+        push_pat_atoms(out, "rbody", &r.body);
+        push_pat_atoms(out, "rhead", &r.head);
+    }
+}
+
+fn push_structure(out: &mut String, st: &StructSpec) {
+    let _ = writeln!(out, "nodes {}", st.nodes);
+    for (c, n) in &st.pins {
+        let _ = writeln!(out, "pin {c} {n}");
+    }
+    for a in &st.atoms {
+        let args: Vec<String> = a.args.iter().map(u32::to_string).collect();
+        let _ = writeln!(out, "atom {} {}", a.pred, args.join(" "));
+    }
+}
+
+/// Opens a claim block: `<keyword> "<name>" free=… tuple=…` + `qatom`s.
+fn push_claim_header(out: &mut String, keyword: &str, q: &crate::QuerySpec, tuple: &[u32]) {
+    let _ = writeln!(
+        out,
+        "{keyword} {} free={} tuple={}",
+        quote(&q.name),
+        num_list(&q.free),
+        num_list(tuple)
+    );
+    push_pat_atoms(out, "qatom", &q.body);
+}
+
+fn push_holds(out: &mut String, keyword: &str, c: &HoldsClaim) {
+    push_claim_header(out, keyword, &c.query, &c.tuple);
+    let mut line = String::from("witness");
+    push_pairs(&mut line, &c.witness);
+    let _ = writeln!(out, "{line}");
+}
+
+fn push_fails(out: &mut String, c: &FailsClaim) {
+    push_claim_header(out, "fails", &c.query, &c.tuple);
+    let _ = writeln!(out, "qend");
+}
+
+fn push_firings(out: &mut String, firings: &[FiringSpec]) {
+    for f in firings {
+        let mut line = format!("fire {} {}", f.stage, f.rule);
+        push_pairs(&mut line, &f.assignment);
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Encodes a certificate to its textual form (always newline-terminated).
+///
+/// [`crate::parse`] inverts this exactly: `parse(encode(c)) == c`.
+pub fn encode(cert: &Certificate) -> String {
+    let mut out = format!("cqfd-cert v1 {}\n", cert.kind());
+    match cert {
+        Certificate::HomWitness {
+            sig,
+            structure,
+            claim,
+        } => {
+            push_sig(&mut out, sig);
+            push_structure(&mut out, structure);
+            push_holds(&mut out, "holds", claim);
+        }
+        Certificate::ChaseTrace {
+            sig,
+            rules,
+            start,
+            firings,
+            final_atoms,
+            final_nodes,
+            goal,
+        } => {
+            push_sig(&mut out, sig);
+            push_rules(&mut out, rules);
+            push_structure(&mut out, start);
+            push_firings(&mut out, firings);
+            let _ = writeln!(out, "final {final_atoms} {final_nodes}");
+            if let Some(g) = goal {
+                push_holds(&mut out, "goal", g);
+            }
+        }
+        Certificate::FiniteModel {
+            sig,
+            rules,
+            structure,
+            holds,
+            fails,
+        } => {
+            push_sig(&mut out, sig);
+            push_rules(&mut out, rules);
+            push_structure(&mut out, structure);
+            for c in holds {
+                push_holds(&mut out, "holds", c);
+            }
+            for c in fails {
+                push_fails(&mut out, c);
+            }
+        }
+        Certificate::CreepTrace {
+            delta,
+            checkpoints,
+            halted,
+        } => {
+            for line in delta {
+                let _ = writeln!(out, "delta {}", quote(line));
+            }
+            for (step, word) in checkpoints {
+                let _ = writeln!(out, "checkpoint {step} {word}");
+            }
+            let _ = writeln!(out, "halted {halted}");
+        }
+        Certificate::NonHomRefutation {
+            sig,
+            what,
+            bound,
+            explored,
+        } => {
+            push_sig(&mut out, sig);
+            let _ = writeln!(
+                out,
+                "attest {} bound={bound} explored={explored}",
+                quote(what)
+            );
+        }
+    }
+    out.push_str("end\n");
+    out
+}

@@ -1,0 +1,277 @@
+//! # cqfd-cert — machine-checkable proof certificates
+//!
+//! Every verdict the toolbox produces — "the views determine `Q0`", "this
+//! lasso chase reaches the 1-2 pattern", "`M̂` is a finite counter-model",
+//! "the rainworm creeps for ≥ k steps" — is constructive: behind it sits a
+//! witness homomorphism, a chase derivation, an explicit finite model, or a
+//! replayable run. This crate turns those witnesses into **certificates**:
+//! self-contained values with a line-oriented text encoding
+//! ([`encode`]/[`parse`] round-trip) and an independent checker
+//! ([`check`]) that re-validates a claim *without* the search machinery
+//! that produced it.
+//!
+//! The trust story is deliberately asymmetric:
+//!
+//! * **Producers** (the oracle, the chase, the separating example, the
+//!   countermodel construction) may use arbitrary search, heuristics and
+//!   indexes. They live in other crates and convert their native types via
+//!   [`convert`] / [`emit`].
+//! * **The checker** ([`check`]) is a small trusted kernel: atom lookup,
+//!   substitution, and TGD-satisfaction by plain enumeration. It shares no
+//!   code with `cqfd_core::hom` — a bug in the backtracking join cannot
+//!   hide in the audit path. Every check is low polynomial in the
+//!   certificate size.
+//!
+//! The key design point is in [`Certificate::ChaseTrace`]: each recorded
+//! trigger carries its **full** body-variable assignment (not just the
+//! frontier), so replaying a derivation needs only substitution and set
+//! membership — the checker never searches for a homomorphism to validate
+//! one. Soundness does not require re-deciding the lazy chase's
+//! "already satisfied" skips: the replay proves every added atom is a
+//! consequence of the start structure under the rules, which is exactly
+//! what the goal claim needs.
+//!
+//! ```
+//! use cqfd_cert::{check, encode, parse, AtomSpec, Certificate, HoldsClaim,
+//!     PatAtom, QuerySpec, SigSpec, StructSpec, TermSpec};
+//!
+//! // "E(x,y) holds at (0,1) in the 2-node structure {E(0,1)}".
+//! let cert = Certificate::HomWitness {
+//!     sig: SigSpec { preds: vec![("E".into(), 2)], consts: vec![] },
+//!     structure: StructSpec {
+//!         nodes: 2,
+//!         pins: vec![],
+//!         atoms: vec![AtomSpec { pred: 0, args: vec![0, 1] }],
+//!     },
+//!     claim: HoldsClaim {
+//!         query: QuerySpec {
+//!             name: "Q".into(),
+//!             free: vec![0, 1],
+//!             body: vec![PatAtom {
+//!                 pred: 0,
+//!                 terms: vec![TermSpec::Var(0), TermSpec::Var(1)],
+//!             }],
+//!         },
+//!         tuple: vec![0, 1],
+//!         witness: vec![(0, 0), (1, 1)],
+//!     },
+//! };
+//! let text = encode(&cert);
+//! assert_eq!(parse(&text).unwrap(), cert);
+//! assert!(check(&cert).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod convert;
+pub mod emit;
+pub mod encode;
+pub mod parse;
+
+pub use check::{check, CheckReport};
+pub use encode::encode;
+pub use parse::parse;
+
+/// A signature by value: predicate `(name, arity)` pairs and constant
+/// names, both indexed by position. Certificates are self-describing, so
+/// they carry their signature instead of referencing an interned
+/// [`cqfd_core::Signature`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigSpec {
+    /// Predicates, in id order; atoms refer to them by index.
+    pub preds: Vec<(String, usize)>,
+    /// Constants, in id order; pins and terms refer to them by index.
+    pub consts: Vec<String>,
+}
+
+/// A ground atom `pred(args…)` over node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomSpec {
+    /// Index into [`SigSpec::preds`].
+    pub pred: usize,
+    /// Node ids.
+    pub args: Vec<u32>,
+}
+
+/// A finite structure by value: a node count, constant pins, and atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructSpec {
+    /// Number of allocated nodes; node ids are `0..nodes`.
+    pub nodes: u32,
+    /// `(constant index, node)` pins.
+    pub pins: Vec<(usize, u32)>,
+    /// The atoms, in insertion order.
+    pub atoms: Vec<AtomSpec>,
+}
+
+/// A term in a rule or query atom: a variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermSpec {
+    /// Variable, by numeric id.
+    Var(u32),
+    /// Constant, by index into [`SigSpec::consts`].
+    Const(usize),
+}
+
+/// A non-ground atom `pred(terms…)` in a rule body/head or query body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatAtom {
+    /// Index into [`SigSpec::preds`].
+    pub pred: usize,
+    /// The argument terms.
+    pub terms: Vec<TermSpec>,
+}
+
+/// A TGD `∀x̄ [body ⇒ ∃z̄ head]` by value. Variables occurring in the head
+/// but not the body are existential; the checker re-derives that split
+/// itself (sorted ascending, matching [`cqfd_chase::Tgd`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSpec {
+    /// Rule name (cosmetic, kept for error messages).
+    pub name: String,
+    /// Body atoms.
+    pub body: Vec<PatAtom>,
+    /// Head atoms.
+    pub head: Vec<PatAtom>,
+}
+
+/// A conjunctive query by value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Query name (cosmetic).
+    pub name: String,
+    /// Free variables, in answer-tuple order. Empty for boolean queries.
+    pub free: Vec<u32>,
+    /// Body atoms.
+    pub body: Vec<PatAtom>,
+}
+
+/// A positive claim `D |= Q(ā)`, with the witness assignment that proves
+/// it. Checking is pure substitution + atom lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoldsClaim {
+    /// The query.
+    pub query: QuerySpec,
+    /// The answer tuple `ā` (one node per free variable).
+    pub tuple: Vec<u32>,
+    /// A full assignment of the query's body variables, sorted by
+    /// variable, agreeing with `tuple` on the free variables.
+    pub witness: Vec<(u32, u32)>,
+}
+
+/// A negative claim `D ⊭ Q(ā)`. The checker verifies it by its own
+/// exhaustive enumeration over the (finite) structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailsClaim {
+    /// The query.
+    pub query: QuerySpec,
+    /// The answer tuple `ā` (empty for boolean queries).
+    pub tuple: Vec<u32>,
+}
+
+/// One applied chase trigger: which rule fired, at which stage, under
+/// which **full** body assignment (sorted by variable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiringSpec {
+    /// 1-based stage of the application.
+    pub stage: usize,
+    /// Index into the certificate's rule list.
+    pub rule: usize,
+    /// The body match, sorted by variable id.
+    pub assignment: Vec<(u32, u32)>,
+}
+
+/// A proof certificate for one verdict. See the module docs for the trust
+/// model; [`check`] validates every variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// An explicit homomorphism proving `D |= Q(ā)`.
+    HomWitness {
+        /// The signature everything below is over.
+        sig: SigSpec,
+        /// The target structure `D`.
+        structure: StructSpec,
+        /// The claim and its witness map.
+        claim: HoldsClaim,
+    },
+    /// A replayable chase derivation: starting structure, rules, and the
+    /// exact sequence of trigger firings. Replaying deterministically
+    /// regenerates the result (atom and node counts are cross-checked),
+    /// and the optional goal claim is then validated in the replayed
+    /// structure. This certifies e.g. "red(Q0) is a consequence of
+    /// green(A[Q0]) under T_Q" — the *Determined* verdict.
+    ChaseTrace {
+        /// The signature.
+        sig: SigSpec,
+        /// The TGDs, referenced by [`FiringSpec::rule`].
+        rules: Vec<RuleSpec>,
+        /// The starting structure `chase₀`.
+        start: StructSpec,
+        /// The applied triggers, in application order.
+        firings: Vec<FiringSpec>,
+        /// Expected distinct-atom count after replay.
+        final_atoms: usize,
+        /// Expected node count after replay.
+        final_nodes: u32,
+        /// An optional claim to validate in the replayed structure.
+        goal: Option<HoldsClaim>,
+    },
+    /// A finite structure together with the claim that it models a rule
+    /// set, plus positive and negative query claims — the shape of the
+    /// Theorem 14 separation artifacts and the §VIII.E counter-models.
+    FiniteModel {
+        /// The signature.
+        sig: SigSpec,
+        /// Rules the structure is claimed to satisfy (may be empty).
+        rules: Vec<RuleSpec>,
+        /// The model.
+        structure: StructSpec,
+        /// Claims that must hold (each with a witness).
+        holds: Vec<HoldsClaim>,
+        /// Claims that must fail (checked exhaustively).
+        fails: Vec<FailsClaim>,
+    },
+    /// A replayable rainworm run: the instruction set `∆` and
+    /// configurations at checkpoints. The checker re-validates every
+    /// checkpoint against Definition 19 and re-creeps the gaps.
+    CreepTrace {
+        /// The instruction lines of `∆` (the `cqfd_rainworm::parse`
+        /// textual format, one instruction per line).
+        delta: Vec<String>,
+        /// `(step index, configuration)` pairs, step 0 first; the
+        /// configuration is the space-separated symbol rendering.
+        checkpoints: Vec<(usize, String)>,
+        /// `true`: the run halts exactly at the last checkpoint.
+        /// `false`: the worm is still creeping there (claim "≥ k steps").
+        halted: bool,
+    },
+    /// An exhausted-search **attestation**: no witness exists within the
+    /// stated bound. Unlike the other variants this is not independently
+    /// re-derivable in polynomial time — the checker validates only
+    /// well-formedness and flags the report as attestation-only.
+    NonHomRefutation {
+        /// The signature the search ranged over.
+        sig: SigSpec,
+        /// What was searched (human-readable, e.g. the exhausted verdict).
+        what: String,
+        /// The bound that was exhausted (stages, nodes, …).
+        bound: u64,
+        /// Search nodes explored, as reported by the producer.
+        explored: u64,
+    },
+}
+
+impl Certificate {
+    /// The certificate kind as its lowercase header token.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Certificate::HomWitness { .. } => "hom-witness",
+            Certificate::ChaseTrace { .. } => "chase-trace",
+            Certificate::FiniteModel { .. } => "finite-model",
+            Certificate::CreepTrace { .. } => "creep-trace",
+            Certificate::NonHomRefutation { .. } => "non-hom-refutation",
+        }
+    }
+}

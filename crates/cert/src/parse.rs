@@ -1,0 +1,451 @@
+//! Parsing the certificate text format back into a [`Certificate`].
+//!
+//! Exact inverse of [`crate::encode`]: statement order is preserved, so
+//! `parse(encode(c)) == c`. Errors carry the 1-based line number. This
+//! module checks *syntax* only (plus block nesting); semantic validity —
+//! index ranges, arities, witness correctness — is [`crate::check`]'s job.
+
+use crate::{
+    AtomSpec, Certificate, FailsClaim, FiringSpec, HoldsClaim, PatAtom, QuerySpec, RuleSpec,
+    SigSpec, StructSpec, TermSpec,
+};
+
+/// Splits a line into tokens; double-quoted tokens may contain spaces,
+/// with `\"` and `\\` escapes.
+fn tokenize(line: &str) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut tok = String::new();
+            loop {
+                match chars.next() {
+                    None => return Err("unterminated quote".into()),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some(e @ ('"' | '\\')) => tok.push(e),
+                        _ => return Err("bad escape in quoted token".into()),
+                    },
+                    Some(other) => tok.push(other),
+                }
+            }
+            out.push(tok);
+        } else {
+            let mut tok = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                tok.push(c);
+                chars.next();
+            }
+            out.push(tok);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_u32(tok: &str) -> Result<u32, String> {
+    tok.parse::<u32>()
+        .map_err(|_| format!("bad number {tok:?}"))
+}
+
+fn parse_usize(tok: &str) -> Result<usize, String> {
+    tok.parse::<usize>()
+        .map_err(|_| format!("bad number {tok:?}"))
+}
+
+fn parse_term(tok: &str) -> Result<TermSpec, String> {
+    if let Some(v) = tok.strip_prefix('v') {
+        return Ok(TermSpec::Var(parse_u32(v)?));
+    }
+    if let Some(c) = tok.strip_prefix('c') {
+        return Ok(TermSpec::Const(parse_usize(c)?));
+    }
+    Err(format!("bad term {tok:?} (want v<N> or c<N>)"))
+}
+
+/// `v<N>=<node>` pairs (witnesses, firing assignments).
+fn parse_pairs(toks: &[String]) -> Result<Vec<(u32, u32)>, String> {
+    toks.iter()
+        .map(|t| {
+            let (lhs, rhs) = t
+                .split_once('=')
+                .ok_or_else(|| format!("bad binding {t:?} (want v<N>=<node>)"))?;
+            let v = lhs
+                .strip_prefix('v')
+                .ok_or_else(|| format!("bad binding {t:?} (want v<N>=<node>)"))?;
+            Ok((parse_u32(v)?, parse_u32(rhs)?))
+        })
+        .collect()
+}
+
+/// `<key>=<n>,<n>,…` (possibly empty after `=`).
+fn parse_num_list(tok: &str, key: &str) -> Result<Vec<u32>, String> {
+    let body = tok
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=…, got {tok:?}"))?;
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split(',').map(parse_u32).collect()
+}
+
+fn parse_pat_atom(toks: &[String]) -> Result<PatAtom, String> {
+    let (pred, terms) = toks
+        .split_first()
+        .ok_or_else(|| "missing predicate index".to_string())?;
+    Ok(PatAtom {
+        pred: parse_usize(pred)?,
+        terms: terms
+            .iter()
+            .map(|t| parse_term(t))
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// An open `holds`/`goal`/`fails` block being accumulated.
+struct OpenClaim {
+    keyword: &'static str,
+    query: QuerySpec,
+    tuple: Vec<u32>,
+}
+
+/// Everything the statement loop accumulates, assembled per kind at `end`.
+#[derive(Default)]
+struct Builder {
+    preds: Vec<(String, usize)>,
+    consts: Vec<String>,
+    rules: Vec<RuleSpec>,
+    structure: Option<StructSpec>,
+    firings: Vec<FiringSpec>,
+    final_counts: Option<(usize, u32)>,
+    holds: Vec<HoldsClaim>,
+    fails: Vec<FailsClaim>,
+    goal: Option<HoldsClaim>,
+    open: Option<OpenClaim>,
+    delta: Vec<String>,
+    checkpoints: Vec<(usize, String)>,
+    halted: Option<bool>,
+    attest: Option<(String, u64, u64)>,
+}
+
+impl Builder {
+    fn structure_mut(&mut self) -> Result<&mut StructSpec, String> {
+        self.structure
+            .as_mut()
+            .ok_or_else(|| "statement before a `nodes` line".to_string())
+    }
+
+    fn open_claim(&mut self, keyword: &'static str, toks: &[String]) -> Result<(), String> {
+        if self.open.is_some() {
+            return Err("previous claim block not closed".into());
+        }
+        let [name, free, tuple] = toks else {
+            return Err(format!("{keyword} wants: name free=… tuple=…"));
+        };
+        self.open = Some(OpenClaim {
+            keyword,
+            query: QuerySpec {
+                name: name.clone(),
+                free: parse_num_list(free, "free")?,
+                body: Vec::new(),
+            },
+            tuple: parse_num_list(tuple, "tuple")?,
+        });
+        Ok(())
+    }
+
+    fn close_claim(&mut self, witness: Option<Vec<(u32, u32)>>) -> Result<(), String> {
+        let open = self
+            .open
+            .take()
+            .ok_or_else(|| "no open claim block".to_string())?;
+        match (open.keyword, witness) {
+            ("holds", Some(w)) => self.holds.push(HoldsClaim {
+                query: open.query,
+                tuple: open.tuple,
+                witness: w,
+            }),
+            ("goal", Some(w)) => {
+                if self.goal.is_some() {
+                    return Err("duplicate goal".into());
+                }
+                self.goal = Some(HoldsClaim {
+                    query: open.query,
+                    tuple: open.tuple,
+                    witness: w,
+                });
+            }
+            ("fails", None) => self.fails.push(FailsClaim {
+                query: open.query,
+                tuple: open.tuple,
+            }),
+            (kw, Some(_)) => return Err(format!("`{kw}` block must close with qend")),
+            (kw, None) => return Err(format!("`{kw}` block must close with witness")),
+        }
+        Ok(())
+    }
+
+    fn statement(&mut self, keyword: &str, rest: &[String]) -> Result<(), String> {
+        match keyword {
+            "pred" => {
+                let [name, arity] = rest else {
+                    return Err("pred wants: name arity".into());
+                };
+                self.preds.push((name.clone(), parse_usize(arity)?));
+            }
+            "const" => {
+                let [name] = rest else {
+                    return Err("const wants: name".into());
+                };
+                self.consts.push(name.clone());
+            }
+            "rule" => {
+                let [name] = rest else {
+                    return Err("rule wants: name".into());
+                };
+                self.rules.push(RuleSpec {
+                    name: name.clone(),
+                    body: Vec::new(),
+                    head: Vec::new(),
+                });
+            }
+            "rbody" | "rhead" => {
+                let atom = parse_pat_atom(rest)?;
+                let rule = self
+                    .rules
+                    .last_mut()
+                    .ok_or_else(|| format!("{keyword} before any rule"))?;
+                if keyword == "rbody" {
+                    rule.body.push(atom);
+                } else {
+                    rule.head.push(atom);
+                }
+            }
+            "nodes" => {
+                let [n] = rest else {
+                    return Err("nodes wants: count".into());
+                };
+                if self.structure.is_some() {
+                    return Err("duplicate nodes line".into());
+                }
+                self.structure = Some(StructSpec {
+                    nodes: parse_u32(n)?,
+                    pins: Vec::new(),
+                    atoms: Vec::new(),
+                });
+            }
+            "pin" => {
+                let [c, n] = rest else {
+                    return Err("pin wants: const node".into());
+                };
+                let pin = (parse_usize(c)?, parse_u32(n)?);
+                self.structure_mut()?.pins.push(pin);
+            }
+            "atom" => {
+                let (pred, args) = rest
+                    .split_first()
+                    .ok_or_else(|| "atom wants: pred nodes…".to_string())?;
+                let atom = AtomSpec {
+                    pred: parse_usize(pred)?,
+                    args: args
+                        .iter()
+                        .map(|t| parse_u32(t))
+                        .collect::<Result<_, _>>()?,
+                };
+                self.structure_mut()?.atoms.push(atom);
+            }
+            "fire" => {
+                let (stage_rule, pairs) = rest.split_at(2.min(rest.len()));
+                let [stage, rule] = stage_rule else {
+                    return Err("fire wants: stage rule bindings…".into());
+                };
+                self.firings.push(FiringSpec {
+                    stage: parse_usize(stage)?,
+                    rule: parse_usize(rule)?,
+                    assignment: parse_pairs(pairs)?,
+                });
+            }
+            "final" => {
+                let [atoms, nodes] = rest else {
+                    return Err("final wants: atoms nodes".into());
+                };
+                self.final_counts = Some((parse_usize(atoms)?, parse_u32(nodes)?));
+            }
+            "holds" => self.open_claim("holds", rest)?,
+            "goal" => self.open_claim("goal", rest)?,
+            "fails" => self.open_claim("fails", rest)?,
+            "qatom" => {
+                let atom = parse_pat_atom(rest)?;
+                self.open
+                    .as_mut()
+                    .ok_or_else(|| "qatom outside a claim block".to_string())?
+                    .query
+                    .body
+                    .push(atom);
+            }
+            "witness" => self.close_claim(Some(parse_pairs(rest)?))?,
+            "qend" => {
+                if !rest.is_empty() {
+                    return Err("qend takes no arguments".into());
+                }
+                self.close_claim(None)?;
+            }
+            "delta" => {
+                let [line] = rest else {
+                    return Err("delta wants: one quoted instruction".into());
+                };
+                self.delta.push(line.clone());
+            }
+            "checkpoint" => {
+                let (step, syms) = rest
+                    .split_first()
+                    .ok_or_else(|| "checkpoint wants: step symbols…".to_string())?;
+                self.checkpoints.push((parse_usize(step)?, syms.join(" ")));
+            }
+            "halted" => {
+                let halted = match rest {
+                    [t] if t == "true" => true,
+                    [t] if t == "false" => false,
+                    _ => return Err("halted wants: true|false".into()),
+                };
+                self.halted = Some(halted);
+            }
+            "attest" => {
+                let [what, bound, explored] = rest else {
+                    return Err("attest wants: what bound=… explored=…".into());
+                };
+                let bound = bound
+                    .strip_prefix("bound=")
+                    .ok_or_else(|| "attest wants bound=<n>".to_string())?
+                    .parse::<u64>()
+                    .map_err(|_| "bad bound".to_string())?;
+                let explored = explored
+                    .strip_prefix("explored=")
+                    .ok_or_else(|| "attest wants explored=<n>".to_string())?
+                    .parse::<u64>()
+                    .map_err(|_| "bad explored".to_string())?;
+                self.attest = Some((what.clone(), bound, explored));
+            }
+            other => return Err(format!("unknown keyword {other:?}")),
+        }
+        Ok(())
+    }
+
+    fn sig(&mut self) -> SigSpec {
+        SigSpec {
+            preds: std::mem::take(&mut self.preds),
+            consts: std::mem::take(&mut self.consts),
+        }
+    }
+
+    fn finish(mut self, kind: &str) -> Result<Certificate, String> {
+        if self.open.is_some() {
+            return Err("unclosed claim block at end".into());
+        }
+        let missing = |what: &str| format!("{kind} certificate is missing its {what}");
+        match kind {
+            "hom-witness" => {
+                let sig = self.sig();
+                let structure = self.structure.ok_or_else(|| missing("structure"))?;
+                let mut holds = self.holds;
+                if holds.len() != 1 {
+                    return Err("hom-witness wants exactly one holds claim".into());
+                }
+                Ok(Certificate::HomWitness {
+                    sig,
+                    structure,
+                    claim: holds.remove(0),
+                })
+            }
+            "chase-trace" => {
+                let sig = self.sig();
+                let start = self.structure.ok_or_else(|| missing("start structure"))?;
+                let (final_atoms, final_nodes) =
+                    self.final_counts.ok_or_else(|| missing("final line"))?;
+                Ok(Certificate::ChaseTrace {
+                    sig,
+                    rules: self.rules,
+                    start,
+                    firings: self.firings,
+                    final_atoms,
+                    final_nodes,
+                    goal: self.goal,
+                })
+            }
+            "finite-model" => {
+                let sig = self.sig();
+                let structure = self.structure.ok_or_else(|| missing("structure"))?;
+                Ok(Certificate::FiniteModel {
+                    sig,
+                    rules: self.rules,
+                    structure,
+                    holds: self.holds,
+                    fails: self.fails,
+                })
+            }
+            "creep-trace" => Ok(Certificate::CreepTrace {
+                delta: self.delta,
+                checkpoints: self.checkpoints,
+                halted: self.halted.ok_or_else(|| missing("halted line"))?,
+            }),
+            "non-hom-refutation" => {
+                let sig = self.sig();
+                let (what, bound, explored) = self.attest.ok_or_else(|| missing("attest line"))?;
+                Ok(Certificate::NonHomRefutation {
+                    sig,
+                    what,
+                    bound,
+                    explored,
+                })
+            }
+            other => Err(format!("unknown certificate kind {other:?}")),
+        }
+    }
+}
+
+/// Parses the textual certificate format (see [`crate::encode`]).
+pub fn parse(text: &str) -> Result<Certificate, String> {
+    let mut builder = Builder::default();
+    let mut kind: Option<String> = None;
+    let mut done = false;
+    for (i, raw) in text.lines().enumerate() {
+        let at = |e: String| format!("line {}: {e}", i + 1);
+        let toks = tokenize(raw).map_err(at)?;
+        if toks.is_empty() {
+            continue; // blank lines are tolerated
+        }
+        if done {
+            return Err(at("trailing content after end".into()));
+        }
+        let Some(k) = kind.as_deref() else {
+            let [magic, version, k] = toks.as_slice() else {
+                return Err(at("expected header: cqfd-cert v1 <kind>".into()));
+            };
+            if magic != "cqfd-cert" {
+                return Err(at(format!("not a certificate (leads with {magic:?})")));
+            }
+            if version != "v1" {
+                return Err(at(format!("unsupported certificate version {version:?}")));
+            }
+            kind = Some(k.clone());
+            continue;
+        };
+        let _ = k;
+        if toks[0] == "end" {
+            done = true;
+            continue;
+        }
+        builder.statement(&toks[0], &toks[1..]).map_err(at)?;
+    }
+    let kind = kind.ok_or_else(|| "empty certificate".to_string())?;
+    if !done {
+        return Err("truncated certificate: missing end line".into());
+    }
+    builder.finish(&kind)
+}

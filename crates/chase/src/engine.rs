@@ -110,6 +110,24 @@ pub enum ChaseOutcome {
     Cancelled,
 }
 
+/// One applied trigger, recorded when the engine runs with
+/// [`ChaseEngine::with_recording`] enabled.
+///
+/// The assignment is the *full* body match (every body variable, not just
+/// the frontier), sorted by variable. Recording the whole match is what
+/// makes a trace independently checkable: a verifier can validate the
+/// trigger by pure substitution and atom lookup, with no homomorphism
+/// search of its own (see `cqfd-cert`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing {
+    /// 1-based stage in which the trigger was applied.
+    pub stage: usize,
+    /// Index of the TGD into [`ChaseEngine::tgds`].
+    pub tgd: usize,
+    /// The body match, sorted by variable.
+    pub assignment: Vec<(cqfd_core::Var, Node)>,
+}
+
 /// Per-stage accounting of a chase run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StageInfo {
@@ -137,6 +155,9 @@ pub struct ChaseRun {
     /// enumeration *and* head-satisfaction checks), from the thread-local
     /// counter in `cqfd_core::hom`.
     pub hom_nodes: u64,
+    /// The applied triggers, in application order — empty unless the
+    /// engine ran with [`ChaseEngine::with_recording`] enabled.
+    pub firings: Vec<Firing>,
     start_atoms: usize,
     start_nodes: u32,
 }
@@ -211,6 +232,7 @@ pub enum Strategy {
 pub struct ChaseEngine {
     tgds: Vec<Tgd>,
     strategy: Strategy,
+    record: bool,
 }
 
 impl ChaseEngine {
@@ -219,12 +241,22 @@ impl ChaseEngine {
         ChaseEngine {
             tgds,
             strategy: Strategy::Naive,
+            record: false,
         }
     }
 
     /// Selects the trigger-enumeration strategy.
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Enables (or disables) recording of applied triggers into
+    /// [`ChaseRun::firings`]. Off by default: a trace holds one full
+    /// variable assignment per application, which is memory the plain
+    /// chase does not need.
+    pub fn with_recording(mut self, record: bool) -> Self {
+        self.record = record;
         self
     }
 
@@ -260,6 +292,7 @@ impl ChaseEngine {
             outcome: ChaseOutcome::StageBudgetExhausted,
             elapsed: Duration::ZERO,
             hom_nodes: 0,
+            firings: Vec::new(),
         };
         let finish = |mut run: ChaseRun, d: Structure| {
             run.structure = d;
@@ -278,7 +311,9 @@ impl ChaseEngine {
                 break;
             }
             let frozen = d.atom_count() as u32;
-            let (applications, early_stop) = self.run_stage(&mut d, budget, prev_frozen);
+            let stage = run.stages.len() + 1;
+            let (applications, early_stop) =
+                self.run_stage(&mut d, budget, prev_frozen, stage, &mut run.firings);
             prev_frozen = frozen;
             run.stages.push(StageInfo {
                 applications,
@@ -318,21 +353,30 @@ impl ChaseEngine {
         d: &mut Structure,
         budget: &ChaseBudget,
         prev_frozen: u32,
+        stage: usize,
+        firings: &mut Vec<Firing>,
     ) -> (usize, Option<ChaseOutcome>) {
         let frozen = d.atom_count() as u32;
         let mut applications = 0usize;
-        for tgd in &self.tgds {
+        for (ti, tgd) in self.tgds.iter().enumerate() {
             if budget.should_stop() {
                 return (applications, Some(ChaseOutcome::Cancelled));
             }
             // Collect the distinct frontier tuples b̄ with a body match in
-            // the frozen snapshot. (Conditions ¬/­ of §II.B depend only on b̄.)
+            // the frozen snapshot. (Conditions ¬/­ of §II.B depend only on
+            // b̄; when recording we keep the first full match per tuple so
+            // the trace stays checkable without a search.)
             let mut frontiers: Vec<Vec<Node>> = Vec::new();
+            let mut full_maps: Vec<VarMap> = Vec::new();
             let mut seen: HashSet<Vec<Node>> = HashSet::new();
+            let recording = self.record;
             let mut record = |m: &VarMap| {
                 let tuple: Vec<Node> = tgd.frontier().iter().map(|v| m[v]).collect();
                 if seen.insert(tuple.clone()) {
                     frontiers.push(tuple);
+                    if recording {
+                        full_maps.push(m.clone());
+                    }
                 }
                 ControlFlow::<()>::Continue(())
             };
@@ -396,6 +440,16 @@ impl ChaseEngine {
                     continue;
                 }
                 self.apply(tgd, &fixed, d);
+                if recording {
+                    let mut assignment: Vec<(cqfd_core::Var, Node)> =
+                        full_maps[i].iter().map(|(&v, &n)| (v, n)).collect();
+                    assignment.sort_unstable_by_key(|&(v, _)| v);
+                    firings.push(Firing {
+                        stage,
+                        tgd: ti,
+                        assignment,
+                    });
+                }
                 applications += 1;
                 if d.atom_count() >= budget.max_atoms || d.node_count() as usize >= budget.max_nodes
                 {
@@ -678,6 +732,31 @@ mod tests {
         assert!(run.reached_fixpoint());
         let cn = run.structure.existing_const_node(c).unwrap();
         assert!(run.structure.contains(s, &[b, cn]));
+    }
+
+    #[test]
+    fn recording_captures_every_application() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(r, &[1, 2])]);
+        let engine = ChaseEngine::new(vec![t]).with_recording(true);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let run = engine.chase(&d, &ChaseBudget::stages(4));
+        assert_eq!(run.firings.len(), run.triggers_fired());
+        for (k, f) in run.firings.iter().enumerate() {
+            assert_eq!(f.stage, k + 1, "one application per stage");
+            assert_eq!(f.tgd, 0);
+            // Full body match: both body variables bound, sorted.
+            assert_eq!(f.assignment.len(), 2);
+            assert!(f.assignment[0].0 < f.assignment[1].0);
+        }
+        // Off by default.
+        let plain = ChaseEngine::new(engine.tgds().to_vec()).chase(&d, &ChaseBudget::stages(4));
+        assert!(plain.firings.is_empty());
+        assert_eq!(plain.structure.atoms(), run.structure.atoms());
     }
 
     #[test]

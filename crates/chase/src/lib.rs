@@ -54,5 +54,5 @@
 pub mod engine;
 pub mod tgd;
 
-pub use engine::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseRun, StageInfo, Strategy};
+pub use engine::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseRun, Firing, StageInfo, Strategy};
 pub use tgd::Tgd;

@@ -45,6 +45,19 @@ pub fn hom_nodes_explored() -> u64 {
     HOM_NODES.get()
 }
 
+/// Resets the **current thread's** search-node counter to zero.
+///
+/// For long-lived worker threads that run many jobs back to back
+/// (`cqfd-service` pool workers), before/after subtraction is fragile: a
+/// reading taken against the wrong baseline silently charges one job with
+/// a predecessor's work. Resetting at job start makes
+/// [`hom_nodes_explored`] an absolute per-job figure. Do **not** call this
+/// while a measurement that uses before/after subtraction (e.g. a chase
+/// run) is in flight on the same thread.
+pub fn reset_hom_nodes_explored() {
+    HOM_NODES.set(0);
+}
+
 /// Enumerates homomorphisms from `pattern` into `target` extending `fixed`,
 /// invoking `visit` on each one found. `visit` may stop the enumeration by
 /// returning [`ControlFlow::Break`].

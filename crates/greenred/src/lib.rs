@@ -32,7 +32,7 @@ pub mod search;
 pub mod tq;
 
 pub use coloring::{Color, GreenRed};
-pub use oracle::{DeterminacyOracle, Verdict};
+pub use oracle::{CertifiedRun, DeterminacyOracle, Verdict};
 pub use rewriting::{cq_rewriting, Rewriting};
 pub use search::{is_counterexample, search_counterexample, CounterexampleReport};
 pub use tq::greenred_tgds;

@@ -15,8 +15,9 @@
 
 use crate::coloring::{Color, GreenRed};
 use crate::tq::greenred_tgds;
+use cqfd_cert::{convert, Certificate};
 use cqfd_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseRun};
-use cqfd_core::{Cq, Node, Signature, VarMap};
+use cqfd_core::{find_homomorphism, Cq, Node, Signature, VarMap};
 use std::sync::Arc;
 
 /// Outcome of a determinacy oracle run.
@@ -51,6 +52,31 @@ impl Verdict {
     pub fn is_determined(&self) -> bool {
         matches!(self, Verdict::Determined { .. })
     }
+}
+
+/// A verdict together with the chase run that produced it and a
+/// machine-checkable [`Certificate`] for it:
+///
+/// * [`Verdict::Determined`] → a [`Certificate::ChaseTrace`] whose replay
+///   re-derives the chase and whose goal claim is `red(Q0)` at the
+///   canonical tuple, with an explicit witness homomorphism;
+/// * [`Verdict::NotDeterminedUnrestricted`] → a
+///   [`Certificate::FiniteModel`]: the fixpoint models `T_Q`, satisfies
+///   `green(Q0)` (witnessed) and falsifies `red(Q0)` at the tuple — the
+///   finite counter-example, independently re-checkable;
+/// * [`Verdict::Unknown`] → a [`Certificate::NonHomRefutation`]
+///   attestation recording the exhausted stage budget.
+///
+/// `cqfd_cert::check` validates all three without touching this crate's
+/// search code.
+#[derive(Debug, Clone)]
+pub struct CertifiedRun {
+    /// The oracle's verdict.
+    pub verdict: Verdict,
+    /// The underlying chase run (stages, metrics, final structure).
+    pub run: ChaseRun,
+    /// The proof artifact for the verdict.
+    pub certificate: Certificate,
 }
 
 /// Chase-based semi-decision procedure for conjunctive-query determinacy.
@@ -88,20 +114,25 @@ impl DeterminacyOracle {
         q0: &Cq,
         max_stages: usize,
     ) -> Result<Verdict, cqfd_core::CoreError> {
-        let (verdict, _run) = self.certify_run(views, q0, &ChaseBudget::stages(max_stages));
-        Ok(verdict)
+        let certified = self.certify_run(views, q0, &ChaseBudget::stages(max_stages));
+        Ok(certified.verdict)
     }
 
     /// Runs the oracle under an arbitrary [`ChaseBudget`] — including its
-    /// cancellation token and deadline — and returns both the verdict and
-    /// the full [`ChaseRun`] so callers (the `cqfd-service` job pool, the
-    /// CLI) can report stage/trigger/hom-node metrics alongside the answer.
+    /// cancellation token and deadline — and returns the verdict, the full
+    /// [`ChaseRun`] (so callers like the `cqfd-service` job pool and the
+    /// CLI can report stage/trigger/hom-node metrics), and a
+    /// machine-checkable [`Certificate`] for the verdict (see
+    /// [`CertifiedRun`] for the per-verdict certificate shapes).
     ///
     /// A cancelled or budget-exhausted run yields [`Verdict::Unknown`]: by
     /// Theorem 1 nothing else can be concluded.
-    pub fn certify_run(&self, views: &[Cq], q0: &Cq, budget: &ChaseBudget) -> (Verdict, ChaseRun) {
-        let (run, tuple) = self.chase_instance(views, q0, budget);
+    pub fn certify_run(&self, views: &[Cq], q0: &Cq, budget: &ChaseBudget) -> CertifiedRun {
+        let tgds = greenred_tgds(&self.gr, views);
+        let engine = ChaseEngine::new(tgds).with_recording(true);
+        let (start, tuple) = self.green_canonical(q0);
         let red_q0 = self.colored_query(Color::Red, q0);
+        let run = engine.chase_with_monitor(&start, budget, |d, _stage| red_q0.holds(d, &tuple));
         let verdict = match run.outcome {
             ChaseOutcome::MonitorStopped => {
                 // The monitor fired at the first stage where red(Q0) held.
@@ -126,7 +157,49 @@ impl DeterminacyOracle {
                 stages: run.stage_count(),
             },
         };
-        (verdict, run)
+        let fixed: VarMap = red_q0
+            .head_vars
+            .iter()
+            .copied()
+            .zip(tuple.iter().copied())
+            .collect();
+        let sig = self.gr.colored();
+        let certificate = match &verdict {
+            Verdict::Determined { .. } => {
+                // The witness search runs on the producer side only; the
+                // checker re-validates it by pure substitution.
+                let witness = find_homomorphism(&red_q0.body, &run.structure, &fixed)
+                    .expect("Determined verdicts have a red(Q0) witness");
+                let goal = convert::holds_claim(&red_q0, &tuple, &witness);
+                convert::chase_trace(sig, engine.tgds(), &start, &run, Some(goal))
+            }
+            Verdict::NotDeterminedUnrestricted { .. } => {
+                let green_q0 = self.colored_query(Color::Green, q0);
+                let witness = find_homomorphism(&green_q0.body, &run.structure, &fixed)
+                    .expect("green(Q0) holds in its own chase");
+                Certificate::FiniteModel {
+                    sig: convert::sig_spec(sig),
+                    rules: engine.tgds().iter().map(convert::rule_spec).collect(),
+                    structure: convert::struct_spec(&run.structure),
+                    holds: vec![convert::holds_claim(&green_q0, &tuple, &witness)],
+                    fails: vec![convert::fails_claim(&red_q0, &tuple)],
+                }
+            }
+            Verdict::Unknown { stages } => Certificate::NonHomRefutation {
+                sig: convert::sig_spec(sig),
+                what: format!(
+                    "chase of T_Q from green(A[{}]) exhausted without certifying red({})",
+                    q0.name, q0.name
+                ),
+                bound: (*stages as u64).max(1),
+                explored: run.hom_nodes,
+            },
+        };
+        CertifiedRun {
+            verdict,
+            run,
+            certificate,
+        }
     }
 
     /// Runs the chase of `T_Q` from `green(A[Q0])` with the given budget,
@@ -318,6 +391,103 @@ mod tests {
         assert_eq!(tuple.len(), 2);
         // The start structure is green(A[Q0]): one green atom.
         assert_eq!(run.stage_structure(0).atom_count(), 1);
+    }
+}
+
+#[cfg(test)]
+mod certificate_tests {
+    use super::*;
+    use cqfd_cert::check;
+
+    fn sig_r() -> Signature {
+        let mut s = Signature::new();
+        s.add_predicate("R", 2);
+        s
+    }
+
+    #[test]
+    fn determined_yields_a_checkable_chase_trace() {
+        let sig = sig_r();
+        let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let oracle = DeterminacyOracle::new(sig);
+        let cr = oracle.certify_run(&[v], &q0, &ChaseBudget::stages(8));
+        assert!(cr.verdict.is_determined());
+        assert_eq!(cr.certificate.kind(), "chase-trace");
+        let report = check(&cr.certificate).unwrap();
+        assert!(report.summary.contains("goal holds"), "{}", report.summary);
+    }
+
+    #[test]
+    fn refuted_yields_a_checkable_finite_model() {
+        let sig = sig_r();
+        let v = Cq::parse(&sig, "V(x) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let oracle = DeterminacyOracle::new(sig);
+        let cr = oracle.certify_run(&[v], &q0, &ChaseBudget::stages(16));
+        assert!(matches!(
+            cr.verdict,
+            Verdict::NotDeterminedUnrestricted { .. }
+        ));
+        assert_eq!(cr.certificate.kind(), "finite-model");
+        // The fixpoint models T_Q, satisfies green(Q0), falsifies red(Q0) —
+        // all re-verified by the independent checker.
+        assert!(check(&cr.certificate).is_ok());
+    }
+
+    #[test]
+    fn unknown_yields_an_attestation() {
+        let sig = sig_r();
+        let v = Cq::parse(&sig, "V(x,z) :- R(x,y), R(y,z)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let oracle = DeterminacyOracle::new(sig);
+        // A cancelled run can conclude nothing (Theorem 1); the certificate
+        // degrades to an attestation of the exhausted search.
+        let cancel = cqfd_core::CancelToken::new();
+        cancel.cancel();
+        let budget = ChaseBudget::stages(8).with_cancel(cancel);
+        let cr = oracle.certify_run(&[v], &q0, &budget);
+        assert!(matches!(cr.verdict, Verdict::Unknown { .. }));
+        assert_eq!(cr.certificate.kind(), "non-hom-refutation");
+        let report = check(&cr.certificate).unwrap();
+        assert!(report.attestation);
+    }
+
+    #[test]
+    fn tampering_with_an_oracle_certificate_is_caught() {
+        let sig = sig_r();
+        let v = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let oracle = DeterminacyOracle::new(sig);
+        let cr = oracle.certify_run(&[v], &q0, &ChaseBudget::stages(8));
+        let Certificate::ChaseTrace {
+            sig,
+            rules,
+            start,
+            firings,
+            final_atoms,
+            final_nodes,
+            goal,
+        } = cr.certificate
+        else {
+            panic!("expected a chase trace")
+        };
+        let forged = Certificate::ChaseTrace {
+            sig,
+            rules,
+            start,
+            firings,
+            final_atoms,
+            final_nodes,
+            goal: goal.map(|mut g| {
+                // Claim red(Q0) at a different tuple than was proven.
+                for n in &mut g.tuple {
+                    *n += 1;
+                }
+                g
+            }),
+        };
+        assert!(check(&forged).is_err());
     }
 }
 

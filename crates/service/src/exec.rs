@@ -3,9 +3,14 @@
 
 use crate::job::{Job, JobBudget};
 use crate::outcome::{JobMetrics, JobOutcome, JobResult};
+use cqfd_cert::{convert, Certificate};
 use cqfd_chase::{ChaseBudget, ChaseOutcome, ChaseRun};
-use cqfd_core::{hom_nodes_explored, CancelToken};
-use cqfd_greenred::{cq_rewriting, search_counterexample, DeterminacyOracle, Verdict};
+use cqfd_core::{
+    find_homomorphism, hom_nodes_explored, reset_hom_nodes_explored, CancelToken, VarMap,
+};
+use cqfd_greenred::{
+    cq_rewriting, greenred_tgds, search_counterexample, Color, DeterminacyOracle, Verdict,
+};
 use cqfd_rainworm::config::Config;
 use cqfd_rainworm::run::step;
 use std::sync::Arc;
@@ -17,27 +22,31 @@ use std::time::Instant;
 /// The `cancel` token is the pool's cooperative kill switch: chase-based
 /// jobs thread it into [`ChaseBudget`] (polled at stage and trigger
 /// boundaries), creep jobs poll it every step. Homomorphism-search nodes
-/// are metered via the thread-local counter in `cqfd_core::hom`, read as
-/// a before/after delta — correct under pool concurrency because each job
-/// runs entirely on one worker thread.
+/// are metered via the thread-local counter in `cqfd_core::hom`, **reset
+/// at job start** and read absolutely at job end — correct under pool
+/// concurrency because each job runs entirely on one worker thread, and
+/// robust to worker reuse (a before/after delta would be too, but a reset
+/// also keeps the counter from growing without bound over a pool's life).
 pub fn execute(id: u64, job: &Job, cancel: &CancelToken) -> JobResult {
     let started = Instant::now();
-    let homs_before = hom_nodes_explored();
+    reset_hom_nodes_explored();
     let mut metrics = JobMetrics::default();
+    let mut certificate = None;
     let outcome = if cancel.is_cancelled() {
         JobOutcome::BudgetExceeded {
             detail: "cancelled".into(),
         }
     } else {
-        run_job(job, cancel, &mut metrics)
+        run_job(job, cancel, &mut metrics, &mut certificate)
     };
-    metrics.homs = hom_nodes_explored() - homs_before;
+    metrics.homs = hom_nodes_explored();
     metrics.elapsed = started.elapsed();
     JobResult {
         id,
         kind: job.kind(),
         outcome,
         metrics,
+        certificate,
     }
 }
 
@@ -68,7 +77,12 @@ fn stop_detail(cancel: &CancelToken) -> String {
     }
 }
 
-fn run_job(job: &Job, cancel: &CancelToken, metrics: &mut JobMetrics) -> JobOutcome {
+fn run_job(
+    job: &Job,
+    cancel: &CancelToken,
+    metrics: &mut JobMetrics,
+    certificate: &mut Option<String>,
+) -> JobOutcome {
     match job {
         Job::Determine {
             sig,
@@ -77,14 +91,17 @@ fn run_job(job: &Job, cancel: &CancelToken, metrics: &mut JobMetrics) -> JobOutc
             budget,
         } => {
             let oracle = DeterminacyOracle::new(sig.clone());
-            let (verdict, run) = oracle.certify_run(views, q0, &chase_budget(budget, cancel));
-            record_run(metrics, &run);
-            if run.outcome == ChaseOutcome::Cancelled {
+            let cr = oracle.certify_run(views, q0, &chase_budget(budget, cancel));
+            record_run(metrics, &cr.run);
+            if cr.run.outcome == ChaseOutcome::Cancelled {
                 return JobOutcome::BudgetExceeded {
                     detail: stop_detail(cancel),
                 };
             }
-            match verdict {
+            if budget.emit_certificate {
+                *certificate = Some(cqfd_cert::encode(&cr.certificate));
+            }
+            match cr.verdict {
                 Verdict::Determined { stage } => JobOutcome::Determined { stage },
                 Verdict::NotDeterminedUnrestricted { stages } => {
                     JobOutcome::NotDetermined { stages }
@@ -109,14 +126,39 @@ fn run_job(job: &Job, cancel: &CancelToken, metrics: &mut JobMetrics) -> JobOutc
                 s: inst.stats.s,
             }
         }
-        Job::Creep { delta, budget } => creep_job(delta, budget, cancel),
+        Job::Creep { delta, budget } => {
+            let outcome = creep_job(delta, budget, cancel);
+            if budget.emit_certificate {
+                // Re-creeping for the trace is cheap relative to the reduction
+                // pipelines these worms feed; a budget-exhausted run gets no
+                // certificate (there is no conclusive claim to certify).
+                match outcome {
+                    JobOutcome::Halted { steps } => {
+                        let cert =
+                            cqfd_cert::emit::creep_certificate(delta, steps + 1, checkpoint(steps));
+                        *certificate = Some(cqfd_cert::encode(&cert));
+                    }
+                    JobOutcome::StillCreeping { steps } => {
+                        let cert =
+                            cqfd_cert::emit::creep_certificate(delta, steps, checkpoint(steps));
+                        *certificate = Some(cqfd_cert::encode(&cert));
+                    }
+                    _ => {}
+                }
+            }
+            outcome
+        }
         Job::Separate { budget } => {
             let (_, run_di, di_pattern) =
                 cqfd_separating::theorem14::chase_from_di(budget.max_stages);
             record_run(metrics, &run_di);
-            let (_, run_lasso, lasso_pattern) =
+            let (g_lasso, run_lasso, lasso_pattern) =
                 cqfd_separating::theorem14::chase_from_lasso(3, 1, budget.max_stages);
             record_run(metrics, &run_lasso);
+            if budget.emit_certificate && lasso_pattern {
+                *certificate =
+                    cqfd_cert::emit::pattern_certificate(&g_lasso).map(|c| cqfd_cert::encode(&c));
+            }
             JobOutcome::Separated {
                 di_pattern,
                 lasso_pattern,
@@ -133,16 +175,76 @@ fn run_job(job: &Job, cancel: &CancelToken, metrics: &mut JobMetrics) -> JobOutc
                 Some(d) => {
                     metrics.peak_atoms = metrics.peak_atoms.max(d.atom_count());
                     metrics.peak_nodes = metrics.peak_nodes.max(d.node_count());
+                    if budget.emit_certificate {
+                        *certificate = counterexample_certificate(&oracle, views, q0, &d)
+                            .map(|c| cqfd_cert::encode(&c));
+                    }
                     JobOutcome::CounterexampleFound {
                         atoms: d.atom_count(),
                     }
                 }
-                None => JobOutcome::NoCounterexample {
-                    nodes: budget.max_search_nodes,
-                },
+                None => {
+                    if budget.emit_certificate {
+                        let cert = Certificate::NonHomRefutation {
+                            sig: convert::sig_spec(oracle.greenred().colored()),
+                            what: format!(
+                                "exhaustive search found no counter-example to `{}` \
+                                 determinacy over ≤ {} nodes",
+                                q0.name, budget.max_search_nodes
+                            ),
+                            bound: budget.max_search_nodes.max(1) as u64,
+                            explored: hom_nodes_explored(),
+                        };
+                        *certificate = Some(cqfd_cert::encode(&cert));
+                    }
+                    JobOutcome::NoCounterexample {
+                        nodes: budget.max_search_nodes,
+                    }
+                }
             }
         }
     }
+}
+
+/// A checkpoint interval that keeps creep certificates to ≲ 64 config
+/// lines regardless of run length.
+fn checkpoint(steps: usize) -> usize {
+    (steps / 64).max(1)
+}
+
+/// Builds the [`Certificate::FiniteModel`] for a found counter-example:
+/// `d` models `T_Q`, and at the disagreeing tuple one color of `Q0` holds
+/// (witnessed) while the other fails.
+fn counterexample_certificate(
+    oracle: &DeterminacyOracle,
+    views: &[cqfd_core::Cq],
+    q0: &cqfd_core::Cq,
+    d: &cqfd_core::Structure,
+) -> Option<Certificate> {
+    let report = cqfd_greenred::is_counterexample(oracle, views, q0, d);
+    let tuple = report.witness?;
+    let green = oracle.colored_query(Color::Green, q0);
+    let red = oracle.colored_query(Color::Red, q0);
+    let (holds_q, fails_q) = if green.holds(d, &tuple) {
+        (green, red)
+    } else {
+        (red, green)
+    };
+    let fixed: VarMap = holds_q
+        .head_vars
+        .iter()
+        .copied()
+        .zip(tuple.iter().copied())
+        .collect();
+    let witness = find_homomorphism(&holds_q.body, d, &fixed)?;
+    let tgds = greenred_tgds(oracle.greenred(), views);
+    Some(Certificate::FiniteModel {
+        sig: convert::sig_spec(oracle.greenred().colored()),
+        rules: tgds.iter().map(convert::rule_spec).collect(),
+        structure: convert::struct_spec(d),
+        holds: vec![convert::holds_claim(&holds_q, &tuple, &witness)],
+        fails: vec![convert::fails_claim(&fails_q, &tuple)],
+    })
 }
 
 /// The creep loop with cooperative cancellation: the rainworm step
@@ -254,6 +356,130 @@ mod tests {
             }
         );
         assert!(r.metrics.elapsed < Duration::from_secs(5));
+    }
+
+    /// Regression: the hom-node counter is reset at job start, so a cheap
+    /// job executed on a worker thread that previously ran a hom-heavy job
+    /// reports its *own* hom count (zero), not the accumulated total. Run
+    /// both jobs through a 1-worker pool so they share a thread for sure.
+    #[test]
+    fn hom_counter_resets_between_jobs_on_a_reused_worker() {
+        let pool = crate::Pool::new(crate::PoolConfig::default().with_workers(1));
+        let sig = sig_r();
+        let views = vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()];
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let heavy = pool
+            .submit_blocking(Job::Determine {
+                sig,
+                views,
+                q0,
+                budget: JobBudget::default(),
+            })
+            .wait();
+        assert!(heavy.metrics.homs > 0, "first job explores hom nodes");
+        let light = pool
+            .submit_blocking(Job::Creep {
+                delta: halting_worm_short(),
+                budget: JobBudget::default(),
+            })
+            .wait();
+        assert_eq!(
+            light.metrics.homs, 0,
+            "creep does no hom search; a leaked counter would show {}",
+            heavy.metrics.homs
+        );
+    }
+
+    #[test]
+    fn determine_job_attaches_a_checkable_certificate_on_request() {
+        let sig = sig_r();
+        let views = vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()];
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let job = Job::Determine {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default().with_certificate(true),
+        };
+        let r = execute(1, &job, &CancelToken::inert());
+        let text = r.certificate.expect("cert=1 attaches a certificate");
+        let cert = cqfd_cert::parse(&text).unwrap();
+        assert_eq!(cert.kind(), "chase-trace");
+        let report = cqfd_cert::check(&cert).unwrap();
+        assert!(report.summary.contains("goal holds"), "{}", report.summary);
+    }
+
+    #[test]
+    fn creep_and_separate_jobs_attach_certificates_on_request() {
+        let creep = Job::Creep {
+            delta: halting_worm_short(),
+            budget: JobBudget::default().with_certificate(true),
+        };
+        let r = execute(1, &creep, &CancelToken::inert());
+        let steps = match r.outcome {
+            JobOutcome::Halted { steps } => steps,
+            other => panic!("wrong outcome: {other:?}"),
+        };
+        let cert = cqfd_cert::parse(r.certificate.as_deref().unwrap()).unwrap();
+        let report = cqfd_cert::check(&cert).unwrap();
+        assert_eq!(report.steps, steps, "trace replays the job's creep");
+
+        let sep = Job::Separate {
+            budget: JobBudget::default().with_stages(60).with_certificate(true),
+        };
+        let r = execute(2, &sep, &CancelToken::inert());
+        let cert = cqfd_cert::parse(r.certificate.as_deref().unwrap()).unwrap();
+        assert_eq!(cert.kind(), "finite-model");
+        assert!(cqfd_cert::check(&cert).is_ok());
+    }
+
+    #[test]
+    fn counterexample_jobs_attach_certificates_both_ways() {
+        // The projection instance has a 2-node counter-example; the
+        // identity view has none.
+        let inst = cqfd_greenred::instances::projection_instance();
+        let found = Job::CounterexampleSearch {
+            sig: inst.sig,
+            views: inst.views,
+            q0: inst.q0,
+            budget: JobBudget::default().with_certificate(true),
+        };
+        let r = execute(1, &found, &CancelToken::inert());
+        assert!(matches!(r.outcome, JobOutcome::CounterexampleFound { .. }));
+        let cert = cqfd_cert::parse(r.certificate.as_deref().unwrap()).unwrap();
+        assert_eq!(cert.kind(), "finite-model");
+        assert!(cqfd_cert::check(&cert).is_ok());
+
+        let sig = sig_r();
+        let views = vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()];
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let none = Job::CounterexampleSearch {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default()
+                .with_search_nodes(2)
+                .with_certificate(true),
+        };
+        let r = execute(2, &none, &CancelToken::inert());
+        assert!(matches!(r.outcome, JobOutcome::NoCounterexample { .. }));
+        let cert = cqfd_cert::parse(r.certificate.as_deref().unwrap()).unwrap();
+        assert_eq!(cert.kind(), "non-hom-refutation");
+        let report = cqfd_cert::check(&cert).unwrap();
+        assert!(
+            report.attestation,
+            "refutations are flagged as attestations"
+        );
+    }
+
+    #[test]
+    fn no_certificate_without_the_flag() {
+        let job = Job::Creep {
+            delta: halting_worm_short(),
+            budget: JobBudget::default(),
+        };
+        let r = execute(1, &job, &CancelToken::inert());
+        assert!(r.certificate.is_none());
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct JobBudget {
     pub max_steps: usize,
     /// Wall-clock limit for the job, measured from execution start.
     pub timeout: Option<Duration>,
+    /// Attach a `cqfd-cert` certificate (encoded text) to the result,
+    /// where the job kind supports one (`determine`, `creep`, `separate`,
+    /// `counterexample`). Off by default: certificates cost an extra
+    /// encode pass and can dwarf the one-line result.
+    pub emit_certificate: bool,
 }
 
 impl Default for JobBudget {
@@ -31,6 +36,7 @@ impl Default for JobBudget {
             max_search_nodes: 3,
             max_steps: 100_000,
             timeout: None,
+            emit_certificate: false,
         }
     }
 }
@@ -57,6 +63,12 @@ impl JobBudget {
     /// Sets the wall-clock limit.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Requests a certificate payload on the result.
+    pub fn with_certificate(mut self, emit: bool) -> Self {
+        self.emit_certificate = emit;
         self
     }
 }

@@ -46,4 +46,4 @@ pub use job::{Job, JobBudget};
 pub use outcome::{JobMetrics, JobOutcome, JobResult};
 pub use pool::{JobHandle, Pool, PoolConfig, SubmitError};
 pub use proto::{parse_job, parse_jobs};
-pub use server::{Server, ServerHandle};
+pub use server::{Server, ServerHandle, PROTOCOL_VERSION};

@@ -141,6 +141,33 @@ pub struct JobResult {
     pub outcome: JobOutcome,
     /// Execution metrics.
     pub metrics: JobMetrics,
+    /// An encoded `cqfd-cert` certificate for the verdict, when the job
+    /// was submitted with
+    /// [`JobBudget::emit_certificate`](crate::JobBudget::emit_certificate)
+    /// and the kind supports one. Multi-line; excluded from `Display` —
+    /// see [`JobResult::render_protocol`].
+    pub certificate: Option<String>,
+}
+
+impl JobResult {
+    /// The wire rendering: the one-line `Display` result, plus — when a
+    /// certificate is attached — a ` cert_lines=<n>` marker on that line
+    /// followed by the `n` raw certificate lines. Readers that ignore the
+    /// marker still parse the result line unchanged.
+    pub fn render_protocol(&self) -> String {
+        match &self.certificate {
+            None => self.to_string(),
+            Some(cert) => {
+                let mut out = self.to_string();
+                out.push_str(&format!(" cert_lines={}", cert.lines().count()));
+                for line in cert.lines() {
+                    out.push('\n');
+                    out.push_str(line);
+                }
+                out
+            }
+        }
+    }
 }
 
 impl fmt::Display for JobResult {
@@ -211,6 +238,7 @@ mod tests {
                 peak_nodes: 11,
                 elapsed: Duration::from_micros(1500),
             },
+            certificate: None,
         };
         let line = r.to_string();
         assert!(!line.contains('\n'));
@@ -218,6 +246,25 @@ mod tests {
         assert!(line.contains("triggers=12"));
         assert!(line.contains("homs=99"));
         assert!(line.contains("elapsed_ms=1.5"));
+        assert_eq!(r.render_protocol(), line, "no certificate, no extra lines");
+    }
+
+    #[test]
+    fn certificate_payload_renders_with_line_count() {
+        let r = JobResult {
+            id: 1,
+            kind: "creep",
+            outcome: JobOutcome::Halted { steps: 5 },
+            metrics: JobMetrics::default(),
+            certificate: Some("cqfd-cert v1 creep-trace\nhalted true\nend\n".into()),
+        };
+        assert!(!r.to_string().contains('\n'), "Display stays one line");
+        let wire = r.render_protocol();
+        let mut lines = wire.lines();
+        let head = lines.next().unwrap();
+        assert!(head.contains(" cert_lines=3"), "{head}");
+        assert_eq!(lines.next(), Some("cqfd-cert v1 creep-trace"));
+        assert_eq!(lines.clone().count(), 2);
     }
 
     #[test]

@@ -104,6 +104,7 @@ impl JobHandle {
                 message: "worker disappeared before reporting a result".into(),
             },
             metrics: Default::default(),
+            certificate: None,
         })
     }
 

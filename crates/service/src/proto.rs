@@ -111,7 +111,17 @@ impl Fields {
         }
     }
 
-    /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`.
+    /// The `cert=` flag: request a certificate payload on the result.
+    fn cert_flag(&self) -> Result<bool, String> {
+        match self.get("cert") {
+            None | Some("0") | Some("false") => Ok(false),
+            Some("1") | Some("true") => Ok(true),
+            Some(v) => Err(format!("bad cert={v} (want 0/1/true/false)")),
+        }
+    }
+
+    /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`,
+    /// `cert=`.
     fn budget(&self) -> Result<JobBudget, String> {
         let d = JobBudget::default();
         let timeout = match self.get("timeout-ms") {
@@ -126,6 +136,7 @@ impl Fields {
             max_steps: self.usize_or("steps", d.max_steps)?,
             max_search_nodes: self.usize_or("nodes", d.max_search_nodes)?,
             timeout,
+            emit_certificate: self.cert_flag()?,
         })
     }
 }
@@ -238,7 +249,15 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
     let f = Fields::parse(rest)?;
     let job = match kind.as_str() {
         "determine" => {
-            f.check_keys(&["sig", "view", "query", "instance", "stages", "timeout-ms"])?;
+            f.check_keys(&[
+                "sig",
+                "view",
+                "query",
+                "instance",
+                "stages",
+                "timeout-ms",
+                "cert",
+            ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::Determine {
                 sig,
@@ -259,22 +278,24 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
             }
         }
         "creep" => {
-            f.check_keys(&["worm", "steps", "timeout-ms"])?;
+            f.check_keys(&["worm", "steps", "timeout-ms", "cert"])?;
             Job::Creep {
                 delta: parse_worm(f.require("worm")?)?,
                 budget: f.budget()?,
             }
         }
         "separate" => {
-            f.check_keys(&["stages"])?;
+            f.check_keys(&["stages", "cert"])?;
             // The lasso chase needs ~80 stages to exhibit the 1-2 pattern,
             // so `separate` defaults higher than the generic budget.
             Job::Separate {
-                budget: JobBudget::default().with_stages(f.usize_or("stages", 80)?),
+                budget: JobBudget::default()
+                    .with_stages(f.usize_or("stages", 80)?)
+                    .with_certificate(f.cert_flag()?),
             }
         }
         "counterexample" => {
-            f.check_keys(&["sig", "view", "query", "instance", "nodes"])?;
+            f.check_keys(&["sig", "view", "query", "instance", "nodes", "cert"])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::CounterexampleSearch {
                 sig,
@@ -355,6 +376,24 @@ mod tests {
             }
             other => panic!("wrong kind: {other:?}"),
         }
+    }
+
+    #[test]
+    fn cert_flag_parses_and_rejects_garbage() {
+        match parse_job("separate stages=60 cert=1").unwrap().unwrap() {
+            Job::Separate { budget } => assert!(budget.emit_certificate),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("creep worm=short cert=true").unwrap().unwrap() {
+            Job::Creep { budget, .. } => assert!(budget.emit_certificate),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("determine instance=projection").unwrap().unwrap() {
+            Job::Determine { budget, .. } => assert!(!budget.emit_certificate),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        assert!(parse_job("separate cert=yes").is_err());
+        assert!(parse_job("rewrite instance=projection cert=1").is_err());
     }
 
     #[test]

@@ -1,8 +1,16 @@
 //! The TCP line-protocol daemon behind `cqfd serve`.
 //!
-//! Each connection sends one job per line (the [`crate::proto`] syntax)
-//! and receives one result line per job. Two control words:
+//! On connect the server greets with its protocol version —
+//! `cqfd-service v1` — so clients can refuse to speak to an incompatible
+//! server. Each connection then sends one job per line (the
+//! [`crate::proto`] syntax) and receives one result line per job (plus
+//! certificate payload lines when the job asked for one with `cert=1`;
+//! see [`JobResult::render_protocol`](crate::JobResult::render_protocol)).
+//! Control words:
 //!
+//! * `v1` (or any `v<N>`) — optional version pinning: the server replies
+//!   `ok v1` if it speaks that version, and otherwise answers
+//!   `error: unsupported protocol version …` and closes the connection;
 //! * `quit` — closes this connection;
 //! * `shutdown` — stops the whole server.
 //!
@@ -125,11 +133,22 @@ impl ServerHandle {
     }
 }
 
+/// The protocol version this server speaks, as greeted on connect and
+/// accepted as a version-pinning token.
+pub const PROTOCOL_VERSION: &str = "v1";
+
 /// Flags the stop token and pokes the accept loop awake with a loopback
 /// self-connect (a blocked `accept` has no timeout in std).
 fn request_stop(stop: &CancelToken, addr: SocketAddr) {
     stop.cancel();
     let _ = TcpStream::connect(addr);
+}
+
+/// Is this line a version token `v<N>`? (No job kind starts with a bare
+/// `v` followed by digits, so the token can share the line namespace.)
+fn is_version_token(line: &str) -> bool {
+    line.strip_prefix('v')
+        .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
 }
 
 fn serve_connection(stream: TcpStream, shared: &Shared) {
@@ -138,6 +157,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     };
     let mut reader = BufReader::new(peer_read);
     let mut writer = stream;
+    if writeln!(writer, "cqfd-service {PROTOCOL_VERSION}").is_err() {
+        return;
+    }
     let mut line = String::new();
     loop {
         line.clear();
@@ -158,12 +180,27 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 }
                 return;
             }
+            v if is_version_token(v) => {
+                if v == PROTOCOL_VERSION {
+                    if writeln!(writer, "ok {PROTOCOL_VERSION}").is_err() {
+                        return;
+                    }
+                } else {
+                    let _ = writeln!(
+                        writer,
+                        "error: unsupported protocol version `{v}` \
+                         (server speaks {PROTOCOL_VERSION})"
+                    );
+                    return;
+                }
+                continue;
+            }
             _ => {}
         }
         let reply = match parse_job(trimmed) {
             Ok(None) => continue, // blank line / comment: no reply
             Ok(Some(job)) => match shared.pool.submit(job) {
-                Ok(handle) => handle.wait().to_string(),
+                Ok(handle) => handle.wait().render_protocol(),
                 Err(e) => format!("error: {e}"),
             },
             Err(e) => format!("error: {e}"),
@@ -179,9 +216,13 @@ mod tests {
     use super::*;
     use std::io::{BufRead, BufReader, Write};
 
+    /// Connects and consumes the version greeting.
     fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
         let stream = TcpStream::connect(addr).expect("connect");
-        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).expect("greeting");
+        assert_eq!(greeting.trim(), "cqfd-service v1");
         (reader, stream)
     }
 
@@ -233,6 +274,62 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         assert!(line.starts_with("error:"), "{line}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn version_pinning_acks_v1_and_rejects_others() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+
+        let (mut reader, mut writer) = client(handle.addr());
+        writeln!(writer, "v1").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "ok v1");
+        // The connection still works after pinning.
+        writeln!(writer, "creep worm=short").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("verdict=halted"), "{line}");
+
+        let (mut reader, mut writer) = client(handle.addr());
+        writeln!(writer, "v2").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("error: unsupported protocol version"),
+            "{line}"
+        );
+        // The server side has returned; EOF is only observable after
+        // shutdown drops the connection registry's stream clone.
+        handle.shutdown();
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection open");
+    }
+
+    #[test]
+    fn certificate_payload_travels_the_wire() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        writeln!(writer, "creep worm=short cert=1").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let n: usize = line
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("cert_lines="))
+            .expect("result line carries cert_lines=")
+            .parse()
+            .unwrap();
+        let mut cert = String::new();
+        for _ in 0..n {
+            reader.read_line(&mut cert).unwrap();
+        }
+        let parsed = cqfd_cert::parse(&cert).expect("payload is a valid certificate");
+        assert!(cqfd_cert::check(&parsed).is_ok());
         handle.shutdown();
     }
 }

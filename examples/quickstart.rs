@@ -35,12 +35,14 @@ fn main() {
     let v2 = Cq::parse(&sig, "V2(x,y) :- S(x,y)").unwrap();
     let q0 = Cq::parse(&sig, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
     let oracle = DeterminacyOracle::new(sig.clone());
-    let (verdict, run) = oracle.certify_run(&[v1, v2], &q0, &ChaseBudget::stages(16));
-    match verdict {
+    let cr = oracle.certify_run(&[v1, v2], &q0, &ChaseBudget::stages(16));
+    match cr.verdict {
         Verdict::Determined { stage } => {
             println!("   determined — chase certificate at stage {stage}");
             println!("   (unrestricted determinacy, hence finite determinacy too)");
-            println!("   metrics: {}", metrics_line(&run));
+            println!("   metrics: {}", metrics_line(&cr.run));
+            let report = cqfd::cert::check(&cr.certificate).expect("certificate checks");
+            println!("   independently checked: {}", report.summary);
         }
         other => println!("   unexpected: {other:?}"),
     }
@@ -74,12 +76,12 @@ fn main() {
     // yet no finite stage can rule determinacy out.
     let inst = cqfd::reduction::reduce_l2(&cqfd::separating::tinf::t_infinity());
     let oracle2 = DeterminacyOracle::from_greenred(inst.spider_ctx.greenred().clone());
-    let (verdict, run) = oracle2.certify_run(&inst.queries, &inst.q0, &ChaseBudget::stages(8));
-    match verdict {
+    let cr = oracle2.certify_run(&inst.queries, &inst.q0, &ChaseBudget::stages(8));
+    match cr.verdict {
         Verdict::Unknown { stages } => {
             println!("   chase still running after {stages} stages — no verdict.");
             println!("   Theorem 1 of the paper: no procedure decides this in general.");
-            println!("   metrics: {}", metrics_line(&run));
+            println!("   metrics: {}", metrics_line(&cr.run));
         }
         other => println!("   verdict: {other:?}"),
     }

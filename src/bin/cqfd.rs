@@ -37,6 +37,8 @@ fn main() -> ExitCode {
         "creep" => creep_cmd(rest),
         "reduce" => reduce_cmd(rest),
         "separate" => separate_cmd(rest),
+        "certify" => certify_cmd(rest),
+        "check" => check_cmd(rest),
         "batch" => batch_cmd(rest),
         "serve" => serve_cmd(rest),
         "help" | "--help" | "-h" => {
@@ -64,6 +66,9 @@ USAGE:
                  [--steps <n>] [--trace <n>]  [--emit]
   cqfd reduce    --worm <...>
   cqfd separate  [--stages <n>]
+  cqfd certify   <determine|separate|creep|countermodel> [per-kind flags]
+                 [--out <file>]   (emit a machine-checkable certificate)
+  cqfd check     <file>           (validate a certificate; nonzero on reject)
   cqfd batch     <jobs-file> [--workers <n>] [--queue <n>]
   cqfd serve     --listen <addr> [--workers <n>] [--queue <n>]
 
@@ -189,8 +194,9 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
         s.parse().map_err(|_| "bad --search-nodes".to_string())
     })?;
     let oracle = DeterminacyOracle::new(sig);
-    let (verdict, run) = oracle.certify_run(&views, &q0, &ChaseBudget::stages(stages));
-    match verdict {
+    let cr = oracle.certify_run(&views, &q0, &ChaseBudget::stages(stages));
+    let run = &cr.run;
+    match cr.verdict {
         Verdict::Determined { stage } => {
             println!("DETERMINED — chase certificate at stage {stage}");
             println!("(unrestricted determinacy, hence finite determinacy too)");
@@ -335,6 +341,117 @@ fn separate_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes a certificate to `--out <file>` (or stdout), with a one-line
+/// summary on stderr so piping stdout stays clean.
+fn write_certificate(args: &[String], cert: &cqfd::cert::Certificate) -> Result<(), String> {
+    let text = cqfd::cert::encode(cert);
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {} certificate ({} lines) to {path}",
+                cert.kind(),
+                text.lines().count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn certify_cmd(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args);
+    let [what, tail @ ..] = pos.as_slice() else {
+        return Err("certify takes a kind: determine | separate | creep | countermodel".into());
+    };
+    if !tail.is_empty() {
+        return Err(format!("unexpected argument `{}`", tail[0]));
+    }
+    let cert = match *what {
+        "determine" => {
+            check_flags(args, &["--sig", "--view", "--query", "--stages", "--out"])?;
+            let sig = parse_sig(flag(args, "--sig").ok_or("missing --sig")?)?;
+            let views: Vec<Cq> = flag_values(args, "--view")
+                .into_iter()
+                .map(|v| Cq::parse(&sig, v).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            if views.is_empty() {
+                return Err("at least one --view required".into());
+            }
+            let q0 = Cq::parse(&sig, flag(args, "--query").ok_or("missing --query")?)
+                .map_err(|e| e.to_string())?;
+            let stages: usize = flag(args, "--stages").map_or(Ok(32), |s| {
+                s.parse().map_err(|_| "bad --stages".to_string())
+            })?;
+            let oracle = DeterminacyOracle::new(sig);
+            let cr = oracle.certify_run(&views, &q0, &ChaseBudget::stages(stages));
+            eprintln!("verdict: {:?}", cr.verdict);
+            cr.certificate
+        }
+        "separate" => {
+            check_flags(args, &["--stages", "--out"])?;
+            let stages: usize = flag(args, "--stages").map_or(Ok(80), |s| {
+                s.parse().map_err(|_| "bad --stages".to_string())
+            })?;
+            cqfd::separating::theorem14::separation_certificate(stages)
+                .ok_or("the 1-2 pattern did not emerge — raise --stages (60 suffices)")?
+        }
+        "creep" => {
+            check_flags(args, &["--worm", "--steps", "--out"])?;
+            let delta = parse_worm(flag(args, "--worm").ok_or("missing --worm")?)?;
+            let steps: usize = flag(args, "--steps").map_or(Ok(100_000), |s| {
+                s.parse().map_err(|_| "bad --steps".to_string())
+            })?;
+            cqfd::cert::emit::creep_certificate(&delta, steps, (steps / 64).max(1))
+        }
+        "countermodel" => {
+            check_flags(args, &["--worm", "--steps", "--out"])?;
+            let delta = parse_worm(flag(args, "--worm").ok_or("missing --worm")?)?;
+            let steps: usize = flag(args, "--steps").map_or(Ok(100_000), |s| {
+                s.parse().map_err(|_| "bad --steps".to_string())
+            })?;
+            let grid = cqfd::separating::grid::t_square();
+            let cm = cqfd::rainworm::countermodel::build_countermodel(&delta, &grid, steps)
+                .map_err(|e| format!("worm did not halt within {} steps: {e}", steps))?;
+            eprintln!(
+                "counter-model M̂: k_M = {}, |M̂| = {} nodes",
+                cm.k_m,
+                cm.m_hat.structure().node_count()
+            );
+            cqfd::cert::emit::countermodel_certificate(&delta, &grid, &cm)
+        }
+        other => {
+            return Err(format!(
+                "unknown certify kind `{other}` (want determine | separate | creep | countermodel)"
+            ))
+        }
+    };
+    write_certificate(args, &cert)
+}
+
+fn check_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
+    let pos = positionals(args);
+    let [path] = pos.as_slice() else {
+        return Err("check takes exactly one <certificate-file>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let cert = cqfd::cert::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let report = cqfd::cert::check(&cert).map_err(|e| format!("REJECTED: {e}"))?;
+    println!(
+        "OK: {} certificate{} — {} ({} steps checked)",
+        report.kind,
+        if report.attestation {
+            " (attestation — records a bounded search, proves no theorem)"
+        } else {
+            ""
+        },
+        report.summary,
+        report.steps
+    );
+    Ok(())
+}
+
 /// Builds a pool from `--workers`/`--queue` flags.
 fn pool_config(args: &[String]) -> Result<PoolConfig, String> {
     let mut cfg = PoolConfig::default();
@@ -365,7 +482,7 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
     // job order as they complete.
     let handles: Vec<_> = jobs.into_iter().map(|j| pool.submit_blocking(j)).collect();
     for h in handles {
-        println!("{}", h.wait());
+        println!("{}", h.wait().render_protocol());
     }
     pool.shutdown();
     Ok(())

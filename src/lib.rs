@@ -11,6 +11,8 @@
 //! conjunctive queries. Every object in that chain is implemented here:
 //!
 //! * [`core`] — relational structures, homomorphisms, conjunctive queries;
+//! * [`cert`] — machine-checkable proof certificates for every verdict,
+//!   with an independent low-polynomial checker (`cqfd certify` / `check`);
 //! * [`chase`] — tuple-generating dependencies and the lazy chase;
 //! * [`greenred`] — the two-colored restatement of determinacy (paper §IV);
 //! * [`spider`] — Level 0: spiders and spider queries (paper §V);
@@ -40,6 +42,7 @@
 //! let _ = r;
 //! ```
 
+pub use cqfd_cert as cert;
 pub use cqfd_chase as chase;
 pub use cqfd_core as core;
 pub use cqfd_fogames as fogames;

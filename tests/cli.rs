@@ -181,3 +181,86 @@ fn batch_rejects_bad_job_files() {
     assert!(!ok);
     assert!(text.contains("line 2"), "{text}");
 }
+
+/// `certify <kind>` writes a certificate file and `check` validates it —
+/// one round trip per verdict kind, all through the real binary.
+#[test]
+fn certify_then_check_round_trips_every_kind() {
+    let dir = std::env::temp_dir();
+    let cases: &[(&str, Vec<&str>)] = &[
+        (
+            "determined.cert",
+            vec![
+                "certify",
+                "determine",
+                "--sig",
+                "R/2,S/2",
+                "--view",
+                "V1(x,y) :- R(x,y)",
+                "--view",
+                "V2(x,y) :- S(x,y)",
+                "--query",
+                "Q0(x,z) :- R(x,y), S(y,z)",
+            ],
+        ),
+        (
+            "refuted.cert",
+            vec![
+                "certify",
+                "determine",
+                "--sig",
+                "R/2",
+                "--view",
+                "V(x) :- R(x,y)",
+                "--query",
+                "Q0(x,y) :- R(x,y)",
+            ],
+        ),
+        ("separation.cert", vec!["certify", "separate"]),
+        ("creep.cert", vec!["certify", "creep", "--worm", "short"]),
+        (
+            "countermodel.cert",
+            vec!["certify", "countermodel", "--worm", "short"],
+        ),
+    ];
+    for (file, args) in cases {
+        let path = dir.join(format!("cqfd_cli_{file}"));
+        let mut args = args.clone();
+        let path_str = path.to_str().unwrap().to_owned();
+        args.extend(["--out", &path_str]);
+        let (ok, text) = cqfd(&args);
+        assert!(ok, "certify {file}: {text}");
+        let (ok, text) = cqfd(&["check", &path_str]);
+        assert!(ok, "check {file}: {text}");
+        assert!(text.starts_with("OK:"), "{file}: {text}");
+    }
+}
+
+/// A tampered certificate is rejected with a nonzero exit: forging the
+/// pattern witness to point at the constant nodes invalidates the claim.
+#[test]
+fn check_rejects_a_mutated_certificate() {
+    let path = std::env::temp_dir().join("cqfd_cli_mutated.cert");
+    let path_str = path.to_str().unwrap().to_owned();
+    let (ok, _) = cqfd(&["certify", "separate", "--out", &path_str]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mutated: Vec<String> = text
+        .lines()
+        .map(|l| {
+            if l.starts_with("witness ") {
+                "witness v0=0 v1=0 v2=0".to_owned()
+            } else {
+                l.to_owned()
+            }
+        })
+        .collect();
+    assert_ne!(mutated.join("\n") + "\n", text, "a witness was forged");
+    std::fs::write(&path, mutated.join("\n") + "\n").unwrap();
+    let (ok, text) = cqfd(&["check", &path_str]);
+    assert!(!ok, "mutated certificate must be rejected, got: {text}");
+    assert!(
+        text.contains("REJECTED") || text.contains("error"),
+        "{text}"
+    );
+}

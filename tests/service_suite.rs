@@ -203,6 +203,9 @@ fn tcp_server_serves_concurrent_clients_then_shuts_down() {
                 let stream = TcpStream::connect(addr).expect("connect");
                 let mut reader = BufReader::new(stream.try_clone().unwrap());
                 let mut writer = stream;
+                let mut greeting = String::new();
+                reader.read_line(&mut greeting).unwrap();
+                assert_eq!(greeting.trim(), "cqfd-service v1");
                 let line = match i % 3 {
                     0 => "determine instance=path:2x2 stages=48",
                     1 => "determine instance=projection",
