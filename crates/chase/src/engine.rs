@@ -3,9 +3,10 @@
 use crate::tgd::Tgd;
 use cqfd_core::{
     find_homomorphism, for_each_homomorphism, for_each_homomorphism_limited,
-    for_each_homomorphism_per_atom_limits, hom_nodes_explored, CancelToken, Node, Structure, Term,
-    VarMap,
+    for_each_homomorphism_per_atom_limits, hom_nodes_explored, publish_hom_metrics, CancelToken,
+    Node, Structure, Term, VarMap,
 };
+use cqfd_obs::{span, Counter, Histogram, Stopwatch, Unit};
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
@@ -108,6 +109,79 @@ pub enum ChaseOutcome {
     /// The budget's cancellation token fired or its deadline passed
     /// ([`ChaseBudget::should_stop`]).
     Cancelled,
+}
+
+impl ChaseOutcome {
+    /// A stable lowercase name, used as the `outcome` metric label on
+    /// `cqfd_chase_runs_total`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaseOutcome::Fixpoint => "fixpoint",
+            ChaseOutcome::StageBudgetExhausted => "stage_budget",
+            ChaseOutcome::SizeBudgetExhausted => "size_budget",
+            ChaseOutcome::MonitorStopped => "monitor_stopped",
+            ChaseOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Pre-registered metric handles for one chase run. Registration (the
+/// only locking step) happens once per run; the chase loops then touch
+/// plain atomics at stage granularity, or per applied trigger — never per
+/// search node.
+struct ChaseMeters {
+    stage_seconds: Histogram,
+    run_seconds: Histogram,
+    /// `(triggers, firings)` per TGD, parallel to `ChaseEngine::tgds`.
+    per_rule: Vec<(Counter, Counter)>,
+}
+
+impl ChaseMeters {
+    fn new(tgds: &[Tgd]) -> Self {
+        let reg = cqfd_obs::global();
+        ChaseMeters {
+            stage_seconds: reg.histogram(
+                "cqfd_chase_stage_seconds",
+                "Wall time per chase stage.",
+                &[],
+                Unit::Seconds,
+            ),
+            run_seconds: reg.histogram(
+                "cqfd_chase_run_seconds",
+                "Wall time per chase run.",
+                &[],
+                Unit::Seconds,
+            ),
+            per_rule: tgds
+                .iter()
+                .map(|t| {
+                    (
+                        reg.counter(
+                            "cqfd_chase_triggers_total",
+                            "Distinct frontier tuples with a body match enumerated, per rule.",
+                            &[("rule", t.name())],
+                        ),
+                        reg.counter(
+                            "cqfd_chase_firings_total",
+                            "Triggers applied (head instantiated), per rule.",
+                            &[("rule", t.name())],
+                        ),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn finish_run(&self, clock: &Stopwatch, outcome: ChaseOutcome) {
+        self.run_seconds.observe(clock.elapsed_ns());
+        cqfd_obs::global()
+            .counter(
+                "cqfd_chase_runs_total",
+                "Completed chase runs, by stop reason.",
+                &[("outcome", outcome.name())],
+            )
+            .inc();
+    }
 }
 
 /// One applied trigger, recorded when the engine runs with
@@ -281,7 +355,13 @@ impl ChaseEngine {
         budget: &ChaseBudget,
         mut monitor: impl FnMut(&Structure, usize) -> bool,
     ) -> ChaseRun {
-        let started = Instant::now();
+        let clock = Stopwatch::start();
+        let _run_span = span!(
+            "chase.run",
+            tgds = self.tgds.len(),
+            start_atoms = start.atom_count()
+        );
+        let meters = ChaseMeters::new(&self.tgds);
         let hom_start = hom_nodes_explored();
         let mut d = start.clone();
         let mut run = ChaseRun {
@@ -296,8 +376,10 @@ impl ChaseEngine {
         };
         let finish = |mut run: ChaseRun, d: Structure| {
             run.structure = d;
-            run.elapsed = started.elapsed();
+            run.elapsed = clock.elapsed();
             run.hom_nodes = hom_nodes_explored() - hom_start;
+            meters.finish_run(&clock, run.outcome);
+            publish_hom_metrics();
             run
         };
         if monitor(&d, 0) {
@@ -312,8 +394,20 @@ impl ChaseEngine {
             }
             let frozen = d.atom_count() as u32;
             let stage = run.stages.len() + 1;
-            let (applications, early_stop) =
-                self.run_stage(&mut d, budget, prev_frozen, stage, &mut run.firings);
+            let (applications, early_stop) = {
+                let _stage_span = span!("chase.stage", stage = stage);
+                let stage_clock = Stopwatch::start();
+                let res = self.run_stage(
+                    &mut d,
+                    budget,
+                    prev_frozen,
+                    stage,
+                    &mut run.firings,
+                    &meters,
+                );
+                meters.stage_seconds.observe(stage_clock.elapsed_ns());
+                res
+            };
             prev_frozen = frozen;
             run.stages.push(StageInfo {
                 applications,
@@ -355,6 +449,7 @@ impl ChaseEngine {
         prev_frozen: u32,
         stage: usize,
         firings: &mut Vec<Firing>,
+        meters: &ChaseMeters,
     ) -> (usize, Option<ChaseOutcome>) {
         let frozen = d.atom_count() as u32;
         let mut applications = 0usize;
@@ -422,6 +517,7 @@ impl ChaseEngine {
                     }
                 }
             }
+            meters.per_rule[ti].0.add(frontiers.len() as u64);
             for (i, tuple) in frontiers.into_iter().enumerate() {
                 // Poll the cooperative stop hook every few hundred
                 // triggers: often enough to honour deadlines promptly,
@@ -451,6 +547,7 @@ impl ChaseEngine {
                     });
                 }
                 applications += 1;
+                meters.per_rule[ti].1.inc();
                 if d.atom_count() >= budget.max_atoms || d.node_count() as usize >= budget.max_nodes
                 {
                     return (applications, Some(ChaseOutcome::SizeBudgetExhausted));

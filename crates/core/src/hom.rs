@@ -31,6 +31,10 @@ pub type VarMap = HashMap<Var, Node>;
 thread_local! {
     /// Candidate-binding attempts made by the search on this thread.
     static HOM_NODES: Cell<u64> = const { Cell::new(0) };
+    /// Binding attempts not yet drained into the metrics registry.
+    static PENDING_NODES: Cell<u64> = const { Cell::new(0) };
+    /// Failed binding attempts (backtracks) not yet drained.
+    static PENDING_BACKTRACKS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The number of homomorphism-search nodes (candidate-binding attempts)
@@ -56,6 +60,37 @@ pub fn hom_nodes_explored() -> u64 {
 /// run) is in flight on the same thread.
 pub fn reset_hom_nodes_explored() {
     HOM_NODES.set(0);
+}
+
+/// Drains this thread's hom-search work since the last call into the
+/// global metrics registry (`cqfd_hom_search_nodes_total` and
+/// `cqfd_hom_search_backtracks_total`).
+///
+/// The hot path (`try_bind`) touches only thread-local `Cell`s; this
+/// flush is the single point where that work meets an atomic, so it
+/// belongs at coarse boundaries — the end of a chase run, of a service
+/// job, of a CLI command. Drain semantics (read-and-zero) make the flush
+/// idempotent-safe: calling it twice never double-counts, and work is
+/// attributed to whichever boundary drains first.
+pub fn publish_hom_metrics() {
+    let nodes = PENDING_NODES.replace(0);
+    let backtracks = PENDING_BACKTRACKS.replace(0);
+    if nodes == 0 && backtracks == 0 {
+        return;
+    }
+    let reg = cqfd_obs::global();
+    reg.counter(
+        "cqfd_hom_search_nodes_total",
+        "Homomorphism-search candidate-binding attempts explored.",
+        &[],
+    )
+    .add(nodes);
+    reg.counter(
+        "cqfd_hom_search_backtracks_total",
+        "Homomorphism-search binding attempts that failed (backtracks).",
+        &[],
+    )
+    .add(backtracks);
 }
 
 /// Enumerates homomorphisms from `pattern` into `target` extending `fixed`,
@@ -258,6 +293,21 @@ impl Search<'_> {
     ) -> bool {
         debug_assert_eq!(atom.pred, cand.pred);
         HOM_NODES.set(HOM_NODES.get() + 1);
+        PENDING_NODES.set(PENDING_NODES.get() + 1);
+        let ok = self.bind_args(atom, cand, assignment, bound_here);
+        if !ok {
+            PENDING_BACKTRACKS.set(PENDING_BACKTRACKS.get() + 1);
+        }
+        ok
+    }
+
+    fn bind_args(
+        &self,
+        atom: &Atom<Term>,
+        cand: &crate::atom::GroundAtom,
+        assignment: &mut VarMap,
+        bound_here: &mut Vec<Var>,
+    ) -> bool {
         for (t, &n) in atom.args.iter().zip(&cand.args) {
             match t {
                 Term::Const(c) => {
@@ -485,5 +535,42 @@ mod tests {
         let all = all_homomorphisms(&[], &d, &VarMap::new());
         assert_eq!(all.len(), 1);
         assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn publish_drains_pending_work_exactly_once() {
+        // The global registry is shared across parallel tests, so assert
+        // deltas on monotone counters, not absolute values.
+        let read = || {
+            let snap = cqfd_obs::global().snapshot();
+            let get = |name: &str| {
+                snap.family(name)
+                    .and_then(|f| f.get(&[]))
+                    .and_then(|v| v.as_counter())
+                    .unwrap_or(0)
+            };
+            (
+                get("cqfd_hom_search_nodes_total"),
+                get("cqfd_hom_search_backtracks_total"),
+            )
+        };
+        publish_hom_metrics(); // drain whatever this thread accumulated so far
+        let (nodes0, _bt0) = read();
+        let (d, _) = path_structure(3);
+        let pattern = vec![edge_atom(&d, 0, 1), edge_atom(&d, 1, 2)];
+        let local0 = hom_nodes_explored();
+        let n = all_homomorphisms(&pattern, &d, &VarMap::new()).len();
+        assert_eq!(n, 2);
+        let local_delta = hom_nodes_explored() - local0;
+        assert!(local_delta > 0);
+        publish_hom_metrics();
+        let (nodes1, _) = read();
+        // Other test threads may publish concurrently; ours alone
+        // guarantees at least `local_delta` new nodes.
+        assert!(nodes1 >= nodes0 + local_delta);
+        // A second publish with no new work adds nothing from this thread
+        // (can't assert global equality under contention, but the pending
+        // cells must be empty).
+        publish_hom_metrics();
     }
 }

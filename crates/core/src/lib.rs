@@ -65,8 +65,8 @@ pub use cq::{AnswerSet, Cq};
 pub use error::CoreError;
 pub use hom::{
     all_homomorphisms, find_homomorphism, for_each_homomorphism, for_each_homomorphism_limited,
-    for_each_homomorphism_per_atom_limits, hom_nodes_explored, reset_hom_nodes_explored,
-    structure_homomorphism, VarMap,
+    for_each_homomorphism_per_atom_limits, hom_nodes_explored, publish_hom_metrics,
+    reset_hom_nodes_explored, structure_homomorphism, VarMap,
 };
 pub use iso::isomorphic;
 pub use signature::{ConstId, PredId, Signature};

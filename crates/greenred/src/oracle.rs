@@ -18,6 +18,7 @@ use crate::tq::greenred_tgds;
 use cqfd_cert::{convert, Certificate};
 use cqfd_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseRun};
 use cqfd_core::{find_homomorphism, Cq, Node, Signature, VarMap};
+use cqfd_obs::span;
 use std::sync::Arc;
 
 /// Outcome of a determinacy oracle run.
@@ -51,6 +52,16 @@ impl Verdict {
     /// True if determinacy was certified.
     pub fn is_determined(&self) -> bool {
         matches!(self, Verdict::Determined { .. })
+    }
+
+    /// A stable lowercase name, used as the `verdict` metric label on
+    /// `cqfd_oracle_verdicts_total`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Determined { .. } => "determined",
+            Verdict::NotDeterminedUnrestricted { .. } => "not_determined",
+            Verdict::Unknown { .. } => "unknown",
+        }
     }
 }
 
@@ -128,11 +139,19 @@ impl DeterminacyOracle {
     /// A cancelled or budget-exhausted run yields [`Verdict::Unknown`]: by
     /// Theorem 1 nothing else can be concluded.
     pub fn certify_run(&self, views: &[Cq], q0: &Cq, budget: &ChaseBudget) -> CertifiedRun {
-        let tgds = greenred_tgds(&self.gr, views);
-        let engine = ChaseEngine::new(tgds).with_recording(true);
-        let (start, tuple) = self.green_canonical(q0);
-        let red_q0 = self.colored_query(Color::Red, q0);
-        let run = engine.chase_with_monitor(&start, budget, |d, _stage| red_q0.holds(d, &tuple));
+        let _oracle_span = span!("oracle.certify_run", q0 = &q0.name, views = views.len());
+        let (engine, start, tuple, red_q0) = {
+            let _build = span!("oracle.build");
+            let tgds = greenred_tgds(&self.gr, views);
+            let engine = ChaseEngine::new(tgds).with_recording(true);
+            let (start, tuple) = self.green_canonical(q0);
+            let red_q0 = self.colored_query(Color::Red, q0);
+            (engine, start, tuple, red_q0)
+        };
+        let run = {
+            let _chase = span!("oracle.chase", max_stages = budget.max_stages);
+            engine.chase_with_monitor(&start, budget, |d, _stage| red_q0.holds(d, &tuple))
+        };
         let verdict = match run.outcome {
             ChaseOutcome::MonitorStopped => {
                 // The monitor fired at the first stage where red(Q0) held.
@@ -157,6 +176,14 @@ impl DeterminacyOracle {
                 stages: run.stage_count(),
             },
         };
+        cqfd_obs::global()
+            .counter(
+                "cqfd_oracle_verdicts_total",
+                "Determinacy oracle runs, by verdict.",
+                &[("verdict", verdict.name())],
+            )
+            .inc();
+        let _emit = span!("oracle.emit_certificate", verdict = verdict.name());
         let fixed: VarMap = red_q0
             .head_vars
             .iter()

@@ -1,0 +1,453 @@
+//! The JSONL trace-line format: rendering and a round-trip parser.
+//!
+//! Every trace record becomes one JSON object on one line:
+//!
+//! ```json
+//! {"seq":17,"depth":1,"job":3,"type":"span_start","name":"chase.stage","fields":{"stage":2}}
+//! {"seq":21,"depth":1,"job":3,"type":"span_end","name":"chase.stage","elapsed_ns":48210,"fields":{}}
+//! ```
+//!
+//! Keys appear in a fixed order (`seq`, `depth`, `job?`, `type`, `name`,
+//! `elapsed_ns?`, `fields`) so rendered output is byte-deterministic for a
+//! given record. `job` is present only when the emitting thread was
+//! tagged; `elapsed_ns` only on `span_end`.
+//!
+//! The workspace has no serde (offline container), so this module carries
+//! its own small parser, restricted to exactly this shape. It exists so
+//! `trace=1` output can be consumed by tests and tooling, and so the
+//! format is pinned by a round-trip property rather than by accident.
+
+use crate::trace::{FieldValue, RecordKind, TraceRecord};
+
+/// Renders one record as a single JSON line (no trailing newline).
+pub fn render_record(rec: &TraceRecord<'_>) -> String {
+    let mut out = String::with_capacity(96);
+    render_record_into(&mut out, rec);
+    out
+}
+
+/// Renders one record into `out` (no trailing newline).
+pub fn render_record_into(out: &mut String, rec: &TraceRecord<'_>) {
+    out.push_str("{\"seq\":");
+    push_u64(out, rec.seq);
+    out.push_str(",\"depth\":");
+    push_u64(out, rec.depth as u64);
+    if let Some(job) = rec.job {
+        out.push_str(",\"job\":");
+        push_u64(out, job);
+    }
+    out.push_str(",\"type\":\"");
+    out.push_str(rec.kind.wire_name());
+    out.push_str("\",\"name\":");
+    push_json_string(out, rec.name);
+    if let Some(ns) = rec.elapsed_ns {
+        out.push_str(",\"elapsed_ns\":");
+        push_u64(out, ns);
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (key, val)) in rec.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, key);
+        out.push(':');
+        match val {
+            FieldValue::U64(v) => push_u64(out, *v),
+            FieldValue::I64(v) => out.push_str(&v.to_string()),
+            FieldValue::F64(v) => {
+                // Non-finite floats have no JSON representation; clamp.
+                if v.is_finite() {
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push('0');
+                }
+            }
+            FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            FieldValue::Str(s) => push_json_string(out, s),
+        }
+    }
+    out.push_str("}}");
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed, owned trace record (the borrowed [`TraceRecord`] with its
+/// strings materialised).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedRecord {
+    /// Sequence number.
+    pub seq: u64,
+    /// Span nesting depth at emission.
+    pub depth: u32,
+    /// Job tag, if the record carried one.
+    pub job: Option<u64>,
+    /// Start / end / event.
+    pub kind: RecordKind,
+    /// Span or event name.
+    pub name: String,
+    /// Wall time for span ends.
+    pub elapsed_ns: Option<u64>,
+    /// Attribute fields in rendered order.
+    pub fields: Vec<(String, OwnedValue)>,
+}
+
+impl OwnedRecord {
+    /// The field with the given name, if present.
+    pub fn field(&self, name: &str) -> Option<&OwnedValue> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// An owned field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+/// Parses one JSONL trace line.
+pub fn parse_record(line: &str) -> Result<OwnedRecord, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let rec = p.record()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(rec)
+}
+
+/// Parses a whole JSONL trace (one record per non-empty line).
+pub fn parse_lines(text: &str) -> Result<Vec<OwnedRecord>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, l)| parse_record(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn record(&mut self) -> Result<OwnedRecord, String> {
+        self.expect(b'{')?;
+        let mut seq = None;
+        let mut depth = None;
+        let mut job = None;
+        let mut kind = None;
+        let mut name = None;
+        let mut elapsed_ns = None;
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "seq" => seq = Some(self.u64()?),
+                "depth" => depth = Some(self.u64()? as u32),
+                "job" => job = Some(self.u64()?),
+                "elapsed_ns" => elapsed_ns = Some(self.u64()?),
+                "type" => {
+                    let t = self.string()?;
+                    kind = Some(match t.as_str() {
+                        "span_start" => RecordKind::SpanStart,
+                        "span_end" => RecordKind::SpanEnd,
+                        "event" => RecordKind::Event,
+                        other => return Err(format!("unknown record type `{other}`")),
+                    });
+                }
+                "name" => name = Some(self.string()?),
+                "fields" => fields = self.fields_object()?,
+                other => return Err(format!("unknown key `{other}`")),
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+        Ok(OwnedRecord {
+            seq: seq.ok_or("missing `seq`")?,
+            depth: depth.ok_or("missing `depth`")?,
+            job,
+            kind: kind.ok_or("missing `type`")?,
+            name: name.ok_or("missing `name`")?,
+            elapsed_ns,
+            fields,
+        })
+    }
+
+    fn fields_object(&mut self) -> Result<Vec<(String, OwnedValue)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(out);
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<OwnedValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(OwnedValue::Str(self.string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(OwnedValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(OwnedValue::Bool(false))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected value at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<OwnedValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        if float {
+            text.parse::<f64>()
+                .map(OwnedValue::F64)
+                .map_err(|e| format!("bad float `{text}`: {e}"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(OwnedValue::I64)
+                .map_err(|e| format!("bad integer `{text}`: {e}"))
+        } else {
+            text.parse::<u64>()
+                .map(OwnedValue::U64)
+                .map_err(|e| format!("bad integer `{text}`: {e}"))
+        }
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        match self.number()? {
+            OwnedValue::U64(v) => Ok(v),
+            other => Err(format!("expected unsigned integer, got {other:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = self
+                .next_char()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self
+                        .next_char()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let h = self
+                                    .next_char()
+                                    .and_then(|c| c.to_digit(16))
+                                    .ok_or_else(|| "bad \\u escape".to_string())?;
+                                code = code * 16 + h;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "bad \\u code point".to_string())?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{other}`")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn next_char(&mut self) -> Option<char> {
+        let rest = std::str::from_utf8(&self.bytes[self.pos..]).ok()?;
+        let c = rest.chars().next()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let fields = [
+            ("rule", FieldValue::Str("r_creep \"quoted\"\nline")),
+            ("stage", FieldValue::U64(7)),
+            ("delta", FieldValue::I64(-3)),
+            ("ratio", FieldValue::F64(0.25)),
+            ("hit", FieldValue::Bool(true)),
+        ];
+        let rec = TraceRecord {
+            seq: 99,
+            depth: 2,
+            job: Some(5),
+            kind: RecordKind::SpanStart,
+            name: "chase.stage",
+            elapsed_ns: None,
+            fields: &fields,
+        };
+        let line = render_record(&rec);
+        let parsed = parse_record(&line).expect("parses");
+        assert_eq!(parsed.seq, 99);
+        assert_eq!(parsed.depth, 2);
+        assert_eq!(parsed.job, Some(5));
+        assert_eq!(parsed.kind, RecordKind::SpanStart);
+        assert_eq!(parsed.name, "chase.stage");
+        assert_eq!(parsed.elapsed_ns, None);
+        assert_eq!(
+            parsed.field("rule"),
+            Some(&OwnedValue::Str("r_creep \"quoted\"\nline".to_string()))
+        );
+        assert_eq!(parsed.field("stage"), Some(&OwnedValue::U64(7)));
+        assert_eq!(parsed.field("delta"), Some(&OwnedValue::I64(-3)));
+        assert_eq!(parsed.field("ratio"), Some(&OwnedValue::F64(0.25)));
+        assert_eq!(parsed.field("hit"), Some(&OwnedValue::Bool(true)));
+        // Rendering the parse of a render is a fixed point.
+        assert_eq!(parse_record(&line).unwrap(), parsed);
+    }
+
+    #[test]
+    fn span_end_carries_elapsed() {
+        let rec = TraceRecord {
+            seq: 1,
+            depth: 0,
+            job: None,
+            kind: RecordKind::SpanEnd,
+            name: "x",
+            elapsed_ns: Some(12345),
+            fields: &[],
+        };
+        let parsed = parse_record(&render_record(&rec)).unwrap();
+        assert_eq!(parsed.elapsed_ns, Some(12345));
+        assert_eq!(parsed.job, None);
+        assert!(parsed.fields.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_record("{").is_err());
+        assert!(parse_record("{\"seq\":1}").is_err(), "missing keys");
+        assert!(parse_record(
+            "{\"seq\":1,\"depth\":0,\"type\":\"nope\",\"name\":\"x\",\"fields\":{}}"
+        )
+        .is_err());
+        assert!(parse_lines("not json\n").is_err());
+    }
+}

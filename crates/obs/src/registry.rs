@@ -1,0 +1,494 @@
+//! The metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! Registration is the only synchronised step (one short `RwLock` write to
+//! find-or-create the series); the returned handles are `Arc`s over plain
+//! atomics, so the hot path — a pool worker bumping a counter, the chase
+//! observing a stage latency — is a relaxed atomic op with no lock and no
+//! allocation. Handles are cheap to clone and safe to share across
+//! threads; totals are exact under any interleaving because every update
+//! is a single atomic RMW.
+//!
+//! Histograms are **log-scale**: observation `v` lands in bucket
+//! `⌊log₂ v⌋`, covering the full `u64` range in 64 counters. That is
+//! coarse (one bucket per octave) but cheap, bounded, and plenty to tell
+//! p50 from p95 from p99 on latency distributions that span orders of
+//! magnitude — which chase stages and hom searches do.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Number of log₂ buckets in a histogram (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// What kind of metric a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing `u64`.
+    Counter,
+    /// Arbitrary signed level.
+    Gauge,
+    /// Log-scale distribution of `u64` observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` word.
+    pub fn prom_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// The unit of a histogram's raw `u64` observations, used by the
+/// Prometheus renderer to expose conventional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Unit {
+    /// Raw dimensionless values (counts, sizes).
+    #[default]
+    None,
+    /// Observations are **nanoseconds**; exposition divides by 1e9 so the
+    /// family reads in seconds, per Prometheus convention.
+    Seconds,
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket an observation falls into: `⌊log₂ max(v,1)⌋`.
+fn bucket_index(v: u64) -> usize {
+    (63 - v.max(1).leading_zeros()) as usize
+}
+
+/// Handle to a monotone counter. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a gauge (a signed level). Cloning shares the cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds (possibly negative) `d`.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a log-scale histogram. Cloning shares the cells.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (pair with [`Unit::Seconds`]).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+type Labels = Vec<(String, String)>;
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    unit: Unit,
+    /// Sorted by label set, so snapshots (and exposition) are
+    /// deterministic.
+    series: Vec<(Labels, Cell)>,
+}
+
+/// A lock-cheap metrics registry. See the [module docs](self).
+#[derive(Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    /// An empty registry. Most code uses [`crate::global`] instead;
+    /// private registries are for tests and embedding.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or re-fetches) a counter series.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.cell(name, help, labels, MetricKind::Counter, Unit::None) {
+            Cell::Counter(c) => Counter(c),
+            _ => unreachable!("kind checked in cell()"),
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge series.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.cell(name, help, labels, MetricKind::Gauge, Unit::None) {
+            Cell::Gauge(g) => Gauge(g),
+            _ => unreachable!("kind checked in cell()"),
+        }
+    }
+
+    /// Registers (or re-fetches) a histogram series.
+    ///
+    /// # Panics
+    /// If `name` is already registered with a different metric kind.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Histogram {
+        match self.cell(name, help, labels, MetricKind::Histogram, unit) {
+            Cell::Histogram(h) => Histogram(h),
+            _ => unreachable!("kind checked in cell()"),
+        }
+    }
+
+    fn cell(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        unit: Unit,
+    ) -> Cell {
+        let mut key: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        let mut fams = self.families.write().expect("registry lock");
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            unit,
+            series: Vec::new(),
+        });
+        assert_eq!(
+            fam.kind, kind,
+            "metric family `{name}` registered with two kinds"
+        );
+        let idx = match fam.series.binary_search_by(|(l, _)| l.cmp(&key)) {
+            Ok(i) => i,
+            Err(i) => {
+                let cell = match kind {
+                    MetricKind::Counter => Cell::Counter(Arc::new(AtomicU64::new(0))),
+                    MetricKind::Gauge => Cell::Gauge(Arc::new(AtomicI64::new(0))),
+                    MetricKind::Histogram => Cell::Histogram(Arc::new(HistogramCore::new())),
+                };
+                fam.series.insert(i, (key, cell));
+                i
+            }
+        };
+        match &fam.series[idx].1 {
+            Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+            Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+            Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// A point-in-time reading of every series.
+    ///
+    /// Counters and histogram buckets are each read atomically, so any
+    /// value observed in one snapshot is a lower bound in every later
+    /// snapshot — snapshots of monotone metrics are monotone even while
+    /// writers race.
+    pub fn snapshot(&self) -> Snapshot {
+        let fams = self.families.read().expect("registry lock");
+        let families = fams
+            .iter()
+            .map(|(name, fam)| FamilySnapshot {
+                name: name.clone(),
+                help: fam.help.clone(),
+                kind: fam.kind,
+                series: fam
+                    .series
+                    .iter()
+                    .map(|(labels, cell)| {
+                        let value = match cell {
+                            Cell::Counter(c) => Value::Counter(c.load(Ordering::Relaxed)),
+                            Cell::Gauge(g) => Value::Gauge(g.load(Ordering::Relaxed)),
+                            Cell::Histogram(h) => Value::Histogram(HistogramSnapshot {
+                                buckets: h
+                                    .buckets
+                                    .iter()
+                                    .map(|b| b.load(Ordering::Relaxed))
+                                    .collect(),
+                                sum: h.sum.load(Ordering::Relaxed),
+                                unit: fam.unit,
+                            }),
+                        };
+                        (labels.clone(), value)
+                    })
+                    .collect(),
+            })
+            .collect();
+        Snapshot { families }
+    }
+}
+
+/// A frozen reading of a whole registry.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// One entry per family, sorted by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+impl Snapshot {
+    /// The family with the given name, if present.
+    pub fn family(&self, name: &str) -> Option<&FamilySnapshot> {
+        self.families.iter().find(|f| f.name == name)
+    }
+}
+
+/// A frozen reading of one metric family.
+#[derive(Debug, Clone)]
+pub struct FamilySnapshot {
+    /// Family name (e.g. `cqfd_chase_firings_total`).
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// `(sorted labels, value)` per series, sorted by labels.
+    pub series: Vec<(Vec<(String, String)>, Value)>,
+}
+
+impl FamilySnapshot {
+    /// The value of the series with exactly these labels (order-free).
+    pub fn get(&self, labels: &[(&str, &str)]) -> Option<&Value> {
+        let mut key: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        key.sort();
+        self.series.iter().find(|(l, _)| *l == key).map(|(_, v)| v)
+    }
+}
+
+/// One series' frozen value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram buckets/sum.
+    Histogram(HistogramSnapshot),
+}
+
+impl Value {
+    /// The counter total, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            Value::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge level, if this is a gauge.
+    pub fn as_gauge(&self) -> Option<i64> {
+        match self {
+            Value::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram reading, if this is a histogram.
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            Value::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A frozen histogram reading.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; bucket `i` holds observations in
+    /// `[2^i, 2^{i+1})` (bucket 0 also holds zeros).
+    pub buckets: Vec<u64>,
+    /// Sum of raw observations.
+    pub sum: u64,
+    /// The unit the raw values are in.
+    pub unit: Unit,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as a representative raw value: the
+    /// geometric midpoint of the bucket where the cumulative count crosses
+    /// `q·count`. Resolution is one octave — enough to rank p50/p95/p99 on
+    /// wide latency distributions. Returns 0.0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Geometric midpoint of [2^i, 2^{i+1}).
+                return (2f64).powi(i as i32) * std::f64::consts::SQRT_2;
+            }
+        }
+        (2f64).powi((BUCKETS - 1) as i32)
+    }
+
+    /// [`Self::quantile`] converted to the family's unit (seconds for
+    /// [`Unit::Seconds`], raw otherwise).
+    pub fn quantile_in_unit(&self, q: f64) -> f64 {
+        let v = self.quantile(q);
+        match self.unit {
+            Unit::None => v,
+            Unit::Seconds => v / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_update_and_read_back() {
+        let reg = Registry::new();
+        let c = reg.counter("t_total", "h", &[("k", "a")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registering the same series shares the cell.
+        let c2 = reg.counter("t_total", "h", &[("k", "a")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+        // A different label set is a different series.
+        let c3 = reg.counter("t_total", "h", &[("k", "b")]);
+        assert_eq!(c3.get(), 0);
+
+        let g = reg.gauge("t_gauge", "h", &[]);
+        g.set(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("t_seconds", "h", &[], Unit::Seconds);
+        // 90 fast observations (~1µs), 10 slow (~1ms): p50 in the fast
+        // octave, p99 in the slow one.
+        for _ in 0..90 {
+            h.observe(1_000);
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        let snap = reg.snapshot();
+        let hs = snap.family("t_seconds").unwrap().series[0]
+            .1
+            .as_histogram()
+            .unwrap()
+            .clone();
+        assert_eq!(hs.count(), 100);
+        assert_eq!(hs.sum, 90 * 1_000 + 10 * 1_000_000);
+        let p50 = hs.quantile(0.50);
+        let p99 = hs.quantile(0.99);
+        assert!(p50 < 2_048.0, "p50 {p50} in the fast octave");
+        assert!(p99 > 500_000.0, "p99 {p99} in the slow octave");
+        assert!(hs.quantile_in_unit(0.99) < 1.0, "seconds conversion");
+    }
+
+    #[test]
+    fn zero_observation_lands_in_bucket_zero() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "two kinds")]
+    fn kind_conflicts_panic() {
+        let reg = Registry::new();
+        let _c = reg.counter("same_name", "h", &[]);
+        let _g = reg.gauge("same_name", "h", &[]);
+    }
+}

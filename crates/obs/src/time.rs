@@ -1,0 +1,57 @@
+//! [`Stopwatch`]: the one wall-clock measurement primitive.
+//!
+//! Before this crate, `Instant::now()` pairs were scattered across the
+//! chase engine, the service executor, and two CLI subcommands, each with
+//! slightly different start/stop points. Every `elapsed` figure the
+//! workspace reports now comes from a `Stopwatch` started at the same
+//! boundary the corresponding span opens at, so batch and serve paths
+//! report identical timing semantics.
+
+use std::time::{Duration, Instant};
+
+/// A started wall clock. Construct with [`Stopwatch::start`], read with
+/// [`Stopwatch::elapsed`] as many times as needed.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the clock now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall time since [`start`](Stopwatch::start). Monotone across calls.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in whole nanoseconds, saturating at `u64::MAX`
+    /// (the raw unit histograms record).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_ns() >= b.as_nanos() as u64 || sw.elapsed_ns() > 0 || b.is_zero());
+    }
+}

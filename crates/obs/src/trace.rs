@@ -1,0 +1,427 @@
+//! Span/event tracing: [`span!`](crate::span), [`event!`](crate::event),
+//! subscribers, and per-job capture.
+//!
+//! The facade is built around one invariant: **when nothing is listening,
+//! instrumentation costs one relaxed atomic load and allocates nothing.**
+//! "Listening" means a global [`Subscriber`] is installed and/or the
+//! current thread has an active capture; a single process-wide sink count
+//! ([`enabled`]) gates both. The `span!`/`event!` macros check it *before*
+//! evaluating their field expressions, so a disabled
+//! `span!("chase.stage", stage = expensive())` never calls `expensive()`.
+//!
+//! Records are delivered synchronously and borrowed ([`TraceRecord`]
+//! holds `&str`s and a field slice on the caller's stack) — no queue, no
+//! boxing. Two sinks exist:
+//!
+//! * the global subscriber (e.g. [`JsonlWriter`] streaming to a file, or
+//!   [`RegistryAggregator`] folding span latencies into a registry);
+//! * a **thread-local capture** ([`capture_begin`]/[`capture_end`]) that
+//!   renders records to JSONL in a per-thread buffer. `cqfd-service` runs
+//!   each job entirely on one pool worker, so wrapping a job's execution
+//!   in a capture yields exactly that job's trace — this is what the wire
+//!   protocol's `trace=1` returns.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Number of active sinks (global subscriber + per-thread captures).
+/// Zero means tracing is off and the macros do nothing.
+static SINKS: AtomicUsize = AtomicUsize::new(0);
+
+/// Global record sequence — unique, monotone across the process.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+thread_local! {
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// The job id records on this thread are tagged with, if any.
+    static CURRENT_JOB: Cell<Option<u64>> = const { Cell::new(None) };
+    /// Active per-thread JSONL capture buffer.
+    static CAPTURE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// True when at least one sink is listening. One relaxed load — this is
+/// the *entire* cost of a disabled `span!`/`event!` site.
+#[inline]
+pub fn enabled() -> bool {
+    SINKS.load(Ordering::Relaxed) > 0
+}
+
+/// Installs (or replaces) the global subscriber.
+pub fn set_subscriber(sub: Arc<dyn Subscriber>) {
+    let mut guard = SUBSCRIBER.write().expect("subscriber lock");
+    if guard.is_none() {
+        SINKS.fetch_add(1, Ordering::SeqCst);
+    }
+    *guard = Some(sub);
+}
+
+/// Removes the global subscriber, returning tracing to its free state
+/// (unless thread-local captures are active elsewhere).
+pub fn clear_subscriber() {
+    let mut guard = SUBSCRIBER.write().expect("subscriber lock");
+    if guard.take().is_some() {
+        SINKS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Tags subsequent records on this thread with a job id (wire `job=`).
+/// Pass `None` to untag. Returns the previous tag.
+pub fn set_current_job(job: Option<u64>) -> Option<u64> {
+    CURRENT_JOB.with(|c| c.replace(job))
+}
+
+/// The job id records on this thread are currently tagged with.
+pub fn current_job() -> Option<u64> {
+    CURRENT_JOB.with(|c| c.get())
+}
+
+/// Starts capturing this thread's records as JSONL, tagged with `job`.
+/// Nested captures are not supported: a second `capture_begin` before
+/// [`capture_end`] resets the buffer.
+pub fn capture_begin(job: u64) {
+    set_current_job(Some(job));
+    CAPTURE.with(|c| {
+        let mut buf = c.borrow_mut();
+        if buf.is_none() {
+            SINKS.fetch_add(1, Ordering::SeqCst);
+        }
+        *buf = Some(String::new());
+    });
+}
+
+/// Stops the capture started by [`capture_begin`] and returns the JSONL
+/// text (one record per line, possibly empty). Returns an empty string
+/// if no capture was active.
+pub fn capture_end() -> String {
+    set_current_job(None);
+    CAPTURE.with(|c| {
+        let taken = c.borrow_mut().take();
+        match taken {
+            Some(buf) => {
+                SINKS.fetch_sub(1, Ordering::SeqCst);
+                buf
+            }
+            None => String::new(),
+        }
+    })
+}
+
+/// What a [`TraceRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span was entered; `fields` carry its attributes.
+    SpanStart,
+    /// A span was exited; `elapsed_ns` carries its wall time.
+    SpanEnd,
+    /// A point-in-time event.
+    Event,
+}
+
+impl RecordKind {
+    /// Wire name used in the JSONL `"type"` field.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd => "span_end",
+            RecordKind::Event => "event",
+        }
+    }
+}
+
+/// A field value, borrowed from the instrumentation site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Borrowed string.
+    Str(&'a str),
+}
+
+impl From<u64> for FieldValue<'_> {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue<'_> {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue<'_> {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue<'_> {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<i32> for FieldValue<'_> {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(v as i64)
+    }
+}
+impl From<f64> for FieldValue<'_> {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue<'_> {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl<'a> From<&'a str> for FieldValue<'a> {
+    fn from(v: &'a str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl<'a> From<&'a String> for FieldValue<'a> {
+    fn from(v: &'a String) -> Self {
+        FieldValue::Str(v.as_str())
+    }
+}
+
+/// One trace record, borrowed from the emitting site and delivered
+/// synchronously to sinks.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord<'a> {
+    /// Process-unique, monotone sequence number.
+    pub seq: u64,
+    /// Span nesting depth on the emitting thread at emission time.
+    pub depth: u32,
+    /// Job id the emitting thread is tagged with, if any.
+    pub job: Option<u64>,
+    /// Start / end / event.
+    pub kind: RecordKind,
+    /// Span or event name (e.g. `chase.stage`).
+    pub name: &'a str,
+    /// Wall time for [`RecordKind::SpanEnd`], else `None`.
+    pub elapsed_ns: Option<u64>,
+    /// Attribute fields (names are the macro's identifiers).
+    pub fields: &'a [(&'a str, FieldValue<'a>)],
+}
+
+/// A sink for trace records. Implementations must be cheap enough to run
+/// inline on the instrumented thread.
+pub trait Subscriber: Send + Sync {
+    /// Receives one record, synchronously.
+    fn record(&self, rec: &TraceRecord<'_>);
+}
+
+fn emit(kind: RecordKind, name: &str, elapsed_ns: Option<u64>, fields: &[(&str, FieldValue<'_>)]) {
+    let rec = TraceRecord {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        depth: DEPTH.with(|d| d.get()),
+        job: current_job(),
+        kind,
+        name,
+        elapsed_ns,
+        fields,
+    };
+    CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            crate::jsonl::render_record_into(buf, &rec);
+            buf.push('\n');
+        }
+    });
+    let sub = SUBSCRIBER.read().expect("subscriber lock").clone();
+    if let Some(sub) = sub {
+        sub.record(&rec);
+    }
+}
+
+/// Emits an [`RecordKind::Event`] record. Called by the `event!` macro
+/// after its `enabled()` check; prefer the macro.
+pub fn emit_event(name: &str, fields: &[(&str, FieldValue<'_>)]) {
+    emit(RecordKind::Event, name, None, fields);
+}
+
+/// A RAII span guard returned by the `span!` macro. Emits `span_end`
+/// (with wall time) when dropped. A disabled guard is inert.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Enters a span: emits `span_start` with `fields` and increments the
+    /// thread depth. Called by `span!` after its `enabled()` check.
+    pub fn enter(name: &'static str, fields: &[(&str, FieldValue<'_>)]) -> Span {
+        emit(RecordKind::SpanStart, name, None, fields);
+        DEPTH.with(|d| d.set(d.get() + 1));
+        Span {
+            inner: Some(SpanInner {
+                name,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// The inert guard `span!` returns when tracing is off.
+    pub fn disabled() -> Span {
+        Span { inner: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let elapsed = inner.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            emit(RecordKind::SpanEnd, inner.name, Some(elapsed), &[]);
+        }
+    }
+}
+
+/// Opens a span guard; the span closes (emitting its wall time) when the
+/// guard drops. Field expressions are **not evaluated** when tracing is
+/// disabled.
+///
+/// ```
+/// # use cqfd_obs::span;
+/// let _g = span!("chase.stage", stage = 3usize, rule = "r_creep");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::Span::enter(
+                $name,
+                &[$((stringify!($key), $crate::trace::FieldValue::from($val))),*],
+            )
+        } else {
+            $crate::trace::Span::disabled()
+        }
+    };
+}
+
+/// Emits a point-in-time event. Field expressions are **not evaluated**
+/// when tracing is disabled.
+///
+/// ```
+/// # use cqfd_obs::event;
+/// event!("oracle.verdict", verdict = "determined");
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::emit_event(
+                $name,
+                &[$((stringify!($key), $crate::trace::FieldValue::from($val))),*],
+            );
+        }
+    };
+}
+
+/// A subscriber that streams records as JSONL to any writer (a trace
+/// file, a pipe, a test buffer).
+pub struct JsonlWriter<W: std::io::Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: std::io::Write + Send> JsonlWriter<W> {
+    /// Wraps `out`; each record becomes one line.
+    pub fn new(out: W) -> Self {
+        JsonlWriter {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: std::io::Write + Send> Subscriber for JsonlWriter<W> {
+    fn record(&self, rec: &TraceRecord<'_>) {
+        let line = crate::jsonl::render_record(rec);
+        let mut out = self.out.lock().expect("jsonl writer lock");
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// A subscriber that folds span wall times into a registry: every
+/// `span_end` lands in the histogram `cqfd_span_seconds{name=...}`.
+/// Gives p50/p95/p99 per span name without any trace file.
+pub struct RegistryAggregator {
+    registry: &'static crate::Registry,
+}
+
+impl RegistryAggregator {
+    /// Aggregates into `registry` (usually [`crate::global`]).
+    pub fn new(registry: &'static crate::Registry) -> Self {
+        RegistryAggregator { registry }
+    }
+}
+
+impl Subscriber for RegistryAggregator {
+    fn record(&self, rec: &TraceRecord<'_>) {
+        if let (RecordKind::SpanEnd, Some(ns)) = (rec.kind, rec.elapsed_ns) {
+            self.registry
+                .histogram(
+                    "cqfd_span_seconds",
+                    "Wall time of traced spans, by span name.",
+                    &[("name", rec.name)],
+                    crate::Unit::Seconds,
+                )
+                .observe(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_macros_do_not_evaluate_fields() {
+        // No subscriber, no capture on this thread → fields must not run.
+        // (Another test's capture runs on its own thread and cannot flip
+        // this thread's CAPTURE; a concurrently-installed global
+        // subscriber could, so this test owns no global state.)
+        fn boom() -> u64 {
+            panic!("field evaluated while disabled")
+        }
+        if !enabled() {
+            let _g = span!("test.disabled", v = boom());
+            event!("test.disabled_event", v = boom());
+        }
+    }
+
+    #[test]
+    fn capture_collects_this_threads_records() {
+        capture_begin(42);
+        {
+            let _g = span!("test.outer", items = 3usize);
+            event!("test.mark", ok = true, label = "mid");
+        }
+        let text = capture_end();
+        let recs = crate::jsonl::parse_lines(&text).expect("captured lines parse");
+        assert_eq!(recs.len(), 3, "start, event, end: {text}");
+        assert!(recs.iter().all(|r| r.job == Some(42)));
+        assert_eq!(recs[0].kind, RecordKind::SpanStart);
+        assert_eq!(recs[1].kind, RecordKind::Event);
+        assert_eq!(recs[1].depth, 1, "event sits inside the span");
+        assert_eq!(recs[2].kind, RecordKind::SpanEnd);
+        assert!(recs[2].elapsed_ns.is_some());
+        assert!(recs[0].seq < recs[1].seq && recs[1].seq < recs[2].seq);
+        // After capture_end the thread is untagged and (absent a global
+        // subscriber) tracing is free again.
+        assert_eq!(current_job(), None);
+    }
+}

@@ -6,11 +6,13 @@ use crate::outcome::{JobMetrics, JobOutcome, JobResult};
 use cqfd_cert::{convert, Certificate};
 use cqfd_chase::{ChaseBudget, ChaseOutcome, ChaseRun};
 use cqfd_core::{
-    find_homomorphism, hom_nodes_explored, reset_hom_nodes_explored, CancelToken, VarMap,
+    find_homomorphism, hom_nodes_explored, publish_hom_metrics, reset_hom_nodes_explored,
+    CancelToken, VarMap,
 };
 use cqfd_greenred::{
     cq_rewriting, greenred_tgds, search_counterexample, Color, DeterminacyOracle, Verdict,
 };
+use cqfd_obs::{span, Stopwatch, Unit};
 use cqfd_rainworm::config::Config;
 use cqfd_rainworm::run::step;
 use std::sync::Arc;
@@ -28,26 +30,69 @@ use std::time::Instant;
 /// robust to worker reuse (a before/after delta would be too, but a reset
 /// also keeps the counter from growing without bound over a pool's life).
 pub fn execute(id: u64, job: &Job, cancel: &CancelToken) -> JobResult {
-    let started = Instant::now();
+    let clock = Stopwatch::start();
+    let tracing = job.budget().is_some_and(|b| b.emit_trace);
+    if tracing {
+        // The whole job runs on this thread, so a thread-local capture
+        // collects exactly this job's spans/events, tagged with its id.
+        cqfd_obs::trace::capture_begin(id);
+    } else {
+        // Tag records for any globally-installed subscriber too.
+        cqfd_obs::trace::set_current_job(Some(id));
+    }
     reset_hom_nodes_explored();
     let mut metrics = JobMetrics::default();
     let mut certificate = None;
-    let outcome = if cancel.is_cancelled() {
-        JobOutcome::BudgetExceeded {
-            detail: "cancelled".into(),
+    let outcome = {
+        let _job_span = span!("job.execute", kind = job.kind());
+        if cancel.is_cancelled() {
+            JobOutcome::BudgetExceeded {
+                detail: "cancelled".into(),
+            }
+        } else {
+            run_job(job, cancel, &mut metrics, &mut certificate)
         }
-    } else {
-        run_job(job, cancel, &mut metrics, &mut certificate)
     };
     metrics.homs = hom_nodes_explored();
-    metrics.elapsed = started.elapsed();
+    metrics.elapsed = clock.elapsed();
+    // Hom work done outside any chase run (rewriting search, witness
+    // checks) is still pending on this thread; drain it now.
+    publish_hom_metrics();
+    let trace = if tracing {
+        Some(cqfd_obs::trace::capture_end())
+    } else {
+        cqfd_obs::trace::set_current_job(None);
+        None
+    };
+    record_job_metrics(job.kind(), outcome.verdict(), &clock);
     JobResult {
         id,
         kind: job.kind(),
         outcome,
         metrics,
         certificate,
+        trace,
     }
+}
+
+/// Publishes per-job counters and latency into the global registry. Job
+/// id is deliberately **not** a metric label (unbounded cardinality);
+/// per-job attribution lives in the trace lines instead.
+fn record_job_metrics(kind: &'static str, verdict: &'static str, clock: &Stopwatch) {
+    let reg = cqfd_obs::global();
+    reg.counter(
+        "cqfd_pool_jobs_total",
+        "Jobs executed, by kind and verdict.",
+        &[("kind", kind), ("verdict", verdict)],
+    )
+    .inc();
+    reg.histogram(
+        "cqfd_pool_job_seconds",
+        "Job execution wall time (excludes queueing), by kind.",
+        &[("kind", kind)],
+        Unit::Seconds,
+    )
+    .observe(clock.elapsed_ns());
 }
 
 /// Builds the chase budget for a job: declared limits plus the pool's

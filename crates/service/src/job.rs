@@ -27,6 +27,11 @@ pub struct JobBudget {
     /// `counterexample`). Off by default: certificates cost an extra
     /// encode pass and can dwarf the one-line result.
     pub emit_certificate: bool,
+    /// Attach a JSONL span/event trace of the job's execution to the
+    /// result (wire `trace=1`, answered with `trace_lines=`). Off by
+    /// default: a trace turns on the `cqfd-obs` capture sink for the
+    /// worker thread, which makes every span/event site pay for rendering.
+    pub emit_trace: bool,
 }
 
 impl Default for JobBudget {
@@ -37,6 +42,7 @@ impl Default for JobBudget {
             max_steps: 100_000,
             timeout: None,
             emit_certificate: false,
+            emit_trace: false,
         }
     }
 }
@@ -69,6 +75,12 @@ impl JobBudget {
     /// Requests a certificate payload on the result.
     pub fn with_certificate(mut self, emit: bool) -> Self {
         self.emit_certificate = emit;
+        self
+    }
+
+    /// Requests a JSONL execution trace on the result.
+    pub fn with_trace(mut self, emit: bool) -> Self {
+        self.emit_trace = emit;
         self
     }
 }

@@ -147,26 +147,34 @@ pub struct JobResult {
     /// and the kind supports one. Multi-line; excluded from `Display` —
     /// see [`JobResult::render_protocol`].
     pub certificate: Option<String>,
+    /// A JSONL `cqfd-obs` trace of the execution, when the job was
+    /// submitted with [`JobBudget::emit_trace`](crate::JobBudget::emit_trace)
+    /// (wire `trace=1`). Multi-line; excluded from `Display` — see
+    /// [`JobResult::render_protocol`].
+    pub trace: Option<String>,
 }
 
 impl JobResult {
     /// The wire rendering: the one-line `Display` result, plus — when a
-    /// certificate is attached — a ` cert_lines=<n>` marker on that line
-    /// followed by the `n` raw certificate lines. Readers that ignore the
-    /// marker still parse the result line unchanged.
+    /// certificate and/or trace is attached — ` cert_lines=<n>` /
+    /// ` trace_lines=<n>` markers on that line followed by the raw payload
+    /// lines (certificate first, then trace). Readers that ignore the
+    /// markers still parse the result line unchanged.
     pub fn render_protocol(&self) -> String {
-        match &self.certificate {
-            None => self.to_string(),
-            Some(cert) => {
-                let mut out = self.to_string();
-                out.push_str(&format!(" cert_lines={}", cert.lines().count()));
-                for line in cert.lines() {
-                    out.push('\n');
-                    out.push_str(line);
-                }
-                out
+        let mut out = self.to_string();
+        if let Some(cert) = &self.certificate {
+            out.push_str(&format!(" cert_lines={}", cert.lines().count()));
+        }
+        if let Some(trace) = &self.trace {
+            out.push_str(&format!(" trace_lines={}", trace.lines().count()));
+        }
+        for payload in [&self.certificate, &self.trace].into_iter().flatten() {
+            for line in payload.lines() {
+                out.push('\n');
+                out.push_str(line);
             }
         }
+        out
     }
 }
 
@@ -239,6 +247,7 @@ mod tests {
                 elapsed: Duration::from_micros(1500),
             },
             certificate: None,
+            trace: None,
         };
         let line = r.to_string();
         assert!(!line.contains('\n'));
@@ -257,6 +266,7 @@ mod tests {
             outcome: JobOutcome::Halted { steps: 5 },
             metrics: JobMetrics::default(),
             certificate: Some("cqfd-cert v1 creep-trace\nhalted true\nend\n".into()),
+            trace: None,
         };
         assert!(!r.to_string().contains('\n'), "Display stays one line");
         let wire = r.render_protocol();
@@ -265,6 +275,41 @@ mod tests {
         assert!(head.contains(" cert_lines=3"), "{head}");
         assert_eq!(lines.next(), Some("cqfd-cert v1 creep-trace"));
         assert_eq!(lines.clone().count(), 2);
+    }
+
+    #[test]
+    fn trace_payload_renders_after_certificate() {
+        let r = JobResult {
+            id: 2,
+            kind: "determine",
+            outcome: JobOutcome::Determined { stage: 1 },
+            metrics: JobMetrics::default(),
+            certificate: Some("cqfd-cert v1 chase-trace\nend\n".into()),
+            trace: Some("{\"seq\":0}\n{\"seq\":1}\n".into()),
+        };
+        let wire = r.render_protocol();
+        let mut lines = wire.lines();
+        let head = lines.next().unwrap();
+        assert!(head.contains(" cert_lines=2 trace_lines=2"), "{head}");
+        let rest: Vec<&str> = lines.collect();
+        assert_eq!(
+            rest,
+            vec![
+                "cqfd-cert v1 chase-trace",
+                "end",
+                "{\"seq\":0}",
+                "{\"seq\":1}"
+            ],
+            "certificate lines first, then trace lines"
+        );
+        // Trace alone works too.
+        let r2 = JobResult {
+            certificate: None,
+            ..r
+        };
+        let wire2 = r2.render_protocol();
+        assert!(wire2.lines().next().unwrap().ends_with(" trace_lines=2"));
+        assert_eq!(wire2.lines().count(), 3);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::exec::execute;
 use crate::job::Job;
 use crate::outcome::{JobOutcome, JobResult};
 use cqfd_core::CancelToken;
+use cqfd_obs::Gauge;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -105,6 +106,7 @@ impl JobHandle {
             },
             metrics: Default::default(),
             certificate: None,
+            trace: None,
         })
     }
 
@@ -138,26 +140,45 @@ pub struct Pool {
     tx: Option<SyncSender<Submission>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Live submissions not yet dequeued by a worker (`cqfd_pool_queue_depth`).
+    queue_depth: Gauge,
+    /// Live worker threads across all pools (`cqfd_pool_workers`).
+    worker_gauge: Gauge,
 }
 
 impl Pool {
     /// Spawns the worker threads and returns the pool.
     pub fn new(config: PoolConfig) -> Pool {
+        let reg = cqfd_obs::global();
+        let queue_depth = reg.gauge(
+            "cqfd_pool_queue_depth",
+            "Jobs submitted but not yet picked up by a worker.",
+            &[],
+        );
+        let worker_gauge = reg.gauge(
+            "cqfd_pool_workers",
+            "Live pool worker threads (summed over all pools in the process).",
+            &[],
+        );
         let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
+                let depth = queue_depth.clone();
                 std::thread::Builder::new()
                     .name(format!("cqfd-worker-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&rx, &depth))
                     .expect("spawn worker thread")
             })
             .collect();
+        worker_gauge.add(workers.len() as i64);
         Pool {
             tx: Some(tx),
             workers,
             next_id: AtomicU64::new(1),
+            queue_depth,
+            worker_gauge,
         }
     }
 
@@ -172,8 +193,20 @@ impl Pool {
     pub fn submit(&self, job: Job) -> Result<JobHandle, SubmitError> {
         let (sub, handle) = self.package(job);
         match self.sender().try_send(sub) {
-            Ok(()) => Ok(handle),
-            Err(TrySendError::Full(_)) => Err(SubmitError::QueueFull),
+            Ok(()) => {
+                self.queue_depth.inc();
+                Ok(handle)
+            }
+            Err(TrySendError::Full(_)) => {
+                cqfd_obs::global()
+                    .counter(
+                        "cqfd_pool_rejections_total",
+                        "Submissions rejected by queue backpressure.",
+                        &[],
+                    )
+                    .inc();
+                Err(SubmitError::QueueFull)
+            }
             // Workers only disconnect at shutdown, which consumes the pool.
             Err(TrySendError::Disconnected(_)) => unreachable!("pool alive while submitting"),
         }
@@ -186,6 +219,7 @@ impl Pool {
         self.sender()
             .send(sub)
             .expect("pool alive while submitting");
+        self.queue_depth.inc();
         handle
     }
 
@@ -226,9 +260,11 @@ impl Drop for Pool {
         // Dropping the sender disconnects the queue; workers finish what
         // is queued and exit. Joining here guarantees no detached threads.
         self.tx = None;
+        let joined = self.workers.len();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.worker_gauge.add(-(joined as i64));
     }
 }
 
@@ -240,7 +276,7 @@ impl std::fmt::Debug for Pool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Submission>>) {
+fn worker_loop(rx: &Mutex<Receiver<Submission>>, queue_depth: &Gauge) {
     loop {
         // Hold the lock only for the dequeue, not for the job.
         let sub = match rx.lock() {
@@ -249,6 +285,7 @@ fn worker_loop(rx: &Mutex<Receiver<Submission>>) {
         };
         match sub {
             Ok(s) => {
+                queue_depth.dec();
                 let result = execute(s.id, &s.job, &s.cancel);
                 // The submitter may have dropped its handle; that's fine.
                 let _ = s.reply.send(result);

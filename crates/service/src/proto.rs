@@ -107,27 +107,47 @@ impl Fields {
         match self.get(key) {
             None => Ok(default),
             Some("max") => Ok(usize::MAX),
-            Some(v) => v.parse().map_err(|_| format!("bad {key}={v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad {key}=`{v}` (want an unsigned integer or `max`)")),
+        }
+    }
+
+    /// A boolean `key=0/1/true/false` flag, absent meaning false.
+    fn flag(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            None | Some("0") | Some("false") => Ok(false),
+            Some("1") | Some("true") => Ok(true),
+            Some(v) => Err(format!("bad {key}=`{v}` (want 0/1/true/false)")),
         }
     }
 
     /// The `cert=` flag: request a certificate payload on the result.
     fn cert_flag(&self) -> Result<bool, String> {
-        match self.get("cert") {
-            None | Some("0") | Some("false") => Ok(false),
-            Some("1") | Some("true") => Ok(true),
-            Some(v) => Err(format!("bad cert={v} (want 0/1/true/false)")),
-        }
+        self.flag("cert")
+    }
+
+    /// The `trace=` flag: request a JSONL execution trace on the result.
+    fn trace_flag(&self) -> Result<bool, String> {
+        self.flag("trace")
+    }
+
+    /// The `worm=` spec, with parse errors naming the key and value.
+    fn worm(&self) -> Result<Delta, String> {
+        let spec = self.require("worm")?;
+        parse_worm(spec).map_err(|e| format!("bad worm=`{spec}`: {e}"))
     }
 
     /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`,
-    /// `cert=`.
+    /// `cert=`, `trace=`.
     fn budget(&self) -> Result<JobBudget, String> {
         let d = JobBudget::default();
         let timeout = match self.get("timeout-ms") {
             None => None,
             Some(ms) => {
-                let ms: u64 = ms.parse().map_err(|_| format!("bad timeout-ms={ms}"))?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad timeout-ms=`{ms}` (want milliseconds)"))?;
                 Some(Duration::from_millis(ms))
             }
         };
@@ -137,6 +157,7 @@ impl Fields {
             max_search_nodes: self.usize_or("nodes", d.max_search_nodes)?,
             timeout,
             emit_certificate: self.cert_flag()?,
+            emit_trace: self.trace_flag()?,
         })
     }
 }
@@ -145,15 +166,21 @@ impl Fields {
 /// `tm-zigzag:K`.
 pub fn parse_worm(spec: &str) -> Result<Delta, String> {
     if let Some(m) = spec.strip_prefix("counter:") {
-        let m: u16 = m.parse().map_err(|_| "bad counter parameter")?;
+        let m: u16 = m
+            .parse()
+            .map_err(|_| format!("bad counter parameter `{m}` (want a u16)"))?;
         return Ok(counter_worm(m));
     }
     if let Some(k) = spec.strip_prefix("tm-walker:") {
-        let k: u16 = k.parse().map_err(|_| "bad walker parameter")?;
+        let k: u16 = k
+            .parse()
+            .map_err(|_| format!("bad walker parameter `{k}` (want a u16)"))?;
         return Ok(tm_to_rainworm(&TuringMachine::right_walker(k)));
     }
     if let Some(k) = spec.strip_prefix("tm-zigzag:") {
-        let k: u16 = k.parse().map_err(|_| "bad zigzag parameter")?;
+        let k: u16 = k
+            .parse()
+            .map_err(|_| format!("bad zigzag parameter `{k}` (want a u16)"))?;
         return Ok(tm_to_rainworm(&TuringMachine::zigzag(k)));
     }
     match spec {
@@ -221,19 +248,21 @@ fn parse_instance(spec: &str) -> Result<instances::Instance, String> {
 /// explicit `sig=`/`view=`/`query=` keys.
 fn parse_cq_inputs(f: &Fields) -> Result<(Signature, Vec<Cq>, Cq), String> {
     if let Some(spec) = f.get("instance") {
-        let inst = parse_instance(spec)?;
+        let inst = parse_instance(spec).map_err(|e| format!("bad instance=`{spec}`: {e}"))?;
         return Ok((inst.sig, inst.views, inst.q0));
     }
-    let sig = parse_sig(f.require("sig")?)?;
+    let sig_spec = f.require("sig")?;
+    let sig = parse_sig(sig_spec).map_err(|e| format!("bad sig=`{sig_spec}`: {e}"))?;
     let views: Vec<Cq> = f
         .get_all("view")
         .into_iter()
-        .map(|v| Cq::parse(&sig, v).map_err(|e| e.to_string()))
+        .map(|v| Cq::parse(&sig, v).map_err(|e| format!("bad view=`{v}`: {e}")))
         .collect::<Result<_, _>>()?;
     if views.is_empty() {
         return Err("at least one view= required".into());
     }
-    let q0 = Cq::parse(&sig, f.require("query")?).map_err(|e| e.to_string())?;
+    let q_spec = f.require("query")?;
+    let q0 = Cq::parse(&sig, q_spec).map_err(|e| format!("bad query=`{q_spec}`: {e}"))?;
     Ok((sig, views, q0))
 }
 
@@ -257,6 +286,7 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
                 "stages",
                 "timeout-ms",
                 "cert",
+                "trace",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::Determine {
@@ -273,29 +303,28 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
         }
         "reduce" => {
             f.check_keys(&["worm"])?;
-            Job::Reduce {
-                delta: parse_worm(f.require("worm")?)?,
-            }
+            Job::Reduce { delta: f.worm()? }
         }
         "creep" => {
-            f.check_keys(&["worm", "steps", "timeout-ms", "cert"])?;
+            f.check_keys(&["worm", "steps", "timeout-ms", "cert", "trace"])?;
             Job::Creep {
-                delta: parse_worm(f.require("worm")?)?,
+                delta: f.worm()?,
                 budget: f.budget()?,
             }
         }
         "separate" => {
-            f.check_keys(&["stages", "cert"])?;
+            f.check_keys(&["stages", "cert", "trace"])?;
             // The lasso chase needs ~80 stages to exhibit the 1-2 pattern,
             // so `separate` defaults higher than the generic budget.
             Job::Separate {
                 budget: JobBudget::default()
                     .with_stages(f.usize_or("stages", 80)?)
-                    .with_certificate(f.cert_flag()?),
+                    .with_certificate(f.cert_flag()?)
+                    .with_trace(f.trace_flag()?),
             }
         }
         "counterexample" => {
-            f.check_keys(&["sig", "view", "query", "instance", "nodes", "cert"])?;
+            f.check_keys(&["sig", "view", "query", "instance", "nodes", "cert", "trace"])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::CounterexampleSearch {
                 sig,
@@ -394,6 +423,63 @@ mod tests {
         }
         assert!(parse_job("separate cert=yes").is_err());
         assert!(parse_job("rewrite instance=projection cert=1").is_err());
+    }
+
+    #[test]
+    fn trace_flag_parses_and_rejects_garbage() {
+        match parse_job("determine instance=projection trace=1")
+            .unwrap()
+            .unwrap()
+        {
+            Job::Determine { budget, .. } => {
+                assert!(budget.emit_trace);
+                assert!(!budget.emit_certificate);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("separate trace=true cert=1").unwrap().unwrap() {
+            Job::Separate { budget } => {
+                assert!(budget.emit_trace);
+                assert!(budget.emit_certificate);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("creep worm=short").unwrap().unwrap() {
+            Job::Creep { budget, .. } => assert!(!budget.emit_trace),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let err = parse_job("creep worm=short trace=maybe").unwrap_err();
+        assert!(err.contains("trace=`maybe`"), "{err}");
+        // `rewrite` takes no budget, so it rejects the flag outright.
+        assert!(parse_job("rewrite instance=projection trace=1").is_err());
+    }
+
+    #[test]
+    fn errors_name_the_offending_key() {
+        let err = parse_job("creep worm=counter:zillion").unwrap_err();
+        assert!(err.contains("worm=`counter:zillion`"), "{err}");
+        assert!(err.contains("counter parameter `zillion`"), "{err}");
+
+        let err = parse_job(r#"determine sig=R/2 view="V(x,y) :- R(x,y)" query="Q0(x) :- Z(x)""#)
+            .unwrap_err();
+        assert!(err.contains("query=`Q0(x) :- Z(x)`"), "{err}");
+
+        let err = parse_job(r#"determine sig=R/2 view="V(x) :- Z(x)" query="Q0(x) :- R(x,x)""#)
+            .unwrap_err();
+        assert!(err.contains("view=`V(x) :- Z(x)`"), "{err}");
+
+        let err = parse_job(r#"determine sig=R-2 view="V(x) :- R(x,x)" query="Q0(x) :- R(x,x)""#)
+            .unwrap_err();
+        assert!(err.contains("sig=`R-2`"), "{err}");
+
+        let err = parse_job("determine instance=moebius:2x3").unwrap_err();
+        assert!(err.contains("instance=`moebius:2x3`"), "{err}");
+
+        let err = parse_job("determine instance=projection stages=lots").unwrap_err();
+        assert!(err.contains("stages=`lots`"), "{err}");
+
+        let err = parse_job("creep worm=short timeout-ms=soon").unwrap_err();
+        assert!(err.contains("timeout-ms=`soon`"), "{err}");
     }
 
     #[test]

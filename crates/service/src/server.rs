@@ -11,6 +11,9 @@
 //! * `v1` (or any `v<N>`) — optional version pinning: the server replies
 //!   `ok v1` if it speaks that version, and otherwise answers
 //!   `error: unsupported protocol version …` and closes the connection;
+//! * `metrics` — scrapes the process-wide `cqfd-obs` registry: the server
+//!   replies `metrics_lines=<n>` followed by exactly `n` lines of
+//!   Prometheus text exposition;
 //! * `quit` — closes this connection;
 //! * `shutdown` — stops the whole server.
 //!
@@ -173,6 +176,20 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 let _ = writeln!(writer, "bye");
                 return;
             }
+            "metrics" => {
+                // A framed scrape of the process-wide registry, so one
+                // connection can interleave jobs and scrapes.
+                let text = cqfd_obs::prom::render(&cqfd_obs::global().snapshot());
+                let mut reply = format!("metrics_lines={}", text.lines().count());
+                for l in text.lines() {
+                    reply.push('\n');
+                    reply.push_str(l);
+                }
+                if writeln!(writer, "{reply}").is_err() {
+                    return;
+                }
+                continue;
+            }
             "shutdown" => {
                 let _ = writeln!(writer, "bye");
                 if let Ok(addr) = writer.local_addr() {
@@ -307,6 +324,80 @@ mod tests {
         handle.shutdown();
         line.clear();
         assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection open");
+    }
+
+    /// Reads `n` framed payload lines after a `<key>_lines=<n>` marker.
+    fn read_payload(reader: &mut BufReader<TcpStream>, head: &str, key: &str) -> String {
+        let n: usize = head
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(key).and_then(|t| t.strip_prefix('=')))
+            .unwrap_or_else(|| panic!("`{head}` carries {key}="))
+            .parse()
+            .unwrap();
+        let mut payload = String::new();
+        for _ in 0..n {
+            reader.read_line(&mut payload).unwrap();
+        }
+        payload
+    }
+
+    #[test]
+    fn metrics_command_scrapes_prometheus_text() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        // Run a job first so the chase/hom/pool families exist.
+        writeln!(writer, "determine instance=projection").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("verdict=not-determined"), "{line}");
+
+        writeln!(writer, "metrics").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("metrics_lines="), "{line}");
+        let text = read_payload(&mut reader, &line, "metrics_lines");
+        for family in [
+            "cqfd_chase_run_seconds",
+            "cqfd_hom_search_nodes_total",
+            "cqfd_pool_jobs_total",
+            "cqfd_pool_workers",
+        ] {
+            assert!(text.contains(family), "scrape missing {family}:\n{text}");
+        }
+        // The connection still serves jobs after a scrape.
+        writeln!(writer, "creep worm=short").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("verdict=halted"), "{line}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_payload_travels_the_wire() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        writeln!(writer, "determine instance=projection trace=1").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains(" trace_lines="), "{line}");
+        let trace = read_payload(&mut reader, &line, "trace_lines");
+        let records = cqfd_obs::jsonl::parse_lines(&trace).expect("trace is valid JSONL");
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().all(|r| r.job == Some(1)),
+            "every record is tagged with the job id"
+        );
+        assert!(
+            records
+                .iter()
+                .any(|r| r.name == "chase.run" || r.name == "oracle.certify_run"),
+            "trace covers the chase/oracle spans"
+        );
+        handle.shutdown();
     }
 
     #[test]

@@ -23,8 +23,8 @@ use cqfd::reduction::reduce;
 use cqfd::separating::theorem14::{chase_from_di, chase_from_lasso, separating_space};
 use cqfd::separating::tinf::{t_infinity, tinf_labels};
 use cqfd::separating::{t_square, t_square_as_printed};
+use cqfd_obs::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 
 fn wide(stages: usize) -> ChaseBudget {
     ChaseBudget {
@@ -193,7 +193,7 @@ fn e_viiie() {
         ("counter_worm(2)".into(), counter_worm(2)),
         ("counter_worm(3)".into(), counter_worm(3)),
     ] {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let cm = build_countermodel(&d, &t_square(), 2_000_000).unwrap();
         let dt = t0.elapsed();
         let tm = tm_rules(&d);

@@ -20,9 +20,9 @@ use cqfd::rainworm::tm::TuringMachine;
 use cqfd::rainworm::Delta;
 use cqfd::reduction::reduce;
 use cqfd::service::{parse_jobs, Pool, PoolConfig, Server};
+use cqfd_obs::Stopwatch;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "check" => check_cmd(rest),
         "batch" => batch_cmd(rest),
         "serve" => serve_cmd(rest),
+        "metrics" => metrics_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -71,6 +72,9 @@ USAGE:
   cqfd check     <file>           (validate a certificate; nonzero on reject)
   cqfd batch     <jobs-file> [--workers <n>] [--queue <n>]
   cqfd serve     --listen <addr> [--workers <n>] [--queue <n>]
+  cqfd metrics   [--connect <addr>] [<jobs-file>]
+                 (Prometheus text: scrape a running server, or run the
+                  jobs locally first and dump this process's registry)
 
 CQ syntax: `Name(x,y) :- R(x,z), S(z,y)`; constants as `#c`.
 Job-file syntax: one job per line, e.g. `determine instance=path:2x3`;
@@ -271,9 +275,9 @@ fn creep_cmd(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let started = Instant::now();
+    let clock = Stopwatch::start();
     let outcome = creep(&delta, steps);
-    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    let elapsed_ms = clock.elapsed().as_secs_f64() * 1e3;
     match outcome {
         CreepOutcome::Halted {
             steps,
@@ -486,6 +490,67 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
     }
     pool.shutdown();
     Ok(())
+}
+
+/// `cqfd metrics` — Prometheus text exposition. With `--connect <addr>`
+/// it speaks the line protocol to a running `cqfd serve` and relays that
+/// server's scrape; otherwise it (optionally) runs a local jobs file
+/// through a pool first and dumps this process's own registry.
+fn metrics_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--connect", "--workers", "--queue"])?;
+    let pos = positionals(args);
+    if let Some(addr) = flag(args, "--connect") {
+        if !pos.is_empty() {
+            return Err("`--connect` scrapes a server; drop the <jobs-file>".into());
+        }
+        let text = scrape_server(addr).map_err(|e| format!("{addr}: {e}"))?;
+        print!("{text}");
+        return Ok(());
+    }
+    match pos.as_slice() {
+        [] => {}
+        [path] => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let jobs = parse_jobs(&text)?;
+            let pool = Pool::new(pool_config(args)?);
+            for r in pool.run_batch(jobs) {
+                eprintln!("{r}"); // results on stderr: stdout is the scrape
+            }
+            pool.shutdown();
+        }
+        _ => return Err("metrics takes at most one <jobs-file>".into()),
+    }
+    print!("{}", cqfd_obs::prom::render(&cqfd_obs::global().snapshot()));
+    Ok(())
+}
+
+/// Connects to a `cqfd serve` instance, issues the `metrics` control word,
+/// and returns the framed Prometheus payload.
+fn scrape_server(addr: &str) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    if !line.starts_with("cqfd-service ") {
+        return Err(format!("unexpected greeting `{}`", line.trim()));
+    }
+    writeln!(writer, "metrics").map_err(|e| e.to_string())?;
+    line.clear();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let n: usize = line
+        .trim()
+        .strip_prefix("metrics_lines=")
+        .ok_or_else(|| format!("unexpected reply `{}`", line.trim()))?
+        .parse()
+        .map_err(|_| format!("bad line count in `{}`", line.trim()))?;
+    let mut payload = String::new();
+    for _ in 0..n {
+        reader.read_line(&mut payload).map_err(|e| e.to_string())?;
+    }
+    let _ = writeln!(writer, "quit");
+    Ok(payload)
 }
 
 fn serve_cmd(args: &[String]) -> Result<(), String> {

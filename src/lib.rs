@@ -23,7 +23,10 @@
 //! * [`fogames`] — Ehrenfeucht–Fraïssé games for Theorem 2 (paper §IX);
 //! * [`reduction`] — the end-to-end Theorem 1/5 reduction pipeline;
 //! * [`service`] — the concurrent job pool and TCP front-end behind
-//!   `cqfd batch` and `cqfd serve`.
+//!   `cqfd batch` and `cqfd serve`;
+//! * [`obs`] — structured tracing, the metrics registry, and the
+//!   Prometheus exposition behind `cqfd metrics` and the server's
+//!   `metrics` scrape command.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use cqfd_core as core;
 pub use cqfd_fogames as fogames;
 pub use cqfd_greengraph as greengraph;
 pub use cqfd_greenred as greenred;
+pub use cqfd_obs as obs;
 pub use cqfd_rainworm as rainworm;
 pub use cqfd_reduction as reduction;
 pub use cqfd_separating as separating;

@@ -264,3 +264,21 @@ fn check_rejects_a_mutated_certificate() {
         "{text}"
     );
 }
+
+/// `cqfd metrics <jobs-file>` runs the jobs and dumps a Prometheus scrape
+/// whose families cover the chase, the hom search, and the pool.
+#[test]
+fn metrics_subcommand_dumps_prometheus_text() {
+    let path = std::env::temp_dir().join("cqfd_cli_metrics_jobs.txt");
+    std::fs::write(&path, "creep worm=short\ndetermine instance=projection\n").unwrap();
+    let (ok, text) = cqfd(&["metrics", path.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    for family in [
+        "# TYPE cqfd_chase_run_seconds histogram",
+        "# TYPE cqfd_hom_search_nodes_total counter",
+        "# TYPE cqfd_pool_jobs_total counter",
+        "cqfd_pool_jobs_total{kind=\"creep\",verdict=\"halted\"} 1",
+    ] {
+        assert!(text.contains(family), "missing `{family}` in:\n{text}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the `cqfd-obs` observability subsystem: the
+//! registry under real pool concurrency, trace capture through the job
+//! server, and the Prometheus scrape seen end to end.
+
+use cqfd::obs::{jsonl, prom, Registry, Unit};
+use cqfd::rainworm::families::halting_worm_short;
+use cqfd::service::{Job, JobBudget, Pool, PoolConfig};
+use std::sync::Arc;
+
+/// N threads hammer shared counter/histogram handles of a private
+/// registry; totals must be exact (no lost updates) and snapshots taken
+/// while writers run must be monotone in the counter and never see a
+/// histogram whose count exceeds its later value.
+#[test]
+fn concurrent_updates_are_exact_and_snapshots_monotone() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+    let reg = Arc::new(Registry::new());
+    let counter = reg.counter("t_ops_total", "test ops", &[]);
+    let hist = reg.histogram("t_latency", "test latency", &[], Unit::None);
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let counter = counter.clone();
+            let hist = hist.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // Deterministic spread across several octaves.
+                    hist.observe((t as u64 + 1) * 1000 + i % 7);
+                }
+            })
+        })
+        .collect();
+
+    // Reader thread: snapshots must be monotone while writers run.
+    let reader = {
+        let reg = Arc::clone(&reg);
+        std::thread::spawn(move || {
+            let mut last_count = 0u64;
+            let mut last_hist = 0u64;
+            for _ in 0..200 {
+                let snap = reg.snapshot();
+                let c = snap
+                    .family("t_ops_total")
+                    .and_then(|f| f.get(&[]))
+                    .and_then(|v| v.as_counter())
+                    .unwrap_or(0);
+                assert!(
+                    c >= last_count,
+                    "counter went backwards: {last_count} -> {c}"
+                );
+                last_count = c;
+                let h = snap
+                    .family("t_latency")
+                    .and_then(|f| f.get(&[]))
+                    .and_then(|v| v.as_histogram())
+                    .map_or(0, |h| h.count());
+                assert!(h >= last_hist, "histogram count went backwards");
+                last_hist = h;
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    for w in workers {
+        w.join().unwrap();
+    }
+    reader.join().unwrap();
+
+    let snap = reg.snapshot();
+    let total = snap
+        .family("t_ops_total")
+        .unwrap()
+        .get(&[])
+        .unwrap()
+        .as_counter()
+        .unwrap();
+    assert_eq!(total, THREADS as u64 * PER_THREAD, "no lost increments");
+    let h = snap
+        .family("t_latency")
+        .unwrap()
+        .get(&[])
+        .unwrap()
+        .as_histogram()
+        .unwrap();
+    assert_eq!(
+        h.count(),
+        THREADS as u64 * PER_THREAD,
+        "no lost observations"
+    );
+    // Every observation was ≥ 1000, so the median must be too.
+    assert!(h.quantile(0.5) >= 1000.0);
+}
+
+/// Running real jobs through the pool moves the global chase/hom/pool
+/// families, and the resulting scrape is parseable, well-formed
+/// Prometheus text.
+#[test]
+fn pool_jobs_feed_the_global_registry_and_scrape() {
+    let before = cqfd::obs::global().snapshot();
+    let homs_before = counter_of(&before, "cqfd_hom_search_nodes_total");
+
+    let pool = Pool::new(PoolConfig::default().with_workers(2));
+    let jobs = vec![
+        Job::Creep {
+            delta: halting_worm_short(),
+            budget: JobBudget::default(),
+        },
+        Job::Separate {
+            budget: JobBudget::default().with_stages(80),
+        },
+    ];
+    let results = pool.run_batch(jobs);
+    assert!(results.iter().all(|r| r.outcome.verdict() != "error"));
+    pool.shutdown();
+
+    let after = cqfd::obs::global().snapshot();
+    assert!(
+        counter_of(&after, "cqfd_hom_search_nodes_total") > homs_before,
+        "the separation chase explores hom-search nodes"
+    );
+    let text = prom::render(&after);
+    for family in [
+        "cqfd_chase_run_seconds",
+        "cqfd_chase_triggers_total",
+        "cqfd_hom_search_nodes_total",
+        "cqfd_pool_jobs_total",
+        "cqfd_pool_job_seconds",
+        "cqfd_pool_workers",
+    ] {
+        assert!(text.contains(family), "scrape missing {family}");
+    }
+    // Each HELP line is followed by a TYPE line for the same family.
+    for (help, next) in text.lines().zip(text.lines().skip(1)) {
+        if let Some(rest) = help.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap();
+            assert!(
+                next.starts_with(&format!("# TYPE {name} ")),
+                "HELP for {name} not followed by its TYPE"
+            );
+        }
+    }
+}
+
+/// A traced job round-trips through the JSONL schema: capture on the pool
+/// thread, parse, and find the expected span structure.
+#[test]
+fn traced_job_emits_parseable_spans() {
+    let pool = Pool::new(PoolConfig::default().with_workers(1));
+    let handle = pool.submit_blocking(Job::Separate {
+        budget: JobBudget::default().with_stages(80).with_trace(true),
+    });
+    let result = handle.wait();
+    pool.shutdown();
+
+    let trace = result.trace.expect("trace=1 attaches a trace payload");
+    let records = jsonl::parse_lines(&trace).expect("trace parses as JSONL");
+    assert!(!records.is_empty());
+    let id = result.id;
+    assert!(
+        records.iter().all(|r| r.job == Some(id)),
+        "every record carries the job id"
+    );
+    // The job span wraps everything: first start, last end, both depth 0.
+    let first = records.first().unwrap();
+    let last = records.last().unwrap();
+    assert_eq!((first.name.as_str(), first.depth), ("job.execute", 0));
+    assert_eq!((last.name.as_str(), last.depth), ("job.execute", 0));
+    assert!(last.elapsed_ns.is_some(), "span_end carries elapsed_ns");
+    // The separation demonstration runs two chases inside the job span.
+    let chase_runs = records
+        .iter()
+        .filter(|r| r.name == "chase.run" && r.elapsed_ns.is_none())
+        .count();
+    assert_eq!(chase_runs, 2, "chase(T,DI) and chase(T,lasso)");
+    assert!(records
+        .iter()
+        .all(|r| { r.name != "chase.run" || r.depth >= 1 }));
+    // Sequence numbers are strictly increasing (one writer thread).
+    assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+    // Re-rendering a parsed record reproduces valid JSONL (schema is
+    // closed under round-trips).
+    let rerendered = jsonl::parse_lines(&trace).unwrap();
+    assert_eq!(rerendered.len(), records.len());
+}
+
+fn counter_of(snap: &cqfd::obs::Snapshot, family: &str) -> u64 {
+    snap.family(family)
+        .and_then(|f| f.get(&[]))
+        .and_then(|v| v.as_counter())
+        .unwrap_or(0)
+}
