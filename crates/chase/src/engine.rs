@@ -2,13 +2,14 @@
 
 use crate::tgd::Tgd;
 use cqfd_core::{
-    find_homomorphism, for_each_homomorphism, for_each_homomorphism_limited,
-    for_each_homomorphism_per_atom_limits, hom_nodes_explored, publish_hom_metrics, CancelToken,
-    Node, Structure, Term, VarMap,
+    add_hom_nodes_explored, find_homomorphism, hom_nodes_explored, publish_hom_metrics, Binding,
+    CancelToken, HomPlan, Node, Structure, Term, VarMap,
 };
 use cqfd_obs::{span, Counter, Histogram, Stopwatch, Unit};
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Resource limits for a chase run.
@@ -33,10 +34,18 @@ pub struct ChaseBudget {
     /// Absolute wall-clock deadline; the run stops as [`ChaseOutcome::Cancelled`]
     /// once it passes. `None` by default.
     pub deadline: Option<Instant>,
+    /// Worker threads for the per-stage trigger-enumeration phase. `1`
+    /// (the default) runs fully sequentially. The chase result is
+    /// byte-identical at every setting: enumeration slices are merged back
+    /// in deterministic `(TGD index, slice order)` order and trigger
+    /// *application* is always sequential — this knob only changes
+    /// wall-clock time.
+    pub threads: usize,
 }
 
-/// Budgets compare by their declared *limits*; the token and deadline are
-/// runtime controls, not part of the budget's identity.
+/// Budgets compare by their declared *limits*; the token, deadline and
+/// thread count are runtime controls, not part of the budget's identity
+/// (the thread count cannot change the result, only how fast it arrives).
 impl PartialEq for ChaseBudget {
     fn eq(&self, other: &Self) -> bool {
         self.max_stages == other.max_stages
@@ -55,6 +64,7 @@ impl Default for ChaseBudget {
             max_nodes: 1 << 20,
             cancel: CancelToken::inert(),
             deadline: None,
+            threads: 1,
         }
     }
 }
@@ -83,6 +93,16 @@ impl ChaseBudget {
     /// Sets an absolute wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the number of enumeration worker threads (clamped to ≥ 1).
+    /// Purely a wall-clock knob: the chase output is identical at every
+    /// setting. The engine does not cap this by the host's core count —
+    /// callers that share a machine (the `cqfd-service` pool) apply their
+    /// own cap.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -132,6 +152,12 @@ impl ChaseOutcome {
 struct ChaseMeters {
     stage_seconds: Histogram,
     run_seconds: Histogram,
+    /// Wall time of the (parallelisable) enumeration phase per stage.
+    enumerate_seconds: Histogram,
+    /// Wall time of the sequential application phase per stage.
+    apply_seconds: Histogram,
+    /// Enumeration slices dispatched to parallel workers.
+    parallel_tasks: Counter,
     /// `(triggers, firings)` per TGD, parallel to `ChaseEngine::tgds`.
     per_rule: Vec<(Counter, Counter)>,
 }
@@ -151,6 +177,23 @@ impl ChaseMeters {
                 "Wall time per chase run.",
                 &[],
                 Unit::Seconds,
+            ),
+            enumerate_seconds: reg.histogram(
+                "cqfd_chase_stage_enumerate_seconds",
+                "Wall time of the trigger-enumeration phase per chase stage.",
+                &[],
+                Unit::Seconds,
+            ),
+            apply_seconds: reg.histogram(
+                "cqfd_chase_stage_apply_seconds",
+                "Wall time of the trigger-application phase per chase stage.",
+                &[],
+                Unit::Seconds,
+            ),
+            parallel_tasks: reg.counter(
+                "cqfd_chase_parallel_tasks_total",
+                "Enumeration slices dispatched to parallel chase workers.",
+                &[],
             ),
             per_rule: tgds
                 .iter()
@@ -433,11 +476,22 @@ impl ChaseEngine {
         finish(run, d)
     }
 
-    /// One chase stage (the `forall pairs T, b̄ …` loop of §II.C):
-    /// enumerate triggers over the frozen snapshot, apply the active ones.
+    /// One chase stage (the `forall pairs T, b̄ …` loop of §II.C), in two
+    /// phases. **Phase A** enumerates the distinct frontier tuples b̄ with a
+    /// body match in the frozen snapshot, one slice per TGD (naive) or per
+    /// `(TGD, delta-seed-position)` (semi-naive); slices are independent
+    /// read-only searches, so with `budget.threads > 1` they fan out over a
+    /// scoped worker pool and merge back in deterministic `(TGD, slice)`
+    /// order. Head satisfaction is pre-checked against the frozen snapshot
+    /// in the same pass. **Phase B** walks the merged frontiers in order
+    /// and applies the active triggers sequentially (application mutates
+    /// `d`), re-checking non-pre-satisfied heads against the live `D`.
+    ///
     /// Returns `(applications, early_stop)` where `early_stop` reports a
     /// mid-stage budget violation ([`ChaseOutcome::SizeBudgetExhausted`] or
-    /// [`ChaseOutcome::Cancelled`]), if any.
+    /// [`ChaseOutcome::Cancelled`]), if any. A cancellation during phase A
+    /// applies nothing: the structure is left exactly at the previous
+    /// stage boundary, so the run is a valid chase prefix.
     ///
     /// `prev_frozen` is the snapshot boundary of the previous stage; the
     /// semi-naive strategy only enumerates matches touching the delta
@@ -452,93 +506,297 @@ impl ChaseEngine {
         meters: &ChaseMeters,
     ) -> (usize, Option<ChaseOutcome>) {
         let frozen = d.atom_count() as u32;
-        let mut applications = 0usize;
-        for (ti, tgd) in self.tgds.iter().enumerate() {
-            if budget.should_stop() {
-                return (applications, Some(ChaseOutcome::Cancelled));
+        let enum_clock = Stopwatch::start();
+        let merged = self.enumerate_stage(d, budget, prev_frozen, frozen, meters);
+        meters.enumerate_seconds.observe(enum_clock.elapsed_ns());
+        let Some(merged) = merged else {
+            return (0, Some(ChaseOutcome::Cancelled));
+        };
+        let apply_clock = Stopwatch::start();
+        let res = self.apply_stage(d, budget, stage, merged, firings, meters);
+        meters.apply_seconds.observe(apply_clock.elapsed_ns());
+        res
+    }
+
+    /// Phase A: enumerates every slice of the stage against the frozen
+    /// snapshot and merges the results per TGD, deduplicated, in `(TGD,
+    /// slice, discovery)` order. Returns `None` if the budget's stop hook
+    /// fired mid-enumeration (nothing was applied).
+    fn enumerate_stage(
+        &self,
+        d: &Structure,
+        budget: &ChaseBudget,
+        prev_frozen: u32,
+        frozen: u32,
+        meters: &ChaseMeters,
+    ) -> Option<Vec<Vec<Frontier>>> {
+        let slices: Vec<Slice> = match self.strategy {
+            Strategy::Naive => (0..self.tgds.len())
+                .map(|ti| Slice { ti, seed_pos: None })
+                .collect(),
+            Strategy::SemiNaive => self
+                .tgds
+                .iter()
+                .enumerate()
+                .flat_map(|(ti, t)| {
+                    (0..t.body().len()).map(move |k| Slice {
+                        ti,
+                        seed_pos: Some(k),
+                    })
+                })
+                .collect(),
+        };
+        let abort = AtomicBool::new(false);
+        let workers = budget.threads.max(1).min(slices.len().max(1));
+        let mut results: Vec<Option<Vec<Frontier>>> = Vec::with_capacity(slices.len());
+        results.resize_with(slices.len(), || None);
+        if workers <= 1 {
+            for (i, slice) in slices.iter().enumerate() {
+                if budget.should_stop() {
+                    abort.store(true, Ordering::Relaxed);
+                    break;
+                }
+                let fr = self.enumerate_slice(d, budget, prev_frozen, frozen, *slice, &abort);
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                results[i] = Some(fr);
             }
-            // Collect the distinct frontier tuples b̄ with a body match in
-            // the frozen snapshot. (Conditions ¬/­ of §II.B depend only on
-            // b̄; when recording we keep the first full match per tuple so
-            // the trace stays checkable without a search.)
-            let mut frontiers: Vec<Vec<Node>> = Vec::new();
-            let mut full_maps: Vec<VarMap> = Vec::new();
-            let mut seen: HashSet<Vec<Node>> = HashSet::new();
-            let recording = self.record;
-            let mut record = |m: &VarMap| {
-                let tuple: Vec<Node> = tgd.frontier().iter().map(|v| m[v]).collect();
-                if seen.insert(tuple.clone()) {
-                    frontiers.push(tuple);
-                    if recording {
-                        full_maps.push(m.clone());
-                    }
-                }
-                ControlFlow::<()>::Continue(())
-            };
-            match self.strategy {
-                Strategy::Naive => {
-                    let _ = for_each_homomorphism_limited(
-                        tgd.body(),
-                        d,
-                        &VarMap::new(),
-                        frozen,
-                        &mut record,
-                    );
-                }
-                Strategy::SemiNaive => {
-                    // Every match with at least one body atom in the delta,
-                    // exactly once: seed position k directly on each delta
-                    // atom; atoms before k come from the old prefix, atoms
-                    // after k from the whole snapshot. (Atoms are
-                    // deduplicated, so "uses a delta atom at position k"
-                    // is exactly "position k's image was added this stage".)
-                    for k in 0..tgd.body().len() {
-                        let pattern_atom = &tgd.body()[k];
-                        let mut limits: Vec<u32> = vec![prev_frozen; tgd.body().len()];
-                        for l in limits.iter_mut().skip(k) {
-                            *l = frozen;
-                        }
-                        for idx in prev_frozen..frozen {
-                            let ground = &d.atoms()[idx as usize];
-                            if ground.pred != pattern_atom.pred {
-                                continue;
+        } else {
+            meters.parallel_tasks.add(slices.len() as u64);
+            let next = AtomicUsize::new(0);
+            let target: &Structure = d;
+            let collected: Vec<WorkerYield> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            // Fresh scoped thread: its thread-local hom
+                            // counters start at zero; publish its metric
+                            // work itself and report the node delta so the
+                            // coordinating thread can keep `ChaseRun::
+                            // hom_nodes` whole-run accurate.
+                            let hom0 = hom_nodes_explored();
+                            let mut local: Vec<(usize, Vec<Frontier>)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= slices.len() || abort.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                let fr = self.enumerate_slice(
+                                    target,
+                                    budget,
+                                    prev_frozen,
+                                    frozen,
+                                    slices[i],
+                                    &abort,
+                                );
+                                if abort.load(Ordering::Relaxed) {
+                                    break;
+                                }
+                                local.push((i, fr));
                             }
-                            let Some(seed) = unify(pattern_atom, ground, d) else {
-                                continue;
-                            };
-                            let _ = for_each_homomorphism_per_atom_limits(
-                                tgd.body(),
-                                d,
-                                &seed,
-                                &limits,
-                                &mut record,
-                            );
-                        }
-                    }
+                            publish_hom_metrics();
+                            (local, hom_nodes_explored() - hom0)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chase enumeration worker panicked"))
+                    .collect()
+            });
+            for (local, nodes) in collected {
+                add_hom_nodes_explored(nodes);
+                for (i, fr) in local {
+                    results[i] = Some(fr);
                 }
             }
+        }
+        if abort.load(Ordering::Relaxed) || budget.should_stop() {
+            return None;
+        }
+        // Merge back per TGD in slice order. Per-slice results are already
+        // deduplicated; cross-slice duplicates (a match whose atoms span
+        // several delta positions) keep the first occurrence, which is
+        // exactly the order the sequential single-pass dedup produced.
+        let mut merged: Vec<Vec<Frontier>> = (0..self.tgds.len()).map(|_| Vec::new()).collect();
+        let mut slices_per_tgd = vec![0usize; self.tgds.len()];
+        for s in &slices {
+            slices_per_tgd[s.ti] += 1;
+        }
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut cur = usize::MAX;
+        for (slice, res) in slices.iter().zip(results) {
+            let frontiers = res.expect("uncancelled stage enumerated every slice");
+            if slices_per_tgd[slice.ti] == 1 {
+                merged[slice.ti] = frontiers;
+                continue;
+            }
+            if slice.ti != cur {
+                buckets.clear();
+                cur = slice.ti;
+            }
+            let dst = &mut merged[slice.ti];
+            for f in frontiers {
+                let bucket = buckets.entry(hash_tuple(&f.tuple)).or_default();
+                if bucket.iter().any(|&j| dst[j as usize].tuple == f.tuple) {
+                    continue;
+                }
+                bucket.push(dst.len() as u32);
+                dst.push(f);
+            }
+        }
+        Some(merged)
+    }
+
+    /// Enumerates one slice: the distinct frontier tuples of one TGD
+    /// (naive) or of one `(TGD, delta-seed-position)` (semi-naive) against
+    /// the frozen snapshot, each with its frozen-snapshot head pre-check.
+    /// Read-only on `d`; safe to run from any worker thread. Sets `abort`
+    /// and returns early (with a result that must be discarded) when the
+    /// budget's stop hook fires.
+    fn enumerate_slice(
+        &self,
+        d: &Structure,
+        budget: &ChaseBudget,
+        prev_frozen: u32,
+        frozen: u32,
+        slice: Slice,
+        abort: &AtomicBool,
+    ) -> Vec<Frontier> {
+        let tgd = &self.tgds[slice.ti];
+        let body = tgd.body();
+        // One compiled plan per slice, reused across every seed.
+        let body_plan = HomPlan::compile(body, d);
+        let head_plan = HomPlan::compile(tgd.head(), d);
+        let head_limits = vec![frozen; tgd.head().len()];
+        let frontier_slots: Vec<u32> = tgd
+            .frontier()
+            .iter()
+            .map(|v| {
+                body_plan
+                    .slot(*v)
+                    .expect("frontier variable occurs in the body")
+            })
+            .collect();
+        let head_seed_slots: Vec<Option<u32>> =
+            tgd.frontier().iter().map(|v| head_plan.slot(*v)).collect();
+        let recording = self.record;
+
+        let mut out: Vec<Frontier> = Vec::new();
+        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut head_seeds: Vec<(u32, Node)> = Vec::with_capacity(frontier_slots.len());
+        let mut matches = 0u64;
+        let mut record = |b: &Binding| {
+            // Poll the cooperative stop hook every few dozen matches so
+            // cancellation latency does not regress inside long slices.
+            matches += 1;
+            if matches.is_multiple_of(64) && (abort.load(Ordering::Relaxed) || budget.should_stop())
+            {
+                abort.store(true, Ordering::Relaxed);
+                return ControlFlow::Break(());
+            }
+            let tuple: Vec<Node> = frontier_slots.iter().map(|&s| b.node(s)).collect();
+            let bucket = buckets.entry(hash_tuple(&tuple)).or_default();
+            if bucket.iter().any(|&i| out[i as usize].tuple == tuple) {
+                return ControlFlow::Continue(());
+            }
+            bucket.push(out.len() as u32);
+            // Condition ­ against the frozen snapshot. Satisfaction is
+            // monotone, so a pre-satisfied head needs no live re-check in
+            // phase B; the probe runs at every thread count so search-node
+            // totals stay thread-count-invariant.
+            head_seeds.clear();
+            for (slot, &n) in head_seed_slots.iter().zip(&tuple) {
+                if let Some(s) = slot {
+                    head_seeds.push((*s, n));
+                }
+            }
+            let pre_satisfied = head_plan.exists_seeded(&head_seeds, &head_limits);
+            out.push(Frontier {
+                tuple,
+                full_map: recording.then(|| b.to_varmap()),
+                pre_satisfied,
+            });
+            ControlFlow::Continue(())
+        };
+        match slice.seed_pos {
+            None => {
+                let limits = vec![frozen; body.len()];
+                let _ = body_plan.for_each_bindings(&[], &limits, &mut record);
+            }
+            Some(k) => {
+                // Every match with at least one body atom in the delta,
+                // exactly once: seed position k directly on each delta
+                // atom; atoms before k come from the old prefix, atoms
+                // after k from the whole snapshot. (Atoms are
+                // deduplicated, so "uses a delta atom at position k"
+                // is exactly "position k's image was added this stage".)
+                let pattern_atom = &body[k];
+                let mut limits: Vec<u32> = vec![prev_frozen; body.len()];
+                for l in limits.iter_mut().skip(k) {
+                    *l = frozen;
+                }
+                let mut seeds: Vec<(u32, Node)> = Vec::with_capacity(pattern_atom.args.len());
+                for idx in prev_frozen..frozen {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let ground = &d.atoms()[idx as usize];
+                    if ground.pred != pattern_atom.pred {
+                        continue;
+                    }
+                    if !unify_slots(&body_plan, pattern_atom, ground, d, &mut seeds) {
+                        continue;
+                    }
+                    let _ = body_plan.for_each_bindings(&seeds, &limits, &mut record);
+                }
+            }
+        }
+        out
+    }
+
+    /// Phase B: walks the merged frontiers in `(TGD, merge)` order and
+    /// applies the active triggers.
+    fn apply_stage(
+        &self,
+        d: &mut Structure,
+        budget: &ChaseBudget,
+        stage: usize,
+        merged: Vec<Vec<Frontier>>,
+        firings: &mut Vec<Firing>,
+        meters: &ChaseMeters,
+    ) -> (usize, Option<ChaseOutcome>) {
+        let mut applications = 0usize;
+        for (ti, frontiers) in merged.into_iter().enumerate() {
+            let tgd = &self.tgds[ti];
             meters.per_rule[ti].0.add(frontiers.len() as u64);
-            for (i, tuple) in frontiers.into_iter().enumerate() {
+            for (i, f) in frontiers.into_iter().enumerate() {
                 // Poll the cooperative stop hook every few hundred
                 // triggers: often enough to honour deadlines promptly,
                 // rarely enough to keep `Instant::now` off the hot path.
                 if i % 256 == 0 && budget.should_stop() {
                     return (applications, Some(ChaseOutcome::Cancelled));
                 }
+                if f.pre_satisfied {
+                    continue;
+                }
                 let fixed: VarMap = tgd
                     .frontier()
                     .iter()
                     .copied()
-                    .zip(tuple.iter().copied())
+                    .zip(f.tuple.iter().copied())
                     .collect();
                 // Condition ­: is ∃z̄ Ψ(z̄, b̄) already true in the *live* D?
+                // (The frozen pre-check said no; earlier applications this
+                // stage may have satisfied it since.)
                 if find_homomorphism(tgd.head(), d, &fixed).is_some() {
                     continue;
                 }
                 self.apply(tgd, &fixed, d);
-                if recording {
+                if let Some(full) = f.full_map {
                     let mut assignment: Vec<(cqfd_core::Var, Node)> =
-                        full_maps[i].iter().map(|(&v, &n)| (v, n)).collect();
+                        full.iter().map(|(&v, &n)| (v, n)).collect();
                     assignment.sort_unstable_by_key(|&(v, _)| v);
                     firings.push(Firing {
                         stage,
@@ -560,7 +818,7 @@ impl ChaseEngine {
     /// Applies one active trigger: `D := D(T, b̄)` — a fresh copy of `A[Ψ]`
     /// glued to the old structure along the frontier (§II.B).
     ///
-    /// (See also [`unify`] below, the seeding step of the semi-naive
+    /// (See also [`unify_slots`] below, the seeding step of the semi-naive
     /// strategy.)
     fn apply(&self, tgd: &Tgd, fixed: &VarMap, d: &mut Structure) {
         let mut assignment = fixed.clone();
@@ -587,14 +845,45 @@ impl ChaseEngine {
     }
 
     /// Finds one active trigger `(tgd index, frontier assignment)`, if any.
+    ///
+    /// Compiles one body plan and one head plan per TGD against the
+    /// (immutable) structure and runs the head check slot-seeded, so the
+    /// model check shares the index-driven atom ordering and
+    /// allocation-free inner loop of the main search.
     pub fn first_violation(&self, d: &Structure) -> Option<(usize, VarMap)> {
         for (i, tgd) in self.tgds.iter().enumerate() {
-            let hit = for_each_homomorphism(tgd.body(), d, &VarMap::new(), |m| {
-                let fixed: VarMap = tgd.frontier().iter().map(|v| (*v, m[v])).collect();
-                if find_homomorphism(tgd.head(), d, &fixed).is_none() {
-                    ControlFlow::Break(fixed)
-                } else {
+            let body_plan = HomPlan::compile(tgd.body(), d);
+            let head_plan = HomPlan::compile(tgd.head(), d);
+            let body_limits = vec![u32::MAX; tgd.body().len()];
+            let head_limits = vec![u32::MAX; tgd.head().len()];
+            let frontier_slots: Vec<(cqfd_core::Var, u32)> = tgd
+                .frontier()
+                .iter()
+                .map(|v| {
+                    (
+                        *v,
+                        body_plan
+                            .slot(*v)
+                            .expect("frontier variable occurs in the body"),
+                    )
+                })
+                .collect();
+            let mut head_seeds: Vec<(u32, Node)> = Vec::with_capacity(frontier_slots.len());
+            let hit = body_plan.for_each_bindings(&[], &body_limits, |b| {
+                head_seeds.clear();
+                for &(v, s) in &frontier_slots {
+                    if let Some(hs) = head_plan.slot(v) {
+                        head_seeds.push((hs, b.node(s)));
+                    }
+                }
+                if head_plan.exists_seeded(&head_seeds, &head_limits) {
                     ControlFlow::Continue(())
+                } else {
+                    let fixed: VarMap = frontier_slots
+                        .iter()
+                        .map(|&(v, s)| (v, b.node(s)))
+                        .collect();
+                    ControlFlow::Break(fixed)
                 }
             });
             if let ControlFlow::Break(fixed) = hit {
@@ -605,31 +894,69 @@ impl ChaseEngine {
     }
 }
 
-/// Unifies a pattern atom with a ground atom: returns the variable
-/// binding, or `None` on a constant/repeated-variable mismatch.
-fn unify(
+/// What one enumeration worker hands back: the `(slice index, frontier)`
+/// pairs it completed, plus the hom-search nodes its thread-local counter
+/// accumulated (credited to the coordinating thread's counter).
+type WorkerYield = (Vec<(usize, Vec<Frontier>)>, u64);
+
+/// One parallelisable enumeration slice of a chase stage: a TGD and, under
+/// the semi-naive strategy, the body position seeded on the delta.
+#[derive(Clone, Copy)]
+struct Slice {
+    ti: usize,
+    seed_pos: Option<usize>,
+}
+
+/// One distinct frontier tuple found in phase A, bundled with everything
+/// phase B needs — a single struct so the tuple/full-map/pre-check triples
+/// cannot drift out of step.
+struct Frontier {
+    /// The frontier tuple b̄.
+    tuple: Vec<Node>,
+    /// First full body match for this tuple (kept only when recording, for
+    /// the `Firing` trace).
+    full_map: Option<VarMap>,
+    /// The head was already satisfied in the frozen snapshot (condition ­):
+    /// monotone, so no live re-check is needed.
+    pre_satisfied: bool,
+}
+
+fn hash_tuple(tuple: &[Node]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tuple.hash(&mut h);
+    h.finish()
+}
+
+/// Unifies a pattern atom with a ground atom directly into plan-slot
+/// seeds (clearing `seeds` first): returns `false` on a
+/// constant/repeated-variable mismatch.
+fn unify_slots(
+    plan: &HomPlan,
     pattern: &cqfd_core::Atom<Term>,
     ground: &cqfd_core::GroundAtom,
     d: &Structure,
-) -> Option<VarMap> {
+    seeds: &mut Vec<(u32, Node)>,
+) -> bool {
     debug_assert_eq!(pattern.pred, ground.pred);
-    let mut m = VarMap::new();
+    seeds.clear();
     for (t, &n) in pattern.args.iter().zip(&ground.args) {
         match t {
             Term::Const(c) => {
                 if d.existing_const_node(*c) != Some(n) {
-                    return None;
+                    return false;
                 }
             }
-            Term::Var(v) => match m.get(v) {
-                Some(&bound) if bound != n => return None,
-                _ => {
-                    m.insert(*v, n);
+            Term::Var(v) => {
+                let s = plan.slot(*v).expect("pattern variable occurs in the body");
+                match seeds.iter().find(|&&(s2, _)| s2 == s) {
+                    Some(&(_, bound)) if bound != n => return false,
+                    Some(_) => {}
+                    None => seeds.push((s, n)),
                 }
-            },
+            }
         }
     }
-    Some(m)
+    true
 }
 
 #[cfg(test)]
@@ -805,6 +1132,68 @@ mod tests {
         let r2 = engine.chase(&d, &ChaseBudget::stages(6));
         assert_eq!(r1.structure.atoms(), r2.structure.atoms());
         assert_eq!(r1.stages, r2.stages);
+    }
+
+    #[test]
+    fn parallel_enumeration_is_byte_identical() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        // A branching system: transitive closure plus an existential rule,
+        // several triggers per stage, so the parallel merge actually has
+        // work to order.
+        let t1 = Tgd::new_unchecked(
+            "trans",
+            vec![vat(r, &[0, 1]), vat(r, &[1, 2])],
+            vec![vat(r, &[0, 2])],
+        );
+        let t2 = Tgd::new_unchecked("spawn", vec![vat(r, &[0, 1])], vec![vat(s, &[1, 2])]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let ns: Vec<Node> = (0..5).map(|_| d.fresh_node()).collect();
+        for w in ns.windows(2) {
+            d.add(r, vec![w[0], w[1]]);
+        }
+        for strategy in [Strategy::Naive, Strategy::SemiNaive] {
+            let engine = ChaseEngine::new(vec![t1.clone(), t2.clone()])
+                .with_strategy(strategy)
+                .with_recording(true);
+            let seq = engine.chase(&d, &ChaseBudget::stages(6));
+            for threads in [2, 4, 8] {
+                let par = engine.chase(&d, &ChaseBudget::stages(6).with_threads(threads));
+                assert_eq!(
+                    seq.structure.atoms(),
+                    par.structure.atoms(),
+                    "{strategy:?} t={threads}"
+                );
+                assert_eq!(seq.stages, par.stages, "{strategy:?} t={threads}");
+                assert_eq!(seq.firings, par.firings, "{strategy:?} t={threads}");
+                assert_eq!(seq.outcome, par.outcome, "{strategy:?} t={threads}");
+                assert_eq!(seq.hom_nodes, par.hom_nodes, "{strategy:?} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_mid_parallel_stage_leaves_a_valid_prefix() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let t = Tgd::new_unchecked("t", vec![vat(r, &[0, 1])], vec![vat(r, &[1, 2])]);
+        let engine = ChaseEngine::new(vec![t]);
+        let mut d = Structure::new(Arc::clone(&sig));
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        d.add(r, vec![a, b]);
+        let token = CancelToken::new();
+        let budget = ChaseBudget::stages(10_000)
+            .with_cancel(token.clone())
+            .with_threads(4);
+        token.cancel(); // fires before (hence during) enumeration
+        let run = engine.chase(&d, &budget);
+        assert_eq!(run.outcome, ChaseOutcome::Cancelled);
+        // A cancelled run is still a valid chase prefix: every recorded
+        // stage boundary reconstructs, and the last one is the result.
+        let last = run.stage_structure(run.stage_count());
+        assert_eq!(last.atoms(), run.structure.atoms());
     }
 
     #[test]

@@ -14,11 +14,21 @@
 //!   by-(predicate, position, node) index whenever any argument is bound,
 //!   falling back to the by-predicate list otherwise.
 //!
+//! Patterns are **compiled** before searching ([`HomPlan`]): each variable
+//! gets a dense slot, constants are resolved to their target nodes once, and
+//! the partial assignment lives in a `Vec<Option<Node>>` indexed by slot
+//! with an undo trail — no `HashMap` operations on the hot path. A
+//! [`VarMap`] is materialised only at match emission (and callers that can
+//! consume raw [`Binding`]s skip even that). A plan borrows its target, so
+//! it can be compiled once and reused across many seeded searches as long
+//! as the target is not mutated in between — exactly the shape of the
+//! chase's per-stage frontier enumeration.
+//!
 //! Used by conjunctive-query evaluation (`D |= Q(ā)`, paper §II.A), by TGD
 //! trigger enumeration in the chase (§II.B–C), and by the universality
 //! checks of §VII (homomorphisms from the chase into finite models).
 
-use crate::atom::Atom;
+use crate::atom::{Atom, GroundAtom};
 use crate::structure::{Node, Structure};
 use crate::term::{Term, Var};
 use std::cell::Cell;
@@ -60,6 +70,21 @@ pub fn hom_nodes_explored() -> u64 {
 /// run) is in flight on the same thread.
 pub fn reset_hom_nodes_explored() {
     HOM_NODES.set(0);
+}
+
+/// Credits `nodes` search nodes to the **current thread's** monotone
+/// counter ([`hom_nodes_explored`]) without touching the pending metric
+/// cells drained by [`publish_hom_metrics`].
+///
+/// The parallel chase fans trigger enumeration out over scoped worker
+/// threads, each with its own thread-local counters. Workers publish their
+/// own pending metric cells before exiting and report their node delta to
+/// the coordinating thread, which calls this so that before/after
+/// subtraction on the coordinator (e.g. `ChaseRun::hom_nodes`) still sees
+/// the whole run's work. Crediting the pending cells here too would
+/// double-count the registry totals the workers already published.
+pub fn add_hom_nodes_explored(nodes: u64) {
+    HOM_NODES.set(HOM_NODES.get() + nodes);
 }
 
 /// Drains this thread's hom-search work since the last call into the
@@ -138,17 +163,10 @@ pub fn for_each_homomorphism_per_atom_limits<B>(
     target: &Structure,
     fixed: &VarMap,
     limits: &[u32],
-    mut visit: impl FnMut(&VarMap) -> ControlFlow<B>,
+    visit: impl FnMut(&VarMap) -> ControlFlow<B>,
 ) -> ControlFlow<B> {
     assert_eq!(limits.len(), pattern.len());
-    let mut assignment: VarMap = fixed.clone();
-    let mut order: Vec<usize> = (0..pattern.len()).collect();
-    let search = Search {
-        pattern,
-        target,
-        limits,
-    };
-    search.run(&mut assignment, &mut order, 0, &mut visit)
+    HomPlan::compile(pattern, target).for_each_maps(fixed, limits, visit)
 }
 
 /// Finds one homomorphism from `pattern` into `target` extending `fixed`.
@@ -177,63 +195,271 @@ pub fn all_homomorphisms(
     out
 }
 
-struct Search<'a> {
-    pattern: &'a [Atom<Term>],
-    target: &'a Structure,
-    limits: &'a [u32],
+/// One compiled pattern argument: either a dense variable slot or a target
+/// node a pattern constant resolved to at compile time.
+#[derive(Clone, Copy, Debug)]
+enum PArg {
+    Slot(u32),
+    Node(Node),
 }
 
-impl Search<'_> {
-    fn run<B, F: FnMut(&VarMap) -> ControlFlow<B>>(
+/// One compiled pattern atom.
+#[derive(Debug)]
+struct PlanAtom {
+    pred: crate::signature::PredId,
+    args: Vec<PArg>,
+}
+
+/// A full assignment of a plan's variable slots, presented to raw-binding
+/// visitors during enumeration.
+///
+/// Borrowed from the search's internal state: valid only for the duration of
+/// the visitor call. Convert with [`Binding::to_varmap`] to keep it.
+pub struct Binding<'a> {
+    vars: &'a [Var],
+    slots: &'a [Option<Node>],
+}
+
+impl Binding<'_> {
+    /// The node bound to `slot`. Panics if the slot is out of range or
+    /// unbound — at emission every pattern slot is bound, so a panic here
+    /// means the slot id came from a different plan.
+    pub fn node(&self, slot: u32) -> Node {
+        self.slots[slot as usize].expect("emitted binding has every pattern slot bound")
+    }
+
+    /// The node bound to variable `v`, if `v` occurs in the pattern.
+    pub fn get(&self, v: Var) -> Option<Node> {
+        let slot = self.vars.iter().position(|&w| w == v)?;
+        self.slots[slot]
+    }
+
+    /// Materialises the binding as a [`VarMap`] over the pattern's variables.
+    pub fn to_varmap(&self) -> VarMap {
+        self.vars
+            .iter()
+            .zip(self.slots)
+            .filter_map(|(&v, n)| n.map(|n| (v, n)))
+            .collect()
+    }
+}
+
+/// A conjunctive-query body compiled against one target structure.
+///
+/// Compilation assigns each pattern variable a dense slot (in order of first
+/// occurrence), resolves pattern constants to their target nodes, and
+/// detects up front the "dead" case where a pattern constant has no node in
+/// the target (then no homomorphism exists). The search state is a
+/// `Vec<Option<Node>>` indexed by slot plus an undo trail, so the per-
+/// candidate hot path does no hashing and no allocation.
+///
+/// The plan borrows the target: it stays valid as long as the target is not
+/// mutated. The chase compiles one plan per `(TGD, delta-position)` slice
+/// against the frozen snapshot and reuses it across every delta seed; ad-hoc
+/// callers go through [`for_each_homomorphism`] and friends, which compile
+/// per call.
+///
+/// Enumeration order and search-node counts are identical to the historical
+/// uncompiled search: the atom-ordering heuristic and index selection read
+/// the same statistics, only the representation of the partial assignment
+/// changed.
+pub struct HomPlan<'p, 't> {
+    pattern: &'p [Atom<Term>],
+    target: &'t Structure,
+    atoms: Vec<PlanAtom>,
+    /// Slot → variable, in order of first occurrence in the pattern.
+    vars: Vec<Var>,
+    slot_of: HashMap<Var, u32>,
+    /// A pattern constant has no node in the target: zero matches.
+    dead: bool,
+}
+
+impl<'p, 't> HomPlan<'p, 't> {
+    /// Compiles `pattern` against `target`.
+    pub fn compile(pattern: &'p [Atom<Term>], target: &'t Structure) -> Self {
+        let mut vars: Vec<Var> = Vec::new();
+        let mut slot_of: HashMap<Var, u32> = HashMap::new();
+        let mut dead = false;
+        let atoms = pattern
+            .iter()
+            .map(|atom| PlanAtom {
+                pred: atom.pred,
+                args: atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) => PArg::Slot(*slot_of.entry(*v).or_insert_with(|| {
+                            vars.push(*v);
+                            (vars.len() - 1) as u32
+                        })),
+                        Term::Const(c) => match target.existing_const_node(*c) {
+                            Some(n) => PArg::Node(n),
+                            None => {
+                                dead = true;
+                                PArg::Node(Node(u32::MAX))
+                            }
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        HomPlan {
+            pattern,
+            target,
+            atoms,
+            vars,
+            slot_of,
+            dead,
+        }
+    }
+
+    /// The slot assigned to variable `v`, if `v` occurs in the pattern.
+    pub fn slot(&self, v: Var) -> Option<u32> {
+        self.slot_of.get(&v).copied()
+    }
+
+    /// Number of variable slots (= distinct pattern variables).
+    pub fn slot_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Slot → variable mapping, in order of first occurrence.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Enumerates matches as raw [`Binding`]s, with slots in `seeds`
+    /// pre-bound. `limits[i]` caps atom `i`'s candidates to the first
+    /// `limits[i]` target atoms in insertion order (`u32::MAX` = no cap).
+    ///
+    /// This is the allocation-light entry point for hot loops: no `VarMap`
+    /// is built unless the visitor asks for one.
+    pub fn for_each_bindings<B>(
         &self,
-        assignment: &mut VarMap,
+        seeds: &[(u32, Node)],
+        limits: &[u32],
+        mut visit: impl FnMut(&Binding) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        assert_eq!(limits.len(), self.pattern.len());
+        if self.dead {
+            return ControlFlow::Continue(());
+        }
+        let mut slots: Vec<Option<Node>> = vec![None; self.vars.len()];
+        for &(s, n) in seeds {
+            slots[s as usize] = Some(n);
+        }
+        let mut order: Vec<usize> = (0..self.atoms.len()).collect();
+        let mut trail: Vec<u32> = Vec::with_capacity(self.vars.len());
+        self.run(&mut slots, &mut order, &mut trail, limits, 0, &mut |sl| {
+            visit(&Binding {
+                vars: &self.vars,
+                slots: sl,
+            })
+        })
+    }
+
+    /// `true` iff at least one match exists with `seeds` pre-bound, under
+    /// the given per-atom candidate limits.
+    ///
+    /// This is the chase's head-satisfaction probe: seed the frontier slots
+    /// and ask whether the head already matches.
+    pub fn exists_seeded(&self, seeds: &[(u32, Node)], limits: &[u32]) -> bool {
+        self.for_each_bindings(seeds, limits, |_| ControlFlow::Break(()))
+            .is_break()
+    }
+
+    /// Enumerates matches as [`VarMap`]s extending `fixed`, like
+    /// [`for_each_homomorphism_per_atom_limits`]. Entries of `fixed` whose
+    /// variables occur in the pattern seed the search; the rest are carried
+    /// into every emitted map unchanged.
+    pub fn for_each_maps<B>(
+        &self,
+        fixed: &VarMap,
+        limits: &[u32],
+        mut visit: impl FnMut(&VarMap) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        let mut seeds: Vec<(u32, Node)> = Vec::with_capacity(fixed.len());
+        for (v, n) in fixed {
+            if let Some(s) = self.slot(*v) {
+                seeds.push((s, *n));
+            }
+        }
+        let mut out = fixed.clone();
+        self.for_each_bindings(&seeds, limits, |b| {
+            for (&v, n) in b.vars.iter().zip(b.slots) {
+                out.insert(v, n.expect("full binding"));
+            }
+            visit(&out)
+        })
+    }
+
+    /// Finds one match extending `fixed`, with no candidate limits.
+    pub fn find(&self, fixed: &VarMap) -> Option<VarMap> {
+        let limits = vec![u32::MAX; self.pattern.len()];
+        match self.for_each_maps(fixed, &limits, |m| ControlFlow::Break(m.clone())) {
+            ControlFlow::Break(m) => Some(m),
+            ControlFlow::Continue(()) => None,
+        }
+    }
+
+    fn run<B, F: FnMut(&[Option<Node>]) -> ControlFlow<B>>(
+        &self,
+        slots: &mut Vec<Option<Node>>,
         order: &mut Vec<usize>,
+        trail: &mut Vec<u32>,
+        limits: &[u32],
         depth: usize,
         visit: &mut F,
     ) -> ControlFlow<B> {
         if depth == order.len() {
-            return visit(assignment);
+            return visit(slots);
         }
         // Pick the most-constrained remaining atom.
-        let pick = self.pick_atom(assignment, &order[depth..]);
+        let pick = self.pick_atom(slots, &order[depth..]);
         order.swap(depth, depth + pick);
         let atom_idx = order[depth];
-        let atom = &self.pattern[atom_idx];
+        let atom = &self.atoms[atom_idx];
 
-        // Enumerate candidate target atoms for `atom`.
-        let candidates = self.candidates(atom, atom_idx, assignment);
-        for cand in candidates {
-            let mut bound_here: Vec<Var> = Vec::new();
-            if self.try_bind(atom, cand, assignment, &mut bound_here) {
-                self.run(assignment, order, depth + 1, visit)?;
+        // Enumerate candidate target atoms for `atom` straight off the
+        // index slice — no per-step allocation.
+        let limit = limits[atom_idx];
+        let candidates = self.candidate_slice(atom, slots);
+        for &ai in candidates {
+            if ai >= limit {
+                break;
             }
-            for v in bound_here {
-                assignment.remove(&v);
+            let cand = &self.target.atoms()[ai as usize];
+            let mark = trail.len();
+            if self.try_bind(atom, cand, slots, trail) {
+                let flow = self.run(slots, order, trail, limits, depth + 1, visit);
+                if flow.is_break() {
+                    return flow;
+                }
             }
+            for &s in &trail[mark..] {
+                slots[s as usize] = None;
+            }
+            trail.truncate(mark);
         }
         ControlFlow::Continue(())
     }
 
     /// Index (into the `remaining` slice) of the best atom to expand next.
-    fn pick_atom(&self, assignment: &VarMap, remaining: &[usize]) -> usize {
+    fn pick_atom(&self, slots: &[Option<Node>], remaining: &[usize]) -> usize {
         let mut best = 0usize;
         let mut best_key = (usize::MAX, usize::MAX); // (candidate count, -bound) minimised
         for (i, &ai) in remaining.iter().enumerate() {
-            let atom = &self.pattern[ai];
+            let atom = &self.atoms[ai];
             let mut bound = 0usize;
             let mut min_index = self.target.pred_count(atom.pred);
-            for (pos, t) in atom.args.iter().enumerate() {
-                let node = match t {
-                    Term::Var(v) => assignment.get(v).copied(),
-                    Term::Const(c) => self.target.existing_const_node(*c),
+            for (pos, arg) in atom.args.iter().enumerate() {
+                let node = match arg {
+                    PArg::Slot(s) => slots[*s as usize],
+                    PArg::Node(n) => Some(*n),
                 };
                 if let Some(n) = node {
                     bound += 1;
                     min_index = min_index.min(self.target.index_size(atom.pred, pos as u8, n));
-                } else if t.as_var().is_none() {
-                    // Constant with no node in target: zero candidates.
-                    min_index = 0;
-                    bound += 1;
                 }
             }
             let key = (min_index, usize::MAX - bound);
@@ -245,23 +471,15 @@ impl Search<'_> {
         best
     }
 
-    /// Candidate target atoms for a pattern atom under the current bindings.
-    fn candidates(
-        &self,
-        atom: &Atom<Term>,
-        atom_idx: usize,
-        assignment: &VarMap,
-    ) -> Vec<&crate::atom::GroundAtom> {
-        let limit = self.limits[atom_idx];
-        // Find the tightest single-position index available.
+    /// Candidate atom indices for a compiled atom under the current
+    /// bindings: the tightest single-position index slice available,
+    /// falling back to the by-predicate slice.
+    fn candidate_slice(&self, atom: &PlanAtom, slots: &[Option<Node>]) -> &'t [u32] {
         let mut best: Option<(u8, Node, usize)> = None;
-        for (pos, t) in atom.args.iter().enumerate() {
-            let node = match t {
-                Term::Var(v) => assignment.get(v).copied(),
-                Term::Const(c) => match self.target.existing_const_node(*c) {
-                    Some(n) => Some(n),
-                    None => return Vec::new(), // constant absent: no candidates
-                },
+        for (pos, arg) in atom.args.iter().enumerate() {
+            let node = match arg {
+                PArg::Slot(s) => slots[*s as usize],
+                PArg::Node(n) => Some(*n),
             };
             if let Some(n) = node {
                 let sz = self.target.index_size(atom.pred, pos as u8, n);
@@ -271,30 +489,25 @@ impl Search<'_> {
             }
         }
         match best {
-            Some((pos, n, _)) => self
-                .target
-                .atoms_with_pred_pos_node_limited(atom.pred, pos, n, limit)
-                .collect(),
-            None => self
-                .target
-                .atoms_with_pred_limited(atom.pred, limit)
-                .collect(),
+            Some((pos, n, _)) => self.target.pred_pos_node_index(atom.pred, pos, n),
+            None => self.target.pred_index(atom.pred),
         }
     }
 
-    /// Attempts to unify `atom` with the ground candidate, extending
-    /// `assignment`; records newly bound vars in `bound_here`.
+    /// Attempts to unify `atom` with the ground candidate, extending the
+    /// slot assignment; newly bound slots are pushed onto `trail` (the
+    /// caller unwinds to its mark on backtrack).
     fn try_bind(
         &self,
-        atom: &Atom<Term>,
-        cand: &crate::atom::GroundAtom,
-        assignment: &mut VarMap,
-        bound_here: &mut Vec<Var>,
+        atom: &PlanAtom,
+        cand: &GroundAtom,
+        slots: &mut [Option<Node>],
+        trail: &mut Vec<u32>,
     ) -> bool {
         debug_assert_eq!(atom.pred, cand.pred);
         HOM_NODES.set(HOM_NODES.get() + 1);
         PENDING_NODES.set(PENDING_NODES.get() + 1);
-        let ok = self.bind_args(atom, cand, assignment, bound_here);
+        let ok = Self::bind_args(atom, cand, slots, trail);
         if !ok {
             PENDING_BACKTRACKS.set(PENDING_BACKTRACKS.get() + 1);
         }
@@ -302,28 +515,27 @@ impl Search<'_> {
     }
 
     fn bind_args(
-        &self,
-        atom: &Atom<Term>,
-        cand: &crate::atom::GroundAtom,
-        assignment: &mut VarMap,
-        bound_here: &mut Vec<Var>,
+        atom: &PlanAtom,
+        cand: &GroundAtom,
+        slots: &mut [Option<Node>],
+        trail: &mut Vec<u32>,
     ) -> bool {
-        for (t, &n) in atom.args.iter().zip(&cand.args) {
-            match t {
-                Term::Const(c) => {
-                    if self.target.existing_const_node(*c) != Some(n) {
+        for (arg, &n) in atom.args.iter().zip(&cand.args) {
+            match arg {
+                PArg::Node(m) => {
+                    if *m != n {
                         return false;
                     }
                 }
-                Term::Var(v) => match assignment.get(v) {
-                    Some(&m) => {
+                PArg::Slot(s) => match slots[*s as usize] {
+                    Some(m) => {
                         if m != n {
                             return false;
                         }
                     }
                     None => {
-                        assignment.insert(*v, n);
-                        bound_here.push(*v);
+                        slots[*s as usize] = Some(n);
+                        trail.push(*s);
                     }
                 },
             }
@@ -535,6 +747,102 @@ mod tests {
         let all = all_homomorphisms(&[], &d, &VarMap::new());
         assert_eq!(all.len(), 1);
         assert!(all[0].is_empty());
+    }
+
+    #[test]
+    fn plan_reuse_matches_per_call_search() {
+        // One compiled plan, seeded repeatedly, must agree with the
+        // compile-per-call wrappers in both matches and emission order.
+        let (d, nodes) = path_structure(4);
+        let pattern = vec![edge_atom(&d, 0, 1), edge_atom(&d, 1, 2)];
+        let plan = HomPlan::compile(&pattern, &d);
+        let limits = vec![u32::MAX; pattern.len()];
+        let s0 = plan.slot(Var(0)).unwrap();
+        for &seed in &nodes {
+            let mut via_plan: Vec<VarMap> = Vec::new();
+            let _: ControlFlow<()> = plan.for_each_bindings(&[(s0, seed)], &limits, |b| {
+                via_plan.push(b.to_varmap());
+                ControlFlow::Continue(())
+            });
+            let mut fixed = VarMap::new();
+            fixed.insert(Var(0), seed);
+            let via_call = all_homomorphisms(&pattern, &d, &fixed);
+            assert_eq!(via_plan.len(), via_call.len());
+            for (a, b) in via_plan.iter().zip(&via_call) {
+                for v in [Var(0), Var(1), Var(2)] {
+                    assert_eq!(a.get(&v), b.get(&v), "seed {seed:?}, var {v:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exists_seeded_agrees_with_find() {
+        let (d, nodes) = path_structure(3);
+        let pattern = vec![edge_atom(&d, 0, 1), edge_atom(&d, 1, 2)];
+        let plan = HomPlan::compile(&pattern, &d);
+        let limits = vec![u32::MAX; pattern.len()];
+        let s0 = plan.slot(Var(0)).unwrap();
+        for &n in &nodes {
+            let mut fixed = VarMap::new();
+            fixed.insert(Var(0), n);
+            assert_eq!(
+                plan.exists_seeded(&[(s0, n)], &limits),
+                find_homomorphism(&pattern, &d, &fixed).is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn per_atom_limits_respected_by_plan() {
+        // With atom 0 limited to the first target atom, only matches using
+        // that atom survive.
+        let (d, _) = path_structure(3);
+        let pattern = vec![edge_atom(&d, 0, 1), edge_atom(&d, 1, 2)];
+        let mut count = 0usize;
+        let _: ControlFlow<()> =
+            for_each_homomorphism_per_atom_limits(&pattern, &d, &VarMap::new(), &[1, 3], |_| {
+                count += 1;
+                ControlFlow::Continue(())
+            });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn fixed_vars_outside_pattern_are_carried_through() {
+        let (d, nodes) = path_structure(2);
+        let pattern = vec![edge_atom(&d, 0, 1)];
+        let mut fixed = VarMap::new();
+        fixed.insert(Var(7), nodes[0]); // not in the pattern
+        let all = all_homomorphisms(&pattern, &d, &fixed);
+        assert_eq!(all.len(), 2);
+        for m in &all {
+            assert_eq!(m[&Var(7)], nodes[0]);
+        }
+    }
+
+    #[test]
+    fn add_hom_nodes_credits_local_counter_only() {
+        publish_hom_metrics(); // drain pending
+        let before = hom_nodes_explored();
+        add_hom_nodes_explored(42);
+        assert_eq!(hom_nodes_explored(), before + 42);
+        // Pending cells untouched: a publish now must not add the 42 to the
+        // registry (workers already published their own).
+        let snap = |name: &str| {
+            cqfd_obs::global()
+                .snapshot()
+                .family(name)
+                .and_then(|f| f.get(&[]))
+                .and_then(|v| v.as_counter())
+                .unwrap_or(0)
+        };
+        let nodes0 = snap("cqfd_hom_search_nodes_total");
+        publish_hom_metrics();
+        let nodes1 = snap("cqfd_hom_search_nodes_total");
+        // Other test threads may publish concurrently, so we can only bound
+        // the delta from below by zero — but our own thread added nothing.
+        assert!(nodes1 >= nodes0);
     }
 
     #[test]

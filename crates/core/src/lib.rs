@@ -64,9 +64,10 @@ pub use core_of::{compact, core_of, hom_equivalent, is_core};
 pub use cq::{AnswerSet, Cq};
 pub use error::CoreError;
 pub use hom::{
-    all_homomorphisms, find_homomorphism, for_each_homomorphism, for_each_homomorphism_limited,
-    for_each_homomorphism_per_atom_limits, hom_nodes_explored, publish_hom_metrics,
-    reset_hom_nodes_explored, structure_homomorphism, VarMap,
+    add_hom_nodes_explored, all_homomorphisms, find_homomorphism, for_each_homomorphism,
+    for_each_homomorphism_limited, for_each_homomorphism_per_atom_limits, hom_nodes_explored,
+    publish_hom_metrics, reset_hom_nodes_explored, structure_homomorphism, Binding, HomPlan,
+    VarMap,
 };
 pub use iso::isomorphic;
 pub use signature::{ConstId, PredId, Signature};

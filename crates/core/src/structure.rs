@@ -220,6 +220,23 @@ impl Structure {
             .map_or(0, Vec::len)
     }
 
+    /// The raw by-predicate index: atom indices (into [`Self::atoms`]) with
+    /// this predicate, in insertion order. Exposed as a slice so compiled
+    /// homomorphism plans can scan candidates without an iterator
+    /// allocation; an absent predicate yields an empty slice.
+    pub fn pred_index(&self, pred: PredId) -> &[u32] {
+        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+    }
+
+    /// The raw by-(predicate, position, node) index: atom indices carrying
+    /// `node` at position `pos`, in insertion order. Companion of
+    /// [`Self::pred_index`] for the compiled hom-search hot path.
+    pub fn pred_pos_node_index(&self, pred: PredId, pos: u8, node: Node) -> &[u32] {
+        self.by_pred_pos_node
+            .get(&(pred, pos, node))
+            .map_or(&[], Vec::as_slice)
+    }
+
     /// Like [`Self::atoms_with_pred`], restricted to the first `limit` atoms
     /// (by insertion order). Index lists are insertion-ordered, so this is a
     /// prefix scan. Used by the chase to enumerate triggers over a frozen

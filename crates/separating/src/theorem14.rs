@@ -25,15 +25,28 @@ pub fn separating_space() -> Arc<LabelSpace> {
 /// appeared (it must not — the chase builds only the harmless diagonal
 /// grids `M_t` of Figure 4).
 pub fn chase_from_di(stages: usize) -> (GreenGraph, ChaseRun, bool) {
+    chase_from_di_with(&separating_budget(stages))
+}
+
+/// [`chase_from_di`] under a caller-supplied budget: same start structure
+/// and rule set, but the caller controls cancellation, deadline and the
+/// enumeration thread count (see [`separating_budget`] for the stock
+/// limits).
+pub fn chase_from_di_with(budget: &ChaseBudget) -> (GreenGraph, ChaseRun, bool) {
     let sys = t_separating();
     let g = GreenGraph::di(separating_space());
-    let budget = ChaseBudget {
+    sys.chase_until_12(&g, budget)
+}
+
+/// The stock budget the Theorem 14 drivers run under: `stages` stages and
+/// the generous 4 Mi atom/node caps the separating chases need.
+pub fn separating_budget(stages: usize) -> ChaseBudget {
+    ChaseBudget {
         max_stages: stages,
         max_atoms: 1 << 22,
         max_nodes: 1 << 22,
         ..ChaseBudget::default()
-    };
-    sys.chase_until_12(&g, &budget)
+    }
 }
 
 /// Evidence for the "finitely leads to the red spider" half: starting from
@@ -48,15 +61,19 @@ pub fn chase_from_di(stages: usize) -> (GreenGraph, ChaseRun, bool) {
 /// chase (and homomorphisms preserve the pattern), every such model
 /// contains it (Lemma 17).
 pub fn chase_from_lasso(n: usize, period: usize, stages: usize) -> (GreenGraph, ChaseRun, bool) {
+    chase_from_lasso_with(n, period, &separating_budget(stages))
+}
+
+/// [`chase_from_lasso`] under a caller-supplied budget (cancellation,
+/// deadline, thread count).
+pub fn chase_from_lasso_with(
+    n: usize,
+    period: usize,
+    budget: &ChaseBudget,
+) -> (GreenGraph, ChaseRun, bool) {
     let sys = t_separating();
     let g = lasso_model(separating_space(), n, period);
-    let budget = ChaseBudget {
-        max_stages: stages,
-        max_atoms: 1 << 22,
-        max_nodes: 1 << 22,
-        ..ChaseBudget::default()
-    };
-    sys.chase_until_12(&g, &budget)
+    sys.chase_until_12(&g, budget)
 }
 
 /// A machine-checkable certificate for the positive half of Theorem 14:

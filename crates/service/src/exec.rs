@@ -30,6 +30,17 @@ use std::time::Instant;
 /// robust to worker reuse (a before/after delta would be too, but a reset
 /// also keeps the counter from growing without bound over a pool's life).
 pub fn execute(id: u64, job: &Job, cancel: &CancelToken) -> JobResult {
+    execute_capped(id, job, cancel, usize::MAX)
+}
+
+/// [`execute`] with an upper bound on the job's chase enumeration threads.
+///
+/// The pool passes `available_parallelism / workers` here so that
+/// `workers × threads` never oversubscribes the host; direct callers
+/// (`cqfd determine`, tests) use [`execute`], which does not cap. Capping
+/// never changes job output — the parallel chase is byte-deterministic at
+/// every thread count — only how fast it arrives.
+pub fn execute_capped(id: u64, job: &Job, cancel: &CancelToken, thread_cap: usize) -> JobResult {
     let clock = Stopwatch::start();
     let tracing = job.budget().is_some_and(|b| b.emit_trace);
     if tracing {
@@ -50,7 +61,7 @@ pub fn execute(id: u64, job: &Job, cancel: &CancelToken) -> JobResult {
                 detail: "cancelled".into(),
             }
         } else {
-            run_job(job, cancel, &mut metrics, &mut certificate)
+            run_job(job, cancel, thread_cap, &mut metrics, &mut certificate)
         }
     };
     metrics.homs = hom_nodes_explored();
@@ -96,9 +107,12 @@ fn record_job_metrics(kind: &'static str, verdict: &'static str, clock: &Stopwat
 }
 
 /// Builds the chase budget for a job: declared limits plus the pool's
-/// cancellation token and (if any) a deadline starting now.
-fn chase_budget(budget: &JobBudget, cancel: &CancelToken) -> ChaseBudget {
-    let mut b = ChaseBudget::stages(budget.max_stages).with_cancel(cancel.clone());
+/// cancellation token, (if any) a deadline starting now, and the job's
+/// enumeration thread count capped by the executor's `thread_cap`.
+fn chase_budget(budget: &JobBudget, cancel: &CancelToken, thread_cap: usize) -> ChaseBudget {
+    let mut b = ChaseBudget::stages(budget.max_stages)
+        .with_cancel(cancel.clone())
+        .with_threads(budget.threads.min(thread_cap.max(1)));
     if let Some(t) = budget.timeout {
         b = b.with_timeout(t);
     }
@@ -125,6 +139,7 @@ fn stop_detail(cancel: &CancelToken) -> String {
 fn run_job(
     job: &Job,
     cancel: &CancelToken,
+    thread_cap: usize,
     metrics: &mut JobMetrics,
     certificate: &mut Option<String>,
 ) -> JobOutcome {
@@ -136,7 +151,7 @@ fn run_job(
             budget,
         } => {
             let oracle = DeterminacyOracle::new(sig.clone());
-            let cr = oracle.certify_run(views, q0, &chase_budget(budget, cancel));
+            let cr = oracle.certify_run(views, q0, &chase_budget(budget, cancel, thread_cap));
             record_run(metrics, &cr.run);
             if cr.run.outcome == ChaseOutcome::Cancelled {
                 return JobOutcome::BudgetExceeded {
@@ -194,12 +209,30 @@ fn run_job(
             outcome
         }
         Job::Separate { budget } => {
-            let (_, run_di, di_pattern) =
-                cqfd_separating::theorem14::chase_from_di(budget.max_stages);
+            // Thread the service budget (cancel, deadline, threads) into
+            // both Theorem 14 chases, preserving the generous size caps of
+            // the stock separating budget.
+            let chase = ChaseBudget {
+                cancel: cancel.clone(),
+                deadline: budget.timeout.map(|t| Instant::now() + t),
+                threads: budget.threads.max(1).min(thread_cap.max(1)),
+                ..cqfd_separating::theorem14::separating_budget(budget.max_stages)
+            };
+            let (_, run_di, di_pattern) = cqfd_separating::theorem14::chase_from_di_with(&chase);
             record_run(metrics, &run_di);
+            if run_di.outcome == ChaseOutcome::Cancelled {
+                return JobOutcome::BudgetExceeded {
+                    detail: stop_detail(cancel),
+                };
+            }
             let (g_lasso, run_lasso, lasso_pattern) =
-                cqfd_separating::theorem14::chase_from_lasso(3, 1, budget.max_stages);
+                cqfd_separating::theorem14::chase_from_lasso_with(3, 1, &chase);
             record_run(metrics, &run_lasso);
+            if run_lasso.outcome == ChaseOutcome::Cancelled {
+                return JobOutcome::BudgetExceeded {
+                    detail: stop_detail(cancel),
+                };
+            }
             if budget.emit_certificate && lasso_pattern {
                 *certificate =
                     cqfd_cert::emit::pattern_certificate(&g_lasso).map(|c| cqfd_cert::encode(&c));

@@ -32,6 +32,12 @@ pub struct JobBudget {
     /// default: a trace turns on the `cqfd-obs` capture sink for the
     /// worker thread, which makes every span/event site pay for rendering.
     pub emit_trace: bool,
+    /// Enumeration worker threads for chase-based jobs (wire `threads=`,
+    /// CLI `--threads`). `1` (the default) is fully sequential. The chase
+    /// output is byte-identical at every setting; the executor additionally
+    /// caps this so that `pool workers × job threads` never oversubscribes
+    /// the host (see `PoolConfig`).
+    pub threads: usize,
 }
 
 impl Default for JobBudget {
@@ -43,6 +49,7 @@ impl Default for JobBudget {
             timeout: None,
             emit_certificate: false,
             emit_trace: false,
+            threads: 1,
         }
     }
 }
@@ -81,6 +88,12 @@ impl JobBudget {
     /// Requests a JSONL execution trace on the result.
     pub fn with_trace(mut self, emit: bool) -> Self {
         self.emit_trace = emit;
+        self
+    }
+
+    /// Sets the chase enumeration thread count (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -158,6 +171,19 @@ impl Job {
 
     /// The job's budget, when the variant carries one.
     pub fn budget(&self) -> Option<&JobBudget> {
+        match self {
+            Job::Determine { budget, .. }
+            | Job::Creep { budget, .. }
+            | Job::Separate { budget }
+            | Job::CounterexampleSearch { budget, .. } => Some(budget),
+            Job::Rewrite { .. } | Job::Reduce { .. } => None,
+        }
+    }
+
+    /// Mutable access to the job's budget, when the variant carries one.
+    /// Used by batch drivers that override parsed budgets from the command
+    /// line (e.g. `cqfd batch --threads N`).
+    pub fn budget_mut(&mut self) -> Option<&mut JobBudget> {
         match self {
             Job::Determine { budget, .. }
             | Job::Creep { budget, .. }

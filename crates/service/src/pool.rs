@@ -9,7 +9,7 @@
 //! and [`Pool::drop`] joins every handle, so no detached threads survive
 //! the pool.
 
-use crate::exec::execute;
+use crate::exec::execute_capped;
 use crate::job::Job;
 use crate::outcome::{JobOutcome, JobResult};
 use cqfd_core::CancelToken;
@@ -162,13 +162,21 @@ impl Pool {
         );
         let (tx, rx) = mpsc::sync_channel::<Submission>(config.queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
-        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        let worker_count = config.workers.max(1);
+        // Pool-aware cap on per-job chase threads: `workers × threads`
+        // must not oversubscribe the host, so each worker may fan a job
+        // out over at most `available_parallelism / workers` threads
+        // (min 1 — a job always runs). The cap never changes results,
+        // only scheduling.
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let thread_cap = (avail / worker_count).max(1);
+        let workers: Vec<JoinHandle<()>> = (0..worker_count)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let depth = queue_depth.clone();
                 std::thread::Builder::new()
                     .name(format!("cqfd-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &depth))
+                    .spawn(move || worker_loop(&rx, &depth, thread_cap))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -276,7 +284,7 @@ impl std::fmt::Debug for Pool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Submission>>, queue_depth: &Gauge) {
+fn worker_loop(rx: &Mutex<Receiver<Submission>>, queue_depth: &Gauge, thread_cap: usize) {
     loop {
         // Hold the lock only for the dequeue, not for the job.
         let sub = match rx.lock() {
@@ -286,7 +294,7 @@ fn worker_loop(rx: &Mutex<Receiver<Submission>>, queue_depth: &Gauge) {
         match sub {
             Ok(s) => {
                 queue_depth.dec();
-                let result = execute(s.id, &s.job, &s.cancel);
+                let result = execute_capped(s.id, &s.job, &s.cancel, thread_cap);
                 // The submitter may have dropped its handle; that's fine.
                 let _ = s.reply.send(result);
             }

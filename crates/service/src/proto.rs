@@ -132,6 +132,18 @@ impl Fields {
         self.flag("trace")
     }
 
+    /// The `threads=` key: chase enumeration worker threads. Must be a
+    /// positive integer — `threads=0` is a contradiction, not "default".
+    fn threads(&self) -> Result<usize, String> {
+        match self.get("threads") {
+            None => Ok(1),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("bad threads=`{v}` (want a positive integer)")),
+            },
+        }
+    }
+
     /// The `worm=` spec, with parse errors naming the key and value.
     fn worm(&self) -> Result<Delta, String> {
         let spec = self.require("worm")?;
@@ -139,7 +151,7 @@ impl Fields {
     }
 
     /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`,
-    /// `cert=`, `trace=`.
+    /// `cert=`, `trace=`, `threads=`.
     fn budget(&self) -> Result<JobBudget, String> {
         let d = JobBudget::default();
         let timeout = match self.get("timeout-ms") {
@@ -158,6 +170,7 @@ impl Fields {
             timeout,
             emit_certificate: self.cert_flag()?,
             emit_trace: self.trace_flag()?,
+            threads: self.threads()?,
         })
     }
 }
@@ -287,6 +300,7 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
                 "timeout-ms",
                 "cert",
                 "trace",
+                "threads",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::Determine {
@@ -313,14 +327,15 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
             }
         }
         "separate" => {
-            f.check_keys(&["stages", "cert", "trace"])?;
+            f.check_keys(&["stages", "cert", "trace", "threads"])?;
             // The lasso chase needs ~80 stages to exhibit the 1-2 pattern,
             // so `separate` defaults higher than the generic budget.
             Job::Separate {
                 budget: JobBudget::default()
                     .with_stages(f.usize_or("stages", 80)?)
                     .with_certificate(f.cert_flag()?)
-                    .with_trace(f.trace_flag()?),
+                    .with_trace(f.trace_flag()?)
+                    .with_threads(f.threads()?),
             }
         }
         "counterexample" => {
@@ -480,6 +495,34 @@ mod tests {
 
         let err = parse_job("creep worm=short timeout-ms=soon").unwrap_err();
         assert!(err.contains("timeout-ms=`soon`"), "{err}");
+
+        let err = parse_job("determine instance=projection threads=many").unwrap_err();
+        assert!(err.contains("threads=`many`"), "{err}");
+        assert!(err.contains("positive integer"), "{err}");
+
+        let err = parse_job("separate threads=0").unwrap_err();
+        assert!(err.contains("threads=`0`"), "{err}");
+    }
+
+    #[test]
+    fn threads_key_parses_where_chasing_happens() {
+        match parse_job("determine instance=projection threads=4")
+            .unwrap()
+            .unwrap()
+        {
+            Job::Determine { budget, .. } => assert_eq!(budget.threads, 4),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("separate stages=60 threads=2").unwrap().unwrap() {
+            Job::Separate { budget } => assert_eq!(budget.threads, 2),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("separate").unwrap().unwrap() {
+            Job::Separate { budget } => assert_eq!(budget.threads, 1),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Creep never chases, so it rejects the key outright.
+        assert!(parse_job("creep worm=short threads=4").is_err());
     }
 
     #[test]

@@ -61,20 +61,23 @@ const USAGE: &str = "cqfd — conjunctive-query determinacy toolbox
 
 USAGE:
   cqfd determine --sig <P/k,...> --view <CQ> [--view <CQ> ...] --query <CQ>
-                 [--stages <n>] [--search-nodes <n>]
+                 [--stages <n>] [--search-nodes <n>] [--threads <n>]
   cqfd rewrite   --sig <P/k,...> --view <CQ> ... --query <CQ>
   cqfd creep     --worm <forever|short|counter:M|tm-walker:K|tm-zigzag:K|file:PATH>
                  [--steps <n>] [--trace <n>]  [--emit]
   cqfd reduce    --worm <...>
-  cqfd separate  [--stages <n>]
+  cqfd separate  [--stages <n>] [--threads <n>]
   cqfd certify   <determine|separate|creep|countermodel> [per-kind flags]
                  [--out <file>]   (emit a machine-checkable certificate)
   cqfd check     <file>           (validate a certificate; nonzero on reject)
-  cqfd batch     <jobs-file> [--workers <n>] [--queue <n>]
+  cqfd batch     <jobs-file> [--workers <n>] [--queue <n>] [--threads <n>]
   cqfd serve     --listen <addr> [--workers <n>] [--queue <n>]
   cqfd metrics   [--connect <addr>] [<jobs-file>]
                  (Prometheus text: scrape a running server, or run the
                   jobs locally first and dump this process's registry)
+
+`--threads <n>` fans chase enumeration out over n worker threads; output
+is byte-identical at every setting (see README, Performance).
 
 CQ syntax: `Name(x,y) :- R(x,z), S(z,y)`; constants as `#c`.
 Job-file syntax: one job per line, e.g. `determine instance=path:2x3`;
@@ -140,6 +143,18 @@ fn positionals(args: &[String]) -> Vec<&str> {
     out
 }
 
+/// The `--threads` flag: chase enumeration worker threads (default 1).
+/// Zero is rejected — a chase always runs on at least one thread.
+fn threads_flag(args: &[String]) -> Result<usize, String> {
+    match flag(args, "--threads") {
+        None => Ok(1),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad --threads `{v}` (want a positive integer)")),
+        },
+    }
+}
+
 fn parse_sig(spec: &str) -> Result<Signature, String> {
     let mut sig = Signature::new();
     for part in spec.split(',') {
@@ -162,7 +177,14 @@ fn parse_sig(spec: &str) -> Result<Signature, String> {
 fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
     check_flags(
         args,
-        &["--sig", "--view", "--query", "--stages", "--search-nodes"],
+        &[
+            "--sig",
+            "--view",
+            "--query",
+            "--stages",
+            "--search-nodes",
+            "--threads",
+        ],
     )?;
     let sig = parse_sig(flag(args, "--sig").ok_or("missing --sig")?)?;
     let views: Vec<Cq> = flag_values(args, "--view")
@@ -197,8 +219,13 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
     let search_nodes: usize = flag(args, "--search-nodes").map_or(Ok(3), |s| {
         s.parse().map_err(|_| "bad --search-nodes".to_string())
     })?;
+    let threads = threads_flag(args)?;
     let oracle = DeterminacyOracle::new(sig);
-    let cr = oracle.certify_run(&views, &q0, &ChaseBudget::stages(stages));
+    let cr = oracle.certify_run(
+        &views,
+        &q0,
+        &ChaseBudget::stages(stages).with_threads(threads),
+    );
     let run = &cr.run;
     match cr.verdict {
         Verdict::Determined { stage } => {
@@ -324,17 +351,22 @@ fn reduce_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn separate_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--stages"])?;
-    use cqfd::separating::theorem14::{chase_from_di, chase_from_lasso};
+    check_flags(args, &["--stages", "--threads"])?;
+    use cqfd::separating::theorem14::{
+        chase_from_di_with, chase_from_lasso_with, separating_budget,
+    };
     let stages: usize = flag(args, "--stages").map_or(Ok(80), |s| {
         s.parse().map_err(|_| "bad --stages".to_string())
     })?;
-    let (_, run, found) = chase_from_di(stages.min(10));
+    let threads = threads_flag(args)?;
+    let (_, run, found) =
+        chase_from_di_with(&separating_budget(stages.min(10)).with_threads(threads));
     println!(
         "chase(T, DI): {} stages, 1-2 pattern: {found}",
         run.stage_count()
     );
-    let (_, run, found) = chase_from_lasso(3, 1, stages);
+    let (_, run, found) =
+        chase_from_lasso_with(3, 1, &separating_budget(stages).with_threads(threads));
     println!(
         "chase(T, lasso(3,1)): 1-2 pattern: {found} after {} stages",
         run.stage_count()
@@ -469,15 +501,26 @@ fn pool_config(args: &[String]) -> Result<PoolConfig, String> {
 }
 
 fn batch_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--workers", "--queue"])?;
+    check_flags(args, &["--workers", "--queue", "--threads"])?;
     let pos = positionals(args);
     let [path] = pos.as_slice() else {
         return Err("batch takes exactly one <jobs-file>".into());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let jobs = parse_jobs(&text)?;
+    let mut jobs = parse_jobs(&text)?;
     if jobs.is_empty() {
         return Err("no jobs in file".into());
+    }
+    // `--threads` overrides every parsed job's budget, so one flag drives
+    // a whole jobs file (jobs without a budget, e.g. `rewrite`, are left
+    // alone). Per-line `threads=` keys are overwritten deliberately.
+    if flag(args, "--threads").is_some() {
+        let threads = threads_flag(args)?;
+        for j in &mut jobs {
+            if let Some(b) = j.budget_mut() {
+                b.threads = threads;
+            }
+        }
     }
     let cfg = pool_config(args)?;
     eprintln!("{} jobs on {} workers", jobs.len(), cfg.workers);
