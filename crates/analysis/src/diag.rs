@@ -1,0 +1,516 @@
+//! The diagnostics framework: codes, severities, locations, and the three
+//! renderings (human, line-oriented machine, JSON).
+//!
+//! The machine rendering mirrors the `cqfd-cert` wire-format idiom: a
+//! `cqfd-lint v1` header, one `diag` line per diagnostic with
+//! space-separated `key=value` fields (free-text values double-quoted with
+//! `\"`/`\\` escapes), and a lone `end` trailer. That is the payload the
+//! service ships behind the `lint_lines=` marker.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+///
+/// `Error` means the input is wrong (unsafe query, arity mismatch,
+/// undeclared predicate) and must be rejected; `Warn` flags inputs that
+/// run but deserve a second look (not weakly acyclic, dead symbols); `Info`
+/// is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious but executable.
+    Warn,
+    /// The input is malformed; executing it is refused.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (`error`/`warn`/`info`), used in all three
+    /// renderings and as the obs metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The diagnostic codes. The `A0xx` block is safety/well-formedness,
+/// `A1xx` is termination, `A2xx` is rainworm program lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// A001: a query head variable does not occur in the body.
+    UnsafeHeadVariable,
+    /// A002: two rules with identical bodies and heads.
+    DuplicateRule,
+    /// A010: an atom's argument count differs from the predicate's
+    /// declared arity.
+    ArityMismatch,
+    /// A011: a predicate declared twice with different arities.
+    ArityConflict,
+    /// A020: an atom over a predicate the signature does not declare.
+    UndeclaredPredicate,
+    /// A021: a declared predicate no rule or query mentions.
+    UnusedPredicate,
+    /// A030: the rule text failed to parse.
+    ParseError,
+    /// A100: the TGD set is not weakly acyclic — the chase may diverge.
+    NotWeaklyAcyclic,
+    /// A200: a rainworm instruction whose left-hand side can never occur.
+    UnreachableInstruction,
+    /// A201: a rainworm symbol written by some instruction but read by
+    /// none.
+    DeadSymbol,
+    /// A202: the rainworm cannot creep past step 0 from the initial
+    /// configuration.
+    StuckAtStart,
+}
+
+impl Code {
+    /// All codes, in code order — drives the README table test and the
+    /// metric pre-registration.
+    pub fn all() -> &'static [Code] {
+        &[
+            Code::UnsafeHeadVariable,
+            Code::DuplicateRule,
+            Code::ArityMismatch,
+            Code::ArityConflict,
+            Code::UndeclaredPredicate,
+            Code::UnusedPredicate,
+            Code::ParseError,
+            Code::NotWeaklyAcyclic,
+            Code::UnreachableInstruction,
+            Code::DeadSymbol,
+            Code::StuckAtStart,
+        ]
+    }
+
+    /// The stable code string, e.g. `A001`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnsafeHeadVariable => "A001",
+            Code::DuplicateRule => "A002",
+            Code::ArityMismatch => "A010",
+            Code::ArityConflict => "A011",
+            Code::UndeclaredPredicate => "A020",
+            Code::UnusedPredicate => "A021",
+            Code::ParseError => "A030",
+            Code::NotWeaklyAcyclic => "A100",
+            Code::UnreachableInstruction => "A200",
+            Code::DeadSymbol => "A201",
+            Code::StuckAtStart => "A202",
+        }
+    }
+
+    /// The code's fixed severity. Note `NotWeaklyAcyclic` is a *warning*:
+    /// weak acyclicity is sufficient for termination, not necessary, and
+    /// this repo's built-in families are deliberately non-terminating —
+    /// running them is the point, so the verdict must not block execution.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnsafeHeadVariable
+            | Code::ArityMismatch
+            | Code::ArityConflict
+            | Code::UndeclaredPredicate
+            | Code::ParseError => Severity::Error,
+            Code::DuplicateRule
+            | Code::NotWeaklyAcyclic
+            | Code::UnreachableInstruction
+            | Code::DeadSymbol
+            | Code::StuckAtStart => Severity::Warn,
+            Code::UnusedPredicate => Severity::Info,
+        }
+    }
+
+    /// Short title, as listed in the README code table.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::UnsafeHeadVariable => "unsafe head variable",
+            Code::DuplicateRule => "duplicate rule",
+            Code::ArityMismatch => "arity mismatch",
+            Code::ArityConflict => "conflicting arity declaration",
+            Code::UndeclaredPredicate => "undeclared predicate",
+            Code::UnusedPredicate => "unused predicate",
+            Code::ParseError => "parse error",
+            Code::NotWeaklyAcyclic => "not weakly acyclic",
+            Code::UnreachableInstruction => "unreachable instruction",
+            Code::DeadSymbol => "symbol written but never read",
+            Code::StuckAtStart => "cannot creep past step 0",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A 1-based source location in the linted rule text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// One diagnostic: a code, its severity, an optional subject (the rule,
+/// predicate, or instruction at fault), an optional source location, and a
+/// human-readable message naming the specifics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The diagnostic code.
+    pub code: Code,
+    /// Severity — always `code.severity()`; stored so a report can be
+    /// filtered without re-deriving it.
+    pub severity: Severity,
+    /// What the diagnostic is about: a rule name, predicate, variable, or
+    /// instruction, when there is one.
+    pub subject: Option<String>,
+    /// Where in the source text, when the input was parsed from text.
+    pub location: Option<Location>,
+    /// The full message, naming the offending rule/variable/arities.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic with the code's fixed severity and no subject or
+    /// location.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            subject: None,
+            location: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the subject (rule/predicate/instruction name).
+    pub fn with_subject(mut self, subject: impl Into<String>) -> Diagnostic {
+        self.subject = Some(subject.into());
+        self
+    }
+
+    /// Attaches a source location.
+    pub fn with_location(mut self, line: usize, col: usize) -> Diagnostic {
+        self.location = Some(Location { line, col });
+        self
+    }
+
+    /// The human rendering: `error[A001] at 3:5 (rule `v1`): message`.
+    pub fn render_human(&self) -> String {
+        let mut out = format!("{}[{}]", self.severity, self.code);
+        if let Some(loc) = self.location {
+            out.push_str(&format!(" at {loc}"));
+        }
+        if let Some(s) = &self.subject {
+            out.push_str(&format!(" (`{s}`)"));
+        }
+        out.push_str(": ");
+        out.push_str(&self.message);
+        out
+    }
+
+    /// The machine line: `diag code=A001 severity=error line=3 col=5
+    /// subject="v1" msg="..."` — `line`/`col`/`subject` omitted when
+    /// absent.
+    pub fn render_line(&self) -> String {
+        let mut out = format!("diag code={} severity={}", self.code, self.severity);
+        if let Some(loc) = self.location {
+            out.push_str(&format!(" line={} col={}", loc.line, loc.col));
+        }
+        if let Some(s) = &self.subject {
+            out.push_str(&format!(" subject={}", quote(s)));
+        }
+        out.push_str(&format!(" msg={}", quote(&self.message)));
+        out
+    }
+
+    /// The diagnostic as one JSON object (hand-rolled — the workspace
+    /// deliberately has no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\"",
+            self.code, self.severity
+        );
+        if let Some(loc) = self.location {
+            out.push_str(&format!(",\"line\":{},\"col\":{}", loc.line, loc.col));
+        }
+        if let Some(s) = &self.subject {
+            out.push_str(&format!(",\"subject\":{}", json_string(s)));
+        }
+        out.push_str(&format!(",\"message\":{}}}", json_string(&self.message)));
+        out
+    }
+}
+
+/// Double-quotes a string with `\"`/`\\` escapes (the cert wire-format
+/// token convention).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON string literal with the escapes JSON requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An ordered collection of diagnostics plus the rendering and counting
+/// helpers every consumer (CLI, service, CI) goes through.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// The diagnostics, in emission order (source order for parsed input).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Registers the `cqfd_analysis_diagnostics_total` series for every code
+/// once per process, so a scrape shows the full family at zero even
+/// before any diagnostic fires (scrapes would otherwise grow series as
+/// codes first trigger, which reads as missing data, not as zero).
+fn preregister_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        for code in Code::all() {
+            cqfd_obs::global().counter(
+                "cqfd_analysis_diagnostics_total",
+                "Lint diagnostics emitted, by code.",
+                &[("code", code.as_str())],
+            );
+        }
+    });
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        preregister_metrics();
+        Report::default()
+    }
+
+    /// Appends a diagnostic and bumps the per-code obs counter
+    /// (`cqfd_analysis_diagnostics_total{code=...}`).
+    pub fn push(&mut self, d: Diagnostic) {
+        cqfd_obs::global()
+            .counter(
+                "cqfd_analysis_diagnostics_total",
+                "Lint diagnostics emitted, by code.",
+                &[("code", d.code.as_str())],
+            )
+            .inc();
+        self.diagnostics.push(d);
+    }
+
+    /// Appends all diagnostics of another report.
+    pub fn merge(&mut self, other: Report) {
+        // The other report's pushes already bumped the metric.
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Does the report carry any error-severity diagnostic? This is the
+    /// gate: the CLI exits nonzero and the service rejects the job.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// The first error-severity diagnostic, if any — what a rejection
+    /// message quotes.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+    }
+
+    /// Multi-line human rendering with a trailing summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_human());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info\n",
+            self.error_count(),
+            self.count(Severity::Warn),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+
+    /// The line-oriented machine rendering: `cqfd-lint v1` header, one
+    /// `diag` line per diagnostic, `end` trailer.
+    pub fn render_lines(&self) -> String {
+        let mut out = String::from("cqfd-lint v1\n");
+        for d in &self.diagnostics {
+            out.push_str(&d.render_line());
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// JSON rendering: an object with counts and the diagnostics array.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"errors\": {},\n", self.error_count()));
+        out.push_str(&format!(
+            "  \"warnings\": {},\n",
+            self.count(Severity::Warn)
+        ));
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&d.render_json());
+            if i + 1 != self.diagnostics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        let codes: Vec<&str> = Code::all().iter().map(|c| c.as_str()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "codes must be unique and listed in order");
+    }
+
+    /// The README's diagnostic-code table is the user-facing contract;
+    /// every code must appear there with its severity and title verbatim.
+    #[test]
+    fn readme_table_stays_in_sync() {
+        let readme = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"));
+        for c in Code::all() {
+            let row = readme
+                .lines()
+                .find(|l| l.starts_with(&format!("| {} |", c.as_str())))
+                .unwrap_or_else(|| panic!("README table has no row for {}", c.as_str()));
+            assert!(
+                row.contains(c.severity().name()),
+                "README row for {} must list severity `{}`: {row}",
+                c.as_str(),
+                c.severity().name()
+            );
+            assert!(
+                row.contains(c.title()),
+                "README row for {} must carry the title `{}`: {row}",
+                c.as_str(),
+                c.title()
+            );
+        }
+    }
+
+    #[test]
+    fn severity_gate_counts_only_errors() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::UnusedPredicate, "x"));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Code::NotWeaklyAcyclic, "cycle"));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Code::ArityMismatch, "boom"));
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.first_error().unwrap().code, Code::ArityMismatch);
+    }
+
+    #[test]
+    fn human_rendering_names_everything() {
+        let d = Diagnostic::new(Code::UnsafeHeadVariable, "head variable `x` is unbound")
+            .with_subject("v1")
+            .with_location(3, 5);
+        assert_eq!(
+            d.render_human(),
+            "error[A001] at 3:5 (`v1`): head variable `x` is unbound"
+        );
+    }
+
+    #[test]
+    fn machine_lines_are_framed() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(
+                Code::ArityMismatch,
+                "atom over `R` has 3 arguments, expected 2",
+            )
+            .with_subject("t1")
+            .with_location(2, 9),
+        );
+        let rendered = r.render_lines();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "cqfd-lint v1");
+        assert_eq!(
+            lines[1],
+            "diag code=A010 severity=error line=2 col=9 subject=\"t1\" \
+             msg=\"atom over `R` has 3 arguments, expected 2\""
+        );
+        assert_eq!(lines[2], "end");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic::new(Code::ParseError, "bad token `\"`");
+        let json = d.render_json();
+        assert!(json.contains("\\\""), "{json}");
+        assert!(json.starts_with("{\"code\":\"A030\""));
+    }
+}

@@ -1,0 +1,51 @@
+//! # cqfd-analysis — static analysis for rule sets and rainworm programs
+//!
+//! Every workload in this repo ultimately runs the chase over a TGD set;
+//! this crate checks those sets *before* execution. Three analysis
+//! families feed one structured [`Report`]:
+//!
+//! * **Chase termination** — the weak-acyclicity test over the position
+//!   graph lives in [`cqfd_chase::termination`] (so the engine itself can
+//!   pre-size budgets); this crate turns a negative verdict into the
+//!   `A100` diagnostic with the witness cycle.
+//! * **Safety / well-formedness** — unsafe query head variables (`A001`),
+//!   arity mismatches (`A010`), undeclared predicates (`A020`), duplicate
+//!   rules (`A002`), unused predicates (`A021`), with 1-based source
+//!   locations when the input came from text ([`parse_rules`]).
+//! * **Rainworm program lints** — instruction sets that cannot creep past
+//!   step 0 (`A202`), unreachable instructions (`A200`), symbols written
+//!   but never read (`A201`), via a sound symbol-availability closure
+//!   ([`analyze_delta`]).
+//!
+//! Diagnostics carry a fixed severity per code; only `error`-severity
+//! findings gate execution (CLI nonzero exit, service job rejection).
+//! Every consumer renders through the same [`Report`]: human text for the
+//! terminal, `cqfd-lint v1` machine lines for the service wire protocol
+//! (mirroring the cert format), or JSON for tooling. Each emitted
+//! diagnostic bumps `cqfd_analysis_diagnostics_total{code=...}` in the
+//! global [`cqfd_obs`] registry.
+//!
+//! ```
+//! use cqfd_analysis::{lint_text, Code};
+//!
+//! let report = lint_text(
+//!     "sig R/2 S/2\n\
+//!      tgd t: R(x,y) -> S(y,z)\n\
+//!      cq V(x,w) :- R(x,y)\n",
+//! );
+//! assert!(report.has_errors());
+//! assert_eq!(report.first_error().unwrap().code, Code::UnsafeHeadVariable);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lint;
+pub mod rules;
+pub mod worm;
+
+pub use diag::{Code, Diagnostic, Location, Report, Severity};
+pub use lint::{analyze_tgds, lint_text};
+pub use rules::{parse_rules, RuleFile};
+pub use worm::analyze_delta;

@@ -1,0 +1,233 @@
+//! Semantic analyses over in-memory TGD sets: signature conformance,
+//! duplicates, unused predicates, and the chase-termination verdict.
+//!
+//! These run both on parsed rule files (after `rules::parse_rules`) and on
+//! the repo's built-in families (Theorem 14, compiled green-graph rules,
+//! rainworm translations), which are constructed programmatically and
+//! never see the text parser.
+
+use crate::diag::{Code, Diagnostic, Report};
+use cqfd_chase::{Termination, Tgd};
+use cqfd_core::Signature;
+
+/// Lints a TGD set against its signature.
+///
+/// Emits `A020` for atoms over predicate ids the signature does not
+/// declare, `A010` for arity mismatches, `A002` for structurally duplicate
+/// rules, `A021` for declared-but-unused predicates, and `A100` (with the
+/// witness cycle) when the set is not weakly acyclic.
+pub fn analyze_tgds(sig: &Signature, tgds: &[Tgd]) -> Report {
+    let mut report = Report::new();
+    let mut used = vec![false; sig.pred_count()];
+    let mut conformant = true;
+    for tgd in tgds {
+        for atom in tgd.body().iter().chain(tgd.head()) {
+            if atom.pred.0 as usize >= sig.pred_count() {
+                report.push(
+                    Diagnostic::new(
+                        Code::UndeclaredPredicate,
+                        format!(
+                            "rule `{}` uses predicate id {} but the signature declares only {}",
+                            tgd.name(),
+                            atom.pred.0,
+                            sig.pred_count()
+                        ),
+                    )
+                    .with_subject(tgd.name()),
+                );
+                conformant = false;
+                continue;
+            }
+            used[atom.pred.0 as usize] = true;
+            if atom.args.len() != sig.arity(atom.pred) {
+                report.push(
+                    Diagnostic::new(
+                        Code::ArityMismatch,
+                        format!(
+                            "atom over `{}` in rule `{}` has {} arguments, expected {}",
+                            sig.pred_name(atom.pred),
+                            tgd.name(),
+                            atom.args.len(),
+                            sig.arity(atom.pred)
+                        ),
+                    )
+                    .with_subject(tgd.name()),
+                );
+                conformant = false;
+            }
+        }
+    }
+
+    // Structural duplicates: identical body and head atom lists. Variables
+    // are interned per rule in first-occurrence order by both the text
+    // parser and the programmatic constructors, so α-equivalent copies
+    // with the same occurrence pattern compare equal.
+    for (i, a) in tgds.iter().enumerate() {
+        for b in &tgds[..i] {
+            if a.body() == b.body() && a.head() == b.head() {
+                report.push(
+                    Diagnostic::new(
+                        Code::DuplicateRule,
+                        format!("rule `{}` duplicates rule `{}`", a.name(), b.name()),
+                    )
+                    .with_subject(a.name()),
+                );
+                break;
+            }
+        }
+    }
+
+    for (p, used) in used.iter().enumerate() {
+        if !used {
+            let pred = cqfd_core::PredId(p as u32);
+            report.push(
+                Diagnostic::new(
+                    Code::UnusedPredicate,
+                    format!(
+                        "predicate `{}` is declared but no rule mentions it",
+                        sig.pred_name(pred)
+                    ),
+                )
+                .with_subject(sig.pred_name(pred)),
+            );
+        }
+    }
+
+    // Termination only makes sense for signature-conformant sets.
+    if conformant {
+        let verdict = Termination::analyze(tgds);
+        if !verdict.is_weakly_acyclic() {
+            report.push(Diagnostic::new(
+                Code::NotWeaklyAcyclic,
+                format!(
+                    "the rule set is not weakly acyclic — the chase may diverge \
+                     (special edge on cycle {})",
+                    verdict.display_cycle(sig)
+                ),
+            ));
+        }
+    }
+
+    report
+}
+
+/// One-stop lint for textual input: parse, then run the semantic analyses
+/// on whatever was recovered, and return the combined report.
+pub fn lint_text(text: &str) -> Report {
+    let file = crate::rules::parse_rules(text);
+    let mut report = file.report.clone();
+    let mut semantic = analyze_tgds(&file.sig, &file.tgds);
+    // The parser already tracked query usage; drop unused-predicate
+    // diagnostics for predicates a query (rather than a TGD) mentions.
+    semantic.diagnostics.retain(|d| {
+        !(d.code == Code::UnusedPredicate
+            && d.subject.as_ref().is_some_and(|name| {
+                file.sig
+                    .predicate(name)
+                    .is_some_and(|p| file.used_preds[p.0 as usize])
+            }))
+    });
+    report.merge(semantic);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_core::{Atom, Term, Var};
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn non_weakly_acyclic_set_gets_a100_warning_with_cycle() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(1), v(2)])],
+        );
+        let report = analyze_tgds(&sig, &[t]);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::NotWeaklyAcyclic)
+            .expect("A100 expected");
+        assert!(d.message.contains("~>"), "{}", d.message);
+        assert!(!report.has_errors(), "A100 is a warning");
+    }
+
+    #[test]
+    fn duplicate_rules_get_a002() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        let mk = |name: &str| {
+            Tgd::new_unchecked(
+                name,
+                vec![Atom::new(r, vec![v(0), v(1)])],
+                vec![Atom::new(r, vec![v(1), v(0)])],
+            )
+        };
+        let report = analyze_tgds(&sig, &[mk("a"), mk("b")]);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::DuplicateRule)
+            .expect("A002 expected");
+        assert!(
+            d.message.contains("`b`") && d.message.contains("`a`"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn unused_predicate_is_info_only() {
+        let mut sig = Signature::new();
+        let r = sig.add_predicate("R", 2);
+        sig.add_predicate("Ghost", 1);
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(0), v(1)])],
+        );
+        let report = analyze_tgds(&sig, &[t]);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::UnusedPredicate && d.message.contains("`Ghost`")));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn lint_text_combines_parse_and_semantic_passes() {
+        let report = lint_text(
+            "sig R/2\n\
+             tgd grow: R(x,y) -> R(y,z)\n\
+             cq V(x,w) :- R(x,y)\n",
+        );
+        let codes: Vec<Code> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::UnsafeHeadVariable), "{codes:?}");
+        assert!(codes.contains(&Code::NotWeaklyAcyclic), "{codes:?}");
+        assert_eq!(report.error_count(), 1);
+    }
+
+    #[test]
+    fn query_only_predicates_are_not_reported_unused() {
+        let report = lint_text(
+            "sig R/2 S/2\n\
+             tgd t: R(x,y) -> R(y,x)\n\
+             cq V(x) :- S(x,y)\n",
+        );
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::UnusedPredicate),
+            "{}",
+            report.render_human()
+        );
+    }
+}

@@ -1,0 +1,495 @@
+//! A lenient, location-tracking parser for rule-set files.
+//!
+//! Grammar (one directive per line, `#`-lines are comments):
+//!
+//! ```text
+//! sig   := "sig" (NAME "/" ARITY)+
+//! tgd   := "tgd" [NAME ":"] atom ("," atom)* "->" atom ("," atom)*
+//! cq    := "cq" NAME "(" varlist? ")" ":-" atom ("," atom)*
+//! atom  := PRED "(" term ("," term)* ")" | PRED "(" ")"
+//! term  := VAR | "#" CONST
+//! ```
+//!
+//! mirroring the `cqfd_core::parse` query grammar. Unlike that parser,
+//! this one does not stop at the first problem: every malformed construct
+//! becomes a [`Diagnostic`] with a 1-based line/column location, the rest
+//! of the file is still processed, and whatever parsed cleanly is returned
+//! so the semantic analyses (termination, duplicates, unused predicates)
+//! can still run. TGD head variables absent from the body are
+//! *existentials* — legal; CQ head variables absent from the body are
+//! unsafe — `A001`.
+
+use crate::diag::{Code, Diagnostic, Report};
+use cqfd_chase::Tgd;
+use cqfd_core::{Atom, Signature, Term, Var};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result of parsing a rules file: whatever was recovered, plus the
+/// parse-time diagnostics.
+#[derive(Debug, Clone)]
+pub struct RuleFile {
+    /// The signature built from the `sig` lines.
+    pub sig: Arc<Signature>,
+    /// The TGDs that parsed cleanly, in file order.
+    pub tgds: Vec<Tgd>,
+    /// Names of the `cq` queries that parsed cleanly, in file order.
+    pub query_names: Vec<String>,
+    /// Predicates mentioned by any rule or query (used positions), by id.
+    pub used_preds: Vec<bool>,
+    /// Parse-time diagnostics (syntax, undeclared predicates, arity
+    /// mismatches, unsafe queries).
+    pub report: Report,
+}
+
+/// Parses `text`; never fails — problems become diagnostics on the
+/// returned [`RuleFile::report`].
+pub fn parse_rules(text: &str) -> RuleFile {
+    let mut sig = Signature::new();
+    let mut report = Report::new();
+
+    // Pass 1: signature lines, so later rules can reference predicates
+    // declared below them.
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let t = raw.trim();
+        let Some(rest) = t.strip_prefix("sig") else {
+            continue;
+        };
+        if !rest.starts_with(char::is_whitespace) && !rest.is_empty() {
+            continue; // an identifier that merely starts with "sig"
+        }
+        for part in rest.split_whitespace() {
+            let col = 1 + raw.find(part).unwrap_or(0);
+            let Some((name, arity)) = part.split_once('/') else {
+                report.push(
+                    Diagnostic::new(
+                        Code::ParseError,
+                        format!("expected `Name/arity`, found `{part}`"),
+                    )
+                    .with_location(line, col),
+                );
+                continue;
+            };
+            let Ok(arity) = arity.parse::<usize>() else {
+                report.push(
+                    Diagnostic::new(Code::ParseError, format!("bad arity in `{part}`"))
+                        .with_location(line, col),
+                );
+                continue;
+            };
+            if let Err(e) = sig.try_add_predicate(name, arity) {
+                report.push(
+                    Diagnostic::new(Code::ArityConflict, e.to_string())
+                        .with_subject(name)
+                        .with_location(line, col),
+                );
+            }
+        }
+    }
+
+    let mut used = vec![false; sig.pred_count()];
+    let mut tgds: Vec<Tgd> = Vec::new();
+    let mut query_names: Vec<String> = Vec::new();
+
+    // Pass 2: rules and queries.
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with("sig") {
+            continue;
+        }
+        if let Some(rest) = directive(t, "tgd") {
+            parse_tgd_line(raw, rest, line, &mut sig, &mut used, &mut tgds, &mut report);
+        } else if let Some(rest) = directive(t, "cq") {
+            parse_cq_line(
+                raw,
+                rest,
+                line,
+                &sig,
+                &mut used,
+                &mut query_names,
+                &mut report,
+            );
+        } else {
+            let word = t.split_whitespace().next().unwrap_or(t);
+            report.push(
+                Diagnostic::new(
+                    Code::ParseError,
+                    format!("unknown directive `{word}` (expected `sig`, `tgd`, or `cq`)"),
+                )
+                .with_location(line, 1 + raw.find(word).unwrap_or(0)),
+            );
+        }
+    }
+
+    RuleFile {
+        sig: Arc::new(sig),
+        tgds,
+        query_names,
+        used_preds: used,
+        report,
+    }
+}
+
+/// If `t` starts with keyword `kw` followed by whitespace, the rest.
+fn directive<'a>(t: &'a str, kw: &str) -> Option<&'a str> {
+    let rest = t.strip_prefix(kw)?;
+    if rest.starts_with(char::is_whitespace) {
+        Some(rest.trim_start())
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_tgd_line(
+    raw: &str,
+    rest: &str,
+    line: usize,
+    sig: &mut Signature,
+    used: &mut [bool],
+    tgds: &mut Vec<Tgd>,
+    report: &mut Report,
+) {
+    // Optional `name:` prefix — a `:` before the first `(`.
+    let (name, rules_text) = match rest.split_once(':') {
+        Some((n, r)) if !n.contains('(') && !n.trim().is_empty() => (n.trim().to_owned(), r.trim()),
+        _ => (format!("tgd@{line}"), rest),
+    };
+    let Some((body_text, head_text)) = rules_text
+        .split_once("->")
+        .or_else(|| rules_text.split_once("=>"))
+    else {
+        report.push(
+            Diagnostic::new(Code::ParseError, "missing `->` between body and head")
+                .with_subject(&name)
+                .with_location(line, 1),
+        );
+        return;
+    };
+    let mut vars: HashMap<String, Var> = HashMap::new();
+    let mut ok = true;
+    let body = parse_atom_list(
+        raw, body_text, line, sig, used, &name, &mut vars, report, &mut ok,
+    );
+    let head = parse_atom_list(
+        raw, head_text, line, sig, used, &name, &mut vars, report, &mut ok,
+    );
+    if !ok {
+        return;
+    }
+    if body.is_empty() || head.is_empty() {
+        report.push(
+            Diagnostic::new(
+                Code::ParseError,
+                "a TGD needs at least one body and one head atom",
+            )
+            .with_subject(&name)
+            .with_location(line, 1),
+        );
+        return;
+    }
+    tgds.push(Tgd::new_unchecked(&name, body, head));
+}
+
+#[allow(clippy::too_many_arguments)]
+fn parse_cq_line(
+    raw: &str,
+    rest: &str,
+    line: usize,
+    sig: &Signature,
+    used: &mut [bool],
+    query_names: &mut Vec<String>,
+    report: &mut Report,
+) {
+    let Some((head_text, body_text)) = rest.split_once(":-") else {
+        report.push(
+            Diagnostic::new(Code::ParseError, "missing `:-` between head and body")
+                .with_location(line, 1),
+        );
+        return;
+    };
+    let Some((name, head_args, _)) = parse_call(raw, head_text.trim(), line, report) else {
+        return;
+    };
+    let mut vars: HashMap<String, Var> = HashMap::new();
+    let mut ok = true;
+    // A local mutable clone would let body atoms add constants; queries
+    // only *read* the signature, so pass a scratch copy for constants.
+    let mut scratch = sig.clone();
+    let body = parse_atom_list(
+        raw,
+        body_text,
+        line,
+        &mut scratch,
+        used,
+        &name,
+        &mut vars,
+        report,
+        &mut ok,
+    );
+    if !ok {
+        return;
+    }
+    // Safety (A001): every head variable must occur in the body.
+    let body_vars: Vec<Var> = body.iter().flat_map(|a| a.vars()).collect();
+    for arg in &head_args {
+        if arg.starts_with('#') {
+            report.push(
+                Diagnostic::new(Code::ParseError, format!("constant `{arg}` in query head"))
+                    .with_subject(&name)
+                    .with_location(line, 1),
+            );
+            continue;
+        }
+        match vars.get(arg.as_str()) {
+            Some(v) if body_vars.contains(v) => {}
+            _ => {
+                report.push(
+                    Diagnostic::new(
+                        Code::UnsafeHeadVariable,
+                        format!(
+                            "head variable `{arg}` of query `{name}` does not occur in the body"
+                        ),
+                    )
+                    .with_subject(&name)
+                    .with_location(line, 1 + raw.find(arg.as_str()).unwrap_or(0)),
+                );
+            }
+        }
+    }
+    query_names.push(name);
+}
+
+/// Parses a comma-separated atom list, reporting problems and flipping
+/// `ok` to `false` on any error so the caller drops the rule.
+#[allow(clippy::too_many_arguments)]
+fn parse_atom_list(
+    raw: &str,
+    text: &str,
+    line: usize,
+    sig: &mut Signature,
+    used: &mut [bool],
+    rule: &str,
+    vars: &mut HashMap<String, Var>,
+    report: &mut Report,
+    ok: &mut bool,
+) -> Vec<Atom<Term>> {
+    let mut out = Vec::new();
+    for part in split_top_level(text) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let col = 1 + raw.find(part).unwrap_or(0);
+        let Some((pred_name, args, _)) = parse_call(raw, part, line, report) else {
+            *ok = false;
+            continue;
+        };
+        let Some(pred) = sig.predicate(&pred_name) else {
+            report.push(
+                Diagnostic::new(
+                    Code::UndeclaredPredicate,
+                    format!("predicate `{pred_name}` is not declared by any `sig` line"),
+                )
+                .with_subject(rule)
+                .with_location(line, col),
+            );
+            *ok = false;
+            continue;
+        };
+        used[pred.0 as usize] = true;
+        if args.len() != sig.arity(pred) {
+            report.push(
+                Diagnostic::new(
+                    Code::ArityMismatch,
+                    format!(
+                        "atom over `{pred_name}` in rule `{rule}` has {} arguments, expected {}",
+                        args.len(),
+                        sig.arity(pred)
+                    ),
+                )
+                .with_subject(rule)
+                .with_location(line, col),
+            );
+            *ok = false;
+            continue;
+        }
+        let mut terms = Vec::new();
+        for a in &args {
+            if let Some(cname) = a.strip_prefix('#') {
+                let c = sig
+                    .constant(cname)
+                    .unwrap_or_else(|| sig.add_constant(cname));
+                terms.push(Term::Const(c));
+            } else {
+                let next = Var(vars.len() as u32);
+                let v = *vars.entry(a.clone()).or_insert(next);
+                terms.push(Term::Var(v));
+            }
+        }
+        out.push(Atom::new(pred, terms));
+    }
+    out
+}
+
+/// Parses `Name(a, b, c)`; returns the name, the raw argument strings,
+/// and the column of the name.
+fn parse_call(
+    raw: &str,
+    text: &str,
+    line: usize,
+    report: &mut Report,
+) -> Option<(String, Vec<String>, usize)> {
+    let col = 1 + raw.find(text).unwrap_or(0);
+    let open = text.find('(');
+    let close = text.rfind(')');
+    let (Some(open), Some(close)) = (open, close) else {
+        report.push(
+            Diagnostic::new(
+                Code::ParseError,
+                format!("expected `Name(...)`, found `{text}`"),
+            )
+            .with_location(line, col),
+        );
+        return None;
+    };
+    if close < open {
+        report.push(
+            Diagnostic::new(
+                Code::ParseError,
+                format!("mismatched parentheses in `{text}`"),
+            )
+            .with_location(line, col),
+        );
+        return None;
+    }
+    let name = text[..open].trim();
+    if name.is_empty() {
+        report.push(
+            Diagnostic::new(
+                Code::ParseError,
+                format!("missing predicate name in `{text}`"),
+            )
+            .with_location(line, col),
+        );
+        return None;
+    }
+    let inner = text[open + 1..close].trim();
+    let args = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(|a| a.trim().to_owned()).collect()
+    };
+    Some((name.to_owned(), args, col))
+}
+
+/// Splits on commas outside parentheses.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn clean_file_parses_without_diagnostics() {
+        let f = parse_rules(
+            "# demo\n\
+             sig R/2 S/2\n\
+             tgd t1: R(x,y) -> S(y,z)\n\
+             cq V(x) :- R(x,y)\n",
+        );
+        assert!(f.report.diagnostics.is_empty(), "{:?}", f.report);
+        assert_eq!(f.tgds.len(), 1);
+        assert_eq!(f.query_names, vec!["V"]);
+        assert_eq!(f.tgds[0].existential().len(), 1, "z is existential");
+    }
+
+    #[test]
+    fn unsafe_cq_head_variable_is_a001_with_location() {
+        let f = parse_rules("sig R/2\ncq V(x,w) :- R(x,y)\n");
+        let d = f.report.first_error().expect("A001 expected");
+        assert_eq!(d.code, Code::UnsafeHeadVariable);
+        assert!(d.message.contains("`w`"), "{}", d.message);
+        assert!(d.message.contains("`V`"), "{}", d.message);
+        assert_eq!(d.location.unwrap().line, 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_a010_naming_rule_and_arities() {
+        let f = parse_rules("sig R/2 S/2\ntgd bad: R(x,y,z) -> S(x,y)\n");
+        let d = f.report.first_error().expect("A010 expected");
+        assert_eq!(d.code, Code::ArityMismatch);
+        assert!(
+            d.message.contains("has 3 arguments, expected 2"),
+            "{}",
+            d.message
+        );
+        assert!(d.message.contains("`bad`"), "{}", d.message);
+        assert!(f.tgds.is_empty(), "broken rule must be dropped");
+    }
+
+    #[test]
+    fn undeclared_predicate_is_a020() {
+        let f = parse_rules("sig R/2\ntgd t: R(x,y) -> Zzz(x,y)\n");
+        let d = f.report.first_error().expect("A020 expected");
+        assert_eq!(d.code, Code::UndeclaredPredicate);
+        assert!(d.message.contains("`Zzz`"), "{}", d.message);
+    }
+
+    #[test]
+    fn conflicting_sig_redeclaration_is_a011() {
+        let f = parse_rules("sig R/2 R/3\n");
+        let d = f.report.first_error().expect("A011 expected");
+        assert_eq!(d.code, Code::ArityConflict);
+    }
+
+    #[test]
+    fn unknown_directive_and_missing_arrow_are_a030() {
+        let f = parse_rules("sig R/2\nfrobnicate R(x,y)\ntgd t: R(x,y)\n");
+        let codes: Vec<Code> = f.report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::ParseError, Code::ParseError]);
+        assert_eq!(f.report.error_count(), 2);
+    }
+
+    #[test]
+    fn constants_parse_into_terms() {
+        let f = parse_rules("sig R/2\ntgd t: R(x,#a) -> R(#a,x)\n");
+        assert!(!f.report.has_errors(), "{:?}", f.report);
+        assert_eq!(f.tgds.len(), 1);
+        assert!(f.tgds[0].is_full());
+    }
+
+    #[test]
+    fn errors_do_not_stop_later_lines() {
+        let f = parse_rules("sig R/2\ntgd broken: Q(x) -> R(x,x)\ntgd fine: R(x,y) -> R(y,x)\n");
+        assert_eq!(f.report.error_count(), 1);
+        assert_eq!(f.tgds.len(), 1);
+        assert_eq!(f.tgds[0].name(), "fine");
+        assert_eq!(f.report.count(Severity::Warn), 0);
+    }
+}

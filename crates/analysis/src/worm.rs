@@ -1,0 +1,147 @@
+//! Static lints for rainworm programs (instruction sets `∆`, §VIII.A).
+//!
+//! All three lints are *sound over-approximations* in the style of
+//! `cqfd_greengraph::analysis::label_closure`: they reason about which
+//! symbols can ever occur in a reachable configuration, ignoring
+//! adjacency, so a "unreachable" verdict is definite while a "reachable"
+//! one is optimistic. That is the right polarity for lints — no false
+//! alarms about dead code that is actually live would be tolerable, the
+//! other direction is.
+
+use crate::diag::{Code, Diagnostic, Report};
+use cqfd_rainworm::run::step;
+use cqfd_rainworm::{Config, Delta, RwSymbol};
+use std::collections::BTreeSet;
+
+/// Lints a rainworm instruction set.
+///
+/// * `A202` — the machine cannot creep past step 0: `step` from the
+///   initial configuration `α η11` finds no applicable instruction.
+/// * `A200` — an instruction is unreachable: some left-hand-side symbol
+///   can never occur in any reachable configuration (symbol-availability
+///   closure seeded with the initial configuration's symbols).
+/// * `A201` — a symbol is written (occurs in some right-hand side) but
+///   never read (occurs in no left-hand side): the machine can produce it
+///   but never react to it again.
+pub fn analyze_delta(delta: &Delta) -> Report {
+    let mut report = Report::new();
+
+    if step(delta, &Config::initial()).is_none() {
+        report.push(Diagnostic::new(
+            Code::StuckAtStart,
+            "no instruction applies to the initial configuration `α η11`: \
+             the rainworm cannot creep past step 0",
+        ));
+    }
+
+    // Symbol-availability closure: a symbol is available if it occurs in
+    // the initial configuration or in the right-hand side of an
+    // instruction all of whose left-hand-side symbols are available.
+    let mut avail: BTreeSet<RwSymbol> = Config::initial().0.iter().copied().collect();
+    loop {
+        let before = avail.len();
+        for i in delta.instrs() {
+            if i.lhs().iter().all(|s| avail.contains(s)) {
+                avail.extend(i.rhs().iter().copied());
+            }
+        }
+        if avail.len() == before {
+            break;
+        }
+    }
+    for i in delta.instrs() {
+        if let Some(missing) = i.lhs().iter().find(|s| !avail.contains(s)) {
+            report.push(
+                Diagnostic::new(
+                    Code::UnreachableInstruction,
+                    format!(
+                        "instruction `{i}` can never fire: symbol `{missing}` \
+                         does not occur in any reachable configuration"
+                    ),
+                )
+                .with_subject(format!("{:?}", i.form())),
+            );
+        }
+    }
+
+    // Written-but-never-read symbols.
+    let read: BTreeSet<RwSymbol> = delta
+        .instrs()
+        .iter()
+        .flat_map(|i| i.lhs().iter().copied())
+        .collect();
+    let written: BTreeSet<RwSymbol> = delta
+        .instrs()
+        .iter()
+        .flat_map(|i| i.rhs().iter().copied())
+        .collect();
+    for s in written.difference(&read) {
+        report.push(
+            Diagnostic::new(
+                Code::DeadSymbol,
+                format!("symbol `{s}` is written by some instruction but read by none"),
+            )
+            .with_subject(s.to_string()),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_rainworm::families::{counter_worm, forever_worm, halting_worm_short};
+    use cqfd_rainworm::Instr;
+
+    #[test]
+    fn builtin_families_lint_without_errors() {
+        for (name, delta) in [
+            ("forever", forever_worm()),
+            ("short", halting_worm_short()),
+            ("counter3", counter_worm(3)),
+        ] {
+            let r = analyze_delta(&delta);
+            assert!(!r.has_errors(), "{name}: {}", r.render_human());
+        }
+    }
+
+    #[test]
+    fn forever_worm_creeps_past_step_0() {
+        let r = analyze_delta(&forever_worm());
+        assert!(
+            !r.diagnostics.iter().any(|d| d.code == Code::StuckAtStart),
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn missing_d1_is_stuck_at_start() {
+        // Only ♦2 instructions: nothing matches `α η11`, and η0 is never
+        // produced, so the ♦2 is also unreachable.
+        let delta = Delta::new(vec![Instr::d2(RwSymbol::Tape0(1)).unwrap()]).unwrap();
+        let r = analyze_delta(&delta);
+        let codes: BTreeSet<Code> = r.diagnostics.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&Code::StuckAtStart), "{}", r.render_human());
+        assert!(
+            codes.contains(&Code::UnreachableInstruction),
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn dead_symbol_is_reported() {
+        // ♦1 produces γ1 η0; ♦2 reads η0, writes b η1; nothing reads γ1,
+        // b, or η1.
+        let delta = Delta::new(vec![Instr::d1(), Instr::d2(RwSymbol::Tape0(1)).unwrap()]).unwrap();
+        let r = analyze_delta(&delta);
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == Code::DeadSymbol),
+            "{}",
+            r.render_human()
+        );
+        assert!(!r.has_errors(), "worm lints are warnings, not errors");
+    }
+}

@@ -1,5 +1,6 @@
 //! The stage-indexed lazy chase (paper §II.C).
 
+use crate::termination::Termination;
 use crate::tgd::Tgd;
 use cqfd_core::{
     add_hom_nodes_explored, find_homomorphism, hom_nodes_explored, publish_hom_metrics, Binding,
@@ -103,6 +104,24 @@ impl ChaseBudget {
     /// own cap.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Stage ceiling granted to runs whose TGD set is certified
+    /// weakly acyclic by [`presized_for`](Self::presized_for).
+    pub const PRESIZED_STAGES: usize = 1 << 20;
+
+    /// Pre-sizes the stage budget from a static termination verdict: a
+    /// [`Termination::WeaklyAcyclic`] set is guaranteed to reach fixpoint,
+    /// so the stage ceiling is lifted to [`Self::PRESIZED_STAGES`] (never
+    /// lowered) and the run can only stop at the fixpoint or at the
+    /// atom/node size caps, which stay in place as a safety net. An
+    /// `Unknown` verdict leaves the budget untouched — the caller's stage
+    /// limit is then the only thing bounding a possibly-infinite chase.
+    pub fn presized_for(mut self, termination: &Termination) -> Self {
+        if termination.is_weakly_acyclic() {
+            self.max_stages = self.max_stages.max(Self::PRESIZED_STAGES);
+        }
         self
     }
 
@@ -275,6 +294,11 @@ pub struct ChaseRun {
     /// The applied triggers, in application order — empty unless the
     /// engine ran with [`ChaseEngine::with_recording`] enabled.
     pub firings: Vec<Firing>,
+    /// The static termination verdict for the engine's TGD set (computed
+    /// once at engine construction). `WeaklyAcyclic` certifies that a
+    /// [`ChaseOutcome::StageBudgetExhausted`] stop was a budget problem,
+    /// not divergence; surfaced as the `termination=` note on job results.
+    pub termination: Termination,
     start_atoms: usize,
     start_nodes: u32,
 }
@@ -350,15 +374,21 @@ pub struct ChaseEngine {
     tgds: Vec<Tgd>,
     strategy: Strategy,
     record: bool,
+    termination: Termination,
 }
 
 impl ChaseEngine {
     /// Creates an engine over the given dependencies (naive strategy).
+    /// Runs the static weak-acyclicity test once, up front; the verdict is
+    /// available through [`termination`](Self::termination) and stamped on
+    /// every [`ChaseRun`].
     pub fn new(tgds: Vec<Tgd>) -> Self {
+        let termination = Termination::analyze(&tgds);
         ChaseEngine {
             tgds,
             strategy: Strategy::Naive,
             record: false,
+            termination,
         }
     }
 
@@ -380,6 +410,11 @@ impl ChaseEngine {
     /// The engine's dependencies.
     pub fn tgds(&self) -> &[Tgd] {
         &self.tgds
+    }
+
+    /// The static chase-termination verdict for the engine's TGD set.
+    pub fn termination(&self) -> &Termination {
+        &self.termination
     }
 
     /// Runs the chase from `start` under `budget`.
@@ -416,6 +451,7 @@ impl ChaseEngine {
             elapsed: Duration::ZERO,
             hom_nodes: 0,
             firings: Vec::new(),
+            termination: self.termination.clone(),
         };
         let finish = |mut run: ChaseRun, d: Structure| {
             run.structure = d;

@@ -52,7 +52,9 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod termination;
 pub mod tgd;
 
 pub use engine::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseRun, Firing, StageInfo, Strategy};
+pub use termination::{PredPos, Termination};
 pub use tgd::Tgd;

@@ -1,0 +1,447 @@
+//! Static chase-termination analysis: **weak acyclicity** over the
+//! position graph (Fagin–Kolaitis–Miller–Popa).
+//!
+//! The position graph of a TGD set has one node per *position* `(P, i)` —
+//! the `i`-th argument slot of predicate `P` — and, for every TGD and every
+//! frontier variable `y` occurring in the body at position `(P, i)`:
+//!
+//! * a **normal** edge `(P, i) → (Q, j)` for every occurrence of `y` in the
+//!   head at `(Q, j)` (the value propagates unchanged), and
+//! * a **special** edge `(P, i) → (Q, j)` for every position `(Q, j)` of an
+//!   *existential* head variable (a fresh null is created whose existence
+//!   depends on the value at `(P, i)`).
+//!
+//! A TGD set is **weakly acyclic** iff no cycle of the position graph
+//! contains a special edge; weakly acyclic sets have a terminating chase
+//! from every finite instance, with a polynomial stage bound. The converse
+//! fails, so the negative verdict is [`Termination::Unknown`], not
+//! "diverges" — it carries the offending cycle as a witness for
+//! diagnostics.
+
+use crate::tgd::Tgd;
+use cqfd_core::{PredId, Signature, Term, Var};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A position `(P, i)`: argument slot `pos` of predicate `pred`. The nodes
+/// of the position graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredPos {
+    /// The predicate.
+    pub pred: PredId,
+    /// The argument slot, 0-based.
+    pub pos: usize,
+}
+
+impl PredPos {
+    /// Renders as `Name[pos]` using the signature's predicate names.
+    pub fn display_with(&self, sig: &Signature) -> String {
+        format!("{}[{}]", sig.pred_name(self.pred), self.pos)
+    }
+}
+
+/// The verdict of the weak-acyclicity test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Termination {
+    /// No cycle of the position graph contains a special edge: the chase
+    /// terminates from every finite instance.
+    WeaklyAcyclic,
+    /// Some cycle contains a special edge. The chase *may* still terminate
+    /// (weak acyclicity is sufficient, not necessary), so this is
+    /// "unknown", not "diverges".
+    Unknown {
+        /// A witness cycle through a special edge: a position sequence
+        /// `p₀ → p₁ → … → p₀` where the first edge (`p₀ → p₁`) is special.
+        /// The closing position `p₀` is repeated at the end.
+        cycle: Vec<PredPos>,
+    },
+}
+
+impl Termination {
+    /// Runs the weak-acyclicity test on a TGD set.
+    ///
+    /// Builds the position graph, computes its strongly connected
+    /// components (iterative Tarjan — the graph can be deep), and reports
+    /// `Unknown` iff some special edge has both endpoints in one SCC; the
+    /// witness cycle is recovered by a BFS inside that SCC. Deterministic:
+    /// the same TGD list always yields the same verdict and witness.
+    pub fn analyze(tgds: &[Tgd]) -> Termination {
+        let g = PositionGraph::build(tgds);
+        g.verdict()
+    }
+
+    /// Is the set certified weakly acyclic?
+    pub fn is_weakly_acyclic(&self) -> bool {
+        matches!(self, Termination::WeaklyAcyclic)
+    }
+
+    /// A stable lowercase name: `weakly-acyclic` or `unknown`. Used as the
+    /// `termination=` note on chase runs and job results.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Termination::WeaklyAcyclic => "weakly-acyclic",
+            Termination::Unknown { .. } => "unknown",
+        }
+    }
+
+    /// The witness cycle, if the verdict is `Unknown`.
+    pub fn cycle(&self) -> Option<&[PredPos]> {
+        match self {
+            Termination::WeaklyAcyclic => None,
+            Termination::Unknown { cycle } => Some(cycle),
+        }
+    }
+
+    /// Renders the witness cycle as `R[1] ~> S[0] -> R[1]` (special edges
+    /// as `~>`, normal edges as `->`); empty string when weakly acyclic.
+    pub fn display_cycle(&self, sig: &Signature) -> String {
+        let Some(cycle) = self.cycle() else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for (i, p) in cycle.iter().enumerate() {
+            if i == 1 {
+                out.push_str(" ~> ");
+            } else if i > 1 {
+                out.push_str(" -> ");
+            }
+            out.push_str(&p.display_with(sig));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An edge of the position graph, by node index.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    to: usize,
+    special: bool,
+}
+
+/// The position graph over dense node indices, with a deterministic
+/// node-numbering (sorted `(pred, pos)` order via `BTreeMap`).
+struct PositionGraph {
+    nodes: Vec<PredPos>,
+    adj: Vec<Vec<Edge>>,
+}
+
+impl PositionGraph {
+    fn build(tgds: &[Tgd]) -> PositionGraph {
+        // Collect every position that carries a variable anywhere.
+        let mut index: BTreeMap<PredPos, usize> = BTreeMap::new();
+        let positions_of = |atoms: &[cqfd_core::Atom<Term>]| {
+            let mut out: Vec<(Var, PredPos)> = Vec::new();
+            for atom in atoms {
+                for (pos, t) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        out.push((
+                            *v,
+                            PredPos {
+                                pred: atom.pred,
+                                pos,
+                            },
+                        ));
+                    }
+                }
+            }
+            out
+        };
+        // Variable occurrences of one TGD: body positions, head positions.
+        type VarPositions = Vec<(Var, PredPos)>;
+        let mut tgd_positions: Vec<(VarPositions, VarPositions)> = Vec::new();
+        for tgd in tgds {
+            let body = positions_of(tgd.body());
+            let head = positions_of(tgd.head());
+            for (_, p) in body.iter().chain(head.iter()) {
+                let next = index.len();
+                index.entry(*p).or_insert(next);
+            }
+            tgd_positions.push((body, head));
+        }
+        let mut nodes: Vec<PredPos> = vec![
+            PredPos {
+                pred: PredId(0),
+                pos: 0
+            };
+            index.len()
+        ];
+        for (p, i) in &index {
+            nodes[*i] = *p;
+        }
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+        for (tgd, (body, head)) in tgds.iter().zip(&tgd_positions) {
+            for y in tgd.frontier() {
+                for (bv, bp) in body {
+                    if bv != y {
+                        continue;
+                    }
+                    let from = index[bp];
+                    // Normal edges: every head occurrence of y.
+                    for (hv, hp) in head {
+                        if hv == y {
+                            adj[from].push(Edge {
+                                to: index[hp],
+                                special: false,
+                            });
+                        }
+                    }
+                    // Special edges: every position of every existential.
+                    for (hv, hp) in head {
+                        if tgd.existential().contains(hv) {
+                            adj[from].push(Edge {
+                                to: index[hp],
+                                special: true,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        PositionGraph { nodes, adj }
+    }
+
+    fn verdict(&self) -> Termination {
+        let scc = self.sccs();
+        // First special edge (in node order) inside one SCC loses.
+        for (from, edges) in self.adj.iter().enumerate() {
+            for e in edges {
+                if e.special && scc[from] == scc[e.to] {
+                    return Termination::Unknown {
+                        cycle: self.witness(from, e.to, &scc),
+                    };
+                }
+            }
+        }
+        Termination::WeaklyAcyclic
+    }
+
+    /// Iterative Tarjan SCC; returns the component id of each node.
+    fn sccs(&self) -> Vec<usize> {
+        const UNSET: usize = usize::MAX;
+        let n = self.nodes.len();
+        let mut comp = vec![UNSET; n];
+        let mut low = vec![0usize; n];
+        let mut disc = vec![UNSET; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_disc = 0usize;
+        let mut next_comp = 0usize;
+        // Explicit DFS frames: (node, next child index).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if disc[root] != UNSET {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+                if *child == 0 {
+                    disc[v] = next_disc;
+                    low[v] = next_disc;
+                    next_disc += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *child < self.adj[v].len() {
+                    let w = self.adj[v][*child].to;
+                    *child += 1;
+                    if disc[w] == UNSET {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(disc[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == disc[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// A shortest path `to → … → from` inside the SCC, prefixed with
+    /// `from` (the special edge's source) so the rendered witness reads
+    /// `from ~> to -> … -> from`.
+    fn witness(&self, from: usize, to: usize, scc: &[usize]) -> Vec<PredPos> {
+        let c = scc[from];
+        let mut prev: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(to);
+        let mut seen = vec![false; self.nodes.len()];
+        seen[to] = true;
+        while let Some(v) = queue.pop_front() {
+            if v == from {
+                break;
+            }
+            for e in &self.adj[v] {
+                if scc[e.to] == c && !seen[e.to] {
+                    seen[e.to] = true;
+                    prev[e.to] = Some(v);
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        // `prev` points from a node back toward `to` along BFS discovery,
+        // so following prev links from `from` reads off the path in
+        // reverse edge order: from, …, to. Reversed, that is the forward
+        // path to → … → from; prefix the special edge's source.
+        let mut chain = vec![from];
+        let mut cur = from;
+        while cur != to {
+            cur = prev[cur].expect("SCC path must exist");
+            chain.push(cur);
+        }
+        chain.reverse(); // to, ..., from
+        let mut out = vec![from];
+        out.extend(chain);
+        out.iter().map(|&i| self.nodes[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_core::{Atom, Signature};
+    use std::sync::Arc;
+
+    fn sig_rs() -> Arc<Signature> {
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        sig.add_predicate("S", 2);
+        Arc::new(sig)
+    }
+
+    fn v(i: u32) -> Term {
+        Term::Var(Var(i))
+    }
+
+    #[test]
+    fn full_tgds_are_weakly_acyclic() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        // R(x,y) -> S(y,x): no existentials at all.
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(s, vec![v(1), v(0)])],
+        );
+        assert_eq!(Termination::analyze(&[t]), Termination::WeaklyAcyclic);
+    }
+
+    #[test]
+    fn acyclic_existential_is_weakly_acyclic() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        // R(x,y) -> ∃z S(y,z): special edges into S, but no path back to R.
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(s, vec![v(1), v(2)])],
+        );
+        let verdict = Termination::analyze(&[t]);
+        assert!(verdict.is_weakly_acyclic(), "{verdict:?}");
+    }
+
+    #[test]
+    fn self_feeding_existential_is_unknown() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        // R(x,y) -> ∃z R(y,z): special edge R[1] ~> R[1] via the cycle.
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(1), v(2)])],
+        );
+        let verdict = Termination::analyze(&[t]);
+        assert!(!verdict.is_weakly_acyclic());
+        let cycle = verdict.cycle().unwrap();
+        assert!(cycle.len() >= 2);
+        assert_eq!(cycle.first(), cycle.last());
+        let rendered = verdict.display_cycle(&sig);
+        assert!(rendered.contains("~>"), "{rendered}");
+        assert!(rendered.contains("R["), "{rendered}");
+    }
+
+    #[test]
+    fn two_rule_feeding_pair_is_unknown() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        // The edge_cases.rs budget pair: R(x,y) -> ∃z S(y,z),
+        // S(x,y) -> ∃z R(y,z). Diverges; must not be certified.
+        let t1 = Tgd::new_unchecked(
+            "t1",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(s, vec![v(1), v(2)])],
+        );
+        let t2 = Tgd::new_unchecked(
+            "t2",
+            vec![Atom::new(s, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(1), v(2)])],
+        );
+        let verdict = Termination::analyze(&[t1, t2]);
+        assert!(!verdict.is_weakly_acyclic());
+        // The witness starts and ends at the special edge's source.
+        let cycle = verdict.cycle().unwrap();
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    #[test]
+    fn normal_cycle_without_special_edge_is_weakly_acyclic() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let s = sig.predicate("S").unwrap();
+        // R(x,y) -> S(x,y); S(x,y) -> R(x,y): a cycle, but all edges
+        // normal — terminates (copies values around, creates nothing).
+        let t1 = Tgd::new_unchecked(
+            "t1",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(s, vec![v(0), v(1)])],
+        );
+        let t2 = Tgd::new_unchecked(
+            "t2",
+            vec![Atom::new(s, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(0), v(1)])],
+        );
+        assert_eq!(Termination::analyze(&[t1, t2]), Termination::WeaklyAcyclic);
+    }
+
+    #[test]
+    fn empty_set_is_weakly_acyclic() {
+        assert_eq!(Termination::analyze(&[]), Termination::WeaklyAcyclic);
+    }
+
+    #[test]
+    fn verdict_is_deterministic() {
+        let sig = sig_rs();
+        let r = sig.predicate("R").unwrap();
+        let t = Tgd::new_unchecked(
+            "t",
+            vec![Atom::new(r, vec![v(0), v(1)])],
+            vec![Atom::new(r, vec![v(1), v(2)])],
+        );
+        let a = Termination::analyze(std::slice::from_ref(&t));
+        let b = Termination::analyze(&[t]);
+        assert_eq!(a, b);
+    }
+}

@@ -134,10 +134,12 @@ impl Structure {
     /// If the argument count does not match the predicate's arity, or an
     /// argument node was never allocated in this structure.
     pub fn add_atom(&mut self, atom: GroundAtom) -> bool {
-        assert_eq!(
+        assert!(
+            atom.args.len() == self.sig.arity(atom.pred),
+            "atom over `{}` has {} arguments, expected {} (declared arity of `{}`)",
+            self.sig.pred_name(atom.pred),
             atom.args.len(),
             self.sig.arity(atom.pred),
-            "arity mismatch for predicate {}",
             self.sig.pred_name(atom.pred)
         );
         for &n in &atom.args {
@@ -502,6 +504,16 @@ mod tests {
         let swapped = d.map_predicates(Arc::clone(&sig), |p| if p == r { g } else { r });
         assert!(swapped.contains(g, &[a, b]));
         assert!(swapped.contains(r, &[b, a]));
+    }
+
+    #[test]
+    #[should_panic(expected = "atom over `R` has 3 arguments, expected 2")]
+    fn add_atom_arity_panic_names_predicate_and_both_arities() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let mut d = Structure::new(sig);
+        let a = d.fresh_node();
+        d.add(r, vec![a, a, a]);
     }
 
     #[test]

@@ -148,9 +148,15 @@ impl DeterminacyOracle {
             let red_q0 = self.colored_query(Color::Red, q0);
             (engine, start, tuple, red_q0)
         };
+        // Pre-size the stage budget from the static termination verdict:
+        // when T_Q is certified weakly acyclic its chase reaches a fixpoint,
+        // so a tight caller-supplied stage cap must not turn a decidable
+        // answer into `Unknown`. Non-weakly-acyclic sets keep the caller's
+        // cap unchanged.
+        let budget = budget.clone().presized_for(engine.termination());
         let run = {
             let _chase = span!("oracle.chase", max_stages = budget.max_stages);
-            engine.chase_with_monitor(&start, budget, |d, _stage| red_q0.holds(d, &tuple))
+            engine.chase_with_monitor(&start, &budget, |d, _stage| red_q0.holds(d, &tuple))
         };
         let verdict = match run.outcome {
             ChaseOutcome::MonitorStopped => {

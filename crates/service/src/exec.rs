@@ -76,6 +76,11 @@ pub fn execute_capped(id: u64, job: &Job, cancel: &CancelToken, thread_cap: usiz
         None
     };
     record_job_metrics(job.kind(), outcome.verdict(), &clock);
+    let lint = if job.budget().is_some_and(|b| b.emit_lint) {
+        Some(crate::lint::lint_job(job).render_lines())
+    } else {
+        None
+    };
     JobResult {
         id,
         kind: job.kind(),
@@ -83,6 +88,7 @@ pub fn execute_capped(id: u64, job: &Job, cancel: &CancelToken, thread_cap: usiz
         metrics,
         certificate,
         trace,
+        lint,
     }
 }
 
@@ -119,12 +125,14 @@ fn chase_budget(budget: &JobBudget, cancel: &CancelToken, thread_cap: usize) -> 
     b
 }
 
-/// Harvests chase-run metrics (stages, triggers, structure peaks).
+/// Harvests chase-run metrics (stages, triggers, structure peaks) and the
+/// run's static termination verdict.
 fn record_run(metrics: &mut JobMetrics, run: &ChaseRun) {
     metrics.stages += run.stage_count();
     metrics.triggers += run.triggers_fired();
     metrics.peak_atoms = metrics.peak_atoms.max(run.structure.atom_count());
     metrics.peak_nodes = metrics.peak_nodes.max(run.structure.node_count());
+    metrics.termination = Some(run.termination.name());
 }
 
 /// Names what stopped a cancelled run: the token or the clock.
@@ -548,6 +556,31 @@ mod tests {
             report.attestation,
             "refutations are flagged as attestations"
         );
+    }
+
+    #[test]
+    fn lint_flag_attaches_report_and_run_stamps_termination() {
+        let sig = sig_r();
+        let views = vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()];
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let job = Job::Determine {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default().with_lint(true),
+        };
+        let r = execute(1, &job, &CancelToken::inert());
+        let lint = r.lint.as_deref().expect("lint=1 attaches a report");
+        assert!(lint.starts_with("cqfd-lint v1\n"), "{lint}");
+        assert!(lint.trim_end().ends_with("end"), "{lint}");
+        assert!(
+            r.metrics.termination.is_some(),
+            "chase jobs stamp the termination verdict"
+        );
+        let head = r.render_protocol();
+        let head = head.lines().next().unwrap();
+        assert!(head.contains("lint_lines="), "{head}");
+        assert!(head.contains("termination="), "{head}");
     }
 
     #[test]

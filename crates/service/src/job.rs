@@ -38,6 +38,12 @@ pub struct JobBudget {
     /// caps this so that `pool workers × job threads` never oversubscribes
     /// the host (see `PoolConfig`).
     pub threads: usize,
+    /// Attach a `cqfd-lint v1` diagnostics payload for the job's rule set
+    /// to the result (wire `lint=1`, answered with `lint_lines=`). Off by
+    /// default. Independent of the pre-pool rejection gate, which always
+    /// runs on wire-submitted jobs: `lint=1` also surfaces the warnings
+    /// and infos a passing job accumulated.
+    pub emit_lint: bool,
 }
 
 impl Default for JobBudget {
@@ -50,6 +56,7 @@ impl Default for JobBudget {
             emit_certificate: false,
             emit_trace: false,
             threads: 1,
+            emit_lint: false,
         }
     }
 }
@@ -94,6 +101,12 @@ impl JobBudget {
     /// Sets the chase enumeration thread count (clamped to ≥ 1).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Requests a lint-diagnostics payload on the result.
+    pub fn with_lint(mut self, emit: bool) -> Self {
+        self.emit_lint = emit;
         self
     }
 }

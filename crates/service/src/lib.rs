@@ -36,6 +36,7 @@
 
 pub mod exec;
 pub mod job;
+pub mod lint;
 pub mod outcome;
 pub mod pool;
 pub mod proto;
@@ -43,6 +44,7 @@ pub mod server;
 
 pub use exec::execute;
 pub use job::{Job, JobBudget};
+pub use lint::lint_job;
 pub use outcome::{JobMetrics, JobOutcome, JobResult};
 pub use pool::{JobHandle, Pool, PoolConfig, SubmitError};
 pub use proto::{parse_job, parse_jobs};

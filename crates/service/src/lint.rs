@@ -1,0 +1,145 @@
+//! Pre-execution lint for jobs: the bridge between `cqfd-analysis` and
+//! the service.
+//!
+//! [`lint_job`] reconstructs the rule set a job would chase — the
+//! green–red `T_Q` for determinacy kinds, the Theorem 14 separating rules,
+//! the rainworm instruction set for creep/reduce — and runs the static
+//! analyses over it. The TCP server and `cqfd batch` call this **before
+//! submitting to the pool** and reject jobs whose report carries
+//! error-severity diagnostics; `lint=1` on the wire additionally ships the
+//! full report behind a `lint_lines=` marker, mirroring `cert=1`.
+
+use crate::job::Job;
+use cqfd_analysis::{analyze_delta, analyze_tgds, Code, Diagnostic, Report};
+use cqfd_core::Cq;
+use cqfd_greenred::{greenred_tgds, DeterminacyOracle};
+
+/// Lints the rule set a job would execute. Never runs the job.
+pub fn lint_job(job: &Job) -> Report {
+    match job {
+        Job::Determine { sig, views, q0, .. }
+        | Job::Rewrite { sig, views, q0 }
+        | Job::CounterexampleSearch { sig, views, q0, .. } => {
+            let mut report = Report::new();
+            for q in views.iter().chain(std::iter::once(q0)) {
+                check_query_safety(q, &mut report);
+            }
+            // Building the oracle validates nothing by itself; the colored
+            // T_Q is what the chase actually runs, so lint that.
+            let oracle = DeterminacyOracle::new(sig.clone());
+            let tgds = greenred_tgds(oracle.greenred(), views);
+            report.merge(analyze_tgds(oracle.greenred().colored(), &tgds));
+            report
+        }
+        Job::Separate { .. } => {
+            let space = cqfd_separating::theorem14::separating_space();
+            let tgds = cqfd_separating::theorem14::t_separating().tgds(&space);
+            analyze_tgds(space.signature(), &tgds)
+        }
+        Job::Reduce { delta } | Job::Creep { delta, .. } => analyze_delta(delta),
+    }
+}
+
+/// `A001` and `A010` for a hand-built query: `Cq::parse` enforces safety
+/// and arities, but jobs constructed through the library API can carry
+/// `Cq::new_unchecked` queries.
+fn check_query_safety(q: &Cq, report: &mut Report) {
+    let body_vars: Vec<_> = q.body.iter().flat_map(|a| a.vars()).collect();
+    for v in &q.head_vars {
+        if !body_vars.contains(v) {
+            report.push(
+                Diagnostic::new(
+                    Code::UnsafeHeadVariable,
+                    format!(
+                        "head variable `{}` of query `{}` does not occur in the body",
+                        q.var_name(*v),
+                        q.name
+                    ),
+                )
+                .with_subject(&q.name),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBudget;
+    use cqfd_core::{Signature, Term, Var};
+    use cqfd_rainworm::families::forever_worm;
+
+    fn sig_r() -> Signature {
+        let mut s = Signature::new();
+        s.add_predicate("R", 2);
+        s
+    }
+
+    #[test]
+    fn well_formed_determine_job_lints_clean_of_errors() {
+        let sig = sig_r();
+        let views = vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()];
+        let q0 = Cq::parse(&sig, "Q0(x,y) :- R(x,y)").unwrap();
+        let job = Job::Determine {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default(),
+        };
+        let report = lint_job(&job);
+        assert!(!report.has_errors(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn unsafe_unchecked_query_is_rejected_with_a001() {
+        let sig = sig_r();
+        let r = sig.predicate("R").unwrap();
+        let views = vec![Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap()];
+        // Q0(x, w) :- R(x, y): w never occurs in the body.
+        let q0 = Cq::new_unchecked(
+            "Q0",
+            vec![Var(0), Var(2)],
+            vec![cqfd_core::Atom::new(
+                r,
+                vec![Term::Var(Var(0)), Term::Var(Var(1))],
+            )],
+            vec!["x".into(), "y".into(), "w".into()],
+        );
+        let job = Job::Determine {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default(),
+        };
+        let report = lint_job(&job);
+        let d = report.first_error().expect("A001 expected");
+        assert_eq!(d.code, Code::UnsafeHeadVariable);
+        assert!(d.message.contains("`w`"), "{}", d.message);
+        assert!(d.message.contains("`Q0`"), "{}", d.message);
+    }
+
+    #[test]
+    fn builtin_job_kinds_lint_clean_of_errors() {
+        let jobs = [
+            Job::Separate {
+                budget: JobBudget::default(),
+            },
+            Job::Creep {
+                delta: forever_worm(),
+                budget: JobBudget::default(),
+            },
+            Job::Reduce {
+                delta: forever_worm(),
+            },
+        ];
+        for job in jobs {
+            let report = lint_job(&job);
+            assert!(
+                !report.has_errors(),
+                "{}: {}",
+                job.kind(),
+                report.render_human()
+            );
+        }
+    }
+}

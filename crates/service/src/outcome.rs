@@ -128,6 +128,11 @@ pub struct JobMetrics {
     pub peak_nodes: u32,
     /// Wall-clock execution time (excludes queueing).
     pub elapsed: Duration,
+    /// The static chase-termination verdict of the rule set the job
+    /// chased (`weakly-acyclic` / `unknown`), when the job ran a chase.
+    /// Rendered as the `termination=` note on result lines; deterministic,
+    /// so it survives the byte-identity diff across thread counts.
+    pub termination: Option<&'static str>,
 }
 
 /// The result of one job: its id, kind, outcome, and metrics.
@@ -152,14 +157,21 @@ pub struct JobResult {
     /// (wire `trace=1`). Multi-line; excluded from `Display` — see
     /// [`JobResult::render_protocol`].
     pub trace: Option<String>,
+    /// A `cqfd-lint v1` diagnostics payload for the job's rule set, when
+    /// the job was submitted with
+    /// [`JobBudget::emit_lint`](crate::JobBudget::emit_lint) (wire
+    /// `lint=1`). Multi-line; excluded from `Display` — see
+    /// [`JobResult::render_protocol`].
+    pub lint: Option<String>,
 }
 
 impl JobResult {
     /// The wire rendering: the one-line `Display` result, plus — when a
-    /// certificate and/or trace is attached — ` cert_lines=<n>` /
-    /// ` trace_lines=<n>` markers on that line followed by the raw payload
-    /// lines (certificate first, then trace). Readers that ignore the
-    /// markers still parse the result line unchanged.
+    /// certificate, trace and/or lint report is attached —
+    /// ` cert_lines=<n>` / ` trace_lines=<n>` / ` lint_lines=<n>` markers
+    /// on that line followed by the raw payload lines (certificate first,
+    /// then trace, then lint). Readers that ignore the markers still parse
+    /// the result line unchanged.
     pub fn render_protocol(&self) -> String {
         let mut out = self.to_string();
         if let Some(cert) = &self.certificate {
@@ -168,7 +180,13 @@ impl JobResult {
         if let Some(trace) = &self.trace {
             out.push_str(&format!(" trace_lines={}", trace.lines().count()));
         }
-        for payload in [&self.certificate, &self.trace].into_iter().flatten() {
+        if let Some(lint) = &self.lint {
+            out.push_str(&format!(" lint_lines={}", lint.lines().count()));
+        }
+        for payload in [&self.certificate, &self.trace, &self.lint]
+            .into_iter()
+            .flatten()
+        {
             for line in payload.lines() {
                 out.push('\n');
                 out.push_str(line);
@@ -224,7 +242,11 @@ impl fmt::Display for JobResult {
             m.peak_atoms,
             m.peak_nodes,
             m.elapsed.as_secs_f64() * 1e3
-        )
+        )?;
+        if let Some(t) = m.termination {
+            write!(f, " termination={t}")?;
+        }
+        Ok(())
     }
 }
 
@@ -245,9 +267,11 @@ mod tests {
                 peak_atoms: 20,
                 peak_nodes: 11,
                 elapsed: Duration::from_micros(1500),
+                termination: Some("weakly-acyclic"),
             },
             certificate: None,
             trace: None,
+            lint: None,
         };
         let line = r.to_string();
         assert!(!line.contains('\n'));
@@ -255,6 +279,7 @@ mod tests {
         assert!(line.contains("triggers=12"));
         assert!(line.contains("homs=99"));
         assert!(line.contains("elapsed_ms=1.5"));
+        assert!(line.ends_with(" termination=weakly-acyclic"));
         assert_eq!(r.render_protocol(), line, "no certificate, no extra lines");
     }
 
@@ -267,6 +292,7 @@ mod tests {
             metrics: JobMetrics::default(),
             certificate: Some("cqfd-cert v1 creep-trace\nhalted true\nend\n".into()),
             trace: None,
+            lint: None,
         };
         assert!(!r.to_string().contains('\n'), "Display stays one line");
         let wire = r.render_protocol();
@@ -286,6 +312,7 @@ mod tests {
             metrics: JobMetrics::default(),
             certificate: Some("cqfd-cert v1 chase-trace\nend\n".into()),
             trace: Some("{\"seq\":0}\n{\"seq\":1}\n".into()),
+            lint: None,
         };
         let wire = r.render_protocol();
         let mut lines = wire.lines();
@@ -310,6 +337,38 @@ mod tests {
         let wire2 = r2.render_protocol();
         assert!(wire2.lines().next().unwrap().ends_with(" trace_lines=2"));
         assert_eq!(wire2.lines().count(), 3);
+    }
+
+    #[test]
+    fn lint_payload_renders_last_with_line_count() {
+        let r = JobResult {
+            id: 3,
+            kind: "separate",
+            outcome: JobOutcome::Separated {
+                di_pattern: false,
+                lasso_pattern: true,
+            },
+            metrics: JobMetrics::default(),
+            certificate: Some("cqfd-cert v1 finite-model\nend\n".into()),
+            trace: None,
+            lint: Some("cqfd-lint v1\ndiag code=A100 severity=warn msg=\"x\"\nend\n".into()),
+        };
+        let wire = r.render_protocol();
+        let mut lines = wire.lines();
+        let head = lines.next().unwrap();
+        assert!(head.contains(" cert_lines=2 lint_lines=3"), "{head}");
+        let rest: Vec<&str> = lines.collect();
+        assert_eq!(
+            rest,
+            vec![
+                "cqfd-cert v1 finite-model",
+                "end",
+                "cqfd-lint v1",
+                "diag code=A100 severity=warn msg=\"x\"",
+                "end"
+            ],
+            "certificate payload first, then lint payload"
+        );
     }
 
     #[test]

@@ -107,6 +107,7 @@ impl JobHandle {
             metrics: Default::default(),
             certificate: None,
             trace: None,
+            lint: None,
         })
     }
 

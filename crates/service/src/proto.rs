@@ -132,6 +132,12 @@ impl Fields {
         self.flag("trace")
     }
 
+    /// The `lint=` flag: request a `cqfd-lint` diagnostics payload on the
+    /// result.
+    fn lint_flag(&self) -> Result<bool, String> {
+        self.flag("lint")
+    }
+
     /// The `threads=` key: chase enumeration worker threads. Must be a
     /// positive integer — `threads=0` is a contradiction, not "default".
     fn threads(&self) -> Result<usize, String> {
@@ -151,7 +157,7 @@ impl Fields {
     }
 
     /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`,
-    /// `cert=`, `trace=`, `threads=`.
+    /// `cert=`, `trace=`, `lint=`, `threads=`.
     fn budget(&self) -> Result<JobBudget, String> {
         let d = JobBudget::default();
         let timeout = match self.get("timeout-ms") {
@@ -171,6 +177,7 @@ impl Fields {
             emit_certificate: self.cert_flag()?,
             emit_trace: self.trace_flag()?,
             threads: self.threads()?,
+            emit_lint: self.lint_flag()?,
         })
     }
 }
@@ -300,6 +307,7 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
                 "timeout-ms",
                 "cert",
                 "trace",
+                "lint",
                 "threads",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
@@ -320,14 +328,14 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
             Job::Reduce { delta: f.worm()? }
         }
         "creep" => {
-            f.check_keys(&["worm", "steps", "timeout-ms", "cert", "trace"])?;
+            f.check_keys(&["worm", "steps", "timeout-ms", "cert", "trace", "lint"])?;
             Job::Creep {
                 delta: f.worm()?,
                 budget: f.budget()?,
             }
         }
         "separate" => {
-            f.check_keys(&["stages", "cert", "trace", "threads"])?;
+            f.check_keys(&["stages", "cert", "trace", "lint", "threads"])?;
             // The lasso chase needs ~80 stages to exhibit the 1-2 pattern,
             // so `separate` defaults higher than the generic budget.
             Job::Separate {
@@ -335,11 +343,14 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
                     .with_stages(f.usize_or("stages", 80)?)
                     .with_certificate(f.cert_flag()?)
                     .with_trace(f.trace_flag()?)
+                    .with_lint(f.lint_flag()?)
                     .with_threads(f.threads()?),
             }
         }
         "counterexample" => {
-            f.check_keys(&["sig", "view", "query", "instance", "nodes", "cert", "trace"])?;
+            f.check_keys(&[
+                "sig", "view", "query", "instance", "nodes", "cert", "trace", "lint",
+            ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::CounterexampleSearch {
                 sig,
@@ -467,6 +478,37 @@ mod tests {
         assert!(err.contains("trace=`maybe`"), "{err}");
         // `rewrite` takes no budget, so it rejects the flag outright.
         assert!(parse_job("rewrite instance=projection trace=1").is_err());
+    }
+
+    #[test]
+    fn lint_flag_parses_and_rejects_garbage() {
+        match parse_job("determine instance=projection lint=1")
+            .unwrap()
+            .unwrap()
+        {
+            Job::Determine { budget, .. } => {
+                assert!(budget.emit_lint);
+                assert!(!budget.emit_certificate);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("separate lint=true cert=1").unwrap().unwrap() {
+            Job::Separate { budget } => {
+                assert!(budget.emit_lint);
+                assert!(budget.emit_certificate);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("creep worm=short").unwrap().unwrap() {
+            Job::Creep { budget, .. } => assert!(!budget.emit_lint),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let err = parse_job("creep worm=short lint=maybe").unwrap_err();
+        assert!(err.contains("lint=`maybe`"), "{err}");
+        // `rewrite` and `reduce` take no budget, so the flag is an
+        // unknown key there.
+        assert!(parse_job("rewrite instance=projection lint=1").is_err());
+        assert!(parse_job("reduce worm=short lint=1").is_err());
     }
 
     #[test]

@@ -216,10 +216,21 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         }
         let reply = match parse_job(trimmed) {
             Ok(None) => continue, // blank line / comment: no reply
-            Ok(Some(job)) => match shared.pool.submit(job) {
-                Ok(handle) => handle.wait().render_protocol(),
-                Err(e) => format!("error: {e}"),
-            },
+            Ok(Some(job)) => {
+                // Static analysis gate: a job whose rule set carries
+                // error-severity diagnostics would chase garbage (or panic
+                // deep in the engine), so reject it before it ever reaches
+                // the pool.
+                let report = crate::lint::lint_job(&job);
+                if let Some(d) = report.first_error() {
+                    format!("error: lint: {}", d.render_human())
+                } else {
+                    match shared.pool.submit(job) {
+                        Ok(handle) => handle.wait().render_protocol(),
+                        Err(e) => format!("error: {e}"),
+                    }
+                }
+            }
             Err(e) => format!("error: {e}"),
         };
         if writeln!(writer, "{reply}").is_err() {
@@ -397,6 +408,27 @@ mod tests {
                 .any(|r| r.name == "chase.run" || r.name == "oracle.certify_run"),
             "trace covers the chase/oracle spans"
         );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn lint_payload_travels_the_wire() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        // `short` halts quickly and its instruction set lints with warnings
+        // (dead symbols) but no errors, so the job runs and the report rides
+        // along behind `lint_lines=`.
+        writeln!(writer, "creep worm=short lint=1").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("verdict=halted"), "{line}");
+        assert!(line.contains(" lint_lines="), "{line}");
+        let lint = read_payload(&mut reader, &line, "lint_lines");
+        assert!(lint.starts_with("cqfd-lint v1\n"), "{lint}");
+        assert!(lint.trim_end().ends_with("\nend"), "{lint}");
+        assert!(lint.contains("severity=warn"), "{lint}");
         handle.shutdown();
     }
 

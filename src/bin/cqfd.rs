@@ -37,6 +37,7 @@ fn main() -> ExitCode {
         "creep" => creep_cmd(rest),
         "reduce" => reduce_cmd(rest),
         "separate" => separate_cmd(rest),
+        "lint" => lint_cmd(rest),
         "certify" => certify_cmd(rest),
         "check" => check_cmd(rest),
         "batch" => batch_cmd(rest),
@@ -67,6 +68,9 @@ USAGE:
                  [--steps <n>] [--trace <n>]  [--emit]
   cqfd reduce    --worm <...>
   cqfd separate  [--stages <n>] [--threads <n>]
+  cqfd lint      <rules-file | theorem14 | worm:SPEC> [--json]
+                 (static analysis: chase-termination verdict, safety and
+                  signature diagnostics; nonzero exit on error diagnostics)
   cqfd certify   <determine|separate|creep|countermodel> [per-kind flags]
                  [--out <file>]   (emit a machine-checkable certificate)
   cqfd check     <file>           (validate a certificate; nonzero on reject)
@@ -84,7 +88,7 @@ Job-file syntax: one job per line, e.g. `determine instance=path:2x3`;
 see the cqfd-service docs (`cqfd::service::proto`).";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["--emit"];
+const BOOLEAN_FLAGS: &[&str] = &["--emit", "--json"];
 
 /// Rejects flags outside `allowed` (and double-dash tokens in value
 /// position are fine: `--view --weird` treats `--weird` as the value).
@@ -377,6 +381,44 @@ fn separate_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `cqfd lint <target> [--json]` — run the static analyses over a rule
+/// set and exit nonzero when the report carries error-severity
+/// diagnostics. Targets: a rules-file path (`sig`/`tgd`/`cq` lines, see
+/// `cqfd::analysis::parse_rules`), `theorem14` (the separating rules of
+/// §VII), or `worm:SPEC` (the instruction-set lints over any worm the
+/// `creep` command accepts, including `file:PATH`).
+fn lint_cmd(args: &[String]) -> Result<(), String> {
+    use cqfd::analysis::{analyze_delta, analyze_tgds, lint_text};
+    check_flags(args, &["--json"])?;
+    let pos = positionals(args);
+    let [target] = pos.as_slice() else {
+        return Err("lint takes exactly one target: <rules-file> | theorem14 | worm:SPEC".into());
+    };
+    let report = if *target == "theorem14" {
+        let space = cqfd::separating::theorem14::separating_space();
+        let tgds = cqfd::separating::theorem14::t_separating().tgds(&space);
+        analyze_tgds(space.signature(), &tgds)
+    } else if let Some(spec) = target.strip_prefix("worm:") {
+        analyze_delta(&parse_worm(spec)?)
+    } else {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+        lint_text(&text)
+    };
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    let errors = report.error_count();
+    if errors > 0 {
+        return Err(format!(
+            "lint: {errors} error diagnostic{} in `{target}`",
+            if errors == 1 { "" } else { "s" }
+        ));
+    }
+    Ok(())
+}
+
 /// Writes a certificate to `--out <file>` (or stdout), with a one-line
 /// summary on stderr so piping stdout stays clean.
 fn write_certificate(args: &[String], cert: &cqfd::cert::Certificate) -> Result<(), String> {
@@ -520,6 +562,18 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
             if let Some(b) = j.budget_mut() {
                 b.threads = threads;
             }
+        }
+    }
+    // Same static-analysis gate as the TCP server: refuse to pool a job
+    // whose rule set lints with error-severity diagnostics.
+    for (i, job) in jobs.iter().enumerate() {
+        if let Some(d) = cqfd::service::lint_job(job).first_error() {
+            return Err(format!(
+                "job {} ({}): lint: {}",
+                i + 1,
+                job.kind(),
+                d.render_human()
+            ));
         }
     }
     let cfg = pool_config(args)?;

@@ -11,6 +11,9 @@
 //! conjunctive queries. Every object in that chain is implemented here:
 //!
 //! * [`core`] — relational structures, homomorphisms, conjunctive queries;
+//! * [`analysis`] — static rule-set analysis: chase-termination verdicts
+//!   (weak acyclicity), safety and signature diagnostics, rainworm lints
+//!   (`cqfd lint`);
 //! * [`cert`] — machine-checkable proof certificates for every verdict,
 //!   with an independent low-polynomial checker (`cqfd certify` / `check`);
 //! * [`chase`] — tuple-generating dependencies and the lazy chase;
@@ -45,6 +48,9 @@
 //! let _ = r;
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use cqfd_analysis as analysis;
 pub use cqfd_cert as cert;
 pub use cqfd_chase as chase;
 pub use cqfd_core as core;

@@ -182,6 +182,71 @@ fn batch_rejects_bad_job_files() {
     assert!(text.contains("line 2"), "{text}");
 }
 
+/// Every built-in rule-set family lints clean of error diagnostics. The
+/// Theorem 14 rules are deliberately non-terminating, so a warn-severity
+/// A100 (not weakly acyclic, with a cycle witness) is expected there —
+/// what matters is that `lint` still exits zero.
+#[test]
+fn lint_accepts_every_builtin_family() {
+    for target in [
+        "theorem14",
+        "worm:forever",
+        "worm:short",
+        "worm:counter:2",
+        "worm:tm-walker:2",
+    ] {
+        let (ok, text) = cqfd(&["lint", target]);
+        assert!(ok, "{target}: {text}");
+        assert!(text.contains("0 error(s)"), "{target}: {text}");
+    }
+    let (ok, text) = cqfd(&["lint", "theorem14"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("warn[A100]"), "{text}");
+    assert!(text.contains("~>"), "cycle witness expected: {text}");
+}
+
+/// A deliberately broken rules file — an arity mismatch and an unsafe
+/// head variable — fails with a nonzero exit and diagnostics naming the
+/// rule, the variable, and the codes.
+#[test]
+fn lint_rejects_a_broken_rules_file_naming_the_culprits() {
+    let rules = "\
+sig R/2 S/2
+tgd grow: R(x,y) -> S(y,z)
+tgd bad: R(x,y,q) -> S(x,y)
+cq V(x,w) :- R(x,y)
+";
+    let path = std::env::temp_dir().join("cqfd_cli_lint_broken.rules");
+    std::fs::write(&path, rules).unwrap();
+    let (ok, text) = cqfd(&["lint", path.to_str().unwrap()]);
+    assert!(!ok, "broken rules must fail: {text}");
+    assert!(text.contains("error[A010]"), "{text}");
+    assert!(text.contains("`bad`"), "{text}");
+    assert!(text.contains("error[A001]"), "{text}");
+    assert!(text.contains("`w`"), "{text}");
+    assert!(text.contains("2 error diagnostics"), "{text}");
+
+    // `--json` renders the same diagnostics as structured output.
+    let (ok, text) = cqfd(&["lint", path.to_str().unwrap(), "--json"]);
+    assert!(!ok);
+    assert!(text.contains("\"code\":\"A010\""), "{text}");
+    assert!(text.contains("\"severity\":\"error\""), "{text}");
+}
+
+/// `lint=1` on a batch job line ships the diagnostics report behind a
+/// `lint_lines=` marker, and the verdict line stamps the chase-termination
+/// verdict.
+#[test]
+fn batch_lint_flag_ships_report_and_termination() {
+    let path = std::env::temp_dir().join("cqfd_cli_batch_lint.txt");
+    std::fs::write(&path, "determine instance=projection lint=1\n").unwrap();
+    let (ok, text) = cqfd(&["batch", path.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert!(text.contains(" lint_lines="), "{text}");
+    assert!(text.contains("cqfd-lint v1"), "{text}");
+    assert!(text.contains(" termination="), "{text}");
+}
+
 /// `certify <kind>` writes a certificate file and `check` validates it —
 /// one round trip per verdict kind, all through the real binary.
 #[test]
