@@ -1,0 +1,189 @@
+//! E-STORE: the persistent result cache — cold chase vs warm
+//! checker-validated cache hit, and the checker-vs-chase cost ratio that
+//! makes "re-verify before serving" affordable.
+//!
+//! Hand-rolled harness in the `chase_parallel` mold: it emits
+//! `BENCH_store.json` at the repo root (the file EXPERIMENTS.md §E-STORE
+//! quotes). Every warm serve re-runs the trusted `cqfd-cert` checker on
+//! the stored certificate, so `warm_ms` is an honest "validated hit"
+//! number, not a raw disk read. The harness also asserts the warm result
+//! and certificate are byte-identical to the cold run's before timing
+//! anything, so a speedup can never be bought with a wrong answer.
+
+use cqfd_core::{CancelToken, Cq, Signature};
+use cqfd_service::{execute_stored, job_key, parse_result_line, Job, JobBudget};
+use cqfd_store::Store;
+use std::io::Write;
+use std::time::Instant;
+
+const SAMPLES: usize = 9;
+
+struct Row {
+    name: String,
+    cold_ms: f64,
+    warm_ms: f64,
+    checker_ms: f64,
+}
+
+/// Times `f` SAMPLES times (after one warm-up) and returns the median in
+/// milliseconds.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: first run pays allocation and cache misses
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+/// The workloads: the fig3 separation chase (the acceptance workload for
+/// the ≥5× warm-repeat bar), the join-determinacy oracle shape, and a
+/// not-determined fixpoint chase.
+fn workloads() -> Vec<(&'static str, Job)> {
+    let mut sig = Signature::new();
+    sig.add_predicate("R", 2);
+    sig.add_predicate("S", 2);
+    let views = vec![
+        Cq::parse(&sig, "V1(x,y) :- R(x,y)").unwrap(),
+        Cq::parse(&sig, "V2(x,y) :- S(x,y)").unwrap(),
+    ];
+    let q0 = Cq::parse(&sig, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
+    let mismatch = cqfd_greenred::instances::mismatched_path_instance(2, 3);
+    vec![
+        (
+            "separate_fig3",
+            Job::Separate {
+                budget: JobBudget::default().with_stages(80),
+            },
+        ),
+        (
+            "determine_join",
+            Job::Determine {
+                sig,
+                views,
+                q0,
+                budget: JobBudget::default(),
+            },
+        ),
+        (
+            "determine_mismatch_2x3",
+            Job::Determine {
+                sig: mismatch.sig,
+                views: mismatch.views,
+                q0: mismatch.q0,
+                budget: JobBudget::default(),
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("cqfd-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).expect("open bench store");
+    let cancel = CancelToken::new();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for (name, job) in workloads() {
+        // Populate the cache (one conclusive run with write-back), then
+        // check byte-identity of the served result and certificate
+        // against an uninterrupted certified run.
+        let mut certified = job.clone();
+        if let Some(b) = certified.budget_mut() {
+            b.emit_certificate = true;
+        }
+        let cold_ref = execute_stored(0, &certified, &cancel, usize::MAX, Some(&store), true);
+        let warm_ref = execute_stored(0, &certified, &cancel, usize::MAX, Some(&store), true);
+        assert!(warm_ref.metrics.cached, "{name}: second run must hit");
+        assert_eq!(
+            parse_result_line(&cold_ref.to_string()).unwrap(),
+            parse_result_line(&warm_ref.to_string()).unwrap(),
+            "{name}: warm result line must be byte-identical (modulo elapsed/cached)"
+        );
+        assert_eq!(
+            cold_ref.certificate, warm_ref.certificate,
+            "{name}: warm certificate must be byte-identical"
+        );
+
+        // Cold: the full chase, no store in play.
+        let cold_ms = median_ms(|| {
+            let r = execute_stored(0, &job, &cancel, usize::MAX, None, false);
+            assert!(!r.metrics.cached);
+        });
+
+        // Warm: checker-validated serve from the populated store.
+        let warm_ms = median_ms(|| {
+            let r = execute_stored(0, &job, &cancel, usize::MAX, Some(&store), true);
+            assert!(r.metrics.cached, "{name}: warm run must hit");
+        });
+
+        // Checker alone: parse + check of the stored certificate — the
+        // trusted-validation share of every warm serve.
+        let key = job_key(&job).expect("bench jobs are cacheable");
+        let entry = std::fs::read_to_string(store.entry_path(&key.hash)).unwrap();
+        let mut lines = entry.lines();
+        let mut n = 0usize;
+        for l in lines.by_ref() {
+            if let Some(v) = l.strip_prefix("cert_lines=") {
+                n = v.parse().expect("well-formed entry");
+                break;
+            }
+        }
+        let cert_text: String = lines.take(n).map(|l| format!("{l}\n")).collect();
+        let checker_ms = median_ms(|| {
+            let cert = cqfd_cert::parse(&cert_text).expect("stored cert parses");
+            cqfd_cert::check(&cert).expect("stored cert checks");
+        });
+
+        println!(
+            "[E-STORE] {name}: cold {cold_ms:.3} ms, warm {warm_ms:.3} ms \
+             ({:.1}x), checker {checker_ms:.3} ms",
+            cold_ms / warm_ms
+        );
+        rows.push(Row {
+            name: name.to_string(),
+            cold_ms,
+            warm_ms,
+            checker_ms,
+        });
+    }
+
+    write_json(&rows);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Renders the rows as JSON by hand (the workspace deliberately has no
+/// serde) and writes `BENCH_store.json` at the repo root.
+fn write_json(rows: &[Row]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_store.json");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"samples_per_point\": {SAMPLES},\n"));
+    out.push_str(
+        "  \"note\": \"warm serves re-run the trusted cqfd-cert checker on the stored \
+         certificate before answering; byte-identity of warm vs cold results and \
+         certificates is asserted before timing\",\n",
+    );
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \
+             \"speedup\": {:.1}, \"checker_ms\": {:.3}, \"checker_vs_chase\": {:.4}}}{}\n",
+            r.name,
+            r.cold_ms,
+            r.warm_ms,
+            r.cold_ms / r.warm_ms,
+            r.checker_ms,
+            r.checker_ms / r.cold_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(path).expect("create BENCH_store.json");
+    f.write_all(out.as_bytes()).expect("write BENCH_store.json");
+    println!("[E-STORE] wrote {path}");
+}

@@ -111,6 +111,38 @@ fn push_firings(out: &mut String, firings: &[FiringSpec]) {
     }
 }
 
+/// The header + prelude of a write-ahead stage log: `cqfd-cert v1
+/// stage-log`, the signature, the rules, and the chase start structure.
+/// Stage appends ([`firing_line`] + [`stage_mark_line`]) follow; a clean
+/// `end\n` closes a concluded run. [`crate::parse::parse_stage_log`]
+/// inverts the format.
+pub fn stage_log_prelude(sig: &SigSpec, rules: &[RuleSpec], start: &StructSpec) -> String {
+    let mut out = String::from("cqfd-cert v1 stage-log\n");
+    push_sig(&mut out, sig);
+    push_rules(&mut out, rules);
+    push_structure(&mut out, start);
+    out
+}
+
+/// One `fire` line (newline-terminated) in stage-log / chase-trace form.
+pub fn firing_line(f: &FiringSpec) -> String {
+    let mut line = format!("fire {} {}", f.stage, f.rule);
+    push_pairs(&mut line, &f.assignment);
+    line.push('\n');
+    line
+}
+
+/// One `stage` mark line (newline-terminated) committing a stage's
+/// firings to the log.
+pub fn stage_mark_line(
+    stage: usize,
+    applications: usize,
+    atoms_after: usize,
+    nodes_after: u32,
+) -> String {
+    format!("stage {stage} {applications} {atoms_after} {nodes_after}\n")
+}
+
 /// Encodes a certificate to its textual form (always newline-terminated).
 ///
 /// [`crate::parse`] inverts this exactly: `parse(encode(c)) == c`.

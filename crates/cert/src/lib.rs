@@ -71,8 +71,8 @@ pub mod encode;
 pub mod parse;
 
 pub use check::{check, CheckReport};
-pub use encode::encode;
-pub use parse::parse;
+pub use encode::{encode, firing_line, stage_log_prelude, stage_mark_line};
+pub use parse::{parse, parse_stage_log, StageLog, StageMark};
 
 /// A signature by value: predicate `(name, arity)` pairs and constant
 /// names, both indexed by position. Certificates are self-describing, so

@@ -409,6 +409,176 @@ impl Builder {
     }
 }
 
+/// One committed stage boundary in a write-ahead stage log: the stage
+/// number and the chase counters after applying that stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageMark {
+    /// 1-based stage number.
+    pub stage: usize,
+    /// Trigger applications in the stage.
+    pub applications: usize,
+    /// Distinct atoms after the stage.
+    pub atoms_after: usize,
+    /// Allocated nodes after the stage.
+    pub nodes_after: u32,
+}
+
+/// A parsed write-ahead stage log (`cqfd-cert v1 stage-log`).
+///
+/// The log shares its statement grammar with [`Certificate::ChaseTrace`]:
+/// a signature, the rules, the start structure, then per committed stage
+/// its `fire` lines followed by a `stage <n> <applications> <atoms_after>
+/// <nodes_after>` mark. A crash can tear the final append, so the parser
+/// tolerates a torn tail: anything after the last complete stage mark is
+/// dropped, and [`StageLog::valid_bytes`] is the byte length of the
+/// surviving prefix (truncate to it before appending more stages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLog {
+    /// The signature the log is over.
+    pub sig: SigSpec,
+    /// The TGDs, referenced by [`FiringSpec::rule`].
+    pub rules: Vec<RuleSpec>,
+    /// The chase start structure.
+    pub start: StructSpec,
+    /// Committed firings (stage ≤ the last complete mark).
+    pub firings: Vec<FiringSpec>,
+    /// The committed stage marks, in order.
+    pub stages: Vec<StageMark>,
+    /// True when the log ends with a clean `end` line (run concluded).
+    pub complete: bool,
+    /// Byte length of the longest valid prefix; reopen-and-append after
+    /// truncating the file to this length.
+    pub valid_bytes: usize,
+}
+
+fn parse_stage_mark(rest: &[String], expected: usize) -> Result<StageMark, String> {
+    let [n, apps, atoms, nodes] = rest else {
+        return Err("stage wants: n applications atoms_after nodes_after".to_string());
+    };
+    let mark = StageMark {
+        stage: parse_usize(n)?,
+        applications: parse_usize(apps)?,
+        atoms_after: parse_usize(atoms)?,
+        nodes_after: parse_u32(nodes)?,
+    };
+    if mark.stage != expected {
+        return Err(format!(
+            "stage mark {} out of order (expected {expected})",
+            mark.stage
+        ));
+    }
+    Ok(mark)
+}
+
+/// Parses a write-ahead stage log, tolerating a torn tail (see
+/// [`StageLog`]). A log whose prelude (signature / rules / start
+/// structure) is itself damaged does not parse at all — resume then falls
+/// back to a fresh chase.
+pub fn parse_stage_log(text: &str) -> Result<StageLog, String> {
+    let mut builder = Builder::default();
+    let mut saw_header = false;
+    let mut stages: Vec<StageMark> = Vec::new();
+    let mut complete = false;
+    // Last committed state: (byte offset just past the line, #firings).
+    let mut commit: (usize, usize) = (0, 0);
+    let mut offset = 0usize;
+    for (i, raw) in text.split_inclusive('\n').enumerate() {
+        let line_end = offset + raw.len();
+        let line = raw.strip_suffix('\n').unwrap_or(raw);
+        // A line the writer never terminated is torn by definition.
+        let torn_newline = raw.len() == line.len();
+        let at = |e: String| format!("line {}: {e}", i + 1);
+        // Once the prelude is in place, any malformed line is a torn
+        // tail, not an error: truncate to the last commit.
+        let tail_ok = builder.structure.is_some();
+        let toks = match tokenize(line) {
+            Ok(t) => t,
+            Err(e) if tail_ok => {
+                let _ = e;
+                break;
+            }
+            Err(e) => return Err(at(e)),
+        };
+        if toks.is_empty() {
+            offset = line_end;
+            continue;
+        }
+        if complete {
+            return Err(at("trailing content after end".into()));
+        }
+        if !saw_header {
+            let [magic, version, k] = toks.as_slice() else {
+                return Err(at("expected header: cqfd-cert v1 stage-log".into()));
+            };
+            if magic != "cqfd-cert" || version != "v1" || k != "stage-log" {
+                return Err(at(format!("not a stage log (header {line:?})")));
+            }
+            saw_header = true;
+            offset = line_end;
+            continue;
+        }
+        if torn_newline {
+            if tail_ok {
+                break;
+            }
+            return Err(at("unterminated line in prelude".into()));
+        }
+        let parsed: Result<(), String> = match toks[0].as_str() {
+            "end" => {
+                if builder.firings.len() != commit.1 {
+                    Err("end with uncommitted firings".into())
+                } else {
+                    complete = true;
+                    commit = (line_end, builder.firings.len());
+                    Ok(())
+                }
+            }
+            "stage" => match parse_stage_mark(&toks[1..], stages.len() + 1) {
+                Ok(mark) => {
+                    stages.push(mark);
+                    commit = (line_end, builder.firings.len());
+                    Ok(())
+                }
+                Err(e) => Err(e),
+            },
+            kw => builder.statement(kw, &toks[1..]),
+        };
+        match parsed {
+            Ok(()) => {
+                // Prelude lines commit immediately (no fires pending yet).
+                if builder.firings.len() == commit.1 && stages.is_empty() && !complete {
+                    commit = (line_end, builder.firings.len());
+                }
+            }
+            Err(e) if tail_ok => {
+                let _ = e;
+                break;
+            }
+            Err(e) => return Err(at(e)),
+        }
+        offset = line_end;
+    }
+    if !saw_header {
+        return Err("empty stage log".to_string());
+    }
+    let start = builder
+        .structure
+        .ok_or_else(|| "stage log is missing its start structure".to_string())?;
+    builder.firings.truncate(commit.1);
+    Ok(StageLog {
+        sig: SigSpec {
+            preds: builder.preds,
+            consts: builder.consts,
+        },
+        rules: builder.rules,
+        start,
+        firings: builder.firings,
+        stages,
+        complete,
+        valid_bytes: commit.0,
+    })
+}
+
 /// Parses the textual certificate format (see [`crate::encode`]).
 pub fn parse(text: &str) -> Result<Certificate, String> {
     let mut builder = Builder::default();

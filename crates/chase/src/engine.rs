@@ -368,6 +368,54 @@ pub enum Strategy {
     SemiNaive,
 }
 
+/// A stage-boundary snapshot a chase run can resume from: the structure
+/// at the boundary plus the completed per-stage history. Produced by
+/// replaying a write-ahead stage log (see `cqfd-store`); consumed by
+/// [`ChaseEngine::chase_with_hooks`].
+///
+/// `start_atoms`/`start_nodes` describe the *original* start structure
+/// (`chase₀`), not the snapshot — they keep
+/// [`ChaseRun::stage_structure`]`(0)` correct on the resumed run.
+#[derive(Debug, Clone)]
+pub struct ResumePoint {
+    /// The structure at the last completed stage boundary.
+    pub structure: Structure,
+    /// Per-stage history of the completed prefix.
+    pub stages: Vec<StageInfo>,
+    /// Recorded firings of the completed prefix (in application order).
+    pub firings: Vec<Firing>,
+    /// Atom count of the original start structure.
+    pub start_atoms: usize,
+    /// Node count of the original start structure.
+    pub start_nodes: u32,
+}
+
+/// Per-stage checkpoint callback: 1-based stage number, the committed
+/// stage's [`StageInfo`], and the firings applied in it.
+pub type CheckpointFn<'a> = dyn FnMut(usize, &StageInfo, &[Firing]) + 'a;
+
+/// Side channels for a chase run: resume from a stage-boundary snapshot,
+/// and/or observe each completed stage as it commits.
+///
+/// The checkpoint callback fires only for stages the run *continues past*
+/// — never for the stage that concludes the run (fixpoint, monitor stop,
+/// mid-stage budget stop). A concluding stage may be partial (a phase-B
+/// cancellation stops mid-stage), so committing it to a write-ahead log
+/// would let a resumed run diverge from an uninterrupted one; the
+/// stages that do get checkpointed are always complete.
+#[derive(Default)]
+pub struct ChaseHooks<'a> {
+    /// Resume from this snapshot instead of chasing from the start
+    /// structure. Already-completed stages still count against
+    /// [`ChaseBudget::max_stages`], so a resumed run stops exactly where
+    /// the uninterrupted run would have.
+    pub resume: Option<ResumePoint>,
+    /// Called after each committed (non-concluding) stage with the
+    /// 1-based stage number, its [`StageInfo`], and the firings applied
+    /// in that stage (empty unless recording is on).
+    pub checkpoint: Option<&'a mut CheckpointFn<'a>>,
+}
+
 /// The chase engine: a fixed list of TGDs, applied stage by stage.
 #[derive(Debug, Clone)]
 pub struct ChaseEngine {
@@ -431,7 +479,26 @@ impl ChaseEngine {
         &self,
         start: &Structure,
         budget: &ChaseBudget,
+        monitor: impl FnMut(&Structure, usize) -> bool,
+    ) -> ChaseRun {
+        self.chase_with_hooks(start, budget, monitor, ChaseHooks::default())
+    }
+
+    /// [`chase_with_monitor`](Self::chase_with_monitor) plus side
+    /// channels: resume from a [`ResumePoint`] and/or observe committed
+    /// stages through a checkpoint callback (see [`ChaseHooks`]).
+    ///
+    /// A resumed run is byte-identical to the uninterrupted run — same
+    /// stages, firings, structure, and stop reason — because the chase is
+    /// deterministic stage by stage and the resume point sits exactly at
+    /// a stage boundary. (Only [`ChaseRun::hom_nodes`] differs: the
+    /// resumed run skips the prefix's enumeration work.)
+    pub fn chase_with_hooks(
+        &self,
+        start: &Structure,
+        budget: &ChaseBudget,
         mut monitor: impl FnMut(&Structure, usize) -> bool,
+        mut hooks: ChaseHooks<'_>,
     ) -> ChaseRun {
         let clock = Stopwatch::start();
         let _run_span = span!(
@@ -441,17 +508,36 @@ impl ChaseEngine {
         );
         let meters = ChaseMeters::new(&self.tgds);
         let hom_start = hom_nodes_explored();
-        let mut d = start.clone();
-        let mut run = ChaseRun {
-            start_atoms: d.atom_count(),
-            start_nodes: d.node_count(),
-            structure: Structure::new(std::sync::Arc::clone(d.signature())),
-            stages: Vec::new(),
-            outcome: ChaseOutcome::StageBudgetExhausted,
-            elapsed: Duration::ZERO,
-            hom_nodes: 0,
-            firings: Vec::new(),
-            termination: self.termination.clone(),
+        let (mut d, mut run) = match hooks.resume.take() {
+            Some(rp) => {
+                let run = ChaseRun {
+                    start_atoms: rp.start_atoms,
+                    start_nodes: rp.start_nodes,
+                    structure: Structure::new(std::sync::Arc::clone(rp.structure.signature())),
+                    stages: rp.stages,
+                    outcome: ChaseOutcome::StageBudgetExhausted,
+                    elapsed: Duration::ZERO,
+                    hom_nodes: 0,
+                    firings: rp.firings,
+                    termination: self.termination.clone(),
+                };
+                (rp.structure, run)
+            }
+            None => {
+                let d = start.clone();
+                let run = ChaseRun {
+                    start_atoms: d.atom_count(),
+                    start_nodes: d.node_count(),
+                    structure: Structure::new(std::sync::Arc::clone(d.signature())),
+                    stages: Vec::new(),
+                    outcome: ChaseOutcome::StageBudgetExhausted,
+                    elapsed: Duration::ZERO,
+                    hom_nodes: 0,
+                    firings: Vec::new(),
+                    termination: self.termination.clone(),
+                };
+                (d, run)
+            }
         };
         let finish = |mut run: ChaseRun, d: Structure| {
             run.structure = d;
@@ -461,18 +547,32 @@ impl ChaseEngine {
             publish_hom_metrics();
             run
         };
-        if monitor(&d, 0) {
+        // Re-checked even on resume: the checkpointed prefix only holds
+        // stages the original run continued past, but the log is external
+        // input — never trust it to imply the monitor stayed quiet.
+        if monitor(&d, run.stages.len()) {
             run.outcome = ChaseOutcome::MonitorStopped;
             return finish(run, d);
         }
-        let mut prev_frozen: u32 = 0;
-        for _stage in 0..budget.max_stages {
+        // Snapshot boundary of the previous stage (what the semi-naive
+        // delta is measured against): for stage k+1 it is the atom count
+        // at *entry* of stage k.
+        let done = run.stages.len();
+        let mut prev_frozen: u32 = match done {
+            0 => 0,
+            1 => run.start_atoms as u32,
+            k => run.stages[k - 2].atoms_after as u32,
+        };
+        // Completed stages count against the budget, so a resumed run
+        // stops exactly where the uninterrupted run would.
+        for _stage in 0..budget.max_stages.saturating_sub(done) {
             if budget.should_stop() {
                 run.outcome = ChaseOutcome::Cancelled;
                 break;
             }
             let frozen = d.atom_count() as u32;
             let stage = run.stages.len() + 1;
+            let firings_before = run.firings.len();
             let (applications, early_stop) = {
                 let _stage_span = span!("chase.stage", stage = stage);
                 let stage_clock = Stopwatch::start();
@@ -508,8 +608,28 @@ impl ChaseEngine {
                 run.outcome = reason;
                 break;
             }
+            // The run continues past this stage: it is complete, commit it.
+            if let Some(cb) = hooks.checkpoint.as_mut() {
+                let info = run.stages[run.stages.len() - 1];
+                cb(run.stages.len(), &info, &run.firings[firings_before..]);
+            }
         }
         finish(run, d)
+    }
+
+    /// Replays recorded firings from `start`, reproducing the exact node
+    /// allocation of the original run: each firing's assignment is the
+    /// full body match, and [`apply`](Self::apply) allocates fresh nodes
+    /// for the existentials in the same sorted order the chase did. This
+    /// is how a write-ahead stage log is turned back into the structure
+    /// at its last committed boundary.
+    pub fn replay(&self, start: &Structure, firings: &[Firing]) -> Structure {
+        let mut d = start.clone();
+        for f in firings {
+            let fixed: VarMap = f.assignment.iter().copied().collect();
+            self.apply(&self.tgds[f.tgd], &fixed, &mut d);
+        }
+        d
     }
 
     /// One chase stage (the `forall pairs T, b̄ …` loop of §II.C), in two

@@ -55,6 +55,9 @@ pub mod engine;
 pub mod termination;
 pub mod tgd;
 
-pub use engine::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseRun, Firing, StageInfo, Strategy};
+pub use engine::{
+    ChaseBudget, ChaseEngine, ChaseHooks, ChaseOutcome, ChaseRun, CheckpointFn, Firing,
+    ResumePoint, StageInfo, Strategy,
+};
 pub use termination::{PredPos, Termination};
 pub use tgd::Tgd;

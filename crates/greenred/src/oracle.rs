@@ -16,7 +16,7 @@
 use crate::coloring::{Color, GreenRed};
 use crate::tq::greenred_tgds;
 use cqfd_cert::{convert, Certificate};
-use cqfd_chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChaseRun};
+use cqfd_chase::{ChaseBudget, ChaseEngine, ChaseHooks, ChaseOutcome, ChaseRun};
 use cqfd_core::{find_homomorphism, Cq, Node, Signature, VarMap};
 use cqfd_obs::span;
 use std::sync::Arc;
@@ -139,12 +139,37 @@ impl DeterminacyOracle {
     /// A cancelled or budget-exhausted run yields [`Verdict::Unknown`]: by
     /// Theorem 1 nothing else can be concluded.
     pub fn certify_run(&self, views: &[Cq], q0: &Cq, budget: &ChaseBudget) -> CertifiedRun {
+        self.certify_run_with(views, q0, budget, ChaseHooks::default())
+    }
+
+    /// The chase setup [`certify_run`](Self::certify_run) works over: the
+    /// recording [`ChaseEngine`] for `T_Q`, the start structure
+    /// `green(A[Q0])`, and the canonical tuple. Exposed so `cqfd-store`'s
+    /// write-ahead stage log can render/verify the same signature, rules
+    /// and start structure the oracle chases, and replay a logged prefix
+    /// through [`ChaseEngine::replay`].
+    pub fn chase_setup(&self, views: &[Cq], q0: &Cq) -> (ChaseEngine, Structure2, Vec<Node>) {
+        let tgds = greenred_tgds(&self.gr, views);
+        let engine = ChaseEngine::new(tgds).with_recording(true);
+        let (start, tuple) = self.green_canonical(q0);
+        (engine, start, tuple)
+    }
+
+    /// [`certify_run`](Self::certify_run) with chase side channels: resume
+    /// the oracle chase from a stage-boundary snapshot and/or observe each
+    /// committed stage (see [`ChaseHooks`]). The verdict and certificate
+    /// of a resumed run are byte-identical to the uninterrupted run's.
+    pub fn certify_run_with(
+        &self,
+        views: &[Cq],
+        q0: &Cq,
+        budget: &ChaseBudget,
+        hooks: ChaseHooks<'_>,
+    ) -> CertifiedRun {
         let _oracle_span = span!("oracle.certify_run", q0 = &q0.name, views = views.len());
         let (engine, start, tuple, red_q0) = {
             let _build = span!("oracle.build");
-            let tgds = greenred_tgds(&self.gr, views);
-            let engine = ChaseEngine::new(tgds).with_recording(true);
-            let (start, tuple) = self.green_canonical(q0);
+            let (engine, start, tuple) = self.chase_setup(views, q0);
             let red_q0 = self.colored_query(Color::Red, q0);
             (engine, start, tuple, red_q0)
         };
@@ -156,7 +181,7 @@ impl DeterminacyOracle {
         let budget = budget.clone().presized_for(engine.termination());
         let run = {
             let _chase = span!("oracle.chase", max_stages = budget.max_stages);
-            engine.chase_with_monitor(&start, &budget, |d, _stage| red_q0.holds(d, &tuple))
+            engine.chase_with_hooks(&start, &budget, |d, _stage| red_q0.holds(d, &tuple), hooks)
         };
         let verdict = match run.outcome {
             ChaseOutcome::MonitorStopped => {

@@ -2,9 +2,9 @@
 //! and the TCP server.
 
 use crate::job::{Job, JobBudget};
-use crate::outcome::{JobMetrics, JobOutcome, JobResult};
+use crate::outcome::{parse_result_line, JobMetrics, JobOutcome, JobResult};
 use cqfd_cert::{convert, Certificate};
-use cqfd_chase::{ChaseBudget, ChaseOutcome, ChaseRun};
+use cqfd_chase::{ChaseBudget, ChaseHooks, ChaseOutcome, ChaseRun};
 use cqfd_core::{
     find_homomorphism, hom_nodes_explored, publish_hom_metrics, reset_hom_nodes_explored,
     CancelToken, VarMap,
@@ -15,6 +15,7 @@ use cqfd_greenred::{
 use cqfd_obs::{span, Stopwatch, Unit};
 use cqfd_rainworm::config::Config;
 use cqfd_rainworm::run::step;
+use cqfd_store::{JobKey, KeyBuilder, Lookup, StageLogWriter, Store};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -41,6 +42,76 @@ pub fn execute(id: u64, job: &Job, cancel: &CancelToken) -> JobResult {
 /// never changes job output — the parallel chase is byte-deterministic at
 /// every thread count — only how fast it arrives.
 pub fn execute_capped(id: u64, job: &Job, cancel: &CancelToken, thread_cap: usize) -> JobResult {
+    execute_stored(id, job, cancel, thread_cap, None, false)
+}
+
+/// Store context of one execution: the opened store and the job's
+/// canonical key, plus the job's cache/resume opt-ins.
+struct StoreCtx<'a> {
+    store: &'a Store,
+    key: JobKey,
+    cache: bool,
+    resume: bool,
+}
+
+/// [`execute_capped`] with a `cqfd-store` attached.
+///
+/// With `lookup` set, the cache is probed first (under the job's
+/// `use_cache` flag): a stored entry is served only after the trusted
+/// checker re-validates its certificate **and** the recorded outcome is
+/// consistent with the certificate kind — anything less falls through to
+/// a fresh run. Pool workers pass `lookup = false` because the pool
+/// already probed at submission; the store is still used for write-back
+/// and (under `resume=1`) the write-ahead stage log.
+pub fn execute_stored(
+    id: u64,
+    job: &Job,
+    cancel: &CancelToken,
+    thread_cap: usize,
+    store: Option<&Store>,
+    lookup: bool,
+) -> JobResult {
+    let ctx = store.and_then(|s| {
+        let budget = job.budget()?;
+        Some(StoreCtx {
+            store: s,
+            key: job_key(job)?,
+            cache: budget.use_cache,
+            resume: budget.resume,
+        })
+    });
+    if lookup {
+        if let Some(ctx) = ctx.as_ref().filter(|c| c.cache) {
+            if let Some(hit) = serve_cached(id, job, ctx) {
+                return hit;
+            }
+        }
+    }
+    execute_inner(id, job, cancel, thread_cap, ctx.as_ref())
+}
+
+/// The pool's pre-dispatch probe: a checker-validated, gate-consistent
+/// cache hit as a finished [`JobResult`], or `None` (run the job).
+pub(crate) fn cached_result(id: u64, job: &Job, store: &Store) -> Option<JobResult> {
+    if !job.budget().is_some_and(|b| b.use_cache) {
+        return None;
+    }
+    let ctx = StoreCtx {
+        store,
+        key: job_key(job)?,
+        cache: true,
+        resume: false,
+    };
+    serve_cached(id, job, &ctx)
+}
+
+fn execute_inner(
+    id: u64,
+    job: &Job,
+    cancel: &CancelToken,
+    thread_cap: usize,
+    ctx: Option<&StoreCtx>,
+) -> JobResult {
     let clock = Stopwatch::start();
     let tracing = job.budget().is_some_and(|b| b.emit_trace);
     if tracing {
@@ -61,7 +132,7 @@ pub fn execute_capped(id: u64, job: &Job, cancel: &CancelToken, thread_cap: usiz
                 detail: "cancelled".into(),
             }
         } else {
-            run_job(job, cancel, thread_cap, &mut metrics, &mut certificate)
+            run_job(job, cancel, thread_cap, &mut metrics, &mut certificate, ctx)
         }
     };
     metrics.homs = hom_nodes_explored();
@@ -81,7 +152,7 @@ pub fn execute_capped(id: u64, job: &Job, cancel: &CancelToken, thread_cap: usiz
     } else {
         None
     };
-    JobResult {
+    let mut result = JobResult {
         id,
         kind: job.kind(),
         outcome,
@@ -89,7 +160,207 @@ pub fn execute_capped(id: u64, job: &Job, cancel: &CancelToken, thread_cap: usiz
         certificate,
         trace,
         lint,
+    };
+    if let Some(ctx) = ctx.filter(|c| c.cache) {
+        write_back(ctx, &result);
+        // The certificate was force-computed for the cache entry; drop it
+        // from the reply unless the submitter asked for one.
+        if !job.budget().is_some_and(|b| b.emit_certificate) {
+            result.certificate = None;
+        }
     }
+    result
+}
+
+/// The canonical cache key of a job, or `None` for kinds the store does
+/// not cache (`rewrite` and `reduce` have no certificate-backed verdict
+/// to validate a hit with, and both are cheap and deterministic anyway).
+///
+/// Only budget knobs that can change the **verdict** are hashed; thread
+/// counts, timeouts, and the emission/cache/resume flags are excluded
+/// (see `cqfd_store::canon`).
+pub fn job_key(job: &Job) -> Option<JobKey> {
+    match job {
+        Job::Determine {
+            sig,
+            views,
+            q0,
+            budget,
+        } => {
+            let mut k = KeyBuilder::new("determine");
+            k.sig(sig)
+                .views(sig, views)
+                .query(sig, q0)
+                .knob("stages", budget.max_stages as u64);
+            Some(k.finish())
+        }
+        Job::Creep { delta, budget } => {
+            let mut k = KeyBuilder::new("creep");
+            let worm: Vec<String> = cqfd_rainworm::parse::render_delta(delta)
+                .lines()
+                .map(str::to_owned)
+                .collect();
+            k.lines("worm", &worm)
+                .knob("steps", budget.max_steps as u64);
+            Some(k.finish())
+        }
+        Job::Separate { budget } => {
+            let mut k = KeyBuilder::new("separate");
+            k.knob("stages", budget.max_stages as u64);
+            Some(k.finish())
+        }
+        Job::CounterexampleSearch {
+            sig,
+            views,
+            q0,
+            budget,
+        } => {
+            let mut k = KeyBuilder::new("counterexample");
+            k.sig(sig)
+                .views(sig, views)
+                .query(sig, q0)
+                .knob("nodes", budget.max_search_nodes as u64);
+            Some(k.finish())
+        }
+        Job::Rewrite { .. } | Job::Reduce { .. } => None,
+    }
+}
+
+/// Is this outcome worth caching? Conclusive domain verdicts only —
+/// budget exhaustion and errors depend on wall clocks and environment,
+/// and a `Separated` run without a lasso pattern has no certificate.
+fn cacheable(result: &JobResult) -> bool {
+    matches!(
+        result.outcome,
+        JobOutcome::Determined { .. }
+            | JobOutcome::NotDetermined { .. }
+            | JobOutcome::Unknown { .. }
+            | JobOutcome::Halted { .. }
+            | JobOutcome::StillCreeping { .. }
+            | JobOutcome::Separated { .. }
+            | JobOutcome::CounterexampleFound { .. }
+            | JobOutcome::NoCounterexample { .. }
+    )
+}
+
+/// The normalization applied before storing a result line: submission id
+/// and wall-clock are zeroed (both vary run to run), the cached marker is
+/// off. Everything else — verdict detail, stage/trigger/hom counts, the
+/// termination note — is deterministic and stored verbatim.
+fn normalized_line(result: &JobResult) -> String {
+    let mut stored = result.clone();
+    stored.id = 0;
+    stored.metrics.elapsed = std::time::Duration::ZERO;
+    stored.metrics.cached = false;
+    stored.trace = None;
+    stored.lint = None;
+    stored.certificate = None;
+    stored.to_string()
+}
+
+/// Writes a conclusive, certificate-carrying result into the store.
+fn write_back(ctx: &StoreCtx, result: &JobResult) {
+    if !cacheable(result) {
+        return;
+    }
+    let Some(cert) = result.certificate.as_deref() else {
+        return;
+    };
+    let _span = span!("store.insert", kind = result.kind);
+    if let Err(e) = ctx
+        .store
+        .insert(&ctx.key, result.kind, &normalized_line(result), cert)
+    {
+        // A full disk or permission problem must not fail the job; the
+        // result is simply not cached.
+        let error = e.to_string();
+        cqfd_obs::event!("store.insert_failed", error = &error);
+    }
+}
+
+/// Serves a cache hit, or `None` to fall through to a fresh run. The
+/// entry has already passed the trusted checker inside
+/// [`Store::lookup`]; this adds the outcome↔certificate consistency gate
+/// and re-materializes the [`JobResult`].
+fn serve_cached(id: u64, job: &Job, ctx: &StoreCtx) -> Option<JobResult> {
+    let clock = Stopwatch::start();
+    let _span = span!("store.serve", kind = job.kind());
+    let entry = match ctx.store.lookup(&ctx.key, job.kind()) {
+        Lookup::Hit(entry) => entry,
+        Lookup::Miss | Lookup::Reject(_) => return None,
+    };
+    match gate_entry(job, &entry) {
+        Ok((outcome, mut metrics)) => {
+            ctx.store.note_hit();
+            metrics.cached = true;
+            let budget = job.budget();
+            let certificate = budget
+                .is_some_and(|b| b.emit_certificate)
+                .then(|| entry.cert_text.clone());
+            // Lint reports are deterministic in the job alone — cheap to
+            // recompute, so they are not stored.
+            let lint = budget
+                .is_some_and(|b| b.emit_lint)
+                .then(|| crate::lint::lint_job(job).render_lines());
+            metrics.elapsed = clock.elapsed();
+            record_job_metrics(job.kind(), outcome.verdict(), &clock);
+            Some(JobResult {
+                id,
+                kind: job.kind(),
+                outcome,
+                metrics,
+                certificate,
+                trace: None,
+                lint,
+            })
+        }
+        Err(_) => {
+            ctx.store.note_gate_reject();
+            None
+        }
+    }
+}
+
+/// The outcome↔certificate consistency gate: a validated entry is served
+/// only when its recorded verdict is the kind of claim its certificate
+/// actually proves. A tampered entry that swaps in a *valid but
+/// unrelated* certificate fails here even though the checker passed it.
+fn gate_entry(job: &Job, entry: &cqfd_store::Entry) -> Result<(JobOutcome, JobMetrics), String> {
+    let (_, kind, outcome, metrics) = parse_result_line(&entry.result_line)?;
+    if kind != job.kind() {
+        return Err(format!("entry kind `{kind}` != job kind `{}`", job.kind()));
+    }
+    let cert = cqfd_cert::parse(&entry.cert_text).map_err(|e| format!("cert parse: {e}"))?;
+    let report = cqfd_cert::check(&cert).map_err(|e| format!("checker: {e}"))?;
+    let consistent = match (&outcome, &cert) {
+        (JobOutcome::Determined { .. }, Certificate::ChaseTrace { goal: Some(_), .. }) => true,
+        (JobOutcome::NotDetermined { .. }, Certificate::FiniteModel { .. }) => true,
+        (JobOutcome::Unknown { .. }, Certificate::NonHomRefutation { .. }) => true,
+        (JobOutcome::Halted { steps }, Certificate::CreepTrace { halted: true, .. }) => {
+            report.steps == *steps
+        }
+        (JobOutcome::StillCreeping { steps }, Certificate::CreepTrace { halted: false, .. }) => {
+            report.steps == *steps
+        }
+        (
+            JobOutcome::Separated {
+                lasso_pattern: true,
+                ..
+            },
+            Certificate::FiniteModel { .. },
+        ) => true,
+        (JobOutcome::CounterexampleFound { .. }, Certificate::FiniteModel { .. }) => true,
+        (JobOutcome::NoCounterexample { .. }, Certificate::NonHomRefutation { .. }) => true,
+        _ => false,
+    };
+    if !consistent {
+        return Err(format!(
+            "outcome `{}` inconsistent with certificate kind `{}`",
+            outcome.verdict(),
+            cert.kind()
+        ));
+    }
+    Ok((outcome, metrics))
 }
 
 /// Publishes per-job counters and latency into the global registry. Job
@@ -150,7 +421,11 @@ fn run_job(
     thread_cap: usize,
     metrics: &mut JobMetrics,
     certificate: &mut Option<String>,
+    store: Option<&StoreCtx>,
 ) -> JobOutcome {
+    // A configured cache needs the certificate even when the submitter
+    // did not ask for one: entries are validated by re-checking it.
+    let force_cert = store.is_some_and(|c| c.cache);
     match job {
         Job::Determine {
             sig,
@@ -159,14 +434,18 @@ fn run_job(
             budget,
         } => {
             let oracle = DeterminacyOracle::new(sig.clone());
-            let cr = oracle.certify_run(views, q0, &chase_budget(budget, cancel, thread_cap));
+            let chase = chase_budget(budget, cancel, thread_cap);
+            let cr = match store.filter(|c| c.resume) {
+                Some(ctx) => determine_with_log(&oracle, views, q0, &chase, ctx),
+                None => oracle.certify_run(views, q0, &chase),
+            };
             record_run(metrics, &cr.run);
             if cr.run.outcome == ChaseOutcome::Cancelled {
                 return JobOutcome::BudgetExceeded {
                     detail: stop_detail(cancel),
                 };
             }
-            if budget.emit_certificate {
+            if budget.emit_certificate || force_cert {
                 *certificate = Some(cqfd_cert::encode(&cr.certificate));
             }
             match cr.verdict {
@@ -196,7 +475,7 @@ fn run_job(
         }
         Job::Creep { delta, budget } => {
             let outcome = creep_job(delta, budget, cancel);
-            if budget.emit_certificate {
+            if budget.emit_certificate || force_cert {
                 // Re-creeping for the trace is cheap relative to the reduction
                 // pipelines these worms feed; a budget-exhausted run gets no
                 // certificate (there is no conclusive claim to certify).
@@ -241,7 +520,7 @@ fn run_job(
                     detail: stop_detail(cancel),
                 };
             }
-            if budget.emit_certificate && lasso_pattern {
+            if (budget.emit_certificate || force_cert) && lasso_pattern {
                 *certificate =
                     cqfd_cert::emit::pattern_certificate(&g_lasso).map(|c| cqfd_cert::encode(&c));
             }
@@ -261,7 +540,7 @@ fn run_job(
                 Some(d) => {
                     metrics.peak_atoms = metrics.peak_atoms.max(d.atom_count());
                     metrics.peak_nodes = metrics.peak_nodes.max(d.node_count());
-                    if budget.emit_certificate {
+                    if budget.emit_certificate || force_cert {
                         *certificate = counterexample_certificate(&oracle, views, q0, &d)
                             .map(|c| cqfd_cert::encode(&c));
                     }
@@ -270,7 +549,7 @@ fn run_job(
                     }
                 }
                 None => {
-                    if budget.emit_certificate {
+                    if budget.emit_certificate || force_cert {
                         let cert = Certificate::NonHomRefutation {
                             sig: convert::sig_spec(oracle.greenred().colored()),
                             what: format!(
@@ -290,6 +569,64 @@ fn run_job(
             }
         }
     }
+}
+
+/// Runs a `determine` chase with the write-ahead stage log: resume from
+/// an existing log when it validates (replayed through the real engine,
+/// counts checked against every stage mark), checkpoint each committed
+/// stage, and delete the log once the run concludes. A cancelled run
+/// keeps its log — that *is* the resumable state.
+///
+/// Resumption is byte-transparent: the resumed run's structures, stage
+/// history, firings, and certificate are identical to an uninterrupted
+/// run's, at every thread count (the chase is byte-deterministic and
+/// replay reproduces node allocation exactly).
+fn determine_with_log(
+    oracle: &DeterminacyOracle,
+    views: &[cqfd_core::Cq],
+    q0: &cqfd_core::Cq,
+    chase: &ChaseBudget,
+    ctx: &StoreCtx,
+) -> cqfd_greenred::CertifiedRun {
+    let log_path = ctx.store.log_path(&ctx.key.hash);
+    let (engine, start, _) = oracle.chase_setup(views, q0);
+    let mut hooks = ChaseHooks::default();
+    let mut writer: Option<StageLogWriter> = None;
+    if let Ok(text) = std::fs::read_to_string(&log_path) {
+        if let Ok(log) = cqfd_cert::parse_stage_log(&text) {
+            if let Some(rp) = cqfd_store::resume_point(&engine, &start, &log) {
+                if let Ok(w) = StageLogWriter::reopen(&log_path, log.valid_bytes) {
+                    cqfd_obs::event!("store.resume", stages = rp.stages.len() as u64);
+                    ctx.store.note_resume();
+                    hooks.resume = Some(rp);
+                    writer = Some(w);
+                }
+            }
+        }
+    }
+    if writer.is_none() {
+        let rules: Vec<_> = engine.tgds().iter().map(convert::rule_spec).collect();
+        let prelude = cqfd_cert::stage_log_prelude(
+            &convert::sig_spec(start.signature()),
+            &rules,
+            &convert::struct_spec(&start),
+        );
+        // A log that cannot be written is a lost checkpoint, not a
+        // failed job: fall through with no checkpoint hook.
+        writer = StageLogWriter::create(&log_path, &prelude).ok();
+    }
+    let mut commit = |stage: usize, info: &cqfd_chase::StageInfo, fires: &[cqfd_chase::Firing]| {
+        if let Some(w) = writer.as_mut() {
+            let _ = w.commit_stage(stage, info, fires);
+        }
+    };
+    hooks.checkpoint = Some(&mut commit);
+    let cr = oracle.certify_run_with(views, q0, chase, hooks);
+    if cr.run.outcome != ChaseOutcome::Cancelled {
+        // Concluded: the verdict (and its certificate) supersede the log.
+        let _ = std::fs::remove_file(&log_path);
+    }
+    cr
 }
 
 /// A checkpoint interval that keeps creep certificates to ≲ 64 config

@@ -44,6 +44,18 @@ pub struct JobBudget {
     /// runs on wire-submitted jobs: `lint=1` also surfaces the warnings
     /// and infos a passing job accumulated.
     pub emit_lint: bool,
+    /// Consult the configured `cqfd-store` cache before executing, and
+    /// write conclusive results back (wire `cache=0` to disable). On by
+    /// default; a no-op when no store is configured. Not part of the
+    /// canonical job hash — it controls whether the cache is used, not
+    /// what the job computes.
+    pub use_cache: bool,
+    /// Maintain a write-ahead stage log for this job's chase (wire
+    /// `resume=1`), resuming from an existing log after a crash or
+    /// cancellation. Off by default (the log costs a flush per stage);
+    /// a no-op when no store is configured or the job kind has no
+    /// resumable chase. Not part of the canonical job hash.
+    pub resume: bool,
 }
 
 impl Default for JobBudget {
@@ -57,6 +69,8 @@ impl Default for JobBudget {
             emit_trace: false,
             threads: 1,
             emit_lint: false,
+            use_cache: true,
+            resume: false,
         }
     }
 }
@@ -107,6 +121,18 @@ impl JobBudget {
     /// Requests a lint-diagnostics payload on the result.
     pub fn with_lint(mut self, emit: bool) -> Self {
         self.emit_lint = emit;
+        self
+    }
+
+    /// Enables or disables result-cache use for this job.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// Enables the write-ahead stage log (and resume from it).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
         self
     }
 }

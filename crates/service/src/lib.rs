@@ -42,10 +42,10 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
-pub use exec::execute;
+pub use exec::{execute, execute_stored, job_key};
 pub use job::{Job, JobBudget};
 pub use lint::lint_job;
-pub use outcome::{JobMetrics, JobOutcome, JobResult};
+pub use outcome::{parse_result_line, JobMetrics, JobOutcome, JobResult};
 pub use pool::{JobHandle, Pool, PoolConfig, SubmitError};
 pub use proto::{parse_job, parse_jobs};
 pub use server::{Server, ServerHandle, PROTOCOL_VERSION};

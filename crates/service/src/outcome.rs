@@ -133,6 +133,12 @@ pub struct JobMetrics {
     /// Rendered as the `termination=` note on result lines; deterministic,
     /// so it survives the byte-identity diff across thread counts.
     pub termination: Option<&'static str>,
+    /// `true` when this result was served from the `cqfd-store` cache
+    /// (after the stored certificate re-passed the trusted checker)
+    /// rather than computed. Rendered as the trailing ` cached=1` marker;
+    /// never written into stored entries, so cold and warm runs stay
+    /// byte-comparable modulo the marker.
+    pub cached: bool,
 }
 
 /// The result of one job: its id, kind, outcome, and metrics.
@@ -246,8 +252,91 @@ impl fmt::Display for JobResult {
         if let Some(t) = m.termination {
             write!(f, " termination={t}")?;
         }
+        if m.cached {
+            write!(f, " cached=1")?;
+        }
         Ok(())
     }
+}
+
+/// Parses a one-line [`JobResult`] rendering back into its parts —
+/// the inverse of `Display` for the **cacheable** verdicts (determine /
+/// creep / separate / counterexample outcomes). The store uses this to
+/// re-materialize a [`JobResult`] from a cache entry and, crucially, to
+/// run the outcome↔certificate consistency gate before serving it.
+///
+/// Returns `(id, kind, outcome, metrics)`. Verdicts that are never
+/// cached (`rewriting`, `reduced`, `budget-exceeded`, `error`, …) are an
+/// error here, as is any malformed field: a stored line that does not
+/// round-trip is treated by callers as a cache reject, never served.
+pub fn parse_result_line(line: &str) -> Result<(u64, String, JobOutcome, JobMetrics), String> {
+    let mut fields: Vec<(&str, &str)> = Vec::new();
+    for tok in line.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{tok}`"))?;
+        fields.push((k, v));
+    }
+    let get = |key: &str| -> Result<&str, String> {
+        fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| format!("missing {key}="))
+    };
+    fn num<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("bad {key}=`{v}`"))
+    }
+    let id: u64 = num("job", get("job")?)?;
+    let kind = get("kind")?.to_string();
+    let outcome = match get("verdict")? {
+        "determined" => JobOutcome::Determined {
+            stage: num("stage", get("stage")?)?,
+        },
+        "not-determined" => JobOutcome::NotDetermined {
+            stages: num("chase_stages", get("chase_stages")?)?,
+        },
+        "unknown" => JobOutcome::Unknown {
+            stages: num("chase_stages", get("chase_stages")?)?,
+        },
+        "halted" => JobOutcome::Halted {
+            steps: num("steps", get("steps")?)?,
+        },
+        "still-creeping" => JobOutcome::StillCreeping {
+            steps: num("steps", get("steps")?)?,
+        },
+        "separated" => JobOutcome::Separated {
+            di_pattern: num("di_pattern", get("di_pattern")?)?,
+            lasso_pattern: num("lasso_pattern", get("lasso_pattern")?)?,
+        },
+        "counterexample" => JobOutcome::CounterexampleFound {
+            atoms: num("atoms", get("atoms")?)?,
+        },
+        "no-counterexample" => JobOutcome::NoCounterexample {
+            nodes: num("nodes", get("nodes")?)?,
+        },
+        other => return Err(format!("uncacheable verdict `{other}`")),
+    };
+    // `termination=` carries one of a closed set of static names; an
+    // unknown name cannot be re-rendered byte-identically, so reject it.
+    let termination = match fields.iter().find(|(k, _)| *k == "termination") {
+        None => None,
+        Some((_, "weakly-acyclic")) => Some("weakly-acyclic"),
+        Some((_, "unknown")) => Some("unknown"),
+        Some((_, other)) => return Err(format!("unknown termination=`{other}`")),
+    };
+    let metrics = JobMetrics {
+        stages: num("stages", get("stages")?)?,
+        triggers: num("triggers", get("triggers")?)?,
+        homs: num("homs", get("homs")?)?,
+        peak_atoms: num("peak_atoms", get("peak_atoms")?)?,
+        peak_nodes: num("peak_nodes", get("peak_nodes")?)?,
+        elapsed: Duration::ZERO,
+        termination,
+        cached: false,
+    };
+    get("elapsed_ms")?;
+    Ok((id, kind, outcome, metrics))
 }
 
 #[cfg(test)]
@@ -268,6 +357,7 @@ mod tests {
                 peak_nodes: 11,
                 elapsed: Duration::from_micros(1500),
                 termination: Some("weakly-acyclic"),
+                cached: false,
             },
             certificate: None,
             trace: None,
@@ -369,6 +459,68 @@ mod tests {
             ],
             "certificate payload first, then lint payload"
         );
+    }
+
+    #[test]
+    fn result_lines_round_trip_through_the_parser() {
+        let r = JobResult {
+            id: 9,
+            kind: "separate",
+            outcome: JobOutcome::Separated {
+                di_pattern: false,
+                lasso_pattern: true,
+            },
+            metrics: JobMetrics {
+                stages: 83,
+                triggers: 410,
+                homs: 12345,
+                peak_atoms: 900,
+                peak_nodes: 220,
+                elapsed: Duration::ZERO,
+                termination: Some("unknown"),
+                cached: false,
+            },
+            certificate: None,
+            trace: None,
+            lint: None,
+        };
+        let line = r.to_string();
+        let (id, kind, outcome, metrics) = parse_result_line(&line).unwrap();
+        assert_eq!((id, kind.as_str()), (9, "separate"));
+        assert_eq!(outcome, r.outcome);
+        assert_eq!(metrics, r.metrics);
+        // Re-rendering the parsed parts reproduces the line byte-for-byte
+        // (elapsed is zeroed on both sides).
+        let rt = JobResult {
+            id,
+            kind: "separate",
+            outcome,
+            metrics,
+            certificate: None,
+            trace: None,
+            lint: None,
+        };
+        assert_eq!(rt.to_string(), line);
+        // Uncacheable and malformed lines are rejected.
+        assert!(parse_result_line("job=1 kind=rewrite verdict=rewriting").is_err());
+        assert!(parse_result_line("job=1 kind=determine verdict=determined").is_err());
+    }
+
+    #[test]
+    fn cached_marker_renders_last() {
+        let r = JobResult {
+            id: 4,
+            kind: "creep",
+            outcome: JobOutcome::Halted { steps: 5 },
+            metrics: JobMetrics {
+                cached: true,
+                ..Default::default()
+            },
+            certificate: None,
+            trace: None,
+            lint: None,
+        };
+        assert!(r.to_string().ends_with(" cached=1"));
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! and [`Pool::drop`] joins every handle, so no detached threads survive
 //! the pool.
 
-use crate::exec::execute_capped;
+use crate::exec::{cached_result, execute_stored};
 use crate::job::Job;
 use crate::outcome::{JobOutcome, JobResult};
 use cqfd_core::CancelToken;
 use cqfd_obs::Gauge;
+use cqfd_store::Store;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -28,6 +29,11 @@ pub struct PoolConfig {
     /// Bounded submission-queue capacity; a full queue makes
     /// [`Pool::submit`] report backpressure.
     pub queue_capacity: usize,
+    /// An opened `cqfd-store`: cache hits are served at submission
+    /// (before a worker is ever occupied), misses dispatch normally and
+    /// write their result back, and `resume=1` jobs checkpoint to the
+    /// store's stage logs. `None` (the default) disables all of it.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for PoolConfig {
@@ -35,6 +41,7 @@ impl Default for PoolConfig {
         PoolConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 64,
+            store: None,
         }
     }
 }
@@ -49,6 +56,12 @@ impl PoolConfig {
     /// Sets the submission-queue capacity.
     pub fn with_queue_capacity(mut self, cap: usize) -> Self {
         self.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Attaches a result store (cache + stage logs) to the pool.
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -145,6 +158,8 @@ pub struct Pool {
     queue_depth: Gauge,
     /// Live worker threads across all pools (`cqfd_pool_workers`).
     worker_gauge: Gauge,
+    /// Shared result store; hits are served on the submitter's thread.
+    store: Option<Arc<Store>>,
 }
 
 impl Pool {
@@ -175,9 +190,10 @@ impl Pool {
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let depth = queue_depth.clone();
+                let store = config.store.clone();
                 std::thread::Builder::new()
                     .name(format!("cqfd-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &depth, thread_cap))
+                    .spawn(move || worker_loop(&rx, &depth, thread_cap, store))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -188,6 +204,7 @@ impl Pool {
             next_id: AtomicU64::new(1),
             queue_depth,
             worker_gauge,
+            store: config.store,
         }
     }
 
@@ -201,6 +218,11 @@ impl Pool {
     /// shed load, or block via [`Pool::submit_blocking`].
     pub fn submit(&self, job: Job) -> Result<JobHandle, SubmitError> {
         let (sub, handle) = self.package(job);
+        // A cache hit never occupies a worker or a queue slot: the result
+        // is pushed straight into the handle's channel.
+        let Some(sub) = self.serve_from_cache(sub) else {
+            return Ok(handle);
+        };
         match self.sender().try_send(sub) {
             Ok(()) => {
                 self.queue_depth.inc();
@@ -225,11 +247,27 @@ impl Pool {
     /// waiting instead of by error).
     pub fn submit_blocking(&self, job: Job) -> JobHandle {
         let (sub, handle) = self.package(job);
+        let Some(sub) = self.serve_from_cache(sub) else {
+            return handle;
+        };
         self.sender()
             .send(sub)
             .expect("pool alive while submitting");
         self.queue_depth.inc();
         handle
+    }
+
+    /// The pre-dispatch cache probe: serves a validated hit into the
+    /// submission's reply channel and returns `None`, or hands the
+    /// submission back for normal dispatch.
+    fn serve_from_cache(&self, sub: Submission) -> Option<Submission> {
+        if let Some(store) = &self.store {
+            if let Some(hit) = cached_result(sub.id, &sub.job, store) {
+                let _ = sub.reply.send(hit);
+                return None;
+            }
+        }
+        Some(sub)
     }
 
     /// Runs a whole batch through the pool with blocking submission and
@@ -285,7 +323,12 @@ impl std::fmt::Debug for Pool {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Submission>>, queue_depth: &Gauge, thread_cap: usize) {
+fn worker_loop(
+    rx: &Mutex<Receiver<Submission>>,
+    queue_depth: &Gauge,
+    thread_cap: usize,
+    store: Option<Arc<Store>>,
+) {
     loop {
         // Hold the lock only for the dequeue, not for the job.
         let sub = match rx.lock() {
@@ -295,7 +338,11 @@ fn worker_loop(rx: &Mutex<Receiver<Submission>>, queue_depth: &Gauge, thread_cap
         match sub {
             Ok(s) => {
                 queue_depth.dec();
-                let result = execute_capped(s.id, &s.job, &s.cancel, thread_cap);
+                // `lookup = false`: the pool already probed the cache at
+                // submission; the worker's store handle is for write-back
+                // and the write-ahead stage log only.
+                let result =
+                    execute_stored(s.id, &s.job, &s.cancel, thread_cap, store.as_deref(), false);
                 // The submitter may have dropped its handle; that's fine.
                 let _ = s.reply.send(result);
             }

@@ -138,6 +138,23 @@ impl Fields {
         self.flag("lint")
     }
 
+    /// The `cache=` flag: consult/populate the configured result store.
+    /// Unlike the other flags this one defaults to **true** — `cache=0`
+    /// opts a job out of the store.
+    fn cache_flag(&self) -> Result<bool, String> {
+        match self.get("cache") {
+            None | Some("1") | Some("true") => Ok(true),
+            Some("0") | Some("false") => Ok(false),
+            Some(v) => Err(format!("bad cache=`{v}` (want 0/1/true/false)")),
+        }
+    }
+
+    /// The `resume=` flag: maintain (and resume from) a write-ahead stage
+    /// log for the job's chase.
+    fn resume_flag(&self) -> Result<bool, String> {
+        self.flag("resume")
+    }
+
     /// The `threads=` key: chase enumeration worker threads. Must be a
     /// positive integer — `threads=0` is a contradiction, not "default".
     fn threads(&self) -> Result<usize, String> {
@@ -157,7 +174,7 @@ impl Fields {
     }
 
     /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`,
-    /// `cert=`, `trace=`, `lint=`, `threads=`.
+    /// `cert=`, `trace=`, `lint=`, `threads=`, `cache=`, `resume=`.
     fn budget(&self) -> Result<JobBudget, String> {
         let d = JobBudget::default();
         let timeout = match self.get("timeout-ms") {
@@ -178,6 +195,8 @@ impl Fields {
             emit_trace: self.trace_flag()?,
             threads: self.threads()?,
             emit_lint: self.lint_flag()?,
+            use_cache: self.cache_flag()?,
+            resume: self.resume_flag()?,
         })
     }
 }
@@ -309,6 +328,8 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
                 "trace",
                 "lint",
                 "threads",
+                "cache",
+                "resume",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::Determine {
@@ -328,14 +349,22 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
             Job::Reduce { delta: f.worm()? }
         }
         "creep" => {
-            f.check_keys(&["worm", "steps", "timeout-ms", "cert", "trace", "lint"])?;
+            f.check_keys(&[
+                "worm",
+                "steps",
+                "timeout-ms",
+                "cert",
+                "trace",
+                "lint",
+                "cache",
+            ])?;
             Job::Creep {
                 delta: f.worm()?,
                 budget: f.budget()?,
             }
         }
         "separate" => {
-            f.check_keys(&["stages", "cert", "trace", "lint", "threads"])?;
+            f.check_keys(&["stages", "cert", "trace", "lint", "threads", "cache"])?;
             // The lasso chase needs ~80 stages to exhibit the 1-2 pattern,
             // so `separate` defaults higher than the generic budget.
             Job::Separate {
@@ -344,12 +373,13 @@ pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
                     .with_certificate(f.cert_flag()?)
                     .with_trace(f.trace_flag()?)
                     .with_lint(f.lint_flag()?)
-                    .with_threads(f.threads()?),
+                    .with_threads(f.threads()?)
+                    .with_cache(f.cache_flag()?),
             }
         }
         "counterexample" => {
             f.check_keys(&[
-                "sig", "view", "query", "instance", "nodes", "cert", "trace", "lint",
+                "sig", "view", "query", "instance", "nodes", "cert", "trace", "lint", "cache",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::CounterexampleSearch {
@@ -509,6 +539,45 @@ mod tests {
         // unknown key there.
         assert!(parse_job("rewrite instance=projection lint=1").is_err());
         assert!(parse_job("reduce worm=short lint=1").is_err());
+    }
+
+    #[test]
+    fn cache_and_resume_flags_parse_and_reject_garbage() {
+        // `cache` defaults to *true*, unlike every other flag.
+        match parse_job("determine instance=projection").unwrap().unwrap() {
+            Job::Determine { budget, .. } => {
+                assert!(budget.use_cache);
+                assert!(!budget.resume);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("determine instance=projection cache=0 resume=1")
+            .unwrap()
+            .unwrap()
+        {
+            Job::Determine { budget, .. } => {
+                assert!(!budget.use_cache);
+                assert!(budget.resume);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("separate cache=false").unwrap().unwrap() {
+            Job::Separate { budget } => assert!(!budget.use_cache),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("creep worm=short cache=true").unwrap().unwrap() {
+            Job::Creep { budget, .. } => assert!(budget.use_cache),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let err = parse_job("determine instance=projection cache=maybe").unwrap_err();
+        assert!(err.contains("cache=`maybe`"), "{err}");
+        let err = parse_job("determine instance=projection resume=maybe").unwrap_err();
+        assert!(err.contains("resume=`maybe`"), "{err}");
+        // Only the determinacy chase is resumable; everywhere else the key
+        // is rejected rather than silently ignored.
+        assert!(parse_job("separate resume=1").is_err());
+        assert!(parse_job("creep worm=short resume=1").is_err());
+        assert!(parse_job("rewrite instance=projection cache=0").is_err());
     }
 
     #[test]

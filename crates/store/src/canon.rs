@@ -1,0 +1,282 @@
+//! Canonical job text and the content-addressed job key.
+//!
+//! Two submissions of "the same" determinacy question must land on the
+//! same cache entry even when their rule files list views in a different
+//! order, list body atoms in a different order, or use different variable
+//! letters. [`canonical_cq`] normalizes one query; [`KeyBuilder`]
+//! assembles the normalized pieces of a whole job — kind, signature,
+//! views (sorted), query, worm program, and the *budget-relevant* knobs
+//! only — into one canonical text and hashes it with the vendored
+//! [`sha256_hex`](crate::sha::sha256_hex).
+//!
+//! Deliberately **excluded** from the key: thread counts, timeouts,
+//! trace/lint/certificate emission flags, and the cache/resume controls
+//! themselves. None of these can change a verdict (the parallel chase is
+//! byte-identical at every thread count), so letting them into the hash
+//! would only fragment the cache.
+//!
+//! The canonicalization is a greedy minimum-rendering ordering, not a
+//! full graph-canonization: a pathological pair of equivalent queries
+//! with large symmetric bodies may still hash apart. That failure mode is
+//! a harmless cache miss; the converse failure — distinct jobs colliding
+//! — cannot happen, because the rendering is injective up to variable
+//! renaming and the hash is over the full canonical text.
+
+use crate::sha::sha256_hex;
+use cqfd_core::{Cq, Signature, Term, Var};
+use std::collections::HashMap;
+
+/// A canonical job key: the content hash (the cache address) plus the
+/// canonical text it was computed over (kept for debugging and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobKey {
+    /// 64-char lowercase hex SHA-256 of the canonical text.
+    pub hash: String,
+    /// The canonical text itself.
+    pub text: String,
+}
+
+/// Renders `q` in a canonical form invariant under body-atom reordering
+/// and variable renaming: head variables are numbered first (answer-tuple
+/// order is semantic, so it is kept), then body atoms are emitted in
+/// greedy lexicographically-minimal order, numbering fresh variables in
+/// order of first appearance. The query name is included — certificates
+/// embed names, so two jobs differing only in names must not share a
+/// cache entry (the stored certificate would not be byte-identical to a
+/// fresh run's).
+pub fn canonical_cq(sig: &Signature, q: &Cq) -> String {
+    let mut ids: HashMap<Var, usize> = HashMap::new();
+    for &v in &q.head_vars {
+        let next = ids.len();
+        ids.entry(v).or_insert(next);
+    }
+    let mut remaining: Vec<&cqfd_core::Atom<Term>> = q.body.iter().collect();
+    let mut atoms: Vec<String> = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        // Greedy canonical step: among the remaining atoms, pick the one
+        // whose rendering (with hypothetical ids for its unassigned
+        // variables) is lexicographically smallest. The choice depends
+        // only on renderings, never on input order, so permuted inputs
+        // converge.
+        let mut best: Option<(String, usize, Vec<Var>)> = None;
+        for (i, a) in remaining.iter().enumerate() {
+            let (text, fresh) = render_atom(sig, a, &ids);
+            if best.as_ref().is_none_or(|(b, _, _)| text < *b) {
+                best = Some((text, i, fresh));
+            }
+        }
+        let (text, i, fresh) = best.expect("non-empty remaining set has a minimum");
+        for v in fresh {
+            let next = ids.len();
+            ids.insert(v, next);
+        }
+        atoms.push(text);
+        remaining.remove(i);
+    }
+    let head: Vec<String> = (0..q.head_vars.len()).map(|i| format!("v{i}")).collect();
+    format!("{}({}) :- {}", q.name, head.join(","), atoms.join(", "))
+}
+
+/// Renders one atom under the current id assignment, giving unassigned
+/// variables hypothetical ids in order of appearance. Returns the
+/// rendering and the newly-seen variables (in appearance order).
+fn render_atom(
+    sig: &Signature,
+    a: &cqfd_core::Atom<Term>,
+    ids: &HashMap<Var, usize>,
+) -> (String, Vec<Var>) {
+    let mut fresh: Vec<Var> = Vec::new();
+    let mut args: Vec<String> = Vec::with_capacity(a.args.len());
+    for t in &a.args {
+        match t {
+            Term::Const(c) => args.push(format!("#{}", sig.const_name(*c))),
+            Term::Var(v) => {
+                let id = ids.get(v).copied().unwrap_or_else(|| {
+                    if let Some(pos) = fresh.iter().position(|f| f == v) {
+                        ids.len() + pos
+                    } else {
+                        fresh.push(*v);
+                        ids.len() + fresh.len() - 1
+                    }
+                });
+                args.push(format!("v{id}"));
+            }
+        }
+    }
+    (
+        format!("{}({})", sig.pred_name(a.pred), args.join(",")),
+        fresh,
+    )
+}
+
+/// Accumulates the canonical lines of a job and hashes them into a
+/// [`JobKey`]. Line order is fixed by the caller's call order, so the
+/// service composes keys the same way for every submission path (CLI,
+/// batch file, TCP protocol).
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    lines: Vec<String>,
+}
+
+impl KeyBuilder {
+    /// Starts a key for one job kind (`determine`, `creep`, …).
+    pub fn new(kind: &str) -> Self {
+        KeyBuilder {
+            lines: vec!["cqfd-job v1".to_string(), format!("kind {kind}")],
+        }
+    }
+
+    /// Adds the signature: predicates as sorted `name/arity` lines,
+    /// constants as sorted names. Sorting makes declaration order
+    /// irrelevant.
+    pub fn sig(&mut self, sig: &Signature) -> &mut Self {
+        let mut preds: Vec<String> = sig
+            .predicates()
+            .map(|p| format!("pred {}/{}", sig.pred_name(p), sig.arity(p)))
+            .collect();
+        preds.sort_unstable();
+        let mut consts: Vec<String> = sig
+            .constants()
+            .map(|c| format!("const {}", sig.const_name(c)))
+            .collect();
+        consts.sort_unstable();
+        self.lines.extend(preds);
+        self.lines.extend(consts);
+        self
+    }
+
+    /// Adds the view set in canonical form, **sorted** — view declaration
+    /// order has no semantic weight, so permuted rule files land on the
+    /// same key.
+    pub fn views(&mut self, sig: &Signature, views: &[Cq]) -> &mut Self {
+        let mut rendered: Vec<String> = views
+            .iter()
+            .map(|v| format!("view {}", canonical_cq(sig, v)))
+            .collect();
+        rendered.sort_unstable();
+        self.lines.extend(rendered);
+        self
+    }
+
+    /// Adds the query under determination, in canonical form.
+    pub fn query(&mut self, sig: &Signature, q: &Cq) -> &mut Self {
+        self.lines.push(format!("query {}", canonical_cq(sig, q)));
+        self
+    }
+
+    /// Adds one budget-relevant knob. Only knobs that can change the
+    /// *verdict* (stage caps, step caps, search-node bounds) belong here —
+    /// never thread counts or emission flags.
+    pub fn knob(&mut self, name: &str, value: u64) -> &mut Self {
+        self.lines.push(format!("knob {name}={value}"));
+        self
+    }
+
+    /// Adds tagged free-form lines (e.g. the rainworm `∆` program, one
+    /// instruction per line, in its `cqfd_rainworm::parse` rendering).
+    /// Order is preserved: instruction order is semantic for a worm.
+    pub fn lines(&mut self, tag: &str, lines: &[String]) -> &mut Self {
+        for l in lines {
+            self.lines.push(format!("{tag} {l}"));
+        }
+        self
+    }
+
+    /// The canonical text accumulated so far (one line per statement,
+    /// newline-terminated). Exposed for tests and `cqfd store` debugging.
+    pub fn canonical_text(&self) -> String {
+        let mut out = self.lines.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Hashes the canonical text into the job key.
+    pub fn finish(&self) -> JobKey {
+        let text = self.canonical_text();
+        JobKey {
+            hash: sha256_hex(text.as_bytes()),
+            text,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.add_predicate("R", 2);
+        s.add_predicate("S", 2);
+        s.add_constant("c");
+        s
+    }
+
+    #[test]
+    fn body_atom_order_is_canonicalized() {
+        let s = sig();
+        let a = Cq::parse(&s, "Q(x,z) :- R(x,y), S(y,z)").unwrap();
+        let b = Cq::parse(&s, "Q(x,z) :- S(y,z), R(x,y)").unwrap();
+        assert_eq!(canonical_cq(&s, &a), canonical_cq(&s, &b));
+    }
+
+    #[test]
+    fn variable_names_are_canonicalized() {
+        let s = sig();
+        let a = Cq::parse(&s, "Q(x,z) :- R(x,y), S(y,z)").unwrap();
+        let b = Cq::parse(&s, "Q(p,q) :- R(p,w), S(w,q)").unwrap();
+        assert_eq!(canonical_cq(&s, &a), canonical_cq(&s, &b));
+    }
+
+    #[test]
+    fn head_order_and_name_are_semantic() {
+        let s = sig();
+        let a = Cq::parse(&s, "Q(x,y) :- R(x,y)").unwrap();
+        let swapped = Cq::parse(&s, "Q(y,x) :- R(x,y)").unwrap();
+        let renamed = Cq::parse(&s, "P(x,y) :- R(x,y)").unwrap();
+        assert_ne!(canonical_cq(&s, &a), canonical_cq(&s, &swapped));
+        assert_ne!(canonical_cq(&s, &a), canonical_cq(&s, &renamed));
+    }
+
+    #[test]
+    fn constants_render_by_name() {
+        let s = sig();
+        let q = Cq::parse(&s, "Q(x) :- S(x,#c)").unwrap();
+        assert!(canonical_cq(&s, &q).contains("#c"));
+    }
+
+    #[test]
+    fn view_order_does_not_change_the_key() {
+        let s = sig();
+        let v1 = Cq::parse(&s, "V1(x,y) :- R(x,y)").unwrap();
+        let v2 = Cq::parse(&s, "V2(x,y) :- S(x,y)").unwrap();
+        let q0 = Cq::parse(&s, "Q0(x,z) :- R(x,y), S(y,z)").unwrap();
+        let mut k1 = KeyBuilder::new("determine");
+        k1.sig(&s)
+            .views(&s, &[v1.clone(), v2.clone()])
+            .query(&s, &q0);
+        let mut k2 = KeyBuilder::new("determine");
+        k2.sig(&s).views(&s, &[v2, v1]).query(&s, &q0);
+        assert_eq!(k1.finish(), k2.finish());
+    }
+
+    #[test]
+    fn knobs_change_the_key() {
+        let s = sig();
+        let q0 = Cq::parse(&s, "Q0(x,y) :- R(x,y)").unwrap();
+        let mut k1 = KeyBuilder::new("determine");
+        k1.sig(&s).query(&s, &q0).knob("stages", 32);
+        let mut k2 = KeyBuilder::new("determine");
+        k2.sig(&s).query(&s, &q0).knob("stages", 64);
+        assert_ne!(k1.finish().hash, k2.finish().hash);
+    }
+
+    #[test]
+    fn key_hash_is_hex_sha256_of_text() {
+        let mut k = KeyBuilder::new("creep");
+        k.lines("worm", &["A -> B".to_string()]);
+        let key = k.finish();
+        assert_eq!(key.hash.len(), 64);
+        assert_eq!(key.hash, crate::sha::sha256_hex(key.text.as_bytes()));
+    }
+}

@@ -1,0 +1,165 @@
+//! Write-ahead stage log: durable chase progress at stage boundaries.
+//!
+//! The log is a `cqfd-cert v1 stage-log` document (the format lives in
+//! `cqfd-cert` so the log shares its tokenizer and statement grammar with
+//! certificates): a prelude (signature, rules, start structure) followed
+//! by repeating blocks of `fire …` lines and one `stage n apps atoms
+//! nodes` commit mark, then `end` when the run concludes.
+//!
+//! [`StageLogWriter`] appends one block per completed stage and flushes
+//! at each mark, so a crash loses at most the in-flight stage.
+//! [`resume_point`] turns a recovered log back into a
+//! [`ResumePoint`](cqfd_chase::ResumePoint) by **replaying** the recorded
+//! firings through the real engine and checking every per-stage count
+//! against the marks — a log that does not reproduce its own claimed
+//! atom/node counts is discarded and the chase starts fresh. Replay
+//! reproduces node allocation exactly (fresh nodes are handed out in the
+//! same order the original run created them), which is what makes a
+//! resumed run byte-identical to an uninterrupted one.
+
+use cqfd_cert::{convert, StageLog};
+use cqfd_chase::{ChaseEngine, Firing, ResumePoint, StageInfo};
+use cqfd_core::{Node, Structure, Var};
+use std::fs;
+use std::io::{self, Seek as _, Write as _};
+use std::path::Path;
+
+/// Appends firing blocks and stage marks to a write-ahead log file,
+/// flushing and syncing at every commit point.
+#[derive(Debug)]
+pub struct StageLogWriter {
+    file: fs::File,
+}
+
+impl StageLogWriter {
+    /// Creates (truncating) a log at `path` and writes the prelude —
+    /// use [`cqfd_cert::stage_log_prelude`] to render it.
+    pub fn create(path: &Path, prelude: &str) -> io::Result<StageLogWriter> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut file = fs::File::create(path)?;
+        file.write_all(prelude.as_bytes())?;
+        file.sync_all()?;
+        Ok(StageLogWriter { file })
+    }
+
+    /// Reopens an existing log for appending, first truncating it to
+    /// `valid_bytes` (the last commit point reported by
+    /// [`cqfd_cert::parse_stage_log`]) so a torn tail is dropped.
+    pub fn reopen(path: &Path, valid_bytes: usize) -> io::Result<StageLogWriter> {
+        let file = fs::OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len(valid_bytes as u64)?;
+        let mut file = file;
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(StageLogWriter { file })
+    }
+
+    /// Commits one completed stage: its firing lines followed by the
+    /// stage mark, flushed and synced as one append.
+    pub fn commit_stage(
+        &mut self,
+        stage: usize,
+        info: &StageInfo,
+        firings: &[Firing],
+    ) -> io::Result<()> {
+        let mut block = String::new();
+        for f in firings {
+            block.push_str(&cqfd_cert::firing_line(&convert::firing_spec(f)));
+        }
+        block.push_str(&cqfd_cert::stage_mark_line(
+            stage,
+            info.applications,
+            info.atoms_after,
+            info.nodes_after,
+        ));
+        self.file.write_all(block.as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_all()
+    }
+
+    /// Marks the run concluded. A complete log is no longer resumable
+    /// state; [`crate::Store::gc`] collects it.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.file.write_all(b"end\n")?;
+        self.file.sync_all()
+    }
+}
+
+/// Rebuilds a chase [`ResumePoint`] from a recovered stage log.
+///
+/// Returns `None` — meaning "start fresh" — unless every validation
+/// passes: the log's signature, rules, and start structure must match the
+/// engine and start the caller is about to chase with, and replaying each
+/// stage's recorded firings must reproduce exactly the application,
+/// atom, and node counts committed in that stage's mark.
+pub fn resume_point(
+    engine: &ChaseEngine,
+    start: &Structure,
+    log: &StageLog,
+) -> Option<ResumePoint> {
+    if log.complete {
+        return None;
+    }
+    if convert::sig_spec(start.signature()) != log.sig {
+        return None;
+    }
+    let rules: Vec<_> = engine.tgds().iter().map(convert::rule_spec).collect();
+    if rules != log.rules {
+        return None;
+    }
+    if convert::struct_spec(start) != log.start {
+        return None;
+    }
+    let firings: Vec<Firing> = log
+        .firings
+        .iter()
+        .map(|f| Firing {
+            stage: f.stage,
+            tgd: f.rule,
+            assignment: f
+                .assignment
+                .iter()
+                .map(|&(v, n)| (Var(v), Node(n)))
+                .collect(),
+        })
+        .collect();
+    for f in &firings {
+        if f.tgd >= engine.tgds().len() {
+            return None;
+        }
+    }
+    let mut d = start.clone();
+    let mut stages: Vec<StageInfo> = Vec::with_capacity(log.stages.len());
+    let mut cursor = 0usize;
+    for mark in &log.stages {
+        let slice_end = firings[cursor..]
+            .iter()
+            .position(|f| f.stage != mark.stage)
+            .map_or(firings.len(), |p| cursor + p);
+        let slice = &firings[cursor..slice_end];
+        if slice.len() != mark.applications {
+            return None;
+        }
+        d = engine.replay(&d, slice);
+        if d.atom_count() != mark.atoms_after || d.node_count() != mark.nodes_after {
+            return None;
+        }
+        stages.push(StageInfo {
+            applications: mark.applications,
+            atoms_after: mark.atoms_after,
+            nodes_after: mark.nodes_after,
+        });
+        cursor = slice_end;
+    }
+    if cursor != firings.len() {
+        return None;
+    }
+    Some(ResumePoint {
+        structure: d,
+        stages,
+        firings,
+        start_atoms: start.atom_count(),
+        start_nodes: start.node_count(),
+    })
+}

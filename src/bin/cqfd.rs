@@ -11,6 +11,7 @@
 //! ```
 
 use cqfd::chase::ChaseBudget;
+use cqfd::core::CancelToken;
 use cqfd::core::{Cq, Signature};
 use cqfd::greenred::{cq_rewriting, search_counterexample, DeterminacyOracle, Verdict};
 use cqfd::rainworm::encode::tm_to_rainworm;
@@ -19,7 +20,8 @@ use cqfd::rainworm::run::{creep, trace, CreepOutcome};
 use cqfd::rainworm::tm::TuringMachine;
 use cqfd::rainworm::Delta;
 use cqfd::reduction::reduce;
-use cqfd::service::{parse_jobs, Pool, PoolConfig, Server};
+use cqfd::service::{execute_stored, parse_jobs, Job, JobBudget, Pool, PoolConfig, Server};
+use cqfd::store::Store;
 use cqfd_obs::Stopwatch;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         "batch" => batch_cmd(rest),
         "serve" => serve_cmd(rest),
         "metrics" => metrics_cmd(rest),
+        "store" => store_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -63,11 +66,12 @@ const USAGE: &str = "cqfd — conjunctive-query determinacy toolbox
 USAGE:
   cqfd determine --sig <P/k,...> --view <CQ> [--view <CQ> ...] --query <CQ>
                  [--stages <n>] [--search-nodes <n>] [--threads <n>]
+                 [--store <dir>]
   cqfd rewrite   --sig <P/k,...> --view <CQ> ... --query <CQ>
   cqfd creep     --worm <forever|short|counter:M|tm-walker:K|tm-zigzag:K|file:PATH>
                  [--steps <n>] [--trace <n>]  [--emit]
   cqfd reduce    --worm <...>
-  cqfd separate  [--stages <n>] [--threads <n>]
+  cqfd separate  [--stages <n>] [--threads <n>] [--store <dir>]
   cqfd lint      <rules-file | theorem14 | worm:SPEC> [--json]
                  (static analysis: chase-termination verdict, safety and
                   signature diagnostics; nonzero exit on error diagnostics)
@@ -75,13 +79,22 @@ USAGE:
                  [--out <file>]   (emit a machine-checkable certificate)
   cqfd check     <file>           (validate a certificate; nonzero on reject)
   cqfd batch     <jobs-file> [--workers <n>] [--queue <n>] [--threads <n>]
-  cqfd serve     --listen <addr> [--workers <n>] [--queue <n>]
+                 [--store <dir>]
+  cqfd serve     --listen <addr> [--workers <n>] [--queue <n>] [--store <dir>]
   cqfd metrics   [--connect <addr>] [<jobs-file>]
                  (Prometheus text: scrape a running server, or run the
                   jobs locally first and dump this process's registry)
+  cqfd store     <stat|verify|gc> <dir>
+                 (inspect, re-validate, or clean a result store; `verify`
+                  exits nonzero when any entry fails the checker)
 
 `--threads <n>` fans chase enumeration out over n worker threads; output
 is byte-identical at every setting (see README, Performance).
+`--store <dir>` enables the persistent result cache: conclusive verdicts
+are written back with their certificates, and later identical jobs are
+served from disk after the trusted checker re-validates the entry (the
+result line then carries `cached=1`; `cache=0` on a job line opts out,
+`resume=1` adds a write-ahead stage log — see README, Persistence).
 
 CQ syntax: `Name(x,y) :- R(x,z), S(z,y)`; constants as `#c`.
 Job-file syntax: one job per line, e.g. `determine instance=path:2x3`;
@@ -159,6 +172,17 @@ fn threads_flag(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// The `--store <dir>` flag: opens (creating if needed) the persistent
+/// result store, or `None` when the flag is absent.
+fn open_store(args: &[String]) -> Result<Option<Store>, String> {
+    match flag(args, "--store") {
+        None => Ok(None),
+        Some(dir) => Store::open(dir)
+            .map(Some)
+            .map_err(|e| format!("--store {dir}: {e}")),
+    }
+}
+
 fn parse_sig(spec: &str) -> Result<Signature, String> {
     let mut sig = Signature::new();
     for part in spec.split(',') {
@@ -188,8 +212,12 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
             "--stages",
             "--search-nodes",
             "--threads",
+            "--store",
         ],
     )?;
+    if rewriting_mode && flag(args, "--store").is_some() {
+        return Err("`rewrite` results are not cacheable; drop --store".into());
+    }
     let sig = parse_sig(flag(args, "--sig").ok_or("missing --sig")?)?;
     let views: Vec<Cq> = flag_values(args, "--view")
         .into_iter()
@@ -224,6 +252,23 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
         s.parse().map_err(|_| "bad --search-nodes".to_string())
     })?;
     let threads = threads_flag(args)?;
+    if let Some(store) = open_store(args)? {
+        // Route through the service executor so the run shares the cache
+        // lookup/write-back path of `batch` and `serve`; the result is the
+        // one-line protocol rendering (with `cached=1` on a hit).
+        let job = Job::Determine {
+            sig,
+            views,
+            q0,
+            budget: JobBudget::default()
+                .with_stages(stages)
+                .with_search_nodes(search_nodes)
+                .with_threads(threads),
+        };
+        let result = execute_stored(0, &job, &CancelToken::new(), threads, Some(&store), true);
+        println!("{}", result.render_protocol());
+        return Ok(());
+    }
     let oracle = DeterminacyOracle::new(sig);
     let cr = oracle.certify_run(
         &views,
@@ -355,7 +400,7 @@ fn reduce_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn separate_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--stages", "--threads"])?;
+    check_flags(args, &["--stages", "--threads", "--store"])?;
     use cqfd::separating::theorem14::{
         chase_from_di_with, chase_from_lasso_with, separating_budget,
     };
@@ -363,6 +408,16 @@ fn separate_cmd(args: &[String]) -> Result<(), String> {
         s.parse().map_err(|_| "bad --stages".to_string())
     })?;
     let threads = threads_flag(args)?;
+    if let Some(store) = open_store(args)? {
+        let job = Job::Separate {
+            budget: JobBudget::default()
+                .with_stages(stages)
+                .with_threads(threads),
+        };
+        let result = execute_stored(0, &job, &CancelToken::new(), threads, Some(&store), true);
+        println!("{}", result.render_protocol());
+        return Ok(());
+    }
     let (_, run, found) =
         chase_from_di_with(&separating_budget(stages.min(10)).with_threads(threads));
     println!(
@@ -530,7 +585,7 @@ fn check_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Builds a pool from `--workers`/`--queue` flags.
+/// Builds a pool from `--workers`/`--queue`/`--store` flags.
 fn pool_config(args: &[String]) -> Result<PoolConfig, String> {
     let mut cfg = PoolConfig::default();
     if let Some(w) = flag(args, "--workers") {
@@ -539,11 +594,14 @@ fn pool_config(args: &[String]) -> Result<PoolConfig, String> {
     if let Some(q) = flag(args, "--queue") {
         cfg = cfg.with_queue_capacity(q.parse().map_err(|_| "bad --queue".to_string())?);
     }
+    if let Some(store) = open_store(args)? {
+        cfg = cfg.with_store(Arc::new(store));
+    }
     Ok(cfg)
 }
 
 fn batch_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--workers", "--queue", "--threads"])?;
+    check_flags(args, &["--workers", "--queue", "--threads", "--store"])?;
     let pos = positionals(args);
     let [path] = pos.as_slice() else {
         return Err("batch takes exactly one <jobs-file>".into());
@@ -650,8 +708,61 @@ fn scrape_server(addr: &str) -> Result<String, String> {
     Ok(payload)
 }
 
+/// `cqfd store <stat|verify|gc> <dir>` — inspect, re-validate, or clean
+/// a result store without running any jobs.
+fn store_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &[])?;
+    let pos = positionals(args);
+    let [action, dir] = pos.as_slice() else {
+        return Err("store takes <stat|verify|gc> <dir>".into());
+    };
+    let store = Store::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    match *action {
+        "stat" => {
+            let s = store.stat().map_err(|e| e.to_string())?;
+            println!(
+                "store {}: {} entries ({} bytes), {} stage logs ({} bytes)",
+                store.root().display(),
+                s.entries,
+                s.entry_bytes,
+                s.logs,
+                s.log_bytes
+            );
+            Ok(())
+        }
+        "verify" => {
+            let failures = store.verify().map_err(|e| e.to_string())?;
+            let s = store.stat().map_err(|e| e.to_string())?;
+            for (path, why) in &failures {
+                println!("REJECT {}: {why}", path.display());
+            }
+            if failures.is_empty() {
+                println!("OK: all {} entries pass the checker", s.entries);
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} of {} entries failed verification (run `cqfd store gc {dir}`)",
+                    failures.len(),
+                    s.entries
+                ))
+            }
+        }
+        "gc" => {
+            let r = store.gc().map_err(|e| e.to_string())?;
+            println!(
+                "gc: removed {} invalid entries, {} temp files, {} finished stage logs",
+                r.removed_entries, r.removed_tmp, r.removed_logs
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown store action `{other}` (want stat | verify | gc)"
+        )),
+    }
+}
+
 fn serve_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--listen", "--workers", "--queue"])?;
+    check_flags(args, &["--listen", "--workers", "--queue", "--store"])?;
     let addr = flag(args, "--listen").ok_or("missing --listen")?;
     let server = Server::bind(addr, pool_config(args)?).map_err(|e| format!("{addr}: {e}"))?;
     let local = server.local_addr().map_err(|e| e.to_string())?;

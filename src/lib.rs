@@ -27,6 +27,8 @@
 //! * [`reduction`] — the end-to-end Theorem 1/5 reduction pipeline;
 //! * [`service`] — the concurrent job pool and TCP front-end behind
 //!   `cqfd batch` and `cqfd serve`;
+//! * [`store`] — the persistent content-addressed result cache and
+//!   write-ahead stage log behind `--store` and `cqfd store`;
 //! * [`obs`] — structured tracing, the metrics registry, and the
 //!   Prometheus exposition behind `cqfd metrics` and the server's
 //!   `metrics` scrape command.
@@ -63,4 +65,5 @@ pub use cqfd_reduction as reduction;
 pub use cqfd_separating as separating;
 pub use cqfd_service as service;
 pub use cqfd_spider as spider;
+pub use cqfd_store as store;
 pub use cqfd_swarm as swarm;
