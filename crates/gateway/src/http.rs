@@ -1,0 +1,607 @@
+//! A small, strict HTTP/1.1 codec for the gateway.
+//!
+//! Hand-rolled (the build is offline, and the gateway needs only a
+//! sliver of HTTP): request parsing with `Content-Length` and chunked
+//! bodies, bounded head size, pipelining-aware `consumed` accounting,
+//! and response rendering — plus the inverse pair
+//! ([`render_request`] / [`parse_response`]) used by the load harness
+//! and the round-trip property tests.
+//!
+//! Parsing is **incremental**: the caller hands in its whole read buffer
+//! and gets back [`Parse::Complete`] with the number of bytes consumed
+//! (pipelined requests stay in the buffer for the next call),
+//! [`Parse::Partial`] (read more), or [`Parse::Bad`] with the 4xx status
+//! the connection should answer before closing. A malformed request is
+//! never silently dropped and can never wedge the reactor: every input
+//! resolves to one of the three.
+
+/// Size bounds enforced during parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes for the request line + headers (431 beyond this).
+    pub max_head_bytes: usize,
+    /// Maximum body bytes, after de-chunking (413 beyond this).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Maximum number of header lines (counted against 431).
+const MAX_HEADERS: usize = 128;
+
+/// A parsed request (or, for [`parse_response`], the shared field layout
+/// is mirrored by [`Response`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … (any token; routing rejects what it doesn't know).
+    pub method: String,
+    /// The request target, e.g. `/v1/jobs`.
+    pub target: String,
+    /// Header name/value pairs in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The body, de-chunked if it arrived chunked.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive single-header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed response (client side: the load harness and tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Reason phrase, e.g. `OK`.
+    pub reason: String,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, de-chunked if it arrived chunked.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Case-insensitive single-header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of an incremental parse over a read buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse<T> {
+    /// One complete message; `consumed` bytes belong to it (anything
+    /// after is the next pipelined message).
+    Complete {
+        /// The parsed message.
+        value: T,
+        /// Bytes of the buffer this message occupied.
+        consumed: usize,
+    },
+    /// Not enough bytes yet — read more and call again.
+    Partial,
+    /// Irrecoverably malformed; answer `status` and close.
+    Bad {
+        /// The 4xx status to answer with.
+        status: u16,
+        /// Human-readable cause (goes in the error body).
+        reason: String,
+    },
+}
+
+fn bad<T>(status: u16, reason: impl Into<String>) -> Parse<T> {
+    Parse::Bad {
+        status,
+        reason: reason.into(),
+    }
+}
+
+/// Finds the end of the head (the blank line), returning
+/// `(head_bytes, body_start)`. Accepts CRLF and bare-LF line endings.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i] == b'\n' {
+            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
+                return Some((i + 1, i + 2));
+            }
+            if i + 2 < buf.len() && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+                return Some((i + 1, i + 3));
+            }
+        }
+    }
+    None
+}
+
+fn is_token(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+}
+
+/// Splits head lines (request/status line + headers). Returns `Err` with
+/// a 400 reason on a malformed header.
+fn parse_headers(lines: &mut std::str::Lines<'_>) -> Result<Vec<(String, String)>, String> {
+    let mut headers = Vec::new();
+    for line in lines {
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(format!("more than {MAX_HEADERS} header lines"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("header line without `:`: `{line}`"));
+        };
+        if !is_token(name) {
+            return Err(format!("bad header name `{name}`"));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+/// How the body is framed, per the head.
+enum Framing {
+    Length(usize),
+    Chunked,
+    None,
+}
+
+fn body_framing(headers: &[(String, String)], limits: &Limits) -> Result<Framing, (u16, String)> {
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    for (name, value) in headers {
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .parse()
+                .map_err(|_| (400, format!("bad Content-Length `{value}`")))?;
+            if let Some(prev) = content_length {
+                if prev != n {
+                    return Err((400, "conflicting Content-Length headers".into()));
+                }
+            }
+            content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            if !value.eq_ignore_ascii_case("chunked") {
+                return Err((400, format!("unsupported Transfer-Encoding `{value}`")));
+            }
+            chunked = true;
+        }
+    }
+    if chunked && content_length.is_some() {
+        // Request-smuggling shape: refuse rather than pick a winner.
+        return Err((400, "both Transfer-Encoding and Content-Length".into()));
+    }
+    if chunked {
+        return Ok(Framing::Chunked);
+    }
+    match content_length {
+        Some(n) if n > limits.max_body_bytes => Err((
+            413,
+            format!("body of {n} bytes exceeds limit {}", limits.max_body_bytes),
+        )),
+        Some(n) => Ok(Framing::Length(n)),
+        None => Ok(Framing::None),
+    }
+}
+
+/// De-chunks a chunked body starting at `buf[start..]`.
+fn parse_chunked(buf: &[u8], start: usize, limits: &Limits) -> Parse<(Vec<u8>, usize)> {
+    let mut pos = start;
+    let mut body = Vec::new();
+    loop {
+        // The chunk-size line: hex digits, optional `;extension`, CRLF.
+        let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+            // A size line is tiny; a long run without a newline is garbage,
+            // not a partial read.
+            return if buf.len() - pos > 128 {
+                bad(400, "unterminated chunk-size line")
+            } else {
+                Parse::Partial
+            };
+        };
+        let line = &buf[pos..pos + nl];
+        let line = std::str::from_utf8(line)
+            .map(|s| s.trim_end_matches('\r'))
+            .unwrap_or("");
+        let size_part = line.split(';').next().unwrap_or("").trim();
+        let Ok(size) = usize::from_str_radix(size_part, 16) else {
+            return bad(400, format!("bad chunk size `{line}`"));
+        };
+        pos += nl + 1;
+        if size == 0 {
+            // Trailer section: zero or more header lines, then a blank line.
+            loop {
+                let Some(nl) = buf[pos..].iter().position(|&b| b == b'\n') else {
+                    return Parse::Partial;
+                };
+                let tline = &buf[pos..pos + nl];
+                pos += nl + 1;
+                if tline.is_empty() || tline == b"\r" {
+                    return Parse::Complete {
+                        value: (body, pos),
+                        consumed: pos,
+                    };
+                }
+            }
+        }
+        if body.len() + size > limits.max_body_bytes {
+            return bad(
+                413,
+                format!("chunked body exceeds limit {}", limits.max_body_bytes),
+            );
+        }
+        if buf.len() < pos + size + 1 {
+            return Parse::Partial;
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        pos += size;
+        // The CRLF (or LF) closing the chunk data.
+        match buf[pos] {
+            b'\n' => pos += 1,
+            b'\r' => {
+                if buf.len() < pos + 2 {
+                    return Parse::Partial;
+                }
+                if buf[pos + 1] != b'\n' {
+                    return bad(400, "chunk data not followed by CRLF");
+                }
+                pos += 2;
+            }
+            _ => return bad(400, "chunk data not followed by CRLF"),
+        }
+    }
+}
+
+/// Shared head+body machinery for requests and responses. `first_line`
+/// is handed to `on_first` to build the value skeleton.
+fn parse_message<T>(
+    buf: &[u8],
+    limits: &Limits,
+    on_first: impl FnOnce(&str) -> Result<T, (u16, String)>,
+    assemble: impl FnOnce(T, Vec<(String, String)>, Vec<u8>) -> T,
+) -> Parse<T> {
+    let Some((head_len, body_start)) = find_head_end(buf) else {
+        return if buf.len() > limits.max_head_bytes {
+            bad(431, format!("head exceeds {} bytes", limits.max_head_bytes))
+        } else {
+            Parse::Partial
+        };
+    };
+    if head_len > limits.max_head_bytes {
+        return bad(431, format!("head exceeds {} bytes", limits.max_head_bytes));
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+        return bad(400, "head is not valid UTF-8");
+    };
+    let mut lines = head.lines();
+    let first = lines.next().unwrap_or("");
+    let skeleton = match on_first(first) {
+        Ok(v) => v,
+        Err((status, reason)) => return bad(status, reason),
+    };
+    let headers = match parse_headers(&mut lines) {
+        Ok(h) => h,
+        Err(reason) => return bad(400, reason),
+    };
+    let (body, consumed) = match body_framing(&headers, limits) {
+        Err((status, reason)) => return bad(status, reason),
+        Ok(Framing::None) => (Vec::new(), body_start),
+        Ok(Framing::Length(n)) => {
+            if buf.len() < body_start + n {
+                return Parse::Partial;
+            }
+            (buf[body_start..body_start + n].to_vec(), body_start + n)
+        }
+        Ok(Framing::Chunked) => match parse_chunked(buf, body_start, limits) {
+            Parse::Complete {
+                value: (body, end), ..
+            } => (body, end),
+            Parse::Partial => return Parse::Partial,
+            Parse::Bad { status, reason } => return bad(status, reason),
+        },
+    };
+    Parse::Complete {
+        value: assemble(skeleton, headers, body),
+        consumed,
+    }
+}
+
+/// Incrementally parses one request from the front of `buf`.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Parse<Request> {
+    parse_message(
+        buf,
+        limits,
+        |first| {
+            let mut parts = first.split(' ').filter(|p| !p.is_empty());
+            let (Some(method), Some(target), Some(version), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err((400, format!("bad request line `{first}`")));
+            };
+            if !is_token(method) {
+                return Err((400, format!("bad method `{method}`")));
+            }
+            if !target.starts_with('/') && target != "*" {
+                return Err((400, format!("bad request target `{target}`")));
+            }
+            if version != "HTTP/1.1" && version != "HTTP/1.0" {
+                return Err((505, format!("unsupported version `{version}`")));
+            }
+            Ok(Request {
+                method: method.to_string(),
+                target: target.to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            })
+        },
+        |mut req, headers, body| {
+            req.headers = headers;
+            req.body = body;
+            req
+        },
+    )
+}
+
+/// Incrementally parses one response from the front of `buf` (client
+/// side: the load harness and the integration tests).
+pub fn parse_response(buf: &[u8], limits: &Limits) -> Parse<Response> {
+    parse_message(
+        buf,
+        limits,
+        |first| {
+            let rest = first
+                .strip_prefix("HTTP/1.1 ")
+                .or_else(|| first.strip_prefix("HTTP/1.0 "))
+                .ok_or_else(|| (400u16, format!("bad status line `{first}`")))?;
+            let (code, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+            let status: u16 = code
+                .parse()
+                .map_err(|_| (400u16, format!("bad status code `{code}`")))?;
+            Ok(Response {
+                status,
+                reason: reason.to_string(),
+                headers: Vec::new(),
+                body: Vec::new(),
+            })
+        },
+        |mut resp, headers, body| {
+            resp.headers = headers;
+            resp.body = body;
+            resp
+        },
+    )
+}
+
+/// Renders a complete response with a `Content-Length` body.
+pub fn response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    for (k, v) in extra_headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// Renders the head of a chunked (streaming) response; follow with
+/// [`chunk`] calls and a final [`CHUNK_END`].
+pub fn chunked_head(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
+    for (k, v) in extra_headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Renders one chunk of a chunked body. Empty data renders nothing (an
+/// empty chunk would terminate the stream).
+pub fn chunk(data: &[u8]) -> Vec<u8> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(data.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", data.len()).as_bytes());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminal chunk closing a chunked body.
+pub const CHUNK_END: &[u8] = b"0\r\n\r\n";
+
+/// Renders a request. `chunked = false` frames the body with
+/// `Content-Length`; `true` sends it as a single chunk (exercising the
+/// server's de-chunker).
+pub fn render_request(req: &Request, chunked: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + req.body.len());
+    out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", req.method, req.target).as_bytes());
+    for (k, v) in &req.headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    if chunked {
+        out.extend_from_slice(b"Transfer-Encoding: chunked\r\n\r\n");
+        out.extend_from_slice(&chunk(&req.body));
+        out.extend_from_slice(CHUNK_END);
+    } else {
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", req.body.len()).as_bytes());
+        out.extend_from_slice(&req.body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete<T>(p: Parse<T>) -> (T, usize) {
+        match p {
+            Parse::Complete { value, consumed } => (value, consumed),
+            other => panic!("expected Complete, got {:?}", type_name(&other)),
+        }
+    }
+
+    fn type_name<T>(p: &Parse<T>) -> &'static str {
+        match p {
+            Parse::Complete { .. } => "Complete",
+            Parse::Partial => "Partial",
+            Parse::Bad { .. } => "Bad",
+        }
+    }
+
+    #[test]
+    fn get_without_body() {
+        let buf = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, consumed) = complete(parse_request(buf, &Limits::default()));
+        assert_eq!(consumed, buf.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn post_with_length_and_pipelined_tail() {
+        let one = b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd".to_vec();
+        let mut buf = one.clone();
+        buf.extend_from_slice(b"GET / HTTP/1.1\r\n\r\n");
+        let (req, consumed) = complete(parse_request(&buf, &Limits::default()));
+        assert_eq!(consumed, one.len(), "pipelined tail left in the buffer");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let req = Request {
+            method: "POST".into(),
+            target: "/v1/jobs".into(),
+            headers: vec![("X-Cqfd-Tenant".into(), "acme".into())],
+            body: b"{\"job\":\"creep worm=short\"}".to_vec(),
+        };
+        for chunked in [false, true] {
+            let wire = render_request(&req, chunked);
+            let (parsed, consumed) = complete(parse_request(&wire, &Limits::default()));
+            assert_eq!(consumed, wire.len());
+            assert_eq!(parsed.method, req.method);
+            assert_eq!(parsed.body, req.body);
+            assert_eq!(parsed.header("x-cqfd-tenant"), Some("acme"));
+        }
+    }
+
+    #[test]
+    fn partial_inputs_ask_for_more() {
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert_eq!(parse_request(wire, &Limits::default()), Parse::Partial);
+        assert_eq!(parse_request(b"GET /", &Limits::default()), Parse::Partial);
+        assert_eq!(
+            parse_request(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nab",
+                &Limits::default()
+            ),
+            Parse::Partial
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_get_4xx() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"BOGUS LINE\r\n\r\n", 400),
+            (b"GET nothing HTTP/1.1\r\n\r\n", 400),
+            (b"GET / HTTP/9.9\r\n\r\n", 505),
+            (b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\n",
+                400,
+            ),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n",
+                400,
+            ),
+            (b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413),
+        ];
+        for (wire, want) in cases {
+            match parse_request(wire, &Limits::default()) {
+                Parse::Bad { status, .. } => {
+                    assert_eq!(status, *want, "{}", String::from_utf8_lossy(wire))
+                }
+                other => panic!(
+                    "`{}` should be Bad, got {}",
+                    String::from_utf8_lossy(wire),
+                    type_name(&other)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_head_is_431_not_a_stall() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        };
+        let mut wire = b"GET / HTTP/1.1\r\nX-Filler: ".to_vec();
+        wire.extend(std::iter::repeat_n(b'a', 200));
+        match parse_request(&wire, &limits) {
+            Parse::Bad { status, .. } => assert_eq!(status, 431),
+            other => panic!("expected Bad, got {}", type_name(&other)),
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let wire = response(200, "OK", "application/json", &[("X-Job-Id", "7")], b"{}");
+        let (resp, consumed) = complete(parse_response(&wire, &Limits::default()));
+        assert_eq!(consumed, wire.len());
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.reason, "OK");
+        assert_eq!(resp.header("x-job-id"), Some("7"));
+        assert_eq!(resp.body, b"{}");
+    }
+
+    #[test]
+    fn chunked_response_round_trip() {
+        let mut wire = chunked_head(200, "OK", "application/jsonl", &[]);
+        wire.extend_from_slice(&chunk(b"line one\n"));
+        wire.extend_from_slice(&chunk(b"line two\n"));
+        wire.extend_from_slice(CHUNK_END);
+        let (resp, consumed) = complete(parse_response(&wire, &Limits::default()));
+        assert_eq!(consumed, wire.len());
+        assert_eq!(resp.body, b"line one\nline two\n");
+    }
+}

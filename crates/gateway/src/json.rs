@@ -1,0 +1,259 @@
+//! A tiny flat-JSON codec for the HTTP ingress.
+//!
+//! The gateway's request/response bodies are single-level JSON objects
+//! of scalars (`{"job": "...", "tenant": "...", "stream": true}`), so
+//! rather than vendoring a JSON library, this module parses exactly that
+//! shape — strings with the standard escapes, numbers, booleans, `null`
+//! — and rejects nested arrays/objects. The obs JSONL records streamed
+//! to clients are rendered by `cqfd-obs` itself and pass through here
+//! untouched.
+
+/// A scalar value from a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A JSON string, unescaped.
+    Str(String),
+    /// Any JSON number, kept as its source text.
+    Num(String),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Scalar {
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A lenient truthiness reading: `true`, `"1"`, `"true"` are true.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Scalar::Bool(b) => *b,
+            Scalar::Str(s) => s == "1" || s == "true",
+            Scalar::Num(n) => n != "0",
+            Scalar::Null => false,
+        }
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            // Surrogate pairs are out of scope for the
+                            // protocol's ASCII-ish payloads; map them to
+                            // the replacement character instead of erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-sync to UTF-8 boundaries for multibyte chars.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "string is not valid UTF-8")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.string()?)),
+            Some(b't') => self.keyword("true", Scalar::Bool(true)),
+            Some(b'f') => self.keyword("false", Scalar::Bool(false)),
+            Some(b'n') => self.keyword("null", Scalar::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("number chars are ASCII");
+                Ok(Scalar::Num(text.to_string()))
+            }
+            Some(b'{') | Some(b'[') => Err("nested objects/arrays are not supported".into()),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Scalar) -> Result<Scalar, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.pos))
+        }
+    }
+}
+
+/// Parses a flat JSON object into its key/value pairs, in source order.
+pub fn parse_object(text: &[u8]) -> Result<Vec<(String, Scalar)>, String> {
+    let mut cur = Cursor {
+        bytes: text,
+        pos: 0,
+    };
+    cur.eat(b'{')?;
+    let mut pairs = Vec::new();
+    if cur.peek() == Some(b'}') {
+        cur.pos += 1;
+    } else {
+        loop {
+            let key = cur.string()?;
+            cur.eat(b':')?;
+            let value = cur.scalar()?;
+            pairs.push((key, value));
+            match cur.peek() {
+                Some(b',') => {
+                    cur.pos += 1;
+                }
+                Some(b'}') => {
+                    cur.pos += 1;
+                    break;
+                }
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != text.len() {
+        return Err(format!("trailing bytes after object at {}", cur.pos));
+    }
+    Ok(pairs)
+}
+
+/// Looks up `key` in parsed pairs.
+pub fn get<'a>(pairs: &'a [(String, Scalar)], key: &str) -> Option<&'a Scalar> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_job_body_shape() {
+        let pairs = parse_object(
+            br#"{"job": "creep worm=short", "tenant": "acme", "stream": true, "n": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            get(&pairs, "job").unwrap().as_str(),
+            Some("creep worm=short")
+        );
+        assert_eq!(get(&pairs, "tenant").unwrap().as_str(), Some("acme"));
+        assert!(get(&pairs, "stream").unwrap().truthy());
+        assert_eq!(get(&pairs, "n"), Some(&Scalar::Num("3".into())));
+        assert_eq!(get(&pairs, "absent"), None);
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "line one\nline \"two\"\t\\slash\u{1}";
+        let body = format!(r#"{{"v": "{}"}}"#, escape(nasty));
+        let pairs = parse_object(body.as_bytes()).unwrap();
+        assert_eq!(get(&pairs, "v").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_nesting_and_garbage() {
+        assert!(parse_object(br#"{"a": {"b": 1}}"#).is_err());
+        assert!(parse_object(br#"{"a": [1]}"#).is_err());
+        assert!(parse_object(b"not json").is_err());
+        assert!(parse_object(br#"{"a": 1} trailing"#).is_err());
+        assert!(parse_object(br#"{"a": "unterminated}"#).is_err());
+        assert!(parse_object(b"{}").unwrap().is_empty());
+    }
+}

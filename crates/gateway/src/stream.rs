@@ -1,0 +1,127 @@
+//! Streaming partial results: routing live obs trace records to the
+//! connection that asked for them (`stream=1` / `"stream": true`).
+//!
+//! The worker pool tags every trace record with its job id
+//! (`cqfd_obs::trace::set_current_job`), and the obs facade delivers all
+//! records to the global [`Subscriber`]. The [`TraceRouter`] is that
+//! subscriber while at least one streaming job is live: it looks up the
+//! record's job id in its route table and, on a match, sends the
+//! JSONL-rendered line down the route's channel and pokes the owning
+//! reactor's poller awake so the line is flushed to the client promptly.
+//!
+//! The router installs itself as the global subscriber on the first
+//! route and uninstalls on the last, so tracing stays in its
+//! one-relaxed-load "free" state whenever nothing is streaming. The
+//! router owns the subscriber slot while streams are live; a process
+//! that installs its own subscriber *and* serves streaming jobs would
+//! contend for the slot (nothing in this workspace does).
+
+use cqfd_obs::trace::{clear_subscriber, set_subscriber};
+use cqfd_obs::{Subscriber, TraceRecord};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+
+struct Route {
+    tx: Sender<String>,
+    /// Wakes the reactor that owns the streaming connection.
+    wake: Arc<polling::Poller>,
+}
+
+/// Routes trace records to streaming connections by job id.
+pub struct TraceRouter {
+    routes: Mutex<HashMap<u64, Route>>,
+}
+
+static ROUTER: OnceLock<Arc<TraceRouter>> = OnceLock::new();
+
+impl TraceRouter {
+    /// The process-wide router (shared across gateways; job ids are
+    /// pool-scoped, so each reactor registers only ids it submitted —
+    /// distinct pools can collide on raw ids, which is why routes carry
+    /// their own wake handle and the reactor matches results to
+    /// connections itself).
+    pub fn global() -> &'static Arc<TraceRouter> {
+        ROUTER.get_or_init(|| {
+            Arc::new(TraceRouter {
+                routes: Mutex::new(HashMap::new()),
+            })
+        })
+    }
+
+    /// Opens a route for `job`: returns the receiver the reactor drains.
+    /// Installs the router as the global subscriber if this is the first
+    /// live route. Call **before** submitting the job so no records are
+    /// missed.
+    pub fn register(&self, job: u64, wake: Arc<polling::Poller>) -> Receiver<String> {
+        let (tx, rx) = mpsc::channel();
+        let mut routes = self.routes.lock().expect("router lock");
+        if routes.is_empty() {
+            set_subscriber(Arc::clone(TraceRouter::global()) as Arc<dyn Subscriber>);
+        }
+        routes.insert(job, Route { tx, wake });
+        rx
+    }
+
+    /// Closes the route for `job`; uninstalls the subscriber when no
+    /// routes remain.
+    pub fn unregister(&self, job: u64) {
+        let mut routes = self.routes.lock().expect("router lock");
+        routes.remove(&job);
+        if routes.is_empty() {
+            clear_subscriber();
+        }
+    }
+}
+
+impl Subscriber for TraceRouter {
+    fn record(&self, rec: &TraceRecord<'_>) {
+        let Some(job) = rec.job else { return };
+        let routes = self.routes.lock().expect("router lock");
+        if let Some(route) = routes.get(&job) {
+            // A dropped receiver (conn died) is fine; the reactor
+            // unregisters the route when it reaps the connection.
+            let _ = route.tx.send(cqfd_obs::jsonl::render_record(rec));
+            let _ = route.wake.notify();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_job_id_and_uninstalls_when_idle() {
+        let router = TraceRouter::global();
+        let wake = Arc::new(polling::Poller::new().unwrap());
+        let rx = router.register(998877, Arc::clone(&wake));
+        // Records on a thread tagged with the job id reach the route.
+        let t = std::thread::spawn(|| {
+            cqfd_obs::trace::set_current_job(Some(998877));
+            cqfd_obs::event!("gateway.test_event", n = 1u64);
+            cqfd_obs::trace::set_current_job(None);
+        });
+        t.join().unwrap();
+        let line = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert!(line.contains("gateway.test_event"), "{line}");
+        assert!(line.contains("\"job\":998877"), "{line}");
+        // Untagged / other-job records do not.
+        let t = std::thread::spawn(|| {
+            cqfd_obs::trace::set_current_job(Some(112233));
+            cqfd_obs::event!("gateway.other_event", n = 2u64);
+            cqfd_obs::trace::set_current_job(None);
+        });
+        t.join().unwrap();
+        router.unregister(998877);
+        let leftovers: Vec<String> = rx.try_iter().collect();
+        assert!(
+            leftovers.iter().all(|l| !l.contains("other_event")),
+            "{leftovers:?}"
+        );
+        // The wake fd was poked at least once for the routed record.
+        let mut events = Vec::new();
+        wake.wait(&mut events, Some(std::time::Duration::from_millis(10)))
+            .unwrap();
+    }
+}

@@ -1,0 +1,539 @@
+//! End-to-end exercises of the gateway reactor: protocol parity with the
+//! legacy thread-per-connection server, transport byte-identity,
+//! admission control, streaming, deadlines, and malformed-input
+//! resilience.
+
+use cqfd_gateway::http as ghttp;
+use cqfd_gateway::{json, Gateway, GatewayConfig, Quota};
+use cqfd_service::{PoolConfig, Server};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Connects a line-protocol client and consumes the version greeting.
+fn line_client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut greeting = String::new();
+    reader.read_line(&mut greeting).expect("greeting");
+    assert_eq!(greeting.trim(), "cqfd-service v1");
+    (reader, stream)
+}
+
+/// Reads one full job reply: the result line plus any framed payload
+/// lines it announces (`cert_lines=` / `trace_lines=` / `lint_lines=`).
+fn read_reply(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("result line");
+    let mut extra = 0usize;
+    for key in ["cert_lines=", "trace_lines=", "lint_lines="] {
+        if let Some(tok) = line.split_whitespace().find_map(|t| t.strip_prefix(key)) {
+            extra += tok.parse::<usize>().expect("payload count");
+        }
+    }
+    let mut out = line;
+    for _ in 0..extra {
+        let mut payload = String::new();
+        reader.read_line(&mut payload).expect("payload line");
+        out.push_str(&payload);
+    }
+    out
+}
+
+/// Masks the per-run fields (`job=` ids, wall-clock `elapsed_ms=`) so two
+/// answers can be compared byte-for-byte on everything that matters.
+fn normalize(text: &str) -> String {
+    text.lines()
+        .map(|line| {
+            line.split_whitespace()
+                .map(|tok| match tok.split_once('=') {
+                    Some(("job" | "elapsed_ms", _)) => {
+                        format!("{}=X", tok.split_once('=').unwrap().0)
+                    }
+                    _ => tok.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A blocking HTTP/1.1 client over the gateway's own codec, with
+/// keep-alive (leftover bytes stay buffered for the next response).
+struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    fn connect(addr: SocketAddr) -> HttpClient {
+        let stream = TcpStream::connect(addr).expect("connect http");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        HttpClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, req: &ghttp::Request) {
+        self.stream
+            .write_all(&ghttp::render_request(req, false))
+            .expect("write request");
+    }
+
+    fn read_response(&mut self) -> ghttp::Response {
+        let limits = ghttp::Limits {
+            max_head_bytes: 64 * 1024,
+            max_body_bytes: 16 * 1024 * 1024,
+        };
+        loop {
+            match ghttp::parse_response(&self.buf, &limits) {
+                ghttp::Parse::Complete { value, consumed } => {
+                    self.buf.drain(..consumed);
+                    return value;
+                }
+                ghttp::Parse::Partial => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.stream.read(&mut chunk).expect("read response");
+                    assert!(n > 0, "connection closed mid-response");
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                ghttp::Parse::Bad { status, reason } => {
+                    panic!("server sent an unparsable response ({status}): {reason}")
+                }
+            }
+        }
+    }
+
+    fn request(&mut self, req: &ghttp::Request) -> ghttp::Response {
+        self.send(req);
+        self.read_response()
+    }
+}
+
+fn post_jobs(body: &str, headers: &[(&str, &str)]) -> ghttp::Request {
+    ghttp::Request {
+        method: "POST".into(),
+        target: "/v1/jobs".into(),
+        headers: headers
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        body: body.as_bytes().to_vec(),
+    }
+}
+
+fn get(target: &str) -> ghttp::Request {
+    ghttp::Request {
+        method: "GET".into(),
+        target: target.into(),
+        headers: Vec::new(),
+        body: Vec::new(),
+    }
+}
+
+fn one_worker() -> GatewayConfig {
+    GatewayConfig::default().with_pool(PoolConfig::default().with_workers(1))
+}
+
+#[test]
+fn gateway_needs_at_least_one_listener() {
+    assert!(Gateway::bind(None, None, GatewayConfig::default()).is_err());
+}
+
+#[test]
+fn line_protocol_matches_the_legacy_server() {
+    let legacy = Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1))
+        .expect("bind legacy")
+        .spawn()
+        .expect("spawn legacy");
+    let gw = Gateway::bind(Some("127.0.0.1:0"), None, one_worker())
+        .expect("bind gateway")
+        .spawn()
+        .expect("spawn gateway");
+
+    let (mut legacy_rd, mut legacy_wr) = line_client(legacy.addr());
+    let (mut gw_rd, mut gw_wr) = line_client(gw.line_addr().expect("line addr"));
+    for request in [
+        "v1",
+        "creep worm=short cert=1",
+        "determine instance=projection",
+        "frobnicate x=1",
+        "creep worm=short tenant=acme priority=batch",
+    ] {
+        writeln!(legacy_wr, "{request}").unwrap();
+        writeln!(gw_wr, "{request}").unwrap();
+        let a = read_reply(&mut legacy_rd);
+        let b = read_reply(&mut gw_rd);
+        assert_eq!(normalize(&a), normalize(&b), "diverged on `{request}`");
+    }
+    writeln!(legacy_wr, "quit").unwrap();
+    writeln!(gw_wr, "quit").unwrap();
+    assert_eq!(read_reply(&mut legacy_rd).trim(), "bye");
+    assert_eq!(read_reply(&mut gw_rd).trim(), "bye");
+    legacy.shutdown();
+    gw.shutdown();
+}
+
+#[test]
+fn both_transports_answer_byte_identically() {
+    let gw = Gateway::bind(Some("127.0.0.1:0"), Some("127.0.0.1:0"), one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    let (mut rd, mut wr) = line_client(gw.line_addr().unwrap());
+    writeln!(wr, "creep worm=short cert=1").unwrap();
+    let line_answer = read_reply(&mut rd);
+
+    let mut http = HttpClient::connect(gw.http_addr().unwrap());
+    let resp = http.request(&post_jobs("{\"job\":\"creep worm=short cert=1\"}", &[]));
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let pairs = json::parse_object(&resp.body).expect("response is JSON");
+    assert_eq!(
+        json::get(&pairs, "verdict").and_then(|v| v.as_str()),
+        Some("halted")
+    );
+    let http_answer = json::get(&pairs, "result")
+        .and_then(|v| v.as_str())
+        .expect("result field")
+        .to_string();
+
+    // The HTTP `result` field embeds the exact line-protocol rendering,
+    // so modulo job id and wall time the payloads are byte-identical —
+    // including the certificate, which must also check out.
+    assert_eq!(
+        normalize(line_answer.trim_end()),
+        normalize(&http_answer),
+        "transports diverged"
+    );
+    let cert_start = http_answer.find('\n').expect("certificate payload");
+    let cert = cqfd_cert::parse(&http_answer[cert_start + 1..]).expect("valid certificate");
+    assert!(cqfd_cert::check(&cert).is_ok());
+    gw.shutdown();
+}
+
+#[test]
+fn healthz_metrics_and_keepalive() {
+    let gw = Gateway::bind(None, Some("127.0.0.1:0"), one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut http = HttpClient::connect(gw.http_addr().unwrap());
+
+    let resp = http.request(&get("/healthz"));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.body, b"ok\n");
+
+    let resp = http.request(&get("/metrics"));
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .header("content-type")
+        .is_some_and(|v| v.starts_with("text/plain")));
+    let text = String::from_utf8_lossy(&resp.body);
+    assert!(text.contains("cqfd_gateway_connections"), "{text}");
+    assert!(text.contains("# TYPE"), "{text}");
+
+    let resp = http.request(&get("/nope"));
+    assert_eq!(resp.status, 404);
+
+    let resp = http.request(&post_jobs("not json at all", &[]));
+    assert_eq!(resp.status, 400);
+
+    // The connection survived all of the above (keep-alive).
+    let resp = http.request(&get("/healthz"));
+    assert_eq!(resp.status, 200);
+    gw.shutdown();
+}
+
+#[test]
+fn quota_exhaustion_sheds_with_retry_after() {
+    // One token, glacial refill: the second request must shed on either
+    // transport (the bucket is shared across both).
+    let config = one_worker().with_quota(
+        "acme",
+        Quota {
+            rate: 0.05,
+            burst: 1.0,
+        },
+    );
+    let gw = Gateway::bind(Some("127.0.0.1:0"), Some("127.0.0.1:0"), config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    let (mut rd, mut wr) = line_client(gw.line_addr().unwrap());
+    writeln!(wr, "creep worm=short tenant=acme").unwrap();
+    assert!(read_reply(&mut rd).contains("verdict=halted"));
+    writeln!(wr, "creep worm=short tenant=acme").unwrap();
+    let shed = read_reply(&mut rd);
+    assert!(shed.starts_with("busy retry-after-ms="), "{shed}");
+    let ms: u64 = shed
+        .trim()
+        .strip_prefix("busy retry-after-ms=")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(ms > 0);
+
+    let mut http = HttpClient::connect(gw.http_addr().unwrap());
+    let resp = http.request(&post_jobs(
+        "{\"job\":\"creep worm=short\"}",
+        &[("X-Cqfd-Tenant", "acme")],
+    ));
+    assert_eq!(resp.status, 429);
+    assert!(resp.header("retry-after").is_some(), "Retry-After header");
+    let body = String::from_utf8_lossy(&resp.body);
+    assert!(body.contains("retry_after_ms"), "{body}");
+
+    // Other tenants are untouched by acme's empty bucket.
+    let resp = http.request(&post_jobs("{\"job\":\"creep worm=short\"}", &[]));
+    assert_eq!(resp.status, 200);
+    gw.shutdown();
+}
+
+#[test]
+fn saturated_lanes_shed_instead_of_queueing() {
+    // worker=1 + pool queue=1 + lane=1: three jobs fit in flight, the
+    // fourth and fifth must shed promptly while the first still runs.
+    let config = GatewayConfig::default()
+        .with_pool(PoolConfig::default().with_workers(1).with_queue_capacity(1))
+        .with_lane_capacity(1);
+    let gw = Gateway::bind(Some("127.0.0.1:0"), None, config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = gw.line_addr().unwrap();
+
+    let slow = "creep worm=forever steps=max timeout-ms=1000";
+    let mut clients: Vec<(BufReader<TcpStream>, TcpStream)> = Vec::new();
+    for _ in 0..5 {
+        clients.push(line_client(addr));
+    }
+    for (_, wr) in clients.iter_mut() {
+        writeln!(wr, "{slow}").unwrap();
+        // Give the reactor a beat so arrival order is deterministic.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    // Clients 4 and 5 found worker, pool queue, and lane all full.
+    for (rd, _) in clients.iter_mut().skip(3) {
+        let started = Instant::now();
+        let reply = read_reply(rd);
+        assert!(reply.starts_with("busy retry-after-ms="), "{reply}");
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "shedding must not wait for the running job"
+        );
+    }
+    // Client 1's slow job still answers.
+    let reply = read_reply(&mut clients[0].0);
+    assert!(reply.contains("verdict="), "{reply}");
+    gw.shutdown();
+}
+
+#[test]
+fn streaming_delivers_trace_events_on_both_transports() {
+    let gw = Gateway::bind(Some("127.0.0.1:0"), Some("127.0.0.1:0"), one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    // Line protocol: `trace_event <jsonl>` lines precede the result.
+    let (mut rd, mut wr) = line_client(gw.line_addr().unwrap());
+    writeln!(wr, "creep worm=short stream=1").unwrap();
+    let mut trace_lines = 0;
+    let result = loop {
+        let mut line = String::new();
+        rd.read_line(&mut line).unwrap();
+        if let Some(rec) = line.strip_prefix("trace_event ") {
+            assert!(rec.trim_start().starts_with('{'), "{rec}");
+            trace_lines += 1;
+        } else {
+            break line;
+        }
+    };
+    assert!(trace_lines > 0, "no live trace records reached the client");
+    assert!(result.contains("verdict=halted"), "{result}");
+
+    // HTTP: a chunked NDJSON stream, closed by the result object.
+    let mut http = HttpClient::connect(gw.http_addr().unwrap());
+    let resp = http.request(&post_jobs(
+        "{\"job\":\"creep worm=short\",\"stream\":true}",
+        &[],
+    ));
+    assert_eq!(resp.status, 200);
+    assert!(resp
+        .header("transfer-encoding")
+        .is_some_and(|v| v.eq_ignore_ascii_case("chunked")));
+    let body = String::from_utf8_lossy(&resp.body);
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(
+        lines.len() >= 2,
+        "expected trace records before the result: {body}"
+    );
+    let final_obj = json::parse_object(lines.last().unwrap().as_bytes()).expect("result object");
+    assert_eq!(
+        json::get(&final_obj, "verdict").and_then(|v| v.as_str()),
+        Some("halted")
+    );
+    assert!(
+        lines[..lines.len() - 1]
+            .iter()
+            .all(|l| l.contains("\"seq\"")),
+        "stream lines are obs JSONL records: {body}"
+    );
+    gw.shutdown();
+}
+
+#[test]
+fn malformed_http_is_answered_and_never_wedges_the_reactor() {
+    let gw = Gateway::bind(None, Some("127.0.0.1:0"), one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = gw.http_addr().unwrap();
+
+    let mut oversized_head = b"GET / HTTP/1.1\r\nX-Filler: ".to_vec();
+    oversized_head.extend(std::iter::repeat_n(b'a', 64 * 1024));
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"BOGUS LINE\r\n\r\n".to_vec(), 400),
+        (b"GET / HTTP/9.9\r\n\r\n".to_vec(), 505),
+        (
+            b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n".to_vec(),
+            400,
+        ),
+        (
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\n"
+                .to_vec(),
+            400,
+        ),
+        (oversized_head, 431),
+    ];
+    for (wire, want) in cases {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(&wire).unwrap();
+        let mut reply = Vec::new();
+        stream.read_to_end(&mut reply).expect("read 4xx + close");
+        let head = String::from_utf8_lossy(&reply);
+        assert!(
+            head.starts_with(&format!("HTTP/1.1 {want} ")),
+            "for {:?}: {head}",
+            String::from_utf8_lossy(&wire)
+        );
+    }
+
+    // After all that abuse a well-formed request still answers.
+    let mut http = HttpClient::connect(addr);
+    let resp = http.request(&post_jobs("{\"job\":\"creep worm=short\"}", &[]));
+    assert_eq!(resp.status, 200);
+    gw.shutdown();
+}
+
+#[test]
+fn mid_request_stalls_hit_the_read_deadline_but_idle_conns_survive() {
+    let config = one_worker().with_read_deadline(Duration::from_millis(150));
+    let gw = Gateway::bind(Some("127.0.0.1:0"), Some("127.0.0.1:0"), config)
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    // An idle connection (no partial request) outlives the deadline...
+    let (mut idle_rd, mut idle_wr) = line_client(gw.line_addr().unwrap());
+
+    // ...while a half-sent line is cut off.
+    let (mut rd, mut wr) = line_client(gw.line_addr().unwrap());
+    wr.write_all(b"creep worm=sho").unwrap();
+    wr.flush().unwrap();
+    let started = Instant::now();
+    let mut line = String::new();
+    rd.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("error: request line not completed within"),
+        "{line}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(5));
+    line.clear();
+    assert_eq!(rd.read_line(&mut line).unwrap(), 0, "connection closed");
+
+    // A half-sent HTTP head gets 408 and a close.
+    let mut stream = TcpStream::connect(gw.http_addr().unwrap()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Le")
+        .unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap();
+    assert!(
+        String::from_utf8_lossy(&reply).starts_with("HTTP/1.1 408 "),
+        "{}",
+        String::from_utf8_lossy(&reply)
+    );
+
+    // The idle connection is still serviceable well past the deadline.
+    std::thread::sleep(Duration::from_millis(100));
+    writeln!(idle_wr, "creep worm=short").unwrap();
+    assert!(read_reply(&mut idle_rd).contains("verdict=halted"));
+    gw.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let gw = Gateway::bind(Some("127.0.0.1:0"), Some("127.0.0.1:0"), one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    // HTTP: two POSTs in one write; two responses, in order.
+    let mut http = HttpClient::connect(gw.http_addr().unwrap());
+    let mut wire = ghttp::render_request(&post_jobs("{\"job\":\"creep worm=short\"}", &[]), false);
+    wire.extend(ghttp::render_request(
+        &post_jobs("{\"job\":\"determine instance=projection\"}", &[]),
+        true, // second one chunked, exercising the de-chunker in the pipeline
+    ));
+    http.stream.write_all(&wire).unwrap();
+    let first = http.read_response();
+    let second = http.read_response();
+    let verdict = |resp: &ghttp::Response| {
+        let pairs = json::parse_object(&resp.body).expect("json body");
+        json::get(&pairs, "verdict")
+            .and_then(|v| v.as_str())
+            .map(str::to_string)
+    };
+    assert_eq!(verdict(&first).as_deref(), Some("halted"));
+    assert_eq!(verdict(&second).as_deref(), Some("not-determined"));
+
+    // Line protocol: two jobs in one write; two replies, in order.
+    let (mut rd, mut wr) = line_client(gw.line_addr().unwrap());
+    wr.write_all(b"creep worm=short\ndetermine instance=projection\n")
+        .unwrap();
+    assert!(read_reply(&mut rd).contains("verdict=halted"));
+    assert!(read_reply(&mut rd).contains("verdict=not-determined"));
+    gw.shutdown();
+}
+
+#[test]
+fn shutdown_word_stops_the_gateway() {
+    let gw = Gateway::bind(Some("127.0.0.1:0"), None, one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = gw.line_addr().unwrap();
+    let (mut rd, mut wr) = line_client(addr);
+    writeln!(wr, "shutdown").unwrap();
+    let mut line = String::new();
+    rd.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "bye");
+    gw.join(); // returns only once the reactor and pool are gone
+    assert!(TcpStream::connect(addr).is_err() || std::net::TcpListener::bind(addr).is_ok());
+}

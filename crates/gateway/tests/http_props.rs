@@ -1,0 +1,154 @@
+//! Property tests for the hand-rolled HTTP/1.1 codec: render→parse
+//! round-trips, prefix-safety (a partial wire is never misread as
+//! complete or bad), and no-panic on arbitrary bytes.
+//!
+//! The vendored proptest shim only supplies integer/bool/vec
+//! strategies, so strings are built by mapping integer draws into safe
+//! alphabets by hand.
+
+use cqfd_gateway::http::{self, Limits, Parse, Request};
+use proptest::prelude::*;
+
+const METHODS: [&str; 3] = ["GET", "POST", "PUT"];
+const TARGET_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/_-.~%";
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-";
+// Header values: printable ASCII minus edge whitespace (the parser
+// trims leading/trailing blanks, so round-tripping them is lossy by
+// design). Interior chars may be anything visible plus space.
+const VALUE_CHARS: &[u8] =
+    b"!#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[]^_`abcdefghijklmnopqrstuvwxyz{|}~ ";
+
+fn pick(alphabet: &[u8], draw: u8) -> char {
+    alphabet[draw as usize % alphabet.len()] as char
+}
+
+fn build_request(
+    method_idx: u8,
+    target_draws: &[u8],
+    header_draws: &[(u8, u8, u8)],
+    body: &[u8],
+) -> Request {
+    let mut target = String::from("/");
+    target.extend(target_draws.iter().map(|&d| pick(TARGET_CHARS, d)));
+    // Names are prefixed "x-" so generated headers can never collide
+    // with the framing headers (`Content-Length`/`Transfer-Encoding`)
+    // that the renderer adds itself. Values must not start or end with
+    // a blank (the parser trims), so edges draw from the no-space tail.
+    let headers = header_draws
+        .iter()
+        .enumerate()
+        .map(|(i, &(n1, n2, v))| {
+            let name = format!("x-{}{}{}", pick(NAME_CHARS, n1), pick(NAME_CHARS, n2), i);
+            let value = format!(
+                "{}{}{}",
+                pick(&VALUE_CHARS[..VALUE_CHARS.len() - 1], v),
+                pick(VALUE_CHARS, v.wrapping_mul(7)),
+                pick(&VALUE_CHARS[..VALUE_CHARS.len() - 1], v.wrapping_add(3)),
+            );
+            (name, value)
+        })
+        .collect();
+    Request {
+        method: METHODS[method_idx as usize % METHODS.len()].to_string(),
+        target,
+        headers,
+        body: body.to_vec(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn render_then_parse_round_trips(
+        method_idx in 0u8..=255,
+        target_draws in prop::collection::vec(0u8..=255, 0..24),
+        header_draws in prop::collection::vec((0u8..=255, 0u8..=255, 0u8..=255), 0..6),
+        body in prop::collection::vec(0u8..=255, 0..256),
+        chunked in any::<bool>(),
+    ) {
+        let req = build_request(method_idx, &target_draws, &header_draws, &body);
+        let wire = http::render_request(&req, chunked);
+        match http::parse_request(&wire, &Limits::default()) {
+            Parse::Complete { value, consumed } => {
+                prop_assert_eq!(consumed, wire.len());
+                prop_assert_eq!(&value.method, &req.method);
+                prop_assert_eq!(&value.target, &req.target);
+                prop_assert_eq!(&value.body, &req.body);
+                for (name, want) in &req.headers {
+                    // Generated names are unique (index suffix), so a
+                    // straight lookup must recover the exact value.
+                    prop_assert_eq!(value.header(name), Some(want.as_str()));
+                }
+            }
+            other => prop_assert!(false, "valid wire failed to parse: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn every_proper_prefix_parses_partial(
+        method_idx in 0u8..=255,
+        target_draws in prop::collection::vec(0u8..=255, 0..12),
+        header_draws in prop::collection::vec((0u8..=255, 0u8..=255, 0u8..=255), 0..3),
+        body in prop::collection::vec(0u8..=255, 0..64),
+        chunked in any::<bool>(),
+    ) {
+        let req = build_request(method_idx, &target_draws, &header_draws, &body);
+        let wire = http::render_request(&req, chunked);
+        for cut in 0..wire.len() {
+            match http::parse_request(&wire[..cut], &Limits::default()) {
+                Parse::Partial => {}
+                Parse::Complete { .. } => {
+                    prop_assert!(false, "prefix of length {} of a {}-byte wire parsed Complete", cut, wire.len());
+                }
+                Parse::Bad { status, reason } => {
+                    prop_assert!(false, "prefix of length {} rejected ({}): {}", cut, status, reason);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_round_trips_both_framings(
+        status_draw in 0u16..=3,
+        body in prop::collection::vec(0u8..=255, 0..256),
+        chunked in any::<bool>(),
+    ) {
+        let (status, reason) = [
+            (200u16, "OK"),
+            (400, "Bad Request"),
+            (429, "Too Many Requests"),
+            (503, "Service Unavailable"),
+        ][status_draw as usize];
+        let wire = if chunked {
+            let mut w = http::chunked_head(status, reason, "application/x-ndjson", &[]);
+            if !body.is_empty() {
+                w.extend(http::chunk(&body));
+            }
+            w.extend_from_slice(http::CHUNK_END);
+            w
+        } else {
+            http::response(status, reason, "application/json", &[], &body)
+        };
+        match http::parse_response(&wire, &Limits::default()) {
+            Parse::Complete { value, consumed } => {
+                prop_assert_eq!(consumed, wire.len());
+                prop_assert_eq!(value.status, status);
+                prop_assert_eq!(&value.body, &body);
+            }
+            other => prop_assert!(false, "rendered response failed to parse: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_and_never_over_consume(
+        bytes in prop::collection::vec(0u8..=255, 0..512),
+    ) {
+        if let Parse::Complete { consumed, .. } = http::parse_request(&bytes, &Limits::default()) {
+            prop_assert!(consumed <= bytes.len());
+        }
+        if let Parse::Complete { consumed, .. } = http::parse_response(&bytes, &Limits::default()) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+}

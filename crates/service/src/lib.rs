@@ -47,5 +47,5 @@ pub use job::{Job, JobBudget};
 pub use lint::lint_job;
 pub use outcome::{parse_result_line, JobMetrics, JobOutcome, JobResult};
 pub use pool::{JobHandle, Pool, PoolConfig, SubmitError};
-pub use proto::{parse_job, parse_jobs};
-pub use server::{Server, ServerHandle, PROTOCOL_VERSION};
+pub use proto::{parse_job, parse_jobs, parse_request, JobRequest, Priority, DEFAULT_TENANT};
+pub use server::{Server, ServerHandle, ServerLimits, PROTOCOL_VERSION};

@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Pool sizing knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PoolConfig {
     /// Number of worker threads. Defaults to the machine's available
     /// parallelism (at least 1).
@@ -34,6 +34,12 @@ pub struct PoolConfig {
     /// write their result back, and `resume=1` jobs checkpoint to the
     /// store's stage logs. `None` (the default) disables all of it.
     pub store: Option<Arc<Store>>,
+    /// Called by a worker after each job's result has been sent into its
+    /// [`JobHandle`]. This is how an event-loop front end (the gateway
+    /// reactor) learns a `try_wait` will now succeed without polling:
+    /// the hook pokes its poller awake. Runs on the worker thread — keep
+    /// it cheap and non-blocking.
+    pub on_complete: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl Default for PoolConfig {
@@ -42,7 +48,19 @@ impl Default for PoolConfig {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             queue_capacity: 64,
             store: None,
+            on_complete: None,
         }
+    }
+}
+
+impl std::fmt::Debug for PoolConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("store", &self.store)
+            .field("on_complete", &self.on_complete.as_ref().map(|_| "Fn"))
+            .finish()
     }
 }
 
@@ -62,6 +80,12 @@ impl PoolConfig {
     /// Attaches a result store (cache + stage logs) to the pool.
     pub fn with_store(mut self, store: Arc<Store>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Installs a completion hook (see [`PoolConfig::on_complete`]).
+    pub fn with_completion_hook(mut self, hook: Arc<dyn Fn() + Send + Sync>) -> Self {
+        self.on_complete = Some(hook);
         self
     }
 }
@@ -160,6 +184,10 @@ pub struct Pool {
     worker_gauge: Gauge,
     /// Shared result store; hits are served on the submitter's thread.
     store: Option<Arc<Store>>,
+    /// Submission-queue capacity, as configured.
+    queue_capacity: usize,
+    /// Completion hook, fired by workers after each result send.
+    on_complete: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl Pool {
@@ -191,9 +219,10 @@ impl Pool {
                 let rx = Arc::clone(&rx);
                 let depth = queue_depth.clone();
                 let store = config.store.clone();
+                let hook = config.on_complete.clone();
                 std::thread::Builder::new()
                     .name(format!("cqfd-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &depth, thread_cap, store))
+                    .spawn(move || worker_loop(&rx, &depth, thread_cap, store, hook))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -205,12 +234,19 @@ impl Pool {
             queue_depth,
             worker_gauge,
             store: config.store,
+            queue_capacity: config.queue_capacity.max(1),
+            on_complete: config.on_complete,
         }
     }
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The configured submission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
     }
 
     /// Submits a job without blocking. A full queue is reported as
@@ -264,6 +300,9 @@ impl Pool {
         if let Some(store) = &self.store {
             if let Some(hit) = cached_result(sub.id, &sub.job, store) {
                 let _ = sub.reply.send(hit);
+                if let Some(hook) = &self.on_complete {
+                    hook();
+                }
                 return None;
             }
         }
@@ -328,6 +367,7 @@ fn worker_loop(
     queue_depth: &Gauge,
     thread_cap: usize,
     store: Option<Arc<Store>>,
+    on_complete: Option<Arc<dyn Fn() + Send + Sync>>,
 ) {
     loop {
         // Hold the lock only for the dequeue, not for the job.
@@ -345,6 +385,9 @@ fn worker_loop(
                     execute_stored(s.id, &s.job, &s.cancel, thread_cap, store.as_deref(), false);
                 // The submitter may have dropped its handle; that's fine.
                 let _ = s.reply.send(result);
+                if let Some(hook) = &on_complete {
+                    hook();
+                }
             }
             Err(_) => return, // disconnected: shutdown
         }
@@ -389,6 +432,31 @@ mod tests {
         for h in accepted {
             assert_eq!(h.wait().outcome.verdict(), "halted");
         }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn completion_hook_fires_once_per_job() {
+        let count = Arc::new(AtomicU64::new(0));
+        let in_hook = Arc::clone(&count);
+        let pool = Pool::new(
+            PoolConfig::default()
+                .with_workers(1)
+                .with_completion_hook(Arc::new(move || {
+                    in_hook.fetch_add(1, Ordering::SeqCst);
+                })),
+        );
+        assert_eq!(pool.queue_capacity(), 64);
+        let results = pool.run_batch(vec![creep_job(), creep_job(), creep_job()]);
+        assert_eq!(results.len(), 3);
+        // The worker fires the hook *after* sending the result (so a
+        // reactor woken by the hook always finds the result waiting);
+        // run_batch can therefore return a beat before the last call.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while count.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 3, "one hook call per job");
         pool.shutdown();
     }
 

@@ -305,14 +305,141 @@ fn parse_cq_inputs(f: &Fields) -> Result<(Signature, Vec<Cq>, Cq), String> {
     Ok((sig, views, q0))
 }
 
+/// The tenant a request without a `tenant=` key (or header) bills to.
+pub const DEFAULT_TENANT: &str = "anon";
+
+/// Which gateway dispatch lane a request asks for. The lanes only exist
+/// in the gateway reactor; everywhere else the field is parsed, checked,
+/// and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// The default, low-latency lane.
+    #[default]
+    Interactive,
+    /// The bulk lane: dispatched only when the interactive lane is empty.
+    Batch,
+}
+
+impl Priority {
+    /// Parses `interactive` / `batch`.
+    pub fn parse(s: &str) -> Result<Priority, String> {
+        match s {
+            "interactive" => Ok(Priority::Interactive),
+            "batch" => Ok(Priority::Batch),
+            other => Err(format!("bad priority=`{other}` (want interactive | batch)")),
+        }
+    }
+}
+
+/// A parsed protocol line: the [`Job`] plus its routing metadata. The
+/// metadata keys (`tenant=`, `priority=`, `stream=`) may appear anywhere
+/// after the kind tag and are stripped before job parsing, so they are
+/// valid on every job kind and never reach the job itself — two requests
+/// differing only in metadata run byte-identically.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The job to run.
+    pub job: Job,
+    /// Billing/quota identity (`tenant=`, default [`DEFAULT_TENANT`]).
+    pub tenant: String,
+    /// Requested dispatch lane (`priority=`, default interactive).
+    pub priority: Priority,
+    /// Stream obs trace records to the client while the job runs
+    /// (`stream=1`). Only the gateway implements delivery; the
+    /// thread-per-connection server accepts and ignores it.
+    pub stream: bool,
+}
+
+/// Is this key request routing metadata rather than part of the job?
+fn is_meta_key(token: &str) -> bool {
+    ["tenant=", "priority=", "stream="]
+        .iter()
+        .any(|p| token.starts_with(p))
+}
+
+/// Parses one protocol line into a [`JobRequest`] (job + routing
+/// metadata). Returns `Ok(None)` for blank lines and `#` comments.
+pub fn parse_request(line: &str) -> Result<Option<JobRequest>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut tokens = tokenize(line)?;
+    let mut tenant = DEFAULT_TENANT.to_string();
+    let mut priority = Priority::default();
+    let mut stream = false;
+    // The kind tag stays put; metadata keys are peeled off the rest.
+    let meta: Vec<String> = tokens
+        .iter()
+        .skip(1)
+        .filter(|t| is_meta_key(t))
+        .cloned()
+        .collect();
+    tokens.retain_first_and(|t| !is_meta_key(t));
+    for token in &meta {
+        let (key, value) = token.split_once('=').expect("meta tokens carry `=`");
+        match key {
+            "tenant" => {
+                if value.is_empty()
+                    || !value
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+                {
+                    return Err(format!("bad tenant=`{value}` (want [A-Za-z0-9._-]+)"));
+                }
+                tenant = value.to_string();
+            }
+            "priority" => priority = Priority::parse(value)?,
+            "stream" => {
+                stream = match value {
+                    "0" | "false" => false,
+                    "1" | "true" => true,
+                    other => return Err(format!("bad stream=`{other}` (want 0/1/true/false)")),
+                }
+            }
+            _ => unreachable!("is_meta_key admits only the three keys"),
+        }
+    }
+    let Some(job) = parse_job_tokens(tokens)? else {
+        return Ok(None);
+    };
+    Ok(Some(JobRequest {
+        job,
+        tenant,
+        priority,
+        stream,
+    }))
+}
+
+/// `Vec::retain` that always keeps element 0 (the kind tag).
+trait RetainFirst {
+    fn retain_first_and(&mut self, keep: impl Fn(&str) -> bool);
+}
+
+impl RetainFirst for Vec<String> {
+    fn retain_first_and(&mut self, keep: impl Fn(&str) -> bool) {
+        let mut idx = 0;
+        self.retain(|t| {
+            let first = idx == 0;
+            idx += 1;
+            first || keep(t)
+        });
+    }
+}
+
 /// Parses one protocol line into a [`Job`]. Returns `Ok(None)` for blank
-/// lines and `#` comments.
+/// lines and `#` comments. Routing metadata (`tenant=` etc.) is rejected
+/// here — job files are jobs, not requests; use [`parse_request`] on the
+/// wire.
 pub fn parse_job(line: &str) -> Result<Option<Job>, String> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
     }
-    let tokens = tokenize(line)?;
+    parse_job_tokens(tokenize(line)?)
+}
+
+fn parse_job_tokens(tokens: Vec<String>) -> Result<Option<Job>, String> {
     let (kind, rest) = tokens.split_first().expect("non-empty line has tokens");
     let f = Fields::parse(rest)?;
     let job = match kind.as_str() {
@@ -634,6 +761,47 @@ mod tests {
         }
         // Creep never chases, so it rejects the key outright.
         assert!(parse_job("creep worm=short threads=4").is_err());
+    }
+
+    #[test]
+    fn request_metadata_parses_and_strips() {
+        let req = parse_request("creep tenant=acme worm=short priority=batch stream=1")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.tenant, "acme");
+        assert_eq!(req.priority, Priority::Batch);
+        assert!(req.stream);
+        assert!(matches!(req.job, Job::Creep { .. }));
+        // Metadata defaults: anon tenant, interactive, no streaming.
+        let req = parse_request("creep worm=short").unwrap().unwrap();
+        assert_eq!(req.tenant, DEFAULT_TENANT);
+        assert_eq!(req.priority, Priority::Interactive);
+        assert!(!req.stream);
+        // Metadata never reaches the job: the parsed jobs are equal.
+        let plain = parse_job("determine instance=projection stages=16")
+            .unwrap()
+            .unwrap();
+        let via_req = parse_request("determine tenant=t1 instance=projection stream=0 stages=16")
+            .unwrap()
+            .unwrap();
+        assert_eq!(format!("{plain:?}"), format!("{:?}", via_req.job));
+        // Blank lines and comments still skip.
+        assert!(parse_request("").unwrap().is_none());
+        assert!(parse_request("# hi").unwrap().is_none());
+    }
+
+    #[test]
+    fn request_metadata_rejects_garbage() {
+        let err = parse_request("creep worm=short tenant=").unwrap_err();
+        assert!(err.contains("tenant=``"), "{err}");
+        let err = parse_request("creep worm=short tenant=a/b").unwrap_err();
+        assert!(err.contains("tenant=`a/b`"), "{err}");
+        let err = parse_request("creep worm=short priority=urgent").unwrap_err();
+        assert!(err.contains("priority=`urgent`"), "{err}");
+        let err = parse_request("creep worm=short stream=maybe").unwrap_err();
+        assert!(err.contains("stream=`maybe`"), "{err}");
+        // Job files stay strict: metadata keys are unknown keys there.
+        assert!(parse_job("creep worm=short tenant=acme").is_err());
     }
 
     #[test]

@@ -24,12 +24,39 @@
 //! [`ServerHandle::join`].
 
 use crate::pool::{Pool, PoolConfig};
-use crate::proto::parse_job;
+use crate::proto::parse_request;
 use cqfd_core::CancelToken;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-connection request-read limits — the slow-loris guards. A client
+/// that sends an endless line without a newline hits
+/// [`max_line_bytes`](ServerLimits::max_line_bytes); one that sends half
+/// a line and stalls hits [`line_deadline`](ServerLimits::line_deadline).
+/// Either way the connection is answered with an error and closed
+/// instead of pinning its thread forever. An *idle* connection (no
+/// partial line pending) is legitimate keep-alive and is not timed out.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLimits {
+    /// Maximum bytes one request line may span (default 64 KiB).
+    pub max_line_bytes: usize,
+    /// How long a started line may take to reach its newline
+    /// (default 30 s).
+    pub line_deadline: Duration,
+}
+
+impl Default for ServerLimits {
+    fn default() -> Self {
+        ServerLimits {
+            max_line_bytes: 64 * 1024,
+            line_deadline: Duration::from_secs(30),
+        }
+    }
+}
 
 /// Shared server state: the pool, the stop flag, and the live-connection
 /// registry used to unblock reads at shutdown.
@@ -37,6 +64,7 @@ struct Shared {
     pool: Pool,
     stop: CancelToken,
     conns: Mutex<Vec<TcpStream>>,
+    limits: ServerLimits,
 }
 
 /// A bound, not-yet-running server. Binding first and running second lets
@@ -55,8 +83,18 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds the listener and spawns the worker pool.
+    /// Binds the listener and spawns the worker pool, with default
+    /// [`ServerLimits`].
     pub fn bind(addr: impl ToSocketAddrs, pool_config: PoolConfig) -> std::io::Result<Server> {
+        Server::bind_with_limits(addr, pool_config, ServerLimits::default())
+    }
+
+    /// Binds with explicit request-read limits.
+    pub fn bind_with_limits(
+        addr: impl ToSocketAddrs,
+        pool_config: PoolConfig,
+        limits: ServerLimits,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
@@ -64,6 +102,7 @@ impl Server {
                 pool: Pool::new(pool_config),
                 stop: CancelToken::new(),
                 conns: Mutex::new(Vec::new()),
+                limits,
             }),
         })
     }
@@ -84,14 +123,34 @@ impl Server {
                 break;
             }
             let Ok(stream) = stream else { continue };
-            if let Ok(clone) = stream.try_clone() {
-                shared.conns.lock().expect("conns lock").push(clone);
-            }
+            let registered_fd = match stream.try_clone() {
+                Ok(clone) => {
+                    let fd = clone.as_raw_fd();
+                    shared.conns.lock().expect("conns lock").push(clone);
+                    Some(fd)
+                }
+                Err(_) => None,
+            };
             let shared = Arc::clone(&shared);
             conn_threads.push(
                 std::thread::Builder::new()
                     .name("cqfd-conn".into())
-                    .spawn(move || serve_connection(stream, &shared))
+                    .spawn(move || {
+                        serve_connection(stream, &shared);
+                        // Drop the registry clone now rather than at server
+                        // exit: a finished connection must not hold its fd
+                        // (and the peer's EOF) hostage for the rest of the
+                        // server's life. The clone's fd can't be reused
+                        // while the registry still owns it, so the raw-fd
+                        // match is unambiguous.
+                        if let Some(fd) = registered_fd {
+                            shared
+                                .conns
+                                .lock()
+                                .expect("conns lock")
+                                .retain(|c| c.as_raw_fd() != fd);
+                        }
+                    })
                     .expect("spawn connection thread"),
             );
         }
@@ -154,22 +213,141 @@ fn is_version_token(line: &str) -> bool {
         .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
 }
 
+/// One bounded, deadline-enforcing line read. See [`ServerLimits`].
+enum LineRead {
+    /// A complete line (without its newline).
+    Line(String),
+    /// Orderly end of stream (or the socket was shut down under us).
+    Closed,
+    /// The line outgrew [`ServerLimits::max_line_bytes`].
+    TooLong,
+    /// A started line failed to finish within
+    /// [`ServerLimits::line_deadline`].
+    DeadlineExceeded,
+}
+
+/// Reads lines from a `TcpStream` with a size bound and a per-line
+/// completion deadline. The deadline clock starts when the first byte of
+/// a line arrives, so idle keep-alive connections block indefinitely
+/// (as before) while a mid-line stall is cut off.
+struct BoundedLineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    limits: ServerLimits,
+    /// When the currently-pending partial line must complete.
+    deadline: Option<Instant>,
+}
+
+impl BoundedLineReader {
+    fn new(stream: TcpStream, limits: ServerLimits) -> BoundedLineReader {
+        BoundedLineReader {
+            stream,
+            buf: Vec::new(),
+            limits,
+            deadline: None,
+        }
+    }
+
+    fn read_line(&mut self) -> LineRead {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                if self.buf.is_empty() {
+                    self.deadline = None; // nothing pending: back to idle
+                }
+                let text = String::from_utf8_lossy(&line[..pos]);
+                return LineRead::Line(text.trim_end_matches('\r').to_string());
+            }
+            if self.buf.len() > self.limits.max_line_bytes {
+                return LineRead::TooLong;
+            }
+            // Idle (no partial line): block without a timeout. Mid-line:
+            // bound the read by what's left of the line deadline.
+            let timeout = match self.deadline {
+                None => None,
+                Some(d) => match d.checked_duration_since(Instant::now()) {
+                    Some(left) if !left.is_zero() => Some(left),
+                    _ => return LineRead::DeadlineExceeded,
+                },
+            };
+            if self.stream.set_read_timeout(timeout).is_err() {
+                return LineRead::Closed;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return LineRead::Closed,
+                Ok(n) => {
+                    if self.buf.is_empty() {
+                        self.deadline = Some(Instant::now() + self.limits.line_deadline);
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineRead::DeadlineExceeded;
+                }
+                Err(_) => return LineRead::Closed,
+            }
+        }
+    }
+
+    /// Lingering close: consume whatever input is already queued so that
+    /// closing the socket doesn't become an RST that destroys the error
+    /// reply before the peer reads it (a close with unread bytes in the
+    /// receive queue resets the connection). Bounded in time and bytes so
+    /// a hostile peer can't keep the drain alive.
+    fn drain_for_close(&mut self) {
+        if self
+            .stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .is_err()
+        {
+            return;
+        }
+        let mut chunk = [0u8; 4096];
+        for _ in 0..16 {
+            match self.stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return,
+                Ok(_) => {}
+            }
+        }
+    }
+}
+
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let Ok(peer_read) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(peer_read);
+    let mut reader = BoundedLineReader::new(peer_read, shared.limits);
     let mut writer = stream;
     if writeln!(writer, "cqfd-service {PROTOCOL_VERSION}").is_err() {
         return;
     }
-    let mut line = String::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // disconnected (or shut down under us)
-            Ok(_) => {}
-        }
+        let line = match reader.read_line() {
+            LineRead::Line(l) => l,
+            LineRead::Closed => return,
+            LineRead::TooLong => {
+                let _ = writeln!(
+                    writer,
+                    "error: request line exceeds {} bytes",
+                    shared.limits.max_line_bytes
+                );
+                reader.drain_for_close();
+                return;
+            }
+            LineRead::DeadlineExceeded => {
+                let _ = writeln!(
+                    writer,
+                    "error: request line not completed within {} ms",
+                    shared.limits.line_deadline.as_millis()
+                );
+                reader.drain_for_close();
+                return;
+            }
+        };
         let trimmed = line.trim();
         match trimmed {
             "quit" => {
@@ -214,9 +392,13 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             }
             _ => {}
         }
-        let reply = match parse_job(trimmed) {
+        // Same request language as the gateway; this front end has no
+        // lanes, quotas, or streaming, so the routing metadata
+        // (tenant=/priority=/stream=) parses and is ignored.
+        let reply = match parse_request(trimmed) {
             Ok(None) => continue, // blank line / comment: no reply
-            Ok(Some(job)) => {
+            Ok(Some(req)) => {
+                let job = req.job;
                 // Static analysis gate: a job whose rule set carries
                 // error-severity diagnostics would chase garbage (or panic
                 // deep in the engine), so reject it before it ever reaches
@@ -330,11 +512,93 @@ mod tests {
             line.starts_with("error: unsupported protocol version"),
             "{line}"
         );
-        // The server side has returned; EOF is only observable after
-        // shutdown drops the connection registry's stream clone.
-        handle.shutdown();
+        // The connection thread prunes its registry clone on exit, so the
+        // client sees EOF promptly — no server shutdown required.
         line.clear();
         assert_eq!(reader.read_line(&mut line).unwrap(), 0, "connection open");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_partial_line_hits_the_deadline() {
+        let server = Server::bind_with_limits(
+            ("127.0.0.1", 0),
+            PoolConfig::default().with_workers(1),
+            ServerLimits {
+                max_line_bytes: 64 * 1024,
+                line_deadline: Duration::from_millis(150),
+            },
+        )
+        .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        // Half a request line, then stall — the classic slow loris.
+        writer.write_all(b"determine instance=projec").unwrap();
+        writer.flush().unwrap();
+        let started = Instant::now();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(
+            line.starts_with("error: request line not completed"),
+            "{line}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "deadline must fire promptly, took {:?}",
+            started.elapsed()
+        );
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "conn closed");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let server = Server::bind_with_limits(
+            ("127.0.0.1", 0),
+            PoolConfig::default().with_workers(1),
+            ServerLimits {
+                max_line_bytes: 1024,
+                line_deadline: Duration::from_secs(30),
+            },
+        )
+        .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        writer.write_all(&vec![b'a'; 8 * 1024]).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("error: request line exceeds"), "{line}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_not_timed_out_and_metadata_is_ignored() {
+        let server = Server::bind_with_limits(
+            ("127.0.0.1", 0),
+            PoolConfig::default().with_workers(1),
+            ServerLimits {
+                max_line_bytes: 64 * 1024,
+                line_deadline: Duration::from_millis(100),
+            },
+        )
+        .expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        // Idle well past the line deadline: the connection must survive —
+        // the deadline clock only starts once a line has bytes.
+        std::thread::sleep(Duration::from_millis(300));
+        // Routing metadata (gateway territory) parses and is ignored here.
+        writeln!(
+            writer,
+            "creep worm=short tenant=acme priority=batch stream=1"
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("verdict=halted"), "{line}");
+        handle.shutdown();
     }
 
     /// Reads `n` framed payload lines after a `<key>_lines=<n>` marker.

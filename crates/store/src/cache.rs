@@ -92,6 +92,17 @@ pub struct GcReport {
     pub removed_logs: usize,
 }
 
+/// What [`Store::evict_to`] removed to honor a size bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictReport {
+    /// Entries evicted (least recently hit first).
+    pub evicted_entries: usize,
+    /// Bytes those entries occupied.
+    pub evicted_bytes: u64,
+    /// Entry bytes remaining after eviction.
+    pub retained_bytes: u64,
+}
+
 /// One store metric: a per-store tally (what [`Store::counters`]
 /// reports) mirrored into the process-wide registry counter (what the
 /// Prometheus scrape reports). The registry deduplicates by name, so the
@@ -205,7 +216,13 @@ impl Store {
             }
         };
         match validate_entry(&text, Some(&key.hash)) {
-            Ok(entry) if entry.kind == kind => Lookup::Hit(entry),
+            Ok(entry) if entry.kind == kind => {
+                // LRU bookkeeping: stamp the entry's mtime so eviction
+                // under a --max-bytes bound drops cold entries first.
+                // Best-effort — a read-only store still serves hits.
+                let _ = touch(&path);
+                Lookup::Hit(entry)
+            }
             Ok(entry) => {
                 self.rejects.inc();
                 Lookup::Reject(format!(
@@ -361,6 +378,46 @@ impl Store {
         }
         Ok(report)
     }
+
+    /// Evicts least-recently-hit entries until the `.entry` objects fit
+    /// in `max_bytes`. Recency is the file mtime: [`Store::lookup`]
+    /// touches an entry on every confirmed hit, so mtime order is
+    /// last-hit order (falling back to insert order for never-hit
+    /// entries). Run [`Store::gc`] first so the bound is spent on valid
+    /// entries, not junk.
+    pub fn evict_to(&self, max_bytes: u64) -> io::Result<EvictReport> {
+        let mut entries = Vec::new();
+        let mut total: u64 = 0;
+        for path in walk_files(&self.root.join("objects"))? {
+            if path.extension().is_none_or(|e| e != "entry") {
+                continue;
+            }
+            let meta = fs::metadata(&path)?;
+            let mtime = meta.modified()?;
+            total += meta.len();
+            entries.push((mtime, meta.len(), path));
+        }
+        entries.sort();
+        let mut report = EvictReport {
+            retained_bytes: total,
+            ..EvictReport::default()
+        };
+        for (_mtime, len, path) in entries {
+            if report.retained_bytes <= max_bytes {
+                break;
+            }
+            fs::remove_file(&path)?;
+            report.evicted_entries += 1;
+            report.evicted_bytes += len;
+            report.retained_bytes -= len;
+        }
+        Ok(report)
+    }
+}
+
+/// Stamps `path`'s mtime to now (LRU recency marker for eviction).
+fn touch(path: &Path) -> io::Result<()> {
+    fs::File::open(path)?.set_modified(std::time::SystemTime::now())
 }
 
 /// The checksum stored on a cache entry: SHA-256 over the result line,

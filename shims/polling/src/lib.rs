@@ -1,0 +1,430 @@
+//! Offline stand-in for the `polling` crate (epoll backend only).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *subset* of the polling 3.x API that `cqfd-gateway` uses:
+//! a [`Poller`] over Linux `epoll` with [`add`](Poller::add) /
+//! [`modify`](Poller::modify) / [`delete`](Poller::delete) /
+//! [`wait`](Poller::wait) and an `eventfd`-backed [`notify`](Poller::notify)
+//! for cross-thread wakeups. Two deliberate deviations from upstream:
+//!
+//! * interest is **level-triggered and persistent** (upstream defaults to
+//!   oneshot): an fd stays armed until `modify`d or `delete`d, which is
+//!   the natural contract for a reactor that re-computes interest after
+//!   every pump;
+//! * `add` takes no `unsafe` — the caller keeps the source alive until
+//!   `delete` by construction (the gateway owns its sockets in a map).
+//!
+//! This is the **only** crate in the workspace allowed to contain
+//! `unsafe` (the CI forbid-unsafe grep exempts `shims/`): every raw
+//! syscall the gateway needs lives behind this safe facade. The raw
+//! `extern "C"` declarations follow the Linux x86-64 ABI; `epoll_event`
+//! is `#[repr(C, packed)]` there, matching the kernel's layout.
+//!
+//! [`increase_nofile_limit`] rides along for the load harness: driving
+//! 10k concurrent connections needs `RLIMIT_NOFILE` raised to the hard
+//! limit first.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Readiness interest in (or readiness of) one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source; delivered back verbatim.
+    pub key: usize,
+    /// Interested in / ready for reading (also set on peer hangup, so a
+    /// closed connection surfaces as a readable EOF).
+    pub readable: bool,
+    /// Interested in / ready for writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read-only interest.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write-only interest.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Read + write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (keeps the registration, delivers nothing).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// The key [`Poller::notify`] wakeups are delivered under internally;
+/// they are consumed by [`Poller::wait`] and never surface to callers,
+/// so user keys may take any `usize` value below this.
+const NOTIFY_KEY: u64 = u64::MAX;
+
+mod sys {
+    //! Raw Linux syscall surface. Kept minimal: everything the safe
+    //! wrapper above needs and nothing else.
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+    pub type c_uint = u32;
+
+    // The kernel reads/writes epoll_event without alignment padding on
+    // x86-64; other 64-bit targets use the naturally aligned layout.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub u64: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub u64: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    #[repr(C)]
+    pub struct rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+}
+
+fn cvt(ret: sys::c_int) -> io::Result<sys::c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+fn interest_bits(ev: Event) -> u32 {
+    let mut bits = sys::EPOLLRDHUP;
+    if ev.readable {
+        bits |= sys::EPOLLIN;
+    }
+    if ev.writable {
+        bits |= sys::EPOLLOUT;
+    }
+    bits
+}
+
+/// A level-triggered epoll instance with an eventfd wakeup channel.
+///
+/// `wait` may be called from one thread while other threads `add` /
+/// `modify` / `delete` / `notify` — epoll permits concurrent `epoll_ctl`,
+/// and the eventfd write is async-signal-safe.
+pub struct Poller {
+    epfd: RawFd,
+    event_fd: RawFd,
+    notified: AtomicBool,
+}
+
+impl Poller {
+    /// Creates the epoll instance and registers the wakeup eventfd.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        let event_fd = match cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) }) {
+            Ok(fd) => fd,
+            Err(e) => {
+                unsafe { sys::close(epfd) };
+                return Err(e);
+            }
+        };
+        let poller = Poller {
+            epfd,
+            event_fd,
+            notified: AtomicBool::new(false),
+        };
+        let mut ev = sys::epoll_event {
+            events: sys::EPOLLIN,
+            u64: NOTIFY_KEY,
+        };
+        cvt(unsafe { sys::epoll_ctl(poller.epfd, sys::EPOLL_CTL_ADD, event_fd, &mut ev) })?;
+        Ok(poller)
+    }
+
+    /// Registers `source` under `ev.key` with level-triggered interest.
+    /// The caller must keep `source` open until [`delete`](Poller::delete)
+    /// (or until the `Poller` is dropped).
+    pub fn add(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        let mut raw = sys::epoll_event {
+            events: interest_bits(ev),
+            u64: ev.key as u64,
+        };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, source.as_raw_fd(), &mut raw) })
+            .map(drop)
+    }
+
+    /// Replaces the interest set of an already-registered source.
+    pub fn modify(&self, source: &impl AsRawFd, ev: Event) -> io::Result<()> {
+        let mut raw = sys::epoll_event {
+            events: interest_bits(ev),
+            u64: ev.key as u64,
+        };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, source.as_raw_fd(), &mut raw) })
+            .map(drop)
+    }
+
+    /// Deregisters a source. Closing the fd deregisters implicitly; this
+    /// exists for sources that outlive their interest.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let mut raw = sys::epoll_event { events: 0, u64: 0 };
+        cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), &mut raw) })
+            .map(drop)
+    }
+
+    /// Blocks until at least one source is ready, the timeout elapses, or
+    /// [`notify`](Poller::notify) is called; appends readiness events to
+    /// `events` and returns how many were appended. `None` blocks
+    /// indefinitely. A notify wakeup alone returns `Ok(0)`.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: sys::c_int = match timeout {
+            None => -1,
+            Some(d) if d.is_zero() => 0,
+            // Round up so a 100µs timeout waits ~1ms instead of spinning.
+            Some(d) => d.as_millis().clamp(1, sys::c_int::MAX as u128) as sys::c_int,
+        };
+        let mut raw: [sys::epoll_event; 256] = [sys::epoll_event { events: 0, u64: 0 }; 256];
+        let n = loop {
+            let r = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    raw.as_mut_ptr(),
+                    raw.len() as sys::c_int,
+                    timeout_ms,
+                )
+            };
+            match cvt(r) {
+                Ok(n) => break n as usize,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let mut appended = 0;
+        for item in raw.iter().take(n) {
+            let key = item.u64;
+            let bits = item.events;
+            if key == NOTIFY_KEY {
+                self.drain_notify();
+                continue;
+            }
+            events.push(Event {
+                key: key as usize,
+                // Errors and hangups are surfaced as readability: the next
+                // read observes the EOF / error and the state machine
+                // tears the connection down.
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                    != 0,
+                writable: bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Wakes a concurrent [`wait`](Poller::wait) from any thread.
+    /// Coalesces: many notifies before the next wait cost one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        if self.notified.swap(true, Ordering::AcqRel) {
+            return Ok(()); // a wakeup is already pending
+        }
+        let one: u64 = 1;
+        let ret = unsafe { sys::write(self.event_fd, (&one as *const u64).cast(), 8) };
+        if ret == 8 {
+            Ok(())
+        } else {
+            Err(io::Error::last_os_error())
+        }
+    }
+
+    fn drain_notify(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { sys::read(self.event_fd, buf.as_mut_ptr(), 8) };
+        self.notified.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.event_fd);
+            sys::close(self.epfd);
+        }
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").field("epfd", &self.epfd).finish()
+    }
+}
+
+/// Raises the soft `RLIMIT_NOFILE` toward `want` (capped at the hard
+/// limit) and returns the resulting soft limit. Needed by the load
+/// harness: 10k concurrent sockets blow through the usual 1024 default.
+pub fn increase_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = sys::rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) })?;
+    let target = want.min(lim.rlim_max);
+    if target > lim.rlim_cur {
+        lim.rlim_cur = target;
+        cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &lim) })?;
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn readiness_and_levels() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::readable(7)).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: the pending accept is reported again.
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 1, "level-triggered interest re-reports readiness");
+
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side.write_all(b"hi").unwrap();
+        poller.add(&client, Event::readable(8)).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 8 && e.readable));
+        let mut buf = [0u8; 2];
+        client.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+
+        // Interest can be narrowed to nothing and restored.
+        poller.modify(&client, Event::none(8)).unwrap();
+        server_side.write_all(b"!").unwrap();
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0, "no-interest registration stays silent");
+        poller.modify(&client, Event::readable(8)).unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 8 && e.readable));
+        poller.delete(&client).unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_a_blocking_wait() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let p2 = std::sync::Arc::clone(&poller);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            p2.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let started = std::time::Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0, "notify delivers no user events");
+        assert!(started.elapsed() < Duration::from_secs(5), "woke early");
+        waker.join().unwrap();
+        // Coalescing resets: a second notify wakes a second wait.
+        poller.notify().unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn nofile_limit_reports_a_sane_value() {
+        let got = increase_nofile_limit(1024).unwrap();
+        assert!(got >= 256, "soft NOFILE limit suspiciously low: {got}");
+    }
+}

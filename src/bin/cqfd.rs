@@ -81,12 +81,21 @@ USAGE:
   cqfd batch     <jobs-file> [--workers <n>] [--queue <n>] [--threads <n>]
                  [--store <dir>]
   cqfd serve     --listen <addr> [--workers <n>] [--queue <n>] [--store <dir>]
+                 [--gateway] [--http-listen <addr>] [--lane-cap <n>]
+                 [--tenant-quota <tenant:rate:burst> ...]
+                 [--default-quota <rate:burst>]
+                 (any gateway flag switches from the thread-per-connection
+                  server to the epoll reactor: line protocol on --listen,
+                  HTTP/JSON on --http-listen, token-bucket admission
+                  control per tenant, overload shedding with retry-after)
   cqfd metrics   [--connect <addr>] [<jobs-file>]
                  (Prometheus text: scrape a running server, or run the
                   jobs locally first and dump this process's registry)
-  cqfd store     <stat|verify|gc> <dir>
+  cqfd store     <stat|verify|gc> <dir> [--max-bytes <n>]
                  (inspect, re-validate, or clean a result store; `verify`
-                  exits nonzero when any entry fails the checker)
+                  exits nonzero when any entry fails the checker; gc with
+                  --max-bytes also evicts least-recently-hit entries until
+                  the objects fit the byte budget)
 
 `--threads <n>` fans chase enumeration out over n worker threads; output
 is byte-identical at every setting (see README, Performance).
@@ -101,7 +110,7 @@ Job-file syntax: one job per line, e.g. `determine instance=path:2x3`;
 see the cqfd-service docs (`cqfd::service::proto`).";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["--emit", "--json"];
+const BOOLEAN_FLAGS: &[&str] = &["--emit", "--json", "--gateway"];
 
 /// Rejects flags outside `allowed` (and double-dash tokens in value
 /// position are fine: `--view --weird` treats `--weird` as the value).
@@ -142,6 +151,11 @@ fn flag_values<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     flag_values(args, name).into_iter().next()
+}
+
+/// Whether a boolean flag (no value) is present.
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 /// Positional (non-flag) arguments, skipping each value flag's value.
@@ -711,11 +725,14 @@ fn scrape_server(addr: &str) -> Result<String, String> {
 /// `cqfd store <stat|verify|gc> <dir>` — inspect, re-validate, or clean
 /// a result store without running any jobs.
 fn store_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &[])?;
+    check_flags(args, &["--max-bytes"])?;
     let pos = positionals(args);
     let [action, dir] = pos.as_slice() else {
         return Err("store takes <stat|verify|gc> <dir>".into());
     };
+    if flag(args, "--max-bytes").is_some() && *action != "gc" {
+        return Err("--max-bytes only applies to `store gc`".into());
+    }
     let store = Store::open(dir).map_err(|e| format!("{dir}: {e}"))?;
     match *action {
         "stat" => {
@@ -753,6 +770,14 @@ fn store_cmd(args: &[String]) -> Result<(), String> {
                 "gc: removed {} invalid entries, {} temp files, {} finished stage logs",
                 r.removed_entries, r.removed_tmp, r.removed_logs
             );
+            if let Some(max) = flag(args, "--max-bytes") {
+                let max: u64 = max.parse().map_err(|_| "bad --max-bytes".to_string())?;
+                let e = store.evict_to(max).map_err(|e| e.to_string())?;
+                println!(
+                    "evict: removed {} least-recently-hit entries ({} bytes); {} bytes retained",
+                    e.evicted_entries, e.evicted_bytes, e.retained_bytes
+                );
+            }
             Ok(())
         }
         other => Err(format!(
@@ -762,12 +787,69 @@ fn store_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn serve_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--listen", "--workers", "--queue", "--store"])?;
-    let addr = flag(args, "--listen").ok_or("missing --listen")?;
-    let server = Server::bind(addr, pool_config(args)?).map_err(|e| format!("{addr}: {e}"))?;
-    let local = server.local_addr().map_err(|e| e.to_string())?;
-    println!("listening on {local} (send `quit` to close a connection, `shutdown` to stop)");
-    server.run();
-    println!("server stopped");
+    check_flags(
+        args,
+        &[
+            "--listen",
+            "--workers",
+            "--queue",
+            "--store",
+            "--http-listen",
+            "--gateway",
+            "--lane-cap",
+            "--tenant-quota",
+            "--default-quota",
+        ],
+    )?;
+    let line_addr = flag(args, "--listen");
+    let http_addr = flag(args, "--http-listen");
+    let gateway_mode = flag_present(args, "--gateway")
+        || http_addr.is_some()
+        || flag(args, "--lane-cap").is_some()
+        || !flag_values(args, "--tenant-quota").is_empty()
+        || flag(args, "--default-quota").is_some();
+
+    if !gateway_mode {
+        // Legacy path: the thread-per-connection server, byte-compatible
+        // with every pre-gateway deployment.
+        let addr = line_addr.ok_or("missing --listen")?;
+        let server = Server::bind(addr, pool_config(args)?).map_err(|e| format!("{addr}: {e}"))?;
+        let local = server.local_addr().map_err(|e| e.to_string())?;
+        println!("listening on {local} (send `quit` to close a connection, `shutdown` to stop)");
+        server.run();
+        println!("server stopped");
+        return Ok(());
+    }
+
+    use cqfd::gateway::{Gateway, GatewayConfig, Quota};
+    if line_addr.is_none() && http_addr.is_none() {
+        return Err("gateway mode needs --listen and/or --http-listen".into());
+    }
+    let mut cfg = GatewayConfig::default().with_pool(pool_config(args)?);
+    if let Some(cap) = flag(args, "--lane-cap") {
+        cfg = cfg.with_lane_capacity(cap.parse().map_err(|_| "bad --lane-cap".to_string())?);
+    }
+    for spec in flag_values(args, "--tenant-quota") {
+        let (tenant, quota) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad --tenant-quota `{spec}` (want tenant:rate:burst)"))?;
+        cfg = cfg.with_quota(
+            tenant,
+            Quota::parse(quota).map_err(|e| format!("--tenant-quota {tenant}: {e}"))?,
+        );
+    }
+    if let Some(spec) = flag(args, "--default-quota") {
+        cfg = cfg
+            .with_default_quota(Quota::parse(spec).map_err(|e| format!("--default-quota: {e}"))?);
+    }
+    let gw = Gateway::bind(line_addr, http_addr, cfg).map_err(|e| e.to_string())?;
+    if let Some(a) = gw.line_addr() {
+        println!("line protocol on {a} (send `quit` to close, `shutdown` to stop)");
+    }
+    if let Some(a) = gw.http_addr() {
+        println!("http on {a} (POST /v1/jobs, GET /metrics, GET /healthz)");
+    }
+    gw.run();
+    println!("gateway stopped");
     Ok(())
 }

@@ -27,6 +27,9 @@
 //! * [`reduction`] — the end-to-end Theorem 1/5 reduction pipeline;
 //! * [`service`] — the concurrent job pool and TCP front-end behind
 //!   `cqfd batch` and `cqfd serve`;
+//! * [`gateway`] — the epoll-reactor front end: HTTP/1.1 + line protocol
+//!   on one event loop, multi-tenant admission control, trace streaming
+//!   (`cqfd serve --http-addr`);
 //! * [`store`] — the persistent content-addressed result cache and
 //!   write-ahead stage log behind `--store` and `cqfd store`;
 //! * [`obs`] — structured tracing, the metrics registry, and the
@@ -57,6 +60,7 @@ pub use cqfd_cert as cert;
 pub use cqfd_chase as chase;
 pub use cqfd_core as core;
 pub use cqfd_fogames as fogames;
+pub use cqfd_gateway as gateway;
 pub use cqfd_greengraph as greengraph;
 pub use cqfd_greenred as greenred;
 pub use cqfd_obs as obs;

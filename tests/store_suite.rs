@@ -13,7 +13,7 @@ use cqfd::chase::{ChaseBudget, ChaseHooks, ChaseRun};
 use cqfd::core::{CancelToken, Cq, Signature};
 use cqfd::greenred::{instances, DeterminacyOracle};
 use cqfd::service::{execute_stored, job_key, parse_result_line, Job, JobBudget, JobOutcome};
-use cqfd::store::{resume_point, sha256_hex, Store};
+use cqfd::store::{resume_point, sha256_hex, JobKey, Store};
 use proptest::prelude::*;
 use std::fs;
 use std::path::PathBuf;
@@ -489,5 +489,78 @@ fn mismatched_stage_log_is_ignored() {
     assert!(matches!(result.outcome, JobOutcome::NotDetermined { .. }));
     let (_, _, _, resumes) = store.counters();
     assert_eq!(resumes, 0, "foreign log must not be resumed from");
+    let _ = fs::remove_dir_all(dir);
+}
+
+// --------------------------------------------------------------- eviction
+
+/// A syntactically valid 64-hex key that no real job hashes to.
+fn fake_key(i: usize) -> JobKey {
+    JobKey {
+        hash: format!("{i:02x}{}", "0".repeat(62)),
+        text: String::new(),
+    }
+}
+
+#[test]
+fn evict_to_drops_least_recently_hit_entries_first() {
+    let (store, dir) = temp_store("evict");
+    let now = std::time::SystemTime::now();
+    for i in 0..4 {
+        let key = fake_key(i);
+        store
+            .insert(&key, "determine", "job=0 kind=determine verdict=halted", "")
+            .unwrap();
+        // Backdate: entry 0 is the coldest, entry 3 the most recently hit.
+        let age = std::time::Duration::from_secs((4 - i as u64) * 3600);
+        fs::File::open(store.entry_path(&key.hash))
+            .unwrap()
+            .set_modified(now - age)
+            .unwrap();
+    }
+    let total = store.stat().unwrap().entry_bytes;
+    let per_entry = total / 4; // all four entries are byte-identical in size
+
+    // A budget for two entries evicts exactly the two coldest.
+    let report = store.evict_to(per_entry * 2).unwrap();
+    assert_eq!(report.evicted_entries, 2);
+    assert_eq!(report.retained_bytes, total - report.evicted_bytes);
+    assert!(report.retained_bytes <= per_entry * 2);
+    assert!(!store.entry_path(&fake_key(0).hash).exists());
+    assert!(!store.entry_path(&fake_key(1).hash).exists());
+    assert!(store.entry_path(&fake_key(2).hash).exists());
+    assert!(store.entry_path(&fake_key(3).hash).exists());
+
+    // A zero budget clears the cache entirely.
+    let report = store.evict_to(0).unwrap();
+    assert_eq!(report.evicted_entries, 2);
+    assert_eq!(report.retained_bytes, 0);
+    assert_eq!(store.stat().unwrap().entries, 0);
+
+    // An ample budget is a no-op on an empty (or fitting) store.
+    assert_eq!(store.evict_to(u64::MAX).unwrap().evicted_entries, 0);
+    let _ = fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cache_hits_refresh_eviction_recency() {
+    let (store, dir) = temp_store("touch");
+    let job = instance_job(
+        instances::composed_path_instance(2, 3),
+        JobBudget::default(),
+    );
+    run(&job, Some(&store), true); // populate
+    let path = store.entry_path(&job_key(&job).unwrap().hash);
+    let old = std::time::SystemTime::now() - std::time::Duration::from_secs(86_400);
+    fs::File::open(&path).unwrap().set_modified(old).unwrap();
+
+    let warm = run(&job, Some(&store), true);
+    assert!(warm.metrics.cached, "second run must hit");
+    let refreshed = fs::metadata(&path).unwrap().modified().unwrap();
+    assert!(
+        refreshed > old + std::time::Duration::from_secs(3600),
+        "a confirmed hit must refresh the entry mtime so LRU eviction \
+         sees it as recently used"
+    );
     let _ = fs::remove_dir_all(dir);
 }
