@@ -177,12 +177,17 @@ struct ChaseMeters {
     apply_seconds: Histogram,
     /// Enumeration slices dispatched to parallel workers.
     parallel_tasks: Counter,
+    /// Chase stages run (one increment per stage, across all runs).
+    stages: Counter,
     /// `(triggers, firings)` per TGD, parallel to `ChaseEngine::tgds`.
     per_rule: Vec<(Counter, Counter)>,
+    /// Per TGD, one atoms-added counter per head atom, labelled by the
+    /// head atom's predicate (duplicate predicates share a series).
+    atoms_per_rule: Vec<Vec<Counter>>,
 }
 
 impl ChaseMeters {
-    fn new(tgds: &[Tgd]) -> Self {
+    fn new(tgds: &[Tgd], sig: &cqfd_core::Signature) -> Self {
         let reg = cqfd_obs::global();
         ChaseMeters {
             stage_seconds: reg.histogram(
@@ -214,6 +219,26 @@ impl ChaseMeters {
                 "Enumeration slices dispatched to parallel chase workers.",
                 &[],
             ),
+            stages: reg.counter(
+                "cqfd_chase_stages_total",
+                "Chase stages run, across all runs.",
+                &[],
+            ),
+            atoms_per_rule: tgds
+                .iter()
+                .map(|t| {
+                    t.head()
+                        .iter()
+                        .map(|a| {
+                            reg.counter(
+                                "cqfd_chase_atoms_total",
+                                "Atoms the chase added, per head predicate.",
+                                &[("predicate", sig.pred_name(a.pred))],
+                            )
+                        })
+                        .collect()
+                })
+                .collect(),
             per_rule: tgds
                 .iter()
                 .map(|t| {
@@ -506,7 +531,7 @@ impl ChaseEngine {
             tgds = self.tgds.len(),
             start_atoms = start.atom_count()
         );
-        let meters = ChaseMeters::new(&self.tgds);
+        let meters = ChaseMeters::new(&self.tgds, start.signature());
         let hom_start = hom_nodes_explored();
         let (mut d, mut run) = match hooks.resume.take() {
             Some(rp) => {
@@ -585,6 +610,7 @@ impl ChaseEngine {
                     &meters,
                 );
                 meters.stage_seconds.observe(stage_clock.elapsed_ns());
+                meters.stages.inc();
                 res
             };
             prev_frozen = frozen;
@@ -962,6 +988,9 @@ impl ChaseEngine {
                 }
                 applications += 1;
                 meters.per_rule[ti].1.inc();
+                for c in &meters.atoms_per_rule[ti] {
+                    c.inc();
+                }
                 if d.atom_count() >= budget.max_atoms || d.node_count() as usize >= budget.max_nodes
                 {
                     return (applications, Some(ChaseOutcome::SizeBudgetExhausted));

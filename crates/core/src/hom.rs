@@ -344,6 +344,10 @@ impl<'p, 't> HomPlan<'p, 't> {
         if self.dead {
             return ControlFlow::Continue(());
         }
+        // One relaxed load when no profiler is attached; while a sampling
+        // window is open, the backtracking search shows up under its own
+        // frame instead of vanishing into whatever span is active.
+        let _frame = cqfd_obs::profile::frame("hom.search");
         let mut slots: Vec<Option<Node>> = vec![None; self.vars.len()];
         for &(s, n) in seeds {
             slots[s as usize] = Some(n);

@@ -1,0 +1,289 @@
+//! Deterministic per-rule cost attribution.
+//!
+//! The chase engine publishes per-rule trigger/firing counters, a
+//! per-predicate atoms-added counter, and hom-search node/backtrack
+//! totals into the global registry; spans in the flight ring carry wall
+//! times. This module joins the two: diff a registry [`Snapshot`] taken
+//! before a workload against one taken after, optionally fold in span
+//! timings parsed from flight-ring JSONL, and render a ranked report.
+//!
+//! Rule ranking is **deterministic**: rules sort by trigger count
+//! descending, then by name ascending, so the same workload always
+//! yields the same ordering and the top-ranked TGD is exactly the rule
+//! with the highest trigger count. Wall-clock timings are inherently
+//! run-to-run variable, so the renderer confines them to a clearly
+//! marked trailing section.
+
+use cqfd_obs::jsonl::OwnedRecord;
+use cqfd_obs::{RecordKind, Snapshot, Value};
+use std::collections::BTreeMap;
+
+/// Work attributed to one TGD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleCost {
+    /// Rule name (the chase engine's `rule` label).
+    pub rule: String,
+    /// Trigger evaluations (homomorphism matches found).
+    pub triggers: u64,
+    /// Firings that actually added atoms.
+    pub firings: u64,
+}
+
+/// Atoms added per head predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredicateCost {
+    /// Predicate name.
+    pub predicate: String,
+    /// Atoms the chase added under it.
+    pub atoms: u64,
+}
+
+/// Aggregated wall time of one span name (from flight-ring records).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanCost {
+    /// Span name (`chase.stage`, `job.execute`, …).
+    pub name: String,
+    /// Span-end records seen.
+    pub count: u64,
+    /// Sum of their `elapsed_ns`.
+    pub total_ns: u64,
+}
+
+/// A cost-attribution report. Build with [`Attribution::between`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Attribution {
+    /// Per-rule work, ranked by triggers descending then name ascending.
+    pub rules: Vec<RuleCost>,
+    /// Atoms added per predicate, ranked by atoms descending then name.
+    pub predicates: Vec<PredicateCost>,
+    /// Hom-search nodes explored in the window.
+    pub hom_nodes: u64,
+    /// Hom-search backtracks in the window.
+    pub hom_backtracks: u64,
+    /// Chase stages run in the window.
+    pub stages: u64,
+    /// Span wall times (variable across runs), name-sorted.
+    pub spans: Vec<SpanCost>,
+}
+
+/// Sums counter deltas of `family` between two snapshots, keyed by the
+/// value of `key_label` (series without the label fold under `""`).
+fn counter_deltas(
+    before: &Snapshot,
+    after: &Snapshot,
+    family: &str,
+    key_label: &str,
+) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    let Some(fam) = after.family(family) else {
+        return out;
+    };
+    for (labels, value) in &fam.series {
+        let Value::Counter(now) = value else { continue };
+        let was = before
+            .family(family)
+            .and_then(|f| {
+                f.series
+                    .iter()
+                    .find(|(l, _)| l == labels)
+                    .and_then(|(_, v)| v.as_counter())
+            })
+            .unwrap_or(0);
+        let delta = now.saturating_sub(was);
+        if delta == 0 {
+            continue;
+        }
+        let key = labels
+            .iter()
+            .find(|(k, _)| k == key_label)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        *out.entry(key).or_insert(0) += delta;
+    }
+    out
+}
+
+fn total_delta(before: &Snapshot, after: &Snapshot, family: &str) -> u64 {
+    counter_deltas(before, after, family, "").values().sum()
+}
+
+impl Attribution {
+    /// Builds the report from registry snapshots taken before and after
+    /// the workload. Counters that did not move are omitted.
+    pub fn between(before: &Snapshot, after: &Snapshot) -> Attribution {
+        let triggers = counter_deltas(before, after, "cqfd_chase_triggers_total", "rule");
+        let firings = counter_deltas(before, after, "cqfd_chase_firings_total", "rule");
+        let mut rules: Vec<RuleCost> = triggers
+            .iter()
+            .map(|(rule, &t)| RuleCost {
+                rule: rule.clone(),
+                triggers: t,
+                firings: firings.get(rule).copied().unwrap_or(0),
+            })
+            .collect();
+        // Rules that fired without registering triggers (shouldn't happen,
+        // but keep the report total) still get a row.
+        for (rule, &f) in &firings {
+            if !triggers.contains_key(rule) {
+                rules.push(RuleCost {
+                    rule: rule.clone(),
+                    triggers: 0,
+                    firings: f,
+                });
+            }
+        }
+        rules.sort_by(|a, b| {
+            b.triggers
+                .cmp(&a.triggers)
+                .then_with(|| a.rule.cmp(&b.rule))
+        });
+
+        let mut predicates: Vec<PredicateCost> =
+            counter_deltas(before, after, "cqfd_chase_atoms_total", "predicate")
+                .into_iter()
+                .map(|(predicate, atoms)| PredicateCost { predicate, atoms })
+                .collect();
+        predicates.sort_by(|a, b| {
+            b.atoms
+                .cmp(&a.atoms)
+                .then_with(|| a.predicate.cmp(&b.predicate))
+        });
+
+        Attribution {
+            rules,
+            predicates,
+            hom_nodes: total_delta(before, after, "cqfd_hom_search_nodes_total"),
+            hom_backtracks: total_delta(before, after, "cqfd_hom_search_backtracks_total"),
+            stages: total_delta(before, after, "cqfd_chase_stages_total"),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Folds span-end wall times from flight-ring records into the
+    /// report (typically `cqfd_obs::jsonl::parse_lines` of a ring dump).
+    pub fn with_spans(mut self, records: &[OwnedRecord]) -> Attribution {
+        let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for rec in records {
+            if rec.kind != RecordKind::SpanEnd {
+                continue;
+            }
+            let slot = by_name.entry(rec.name.as_str()).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += rec.elapsed_ns.unwrap_or(0);
+        }
+        self.spans = by_name
+            .into_iter()
+            .map(|(name, (count, total_ns))| SpanCost {
+                name: name.to_string(),
+                count,
+                total_ns,
+            })
+            .collect();
+        self
+    }
+
+    /// The top-ranked rule (highest trigger count; name breaks ties).
+    pub fn top_rule(&self) -> Option<&RuleCost> {
+        self.rules.first()
+    }
+
+    /// Renders the report as stable plain text. Everything above the
+    /// `span timings` section is deterministic for a given workload.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# cqfd cost attribution\n");
+        out.push_str(&format!(
+            "totals: stages={} hom_nodes={} hom_backtracks={}\n",
+            self.stages, self.hom_nodes, self.hom_backtracks
+        ));
+        out.push_str("## rules (by triggers desc, name asc)\n");
+        if self.rules.is_empty() {
+            out.push_str("(no rule activity in window)\n");
+        }
+        for (i, r) in self.rules.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>3}. rule={} triggers={} firings={}\n",
+                i + 1,
+                r.rule,
+                r.triggers,
+                r.firings
+            ));
+        }
+        out.push_str("## predicates (atoms added)\n");
+        if self.predicates.is_empty() {
+            out.push_str("(no atoms added in window)\n");
+        }
+        for p in &self.predicates {
+            out.push_str(&format!("predicate={} atoms={}\n", p.predicate, p.atoms));
+        }
+        out.push_str("## span timings (wall-clock; varies run to run)\n");
+        if self.spans.is_empty() {
+            out.push_str("(no span records in window)\n");
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "span={} count={} total_ms={:.3}\n",
+                s.name,
+                s.count,
+                s.total_ns as f64 / 1e6
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_obs::Registry;
+
+    #[test]
+    fn ranks_rules_by_trigger_count_then_name() {
+        let reg = Registry::new();
+        let before = reg.snapshot();
+        for (rule, n, f) in [("t_beta", 5u64, 2u64), ("t_alpha", 9, 4), ("t_zed", 9, 1)] {
+            reg.counter("cqfd_chase_triggers_total", "t", &[("rule", rule)])
+                .add(n);
+            reg.counter("cqfd_chase_firings_total", "f", &[("rule", rule)])
+                .add(f);
+        }
+        let after = reg.snapshot();
+        let attr = Attribution::between(&before, &after);
+        let order: Vec<&str> = attr.rules.iter().map(|r| r.rule.as_str()).collect();
+        assert_eq!(order, vec!["t_alpha", "t_zed", "t_beta"]);
+        let top = attr.top_rule().unwrap();
+        assert_eq!(top.rule, "t_alpha");
+        assert_eq!((top.triggers, top.firings), (9, 4));
+        let max_triggers = attr.rules.iter().map(|r| r.triggers).max().unwrap();
+        assert_eq!(top.triggers, max_triggers, "top rule has max trigger count");
+    }
+
+    #[test]
+    fn diffs_against_the_before_snapshot() {
+        let reg = Registry::new();
+        let c = reg.counter("cqfd_chase_triggers_total", "t", &[("rule", "t0")]);
+        c.add(100);
+        let before = reg.snapshot();
+        c.add(7);
+        let attr = Attribution::between(&before, &reg.snapshot());
+        assert_eq!(attr.rules.len(), 1);
+        assert_eq!(attr.rules[0].triggers, 7, "only the window's delta counts");
+    }
+
+    #[test]
+    fn folds_span_timings_from_ring_jsonl() {
+        let reg = Registry::new();
+        let attr = Attribution::between(&reg.snapshot(), &reg.snapshot());
+        let text = "\
+{\"seq\":1,\"depth\":0,\"type\":\"span_end\",\"name\":\"chase.stage\",\"elapsed_ns\":1500000}\n\
+{\"seq\":2,\"depth\":0,\"type\":\"span_end\",\"name\":\"chase.stage\",\"elapsed_ns\":500000}\n\
+{\"seq\":3,\"depth\":0,\"type\":\"event\",\"name\":\"chase.stage\"}\n";
+        let records = cqfd_obs::jsonl::parse_lines(text).expect("test lines parse");
+        let attr = attr.with_spans(&records);
+        assert_eq!(attr.spans.len(), 1);
+        assert_eq!(attr.spans[0].count, 2, "events are not timings");
+        assert_eq!(attr.spans[0].total_ns, 2_000_000);
+        let rendered = attr.render();
+        assert!(rendered.contains("span=chase.stage count=2 total_ms=2.000"));
+        assert!(rendered.contains("(no rule activity in window)"));
+    }
+}

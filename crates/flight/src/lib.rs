@@ -1,0 +1,153 @@
+//! # cqfd-flight — always-on forensics for determinacy workloads
+//!
+//! The chase of Theorem 1 may legitimately run forever, so when a worker
+//! wedges or a job blows its deadline the interesting question is *what
+//! was it doing right before* — and by then it is too late to attach a
+//! tracer. This crate keeps the answer on hand at all times:
+//!
+//! * [`ring`] — the **flight recorder**: a fixed-capacity, drop-oldest
+//!   ring of rendered trace records fed from the obs facade's dedicated
+//!   flight-sink slot. Always on, no steady-state allocation, drained as
+//!   the same JSONL the streaming tracer emits;
+//! * [`sampler`] — a cooperative **sampling profiler**: worker threads
+//!   publish their current span path into per-thread slots (one relaxed
+//!   load when idle), a sampling window aggregates them into flamegraph
+//!   folded-stack text;
+//! * [`attribution`] — deterministic **per-rule cost attribution**:
+//!   registry-snapshot deltas (per-TGD triggers/firings, per-predicate
+//!   atoms, hom-search nodes) joined with span wall times from the ring,
+//!   ranked so the most-triggered TGD always tops the report.
+//!
+//! The service pool installs the recorder at startup; the gateway's
+//! `/debug/flight`, `/debug/profile`, and `/debug/attribution` endpoints
+//! and the `cqfd flight` / `cqfd profile` subcommands surface all three.
+//! On a worker panic or a job deadline the pool calls [`dump_to_stderr`],
+//! writing the ring's tail as a black-box dump.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attribution;
+pub mod ring;
+pub mod sampler;
+
+pub use attribution::{Attribution, PredicateCost, RuleCost, SpanCost};
+pub use ring::{FlightRecord, FlightRecorder, DEFAULT_SEGMENTS, DEFAULT_SLOTS_PER_SEGMENT};
+pub use sampler::{sample, sample_with, Profile, ProfileOptions};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn global_recorder() -> &'static Arc<FlightRecorder> {
+    static RECORDER: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        Arc::new(FlightRecorder::new(
+            DEFAULT_SEGMENTS,
+            DEFAULT_SLOTS_PER_SEGMENT,
+        ))
+    })
+}
+
+/// The process-wide flight recorder. Created on first use; records only
+/// while [`install`]ed.
+pub fn recorder() -> &'static FlightRecorder {
+    global_recorder()
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Wires the global recorder into the obs flight-sink slot. Idempotent;
+/// returns `true` if this call performed the installation. Recording
+/// survives subscriber install/uninstall churn (streaming front ends use
+/// the separate subscriber slot).
+pub fn install() -> bool {
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return false;
+    }
+    cqfd_obs::trace::set_flight_sink(global_recorder().clone() as Arc<dyn cqfd_obs::Subscriber>);
+    true
+}
+
+/// Detaches the global recorder from the flight-sink slot (held records
+/// stay drainable). Idempotent; returns `true` if this call detached it.
+pub fn uninstall() -> bool {
+    if !INSTALLED.swap(false, Ordering::SeqCst) {
+        return false;
+    }
+    cqfd_obs::trace::clear_flight_sink();
+    true
+}
+
+/// Whether [`install`] is currently in effect.
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::SeqCst)
+}
+
+/// Snapshots the newest `max_lines` records from the global ring as
+/// JSONL and counts the dump under `cqfd_flight_dumps_total{cause=…}`.
+/// `cause` is a label value — keep it low-cardinality (`"panic"`,
+/// `"timeout"`, `"request"`).
+pub fn dump(cause: &'static str, max_lines: usize) -> String {
+    cqfd_obs::global()
+        .counter(
+            "cqfd_flight_dumps_total",
+            "Flight-ring dumps taken, by cause.",
+            &[("cause", cause)],
+        )
+        .inc();
+    recorder().snapshot_jsonl(max_lines)
+}
+
+/// [`dump`], written to stderr between marker lines so operators can cut
+/// the black-box section out of a service log.
+pub fn dump_to_stderr(cause: &'static str, max_lines: usize) {
+    let text = dump(cause, max_lines);
+    let records = text.lines().count();
+    eprintln!("=== cqfd-flight dump begin (cause={cause}, records={records}) ===");
+    eprint!("{text}");
+    eprintln!("=== cqfd-flight dump end (cause={cause}) ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global install/uninstall state is shared across the test binary's
+    // threads, so everything that toggles it lives in this one test.
+    #[test]
+    fn install_is_idempotent_and_records_through_the_facade() {
+        assert!(install(), "first install wins");
+        assert!(!install(), "second install is a no-op");
+        assert!(installed());
+        assert!(cqfd_obs::trace::flight_sink_installed());
+
+        let before = recorder().total_recorded();
+        cqfd_obs::event!("flight.lib_test", probe = 1u64);
+        assert!(
+            recorder().total_recorded() > before,
+            "event reached the ring"
+        );
+
+        let text = dump("request", 16);
+        assert!(text.contains("flight.lib_test"), "{text}");
+        let snap = cqfd_obs::global().snapshot();
+        let fam = snap
+            .family("cqfd_flight_dumps_total")
+            .expect("dump counter");
+        assert!(fam
+            .series
+            .iter()
+            .any(|(labels, _)| labels.iter().any(|(k, v)| k == "cause" && v == "request")));
+
+        assert!(uninstall());
+        assert!(!uninstall());
+        assert!(!cqfd_obs::trace::flight_sink_installed());
+        let idle = recorder().total_recorded();
+        cqfd_obs::event!("flight.lib_test_off", probe = 2u64);
+        assert_eq!(
+            recorder().total_recorded(),
+            idle,
+            "uninstalled ring sees nothing"
+        );
+    }
+}

@@ -1,0 +1,249 @@
+//! The flight recorder: a fixed-capacity, drop-oldest ring of rendered
+//! trace records, cheap enough to leave on in production.
+//!
+//! The recorder is a [`Subscriber`] wired into the obs facade's dedicated
+//! *flight sink* slot (`cqfd_obs::trace::set_flight_sink`), so it keeps
+//! recording while the ordinary subscriber slot is claimed and released
+//! by streaming front ends. Capacity is split into **per-thread
+//! segments**: each recording thread claims a segment once (one relaxed
+//! `fetch_add`) and then appends with a relaxed cursor bump plus an
+//! uncontended mutex around its slot — contention only occurs when more
+//! threads record than there are segments, or while a drain is reading.
+//!
+//! The record path performs **no steady-state allocation**: each slot
+//! owns a `String` that is cleared and re-rendered in place, so after the
+//! ring has gone around once every write reuses existing capacity.
+//! Overwrite order is per-segment FIFO — the oldest record in the
+//! claiming thread's segment is dropped first, and the newest record is
+//! always retained.
+
+use cqfd_obs::{Subscriber, TraceRecord};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Default number of per-thread segments.
+pub const DEFAULT_SEGMENTS: usize = 8;
+/// Default records per segment (total default capacity: 4096 records).
+pub const DEFAULT_SLOTS_PER_SEGMENT: usize = 512;
+
+#[derive(Default)]
+struct Slot {
+    filled: bool,
+    /// Global obs sequence number of the record (total order for drains).
+    seq: u64,
+    /// The record, rendered in the workspace JSONL trace format.
+    line: String,
+}
+
+struct Segment {
+    /// Records ever written to this segment; `head % slots.len()` is the
+    /// next slot to (over)write.
+    head: AtomicU64,
+    slots: Vec<Mutex<Slot>>,
+}
+
+/// The drop-oldest ring. See the [module docs](self).
+pub struct FlightRecorder {
+    segments: Vec<Segment>,
+    /// Next segment to hand to a newly-recording thread (round-robin).
+    next_claim: AtomicUsize,
+}
+
+thread_local! {
+    /// The segment index this thread claimed, if any.
+    static MY_SEGMENT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// A drained record: the obs sequence number and the rendered JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Global obs sequence number.
+    pub seq: u64,
+    /// The record in the workspace JSONL trace format.
+    pub line: String,
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FlightRecorder {
+    /// A recorder with `segments` per-thread segments of `slots_per_segment`
+    /// records each (both forced to at least 1).
+    pub fn new(segments: usize, slots_per_segment: usize) -> FlightRecorder {
+        let segments = segments.max(1);
+        let slots = slots_per_segment.max(1);
+        FlightRecorder {
+            segments: (0..segments)
+                .map(|_| Segment {
+                    head: AtomicU64::new(0),
+                    slots: (0..slots).map(|_| Mutex::new(Slot::default())).collect(),
+                })
+                .collect(),
+            next_claim: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total record capacity across all segments.
+    pub fn capacity(&self) -> usize {
+        self.segments.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// Records currently held (filled slots).
+    pub fn len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|seg| {
+                let written = seg.head.load(Ordering::Relaxed) as usize;
+                written.min(seg.slots.len())
+            })
+            .sum()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total records ever written (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.head.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Non-destructive read of every held record, sorted by obs sequence
+    /// number — a consistent, process-wide "most recent activity" suffix
+    /// (records a concurrent writer overwrites mid-drain are simply the
+    /// ones that would have been dropped next).
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            for slot in &seg.slots {
+                let slot = lock_unpoisoned(slot);
+                if slot.filled {
+                    out.push(FlightRecord {
+                        seq: slot.seq,
+                        line: slot.line.clone(),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// [`Self::snapshot`] of at most the `limit` newest records, rendered
+    /// as JSONL text (one record per line; empty string for an empty ring).
+    pub fn snapshot_jsonl(&self, limit: usize) -> String {
+        let records = self.snapshot();
+        let skip = records.len().saturating_sub(limit);
+        let mut out = String::new();
+        for r in &records[skip..] {
+            out.push_str(&r.line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Empties the ring (slots stay allocated; capacity is retained).
+    pub fn clear(&self) {
+        for seg in &self.segments {
+            for slot in &seg.slots {
+                let mut slot = lock_unpoisoned(slot);
+                slot.filled = false;
+                slot.line.clear();
+            }
+            seg.head.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn segment_for_this_thread(&self) -> &Segment {
+        let idx = MY_SEGMENT.with(|c| match c.get() {
+            Some(i) => i,
+            None => {
+                let i = self.next_claim.fetch_add(1, Ordering::Relaxed) % self.segments.len();
+                c.set(Some(i));
+                i
+            }
+        });
+        // A thread that recorded into a differently-sized recorder first
+        // (tests build private instances) could carry an out-of-range
+        // claim; wrap rather than panic.
+        &self.segments[idx % self.segments.len()]
+    }
+}
+
+impl Subscriber for FlightRecorder {
+    fn record(&self, rec: &TraceRecord<'_>) {
+        let seg = self.segment_for_this_thread();
+        let i = seg.head.fetch_add(1, Ordering::Relaxed) as usize % seg.slots.len();
+        let mut slot = lock_unpoisoned(&seg.slots[i]);
+        slot.filled = true;
+        slot.seq = rec.seq;
+        slot.line.clear();
+        cqfd_obs::jsonl::render_record_into(&mut slot.line, rec);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqfd_obs::trace::FieldValue;
+    use cqfd_obs::RecordKind;
+
+    fn rec(seq: u64, name: &'static str) -> TraceRecord<'static> {
+        TraceRecord {
+            seq,
+            depth: 0,
+            job: None,
+            kind: RecordKind::Event,
+            name,
+            elapsed_ns: None,
+            fields: &[],
+        }
+    }
+
+    #[test]
+    fn drop_oldest_keeps_the_newest() {
+        let ring = FlightRecorder::new(1, 4);
+        for seq in 0..10 {
+            ring.record(&rec(seq, "ring.test"));
+        }
+        let held: Vec<u64> = ring.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(held, vec![6, 7, 8, 9], "exact newest suffix");
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.total_recorded(), 10);
+    }
+
+    #[test]
+    fn snapshot_jsonl_parses_and_respects_limit() {
+        let ring = FlightRecorder::new(2, 8);
+        let fields: &[(&str, FieldValue)] = &[("stage", FieldValue::U64(3))];
+        for seq in 0..5 {
+            ring.record(&TraceRecord {
+                fields,
+                ..rec(seq, "chase.stage")
+            });
+        }
+        let text = ring.snapshot_jsonl(3);
+        let parsed = cqfd_obs::jsonl::parse_lines(&text).expect("ring lines parse");
+        assert_eq!(parsed.len(), 3);
+        assert!(parsed.iter().all(|r| r.name == "chase.stage"));
+        assert_eq!(parsed.last().unwrap().seq, 4, "newest survives the limit");
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let ring = FlightRecorder::new(2, 4);
+        ring.record(&rec(1, "a"));
+        assert!(!ring.is_empty());
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.capacity(), 8);
+        ring.record(&rec(2, "b"));
+        assert_eq!(ring.len(), 1);
+    }
+}

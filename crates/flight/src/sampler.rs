@@ -1,0 +1,195 @@
+//! Cooperative sampling profiler over the obs facade's per-thread span
+//! slots.
+//!
+//! Worker threads publish their current span path through
+//! [`cqfd_obs::profile`] — pushes and pops cost one relaxed atomic load
+//! while no sampler is attached. [`sample`] flips the global sampling
+//! gate on, wakes at the requested frequency, snapshots every live
+//! thread's stack, and folds the observations into flamegraph
+//! "folded stack" lines (`thread;span_a;span_b count`). Thread names
+//! are normalised by collapsing a trailing `-<digits>` suffix so pool
+//! workers (`cqfd-worker-0`, `cqfd-worker-1`, …) aggregate into one
+//! `cqfd-worker` row regardless of pool size.
+
+use std::collections::BTreeMap;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How a sampling window runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileOptions {
+    /// Wall-clock length of the window.
+    pub duration: Duration,
+    /// Target samples per second, clamped to `1..=1000`.
+    pub hz: u32,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> ProfileOptions {
+        ProfileOptions {
+            duration: Duration::from_secs(5),
+            // A prime rate avoids phase-locking with periodic work.
+            hz: 97,
+        }
+    }
+}
+
+/// An aggregated sampling window: folded stacks and their sample counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Sampling ticks taken (including ticks where no thread had frames).
+    pub ticks: u64,
+    /// Folded stack (`thread;span;span…`) → samples observed. `BTreeMap`
+    /// keeps rendering deterministic for a given set of observations.
+    pub stacks: BTreeMap<String, u64>,
+}
+
+impl Profile {
+    /// Total stack samples across all threads (≥ 0, can exceed `ticks`
+    /// when several threads were active per tick).
+    pub fn total_samples(&self) -> u64 {
+        self.stacks.values().sum()
+    }
+
+    /// Flamegraph "folded" text: one `stack count` line per entry, in
+    /// lexicographic stack order, trailing newline (empty string when no
+    /// frames were ever observed).
+    pub fn folded_text(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.stacks {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merge another window into this one (used by tests and by callers
+    /// that sample in slices).
+    pub fn merge(&mut self, other: &Profile) {
+        self.ticks += other.ticks;
+        for (stack, count) in &other.stacks {
+            *self.stacks.entry(stack.clone()).or_insert(0) += count;
+        }
+    }
+}
+
+/// Collapses a trailing `-<digits>` suffix: `cqfd-worker-12` →
+/// `cqfd-worker`. Names without the suffix pass through unchanged.
+pub fn normalize_thread_name(name: &str) -> &str {
+    match name.rsplit_once('-') {
+        Some((base, tail)) if !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit()) => base,
+        _ => name,
+    }
+}
+
+/// Samples for `opts.duration` at `opts.hz`. Blocks the calling thread
+/// for the whole window — run it from a dedicated thread when the caller
+/// must stay responsive (the gateway does).
+pub fn sample(opts: ProfileOptions) -> Profile {
+    sample_with(opts, || false)
+}
+
+/// [`sample`], but also stops early once `should_stop` returns true
+/// (checked once per tick).
+pub fn sample_with(opts: ProfileOptions, should_stop: impl Fn() -> bool) -> Profile {
+    let hz = opts.hz.clamp(1, 1000);
+    let tick = Duration::from_nanos(1_000_000_000 / u64::from(hz));
+    let deadline = Instant::now() + opts.duration;
+
+    cqfd_obs::profile::sampling_begin();
+    let mut profile = Profile::default();
+    loop {
+        if should_stop() {
+            break;
+        }
+        profile.ticks += 1;
+        for (thread_name, frames) in cqfd_obs::profile::snapshot_stacks() {
+            if frames.is_empty() {
+                continue;
+            }
+            let mut key = normalize_thread_name(&thread_name).to_string();
+            for f in frames {
+                key.push(';');
+                key.push_str(f);
+            }
+            *profile.stacks.entry(key).or_insert(0) += 1;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        thread::sleep(tick.min(deadline - now));
+    }
+    cqfd_obs::profile::sampling_end();
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn normalizes_worker_suffixes() {
+        assert_eq!(normalize_thread_name("cqfd-worker-12"), "cqfd-worker");
+        assert_eq!(normalize_thread_name("cqfd-worker"), "cqfd-worker");
+        assert_eq!(normalize_thread_name("main"), "main");
+        assert_eq!(normalize_thread_name("a-"), "a-");
+    }
+
+    #[test]
+    fn folded_text_is_sorted_and_parseable() {
+        let mut p = Profile::default();
+        p.stacks.insert("w;chase.run;chase.stage".into(), 3);
+        p.stacks.insert("w;chase.run".into(), 1);
+        assert_eq!(
+            p.folded_text(),
+            "w;chase.run 1\nw;chase.run;chase.stage 3\n"
+        );
+        assert_eq!(p.total_samples(), 4);
+    }
+
+    #[test]
+    fn samples_a_busy_thread_and_survives_its_exit() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("flight-busy-7".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let _f = cqfd_obs::profile::frame("flight.busy");
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                })
+                .unwrap()
+        };
+        let profile = sample(ProfileOptions {
+            duration: Duration::from_millis(200),
+            hz: 200,
+        });
+        stop.store(true, Ordering::SeqCst);
+        worker.join().unwrap();
+        assert!(
+            profile
+                .stacks
+                .keys()
+                .any(|k| k == "flight-busy;flight.busy"),
+            "expected the busy frame, got {:?}",
+            profile.stacks
+        );
+        // A second window after the worker exited must not see it.
+        let after = sample(ProfileOptions {
+            duration: Duration::from_millis(20),
+            hz: 100,
+        });
+        assert!(
+            !after.stacks.keys().any(|k| k.starts_with("flight-busy")),
+            "dead thread leaked into {:?}",
+            after.stacks
+        );
+    }
+}

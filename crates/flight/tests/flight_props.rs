@@ -1,0 +1,181 @@
+//! Property tests for the flight recorder and sampling profiler
+//! (satellite coverage for the forensics layer):
+//!
+//! * interleaved writers never panic the ring, and its occupancy
+//!   invariants hold under arbitrary thread/record-count mixes;
+//! * a drain yields a consistent suffix — records sorted by sequence
+//!   number, each seq distinct and actually written;
+//! * drop-oldest never loses the newest record;
+//! * the sampler tolerates publisher threads exiting mid-window.
+//!
+//! The vendored proptest shim supplies integer/bool/vec strategies;
+//! record names draw from a fixed static alphabet (the facade hands the
+//! ring `&'static str` names in production too).
+
+use cqfd_flight::FlightRecorder;
+use cqfd_obs::{RecordKind, Subscriber, TraceRecord};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const NAMES: [&str; 4] = ["chase.stage", "hom.search", "job.execute", "creep.step"];
+
+fn write(ring: &FlightRecorder, seq: u64, name_draw: u8) {
+    ring.record(&TraceRecord {
+        seq,
+        depth: 0,
+        job: Some(seq % 7),
+        kind: RecordKind::Event,
+        name: NAMES[name_draw as usize % NAMES.len()],
+        elapsed_ns: None,
+        fields: &[],
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_writers_never_panic_and_keep_invariants(
+        threads in 1usize..5,
+        per_thread in 0usize..80,
+        segments in 1usize..4,
+        slots in 1usize..16,
+        name_draw in 0u8..=255,
+    ) {
+        let ring = Arc::new(FlightRecorder::new(segments, slots));
+        let next_seq = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let next_seq = Arc::clone(&next_seq);
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        let seq = next_seq.fetch_add(1, Ordering::SeqCst);
+                        write(&ring, seq, name_draw.wrapping_add(seq as u8));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer panicked");
+        }
+        let written = (threads * per_thread) as u64;
+        prop_assert_eq!(ring.total_recorded(), written);
+        prop_assert!(ring.len() <= ring.capacity());
+        prop_assert!(ring.len() as u64 <= written);
+    }
+
+    #[test]
+    fn drain_is_a_consistent_suffix_and_newest_survives(
+        threads in 1usize..5,
+        per_thread in 1usize..60,
+        slots in 1usize..12,
+    ) {
+        let ring = Arc::new(FlightRecorder::new(2, slots));
+        let next_seq = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                let next_seq = Arc::clone(&next_seq);
+                thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        let seq = next_seq.fetch_add(1, Ordering::SeqCst);
+                        write(&ring, seq, seq as u8);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer panicked");
+        }
+        // Quiescent now: one more record is the newest by construction,
+        // and drop-oldest must never evict it.
+        let newest = next_seq.fetch_add(1, Ordering::SeqCst);
+        write(&ring, newest, 0);
+
+        let drained = ring.snapshot();
+        let seqs: Vec<u64> = drained.iter().map(|r| r.seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(&seqs, &sorted, "drain sorted by seq, no duplicates");
+        prop_assert!(seqs.iter().all(|&s| s <= newest), "only written seqs drain");
+        prop_assert_eq!(
+            seqs.last().copied(),
+            Some(newest),
+            "newest record was dropped"
+        );
+        // Every drained line is still valid trace JSONL.
+        let parsed = cqfd_obs::jsonl::parse_lines(&ring.snapshot_jsonl(usize::MAX));
+        prop_assert!(parsed.is_ok(), "ring line failed to parse: {:?}", parsed);
+    }
+
+    #[test]
+    fn single_writer_drop_oldest_is_exact(
+        writes in 0u64..64,
+        slots in 1usize..16,
+    ) {
+        let ring = FlightRecorder::new(1, slots);
+        for seq in 0..writes {
+            write(&ring, seq, seq as u8);
+        }
+        let held: Vec<u64> = ring.snapshot().iter().map(|r| r.seq).collect();
+        let expect: Vec<u64> = (writes.saturating_sub(slots as u64)..writes).collect();
+        prop_assert_eq!(held, expect, "exact newest suffix for one writer");
+    }
+
+    #[test]
+    fn sampler_tolerates_threads_exiting_mid_window(
+        publishers in 1usize..4,
+        lifetimes_ms in prop::collection::vec(1u64..25, 1..4),
+        frame_draw in 0u8..=255,
+    ) {
+        let handles: Vec<_> = (0..publishers)
+            .map(|i| {
+                let live = Duration::from_millis(
+                    lifetimes_ms[i % lifetimes_ms.len()],
+                );
+                thread::Builder::new()
+                    .name(format!("flight-prop-{i}"))
+                    .spawn(move || {
+                        let _f = cqfd_obs::profile::frame(
+                            NAMES[frame_draw as usize % NAMES.len()],
+                        );
+                        thread::sleep(live);
+                        // Frame pops, then the thread exits while the
+                        // sampler may still be mid-window.
+                    })
+                    .expect("spawn publisher")
+            })
+            .collect();
+        let profile = cqfd_flight::sample(cqfd_flight::ProfileOptions {
+            duration: Duration::from_millis(40),
+            hz: 500,
+        });
+        for h in handles {
+            h.join().expect("publisher panicked");
+        }
+        for stack in profile.stacks.keys() {
+            let (thread_part, frames) = stack.split_once(';').unwrap_or((stack.as_str(), ""));
+            if thread_part == "flight-prop" {
+                prop_assert!(
+                    NAMES.contains(&frames),
+                    "unknown frame path {stack:?}"
+                );
+            }
+        }
+        // After every publisher joined, a fresh window must not see them.
+        let after = cqfd_flight::sample(cqfd_flight::ProfileOptions {
+            duration: Duration::from_millis(5),
+            hz: 200,
+        });
+        prop_assert!(
+            !after.stacks.keys().any(|k| k.starts_with("flight-prop")),
+            "exited publishers leaked into {:?}",
+            after.stacks
+        );
+    }
+}

@@ -30,6 +30,7 @@ use crate::admission::{Admission, Decision, Quota};
 use crate::http;
 use crate::json;
 use crate::stream::TraceRouter;
+use cqfd_service::debug as svc_debug;
 use cqfd_service::{
     lint_job, parse_request, Job, JobHandle, JobRequest, Pool, PoolConfig, Priority, SubmitError,
     PROTOCOL_VERSION,
@@ -41,7 +42,7 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -230,6 +231,7 @@ impl Gateway {
             next_key: FIRST_CONN_KEY,
             lanes: [VecDeque::new(), VecDeque::new()],
             pending: Vec::new(),
+            profiles: Vec::new(),
             admission: Admission::new(config.quotas.clone(), config.default_quota),
             submit_calls: 0,
             deadline_count: 0,
@@ -375,6 +377,19 @@ struct Pending {
     orphaned: bool,
 }
 
+/// A sampling-profile window running on a detached `cqfd-profiler`
+/// thread for one connection. The reactor must never block for the
+/// window (it is the only thread serving every other connection), so the
+/// sampler publishes its folded-stack text here and pokes the poller;
+/// the reactor delivers it on the next loop turn.
+struct ProfileWait {
+    conn_key: usize,
+    /// Close the connection after delivering (HTTP `Connection: close`).
+    close_after: bool,
+    /// `Some(text)` once the window finished.
+    done: Arc<Mutex<Option<String>>>,
+}
+
 /// The gateway's obs instruments.
 struct Meters {
     conns_line: cqfd_obs::Gauge,
@@ -473,6 +488,8 @@ struct Reactor {
     /// `lanes[0]` interactive, `lanes[1]` batch; interactive drains first.
     lanes: [VecDeque<Queued>; 2],
     pending: Vec<Pending>,
+    /// Profile windows in flight on detached sampler threads.
+    profiles: Vec<ProfileWait>,
     admission: Admission,
     /// Mirror of the pool's id counter: the reactor is the pool's only
     /// submitter and every `submit` call consumes exactly one id, so the
@@ -542,6 +559,7 @@ impl Reactor {
                 }
             }
             self.drain_pending(&mut touched);
+            self.drain_profiles(&mut touched);
             self.dispatch_lanes();
             self.enforce_deadlines(&mut touched);
             touched.sort_unstable();
@@ -648,7 +666,11 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(&key) else {
                 return;
             };
-            if conn.busy || conn.closing || conn.dead {
+            // A dead connection (EOF already seen) still gets its buffered
+            // requests parsed: a client that writes `shutdown` and closes in
+            // one breath must not have the command dropped just because the
+            // FIN rode in with the data. Replies are discarded at reap.
+            if conn.busy || conn.closing {
                 break;
             }
             let made_progress = match conn.proto {
@@ -725,6 +747,29 @@ impl Reactor {
                 conn.push_line(&reply);
                 return true;
             }
+            "flight" => {
+                let reply = svc_debug::framed_reply("flight", &svc_debug::flight_text(256));
+                let conn = self.conns.get_mut(&key).expect("conn alive");
+                conn.push_line(&reply);
+                return true;
+            }
+            "attribution" => {
+                let reply = svc_debug::framed_reply("attribution", &svc_debug::attribution_text());
+                let conn = self.conns.get_mut(&key).expect("conn alive");
+                conn.push_line(&reply);
+                return true;
+            }
+            v if v == "profile" || v.starts_with("profile ") => {
+                let args = v.strip_prefix("profile").unwrap_or_default().to_string();
+                match svc_debug::parse_profile_args(&args) {
+                    Ok((seconds, hz)) => self.start_profile(key, seconds, hz, false),
+                    Err(e) => {
+                        let conn = self.conns.get_mut(&key).expect("conn alive");
+                        conn.push_line(&format!("error: {e}"));
+                    }
+                }
+                return true;
+            }
             v if is_version_token(v) => {
                 let conn = self.conns.get_mut(&key).expect("conn alive");
                 if v == PROTOCOL_VERSION {
@@ -799,9 +844,40 @@ impl Reactor {
         let close_after = req
             .header("connection")
             .is_some_and(|v| v.eq_ignore_ascii_case("close"));
-        match (req.method.as_str(), req.target.as_str()) {
+        let (path, query) = req
+            .target
+            .split_once('?')
+            .unwrap_or((req.target.as_str(), ""));
+        match (req.method.as_str(), path) {
             ("GET", "/healthz") => {
-                self.respond(key, 200, "text/plain", b"ok\n", close_after);
+                let body = self.healthz_body();
+                self.respond(key, 200, "text/plain", body.as_bytes(), close_after);
+            }
+            ("GET", "/debug/flight") => {
+                let text = svc_debug::flight_text(256);
+                self.respond(key, 200, "text/plain", text.as_bytes(), close_after);
+            }
+            ("GET", "/debug/attribution") => {
+                let text = svc_debug::attribution_text();
+                self.respond(key, 200, "text/plain", text.as_bytes(), close_after);
+            }
+            ("GET", "/debug/profile") => {
+                // Query string reuses the control-word grammar: `&`-joined
+                // `seconds=N`/`hz=N` pairs become whitespace-joined tokens.
+                match svc_debug::parse_profile_args(&query.replace('&', " ")) {
+                    Ok((seconds, hz)) => self.start_profile(key, seconds, hz, close_after),
+                    Err(e) => {
+                        let body = format!("{{\"error\":\"{}\"}}", json::escape(&e));
+                        self.respond_with(
+                            key,
+                            400,
+                            "application/json",
+                            &[],
+                            body.as_bytes(),
+                            close_after,
+                        );
+                    }
+                }
             }
             ("GET", "/metrics") => {
                 let text = cqfd_obs::prom::render(&cqfd_obs::global().snapshot());
@@ -1201,6 +1277,110 @@ impl Reactor {
         }
     }
 
+    /// The `/healthz` readiness payload. The first line stays the bare
+    /// `ok` the original liveness probe promised; the rest is one
+    /// `key=value` per line so load balancers can gate on queue depth or
+    /// store reachability without parsing JSON.
+    fn healthz_body(&self) -> String {
+        let store = match self.pool.store() {
+            None => "absent",
+            Some(s) => {
+                if s.stat().is_ok() {
+                    "ok"
+                } else {
+                    "error"
+                }
+            }
+        };
+        format!(
+            "ok\nworkers={}\nqueue_depth={}\nlane_interactive_depth={}\nlane_batch_depth={}\nstore={store}\n",
+            self.pool.worker_count(),
+            self.pool.queue_depth(),
+            self.lanes[0].len(),
+            self.lanes[1].len(),
+        )
+    }
+
+    /// Kicks off a sampling window for one connection on a detached
+    /// `cqfd-profiler` thread. The connection is marked busy for the
+    /// window so pipelined requests behind it queue up (same rule as a
+    /// job); `drain_profiles` delivers the folded stacks when the sampler
+    /// pokes the poller.
+    fn start_profile(&mut self, key: usize, seconds: u64, hz: u32, close_after: bool) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        conn.busy = true;
+        let done: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&done);
+        let poller = Arc::clone(&self.poller);
+        let spawned = std::thread::Builder::new()
+            .name("cqfd-profiler".into())
+            .spawn(move || {
+                let text = svc_debug::profile_folded(seconds, hz);
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(text);
+                let _ = poller.notify();
+            });
+        match spawned {
+            Ok(_) => self.profiles.push(ProfileWait {
+                conn_key: key,
+                close_after,
+                done,
+            }),
+            Err(_) => {
+                // Could not spawn the sampler; fail the request rather
+                // than leave the connection busy forever.
+                let conn = self.conns.get_mut(&key).expect("conn alive");
+                conn.busy = false;
+                match conn.proto {
+                    Proto::Line => conn.push_line("error: could not start profiler thread"),
+                    Proto::Http => {
+                        let body = b"{\"error\":\"could not start profiler thread\"}";
+                        self.respond(key, 500, "application/json", body, close_after);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers finished profile windows to their connections.
+    fn drain_profiles(&mut self, touched: &mut Vec<usize>) {
+        let mut i = 0;
+        while i < self.profiles.len() {
+            let text = {
+                let pw = &self.profiles[i];
+                pw.done.lock().unwrap_or_else(|e| e.into_inner()).take()
+            };
+            let Some(text) = text else {
+                i += 1;
+                continue;
+            };
+            let pw = self.profiles.swap_remove(i);
+            let Some(conn) = self.conns.get_mut(&pw.conn_key) else {
+                continue; // connection died mid-window; drop the text
+            };
+            match conn.proto {
+                Proto::Line => {
+                    let reply = svc_debug::framed_reply("profile", &text);
+                    conn.push_line(&reply);
+                    conn.busy = false;
+                }
+                Proto::Http => {
+                    conn.busy = false;
+                    self.respond(
+                        pw.conn_key,
+                        200,
+                        "text/plain",
+                        text.as_bytes(),
+                        pw.close_after,
+                    );
+                }
+            }
+            touched.push(pw.conn_key);
+            self.process_input(pw.conn_key);
+        }
+    }
+
     /// Sends a plain (non-streaming) HTTP response.
     fn respond(&mut self, key: usize, status: u16, ctype: &str, body: &[u8], close: bool) {
         self.respond_with(key, status, ctype, &[], body, close);
@@ -1244,6 +1424,7 @@ fn status_reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         505 => "HTTP Version Not Supported",
         _ => "Error",
     }

@@ -1,0 +1,72 @@
+//! Regression: the flight recorder's black-box recording must survive
+//! the `TraceRouter` installing and uninstalling the ordinary subscriber
+//! as streams come and go — and the router must actually *uninstall*
+//! when the last stream closes, returning tracing to its cheap state.
+//!
+//! This lives in its own integration-test binary because it asserts on
+//! process-global subscriber state; sharing a process with tests that
+//! run streaming jobs would race those assertions.
+
+use cqfd_gateway::TraceRouter;
+use cqfd_obs::trace::{flight_sink_installed, subscriber_installed};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn flight_recording_survives_trace_router_churn() {
+    assert!(
+        !subscriber_installed(),
+        "test binary must start with no subscriber"
+    );
+    cqfd_flight::install();
+    assert!(flight_sink_installed());
+    let recorder = cqfd_flight::recorder();
+    let baseline = recorder.total_recorded();
+
+    let router = TraceRouter::global();
+    let wake = Arc::new(polling::Poller::new().unwrap());
+
+    // Several rounds of register → record → unregister. The router
+    // toggles the subscriber slot each round; the flight sink must keep
+    // recording through every toggle, including while no stream is live.
+    for round in 0u64..5 {
+        let job = 55_000 + round;
+        let rx = router.register(job, Arc::clone(&wake));
+        assert!(
+            subscriber_installed(),
+            "round {round}: first route installs the subscriber"
+        );
+        let t = std::thread::spawn(move || {
+            cqfd_obs::trace::set_current_job(Some(job));
+            cqfd_obs::event!("gateway.churn_event", round = round);
+            cqfd_obs::trace::set_current_job(None);
+        });
+        t.join().unwrap();
+        // The routed copy reached the stream...
+        let line = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(line.contains("gateway.churn_event"), "{line}");
+        router.unregister(job);
+        assert!(
+            !subscriber_installed(),
+            "round {round}: last route must uninstall the subscriber"
+        );
+        assert!(
+            flight_sink_installed(),
+            "round {round}: churn must not evict the flight sink"
+        );
+
+        // ...and the flight ring keeps recording even with no stream.
+        let before = recorder.total_recorded();
+        cqfd_obs::event!("gateway.churn_idle_event", round = round);
+        assert!(
+            recorder.total_recorded() > before,
+            "round {round}: flight ring stopped recording after unregister"
+        );
+    }
+
+    // Every routed event also landed in the black box.
+    assert!(recorder.total_recorded() >= baseline + 10);
+    let dump = recorder.snapshot_jsonl(usize::MAX);
+    assert!(dump.contains("gateway.churn_event"), "{dump}");
+    assert!(dump.contains("gateway.churn_idle_event"), "{dump}");
+}

@@ -229,7 +229,15 @@ fn healthz_metrics_and_keepalive() {
 
     let resp = http.request(&get("/healthz"));
     assert_eq!(resp.status, 200);
-    assert_eq!(resp.body, b"ok\n");
+    let health = String::from_utf8_lossy(&resp.body).to_string();
+    // Liveness contract: the first line is still the bare `ok`.
+    assert_eq!(health.lines().next(), Some("ok"), "{health}");
+    // Readiness payload behind it.
+    assert!(health.contains("workers=1"), "{health}");
+    assert!(health.contains("queue_depth="), "{health}");
+    assert!(health.contains("lane_interactive_depth="), "{health}");
+    assert!(health.contains("lane_batch_depth="), "{health}");
+    assert!(health.contains("store=absent"), "{health}");
 
     let resp = http.request(&get("/metrics"));
     assert_eq!(resp.status, 200);
@@ -249,6 +257,115 @@ fn healthz_metrics_and_keepalive() {
     // The connection survived all of the above (keep-alive).
     let resp = http.request(&get("/healthz"));
     assert_eq!(resp.status, 200);
+    gw.shutdown();
+}
+
+#[test]
+fn shutdown_is_honored_when_the_client_closes_without_reading() {
+    let gw = Gateway::bind(Some("127.0.0.1:0"), None, one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let addr = gw.line_addr().unwrap();
+    // Fire and forget: the command and the FIN ride in together, so the
+    // reactor sees EOF on the very read that buffers the line. The
+    // buffered command must still run — dropping it leaves the gateway
+    // deaf forever (this was a real hang: `printf 'shutdown\n' >&3;
+    // exec 3<&-` from a shell script never stopped the server).
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(b"shutdown\n").expect("write");
+    drop(stream);
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        gw.join();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .expect("gateway should stop after a fire-and-forget shutdown");
+}
+
+/// Reads one framed debug reply (`<word>_lines=N` then N lines).
+fn read_framed(rd: &mut BufReader<TcpStream>, word: &str) -> String {
+    let mut head = String::new();
+    rd.read_line(&mut head).expect("frame head");
+    let n: usize = head
+        .trim()
+        .strip_prefix(&format!("{word}_lines="))
+        .unwrap_or_else(|| panic!("bad frame head for {word}: {head}"))
+        .parse()
+        .expect("frame count");
+    let mut out = String::new();
+    for _ in 0..n {
+        let mut l = String::new();
+        rd.read_line(&mut l).expect("frame line");
+        out.push_str(&l);
+    }
+    out
+}
+
+#[test]
+fn debug_endpoints_serve_flight_attribution_and_profile() {
+    let gw = Gateway::bind(Some("127.0.0.1:0"), Some("127.0.0.1:0"), one_worker())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+
+    // Run a real job first so the flight ring and the chase/hom counters
+    // have something to report.
+    let (mut rd, mut wr) = line_client(gw.line_addr().unwrap());
+    writeln!(wr, "determine instance=projection").unwrap();
+    assert!(read_reply(&mut rd).contains("verdict="));
+
+    let mut http = HttpClient::connect(gw.http_addr().unwrap());
+
+    let resp = http.request(&get("/debug/flight"));
+    assert_eq!(resp.status, 200);
+    let flight = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(!flight.trim().is_empty(), "flight ring empty after a job");
+    let records = cqfd_obs::jsonl::parse_lines(&flight).expect("flight dump is valid JSONL");
+    assert!(!records.is_empty());
+
+    let resp = http.request(&get("/debug/attribution"));
+    assert_eq!(resp.status, 200);
+    let attr = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(attr.starts_with("# cqfd cost attribution"), "{attr}");
+    assert!(attr.contains("totals:"), "{attr}");
+    assert!(attr.contains("## rules"), "{attr}");
+
+    // A profile window runs on a detached thread; the reactor must keep
+    // answering other connections while it is open.
+    http.send(&get("/debug/profile?seconds=1&hz=50"));
+    let mut other = HttpClient::connect(gw.http_addr().unwrap());
+    let started = Instant::now();
+    let health = other.request(&get("/healthz"));
+    assert_eq!(health.status, 200);
+    assert!(
+        started.elapsed() < Duration::from_millis(800),
+        "reactor blocked during a profile window"
+    );
+    let resp = http.read_response();
+    assert_eq!(resp.status, 200);
+    assert!(!resp.body.is_empty(), "profile reply is never empty");
+
+    // Bad query arguments are a 400, not a wedged connection.
+    let resp = http.request(&get("/debug/profile?seconds=99"));
+    assert_eq!(resp.status, 400);
+    assert!(String::from_utf8_lossy(&resp.body).contains("seconds"));
+
+    // The same three surfaces exist as line-protocol control words.
+    writeln!(wr, "flight").unwrap();
+    let flight = read_framed(&mut rd, "flight");
+    assert!(cqfd_obs::jsonl::parse_lines(&flight).is_ok_and(|r| !r.is_empty()));
+    writeln!(wr, "attribution").unwrap();
+    let attr = read_framed(&mut rd, "attribution");
+    assert!(attr.contains("# cqfd cost attribution"), "{attr}");
+    writeln!(wr, "profile seconds=1 hz=50").unwrap();
+    let folded = read_framed(&mut rd, "profile");
+    assert!(!folded.trim().is_empty());
+    writeln!(wr, "profile seconds=99").unwrap();
+    let mut err = String::new();
+    rd.read_line(&mut err).unwrap();
+    assert!(err.starts_with("error:"), "{err}");
     gw.shutdown();
 }
 

@@ -43,14 +43,15 @@
 #![warn(missing_docs)]
 
 pub mod jsonl;
+pub mod profile;
 pub mod prom;
 pub mod registry;
 pub mod time;
 pub mod trace;
 
 pub use registry::{
-    Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry, Snapshot,
-    Unit, Value,
+    Counter, Exemplar, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry,
+    Snapshot, Unit, Value,
 };
 pub use time::Stopwatch;
 pub use trace::{RecordKind, Subscriber, TraceRecord};
@@ -60,7 +61,31 @@ use std::sync::OnceLock;
 /// The process-wide registry that the workspace's instrumentation points
 /// (chase, hom search, oracle, pool) publish into, and that `cqfd metrics`
 /// and the service `metrics` command expose.
+///
+/// Initialisation registers the `cqfd_build_info` gauge (value 1, labels
+/// `version` and `profile`), so every scrape of the global registry —
+/// CLI, legacy server, gateway — identifies the binary it came from. The
+/// workspace shares one version, so this crate's is the binary's.
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+    GLOBAL.get_or_init(|| {
+        let reg = Registry::new();
+        reg.gauge(
+            "cqfd_build_info",
+            "Build identity of the scraped binary; always 1.",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                (
+                    "profile",
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ),
+            ],
+        )
+        .set(1);
+        reg
+    })
 }

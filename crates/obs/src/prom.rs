@@ -12,6 +12,13 @@
 //! expose their octave upper bound as `le` (bucket *i* holds values in
 //! `[2^i, 2^{i+1})`, so its cumulative bound is `2^{i+1}`); trailing
 //! empty octaves are elided, `+Inf` is always present.
+//!
+//! Buckets carry **exemplars** in the OpenMetrics trailer syntax
+//! (`… # {job_id="17"} 0.003`): the last job-tagged observation that
+//! landed in the bucket, linking a latency octave straight back to a
+//! concrete pool job id for forensics. Strict classic-text-format
+//! parsers that reject the trailer can scrape with job tagging unused —
+//! exemplars only render once a tagged observation exists.
 
 use crate::registry::{Snapshot, Unit, Value};
 
@@ -48,13 +55,21 @@ pub fn render(snap: &Snapshot) -> String {
                     for (i, &count) in h.buckets.iter().take(last).enumerate() {
                         cumulative += count;
                         let bound = scale(2f64.powi(i as i32 + 1), h.unit);
+                        let mut value = cumulative.to_string();
+                        if let Some(ex) = h.exemplars.get(i).copied().flatten() {
+                            value.push_str(&format!(
+                                " # {{job_id=\"{}\"}} {}",
+                                ex.job,
+                                format_f64(scale(ex.value as f64, h.unit))
+                            ));
+                        }
                         sample(
                             &mut out,
                             &fam.name,
                             "_bucket",
                             labels,
                             Some(&format_f64(bound)),
-                            &cumulative.to_string(),
+                            &value,
                         );
                     }
                     sample(

@@ -59,6 +59,16 @@ pub enum Unit {
 struct HistogramCore {
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
+    /// Per-bucket exemplar job id **plus one** (0 = no exemplar yet).
+    /// Written only when the observing thread is tagged with a job id
+    /// (`trace::current_job`), so an exemplar links a latency bucket back
+    /// to the most recent job that landed in it.
+    exemplar_job: [AtomicU64; BUCKETS],
+    /// The raw observed value of the bucket's exemplar. Updated beside
+    /// `exemplar_job` with two relaxed stores; a racing reader can pair a
+    /// job with a neighbouring observation's value, which is harmless for
+    /// a debugging breadcrumb.
+    exemplar_val: [AtomicU64; BUCKETS],
 }
 
 impl HistogramCore {
@@ -66,6 +76,8 @@ impl HistogramCore {
         HistogramCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
+            exemplar_job: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_val: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 }
@@ -132,10 +144,18 @@ impl Gauge {
 pub struct Histogram(Arc<HistogramCore>);
 
 impl Histogram {
-    /// Records one observation.
+    /// Records one observation. If the observing thread is tagged with a
+    /// job id (see [`crate::trace::set_current_job`]), the observation
+    /// also becomes the bucket's exemplar — "the last job that landed
+    /// here" — surfaced by the Prometheus exposition.
     pub fn observe(&self, v: u64) {
-        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let i = bucket_index(v);
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(v, Ordering::Relaxed);
+        if let Some(job) = crate::trace::current_job() {
+            self.0.exemplar_job[i].store(job.saturating_add(1), Ordering::Relaxed);
+            self.0.exemplar_val[i].store(v, Ordering::Relaxed);
+        }
     }
 
     /// Records a duration in nanoseconds (pair with [`Unit::Seconds`]).
@@ -285,6 +305,15 @@ impl Registry {
                                     .collect(),
                                 sum: h.sum.load(Ordering::Relaxed),
                                 unit: fam.unit,
+                                exemplars: (0..BUCKETS)
+                                    .map(|i| {
+                                        let tag = h.exemplar_job[i].load(Ordering::Relaxed);
+                                        (tag > 0).then(|| Exemplar {
+                                            job: tag - 1,
+                                            value: h.exemplar_val[i].load(Ordering::Relaxed),
+                                        })
+                                    })
+                                    .collect(),
                             }),
                         };
                         (labels.clone(), value)
@@ -372,6 +401,15 @@ impl Value {
     }
 }
 
+/// A bucket's exemplar: the last job-tagged observation that landed in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The pool job id the observation was tagged with.
+    pub job: u64,
+    /// The raw observed value (same unit as the histogram's raw values).
+    pub value: u64,
+}
+
 /// A frozen histogram reading.
 #[derive(Debug, Clone)]
 pub struct HistogramSnapshot {
@@ -382,6 +420,9 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// The unit the raw values are in.
     pub unit: Unit,
+    /// Per-bucket exemplars, parallel to `buckets` (`None` until a
+    /// job-tagged observation lands in the bucket).
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {

@@ -35,6 +35,13 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 
 static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
 
+/// The **flight sink**: a second, dedicated subscriber slot for the
+/// always-on flight recorder (`cqfd-flight`). It is deliberately separate
+/// from [`SUBSCRIBER`] so that black-box recording survives the gateway's
+/// `TraceRouter` installing and uninstalling the ordinary subscriber as
+/// streams come and go.
+static FLIGHT: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
 thread_local! {
     /// Current span nesting depth on this thread.
     static DEPTH: Cell<u32> = const { Cell::new(0) };
@@ -67,6 +74,46 @@ pub fn clear_subscriber() {
     if guard.take().is_some() {
         SINKS.fetch_sub(1, Ordering::SeqCst);
     }
+}
+
+/// Installs (or replaces) the flight sink — the always-on recorder slot,
+/// independent of the ordinary subscriber (see `cqfd-flight`).
+pub fn set_flight_sink(sink: Arc<dyn Subscriber>) {
+    let mut guard = FLIGHT.write().expect("flight sink lock");
+    if guard.is_none() {
+        SINKS.fetch_add(1, Ordering::SeqCst);
+    }
+    *guard = Some(sink);
+}
+
+/// Removes the flight sink.
+pub fn clear_flight_sink() {
+    let mut guard = FLIGHT.write().expect("flight sink lock");
+    if guard.take().is_some() {
+        SINKS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Whether a flight sink is currently installed.
+pub fn flight_sink_installed() -> bool {
+    FLIGHT.read().expect("flight sink lock").is_some()
+}
+
+/// Whether an ordinary subscriber is currently installed (the gateway's
+/// `TraceRouter` must leave this false when no stream is live).
+pub fn subscriber_installed() -> bool {
+    SUBSCRIBER.read().expect("subscriber lock").is_some()
+}
+
+/// Counts an extra anonymous sink (the sampling profiler, which consumes
+/// span *entries* rather than records). Pair with [`remove_sink`].
+pub(crate) fn add_sink() {
+    SINKS.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Releases a sink counted by [`add_sink`].
+pub(crate) fn remove_sink() {
+    SINKS.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Tags subsequent records on this thread with a job id (wire `job=`).
@@ -241,6 +288,10 @@ fn emit(kind: RecordKind, name: &str, elapsed_ns: Option<u64>, fields: &[(&str, 
     if let Some(sub) = sub {
         sub.record(&rec);
     }
+    let flight = FLIGHT.read().expect("flight sink lock").clone();
+    if let Some(flight) = flight {
+        flight.record(&rec);
+    }
 }
 
 /// Emits an [`RecordKind::Event`] record. Called by the `event!` macro
@@ -259,6 +310,9 @@ pub struct Span {
 struct SpanInner {
     name: &'static str,
     started: Instant,
+    /// Publishes the span on this thread's sampled path (inert and free
+    /// unless a profiler is running; see [`crate::profile`]).
+    _frame: crate::profile::Frame,
 }
 
 impl Span {
@@ -271,6 +325,7 @@ impl Span {
             inner: Some(SpanInner {
                 name,
                 started: Instant::now(),
+                _frame: crate::profile::frame(name),
             }),
         }
     }

@@ -1,0 +1,124 @@
+//! The forensic debug surfaces shared by the line-protocol server and
+//! the gateway: flight-ring dumps, sampling-profile windows, and the
+//! cost-attribution report. Both front ends frame the same text; only
+//! transport differs (framed control words vs `GET /debug/*`).
+
+use cqfd_flight::{Attribution, ProfileOptions};
+use cqfd_obs::Snapshot;
+use std::time::Duration;
+
+/// Longest profile window a remote client may request, in seconds. The
+/// line server blocks one connection thread for the window; the gateway
+/// runs it on a detached sampler thread.
+pub const MAX_PROFILE_SECONDS: u64 = 30;
+
+/// The newest `max_lines` flight-ring records as JSONL (counted under
+/// `cqfd_flight_dumps_total{cause="request"}`).
+pub fn flight_text(max_lines: usize) -> String {
+    cqfd_flight::dump("request", max_lines)
+}
+
+/// The process-lifetime cost-attribution report: counter totals since
+/// start (the "before" snapshot is empty) joined with span wall times
+/// still held in the flight ring.
+pub fn attribution_text() -> String {
+    let empty = Snapshot {
+        families: Vec::new(),
+    };
+    let now = cqfd_obs::global().snapshot();
+    let records = cqfd_obs::jsonl::parse_lines(&cqfd_flight::recorder().snapshot_jsonl(usize::MAX))
+        .unwrap_or_default();
+    Attribution::between(&empty, &now)
+        .with_spans(&records)
+        .render()
+}
+
+/// Runs a sampling window and returns flamegraph folded-stack text.
+/// Blocks for the (clamped) window — callers that must stay responsive
+/// run it from a dedicated thread. A window that saw no frames returns a
+/// single explanatory comment line rather than empty output.
+pub fn profile_folded(seconds: u64, hz: u32) -> String {
+    let profile = cqfd_flight::sample(ProfileOptions {
+        duration: Duration::from_secs(seconds.clamp(1, MAX_PROFILE_SECONDS)),
+        hz,
+    });
+    let text = profile.folded_text();
+    if text.is_empty() {
+        format!(
+            "# no samples: no thread held a span during the {}s window ({} ticks)\n",
+            seconds.clamp(1, MAX_PROFILE_SECONDS),
+            profile.ticks
+        )
+    } else {
+        text
+    }
+}
+
+/// Parses `key=value` tokens of a `profile` control word (`seconds=N`,
+/// `hz=N`; unknown keys rejected). Returns `(seconds, hz)`.
+pub fn parse_profile_args(args: &str) -> Result<(u64, u32), String> {
+    let mut seconds = 2u64;
+    let mut hz = 97u32;
+    for tok in args.split_whitespace() {
+        match tok.split_once('=') {
+            Some(("seconds", v)) => {
+                seconds = v.parse::<u64>().map_err(|_| format!("bad seconds `{v}`"))?;
+                if seconds == 0 || seconds > MAX_PROFILE_SECONDS {
+                    return Err(format!(
+                        "seconds must be 1..={MAX_PROFILE_SECONDS}, got {seconds}"
+                    ));
+                }
+            }
+            Some(("hz", v)) => {
+                hz = v.parse::<u32>().map_err(|_| format!("bad hz `{v}`"))?;
+                if hz == 0 || hz > 1000 {
+                    return Err(format!("hz must be 1..=1000, got {hz}"));
+                }
+            }
+            _ => return Err(format!("unknown profile argument `{tok}`")),
+        }
+    }
+    Ok((seconds, hz))
+}
+
+/// Frames multi-line debug text the way the line protocol frames every
+/// bulk reply: a `<word>_lines=N` header, then the N lines.
+pub fn framed_reply(word: &str, text: &str) -> String {
+    let mut reply = format!("{word}_lines={}", text.lines().count());
+    for l in text.lines() {
+        reply.push('\n');
+        reply.push_str(l);
+    }
+    reply
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_args_parse_and_validate() {
+        assert_eq!(parse_profile_args(""), Ok((2, 97)));
+        assert_eq!(parse_profile_args("seconds=5 hz=250"), Ok((5, 250)));
+        assert!(parse_profile_args("seconds=0").is_err());
+        assert!(parse_profile_args("seconds=31").is_err());
+        assert!(parse_profile_args("hz=0").is_err());
+        assert!(parse_profile_args("hz=2000").is_err());
+        assert!(parse_profile_args("bogus=1").is_err());
+        assert!(parse_profile_args("seconds").is_err());
+    }
+
+    #[test]
+    fn framed_reply_counts_lines() {
+        assert_eq!(framed_reply("flight", ""), "flight_lines=0");
+        assert_eq!(framed_reply("flight", "a\nb\n"), "flight_lines=2\na\nb");
+    }
+
+    #[test]
+    fn attribution_text_renders_sections() {
+        let text = attribution_text();
+        assert!(text.starts_with("# cqfd cost attribution\n"), "{text}");
+        assert!(text.contains("## rules"), "{text}");
+        assert!(text.contains("## span timings"), "{text}");
+    }
+}

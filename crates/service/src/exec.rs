@@ -135,6 +135,12 @@ fn execute_inner(
             run_job(job, cancel, thread_cap, &mut metrics, &mut certificate, ctx)
         }
     };
+    // A blown deadline is the black-box moment: the ring's tail shows
+    // what the job was chasing when the clock ran out. (Cooperative
+    // cancellation is the caller's decision, not a forensic event.)
+    if matches!(&outcome, JobOutcome::BudgetExceeded { detail } if detail == "deadline") {
+        cqfd_flight::dump_to_stderr("timeout", 256);
+    }
     metrics.homs = hom_nodes_explored();
     metrics.elapsed = clock.elapsed();
     // Hom work done outside any chase run (rewriting search, witness

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod debug;
 pub mod exec;
 pub mod job;
 pub mod lint;

@@ -193,6 +193,10 @@ pub struct Pool {
 impl Pool {
     /// Spawns the worker threads and returns the pool.
     pub fn new(config: PoolConfig) -> Pool {
+        // Always-on forensics: every pool (serve, gateway, batch) records
+        // into the process-wide flight ring, so a later panic/timeout dump
+        // has history to show. Idempotent across pools.
+        cqfd_flight::install();
         let reg = cqfd_obs::global();
         let queue_depth = reg.gauge(
             "cqfd_pool_queue_depth",
@@ -247,6 +251,17 @@ impl Pool {
     /// The configured submission-queue capacity.
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
+    }
+
+    /// Jobs submitted but not yet picked up by a worker (the live
+    /// `cqfd_pool_queue_depth` reading; readiness probes use it).
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.get()
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// Submits a job without blocking. A full queue is reported as
@@ -381,8 +396,18 @@ fn worker_loop(
                 // `lookup = false`: the pool already probed the cache at
                 // submission; the worker's store handle is for write-back
                 // and the write-ahead stage log only.
-                let result =
-                    execute_stored(s.id, &s.job, &s.cancel, thread_cap, store.as_deref(), false);
+                //
+                // A panicking job dumps the flight ring first — the last
+                // spans before the panic are exactly what a post-mortem
+                // needs — then resumes the unwind, preserving the pool's
+                // existing sibling-poisoning shutdown semantics.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_stored(s.id, &s.job, &s.cancel, thread_cap, store.as_deref(), false)
+                }))
+                .unwrap_or_else(|panic| {
+                    cqfd_flight::dump_to_stderr("panic", 256);
+                    std::panic::resume_unwind(panic)
+                });
                 // The submitter may have dropped its handle; that's fine.
                 let _ = s.reply.send(result);
                 if let Some(hook) = &on_complete {

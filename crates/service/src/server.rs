@@ -375,6 +375,38 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 }
                 return;
             }
+            "flight" => {
+                let reply = crate::debug::framed_reply("flight", &crate::debug::flight_text(256));
+                if writeln!(writer, "{reply}").is_err() {
+                    return;
+                }
+                continue;
+            }
+            "attribution" => {
+                let reply =
+                    crate::debug::framed_reply("attribution", &crate::debug::attribution_text());
+                if writeln!(writer, "{reply}").is_err() {
+                    return;
+                }
+                continue;
+            }
+            // `profile [seconds=N] [hz=N]`: this front end is
+            // thread-per-connection, so sampling inline only occupies the
+            // requesting connection while the window runs.
+            v if v == "profile" || v.starts_with("profile ") => {
+                let args = v.strip_prefix("profile").unwrap_or_default();
+                let reply = match crate::debug::parse_profile_args(args) {
+                    Ok((seconds, hz)) => crate::debug::framed_reply(
+                        "profile",
+                        &crate::debug::profile_folded(seconds, hz),
+                    ),
+                    Err(e) => format!("error: {e}"),
+                };
+                if writeln!(writer, "{reply}").is_err() {
+                    return;
+                }
+                continue;
+            }
             v if is_version_token(v) => {
                 if v == PROTOCOL_VERSION {
                     if writeln!(writer, "ok {PROTOCOL_VERSION}").is_err() {
@@ -450,6 +482,61 @@ mod tests {
         line.clear();
         reader.read_line(&mut line).unwrap();
         assert_eq!(line.trim(), "bye");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn forensic_control_words_are_framed() {
+        let server =
+            Server::bind(("127.0.0.1", 0), PoolConfig::default().with_workers(1)).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let (mut reader, mut writer) = client(handle.addr());
+        // Run one real job so the flight ring and rule counters have
+        // something to report.
+        writeln!(writer, "determine instance=projection").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("verdict="), "{line}");
+
+        let read_framed = |reader: &mut BufReader<TcpStream>, word: &str| -> Vec<String> {
+            let mut head = String::new();
+            reader.read_line(&mut head).unwrap();
+            let head = head.trim();
+            let n: usize = head
+                .strip_prefix(&format!("{word}_lines="))
+                .unwrap_or_else(|| panic!("bad frame header for {word}: {head}"))
+                .parse()
+                .unwrap();
+            (0..n)
+                .map(|_| {
+                    let mut l = String::new();
+                    reader.read_line(&mut l).unwrap();
+                    l.trim_end().to_string()
+                })
+                .collect()
+        };
+
+        writeln!(writer, "flight").unwrap();
+        let flight = read_framed(&mut reader, "flight");
+        assert!(!flight.is_empty(), "ring holds the job's spans");
+        assert!(
+            cqfd_obs::jsonl::parse_lines(&flight.join("\n")).is_ok(),
+            "flight dump is valid trace JSONL"
+        );
+
+        writeln!(writer, "attribution").unwrap();
+        let attribution = read_framed(&mut reader, "attribution");
+        assert!(attribution[0].contains("cqfd cost attribution"));
+        assert!(attribution.iter().any(|l| l.starts_with("totals:")));
+
+        writeln!(writer, "profile seconds=1 hz=50").unwrap();
+        let profile = read_framed(&mut reader, "profile");
+        assert!(!profile.is_empty(), "window always reports something");
+
+        writeln!(writer, "profile seconds=99").unwrap();
+        let mut err = String::new();
+        reader.read_line(&mut err).unwrap();
+        assert!(err.starts_with("error:"), "{err}");
         handle.shutdown();
     }
 

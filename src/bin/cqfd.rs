@@ -45,6 +45,8 @@ fn main() -> ExitCode {
         "batch" => batch_cmd(rest),
         "serve" => serve_cmd(rest),
         "metrics" => metrics_cmd(rest),
+        "profile" => profile_cmd(rest),
+        "flight" => flight_cmd(rest),
         "store" => store_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -91,6 +93,17 @@ USAGE:
   cqfd metrics   [--connect <addr>] [<jobs-file>]
                  (Prometheus text: scrape a running server, or run the
                   jobs locally first and dump this process's registry)
+  cqfd profile   [--seconds <n>] [--hz <n>] [--connect <addr>] [<jobs-file>]
+                 (sampling profiler + cost attribution: with --connect,
+                  open a sampling window on a running server and print its
+                  folded stacks; otherwise drive a local workload — the
+                  Theorem 14 separating chase by default, or a jobs file —
+                  under the sampler and print folded stacks plus the
+                  per-rule cost-attribution report)
+  cqfd flight    [--connect <addr>] [--max-lines <n>] [<jobs-file>]
+                 (dump the black-box flight ring as JSONL: the newest
+                  trace records from a running server, or from a local
+                  jobs-file run)
   cqfd store     <stat|verify|gc> <dir> [--max-bytes <n>]
                  (inspect, re-validate, or clean a result store; `verify`
                   exits nonzero when any entry fails the checker; gc with
@@ -696,8 +709,24 @@ fn metrics_cmd(args: &[String]) -> Result<(), String> {
 /// Connects to a `cqfd serve` instance, issues the `metrics` control word,
 /// and returns the framed Prometheus payload.
 fn scrape_server(addr: &str) -> Result<String, String> {
+    remote_framed_word(addr, "metrics", "metrics", 30)
+}
+
+/// Speaks one framed control word to a running server: sends `word`,
+/// expects a `<frame>_lines=N` header, and returns the N payload lines.
+/// `timeout_secs` must exceed any server-side work the word triggers
+/// (a `profile` word blocks for its sampling window).
+fn remote_framed_word(
+    addr: &str,
+    word: &str,
+    frame: &str,
+    timeout_secs: u64,
+) -> Result<String, String> {
     use std::io::{BufRead, BufReader, Write};
     let stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(timeout_secs)))
+        .map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = stream;
     let mut line = String::new();
@@ -705,12 +734,15 @@ fn scrape_server(addr: &str) -> Result<String, String> {
     if !line.starts_with("cqfd-service ") {
         return Err(format!("unexpected greeting `{}`", line.trim()));
     }
-    writeln!(writer, "metrics").map_err(|e| e.to_string())?;
+    writeln!(writer, "{word}").map_err(|e| e.to_string())?;
     line.clear();
     reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    if let Some(e) = line.trim().strip_prefix("error: ") {
+        return Err(format!("server rejected `{word}`: {e}"));
+    }
     let n: usize = line
         .trim()
-        .strip_prefix("metrics_lines=")
+        .strip_prefix(&format!("{frame}_lines="))
         .ok_or_else(|| format!("unexpected reply `{}`", line.trim()))?
         .parse()
         .map_err(|_| format!("bad line count in `{}`", line.trim()))?;
@@ -720,6 +752,141 @@ fn scrape_server(addr: &str) -> Result<String, String> {
     }
     let _ = writeln!(writer, "quit");
     Ok(payload)
+}
+
+/// `cqfd profile` — a sampling window plus the cost-attribution report.
+/// With `--connect` the window runs on a live server (folded stacks come
+/// back framed); otherwise the workload runs in-process under the
+/// sampler: the jobs from the file, or the Theorem 14 separating chase
+/// (the paper's Fig. 3 lasso) by default, looped until the window ends.
+fn profile_cmd(args: &[String]) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    check_flags(args, &["--seconds", "--hz", "--connect"])?;
+    let seconds: u64 = flag(args, "--seconds").map_or(Ok(2), |s| {
+        s.parse().map_err(|_| "bad --seconds".to_string())
+    })?;
+    if seconds == 0 || seconds > 30 {
+        return Err(format!("--seconds must be 1..=30, got {seconds}"));
+    }
+    let hz: u32 =
+        flag(args, "--hz").map_or(Ok(97), |s| s.parse().map_err(|_| "bad --hz".to_string()))?;
+    if hz == 0 || hz > 1000 {
+        return Err(format!("--hz must be 1..=1000, got {hz}"));
+    }
+    let pos = positionals(args);
+    if let Some(addr) = flag(args, "--connect") {
+        if !pos.is_empty() {
+            return Err("`--connect` profiles a server; drop the <jobs-file>".into());
+        }
+        let text = remote_framed_word(
+            addr,
+            &format!("profile seconds={seconds} hz={hz}"),
+            "profile",
+            seconds + 30,
+        )
+        .map_err(|e| format!("{addr}: {e}"))?;
+        print!("{text}");
+        return Ok(());
+    }
+    let jobs: Vec<Job> = match pos.as_slice() {
+        [] => vec![Job::Separate {
+            budget: JobBudget::default().with_stages(80),
+        }],
+        [path] => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let jobs = parse_jobs(&text)?;
+            if jobs.is_empty() {
+                return Err("no jobs in file".into());
+            }
+            jobs
+        }
+        _ => return Err("profile takes at most one <jobs-file>".into()),
+    };
+
+    cqfd_flight::install();
+    let before = cqfd_obs::global().snapshot();
+    let stop = Arc::new(AtomicBool::new(false));
+    let cancel = CancelToken::new();
+    let worker = {
+        let stop = Arc::clone(&stop);
+        let cancel = cancel.clone();
+        std::thread::Builder::new()
+            .name("cqfd-profile-load".into())
+            .spawn(move || {
+                let mut id = 0u64;
+                'outer: while !stop.load(Ordering::Relaxed) {
+                    for job in &jobs {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        id += 1;
+                        let _ = cqfd::service::execute(id, job, &cancel);
+                    }
+                }
+            })
+            .map_err(|e| format!("spawn workload thread: {e}"))?
+    };
+    let profile = cqfd_flight::sample(cqfd_flight::ProfileOptions {
+        duration: std::time::Duration::from_secs(seconds),
+        hz,
+    });
+    stop.store(true, Ordering::Relaxed);
+    cancel.cancel();
+    worker.join().map_err(|_| "workload thread panicked")?;
+    let after = cqfd_obs::global().snapshot();
+    let records = cqfd_obs::jsonl::parse_lines(&cqfd_flight::recorder().snapshot_jsonl(usize::MAX))
+        .unwrap_or_default();
+    let attribution = cqfd_flight::Attribution::between(&before, &after).with_spans(&records);
+
+    println!(
+        "# folded stacks ({} ticks @ {hz} Hz over {seconds}s)",
+        profile.ticks
+    );
+    let folded = profile.folded_text();
+    if folded.is_empty() {
+        println!("# no samples: no thread held a span during the window");
+    } else {
+        print!("{folded}");
+    }
+    println!();
+    print!("{}", attribution.render());
+    Ok(())
+}
+
+/// `cqfd flight` — dump the black-box flight ring as JSONL: a running
+/// server's ring via `--connect`, or this process's ring after running a
+/// local jobs file.
+fn flight_cmd(args: &[String]) -> Result<(), String> {
+    check_flags(args, &["--connect", "--max-lines"])?;
+    let max_lines: usize = flag(args, "--max-lines").map_or(Ok(256), |s| {
+        s.parse().map_err(|_| "bad --max-lines".to_string())
+    })?;
+    let pos = positionals(args);
+    if let Some(addr) = flag(args, "--connect") {
+        if !pos.is_empty() {
+            return Err("`--connect` dumps a server's ring; drop the <jobs-file>".into());
+        }
+        let text =
+            remote_framed_word(addr, "flight", "flight", 30).map_err(|e| format!("{addr}: {e}"))?;
+        print!("{text}");
+        return Ok(());
+    }
+    match pos.as_slice() {
+        [] => {}
+        [path] => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let jobs = parse_jobs(&text)?;
+            let pool = Pool::new(pool_config(args)?);
+            for r in pool.run_batch(jobs) {
+                eprintln!("{r}"); // results on stderr: stdout is the dump
+            }
+            pool.shutdown();
+        }
+        _ => return Err("flight takes at most one <jobs-file>".into()),
+    }
+    cqfd_flight::install();
+    print!("{}", cqfd_flight::dump("request", max_lines));
+    Ok(())
 }
 
 /// `cqfd store <stat|verify|gc> <dir>` — inspect, re-validate, or clean

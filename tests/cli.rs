@@ -347,3 +347,67 @@ fn metrics_subcommand_dumps_prometheus_text() {
         assert!(text.contains(family), "missing `{family}` in:\n{text}");
     }
 }
+
+/// `cqfd profile` without `--connect` drives the Theorem 14 lasso chase
+/// (the paper's Fig. 3) under the sampler. Acceptance: the folded stacks
+/// name the chase spans, and the attribution report is internally
+/// consistent — the top-ranked TGD carries the highest trigger count.
+#[test]
+fn profile_subcommand_samples_and_attributes_the_lasso_chase() {
+    let (ok, text) = cqfd(&["profile", "--seconds", "1", "--hz", "60"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("# folded stacks"), "{text}");
+    assert!(text.contains("chase.stage"), "{text}");
+    assert!(text.contains("# cqfd cost attribution"), "{text}");
+    assert!(text.contains("totals: stages="), "{text}");
+
+    // Parse the `## rules` section and check the ranking invariant.
+    let rules: Vec<u64> = text
+        .lines()
+        .skip_while(|l| !l.starts_with("## rules"))
+        .skip(1)
+        .take_while(|l| !l.starts_with("##"))
+        .filter_map(|l| {
+            l.split_whitespace()
+                .find_map(|t| t.strip_prefix("triggers="))
+                .map(|v| v.parse().expect("triggers count"))
+        })
+        .collect();
+    assert!(!rules.is_empty(), "no ranked rules in:\n{text}");
+    let top = rules[0];
+    assert!(
+        rules.iter().all(|&t| t <= top),
+        "top-ranked TGD does not carry the highest trigger count: {rules:?}"
+    );
+    assert!(top > 0, "{text}");
+}
+
+/// `cqfd profile` and `cqfd flight` validate their arguments.
+#[test]
+fn profile_and_flight_reject_bad_arguments() {
+    let (ok, text) = cqfd(&["profile", "--seconds", "0"]);
+    assert!(!ok);
+    assert!(text.contains("--seconds"), "{text}");
+    let (ok, text) = cqfd(&["profile", "--hz", "9999"]);
+    assert!(!ok);
+    assert!(text.contains("--hz"), "{text}");
+    let (ok, text) = cqfd(&["flight", "--bogus", "1"]);
+    assert!(!ok);
+    assert!(text.contains("unknown flag"), "{text}");
+}
+
+/// `cqfd flight <jobs-file>` runs the jobs and dumps the black-box ring
+/// as parseable JSONL trace records.
+#[test]
+fn flight_subcommand_dumps_jsonl_after_a_local_run() {
+    let path = std::env::temp_dir().join("cqfd_cli_flight_jobs.txt");
+    std::fs::write(&path, "determine instance=projection\n").unwrap();
+    let (ok, text) = cqfd(&["flight", path.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    let dump: Vec<&str> = text.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(!dump.is_empty(), "flight ring empty after a job:\n{text}");
+    for line in &dump {
+        assert!(line.contains("\"seq\""), "not a trace record: {line}");
+        assert!(line.contains("\"type\""), "not a trace record: {line}");
+    }
+}
