@@ -3,12 +3,12 @@
 use crate::termination::Termination;
 use crate::tgd::Tgd;
 use cqfd_core::{
-    add_hom_nodes_explored, find_homomorphism, hom_nodes_explored, publish_hom_metrics, Binding,
-    CancelToken, HomPlan, Node, Structure, Term, VarMap,
+    add_hom_nodes_explored, exists_homomorphism_with, hom_nodes_explored, publish_hom_metrics,
+    AnyPlan, Binding, CancelToken, HomEngine, HomPlan, Node, Structure, Term, VarMap,
 };
 use cqfd_obs::{span, Counter, Histogram, Stopwatch, Unit};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -42,11 +42,18 @@ pub struct ChaseBudget {
     /// *application* is always sequential — this knob only changes
     /// wall-clock time.
     pub threads: usize,
+    /// Which homomorphism-search engine enumerates triggers and answers
+    /// head probes ([`HomEngine::Wco`] by default). Every stage's frontier
+    /// is canonicalised before application, so the chase result is
+    /// byte-identical under either engine — like `threads`, this knob only
+    /// changes how fast the answer arrives (and the search-node counts).
+    pub hom_engine: HomEngine,
 }
 
-/// Budgets compare by their declared *limits*; the token, deadline and
-/// thread count are runtime controls, not part of the budget's identity
-/// (the thread count cannot change the result, only how fast it arrives).
+/// Budgets compare by their declared *limits*; the token, deadline,
+/// thread count and hom engine are runtime controls, not part of the
+/// budget's identity (none of them can change the result, only how fast
+/// it arrives).
 impl PartialEq for ChaseBudget {
     fn eq(&self, other: &Self) -> bool {
         self.max_stages == other.max_stages
@@ -66,6 +73,7 @@ impl Default for ChaseBudget {
             cancel: CancelToken::inert(),
             deadline: None,
             threads: 1,
+            hom_engine: HomEngine::default(),
         }
     }
 }
@@ -104,6 +112,14 @@ impl ChaseBudget {
     /// own cap.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Selects the homomorphism-search engine. Purely a performance knob:
+    /// frontier canonicalisation makes the chase result byte-identical
+    /// under either engine.
+    pub fn with_hom_engine(mut self, engine: HomEngine) -> Self {
+        self.hom_engine = engine;
         self
     }
 
@@ -797,10 +813,16 @@ impl ChaseEngine {
         if abort.load(Ordering::Relaxed) || budget.should_stop() {
             return None;
         }
-        // Merge back per TGD in slice order. Per-slice results are already
-        // deduplicated; cross-slice duplicates (a match whose atoms span
-        // several delta positions) keep the first occurrence, which is
-        // exactly the order the sequential single-pass dedup produced.
+        // Merge back per TGD. Per-slice results are already deduplicated;
+        // cross-slice duplicates (a match whose atoms span several delta
+        // positions) keep the lexicographically least recorded assignment.
+        // Each TGD's merged frontier is then **canonicalised**: sorted by
+        // frontier tuple. Tuples are distinct after dedup, so the sorted
+        // sequence — and with it application order, fresh-node allocation,
+        // recorded firings, every downstream artifact — depends only on
+        // the *set* of matches, never on enumeration order. This is what
+        // makes the chase byte-identical across hom engines (and, as
+        // before, across thread counts).
         let mut merged: Vec<Vec<Frontier>> = (0..self.tgds.len()).map(|_| Vec::new()).collect();
         let mut slices_per_tgd = vec![0usize; self.tgds.len()];
         for s in &slices {
@@ -821,12 +843,21 @@ impl ChaseEngine {
             let dst = &mut merged[slice.ti];
             for f in frontiers {
                 let bucket = buckets.entry(hash_tuple(&f.tuple)).or_default();
-                if bucket.iter().any(|&j| dst[j as usize].tuple == f.tuple) {
+                if let Some(&j) = bucket.iter().find(|&&j| dst[j as usize].tuple == f.tuple) {
+                    if let (Some(cur), Some(cand)) = (dst[j as usize].full_map.as_mut(), f.full_map)
+                    {
+                        if cand < *cur {
+                            *cur = cand;
+                        }
+                    }
                     continue;
                 }
                 bucket.push(dst.len() as u32);
                 dst.push(f);
             }
+        }
+        for dst in &mut merged {
+            dst.sort_unstable_by(|a, b| a.tuple.cmp(&b.tuple));
         }
         Some(merged)
     }
@@ -848,9 +879,10 @@ impl ChaseEngine {
     ) -> Vec<Frontier> {
         let tgd = &self.tgds[slice.ti];
         let body = tgd.body();
-        // One compiled plan per slice, reused across every seed.
-        let body_plan = HomPlan::compile(body, d);
-        let head_plan = HomPlan::compile(tgd.head(), d);
+        // One compiled plan per slice (engine-routed), reused across every
+        // seed.
+        let body_plan = AnyPlan::compile(budget.hom_engine, body, d);
+        let head_plan = AnyPlan::compile(budget.hom_engine, tgd.head(), d);
         let head_limits = vec![frozen; tgd.head().len()];
         let frontier_slots: Vec<u32> = tgd
             .frontier()
@@ -866,8 +898,13 @@ impl ChaseEngine {
         let recording = self.record;
 
         let mut out: Vec<Frontier> = Vec::new();
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut buckets: HashMap<u64, Vec<u32>, BuildHasherDefault<PassThroughHasher>> =
+            HashMap::default();
         let mut head_seeds: Vec<(u32, Node)> = Vec::with_capacity(frontier_slots.len());
+        // Scratch for the frontier tuple: most matches repeat a tuple
+        // already in `out`, so the buffer is cloned only on first sight
+        // instead of allocated per match.
+        let mut tuple: Vec<Node> = Vec::with_capacity(frontier_slots.len());
         let mut matches = 0u64;
         let mut record = |b: &Binding| {
             // Poll the cooperative stop hook every few dozen matches so
@@ -878,9 +915,25 @@ impl ChaseEngine {
                 abort.store(true, Ordering::Relaxed);
                 return ControlFlow::Break(());
             }
-            let tuple: Vec<Node> = frontier_slots.iter().map(|&s| b.node(s)).collect();
+            tuple.clear();
+            tuple.extend(frontier_slots.iter().map(|&s| b.node(s)));
             let bucket = buckets.entry(hash_tuple(&tuple)).or_default();
-            if bucket.iter().any(|&i| out[i as usize].tuple == tuple) {
+            if let Some(&i) = bucket.iter().find(|&&i| out[i as usize].tuple == tuple) {
+                // Duplicate frontier tuple. When recording, keep the
+                // lexicographically least full assignment so the recorded
+                // firing does not depend on enumeration order (the hom
+                // engines enumerate the same match set in different
+                // orders).
+                if recording {
+                    let cand = sorted_assignment(b);
+                    let cur = out[i as usize]
+                        .full_map
+                        .as_mut()
+                        .expect("recording run stores assignments");
+                    if cand < *cur {
+                        *cur = cand;
+                    }
+                }
                 return ControlFlow::Continue(());
             }
             bucket.push(out.len() as u32);
@@ -896,8 +949,8 @@ impl ChaseEngine {
             }
             let pre_satisfied = head_plan.exists_seeded(&head_seeds, &head_limits);
             out.push(Frontier {
-                tuple,
-                full_map: recording.then(|| b.to_varmap()),
+                tuple: tuple.clone(),
+                full_map: recording.then(|| sorted_assignment(b)),
                 pre_satisfied,
             });
             ControlFlow::Continue(())
@@ -919,6 +972,21 @@ impl ChaseEngine {
                 for l in limits.iter_mut().skip(k) {
                     *l = frozen;
                 }
+                // Resolve the seed atom's argument shape once: the
+                // per-row unification below runs for every delta atom of
+                // the stage and must not pay a slot-map lookup each time.
+                let seed_args: Vec<SeedArg> = pattern_atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => SeedArg::Const(d.existing_const_node(*c)),
+                        Term::Var(v) => SeedArg::Slot(
+                            body_plan
+                                .slot(*v)
+                                .expect("pattern variable occurs in the body"),
+                        ),
+                    })
+                    .collect();
                 let mut seeds: Vec<(u32, Node)> = Vec::with_capacity(pattern_atom.args.len());
                 for idx in prev_frozen..frozen {
                     if abort.load(Ordering::Relaxed) {
@@ -928,7 +996,7 @@ impl ChaseEngine {
                     if ground.pred != pattern_atom.pred {
                         continue;
                     }
-                    if !unify_slots(&body_plan, pattern_atom, ground, d, &mut seeds) {
+                    if !unify_seed_args(&seed_args, ground, &mut seeds) {
                         continue;
                     }
                     let _ = body_plan.for_each_bindings(&seeds, &limits, &mut record);
@@ -972,14 +1040,11 @@ impl ChaseEngine {
                 // Condition ­: is ∃z̄ Ψ(z̄, b̄) already true in the *live* D?
                 // (The frozen pre-check said no; earlier applications this
                 // stage may have satisfied it since.)
-                if find_homomorphism(tgd.head(), d, &fixed).is_some() {
+                if exists_homomorphism_with(budget.hom_engine, tgd.head(), d, &fixed) {
                     continue;
                 }
                 self.apply(tgd, &fixed, d);
-                if let Some(full) = f.full_map {
-                    let mut assignment: Vec<(cqfd_core::Var, Node)> =
-                        full.iter().map(|(&v, &n)| (v, n)).collect();
-                    assignment.sort_unstable_by_key(|&(v, _)| v);
+                if let Some(assignment) = f.full_map {
                     firings.push(Firing {
                         stage,
                         tgd: ti,
@@ -1003,8 +1068,8 @@ impl ChaseEngine {
     /// Applies one active trigger: `D := D(T, b̄)` — a fresh copy of `A[Ψ]`
     /// glued to the old structure along the frontier (§II.B).
     ///
-    /// (See also [`unify_slots`] below, the seeding step of the semi-naive
-    /// strategy.)
+    /// (See also [`unify_seed_args`] below, the seeding step of the
+    /// semi-naive strategy.)
     fn apply(&self, tgd: &Tgd, fixed: &VarMap, d: &mut Structure) {
         let mut assignment = fixed.clone();
         for &v in tgd.existential() {
@@ -1098,47 +1163,87 @@ struct Slice {
 struct Frontier {
     /// The frontier tuple b̄.
     tuple: Vec<Node>,
-    /// First full body match for this tuple (kept only when recording, for
-    /// the `Firing` trace).
-    full_map: Option<VarMap>,
+    /// Lexicographically least full body match for this tuple, sorted by
+    /// variable (kept only when recording, for the `Firing` trace). Taking
+    /// the least match over all duplicates keeps the recorded trace
+    /// independent of enumeration order, hence of the hom engine.
+    full_map: Option<Vec<(cqfd_core::Var, Node)>>,
     /// The head was already satisfied in the frozen snapshot (condition ­):
     /// monotone, so no live re-check is needed.
     pre_satisfied: bool,
 }
 
-fn hash_tuple(tuple: &[Node]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    tuple.hash(&mut h);
-    h.finish()
+/// A binding rendered as a `(variable, node)` assignment sorted by
+/// variable — the canonical, order-comparable form stored in
+/// [`Frontier::full_map`] and emitted in [`Firing::assignment`].
+fn sorted_assignment(b: &Binding) -> Vec<(cqfd_core::Var, Node)> {
+    let mut out: Vec<(cqfd_core::Var, Node)> = b.to_varmap().into_iter().collect();
+    out.sort_unstable_by_key(|&(v, _)| v);
+    out
 }
 
-/// Unifies a pattern atom with a ground atom directly into plan-slot
-/// seeds (clearing `seeds` first): returns `false` on a
+fn hash_tuple(tuple: &[Node]) -> u64 {
+    // Multiply-rotate word hash (the "fx" construction): the keys are
+    // internal node ids probed once per body match, so SipHash's
+    // flooding resistance buys nothing here.
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut h = (tuple.len() as u64).wrapping_mul(SEED);
+    for n in tuple {
+        h = (h.rotate_left(5) ^ u64::from(n.0)).wrapping_mul(SEED);
+    }
+    h
+}
+
+/// Forwards an already-hashed `u64` key unchanged. The frontier dedup
+/// buckets are keyed by [`hash_tuple`] output; re-hashing it would be
+/// pure overhead.
+#[derive(Default)]
+struct PassThroughHasher(u64);
+
+impl Hasher for PassThroughHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("pass-through hasher is only used with u64 keys");
+    }
+
+    fn write_u64(&mut self, k: u64) {
+        self.0 = k;
+    }
+}
+
+/// A seed atom's argument, pre-resolved against plan and target so the
+/// per-delta-row unification is lookup-free.
+enum SeedArg {
+    /// A pattern constant's target node (`None`: absent, never matches).
+    Const(Option<Node>),
+    /// A variable's plan slot.
+    Slot(u32),
+}
+
+/// Unifies a ground atom against the pre-resolved seed shape directly
+/// into plan-slot seeds (clearing `seeds` first): returns `false` on a
 /// constant/repeated-variable mismatch.
-fn unify_slots(
-    plan: &HomPlan,
-    pattern: &cqfd_core::Atom<Term>,
+fn unify_seed_args(
+    seed_args: &[SeedArg],
     ground: &cqfd_core::GroundAtom,
-    d: &Structure,
     seeds: &mut Vec<(u32, Node)>,
 ) -> bool {
-    debug_assert_eq!(pattern.pred, ground.pred);
     seeds.clear();
-    for (t, &n) in pattern.args.iter().zip(&ground.args) {
-        match t {
-            Term::Const(c) => {
-                if d.existing_const_node(*c) != Some(n) {
+    for (sa, &n) in seed_args.iter().zip(&ground.args) {
+        match sa {
+            SeedArg::Const(c) => {
+                if *c != Some(n) {
                     return false;
                 }
             }
-            Term::Var(v) => {
-                let s = plan.slot(*v).expect("pattern variable occurs in the body");
-                match seeds.iter().find(|&&(s2, _)| s2 == s) {
-                    Some(&(_, bound)) if bound != n => return false,
-                    Some(_) => {}
-                    None => seeds.push((s, n)),
-                }
-            }
+            SeedArg::Slot(s) => match seeds.iter().find(|&&(s2, _)| s2 == *s) {
+                Some(&(_, bound)) if bound != n => return false,
+                Some(_) => {}
+                None => seeds.push((*s, n)),
+            },
         }
     }
     true

@@ -1,0 +1,80 @@
+//! A fast, non-cryptographic hasher for the columnar index hot paths.
+//!
+//! The posting maps in [`Structure`](crate::structure::Structure) are
+//! keyed by [`Node`](crate::structure::Node) — a plain `u32` newtype —
+//! and are probed once or more per homomorphism-search node, so the
+//! default SipHash costs real wall time for zero benefit: the keys are
+//! internal ids, not attacker-controlled input. This is the classic
+//! multiply-rotate word hash (the firefox/rustc "fx" construction),
+//! std-only.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `BuildHasher` for index-internal maps keyed by small ids.
+pub(crate) type FastBuild = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[derive(Default, Clone)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn distinct_small_keys_hash_apart() {
+        let build = FastBuild::default();
+        let hashes: std::collections::HashSet<u64> =
+            (0u32..10_000).map(|v| build.hash_one(v)).collect();
+        assert_eq!(hashes.len(), 10_000, "no collisions on dense small ids");
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let build = FastBuild::default();
+        assert_eq!(build.hash_one(42u32), build.hash_one(42u32));
+        assert_ne!(build.hash_one(42u32), build.hash_one(43u32));
+    }
+}

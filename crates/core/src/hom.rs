@@ -28,12 +28,17 @@
 //! trigger enumeration in the chase (§II.B–C), and by the universality
 //! checks of §VII (homomorphisms from the chase into finite models).
 
+pub mod wco;
+
 use crate::atom::{Atom, GroundAtom};
+use crate::fasthash::FastBuild;
 use crate::structure::{Node, Structure};
 use crate::term::{Term, Var};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::ops::ControlFlow;
+
+pub use wco::WcoPlan;
 
 /// A (partial) assignment of pattern variables to target nodes.
 pub type VarMap = HashMap<Var, Node>;
@@ -45,6 +50,72 @@ thread_local! {
     static PENDING_NODES: Cell<u64> = const { Cell::new(0) };
     /// Failed binding attempts (backtracks) not yet drained.
     static PENDING_BACKTRACKS: Cell<u64> = const { Cell::new(0) };
+    /// Sorted-intersection element steps (wco engine) not yet drained.
+    static PENDING_INTERSECTION_STEPS: Cell<u64> = const { Cell::new(0) };
+    /// Variable-order plan-cache hits (wco engine) not yet drained.
+    static PENDING_CACHE_HITS: Cell<u64> = const { Cell::new(0) };
+    /// Variable-order plan-cache misses (wco engine) not yet drained.
+    static PENDING_CACHE_MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Which homomorphism-search engine to run (paper §II.B–C machinery).
+///
+/// Both engines enumerate exactly the same set of matches; they differ in
+/// strategy and therefore in enumeration order and search cost:
+///
+/// * [`HomEngine::Legacy`] — the atom-at-a-time backtracking join of
+///   [`HomPlan`] (most-constrained-atom heuristic, tightest single-position
+///   index slice per step);
+/// * [`HomEngine::Wco`] — the worst-case-optimal, variable-at-a-time
+///   generic join of [`wco::WcoPlan`] (k-way sorted intersection over the
+///   columnar postings, selectivity-ordered variables, cached plans).
+///
+/// The chase sorts each stage's trigger frontier canonically before
+/// applying it, so chase *results* — structures, firings, verdicts,
+/// certificates — are byte-identical across engines; only wall time and
+/// the search-node counts differ. That makes the flag safe to flip per
+/// run, and makes differential testing (`--hom-engine legacy|wco`) a
+/// byte-diff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HomEngine {
+    /// Atom-at-a-time backtracking join ([`HomPlan`]).
+    Legacy,
+    /// Worst-case-optimal variable-at-a-time join ([`wco::WcoPlan`]).
+    #[default]
+    Wco,
+}
+
+impl HomEngine {
+    /// Stable lowercase name, as accepted by [`HomEngine::parse`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HomEngine::Legacy => "legacy",
+            HomEngine::Wco => "wco",
+        }
+    }
+
+    /// Parses `legacy` / `wco` (the `--hom-engine` / `hom=` spellings).
+    pub fn parse(s: &str) -> Option<HomEngine> {
+        match s {
+            "legacy" => Some(HomEngine::Legacy),
+            "wco" => Some(HomEngine::Wco),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for HomEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        HomEngine::parse(s).ok_or_else(|| format!("bad hom engine `{s}` (want legacy | wco)"))
+    }
+}
+
+impl std::fmt::Display for HomEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// The number of homomorphism-search nodes (candidate-binding attempts)
@@ -100,22 +171,81 @@ pub fn add_hom_nodes_explored(nodes: u64) {
 pub fn publish_hom_metrics() {
     let nodes = PENDING_NODES.replace(0);
     let backtracks = PENDING_BACKTRACKS.replace(0);
-    if nodes == 0 && backtracks == 0 {
+    let steps = PENDING_INTERSECTION_STEPS.replace(0);
+    let hits = PENDING_CACHE_HITS.replace(0);
+    let misses = PENDING_CACHE_MISSES.replace(0);
+    if nodes == 0 && backtracks == 0 && steps == 0 && hits == 0 && misses == 0 {
         return;
     }
     let reg = cqfd_obs::global();
-    reg.counter(
-        "cqfd_hom_search_nodes_total",
-        "Homomorphism-search candidate-binding attempts explored.",
-        &[],
-    )
-    .add(nodes);
-    reg.counter(
-        "cqfd_hom_search_backtracks_total",
-        "Homomorphism-search binding attempts that failed (backtracks).",
-        &[],
-    )
-    .add(backtracks);
+    if nodes > 0 {
+        reg.counter(
+            "cqfd_hom_search_nodes_total",
+            "Homomorphism-search candidate-binding attempts explored.",
+            &[],
+        )
+        .add(nodes);
+    }
+    if backtracks > 0 {
+        reg.counter(
+            "cqfd_hom_search_backtracks_total",
+            "Homomorphism-search binding attempts that failed (backtracks).",
+            &[],
+        )
+        .add(backtracks);
+    }
+    if steps > 0 {
+        reg.counter(
+            "cqfd_hom_intersection_steps_total",
+            "Sorted-posting intersection element steps taken by the wco engine.",
+            &[],
+        )
+        .add(steps);
+    }
+    if hits > 0 {
+        reg.counter(
+            "cqfd_homplan_cache_hits_total",
+            "Wco variable-order plan-cache hits.",
+            &[],
+        )
+        .add(hits);
+    }
+    if misses > 0 {
+        reg.counter(
+            "cqfd_homplan_cache_misses_total",
+            "Wco variable-order plan-cache misses (orders computed).",
+            &[],
+        )
+        .add(misses);
+    }
+}
+
+/// Counts one explored search node (both the monotone thread counter and
+/// the pending registry cell). Shared by both engines so per-run
+/// before/after deltas are engine-comparable.
+pub(crate) fn count_search_node() {
+    HOM_NODES.set(HOM_NODES.get() + 1);
+    PENDING_NODES.set(PENDING_NODES.get() + 1);
+}
+
+/// Counts one failed binding attempt (backtrack).
+pub(crate) fn count_backtrack() {
+    PENDING_BACKTRACKS.set(PENDING_BACKTRACKS.get() + 1);
+}
+
+/// Counts sorted-intersection element steps taken by the wco engine.
+pub(crate) fn count_intersection_steps(steps: u64) {
+    PENDING_INTERSECTION_STEPS.set(PENDING_INTERSECTION_STEPS.get() + steps);
+}
+
+/// Counts one wco plan-cache hit.
+pub(crate) fn count_cache_hit() {
+    PENDING_CACHE_HITS.set(PENDING_CACHE_HITS.get() + 1);
+}
+
+/// Counts one wco plan-cache miss.
+pub(crate) fn count_cache_miss() {
+    PENDING_CACHE_MISSES.set(PENDING_CACHE_MISSES.get() + 1);
 }
 
 /// Enumerates homomorphisms from `pattern` into `target` extending `fixed`,
@@ -196,18 +326,19 @@ pub fn all_homomorphisms(
 }
 
 /// One compiled pattern argument: either a dense variable slot or a target
-/// node a pattern constant resolved to at compile time.
+/// node a pattern constant resolved to at compile time. Shared between the
+/// legacy and wco engines so their slot numbering is interchangeable.
 #[derive(Clone, Copy, Debug)]
-enum PArg {
+pub(crate) enum PArg {
     Slot(u32),
     Node(Node),
 }
 
 /// One compiled pattern atom.
 #[derive(Debug)]
-struct PlanAtom {
-    pred: crate::signature::PredId,
-    args: Vec<PArg>,
+pub(crate) struct PlanAtom {
+    pub(crate) pred: crate::signature::PredId,
+    pub(crate) args: Vec<PArg>,
 }
 
 /// A full assignment of a plan's variable slots, presented to raw-binding
@@ -220,7 +351,13 @@ pub struct Binding<'a> {
     slots: &'a [Option<Node>],
 }
 
-impl Binding<'_> {
+impl<'a> Binding<'a> {
+    /// Assembles a binding over a plan's slot state (crate-internal: both
+    /// engines emit through this).
+    pub(crate) fn new(vars: &'a [Var], slots: &'a [Option<Node>]) -> Self {
+        Binding { vars, slots }
+    }
+
     /// The node bound to `slot`. Panics if the slot is out of range or
     /// unbound — at emission every pattern slot is bound, so a panic here
     /// means the slot id came from a different plan.
@@ -269,40 +406,66 @@ pub struct HomPlan<'p, 't> {
     atoms: Vec<PlanAtom>,
     /// Slot → variable, in order of first occurrence in the pattern.
     vars: Vec<Var>,
-    slot_of: HashMap<Var, u32>,
+    slot_of: HashMap<Var, u32, FastBuild>,
     /// A pattern constant has no node in the target: zero matches.
     dead: bool,
+}
+
+/// Shared front end of both engines: the pattern lowered to dense slots
+/// with constants resolved against one target. Keeping a single lowering
+/// guarantees the two engines agree on slot numbering, which is what lets
+/// the chase compute frontier seeds once per slice regardless of engine.
+pub(crate) struct CompiledPattern {
+    pub(crate) atoms: Vec<PlanAtom>,
+    pub(crate) vars: Vec<Var>,
+    pub(crate) slot_of: HashMap<Var, u32, FastBuild>,
+    pub(crate) dead: bool,
+}
+
+pub(crate) fn compile_pattern(pattern: &[Atom<Term>], target: &Structure) -> CompiledPattern {
+    let mut vars: Vec<Var> = Vec::new();
+    let mut slot_of: HashMap<Var, u32, FastBuild> = HashMap::default();
+    let mut dead = false;
+    let atoms = pattern
+        .iter()
+        .map(|atom| PlanAtom {
+            pred: atom.pred,
+            args: atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => PArg::Slot(*slot_of.entry(*v).or_insert_with(|| {
+                        vars.push(*v);
+                        (vars.len() - 1) as u32
+                    })),
+                    Term::Const(c) => match target.existing_const_node(*c) {
+                        Some(n) => PArg::Node(n),
+                        None => {
+                            dead = true;
+                            PArg::Node(Node(u32::MAX))
+                        }
+                    },
+                })
+                .collect(),
+        })
+        .collect();
+    CompiledPattern {
+        atoms,
+        vars,
+        slot_of,
+        dead,
+    }
 }
 
 impl<'p, 't> HomPlan<'p, 't> {
     /// Compiles `pattern` against `target`.
     pub fn compile(pattern: &'p [Atom<Term>], target: &'t Structure) -> Self {
-        let mut vars: Vec<Var> = Vec::new();
-        let mut slot_of: HashMap<Var, u32> = HashMap::new();
-        let mut dead = false;
-        let atoms = pattern
-            .iter()
-            .map(|atom| PlanAtom {
-                pred: atom.pred,
-                args: atom
-                    .args
-                    .iter()
-                    .map(|t| match t {
-                        Term::Var(v) => PArg::Slot(*slot_of.entry(*v).or_insert_with(|| {
-                            vars.push(*v);
-                            (vars.len() - 1) as u32
-                        })),
-                        Term::Const(c) => match target.existing_const_node(*c) {
-                            Some(n) => PArg::Node(n),
-                            None => {
-                                dead = true;
-                                PArg::Node(Node(u32::MAX))
-                            }
-                        },
-                    })
-                    .collect(),
-            })
-            .collect();
+        let CompiledPattern {
+            atoms,
+            vars,
+            slot_of,
+            dead,
+        } = compile_pattern(pattern, target);
         HomPlan {
             pattern,
             target,
@@ -509,11 +672,10 @@ impl<'p, 't> HomPlan<'p, 't> {
         trail: &mut Vec<u32>,
     ) -> bool {
         debug_assert_eq!(atom.pred, cand.pred);
-        HOM_NODES.set(HOM_NODES.get() + 1);
-        PENDING_NODES.set(PENDING_NODES.get() + 1);
+        count_search_node();
         let ok = Self::bind_args(atom, cand, slots, trail);
         if !ok {
-            PENDING_BACKTRACKS.set(PENDING_BACKTRACKS.get() + 1);
+            count_backtrack();
         }
         ok
     }
@@ -546,6 +708,88 @@ impl<'p, 't> HomPlan<'p, 't> {
         }
         true
     }
+}
+
+/// An engine-dispatched compiled pattern: the [`HomEngine`]-selected
+/// counterpart of [`HomPlan`], with the same seeded-enumeration surface.
+///
+/// The chase compiles one plan per `(TGD, delta-position)` slice; routing
+/// through this enum keeps that code engine-agnostic. Slot numbering is
+/// identical across variants (both lower through the same
+/// [`compile_pattern`] front end), so seeds computed via [`AnyPlan::slot`]
+/// are valid for either engine.
+// Boxing the larger (wco) variant would put an allocation on the chase's
+// per-slice compile path — the exact cost the wco plan's buffer stashes
+// exist to avoid — and plans live on the stack of one enumeration call,
+// so the size gap is harmless.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyPlan<'p, 't> {
+    /// Atom-at-a-time backtracking join.
+    Legacy(HomPlan<'p, 't>),
+    /// Worst-case-optimal variable-at-a-time join.
+    Wco(wco::WcoPlan<'p, 't>),
+}
+
+impl<'p, 't> AnyPlan<'p, 't> {
+    /// Compiles `pattern` against `target` for the given engine.
+    pub fn compile(engine: HomEngine, pattern: &'p [Atom<Term>], target: &'t Structure) -> Self {
+        match engine {
+            HomEngine::Legacy => AnyPlan::Legacy(HomPlan::compile(pattern, target)),
+            HomEngine::Wco => AnyPlan::Wco(wco::WcoPlan::compile(pattern, target)),
+        }
+    }
+
+    /// The slot assigned to variable `v`, if `v` occurs in the pattern.
+    pub fn slot(&self, v: Var) -> Option<u32> {
+        match self {
+            AnyPlan::Legacy(p) => p.slot(v),
+            AnyPlan::Wco(p) => p.slot(v),
+        }
+    }
+
+    /// Engine-dispatched [`HomPlan::for_each_bindings`].
+    pub fn for_each_bindings<B>(
+        &self,
+        seeds: &[(u32, Node)],
+        limits: &[u32],
+        visit: impl FnMut(&Binding) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        match self {
+            AnyPlan::Legacy(p) => p.for_each_bindings(seeds, limits, visit),
+            AnyPlan::Wco(p) => p.for_each_bindings(seeds, limits, visit),
+        }
+    }
+
+    /// Engine-dispatched [`HomPlan::exists_seeded`].
+    pub fn exists_seeded(&self, seeds: &[(u32, Node)], limits: &[u32]) -> bool {
+        match self {
+            AnyPlan::Legacy(p) => p.exists_seeded(seeds, limits),
+            AnyPlan::Wco(p) => p.exists_seeded(seeds, limits),
+        }
+    }
+}
+
+/// `true` iff a homomorphism from `pattern` into `target` extending `fixed`
+/// exists, searched with the given engine.
+///
+/// The boolean-only sibling of [`find_homomorphism`], for callers that are
+/// on a hot path and engine-routed (the chase's live head re-check, the
+/// oracle's per-stage monitor) but do not need the witness map.
+pub fn exists_homomorphism_with(
+    engine: HomEngine,
+    pattern: &[Atom<Term>],
+    target: &Structure,
+    fixed: &VarMap,
+) -> bool {
+    let plan = AnyPlan::compile(engine, pattern, target);
+    let mut seeds: Vec<(u32, Node)> = Vec::with_capacity(fixed.len());
+    for (v, n) in fixed {
+        if let Some(s) = plan.slot(*v) {
+            seeds.push((s, *n));
+        }
+    }
+    let limits = vec![u32::MAX; pattern.len()];
+    plan.exists_seeded(&seeds, &limits)
 }
 
 /// Searches for a homomorphism `h : source → target` between structures over

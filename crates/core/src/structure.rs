@@ -1,14 +1,43 @@
-//! Finite relational structures with lookup indexes.
+//! Finite relational structures over a columnar index substrate.
 
 use crate::atom::GroundAtom;
+use crate::fasthash::FastBuild;
 use crate::signature::{ConstId, PredId, Signature};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// An element (vertex) of a structure, local to that structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Node(pub u32);
+
+/// Process-global source of structure identities (see [`Structure::uid`]).
+static STRUCTURE_UIDS: AtomicU64 = AtomicU64::new(1);
+
+fn next_structure_uid() -> u64 {
+    STRUCTURE_UIDS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One predicate's atoms in columnar layout: the row list, one flat
+/// column of argument nodes per position, and sorted per-position
+/// postings.
+///
+/// `rows` holds the *global* atom indices (into [`Structure::atoms`]) of
+/// this predicate's atoms, in insertion order — and insertion order is
+/// ascending, so `rows` is sorted and prefix queries against a frozen
+/// snapshot boundary are a `partition_point`. `cols[pos][i]` is the
+/// argument at `pos` of the atom `rows[i]`. `postings[pos]` maps a node
+/// to the ascending global atom indices carrying it at `pos`; each
+/// posting list is sorted for the same reason `rows` is, which is what
+/// makes the worst-case-optimal search's k-way sorted intersections
+/// possible.
+#[derive(Debug, Clone, Default)]
+struct ColumnarRel {
+    rows: Vec<u32>,
+    cols: Vec<Vec<Node>>,
+    postings: Vec<HashMap<Node, Vec<u32>, FastBuild>>,
+}
 
 /// A finite relational structure over a [`Signature`] (paper §II.A).
 ///
@@ -17,18 +46,55 @@ pub struct Node(pub u32);
 /// use and are fixed by every homomorphism.
 ///
 /// Atoms are kept in insertion order (so iteration is deterministic) and
-/// deduplicated; two secondary indexes support homomorphism search:
-/// by-predicate and by-(predicate, position, node).
-#[derive(Debug, Clone)]
+/// deduplicated. Lookups are served by a per-predicate **columnar
+/// substrate** ([`ColumnarRel`]): a dense `Vec` indexed by [`PredId`]
+/// holding, for each predicate, its row list, one flat node column per
+/// argument position, and sorted per-position postings. The historical
+/// accessors (`atoms_with_pred*`, `pred_pos_node_index`, …) are thin
+/// views over this layout, so existing callers are unaffected; the
+/// columnar extras (`column`, `distinct_count`, `epoch`) feed the
+/// worst-case-optimal homomorphism search in `hom::wco`.
+#[derive(Debug)]
 pub struct Structure {
     sig: Arc<Signature>,
     atoms: Vec<GroundAtom>,
-    atom_set: HashSet<GroundAtom>,
-    by_pred: HashMap<PredId, Vec<u32>>,
-    by_pred_pos_node: HashMap<(PredId, u8, Node), Vec<u32>>,
+    atom_set: HashSet<GroundAtom, FastBuild>,
+    rels: Vec<ColumnarRel>,
+    /// Flat CSR side table of every atom's arguments: atom `i`'s args are
+    /// `flat_args[arg_starts[i]..arg_starts[i+1]]`. The hom-search inner
+    /// loops read argument tuples by global atom id millions of times per
+    /// chase; this table serves them from one contiguous allocation
+    /// instead of chasing each [`GroundAtom`]'s own heap `Vec`.
+    flat_args: Vec<Node>,
+    arg_starts: Vec<u32>,
     node_count: u32,
     const_node: HashMap<ConstId, Node>,
     node_const: HashMap<Node, ConstId>,
+    /// Monotone mutation counter, bumped on every atom insertion.
+    epoch: u64,
+    /// Process-unique identity; fresh per construction *and* per clone.
+    uid: u64,
+}
+
+impl Clone for Structure {
+    /// Clones the structure with a **fresh identity**: the clone gets its
+    /// own [`uid`](Self::uid) so plan caches keyed by `(uid, epoch)` can
+    /// never confuse a clone with its original once they diverge.
+    fn clone(&self) -> Self {
+        Structure {
+            sig: Arc::clone(&self.sig),
+            atoms: self.atoms.clone(),
+            atom_set: self.atom_set.clone(),
+            rels: self.rels.clone(),
+            flat_args: self.flat_args.clone(),
+            arg_starts: self.arg_starts.clone(),
+            node_count: self.node_count,
+            const_node: self.const_node.clone(),
+            node_const: self.node_const.clone(),
+            epoch: self.epoch,
+            uid: next_structure_uid(),
+        }
+    }
 }
 
 impl Structure {
@@ -37,12 +103,15 @@ impl Structure {
         Structure {
             sig,
             atoms: Vec::new(),
-            atom_set: HashSet::new(),
-            by_pred: HashMap::new(),
-            by_pred_pos_node: HashMap::new(),
+            atom_set: HashSet::default(),
+            rels: Vec::new(),
+            flat_args: Vec::new(),
+            arg_starts: vec![0],
             node_count: 0,
             const_node: HashMap::new(),
             node_const: HashMap::new(),
+            epoch: 0,
+            uid: next_structure_uid(),
         }
     }
 
@@ -54,6 +123,21 @@ impl Structure {
     /// The structure's signature.
     pub fn signature(&self) -> &Arc<Signature> {
         &self.sig
+    }
+
+    /// A process-unique identity for this structure value. Fresh on every
+    /// construction and on every clone, so `(uid, epoch)` pairs identify a
+    /// specific index state without retaining a borrow — the key shape the
+    /// `hom::wco` plan cache uses.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    /// Monotone mutation counter: bumped on every atom insertion. A plan
+    /// or statistic derived from the indexes is valid exactly as long as
+    /// the epoch it was computed at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Allocates a fresh node.
@@ -130,6 +214,12 @@ impl Structure {
 
     /// Inserts a ground atom; returns `true` if it was new.
     ///
+    /// Maintains the columnar substrate incrementally: the atom's global
+    /// index is appended to the predicate's row list, each argument to its
+    /// position's column, and each `(position, node)` posting — all
+    /// appends of an ascending index, so every list stays sorted without
+    /// re-sorting. Bumps [`epoch`](Self::epoch).
+    ///
     /// # Panics
     /// If the argument count does not match the predicate's arity, or an
     /// argument node was never allocated in this structure.
@@ -149,13 +239,23 @@ impl Structure {
             return false;
         }
         let idx = self.atoms.len() as u32;
-        self.by_pred.entry(atom.pred).or_default().push(idx);
-        for (pos, &n) in atom.args.iter().enumerate() {
-            self.by_pred_pos_node
-                .entry((atom.pred, pos as u8, n))
-                .or_default()
-                .push(idx);
+        let pid = atom.pred.0 as usize;
+        if self.rels.len() <= pid {
+            self.rels.resize_with(pid + 1, ColumnarRel::default);
         }
+        let rel = &mut self.rels[pid];
+        if rel.rows.is_empty() && rel.cols.len() != atom.args.len() {
+            rel.cols = vec![Vec::new(); atom.args.len()];
+            rel.postings = vec![HashMap::default(); atom.args.len()];
+        }
+        rel.rows.push(idx);
+        for (pos, &n) in atom.args.iter().enumerate() {
+            rel.cols[pos].push(n);
+            rel.postings[pos].entry(n).or_default().push(idx);
+        }
+        self.flat_args.extend_from_slice(&atom.args);
+        self.arg_starts.push(self.flat_args.len() as u32);
+        self.epoch += 1;
         self.atom_set.insert(atom.clone());
         self.atoms.push(atom);
         true
@@ -182,23 +282,34 @@ impl Structure {
         &self.atoms
     }
 
+    /// The argument tuple of the atom with global index `row`, served
+    /// from the flat CSR side table (one contiguous allocation — the
+    /// cache-friendly read path the hom-search inner loops use instead of
+    /// `atoms()[row].args`).
+    pub fn args_of(&self, row: u32) -> &[Node] {
+        let i = row as usize;
+        &self.flat_args[self.arg_starts[i] as usize..self.arg_starts[i + 1] as usize]
+    }
+
     /// Number of atoms.
     pub fn atom_count(&self) -> usize {
         self.atoms.len()
     }
 
+    fn rel(&self, pred: PredId) -> Option<&ColumnarRel> {
+        self.rels.get(pred.0 as usize)
+    }
+
     /// Atoms with the given predicate, in insertion order.
     pub fn atoms_with_pred(&self, pred: PredId) -> impl Iterator<Item = &GroundAtom> {
-        self.by_pred
-            .get(&pred)
-            .into_iter()
-            .flatten()
+        self.pred_index(pred)
+            .iter()
             .map(|&i| &self.atoms[i as usize])
     }
 
     /// Number of atoms with the given predicate.
     pub fn pred_count(&self, pred: PredId) -> usize {
-        self.by_pred.get(&pred).map_or(0, Vec::len)
+        self.rel(pred).map_or(0, |r| r.rows.len())
     }
 
     /// Atoms with the given predicate that carry `node` at position `pos`.
@@ -208,50 +319,65 @@ impl Structure {
         pos: u8,
         node: Node,
     ) -> impl Iterator<Item = &GroundAtom> {
-        self.by_pred_pos_node
-            .get(&(pred, pos, node))
-            .into_iter()
-            .flatten()
+        self.pred_pos_node_index(pred, pos, node)
+            .iter()
             .map(|&i| &self.atoms[i as usize])
     }
 
     /// Number of atoms matching (pred, pos, node) — used for index selection.
     pub fn index_size(&self, pred: PredId, pos: u8, node: Node) -> usize {
-        self.by_pred_pos_node
-            .get(&(pred, pos, node))
-            .map_or(0, Vec::len)
+        self.pred_pos_node_index(pred, pos, node).len()
     }
 
-    /// The raw by-predicate index: atom indices (into [`Self::atoms`]) with
-    /// this predicate, in insertion order. Exposed as a slice so compiled
-    /// homomorphism plans can scan candidates without an iterator
-    /// allocation; an absent predicate yields an empty slice.
+    /// The raw by-predicate index: global atom indices (into
+    /// [`Self::atoms`]) with this predicate, ascending. A thin view of the
+    /// columnar row list; an absent predicate yields an empty slice.
     pub fn pred_index(&self, pred: PredId) -> &[u32] {
-        self.by_pred.get(&pred).map_or(&[], Vec::as_slice)
+        self.rel(pred).map_or(&[], |r| r.rows.as_slice())
     }
 
-    /// The raw by-(predicate, position, node) index: atom indices carrying
-    /// `node` at position `pos`, in insertion order. Companion of
-    /// [`Self::pred_index`] for the compiled hom-search hot path.
+    /// The raw by-(predicate, position, node) posting: ascending global
+    /// atom indices carrying `node` at position `pos`. Companion of
+    /// [`Self::pred_index`] for the hom-search hot paths; both engines
+    /// rely on the ascending order (the legacy engine to stop prefix scans
+    /// early, the wco engine for sorted intersection).
     pub fn pred_pos_node_index(&self, pred: PredId, pos: u8, node: Node) -> &[u32] {
-        self.by_pred_pos_node
-            .get(&(pred, pos, node))
+        self.rel(pred)
+            .and_then(|r| r.postings.get(pos as usize))
+            .and_then(|p| p.get(&node))
             .map_or(&[], Vec::as_slice)
     }
 
+    /// The flat node column of a predicate's argument position:
+    /// `column(p, pos)[i]` is the argument at `pos` of the atom
+    /// `pred_index(p)[i]`. This is the columnar access path the
+    /// worst-case-optimal search scans for candidate values.
+    pub fn column(&self, pred: PredId, pos: u8) -> &[Node] {
+        self.rel(pred)
+            .and_then(|r| r.cols.get(pos as usize))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct nodes at a predicate's argument position — the
+    /// posting count, used by the wco variable-ordering planner to
+    /// estimate selectivity (rows ÷ distinct = average posting length).
+    pub fn distinct_count(&self, pred: PredId, pos: u8) -> usize {
+        self.rel(pred)
+            .and_then(|r| r.postings.get(pos as usize))
+            .map_or(0, HashMap::len)
+    }
+
     /// Like [`Self::atoms_with_pred`], restricted to the first `limit` atoms
-    /// (by insertion order). Index lists are insertion-ordered, so this is a
-    /// prefix scan. Used by the chase to enumerate triggers over a frozen
-    /// stage snapshot (paper §II.C: triggers range over `chaseᵢ`).
+    /// (by insertion order). Row lists are ascending, so this is a prefix
+    /// scan. Used by the chase to enumerate triggers over a frozen stage
+    /// snapshot (paper §II.C: triggers range over `chaseᵢ`).
     pub fn atoms_with_pred_limited(
         &self,
         pred: PredId,
         limit: u32,
     ) -> impl Iterator<Item = &GroundAtom> {
-        self.by_pred
-            .get(&pred)
-            .into_iter()
-            .flatten()
+        self.pred_index(pred)
+            .iter()
             .take_while(move |&&i| i < limit)
             .map(|&i| &self.atoms[i as usize])
     }
@@ -265,10 +391,8 @@ impl Structure {
         node: Node,
         limit: u32,
     ) -> impl Iterator<Item = &GroundAtom> {
-        self.by_pred_pos_node
-            .get(&(pred, pos, node))
-            .into_iter()
-            .flatten()
+        self.pred_pos_node_index(pred, pos, node)
+            .iter()
             .take_while(move |&&i| i < limit)
             .map(|&i| &self.atoms[i as usize])
     }
@@ -436,6 +560,60 @@ mod tests {
         assert_eq!(d.atoms_with_pred_pos_node(r, 0, a).count(), 2);
         assert_eq!(d.atoms_with_pred_pos_node(r, 1, c).count(), 2);
         assert_eq!(d.index_size(r, 0, c), 0);
+    }
+
+    #[test]
+    fn columns_mirror_rows() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let mut d = Structure::new(sig);
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        let c = d.fresh_node();
+        d.add(r, vec![a, b]);
+        d.add(r, vec![b, c]);
+        d.add(r, vec![a, c]);
+        // column(p, pos)[i] is the argument of atom pred_index(p)[i].
+        assert_eq!(d.column(r, 0), &[a, b, a]);
+        assert_eq!(d.column(r, 1), &[b, c, c]);
+        assert_eq!(d.distinct_count(r, 0), 2);
+        assert_eq!(d.distinct_count(r, 1), 2);
+        // Postings are ascending global atom ids.
+        assert_eq!(d.pred_pos_node_index(r, 0, a), &[0, 2]);
+        assert_eq!(d.pred_pos_node_index(r, 1, c), &[1, 2]);
+        // Absent predicate/position/node: empty views, zero counts.
+        let s = d.signature().predicate("S").unwrap();
+        assert!(d.column(s, 0).is_empty());
+        assert_eq!(d.distinct_count(s, 0), 0);
+    }
+
+    #[test]
+    fn epoch_advances_only_on_new_atoms() {
+        let sig = sig2();
+        let r = sig.predicate("R").unwrap();
+        let mut d = Structure::new(sig);
+        let e0 = d.epoch();
+        let a = d.fresh_node();
+        let b = d.fresh_node();
+        assert_eq!(d.epoch(), e0, "node allocation does not move the epoch");
+        d.add(r, vec![a, b]);
+        let e1 = d.epoch();
+        assert!(e1 > e0);
+        d.add(r, vec![a, b]); // duplicate: rejected, epoch unchanged
+        assert_eq!(d.epoch(), e1);
+        d.add(r, vec![b, a]);
+        assert!(d.epoch() > e1);
+    }
+
+    #[test]
+    fn clones_get_fresh_uids() {
+        let sig = sig2();
+        let d = Structure::new(Arc::clone(&sig));
+        let d2 = d.clone();
+        let d3 = Structure::new(sig);
+        assert_ne!(d.uid(), d2.uid());
+        assert_ne!(d.uid(), d3.uid());
+        assert_eq!(d.epoch(), d2.epoch());
     }
 
     #[test]

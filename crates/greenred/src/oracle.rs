@@ -17,7 +17,7 @@ use crate::coloring::{Color, GreenRed};
 use crate::tq::greenred_tgds;
 use cqfd_cert::{convert, Certificate};
 use cqfd_chase::{ChaseBudget, ChaseEngine, ChaseHooks, ChaseOutcome, ChaseRun};
-use cqfd_core::{find_homomorphism, Cq, Node, Signature, VarMap};
+use cqfd_core::{exists_homomorphism_with, find_homomorphism, Cq, Node, Signature, VarMap};
 use cqfd_obs::span;
 use std::sync::Arc;
 
@@ -181,7 +181,21 @@ impl DeterminacyOracle {
         let budget = budget.clone().presized_for(engine.termination());
         let run = {
             let _chase = span!("oracle.chase", max_stages = budget.max_stages);
-            engine.chase_with_hooks(&start, &budget, |d, _stage| red_q0.holds(d, &tuple), hooks)
+            // The per-stage monitor is the oracle's final hom check; route
+            // it through the budget's engine so `--hom-engine` covers it.
+            let monitor_fixed: VarMap = red_q0
+                .head_vars
+                .iter()
+                .copied()
+                .zip(tuple.iter().copied())
+                .collect();
+            let hom_engine = budget.hom_engine;
+            engine.chase_with_hooks(
+                &start,
+                &budget,
+                |d, _stage| exists_homomorphism_with(hom_engine, &red_q0.body, d, &monitor_fixed),
+                hooks,
+            )
         };
         let verdict = match run.outcome {
             ChaseOutcome::MonitorStopped => {
@@ -276,8 +290,15 @@ impl DeterminacyOracle {
         let start = self.green_canonical(q0);
         let (start_structure, tuple) = start;
         let red_q0 = self.colored_query(Color::Red, q0);
+        let monitor_fixed: VarMap = red_q0
+            .head_vars
+            .iter()
+            .copied()
+            .zip(tuple.iter().copied())
+            .collect();
+        let hom_engine = budget.hom_engine;
         let run = engine.chase_with_monitor(&start_structure, budget, |d, _stage| {
-            red_q0.holds(d, &tuple)
+            exists_homomorphism_with(hom_engine, &red_q0.body, d, &monitor_fixed)
         });
         (run, tuple)
     }

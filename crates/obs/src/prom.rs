@@ -197,6 +197,48 @@ mod tests {
         );
     }
 
+    /// Pins the exposition bytes of the wco hom-engine counter families
+    /// (registered from `cqfd-core::hom::publish_hom_metrics`): family
+    /// order is alphabetical and label-free samples render bare, so a
+    /// scrape diff across engines shows only the values.
+    #[test]
+    fn golden_wco_hom_engine_families() {
+        let reg = Registry::new();
+        reg.counter(
+            "cqfd_hom_intersection_steps_total",
+            "Sorted-posting intersection element steps taken by the wco engine.",
+            &[],
+        )
+        .add(42);
+        reg.counter(
+            "cqfd_homplan_cache_hits_total",
+            "Wco variable-order plan-cache hits.",
+            &[],
+        )
+        .add(7);
+        reg.counter(
+            "cqfd_homplan_cache_misses_total",
+            "Wco variable-order plan-cache misses (orders computed).",
+            &[],
+        )
+        .add(3);
+        let text = super::render(&reg.snapshot());
+        assert_eq!(
+            text,
+            "# HELP cqfd_hom_intersection_steps_total Sorted-posting intersection element \
+             steps taken by the wco engine.\n\
+             # TYPE cqfd_hom_intersection_steps_total counter\n\
+             cqfd_hom_intersection_steps_total 42\n\
+             # HELP cqfd_homplan_cache_hits_total Wco variable-order plan-cache hits.\n\
+             # TYPE cqfd_homplan_cache_hits_total counter\n\
+             cqfd_homplan_cache_hits_total 7\n\
+             # HELP cqfd_homplan_cache_misses_total Wco variable-order plan-cache misses \
+             (orders computed).\n\
+             # TYPE cqfd_homplan_cache_misses_total counter\n\
+             cqfd_homplan_cache_misses_total 3\n"
+        );
+    }
+
     #[test]
     fn golden_histogram_buckets_are_cumulative_and_ordered() {
         let reg = Registry::new();

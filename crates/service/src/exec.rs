@@ -395,7 +395,8 @@ fn record_job_metrics(kind: &'static str, verdict: &'static str, clock: &Stopwat
 fn chase_budget(budget: &JobBudget, cancel: &CancelToken, thread_cap: usize) -> ChaseBudget {
     let mut b = ChaseBudget::stages(budget.max_stages)
         .with_cancel(cancel.clone())
-        .with_threads(budget.threads.min(thread_cap.max(1)));
+        .with_threads(budget.threads.min(thread_cap.max(1)))
+        .with_hom_engine(budget.hom_engine);
     if let Some(t) = budget.timeout {
         b = b.with_timeout(t);
     }
@@ -509,6 +510,7 @@ fn run_job(
                 cancel: cancel.clone(),
                 deadline: budget.timeout.map(|t| Instant::now() + t),
                 threads: budget.threads.max(1).min(thread_cap.max(1)),
+                hom_engine: budget.hom_engine,
                 ..cqfd_separating::theorem14::separating_budget(budget.max_stages)
             };
             let (_, run_di, di_pattern) = cqfd_separating::theorem14::chase_from_di_with(&chase);

@@ -1,6 +1,6 @@
 //! Job descriptions: what to run, and under which budget.
 
-use cqfd_core::{Cq, Signature};
+use cqfd_core::{Cq, HomEngine, Signature};
 use cqfd_rainworm::Delta;
 use std::time::Duration;
 
@@ -56,6 +56,13 @@ pub struct JobBudget {
     /// a no-op when no store is configured or the job kind has no
     /// resumable chase. Not part of the canonical job hash.
     pub resume: bool,
+    /// Homomorphism search engine for chase-based jobs (wire `hom=`, CLI
+    /// `--hom-engine`). Defaults to the worst-case-optimal engine; `legacy`
+    /// selects the backtracking [`HomPlan`](cqfd_core::HomPlan) for
+    /// differential testing. Both engines produce byte-identical results,
+    /// so this is not part of the canonical job hash — it controls how the
+    /// job computes, not what.
+    pub hom_engine: HomEngine,
 }
 
 impl Default for JobBudget {
@@ -71,6 +78,7 @@ impl Default for JobBudget {
             emit_lint: false,
             use_cache: true,
             resume: false,
+            hom_engine: HomEngine::default(),
         }
     }
 }
@@ -133,6 +141,12 @@ impl JobBudget {
     /// Enables the write-ahead stage log (and resume from it).
     pub fn with_resume(mut self, resume: bool) -> Self {
         self.resume = resume;
+        self
+    }
+
+    /// Selects the homomorphism search engine for chase-based jobs.
+    pub fn with_hom_engine(mut self, hom_engine: HomEngine) -> Self {
+        self.hom_engine = hom_engine;
         self
     }
 }

@@ -19,7 +19,7 @@
 //! [`JobResult`](crate::JobResult)'s `Display` impl.
 
 use crate::job::{Job, JobBudget};
-use cqfd_core::{Cq, Signature};
+use cqfd_core::{Cq, HomEngine, Signature};
 use cqfd_greenred::instances;
 use cqfd_rainworm::encode::tm_to_rainworm;
 use cqfd_rainworm::families::{counter_worm, forever_worm, halting_worm_short};
@@ -167,6 +167,17 @@ impl Fields {
         }
     }
 
+    /// The `hom=` key: the homomorphism search engine for chase-based
+    /// jobs. Absent means the default (worst-case-optimal) engine.
+    fn hom_engine(&self) -> Result<HomEngine, String> {
+        match self.get("hom") {
+            None => Ok(HomEngine::default()),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad hom=`{v}` (want legacy | wco)")),
+        }
+    }
+
     /// The `worm=` spec, with parse errors naming the key and value.
     fn worm(&self) -> Result<Delta, String> {
         let spec = self.require("worm")?;
@@ -174,7 +185,7 @@ impl Fields {
     }
 
     /// The common budget keys: `stages=`, `steps=`, `nodes=`, `timeout-ms=`,
-    /// `cert=`, `trace=`, `lint=`, `threads=`, `cache=`, `resume=`.
+    /// `cert=`, `trace=`, `lint=`, `threads=`, `cache=`, `resume=`, `hom=`.
     fn budget(&self) -> Result<JobBudget, String> {
         let d = JobBudget::default();
         let timeout = match self.get("timeout-ms") {
@@ -197,6 +208,7 @@ impl Fields {
             emit_lint: self.lint_flag()?,
             use_cache: self.cache_flag()?,
             resume: self.resume_flag()?,
+            hom_engine: self.hom_engine()?,
         })
     }
 }
@@ -457,6 +469,7 @@ fn parse_job_tokens(tokens: Vec<String>) -> Result<Option<Job>, String> {
                 "threads",
                 "cache",
                 "resume",
+                "hom",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::Determine {
@@ -491,7 +504,7 @@ fn parse_job_tokens(tokens: Vec<String>) -> Result<Option<Job>, String> {
             }
         }
         "separate" => {
-            f.check_keys(&["stages", "cert", "trace", "lint", "threads", "cache"])?;
+            f.check_keys(&["stages", "cert", "trace", "lint", "threads", "cache", "hom"])?;
             // The lasso chase needs ~80 stages to exhibit the 1-2 pattern,
             // so `separate` defaults higher than the generic budget.
             Job::Separate {
@@ -501,7 +514,8 @@ fn parse_job_tokens(tokens: Vec<String>) -> Result<Option<Job>, String> {
                     .with_trace(f.trace_flag()?)
                     .with_lint(f.lint_flag()?)
                     .with_threads(f.threads()?)
-                    .with_cache(f.cache_flag()?),
+                    .with_cache(f.cache_flag()?)
+                    .with_hom_engine(f.hom_engine()?),
             }
         }
         "counterexample" => {
@@ -761,6 +775,33 @@ mod tests {
         }
         // Creep never chases, so it rejects the key outright.
         assert!(parse_job("creep worm=short threads=4").is_err());
+    }
+
+    #[test]
+    fn hom_key_parses_where_chasing_happens() {
+        match parse_job("determine instance=projection hom=legacy")
+            .unwrap()
+            .unwrap()
+        {
+            Job::Determine { budget, .. } => assert_eq!(budget.hom_engine, HomEngine::Legacy),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("separate stages=60 hom=wco").unwrap().unwrap() {
+            Job::Separate { budget } => assert_eq!(budget.hom_engine, HomEngine::Wco),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Absent means the default engine.
+        match parse_job("determine instance=projection").unwrap().unwrap() {
+            Job::Determine { budget, .. } => {
+                assert_eq!(budget.hom_engine, HomEngine::default());
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let err = parse_job("determine instance=projection hom=quantum").unwrap_err();
+        assert!(err.contains("hom=`quantum`"), "{err}");
+        assert!(err.contains("legacy | wco"), "{err}");
+        // Creep never chases, so it rejects the key outright.
+        assert!(parse_job("creep worm=short hom=legacy").is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use cqfd::chase::ChaseBudget;
 use cqfd::core::CancelToken;
-use cqfd::core::{Cq, Signature};
+use cqfd::core::{Cq, HomEngine, Signature};
 use cqfd::greenred::{cq_rewriting, search_counterexample, DeterminacyOracle, Verdict};
 use cqfd::rainworm::encode::tm_to_rainworm;
 use cqfd::rainworm::families::{counter_worm, forever_worm, halting_worm_short};
@@ -68,12 +68,13 @@ const USAGE: &str = "cqfd — conjunctive-query determinacy toolbox
 USAGE:
   cqfd determine --sig <P/k,...> --view <CQ> [--view <CQ> ...] --query <CQ>
                  [--stages <n>] [--search-nodes <n>] [--threads <n>]
-                 [--store <dir>]
+                 [--store <dir>] [--hom-engine <legacy|wco>]
   cqfd rewrite   --sig <P/k,...> --view <CQ> ... --query <CQ>
   cqfd creep     --worm <forever|short|counter:M|tm-walker:K|tm-zigzag:K|file:PATH>
                  [--steps <n>] [--trace <n>]  [--emit]
   cqfd reduce    --worm <...>
   cqfd separate  [--stages <n>] [--threads <n>] [--store <dir>]
+                 [--hom-engine <legacy|wco>]
   cqfd lint      <rules-file | theorem14 | worm:SPEC> [--json]
                  (static analysis: chase-termination verdict, safety and
                   signature diagnostics; nonzero exit on error diagnostics)
@@ -81,7 +82,7 @@ USAGE:
                  [--out <file>]   (emit a machine-checkable certificate)
   cqfd check     <file>           (validate a certificate; nonzero on reject)
   cqfd batch     <jobs-file> [--workers <n>] [--queue <n>] [--threads <n>]
-                 [--store <dir>]
+                 [--store <dir>] [--hom-engine <legacy|wco>]
   cqfd serve     --listen <addr> [--workers <n>] [--queue <n>] [--store <dir>]
                  [--gateway] [--http-listen <addr>] [--lane-cap <n>]
                  [--tenant-quota <tenant:rate:burst> ...]
@@ -112,6 +113,10 @@ USAGE:
 
 `--threads <n>` fans chase enumeration out over n worker threads; output
 is byte-identical at every setting (see README, Performance).
+`--hom-engine <legacy|wco>` picks the homomorphism search engine: `wco`
+(the default) runs the worst-case-optimal enumerator over the columnar
+indexes, `legacy` the backtracking planner; both produce byte-identical
+verdicts and certificates (see README, Performance).
 `--store <dir>` enables the persistent result cache: conclusive verdicts
 are written back with their certificates, and later identical jobs are
 served from disk after the trusted checker re-validates the entry (the
@@ -199,6 +204,18 @@ fn threads_flag(args: &[String]) -> Result<usize, String> {
     }
 }
 
+/// The `--hom-engine` flag: the homomorphism search engine for chase
+/// work (default: the worst-case-optimal engine; `legacy` selects the
+/// backtracking planner for differential testing).
+fn hom_engine_flag(args: &[String]) -> Result<HomEngine, String> {
+    match flag(args, "--hom-engine") {
+        None => Ok(HomEngine::default()),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --hom-engine `{v}` (want legacy | wco)")),
+    }
+}
+
 /// The `--store <dir>` flag: opens (creating if needed) the persistent
 /// result store, or `None` when the flag is absent.
 fn open_store(args: &[String]) -> Result<Option<Store>, String> {
@@ -240,6 +257,7 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
             "--search-nodes",
             "--threads",
             "--store",
+            "--hom-engine",
         ],
     )?;
     if rewriting_mode && flag(args, "--store").is_some() {
@@ -279,6 +297,7 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
         s.parse().map_err(|_| "bad --search-nodes".to_string())
     })?;
     let threads = threads_flag(args)?;
+    let hom_engine = hom_engine_flag(args)?;
     if let Some(store) = open_store(args)? {
         // Route through the service executor so the run shares the cache
         // lookup/write-back path of `batch` and `serve`; the result is the
@@ -290,7 +309,8 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
             budget: JobBudget::default()
                 .with_stages(stages)
                 .with_search_nodes(search_nodes)
-                .with_threads(threads),
+                .with_threads(threads)
+                .with_hom_engine(hom_engine),
         };
         let result = execute_stored(0, &job, &CancelToken::new(), threads, Some(&store), true);
         println!("{}", result.render_protocol());
@@ -300,7 +320,9 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
     let cr = oracle.certify_run(
         &views,
         &q0,
-        &ChaseBudget::stages(stages).with_threads(threads),
+        &ChaseBudget::stages(stages)
+            .with_threads(threads)
+            .with_hom_engine(hom_engine),
     );
     let run = &cr.run;
     match cr.verdict {
@@ -427,7 +449,7 @@ fn reduce_cmd(args: &[String]) -> Result<(), String> {
 }
 
 fn separate_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--stages", "--threads", "--store"])?;
+    check_flags(args, &["--stages", "--threads", "--store", "--hom-engine"])?;
     use cqfd::separating::theorem14::{
         chase_from_di_with, chase_from_lasso_with, separating_budget,
     };
@@ -435,24 +457,34 @@ fn separate_cmd(args: &[String]) -> Result<(), String> {
         s.parse().map_err(|_| "bad --stages".to_string())
     })?;
     let threads = threads_flag(args)?;
+    let hom_engine = hom_engine_flag(args)?;
     if let Some(store) = open_store(args)? {
         let job = Job::Separate {
             budget: JobBudget::default()
                 .with_stages(stages)
-                .with_threads(threads),
+                .with_threads(threads)
+                .with_hom_engine(hom_engine),
         };
         let result = execute_stored(0, &job, &CancelToken::new(), threads, Some(&store), true);
         println!("{}", result.render_protocol());
         return Ok(());
     }
-    let (_, run, found) =
-        chase_from_di_with(&separating_budget(stages.min(10)).with_threads(threads));
+    let (_, run, found) = chase_from_di_with(
+        &separating_budget(stages.min(10))
+            .with_threads(threads)
+            .with_hom_engine(hom_engine),
+    );
     println!(
         "chase(T, DI): {} stages, 1-2 pattern: {found}",
         run.stage_count()
     );
-    let (_, run, found) =
-        chase_from_lasso_with(3, 1, &separating_budget(stages).with_threads(threads));
+    let (_, run, found) = chase_from_lasso_with(
+        3,
+        1,
+        &separating_budget(stages)
+            .with_threads(threads)
+            .with_hom_engine(hom_engine),
+    );
     println!(
         "chase(T, lasso(3,1)): 1-2 pattern: {found} after {} stages",
         run.stage_count()
@@ -628,7 +660,16 @@ fn pool_config(args: &[String]) -> Result<PoolConfig, String> {
 }
 
 fn batch_cmd(args: &[String]) -> Result<(), String> {
-    check_flags(args, &["--workers", "--queue", "--threads", "--store"])?;
+    check_flags(
+        args,
+        &[
+            "--workers",
+            "--queue",
+            "--threads",
+            "--store",
+            "--hom-engine",
+        ],
+    )?;
     let pos = positionals(args);
     let [path] = pos.as_slice() else {
         return Err("batch takes exactly one <jobs-file>".into());
@@ -646,6 +687,17 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
         for j in &mut jobs {
             if let Some(b) = j.budget_mut() {
                 b.threads = threads;
+            }
+        }
+    }
+    // `--hom-engine` likewise overrides per-line `hom=` keys, so a whole
+    // jobs file can be re-run under the other engine for differential
+    // testing without editing it.
+    if flag(args, "--hom-engine").is_some() {
+        let hom_engine = hom_engine_flag(args)?;
+        for j in &mut jobs {
+            if let Some(b) = j.budget_mut() {
+                b.hom_engine = hom_engine;
             }
         }
     }

@@ -100,6 +100,9 @@ fn concurrent_updates_are_exact_and_snapshots_monotone() {
 fn pool_jobs_feed_the_global_registry_and_scrape() {
     let before = cqfd::obs::global().snapshot();
     let homs_before = counter_of(&before, "cqfd_hom_search_nodes_total");
+    let steps_before = counter_of(&before, "cqfd_hom_intersection_steps_total");
+    let plans_before = counter_of(&before, "cqfd_homplan_cache_hits_total")
+        + counter_of(&before, "cqfd_homplan_cache_misses_total");
 
     let pool = Pool::new(PoolConfig::default().with_workers(2));
     let jobs = vec![
@@ -120,11 +123,26 @@ fn pool_jobs_feed_the_global_registry_and_scrape() {
         counter_of(&after, "cqfd_hom_search_nodes_total") > homs_before,
         "the separation chase explores hom-search nodes"
     );
+    // The default engine is wco, so a real chase also moves the
+    // intersection-step and plan-cache families.
+    assert!(
+        counter_of(&after, "cqfd_hom_intersection_steps_total") > steps_before,
+        "the wco engine takes sorted-intersection steps"
+    );
+    assert!(
+        counter_of(&after, "cqfd_homplan_cache_hits_total")
+            + counter_of(&after, "cqfd_homplan_cache_misses_total")
+            > plans_before,
+        "the wco engine consults its plan cache"
+    );
     let text = prom::render(&after);
     for family in [
         "cqfd_chase_run_seconds",
         "cqfd_chase_triggers_total",
         "cqfd_hom_search_nodes_total",
+        "cqfd_hom_intersection_steps_total",
+        "cqfd_homplan_cache_hits_total",
+        "cqfd_homplan_cache_misses_total",
         "cqfd_pool_jobs_total",
         "cqfd_pool_job_seconds",
         "cqfd_pool_workers",
