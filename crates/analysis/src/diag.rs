@@ -44,7 +44,9 @@ impl fmt::Display for Severity {
 }
 
 /// The diagnostic codes. The `A0xx` block is safety/well-formedness,
-/// `A1xx` is termination, `A2xx` is rainworm program lints.
+/// `A1xx` is termination, `A2xx` is rainworm program lints, and `A3xx`
+/// is the decidable-fragment classification (informational verdicts the
+/// dispatcher consults for routing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Code {
     /// A001: a query head variable does not occur in the body.
@@ -72,6 +74,18 @@ pub enum Code {
     /// A202: the rainworm cannot creep past step 0 from the initial
     /// configuration.
     StuckAtStart,
+    /// A300: every view is project-select (single-atom body) — finite
+    /// determinacy is decidable (Zhang et al., arXiv 2411.08874).
+    ProjectSelectViews,
+    /// A301: the green–red rule set `T_Q` is weakly acyclic — the chase
+    /// totalises and the semi-decision procedure is complete.
+    WeaklyAcyclicTotalChase,
+    /// A302: the views/query match the path-query shape whose determinacy
+    /// the red-spider machinery decides (divisibility criterion, [GM15]).
+    SpiderDecidable,
+    /// A399: no decidable fragment matched — only the general
+    /// semi-decision pipeline applies.
+    GeneralSemiDecision,
 }
 
 impl Code {
@@ -90,6 +104,10 @@ impl Code {
             Code::UnreachableInstruction,
             Code::DeadSymbol,
             Code::StuckAtStart,
+            Code::ProjectSelectViews,
+            Code::WeaklyAcyclicTotalChase,
+            Code::SpiderDecidable,
+            Code::GeneralSemiDecision,
         ]
     }
 
@@ -107,6 +125,10 @@ impl Code {
             Code::UnreachableInstruction => "A200",
             Code::DeadSymbol => "A201",
             Code::StuckAtStart => "A202",
+            Code::ProjectSelectViews => "A300",
+            Code::WeaklyAcyclicTotalChase => "A301",
+            Code::SpiderDecidable => "A302",
+            Code::GeneralSemiDecision => "A399",
         }
     }
 
@@ -126,7 +148,11 @@ impl Code {
             | Code::UnreachableInstruction
             | Code::DeadSymbol
             | Code::StuckAtStart => Severity::Warn,
-            Code::UnusedPredicate => Severity::Info,
+            Code::UnusedPredicate
+            | Code::ProjectSelectViews
+            | Code::WeaklyAcyclicTotalChase
+            | Code::SpiderDecidable
+            | Code::GeneralSemiDecision => Severity::Info,
         }
     }
 
@@ -144,6 +170,10 @@ impl Code {
             Code::UnreachableInstruction => "unreachable instruction",
             Code::DeadSymbol => "symbol written but never read",
             Code::StuckAtStart => "cannot creep past step 0",
+            Code::ProjectSelectViews => "project-select views, determinacy decidable",
+            Code::WeaklyAcyclicTotalChase => "weakly acyclic rules, total chase complete",
+            Code::SpiderDecidable => "spider-decidable path views",
+            Code::GeneralSemiDecision => "general fragment, semi-decision only",
         }
     }
 }

@@ -1,0 +1,227 @@
+//! Decidable-fragment classification: the static pass behind the engine's
+//! dispatcher.
+//!
+//! CQ finite determinacy is undecidable in general (the paper's headline
+//! result), but well-known fragments are decidable, and the repo's
+//! built-in workloads live almost entirely inside them. [`classify`]
+//! inspects a job's view/query shapes together with the green–red rule
+//! set `T_Q` the chase would run and places the input in a small verdict
+//! lattice, most specific first:
+//!
+//! * [`Fragment::ProjectSelect`] (`A300`) — every view has a single-atom
+//!   body **and** `T_Q` is weakly acyclic, so the view-exchange closure
+//!   terminates; finite determinacy is decidable (Zhang et al.,
+//!   arXiv 2411.08874). The complete procedure is [`crate::psv`].
+//! * [`Fragment::SpiderPath`] (`A302`) — one `m`-path view (`m ≥ 2`)
+//!   against a `k`-path query over the same binary predicate; determinacy
+//!   is decided by the divisibility criterion `m | k` (\[P11\]/\[GM15\],
+//!   the red-spider machinery's decidable shape).
+//! * [`Fragment::WeaklyAcyclic`] (`A301`) — `T_Q` is weakly acyclic: the
+//!   chase reaches a fixpoint from every finite instance, so the
+//!   semi-decision procedure is in fact complete (the `A100` machinery
+//!   used positively).
+//! * [`Fragment::General`] (`A399`) — nothing matched; only the budgeted
+//!   semi-decision pipeline applies. The witness is the special-edge
+//!   cycle that defeated weak acyclicity.
+//!
+//! Every verdict carries its structural evidence as an informational
+//! diagnostic rendered in the ordinary `cqfd-lint v1` wire idiom, so the
+//! classification ships to clients exactly like any other lint finding.
+
+use crate::diag::{Code, Diagnostic, Report};
+use cqfd_chase::{Termination, Tgd};
+use cqfd_core::{Cq, Signature};
+
+/// The decidable-fragment lattice, most specific first. Exactly one
+/// fragment is assigned per input ([`classify`] is deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fragment {
+    /// `A300`: project-select views with a terminating exchange closure.
+    ProjectSelect,
+    /// `A302`: the path-view/path-query shape decided by divisibility.
+    SpiderPath,
+    /// `A301`: weakly acyclic `T_Q` — the total chase answers exactly.
+    WeaklyAcyclic,
+    /// `A399`: the general fragment; semi-decision only.
+    General,
+}
+
+impl Fragment {
+    /// All fragments, most specific first (the classification order).
+    pub fn all() -> &'static [Fragment] {
+        &[
+            Fragment::ProjectSelect,
+            Fragment::SpiderPath,
+            Fragment::WeaklyAcyclic,
+            Fragment::General,
+        ]
+    }
+
+    /// The diagnostic code announcing this fragment.
+    pub fn code(self) -> Code {
+        match self {
+            Fragment::ProjectSelect => Code::ProjectSelectViews,
+            Fragment::SpiderPath => Code::SpiderDecidable,
+            Fragment::WeaklyAcyclic => Code::WeaklyAcyclicTotalChase,
+            Fragment::General => Code::GeneralSemiDecision,
+        }
+    }
+
+    /// The stable wire name — the code string (`A300` … `A399`). Used as
+    /// the `fragment=` field on job results and as the obs metric label.
+    pub fn as_str(self) -> &'static str {
+        self.code().as_str()
+    }
+
+    /// Parses the wire name back; the closed-set validation used by the
+    /// result-line parser.
+    pub fn parse(s: &str) -> Option<Fragment> {
+        Fragment::all().iter().copied().find(|f| f.as_str() == s)
+    }
+
+    /// Is a complete decision procedure available for this fragment?
+    pub fn is_decidable(self) -> bool {
+        !matches!(self, Fragment::General)
+    }
+}
+
+/// The classifier's output: the fragment, the rendered witness, the
+/// termination verdict it rests on, and the path parameters when the
+/// spider shape matched.
+#[derive(Debug, Clone)]
+pub struct Classification {
+    /// The assigned fragment.
+    pub fragment: Fragment,
+    /// The structural evidence, as an informational diagnostic.
+    pub witness: Diagnostic,
+    /// The weak-acyclicity verdict on `T_Q` (computed once here so the
+    /// dispatcher need not re-analyze).
+    pub termination: Termination,
+    /// `(m, k)` for [`Fragment::SpiderPath`]: view path length and query
+    /// path length. Determinacy holds iff `m` divides `k`.
+    pub path_lengths: Option<(usize, usize)>,
+}
+
+impl Classification {
+    /// The witness as a one-diagnostic report, for merging into a lint
+    /// report (bumps the per-code obs counter like any other diagnostic).
+    pub fn to_report(&self) -> Report {
+        let mut r = Report::new();
+        r.push(self.witness.clone());
+        r
+    }
+}
+
+/// Classifies a determinacy input. `sig` is the base signature the views
+/// and `q0` are over; `tq` is the green–red rule set the chase would run,
+/// over `tq_sig` (the colored signature) — passing the exact executable
+/// rules keeps the verdict tied to what the engine does, not to a
+/// reconstruction.
+pub fn classify(
+    sig: &Signature,
+    views: &[Cq],
+    q0: &Cq,
+    tq_sig: &Signature,
+    tq: &[Tgd],
+) -> Classification {
+    let termination = Termination::analyze(tq);
+
+    // A300: every view body is a single atom and the exchange closure
+    // terminates. A single project-select view always yields a weakly
+    // acyclic T_Q (special edges only target existential positions, which
+    // have no outgoing edges); with several views one view's existential
+    // position can be another's frontier position, so the termination
+    // check is real, not decorative.
+    if !views.is_empty()
+        && views.iter().all(Cq::is_project_select)
+        && termination.is_weakly_acyclic()
+    {
+        let shapes: Vec<String> = views
+            .iter()
+            .map(|v| v.display_with(sig).to_string())
+            .collect();
+        let witness = Diagnostic::new(
+            Code::ProjectSelectViews,
+            format!(
+                "all {} view(s) are project-select ({}) and the exchange closure \
+                 terminates (T_Q weakly acyclic): finite determinacy is decidable \
+                 (arXiv 2411.08874)",
+                views.len(),
+                shapes.join("; ")
+            ),
+        );
+        return Classification {
+            fragment: Fragment::ProjectSelect,
+            witness,
+            termination,
+            path_lengths: None,
+        };
+    }
+
+    // A302: one m-path view (m >= 2) against a k-path query over the same
+    // binary predicate. (m = 1 is project-select and caught above.)
+    if let [view] = views {
+        if let (Some((vp, m)), Some((qp, k))) = (view.path_shape(sig), q0.path_shape(sig)) {
+            if vp == qp && m >= 2 {
+                let divides = k % m == 0;
+                let witness = Diagnostic::new(
+                    Code::SpiderDecidable,
+                    format!(
+                        "{m}-path view vs {k}-path query over `{}`: determinacy is \
+                         decided by divisibility — {m} {} {k}, so the instance is \
+                         {}determined",
+                        sig.pred_name(vp),
+                        if divides {
+                            "divides"
+                        } else {
+                            "does not divide"
+                        },
+                        if divides { "" } else { "not " },
+                    ),
+                )
+                .with_subject(&view.name);
+                return Classification {
+                    fragment: Fragment::SpiderPath,
+                    witness,
+                    termination,
+                    path_lengths: Some((m, k)),
+                };
+            }
+        }
+    }
+
+    // A301: T_Q weakly acyclic — the chase totalises, so both the positive
+    // and the negative answer are reached in finitely many stages.
+    if termination.is_weakly_acyclic() {
+        let witness = Diagnostic::new(
+            Code::WeaklyAcyclicTotalChase,
+            format!(
+                "T_Q ({} rules) is weakly acyclic: the chase reaches a fixpoint, \
+                 so the semi-decision procedure is complete on this input",
+                tq.len()
+            ),
+        );
+        return Classification {
+            fragment: Fragment::WeaklyAcyclic,
+            witness,
+            termination,
+            path_lengths: None,
+        };
+    }
+
+    // A399: nothing matched; the witness is the cycle that defeats weak
+    // acyclicity, i.e. why no completeness guarantee applies.
+    let witness = Diagnostic::new(
+        Code::GeneralSemiDecision,
+        format!(
+            "no decidable fragment matched; T_Q special-edge cycle: {}",
+            termination.display_cycle(tq_sig)
+        ),
+    );
+    Classification {
+        fragment: Fragment::General,
+        witness,
+        termination,
+        path_lengths: None,
+    }
+}

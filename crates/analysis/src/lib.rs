@@ -16,6 +16,12 @@
 //!   step 0 (`A202`), unreachable instructions (`A200`), symbols written
 //!   but never read (`A201`), via a sound symbol-availability closure
 //!   ([`analyze_delta`]).
+//! * **Decidable-fragment classification** — the `A3xx` verdict lattice
+//!   ([`classify`]): project-select views (`A300`, with the complete
+//!   [`psv`] decision procedure), the spider path shape (`A302`), weakly
+//!   acyclic `T_Q` (`A301`), or the general semi-decision fragment
+//!   (`A399`), each with a machine-checkable structural witness. The
+//!   service's dispatcher routes on this verdict.
 //!
 //! Diagnostics carry a fixed severity per code; only `error`-severity
 //! findings gate execution (CLI nonzero exit, service job rejection).
@@ -41,11 +47,15 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod fragment;
 pub mod lint;
+pub mod psv;
 pub mod rules;
 pub mod worm;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity};
+pub use fragment::{classify, Classification, Fragment};
 pub use lint::{analyze_tgds, lint_text};
+pub use psv::{PsvLimits, PsvVerdict};
 pub use rules::{parse_rules, RuleFile};
 pub use worm::analyze_delta;

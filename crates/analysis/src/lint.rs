@@ -215,6 +215,25 @@ mod tests {
     }
 
     #[test]
+    fn view_head_only_predicates_are_not_reported_unused() {
+        // `V` appears solely as the view's head target; before the fix
+        // this linted with a spurious A021 on `V`.
+        let report = lint_text(
+            "sig R/2 V/1\n\
+             tgd t: R(x,y) -> R(y,x)\n\
+             cq V(x) :- R(x,y)\n",
+        );
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == Code::UnusedPredicate),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
     fn query_only_predicates_are_not_reported_unused() {
         let report = lint_text(
             "sig R/2 S/2\n\

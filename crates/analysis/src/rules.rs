@@ -213,6 +213,12 @@ fn parse_cq_line(
     let Some((name, head_args, _)) = parse_call(raw, head_text.trim(), line, report) else {
         return;
     };
+    // A query head that names a declared predicate is that predicate's
+    // *view target*: the declaration is used even if no rule body ever
+    // mentions it (A021 must not fire on view-materialised relations).
+    if let Some(p) = sig.predicate(&name) {
+        used[p.0 as usize] = true;
+    }
     let mut vars: HashMap<String, Var> = HashMap::new();
     let mut ok = true;
     // A local mutable clone would let body atoms add constants; queries
@@ -482,6 +488,15 @@ mod tests {
         assert!(!f.report.has_errors(), "{:?}", f.report);
         assert_eq!(f.tgds.len(), 1);
         assert!(f.tgds[0].is_full());
+    }
+
+    #[test]
+    fn view_head_target_predicate_is_marked_used() {
+        // `V` is declared but appears only as the cq's head target.
+        let f = parse_rules("sig R/2 V/1\ntgd t: R(x,y) -> R(y,x)\ncq V(x) :- R(x,y)\n");
+        assert!(!f.report.has_errors(), "{:?}", f.report);
+        let v = f.sig.predicate("V").unwrap();
+        assert!(f.used_preds[v.0 as usize], "view target must count as used");
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! E-DISPATCH: what the fragment dispatcher buys, measured.
+//!
+//! Three questions, answered on the built-in instance families and
+//! written to `BENCH_dispatch.json` at the repo root (the file
+//! EXPERIMENTS.md §E-DISPATCH quotes):
+//!
+//! 1. **Routing table** — which fragment/route every family classifies
+//!    to, with the verdict the routed pipeline returns.
+//! 2. **Conversion** — the headline win: on `mismatch:5x7` the bounded
+//!    brute-force search (`dispatch=semi`) exhausts every candidate pair
+//!    up to the default node cap without concluding, while `auto`'s
+//!    chase-model route extracts the chase fixpoint as a finite,
+//!    cert-checked counter-model in milliseconds.
+//! 3. **Determine parity** — on decidable determine families, routing
+//!    adds an independent cross-check; its cost must be noise.
+
+use cqfd_core::CancelToken;
+use cqfd_greenred::DeterminacyOracle;
+use cqfd_service::dispatch::classify_for;
+use cqfd_service::{execute, parse_job, Job, JobResult};
+use std::io::Write;
+use std::time::Instant;
+
+const SAMPLES: usize = 9;
+
+/// Times `f` `samples` times (after one warm-up) and returns (median,
+/// min, max) in milliseconds.
+fn time_ms_n(samples: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
+    f(); // warm-up
+    let mut v: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    v.sort_by(|a, b| a.total_cmp(b));
+    (v[samples / 2], v[0], v[samples - 1])
+}
+
+fn job(line: &str) -> Job {
+    parse_job(line)
+        .expect("job line parses")
+        .expect("non-blank")
+}
+
+fn run(line: &str) -> JobResult {
+    execute(0, &job(line), &CancelToken::inert())
+}
+
+struct DetRow {
+    instance: &'static str,
+    auto_ms: f64,
+    semi_ms: f64,
+}
+
+struct RouteRow {
+    instance: &'static str,
+    fragment: &'static str,
+    route: &'static str,
+    verdict: &'static str,
+}
+
+fn main() {
+    let families = [
+        "projection",
+        "path:1x3",
+        "path:2x3",
+        "path:3x2",
+        "mismatch:2x3",
+        "mismatch:2x5",
+        "mismatch:3x4",
+    ];
+
+    // 1. The routing table, plus the classifier's own cost.
+    let mut routing: Vec<RouteRow> = Vec::new();
+    let mut classify_ms: Vec<f64> = Vec::new();
+    for inst in families {
+        let r = run(&format!("determine instance={inst}"));
+        routing.push(RouteRow {
+            instance: inst,
+            fragment: r.metrics.fragment.expect("classified"),
+            route: r.metrics.route.expect("routed"),
+            verdict: r.outcome.verdict(),
+        });
+        let Job::Determine { sig, views, q0, .. } = job(&format!("determine instance={inst}"))
+        else {
+            unreachable!()
+        };
+        let oracle = DeterminacyOracle::new(sig);
+        let (median, _, _) = time_ms_n(SAMPLES, || {
+            let c = classify_for(&oracle, &views, &q0);
+            assert!(!c.fragment.as_str().is_empty());
+        });
+        classify_ms.push(median);
+        println!(
+            "[E-DISPATCH] {inst}: fragment={} route={} verdict={} classify {median:.4} ms",
+            routing.last().unwrap().fragment,
+            routing.last().unwrap().route,
+            routing.last().unwrap().verdict,
+        );
+    }
+    classify_ms.sort_by(|a, b| a.total_cmp(b));
+    let classify_median_ms = classify_ms[classify_ms.len() / 2];
+
+    // 2. The conversion case. The semi side runs its full bounded
+    // enumeration (hundreds of millions of hom checks) exactly once —
+    // the point is its order of magnitude, not its variance.
+    let cx = "counterexample instance=mismatch:5x7";
+    let t0 = Instant::now();
+    let semi = run(&format!("{cx} dispatch=semi"));
+    let semi_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(semi.outcome.verdict(), "no-counterexample");
+    let (auto_ms, _, _) = time_ms_n(SAMPLES, || {
+        let r = run(&format!("{cx} cert=1"));
+        assert_eq!(r.outcome.verdict(), "counterexample");
+        assert_eq!(r.metrics.route, Some("chase-model"));
+        assert!(r.certificate.is_some());
+    });
+    let speedup = semi_ms / auto_ms;
+    println!(
+        "[E-DISPATCH] {cx}: semi inconclusive after {semi_ms:.1} ms, auto answers \
+         (cert-checked) in {auto_ms:.3} ms — {speedup:.0}x and a verdict where semi had none"
+    );
+
+    // 3. Determine parity: routed vs plain chase on every family.
+    let mut determine: Vec<DetRow> = Vec::new();
+    for inst in families {
+        let (auto_ms, _, _) = time_ms_n(SAMPLES, || {
+            run(&format!("determine instance={inst}"));
+        });
+        let (semi_ms, _, _) = time_ms_n(SAMPLES, || {
+            run(&format!("determine instance={inst} dispatch=semi"));
+        });
+        println!("[E-DISPATCH] determine {inst}: auto {auto_ms:.3} ms vs semi {semi_ms:.3} ms");
+        determine.push(DetRow {
+            instance: inst,
+            auto_ms,
+            semi_ms,
+        });
+    }
+
+    write_json(
+        &routing,
+        classify_median_ms,
+        semi_ms,
+        auto_ms,
+        speedup,
+        &determine,
+    );
+}
+
+/// Renders the results as JSON by hand (the workspace deliberately has
+/// no serde) and writes `BENCH_dispatch.json` at the repo root.
+fn write_json(
+    routing: &[RouteRow],
+    classify_median_ms: f64,
+    semi_ms: f64,
+    auto_ms: f64,
+    speedup: f64,
+    determine: &[DetRow],
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dispatch.json");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"samples_per_point\": {SAMPLES},\n"));
+    out.push_str(&format!(
+        "  \"classify_median_ms\": {classify_median_ms:.4},\n"
+    ));
+    out.push_str("  \"routing\": [\n");
+    for (i, r) in routing.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"fragment\": \"{}\", \"route\": \"{}\", \"verdict\": \"{}\"}}{}\n",
+            r.instance,
+            r.fragment,
+            r.route,
+            r.verdict,
+            if i + 1 == routing.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"conversion\": {\n");
+    out.push_str("    \"instance\": \"mismatch:5x7\",\n");
+    out.push_str("    \"semi_verdict\": \"no-counterexample\",\n");
+    out.push_str(&format!("    \"semi_ms\": {semi_ms:.1},\n"));
+    out.push_str("    \"auto_verdict\": \"counterexample\",\n");
+    out.push_str(&format!("    \"auto_ms\": {auto_ms:.3},\n"));
+    out.push_str(&format!("    \"speedup\": {speedup:.0},\n"));
+    out.push_str(
+        "    \"note\": \"semi exhausts the default 3-node cap inconclusively; auto's \
+         chase-model route returns a definite, cert-checked counter-model\"\n",
+    );
+    out.push_str("  },\n");
+    out.push_str("  \"determine\": [\n");
+    for (i, r) in determine.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"instance\": \"{}\", \"auto_ms\": {:.3}, \"semi_ms\": {:.3}}}{}\n",
+            r.instance,
+            r.auto_ms,
+            r.semi_ms,
+            if i + 1 == determine.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(path).expect("create BENCH_dispatch.json");
+    f.write_all(out.as_bytes())
+        .expect("write BENCH_dispatch.json");
+    println!("[E-DISPATCH] wrote {path}");
+}

@@ -9,8 +9,11 @@
 
 use cqfd_analysis::analyze_tgds;
 use cqfd_chase::{Strategy, Termination};
+use cqfd_greenred::DeterminacyOracle;
 use cqfd_separating::theorem14::{separating_budget, separating_space, t_separating};
 use cqfd_separating::tinf::lasso_model;
+use cqfd_service::dispatch::classify_for;
+use cqfd_service::{parse_job, Job};
 use std::io::Write;
 use std::time::Instant;
 
@@ -77,6 +80,25 @@ fn main() {
         }),
     );
 
+    // The fragment classifier the dispatcher now runs in front of every
+    // determinacy job (weak acyclicity over `T_Q` plus the view-shape
+    // checks), on a built-in spider-fragment family.
+    let Job::Determine { sig, views, q0, .. } = parse_job("determine instance=mismatch:3x4")
+        .expect("job line parses")
+        .expect("non-blank")
+    else {
+        unreachable!("a determine line parses to Job::Determine")
+    };
+    let oracle = DeterminacyOracle::new(sig);
+    push(
+        &mut rows,
+        "analysis_fragment_classifier",
+        time_ms(|| {
+            let c = classify_for(&oracle, &views, &q0);
+            assert_eq!(c.fragment.as_str(), "A302");
+        }),
+    );
+
     // The chases those analyses gate: the fig3 lasso chases to the 1-2
     // pattern (the same workloads as E-PAR's threads=1 rows).
     let mut chase_medians = Vec::new();
@@ -95,18 +117,24 @@ fn main() {
     // the full-lint row IS the whole per-job analysis cost — don't sum
     // the two analysis rows.
     let analysis_ms = rows[1].median_ms;
+    let classify_ms = rows[2].median_ms;
     let mean_chase_ms = chase_medians.iter().sum::<f64>() / chase_medians.len() as f64;
     let ratio = analysis_ms / mean_chase_ms;
+    let classify_ratio = classify_ms / mean_chase_ms;
     println!(
         "[E-LINT] analysis {:.3} ms vs mean fig3 chase {:.3} ms — ratio {:.4}",
         analysis_ms, mean_chase_ms, ratio
     );
-    write_json(&rows, analysis_ms, mean_chase_ms, ratio);
+    println!(
+        "[E-LINT] fragment classifier {:.4} ms — ratio {:.4} (gate: ≤ 0.01)",
+        classify_ms, classify_ratio
+    );
+    write_json(&rows, analysis_ms, mean_chase_ms, ratio, classify_ratio);
 }
 
 /// Renders the rows as JSON by hand (the workspace deliberately has no
 /// serde) and writes `BENCH_lint.json` at the repo root.
-fn write_json(rows: &[Row], analysis_ms: f64, mean_chase_ms: f64, ratio: f64) {
+fn write_json(rows: &[Row], analysis_ms: f64, mean_chase_ms: f64, ratio: f64, classify_ratio: f64) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lint.json");
     let mut out = String::new();
     out.push_str("{\n");
@@ -114,6 +142,9 @@ fn write_json(rows: &[Row], analysis_ms: f64, mean_chase_ms: f64, ratio: f64) {
     out.push_str(&format!("  \"analysis_ms\": {analysis_ms:.3},\n"));
     out.push_str(&format!("  \"mean_chase_ms\": {mean_chase_ms:.3},\n"));
     out.push_str(&format!("  \"analysis_to_chase_ratio\": {ratio:.4},\n"));
+    out.push_str(&format!(
+        "  \"classify_to_chase_ratio\": {classify_ratio:.4},\n"
+    ));
     out.push_str("  \"note\": \"ratio compares the full pre-job analysis (analyze_tgds, termination verdict included) against the mean fig3 lasso chase it gates; medians over release builds\",\n");
     out.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {

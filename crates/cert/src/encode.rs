@@ -117,7 +117,29 @@ fn push_firings(out: &mut String, firings: &[FiringSpec]) {
 /// `end\n` closes a concluded run. [`crate::parse::parse_stage_log`]
 /// inverts the format.
 pub fn stage_log_prelude(sig: &SigSpec, rules: &[RuleSpec], start: &StructSpec) -> String {
+    stage_log_prelude_with_meta(sig, rules, start, &[])
+}
+
+/// [`stage_log_prelude`] with a `meta key=value …` annotation line right
+/// after the header. The executor stamps the dispatch mode and fragment
+/// verdict here, so a resume can refuse a log produced under a different
+/// routing regime (the replayed stage history would be valid but the
+/// budget it was committed under would not match). An empty `meta` emits
+/// no line, keeping the output byte-identical to [`stage_log_prelude`].
+pub fn stage_log_prelude_with_meta(
+    sig: &SigSpec,
+    rules: &[RuleSpec],
+    start: &StructSpec,
+    meta: &[(&str, &str)],
+) -> String {
     let mut out = String::from("cqfd-cert v1 stage-log\n");
+    if !meta.is_empty() {
+        out.push_str("meta");
+        for (k, v) in meta {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+    }
     push_sig(&mut out, sig);
     push_rules(&mut out, rules);
     push_structure(&mut out, start);

@@ -71,7 +71,9 @@ pub mod encode;
 pub mod parse;
 
 pub use check::{check, CheckReport};
-pub use encode::{encode, firing_line, stage_log_prelude, stage_mark_line};
+pub use encode::{
+    encode, firing_line, stage_log_prelude, stage_log_prelude_with_meta, stage_mark_line,
+};
 pub use parse::{parse, parse_stage_log, StageLog, StageMark};
 
 /// A signature by value: predicate `(name, arity)` pairs and constant

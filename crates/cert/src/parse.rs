@@ -434,6 +434,10 @@ pub struct StageMark {
 /// surviving prefix (truncate to it before appending more stages).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageLog {
+    /// `key=value` annotations from the optional `meta` line after the
+    /// header (e.g. the dispatch mode the log was written under). Empty
+    /// for logs that predate the line.
+    pub meta: Vec<(String, String)>,
     /// The signature the log is over.
     pub sig: SigSpec,
     /// The TGDs, referenced by [`FiringSpec::rule`].
@@ -477,6 +481,7 @@ fn parse_stage_mark(rest: &[String], expected: usize) -> Result<StageMark, Strin
 pub fn parse_stage_log(text: &str) -> Result<StageLog, String> {
     let mut builder = Builder::default();
     let mut saw_header = false;
+    let mut meta: Vec<(String, String)> = Vec::new();
     let mut stages: Vec<StageMark> = Vec::new();
     let mut complete = false;
     // Last committed state: (byte offset just past the line, #firings).
@@ -524,6 +529,13 @@ pub fn parse_stage_log(text: &str) -> Result<StageLog, String> {
             return Err(at("unterminated line in prelude".into()));
         }
         let parsed: Result<(), String> = match toks[0].as_str() {
+            "meta" => toks[1..].iter().try_for_each(|t| match t.split_once('=') {
+                Some((k, v)) => {
+                    meta.push((k.to_string(), v.to_string()));
+                    Ok(())
+                }
+                None => Err(format!("meta wants key=value pairs, got `{t}`")),
+            }),
             "end" => {
                 if builder.firings.len() != commit.1 {
                     Err("end with uncommitted firings".into())
@@ -566,6 +578,7 @@ pub fn parse_stage_log(text: &str) -> Result<StageLog, String> {
         .ok_or_else(|| "stage log is missing its start structure".to_string())?;
     builder.firings.truncate(commit.1);
     Ok(StageLog {
+        meta,
         sig: SigSpec {
             preds: builder.preds,
             consts: builder.consts,

@@ -201,6 +201,55 @@ impl Cq {
         self.contained_in(other, sig) && other.contained_in(self, sig)
     }
 
+    /// Is the query **project-select**: a single body atom (a selection on
+    /// one relation with a projection in the head)? Constants in the body
+    /// act as selections, repeated variables as equality selections; any
+    /// subset/reordering of the atom's variables may be projected.
+    ///
+    /// View sets in which every view has this shape fall in the fragment
+    /// where CQ finite determinacy is decidable (Zhang et al.,
+    /// arXiv 2411.08874).
+    pub fn is_project_select(&self) -> bool {
+        self.body.len() == 1
+    }
+
+    /// The query's **path shape**, if it has one: a body that chains one
+    /// binary predicate `R(v0,v1), R(v1,v2), …, R(v_{m-1},v_m)` through
+    /// `m+1` distinct variables with head exactly `(v0, v_m)`. Returns the
+    /// predicate and the length `m ≥ 1`.
+    ///
+    /// Path views and path queries over a shared binary predicate are the
+    /// shape whose determinacy the red-spider machinery decides by the
+    /// divisibility criterion (`m` divides `k`).
+    pub fn path_shape(&self, sig: &Signature) -> Option<(crate::signature::PredId, usize)> {
+        let first = self.body.first()?;
+        if sig.arity(first.pred) != 2 {
+            return None;
+        }
+        let var_of = |t: &Term| match t {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        };
+        let mut seen = BTreeSet::new();
+        let mut prev = var_of(&first.args[0])?;
+        seen.insert(prev);
+        for a in &self.body {
+            if a.pred != first.pred {
+                return None;
+            }
+            let (src, dst) = (var_of(&a.args[0])?, var_of(&a.args[1])?);
+            if src != prev || !seen.insert(dst) {
+                return None;
+            }
+            prev = dst;
+        }
+        let start = var_of(&first.args[0])?;
+        if self.head_vars != [start, prev] {
+            return None;
+        }
+        Some((first.pred, self.body.len()))
+    }
+
     /// Renders the query over its signature.
     pub fn display_with<'a>(&'a self, sig: &'a Signature) -> impl fmt::Display + 'a {
         struct D<'a>(&'a Cq, &'a Signature);
@@ -341,6 +390,45 @@ mod tests {
         let ans = q.eval(&d);
         assert_eq!(ans.len(), 1);
         assert!(ans.contains(&vec![x]));
+    }
+
+    #[test]
+    fn project_select_shape_is_single_atom() {
+        let sig = sig();
+        assert!(Cq::parse(&sig, "V(x) :- R(x,y)")
+            .unwrap()
+            .is_project_select());
+        assert!(Cq::parse(&sig, "V(x) :- R(x,#c)")
+            .unwrap()
+            .is_project_select());
+        assert!(Cq::parse(&sig, "V(x) :- R(x,x)")
+            .unwrap()
+            .is_project_select());
+        assert!(!Cq::parse(&sig, "V(x) :- R(x,y), S(y,z)")
+            .unwrap()
+            .is_project_select());
+    }
+
+    #[test]
+    fn path_shape_recognizes_chains_and_rejects_everything_else() {
+        let sig = sig();
+        let r = sig.predicate("R").unwrap();
+        let p3 = Cq::parse(&sig, "V(x,w) :- R(x,y), R(y,z), R(z,w)").unwrap();
+        assert_eq!(p3.path_shape(&sig), Some((r, 3)));
+        let p1 = Cq::parse(&sig, "V(x,y) :- R(x,y)").unwrap();
+        assert_eq!(p1.path_shape(&sig), Some((r, 1)));
+        // Mixed predicates, broken chain, self-loop, reversed head,
+        // projected head: none are paths.
+        for text in [
+            "V(x,z) :- R(x,y), S(y,z)",
+            "V(x,w) :- R(x,y), R(z,w)",
+            "V(x,x) :- R(x,x)",
+            "V(y,x) :- R(x,y)",
+            "V(x) :- R(x,y)",
+        ] {
+            let q = Cq::parse(&sig, text).unwrap();
+            assert_eq!(q.path_shape(&sig), None, "{text}");
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The single-job execution path, shared by pool workers, `cqfd batch`,
 //! and the TCP server.
 
+use crate::dispatch::{Dispatch, Route};
 use crate::job::{Job, JobBudget};
 use crate::outcome::{parse_result_line, JobMetrics, JobOutcome, JobResult};
+use cqfd_analysis::{Classification, Fragment};
 use cqfd_cert::{convert, Certificate};
 use cqfd_chase::{ChaseBudget, ChaseHooks, ChaseOutcome, ChaseRun};
 use cqfd_core::{
@@ -184,7 +186,10 @@ fn execute_inner(
 ///
 /// Only budget knobs that can change the **verdict** are hashed; thread
 /// counts, timeouts, and the emission/cache/resume flags are excluded
-/// (see `cqfd_store::canon`).
+/// (see `cqfd_store::canon`). The dispatch mode *is* hashed for the
+/// determinacy kinds: `auto` can turn an `unknown`/`no-counterexample`
+/// into a definite verdict, so results under different modes are
+/// different answers and must not be served for one another.
 pub fn job_key(job: &Job) -> Option<JobKey> {
     match job {
         Job::Determine {
@@ -197,7 +202,8 @@ pub fn job_key(job: &Job) -> Option<JobKey> {
             k.sig(sig)
                 .views(sig, views)
                 .query(sig, q0)
-                .knob("stages", budget.max_stages as u64);
+                .knob("stages", budget.max_stages as u64)
+                .lines("dispatch", &[budget.dispatch.wire()]);
             Some(k.finish())
         }
         Job::Creep { delta, budget } => {
@@ -225,7 +231,8 @@ pub fn job_key(job: &Job) -> Option<JobKey> {
             k.sig(sig)
                 .views(sig, views)
                 .query(sig, q0)
-                .knob("nodes", budget.max_search_nodes as u64);
+                .knob("nodes", budget.max_search_nodes as u64)
+                .lines("dispatch", &[budget.dispatch.wire()]);
             Some(k.finish())
         }
         Job::Rewrite { .. } | Job::Reduce { .. } => None,
@@ -441,9 +448,32 @@ fn run_job(
             budget,
         } => {
             let oracle = DeterminacyOracle::new(sig.clone());
-            let chase = chase_budget(budget, cancel, thread_cap);
+            let class = crate::dispatch::classify_for(&oracle, views, q0);
+            metrics.fragment = Some(class.fragment.as_str());
+            if let Err(e) = check_forced(budget.dispatch, class.fragment) {
+                return e;
+            }
+            let route = if budget.dispatch.routes() {
+                Route::for_fragment(class.fragment)
+            } else {
+                Route::Semi
+            };
+            metrics.route = Some(route.as_str());
+            if route != Route::Semi {
+                crate::dispatch::note_routed(class.fragment);
+            }
+            let mut chase = chase_budget(budget, cancel, thread_cap);
+            if route == Route::Spider {
+                // The spider fragment's `T_Q` is *not* weakly acyclic, so
+                // `certify_run`'s presizing leaves the stage cap alone —
+                // but its chase provably reaches a fixpoint (the path view
+                // produces no fresh triggers past saturation), so lift the
+                // cap the same way presizing would. The atom/node size
+                // caps stay in place as the safety net.
+                chase.max_stages = chase.max_stages.max(ChaseBudget::PRESIZED_STAGES);
+            }
             let cr = match store.filter(|c| c.resume) {
-                Some(ctx) => determine_with_log(&oracle, views, q0, &chase, ctx),
+                Some(ctx) => determine_with_log(&oracle, views, q0, &chase, ctx, budget.dispatch),
                 None => oracle.certify_run(views, q0, &chase),
             };
             record_run(metrics, &cr.run);
@@ -452,16 +482,39 @@ fn run_job(
                     detail: stop_detail(cancel),
                 };
             }
-            if budget.emit_certificate || force_cert {
-                *certificate = Some(cqfd_cert::encode(&cr.certificate));
-            }
-            match cr.verdict {
+            let outcome = match cr.verdict {
                 Verdict::Determined { stage } => JobOutcome::Determined { stage },
                 Verdict::NotDeterminedUnrestricted { stages } => {
                     JobOutcome::NotDetermined { stages }
                 }
                 Verdict::Unknown { stages } => JobOutcome::Unknown { stages },
+            };
+            // The routed fragments each carry an *independent* complete
+            // decision procedure; run it as a cross-check of the chase
+            // verdict. A disagreement would mean a bug in one of the two
+            // implementations — fail loudly instead of picking a side.
+            if let Some(expected) = independent_verdict(&oracle, &class, views, q0, route) {
+                let agrees = match &outcome {
+                    JobOutcome::Determined { .. } => expected,
+                    JobOutcome::NotDetermined { .. } => !expected,
+                    _ => true,
+                };
+                if !agrees {
+                    return JobOutcome::Error {
+                        message: format!(
+                            "dispatch cross-check failed: the {} procedure says determined={}, \
+                             the chase says {}",
+                            route.as_str(),
+                            expected,
+                            outcome.verdict()
+                        ),
+                    };
+                }
             }
+            if budget.emit_certificate || force_cert {
+                *certificate = Some(cqfd_cert::encode(&cr.certificate));
+            }
+            outcome
         }
         Job::Rewrite { sig, views, q0 } => {
             let arc = Arc::new(sig.clone());
@@ -544,6 +597,47 @@ fn run_job(
             budget,
         } => {
             let oracle = DeterminacyOracle::new(sig.clone());
+            let class = crate::dispatch::classify_for(&oracle, views, q0);
+            metrics.fragment = Some(class.fragment.as_str());
+            if let Err(e) = check_forced(budget.dispatch, class.fragment) {
+                return e;
+            }
+            // In a decidable fragment the chase reaches a fixpoint, and a
+            // non-determined fixpoint *is* a finite counter-model — built
+            // in milliseconds where brute-force enumeration over the node
+            // cap is exponential, and valid at any size (the enumeration
+            // can only refute up to its cap).
+            if budget.dispatch.routes() && class.fragment.is_decidable() {
+                let mut chase = chase_budget(budget, cancel, thread_cap);
+                chase.max_stages = chase.max_stages.max(ChaseBudget::PRESIZED_STAGES);
+                let cr = oracle.certify_run(views, q0, &chase);
+                record_run(metrics, &cr.run);
+                if cr.run.outcome == ChaseOutcome::Cancelled {
+                    return JobOutcome::BudgetExceeded {
+                        detail: stop_detail(cancel),
+                    };
+                }
+                if matches!(cr.verdict, Verdict::NotDeterminedUnrestricted { .. }) {
+                    let d = &cr.run.structure;
+                    let report = cqfd_greenred::is_counterexample(&oracle, views, q0, d);
+                    if report.is_counterexample {
+                        metrics.route = Some(Route::ChaseModel.as_str());
+                        crate::dispatch::note_routed(class.fragment);
+                        if budget.emit_certificate || force_cert {
+                            *certificate = counterexample_certificate(&oracle, views, q0, d)
+                                .map(|c| cqfd_cert::encode(&c));
+                        }
+                        return JobOutcome::CounterexampleFound {
+                            atoms: d.atom_count(),
+                        };
+                    }
+                }
+                // Determined (no counter-example exists at any size) or —
+                // defensively — an inconclusive run: fall through to the
+                // budgeted enumeration, which answers exactly what `semi`
+                // would answer.
+            }
+            metrics.route = Some(Route::Semi.as_str());
             match search_counterexample(&oracle, views, q0, budget.max_search_nodes) {
                 Some(d) => {
                     metrics.peak_atoms = metrics.peak_atoms.max(d.atom_count());
@@ -579,6 +673,50 @@ fn run_job(
     }
 }
 
+/// `dispatch=forced:A3xx` is an up-front assertion: if the classifier
+/// assigns any other fragment the job fails before touching the chase.
+/// Also run by the pool at submission, so a forced mismatch never
+/// occupies a queue slot or a worker.
+pub(crate) fn check_forced(dispatch: Dispatch, actual: Fragment) -> Result<(), JobOutcome> {
+    match dispatch {
+        Dispatch::Forced(expected) if expected != actual => Err(JobOutcome::Error {
+            message: format!(
+                "dispatch=forced:{} but the classifier assigned {} ({})",
+                expected.as_str(),
+                actual.as_str(),
+                actual.code().title()
+            ),
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// The independent decision procedure of a routed fragment, as a
+/// `determined?` verdict — or `None` when the route has none (the total
+/// chase *is* the procedure on `A301`, and `semi` routes nothing).
+///
+/// * `psv` — the project-select decider of [`cqfd_analysis::psv`]: a
+///   green/red closure built directly from the view definitions, sharing
+///   no code with the oracle's chase or homomorphism search.
+/// * `spider` — the arithmetic criterion for path views: an `m`-path view
+///   determines a `k`-path query iff `m` divides `k`.
+fn independent_verdict(
+    oracle: &DeterminacyOracle,
+    class: &Classification,
+    views: &[cqfd_core::Cq],
+    q0: &cqfd_core::Cq,
+    route: Route,
+) -> Option<bool> {
+    match route {
+        Route::Psv => {
+            cqfd_analysis::psv::decide(oracle.greenred().base(), views, q0, Default::default())
+                .map(|v| v.is_determined())
+        }
+        Route::Spider => class.path_lengths.map(|(m, k)| k % m == 0),
+        _ => None,
+    }
+}
+
 /// Runs a `determine` chase with the write-ahead stage log: resume from
 /// an existing log when it validates (replayed through the real engine,
 /// counts checked against every stage mark), checkpoint each committed
@@ -595,14 +733,27 @@ fn determine_with_log(
     q0: &cqfd_core::Cq,
     chase: &ChaseBudget,
     ctx: &StoreCtx,
+    dispatch: Dispatch,
 ) -> cqfd_greenred::CertifiedRun {
     let log_path = ctx.store.log_path(&ctx.key.hash);
     let (engine, start, _) = oracle.chase_setup(views, q0);
+    let dispatch_wire = dispatch.wire();
     let mut hooks = ChaseHooks::default();
     let mut writer: Option<StageLogWriter> = None;
     if let Ok(text) = std::fs::read_to_string(&log_path) {
         if let Ok(log) = cqfd_cert::parse_stage_log(&text) {
-            if let Some(rp) = cqfd_store::resume_point(&engine, &start, &log) {
+            // A log committed under a different dispatch mode was driven
+            // by a different stage budget; its prefix may be valid chase
+            // history, but resuming it would mix two regimes in one run.
+            // Refuse and start fresh (overwriting the stale log). Logs
+            // predating the meta line carry no mode and are refused too.
+            let same_mode = log
+                .meta
+                .iter()
+                .any(|(k, v)| k == "dispatch" && *v == dispatch_wire);
+            if !same_mode {
+                cqfd_obs::event!("store.resume_refused", dispatch = dispatch_wire.as_str());
+            } else if let Some(rp) = cqfd_store::resume_point(&engine, &start, &log) {
                 if let Ok(w) = StageLogWriter::reopen(&log_path, log.valid_bytes) {
                     cqfd_obs::event!("store.resume", stages = rp.stages.len() as u64);
                     ctx.store.note_resume();
@@ -614,10 +765,11 @@ fn determine_with_log(
     }
     if writer.is_none() {
         let rules: Vec<_> = engine.tgds().iter().map(convert::rule_spec).collect();
-        let prelude = cqfd_cert::stage_log_prelude(
+        let prelude = cqfd_cert::stage_log_prelude_with_meta(
             &convert::sig_spec(start.signature()),
             &rules,
             &convert::struct_spec(&start),
+            &[("dispatch", dispatch_wire.as_str())],
         );
         // A log that cannot be written is a lost checkpoint, not a
         // failed job: fall through with no checkpoint hook.
@@ -936,6 +1088,186 @@ mod tests {
         };
         let r = execute(1, &job, &CancelToken::inert());
         assert!(r.certificate.is_none());
+    }
+
+    /// Tentpole regression: the canonical job hash separates dispatch
+    /// modes for both determinacy kinds — `auto` can answer questions
+    /// `semi` cannot, so their results must never be served for one
+    /// another — and is invariant under everything else staying fixed.
+    #[test]
+    fn job_key_separates_dispatch_modes() {
+        use cqfd_analysis::Fragment;
+        let mk = |dispatch: Dispatch| {
+            let inst = cqfd_greenred::instances::projection_instance();
+            Job::Determine {
+                sig: inst.sig,
+                views: inst.views,
+                q0: inst.q0,
+                budget: JobBudget::default().with_dispatch(dispatch),
+            }
+        };
+        let auto = job_key(&mk(Dispatch::Auto)).unwrap();
+        let semi = job_key(&mk(Dispatch::Semi)).unwrap();
+        let forced = job_key(&mk(Dispatch::Forced(Fragment::ProjectSelect))).unwrap();
+        assert_ne!(auto.hash, semi.hash);
+        assert_ne!(auto.hash, forced.hash);
+        assert_ne!(semi.hash, forced.hash);
+        assert_eq!(auto.hash, job_key(&mk(Dispatch::Auto)).unwrap().hash);
+        let mk_cx = |dispatch: Dispatch| {
+            let inst = cqfd_greenred::instances::projection_instance();
+            Job::CounterexampleSearch {
+                sig: inst.sig,
+                views: inst.views,
+                q0: inst.q0,
+                budget: JobBudget::default().with_dispatch(dispatch),
+            }
+        };
+        assert_ne!(
+            job_key(&mk_cx(Dispatch::Auto)).unwrap().hash,
+            job_key(&mk_cx(Dispatch::Semi)).unwrap().hash
+        );
+    }
+
+    /// Tentpole: `auto` stamps the fragment and the route it took, and on
+    /// routed fragments the chase verdict survives the independent
+    /// cross-check (psv / divisibility).
+    #[test]
+    fn auto_dispatch_stamps_fragment_and_route() {
+        let cases = [
+            ("projection", "A300", "psv", "not-determined"),
+            ("path:1x3", "A300", "psv", "determined"),
+            ("path:2x3", "A302", "spider", "determined"),
+            ("mismatch:2x3", "A302", "spider", "not-determined"),
+        ];
+        for (inst, fragment, route, verdict) in cases {
+            let job = crate::parse_job(&format!("determine instance={inst}"))
+                .unwrap()
+                .unwrap();
+            let r = execute(1, &job, &CancelToken::inert());
+            assert_eq!(r.outcome.verdict(), verdict, "{inst}");
+            assert_eq!(r.metrics.fragment, Some(fragment), "{inst}");
+            assert_eq!(r.metrics.route, Some(route), "{inst}");
+        }
+        // `semi` stamps the (identical) fragment but routes nothing.
+        let job = crate::parse_job("determine instance=path:2x3 dispatch=semi")
+            .unwrap()
+            .unwrap();
+        let r = execute(1, &job, &CancelToken::inert());
+        assert_eq!(r.metrics.fragment, Some("A302"));
+        assert_eq!(r.metrics.route, Some("semi"));
+    }
+
+    /// Criterion: a definite verdict `semi` cannot reach. Under the
+    /// default stage budget of 1 the mismatched-path chase is cut short
+    /// (`unknown`); `auto` recognizes the spider fragment, lifts the
+    /// stage cap (the fixpoint provably exists), and answers definitely —
+    /// double-checked by the divisibility criterion.
+    #[test]
+    fn spider_route_upgrades_unknown_to_definite() {
+        let mk = |dispatch| {
+            let inst = cqfd_greenred::instances::mismatched_path_instance(2, 5);
+            Job::Determine {
+                sig: inst.sig,
+                views: inst.views,
+                q0: inst.q0,
+                budget: JobBudget::default().with_stages(1).with_dispatch(dispatch),
+            }
+        };
+        let semi = execute(1, &mk(Dispatch::Semi), &CancelToken::inert());
+        assert_eq!(semi.outcome, JobOutcome::Unknown { stages: 1 });
+        let auto = execute(2, &mk(Dispatch::Auto), &CancelToken::inert());
+        assert_eq!(auto.outcome, JobOutcome::NotDetermined { stages: 3 });
+        assert_eq!(auto.metrics.route, Some("spider"));
+    }
+
+    /// Criterion: the chase-model route converts an inconclusive
+    /// counterexample search into a definite, cert-checked verdict. The
+    /// minimal counter-model for the 3-path vs 4-path instance has 3
+    /// nodes, so brute force capped at 2 nodes exhausts without refuting;
+    /// the chase fixpoint *is* a finite counter-model regardless of the
+    /// node cap, extracted in milliseconds. (`mismatch:5x7` is the same
+    /// story at the *default* cap — its minimal counter-model needs more
+    /// than 3 nodes and ~2.6e8 hom checks to rule out — but that takes
+    /// half a minute of enumeration even in release, so CI and the
+    /// dispatch bench carry it instead of this unit test.)
+    #[test]
+    fn chase_model_route_converts_inconclusive_counterexample() {
+        let mk = |dispatch| {
+            let inst = cqfd_greenred::instances::mismatched_path_instance(3, 4);
+            Job::CounterexampleSearch {
+                sig: inst.sig,
+                views: inst.views,
+                q0: inst.q0,
+                budget: JobBudget::default()
+                    .with_certificate(true)
+                    .with_search_nodes(2)
+                    .with_dispatch(dispatch),
+            }
+        };
+        let auto = execute(1, &mk(Dispatch::Auto), &CancelToken::inert());
+        let JobOutcome::CounterexampleFound { atoms } = auto.outcome else {
+            panic!("auto finds the chase counter-model: {:?}", auto.outcome);
+        };
+        assert!(atoms > 0);
+        assert_eq!(auto.metrics.route, Some("chase-model"));
+        assert_eq!(auto.metrics.fragment, Some("A302"));
+        let cert = cqfd_cert::parse(auto.certificate.as_deref().unwrap()).unwrap();
+        assert_eq!(cert.kind(), "finite-model");
+        assert!(cqfd_cert::check(&cert).is_ok(), "trusted checker passes");
+        let semi = execute(2, &mk(Dispatch::Semi), &CancelToken::inert());
+        assert_eq!(
+            semi.outcome,
+            JobOutcome::NoCounterexample { nodes: 2 },
+            "semi's bounded enumeration stays inconclusive"
+        );
+        assert_eq!(semi.metrics.route, Some("semi"));
+    }
+
+    #[test]
+    fn forced_dispatch_asserts_the_classification() {
+        use cqfd_analysis::Fragment;
+        let inst = cqfd_greenred::instances::projection_instance();
+        let mk = |f| Job::Determine {
+            sig: inst.sig.clone(),
+            views: inst.views.clone(),
+            q0: inst.q0.clone(),
+            budget: JobBudget::default().with_dispatch(Dispatch::Forced(f)),
+        };
+        // Matching assertion: runs like auto.
+        let ok = execute(1, &mk(Fragment::ProjectSelect), &CancelToken::inert());
+        assert_eq!(ok.outcome.verdict(), "not-determined");
+        assert_eq!(ok.metrics.route, Some("psv"));
+        // Mismatch: fails before the chase.
+        let bad = execute(2, &mk(Fragment::WeaklyAcyclic), &CancelToken::inert());
+        let JobOutcome::Error { message } = &bad.outcome else {
+            panic!("expected an error, got {:?}", bad.outcome);
+        };
+        assert!(message.contains("forced:A301"), "{message}");
+        assert!(message.contains("A300"), "{message}");
+        assert_eq!(bad.metrics.stages, 0, "no chase ran");
+    }
+
+    /// `auto` and `semi` agree byte-for-byte on every definite verdict of
+    /// the built-in determine families, modulo the stamps differential
+    /// harnesses strip: `route=` (names the procedure that ran) and
+    /// `homs=`/`elapsed_ms=` (the independent cross-check spends its own
+    /// hom-search nodes).
+    #[test]
+    fn auto_and_semi_determine_lines_agree_modulo_route() {
+        for inst in ["projection", "path:1x3", "path:2x3", "mismatch:2x3"] {
+            let run = |dispatch: &str| {
+                let job =
+                    crate::parse_job(&format!("determine instance={inst} dispatch={dispatch}"))
+                        .unwrap()
+                        .unwrap();
+                let mut r = execute(1, &job, &CancelToken::inert());
+                r.metrics.elapsed = Duration::ZERO;
+                r.metrics.homs = 0;
+                r.metrics.route = None;
+                r.to_string()
+            };
+            assert_eq!(run("auto"), run("semi"), "{inst}");
+        }
     }
 
     #[test]

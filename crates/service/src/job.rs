@@ -1,5 +1,6 @@
 //! Job descriptions: what to run, and under which budget.
 
+use crate::dispatch::Dispatch;
 use cqfd_core::{Cq, HomEngine, Signature};
 use cqfd_rainworm::Delta;
 use std::time::Duration;
@@ -63,6 +64,14 @@ pub struct JobBudget {
     /// so this is not part of the canonical job hash — it controls how the
     /// job computes, not what.
     pub hom_engine: HomEngine,
+    /// Fragment-dispatch mode for determinacy-shaped jobs (wire
+    /// `dispatch=`, CLI `--dispatch`). `auto` (the default) routes
+    /// decidable fragments to complete procedures; `semi` pins the plain
+    /// semi-decision pipeline; `forced:A3xx` asserts the classification.
+    /// **Answer-relevant** — `auto` can upgrade `unknown` outcomes to
+    /// definite verdicts — so unlike `hom_engine` this *is* part of the
+    /// canonical job hash.
+    pub dispatch: Dispatch,
 }
 
 impl Default for JobBudget {
@@ -79,6 +88,7 @@ impl Default for JobBudget {
             use_cache: true,
             resume: false,
             hom_engine: HomEngine::default(),
+            dispatch: Dispatch::default(),
         }
     }
 }
@@ -147,6 +157,12 @@ impl JobBudget {
     /// Selects the homomorphism search engine for chase-based jobs.
     pub fn with_hom_engine(mut self, hom_engine: HomEngine) -> Self {
         self.hom_engine = hom_engine;
+        self
+    }
+
+    /// Selects the fragment-dispatch mode for determinacy-shaped jobs.
+    pub fn with_dispatch(mut self, dispatch: Dispatch) -> Self {
+        self.dispatch = dispatch;
         self
     }
 }

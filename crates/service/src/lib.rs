@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod debug;
+pub mod dispatch;
 pub mod exec;
 pub mod job;
 pub mod lint;
@@ -43,6 +44,7 @@ pub mod pool;
 pub mod proto;
 pub mod server;
 
+pub use dispatch::{Dispatch, Route};
 pub use exec::{execute, execute_stored, job_key};
 pub use job::{Job, JobBudget};
 pub use lint::lint_job;

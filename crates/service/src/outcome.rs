@@ -133,6 +133,17 @@ pub struct JobMetrics {
     /// Rendered as the `termination=` note on result lines; deterministic,
     /// so it survives the byte-identity diff across thread counts.
     pub termination: Option<&'static str>,
+    /// The `A3xx` fragment the classifier assigned
+    /// ([`cqfd_analysis::Fragment::as_str`] — `A300`/`A301`/`A302`/`A399`),
+    /// for determinacy-shaped jobs. Rendered as `fragment=`; a pure
+    /// function of the input, so it is identical under every dispatch
+    /// mode and thread count and survives byte-identity diffs.
+    pub fragment: Option<&'static str>,
+    /// The procedure the dispatcher actually ran
+    /// ([`crate::Route::as_str`]). Rendered as `route=`; differs between
+    /// `dispatch=semi` and `dispatch=auto`, so differential harnesses
+    /// strip it (like `elapsed_ms=`) before diffing.
+    pub route: Option<&'static str>,
     /// `true` when this result was served from the `cqfd-store` cache
     /// (after the stored certificate re-passed the trusted checker)
     /// rather than computed. Rendered as the trailing ` cached=1` marker;
@@ -252,6 +263,12 @@ impl fmt::Display for JobResult {
         if let Some(t) = m.termination {
             write!(f, " termination={t}")?;
         }
+        if let Some(fr) = m.fragment {
+            write!(f, " fragment={fr}")?;
+        }
+        if let Some(r) = m.route {
+            write!(f, " route={r}")?;
+        }
         if m.cached {
             write!(f, " cached=1")?;
         }
@@ -325,6 +342,24 @@ pub fn parse_result_line(line: &str) -> Result<(u64, String, JobOutcome, JobMetr
         Some((_, "unknown")) => Some("unknown"),
         Some((_, other)) => return Err(format!("unknown termination=`{other}`")),
     };
+    // `fragment=` and `route=` are closed sets too: parse back through the
+    // canonical enums so only re-renderable names round-trip.
+    let fragment = match fields.iter().find(|(k, _)| *k == "fragment") {
+        None => None,
+        Some((_, v)) => Some(
+            cqfd_analysis::Fragment::parse(v)
+                .ok_or_else(|| format!("unknown fragment=`{v}`"))?
+                .as_str(),
+        ),
+    };
+    let route = match fields.iter().find(|(k, _)| *k == "route") {
+        None => None,
+        Some((_, v)) => Some(
+            crate::dispatch::Route::parse(v)
+                .ok_or_else(|| format!("unknown route=`{v}`"))?
+                .as_str(),
+        ),
+    };
     let metrics = JobMetrics {
         stages: num("stages", get("stages")?)?,
         triggers: num("triggers", get("triggers")?)?,
@@ -333,6 +368,8 @@ pub fn parse_result_line(line: &str) -> Result<(u64, String, JobOutcome, JobMetr
         peak_nodes: num("peak_nodes", get("peak_nodes")?)?,
         elapsed: Duration::ZERO,
         termination,
+        fragment,
+        route,
         cached: false,
     };
     get("elapsed_ms")?;
@@ -357,6 +394,8 @@ mod tests {
                 peak_nodes: 11,
                 elapsed: Duration::from_micros(1500),
                 termination: Some("weakly-acyclic"),
+                fragment: None,
+                route: None,
                 cached: false,
             },
             certificate: None,
@@ -478,6 +517,8 @@ mod tests {
                 peak_nodes: 220,
                 elapsed: Duration::ZERO,
                 termination: Some("unknown"),
+                fragment: None,
+                route: None,
                 cached: false,
             },
             certificate: None,
@@ -504,6 +545,53 @@ mod tests {
         // Uncacheable and malformed lines are rejected.
         assert!(parse_result_line("job=1 kind=rewrite verdict=rewriting").is_err());
         assert!(parse_result_line("job=1 kind=determine verdict=determined").is_err());
+    }
+
+    #[test]
+    fn fragment_and_route_round_trip_as_closed_sets() {
+        let r = JobResult {
+            id: 11,
+            kind: "determine",
+            outcome: JobOutcome::Determined { stage: 1 },
+            metrics: JobMetrics {
+                stages: 1,
+                triggers: 2,
+                homs: 3,
+                peak_atoms: 4,
+                peak_nodes: 5,
+                elapsed: Duration::ZERO,
+                termination: Some("weakly-acyclic"),
+                fragment: Some("A300"),
+                route: Some("psv"),
+                cached: false,
+            },
+            certificate: None,
+            trace: None,
+            lint: None,
+        };
+        let line = r.to_string();
+        assert!(
+            line.contains(" termination=weakly-acyclic fragment=A300 route=psv"),
+            "{line}"
+        );
+        let (id, _, outcome, metrics) = parse_result_line(&line).unwrap();
+        assert_eq!(metrics.fragment, Some("A300"));
+        assert_eq!(metrics.route, Some("psv"));
+        let rt = JobResult {
+            id,
+            kind: "determine",
+            outcome,
+            metrics,
+            certificate: None,
+            trace: None,
+            lint: None,
+        };
+        assert_eq!(rt.to_string(), line, "byte round-trip");
+        // Outside the closed sets: reject, never re-render.
+        let bad_frag = line.replace("fragment=A300", "fragment=A777");
+        assert!(parse_result_line(&bad_frag).is_err());
+        let bad_route = line.replace("route=psv", "route=quantum");
+        assert!(parse_result_line(&bad_route).is_err());
     }
 
     #[test]

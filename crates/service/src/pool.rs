@@ -9,10 +9,12 @@
 //! and [`Pool::drop`] joins every handle, so no detached threads survive
 //! the pool.
 
-use crate::exec::{cached_result, execute_stored};
+use crate::dispatch::{classify_for, Dispatch};
+use crate::exec::{cached_result, check_forced, execute_stored};
 use crate::job::Job;
-use crate::outcome::{JobOutcome, JobResult};
+use crate::outcome::{JobMetrics, JobOutcome, JobResult};
 use cqfd_core::CancelToken;
+use cqfd_greenred::DeterminacyOracle;
 use cqfd_obs::Gauge;
 use cqfd_store::Store;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -269,6 +271,11 @@ impl Pool {
     /// shed load, or block via [`Pool::submit_blocking`].
     pub fn submit(&self, job: Job) -> Result<JobHandle, SubmitError> {
         let (sub, handle) = self.package(job);
+        // Pre-routing: a `forced:` dispatch mismatch fails on the
+        // submitter's thread, never occupying a queue slot or a worker.
+        let Some(sub) = self.preroute(sub) else {
+            return Ok(handle);
+        };
         // A cache hit never occupies a worker or a queue slot: the result
         // is pushed straight into the handle's channel.
         let Some(sub) = self.serve_from_cache(sub) else {
@@ -298,6 +305,9 @@ impl Pool {
     /// waiting instead of by error).
     pub fn submit_blocking(&self, job: Job) -> JobHandle {
         let (sub, handle) = self.package(job);
+        let Some(sub) = self.preroute(sub) else {
+            return handle;
+        };
         let Some(sub) = self.serve_from_cache(sub) else {
             return handle;
         };
@@ -306,6 +316,64 @@ impl Pool {
             .expect("pool alive while submitting");
         self.queue_depth.inc();
         handle
+    }
+
+    /// The pre-dispatch routing probe: classifies a `dispatch=forced:`
+    /// determinacy job at submission and, on a classifier mismatch,
+    /// answers the error into the reply channel and returns `None`.
+    /// Everything else (including `auto`/`semi`, which cannot mismatch)
+    /// passes through unclassified — the executor classifies again when
+    /// the job actually runs, so this probe costs nothing on the common
+    /// path.
+    fn preroute(&self, sub: Submission) -> Option<Submission> {
+        let rejected = match &sub.job {
+            Job::Determine {
+                sig,
+                views,
+                q0,
+                budget,
+            }
+            | Job::CounterexampleSearch {
+                sig,
+                views,
+                q0,
+                budget,
+            } if matches!(budget.dispatch, Dispatch::Forced(_)) => {
+                let oracle = DeterminacyOracle::new(sig.clone());
+                let class = classify_for(&oracle, views, q0);
+                match check_forced(budget.dispatch, class.fragment) {
+                    Ok(()) => None,
+                    Err(outcome) => Some((class.fragment.as_str(), outcome)),
+                }
+            }
+            _ => None,
+        };
+        let Some((fragment, outcome)) = rejected else {
+            return Some(sub);
+        };
+        cqfd_obs::global()
+            .counter(
+                "cqfd_dispatch_preroute_rejected_total",
+                "Forced-dispatch jobs rejected at submission by the classifier.",
+                &[("fragment", fragment)],
+            )
+            .inc();
+        let _ = sub.reply.send(JobResult {
+            id: sub.id,
+            kind: sub.job.kind(),
+            outcome,
+            metrics: JobMetrics {
+                fragment: Some(fragment),
+                ..Default::default()
+            },
+            certificate: None,
+            trace: None,
+            lint: None,
+        });
+        if let Some(hook) = &self.on_complete {
+            hook();
+        }
+        None
     }
 
     /// The pre-dispatch cache probe: serves a validated hit into the
@@ -482,6 +550,28 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(count.load(Ordering::SeqCst), 3, "one hook call per job");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn forced_mismatch_is_rejected_at_submission() {
+        use cqfd_analysis::Fragment;
+        let pool = Pool::new(PoolConfig::default().with_workers(1));
+        let inst = cqfd_greenred::instances::projection_instance();
+        let job = Job::Determine {
+            sig: inst.sig,
+            views: inst.views,
+            q0: inst.q0,
+            budget: JobBudget::default().with_dispatch(Dispatch::Forced(Fragment::SpiderPath)),
+        };
+        let r = pool.submit(job).unwrap().wait();
+        let JobOutcome::Error { message } = &r.outcome else {
+            panic!("expected a preroute rejection, got {:?}", r.outcome);
+        };
+        assert!(message.contains("forced:A302"), "{message}");
+        assert!(message.contains("A300"), "{message}");
+        assert_eq!(r.metrics.fragment, Some("A300"));
+        assert_eq!(r.metrics.stages, 0, "rejected before any chase");
         pool.shutdown();
     }
 

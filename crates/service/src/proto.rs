@@ -178,6 +178,16 @@ impl Fields {
         }
     }
 
+    /// The `dispatch=` key: the fragment-dispatch mode for
+    /// determinacy-shaped jobs. Absent means the default (`auto`).
+    fn dispatch(&self) -> Result<crate::dispatch::Dispatch, String> {
+        match self.get("dispatch") {
+            None => Ok(crate::dispatch::Dispatch::default()),
+            Some(v) => crate::dispatch::Dispatch::parse(v)
+                .ok_or_else(|| format!("bad dispatch=`{v}` (want semi | auto | forced:A3xx)")),
+        }
+    }
+
     /// The `worm=` spec, with parse errors naming the key and value.
     fn worm(&self) -> Result<Delta, String> {
         let spec = self.require("worm")?;
@@ -209,6 +219,7 @@ impl Fields {
             use_cache: self.cache_flag()?,
             resume: self.resume_flag()?,
             hom_engine: self.hom_engine()?,
+            dispatch: self.dispatch()?,
         })
     }
 }
@@ -470,6 +481,7 @@ fn parse_job_tokens(tokens: Vec<String>) -> Result<Option<Job>, String> {
                 "cache",
                 "resume",
                 "hom",
+                "dispatch",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::Determine {
@@ -521,6 +533,7 @@ fn parse_job_tokens(tokens: Vec<String>) -> Result<Option<Job>, String> {
         "counterexample" => {
             f.check_keys(&[
                 "sig", "view", "query", "instance", "nodes", "cert", "trace", "lint", "cache",
+                "dispatch",
             ])?;
             let (sig, views, q0) = parse_cq_inputs(&f)?;
             Job::CounterexampleSearch {
@@ -802,6 +815,40 @@ mod tests {
         assert!(err.contains("legacy | wco"), "{err}");
         // Creep never chases, so it rejects the key outright.
         assert!(parse_job("creep worm=short hom=legacy").is_err());
+    }
+
+    #[test]
+    fn dispatch_key_parses_where_determinacy_happens() {
+        use crate::dispatch::Dispatch;
+        use cqfd_analysis::Fragment;
+        match parse_job("determine instance=projection dispatch=semi")
+            .unwrap()
+            .unwrap()
+        {
+            Job::Determine { budget, .. } => assert_eq!(budget.dispatch, Dispatch::Semi),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match parse_job("counterexample instance=mismatch:2x5 dispatch=forced:A302")
+            .unwrap()
+            .unwrap()
+        {
+            Job::CounterexampleSearch { budget, .. } => {
+                assert_eq!(budget.dispatch, Dispatch::Forced(Fragment::SpiderPath));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Absent means auto, the default.
+        match parse_job("determine instance=projection").unwrap().unwrap() {
+            Job::Determine { budget, .. } => assert_eq!(budget.dispatch, Dispatch::Auto),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        let err = parse_job("determine instance=projection dispatch=eager").unwrap_err();
+        assert!(err.contains("dispatch=`eager`"), "{err}");
+        assert!(err.contains("semi | auto | forced:A3xx"), "{err}");
+        // Kinds with no determinacy chase reject the key outright.
+        assert!(parse_job("creep worm=short dispatch=auto").is_err());
+        assert!(parse_job("separate dispatch=semi").is_err());
+        assert!(parse_job("rewrite instance=projection dispatch=auto").is_err());
     }
 
     #[test]

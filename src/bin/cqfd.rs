@@ -20,7 +20,9 @@ use cqfd::rainworm::run::{creep, trace, CreepOutcome};
 use cqfd::rainworm::tm::TuringMachine;
 use cqfd::rainworm::Delta;
 use cqfd::reduction::reduce;
-use cqfd::service::{execute_stored, parse_jobs, Job, JobBudget, Pool, PoolConfig, Server};
+use cqfd::service::{
+    execute_stored, parse_jobs, Dispatch, Job, JobBudget, Pool, PoolConfig, Server,
+};
 use cqfd::store::Store;
 use cqfd_obs::Stopwatch;
 use std::process::ExitCode;
@@ -69,20 +71,26 @@ USAGE:
   cqfd determine --sig <P/k,...> --view <CQ> [--view <CQ> ...] --query <CQ>
                  [--stages <n>] [--search-nodes <n>] [--threads <n>]
                  [--store <dir>] [--hom-engine <legacy|wco>]
+                 [--dispatch <semi|auto|forced:A3xx>]
   cqfd rewrite   --sig <P/k,...> --view <CQ> ... --query <CQ>
   cqfd creep     --worm <forever|short|counter:M|tm-walker:K|tm-zigzag:K|file:PATH>
                  [--steps <n>] [--trace <n>]  [--emit]
   cqfd reduce    --worm <...>
   cqfd separate  [--stages <n>] [--threads <n>] [--store <dir>]
                  [--hom-engine <legacy|wco>]
-  cqfd lint      <rules-file | theorem14 | worm:SPEC> [--json]
+  cqfd lint      <rules-file | theorem14 | worm:SPEC | JOB-LINE> [--json]
                  (static analysis: chase-termination verdict, safety and
-                  signature diagnostics; nonzero exit on error diagnostics)
+                  signature diagnostics; nonzero exit on error diagnostics.
+                  A job line, e.g. 'determine instance=path:2x3', lints
+                  the job's reconstructed rule set; determinacy jobs also
+                  get the fragment verdict — A300/A301/A302/A399 — naming
+                  the decision procedure `auto` dispatch routes them to)
   cqfd certify   <determine|separate|creep|countermodel> [per-kind flags]
                  [--out <file>]   (emit a machine-checkable certificate)
   cqfd check     <file>           (validate a certificate; nonzero on reject)
   cqfd batch     <jobs-file> [--workers <n>] [--queue <n>] [--threads <n>]
                  [--store <dir>] [--hom-engine <legacy|wco>]
+                 [--dispatch <semi|auto|forced:A3xx>]
   cqfd serve     --listen <addr> [--workers <n>] [--queue <n>] [--store <dir>]
                  [--gateway] [--http-listen <addr>] [--lane-cap <n>]
                  [--tenant-quota <tenant:rate:burst> ...]
@@ -117,6 +125,13 @@ is byte-identical at every setting (see README, Performance).
 (the default) runs the worst-case-optimal enumerator over the columnar
 indexes, `legacy` the backtracking planner; both produce byte-identical
 verdicts and certificates (see README, Performance).
+`--dispatch <mode>` picks the fragment-dispatch mode for determinacy
+jobs: `auto` (the default) classifies the rule set and routes decidable
+fragments — project-select views (A300), weakly acyclic sets (A301),
+spider paths (A302) — to complete decision procedures, cross-checked
+against the chase; `semi` forces the plain semi-decision chase; and
+`forced:A3xx` asserts a fragment, failing the job if the classifier
+disagrees (see README, Fragment dispatch).
 `--store <dir>` enables the persistent result cache: conclusive verdicts
 are written back with their certificates, and later identical jobs are
 served from disk after the trusted checker re-validates the entry (the
@@ -216,6 +231,17 @@ fn hom_engine_flag(args: &[String]) -> Result<HomEngine, String> {
     }
 }
 
+/// The `--dispatch` flag: the fragment-dispatch mode for determinacy
+/// jobs — `None` when absent (the job's own default applies).
+fn dispatch_flag(args: &[String]) -> Result<Option<Dispatch>, String> {
+    match flag(args, "--dispatch") {
+        None => Ok(None),
+        Some(v) => Dispatch::parse(v)
+            .map(Some)
+            .ok_or_else(|| format!("bad --dispatch `{v}` (want semi | auto | forced:A3xx)")),
+    }
+}
+
 /// The `--store <dir>` flag: opens (creating if needed) the persistent
 /// result store, or `None` when the flag is absent.
 fn open_store(args: &[String]) -> Result<Option<Store>, String> {
@@ -258,6 +284,7 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
             "--threads",
             "--store",
             "--hom-engine",
+            "--dispatch",
         ],
     )?;
     if rewriting_mode && flag(args, "--store").is_some() {
@@ -298,10 +325,14 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
     })?;
     let threads = threads_flag(args)?;
     let hom_engine = hom_engine_flag(args)?;
-    if let Some(store) = open_store(args)? {
+    let dispatch = dispatch_flag(args)?;
+    let store = open_store(args)?;
+    if store.is_some() || dispatch.is_some() {
         // Route through the service executor so the run shares the cache
-        // lookup/write-back path of `batch` and `serve`; the result is the
-        // one-line protocol rendering (with `cached=1` on a hit).
+        // lookup/write-back path — and the fragment dispatcher — of
+        // `batch` and `serve`; the result is the one-line protocol
+        // rendering (with `fragment=`/`route=` stamps, `cached=1` on a
+        // hit).
         let job = Job::Determine {
             sig,
             views,
@@ -310,9 +341,10 @@ fn determine(args: &[String], rewriting_mode: bool) -> Result<(), String> {
                 .with_stages(stages)
                 .with_search_nodes(search_nodes)
                 .with_threads(threads)
-                .with_hom_engine(hom_engine),
+                .with_hom_engine(hom_engine)
+                .with_dispatch(dispatch.unwrap_or_default()),
         };
-        let result = execute_stored(0, &job, &CancelToken::new(), threads, Some(&store), true);
+        let result = execute_stored(0, &job, &CancelToken::new(), threads, store.as_ref(), true);
         println!("{}", result.render_protocol());
         return Ok(());
     }
@@ -508,7 +540,23 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
     let [target] = pos.as_slice() else {
         return Err("lint takes exactly one target: <rules-file> | theorem14 | worm:SPEC".into());
     };
-    let report = if *target == "theorem14" {
+    // A job line (`determine instance=path:2x3 …`) lints the job's
+    // reconstructed rule set; determinacy-shaped jobs additionally get
+    // the fragment verdict (A3xx) naming the decision procedure `auto`
+    // dispatch would route them to.
+    let job_kinds = [
+        "determine",
+        "rewrite",
+        "counterexample",
+        "creep",
+        "reduce",
+        "separate",
+    ];
+    let first_word = target.split_whitespace().next().unwrap_or("");
+    let report = if job_kinds.contains(&first_word) {
+        let job = cqfd::service::parse_job(target)?.expect("non-blank job line");
+        cqfd::service::lint_job(&job)
+    } else if *target == "theorem14" {
         let space = cqfd::separating::theorem14::separating_space();
         let tgds = cqfd::separating::theorem14::t_separating().tgds(&space);
         analyze_tgds(space.signature(), &tgds)
@@ -668,6 +716,7 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
             "--threads",
             "--store",
             "--hom-engine",
+            "--dispatch",
         ],
     )?;
     let pos = positionals(args);
@@ -698,6 +747,16 @@ fn batch_cmd(args: &[String]) -> Result<(), String> {
         for j in &mut jobs {
             if let Some(b) = j.budget_mut() {
                 b.hom_engine = hom_engine;
+            }
+        }
+    }
+    // `--dispatch` likewise overrides per-line `dispatch=` keys, so a
+    // whole jobs file can be byte-diffed between routing modes (strip the
+    // `route=` stamp, which names the procedure that ran).
+    if let Some(dispatch) = dispatch_flag(args)? {
+        for j in &mut jobs {
+            if let Some(b) = j.budget_mut() {
+                b.dispatch = dispatch;
             }
         }
     }

@@ -1,0 +1,216 @@
+//! Differential fragment-dispatch suite: over randomized project-select,
+//! weakly-acyclic and spider-path inputs, `dispatch=auto` (classify and
+//! route to a complete decision procedure) and `dispatch=semi` (the plain
+//! semi-decision chase) agree on every definite verdict, every emitted
+//! certificate passes the trusted `cqfd-cert` checker, and counterexample
+//! verdicts are consistent with determine verdicts — at 1, 2 and 4
+//! enumeration threads.
+
+use cqfd::core::{CancelToken, Cq, Signature};
+use cqfd::greenred::instances;
+use cqfd::service::{execute, Dispatch, Job, JobBudget, JobOutcome, JobResult};
+use proptest::prelude::*;
+
+fn run_determine(
+    sig: &Signature,
+    views: &[Cq],
+    q0: &Cq,
+    threads: usize,
+    dispatch: Dispatch,
+) -> JobResult {
+    let job = Job::Determine {
+        sig: sig.clone(),
+        views: views.to_vec(),
+        q0: q0.clone(),
+        budget: JobBudget::default()
+            .with_certificate(true)
+            .with_threads(threads)
+            .with_dispatch(dispatch),
+    };
+    execute(1, &job, &CancelToken::inert())
+}
+
+fn definite(o: &JobOutcome) -> bool {
+    matches!(
+        o,
+        JobOutcome::Determined { .. } | JobOutcome::NotDetermined { .. }
+    )
+}
+
+/// The shared differential property: classify-and-route vs plain chase.
+fn check_differential(
+    sig: &Signature,
+    views: &[Cq],
+    q0: &Cq,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let auto = run_determine(sig, views, q0, threads, Dispatch::Auto);
+    let semi = run_determine(sig, views, q0, threads, Dispatch::Semi);
+
+    // Every job is classified, and both modes see the same fragment.
+    prop_assert!(auto.metrics.fragment.is_some(), "auto stamps a fragment");
+    prop_assert_eq!(auto.metrics.fragment, semi.metrics.fragment);
+    prop_assert_eq!(semi.metrics.route, Some("semi"));
+
+    // A routed fragment whose cross-check disagreed with the chase would
+    // surface as JobOutcome::Error — it must never happen.
+    prop_assert!(
+        !matches!(auto.outcome, JobOutcome::Error { .. }),
+        "dispatch cross-check failed: {:?}",
+        auto.outcome
+    );
+
+    // Agreement on every definite verdict.
+    if definite(&auto.outcome) && definite(&semi.outcome) {
+        prop_assert_eq!(&auto.outcome, &semi.outcome);
+    }
+    // Routing only ever *adds* conclusions: semi definite ⇒ auto definite.
+    if definite(&semi.outcome) {
+        prop_assert!(definite(&auto.outcome), "auto lost {:?}", semi.outcome);
+    }
+
+    // Every certificate passes the trusted checker.
+    for (mode, r) in [("auto", &auto), ("semi", &semi)] {
+        if let Some(text) = &r.certificate {
+            let cert = cqfd::cert::parse(text)
+                .map_err(|e| TestCaseError::fail(format!("{mode}: cert parse: {e}")))?;
+            prop_assert!(
+                cqfd::cert::check(&cert).is_ok(),
+                "{}: {} certificate rejected",
+                mode,
+                cert.kind()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random project-select inputs: every view is a single-atom
+    /// projection of the base predicate (the Zhang et al. fragment; a
+    /// lone view classifies A300 and routes to `psv`).
+    #[test]
+    fn project_select_inputs_agree(
+        nviews in 1usize..=3,
+        masks in proptest::collection::vec(1u8..=3, 3),
+        qshape in 0usize..4,
+        threads_ix in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_ix];
+        let mut sig = Signature::new();
+        sig.add_predicate("S", 2);
+        let views: Vec<Cq> = (0..nviews)
+            .map(|i| {
+                let head = match masks[i] {
+                    1 => "x",
+                    2 => "y",
+                    _ => "x,y",
+                };
+                Cq::parse(&sig, &format!("V{i}({head}) :- S(x,y)")).unwrap()
+            })
+            .collect();
+        let q = [
+            "Q(x,y) :- S(x,y)",
+            "Q(x) :- S(x,y)",
+            "Q(y) :- S(x,y)",
+            "Q(x,z) :- S(x,y), S(y,z)",
+        ][qshape];
+        let q0 = Cq::parse(&sig, q).unwrap();
+        check_differential(&sig, &views, &q0, threads)?;
+    }
+
+    /// Random weakly-acyclic inputs: multi-atom views whose heads expose
+    /// every body variable, so neither tgd direction has an existential —
+    /// trivially weakly acyclic (A301, total-chase route) without being
+    /// project-select.
+    #[test]
+    fn weakly_acyclic_inputs_agree(
+        vshape in 0usize..3,
+        qshape in 0usize..4,
+        threads_ix in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_ix];
+        let mut sig = Signature::new();
+        sig.add_predicate("R", 2);
+        sig.add_predicate("S", 2);
+        let v = [
+            "V(x,y) :- R(x,y), S(y,x)",
+            "V(x,y,z) :- R(x,y), S(y,z)",
+            "V(x,y,z) :- R(x,y), R(y,z)",
+        ][vshape];
+        let views = vec![Cq::parse(&sig, v).unwrap()];
+        let q = [
+            "Q(x,y) :- R(x,y)",
+            "Q(x,z) :- R(x,y), S(y,z)",
+            "Q(x) :- R(x,y), S(y,x)",
+            "Q(x,z) :- R(x,y), R(y,z)",
+        ][qshape];
+        let q0 = Cq::parse(&sig, q).unwrap();
+        check_differential(&sig, &views, &q0, threads)?;
+    }
+
+    /// The path families: m=1 is project-select (A300), m≥2 is the
+    /// spider fragment (A302, divisibility cross-check); composed
+    /// instances are determined, mismatched ones are not.
+    #[test]
+    fn path_family_inputs_agree(
+        m in 1usize..=3,
+        k in 1usize..=6,
+        composed in any::<bool>(),
+        threads_ix in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_ix];
+        let inst = if composed {
+            instances::composed_path_instance(m, k)
+        } else {
+            // The mismatched family wants m ≥ 2 and m ∤ k.
+            let m = m.max(2);
+            if k.is_multiple_of(m) {
+                return Ok(()); // not in the family; skip this case
+            }
+            instances::mismatched_path_instance(m, k)
+        };
+        check_differential(&inst.sig, &inst.views, &inst.q0, threads)?;
+    }
+
+    /// Cross-job consistency: whenever the auto counterexample search
+    /// produces a (cert-checked) finite counter-model, the determine job
+    /// on the same input concludes not-determined in both modes.
+    #[test]
+    fn counterexamples_refute_determinacy(
+        m in 2usize..=3,
+        k in 2usize..=6,
+        threads_ix in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 4][threads_ix];
+        if k.is_multiple_of(m) {
+            return Ok(()); // not in the mismatched family; skip
+        }
+        let inst = instances::mismatched_path_instance(m, k);
+        let cx = Job::CounterexampleSearch {
+            sig: inst.sig.clone(),
+            views: inst.views.clone(),
+            q0: inst.q0.clone(),
+            budget: JobBudget::default()
+                .with_certificate(true)
+                .with_threads(threads)
+                .with_dispatch(Dispatch::Auto),
+        };
+        let found = execute(1, &cx, &CancelToken::inert());
+        if let JobOutcome::CounterexampleFound { .. } = found.outcome {
+            let cert = cqfd::cert::parse(found.certificate.as_deref().unwrap())
+                .map_err(TestCaseError::fail)?;
+            prop_assert!(cqfd::cert::check(&cert).is_ok());
+            for d in [Dispatch::Auto, Dispatch::Semi] {
+                let r = run_determine(&inst.sig, &inst.views, &inst.q0, threads, d);
+                prop_assert!(
+                    matches!(r.outcome, JobOutcome::NotDetermined { .. }),
+                    "{:?}",
+                    r.outcome
+                );
+            }
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! and 4 threads.
 
 use cqfd::cert::convert;
-use cqfd::cert::{firing_line, parse_stage_log, stage_log_prelude, stage_mark_line};
+use cqfd::cert::{firing_line, parse_stage_log, stage_log_prelude_with_meta, stage_mark_line};
 use cqfd::chase::{ChaseBudget, ChaseHooks, ChaseRun};
 use cqfd::core::{CancelToken, Cq, Signature};
 use cqfd::greenred::{instances, DeterminacyOracle};
@@ -289,7 +289,14 @@ fn killed_log_text(
     let (engine, start, _) = oracle.chase_setup(views, q0);
     let sig = convert::sig_spec(start.signature());
     let rules: Vec<_> = engine.tgds().iter().map(convert::rule_spec).collect();
-    let mut text = stage_log_prelude(&sig, &rules, &convert::struct_spec(&start));
+    // Stamp the dispatch mode the executor runs under by default: the
+    // resume guard refuses logs written under a different mode.
+    let mut text = stage_log_prelude_with_meta(
+        &sig,
+        &rules,
+        &convert::struct_spec(&start),
+        &[("dispatch", "auto")],
+    );
     for (i, info) in full.stages.iter().take(k).enumerate() {
         let stage = i + 1;
         for f in full.firings.iter().filter(|f| f.stage == stage) {
@@ -465,6 +472,60 @@ fn executor_resumes_from_stage_log_after_cancellation() {
     assert_eq!(warm.outcome, baseline.outcome);
     assert_eq!(warm.certificate, baseline.certificate);
 
+    let _ = fs::remove_dir_all(dir);
+}
+
+/// Dispatch tamper regression: a stage log stamped with a *different*
+/// dispatch mode (or none at all — a pre-dispatch log) is refused on
+/// resume. Auto and semi runs of the same job may take different routes,
+/// so splicing one mode's write-ahead log into the other would let a
+/// stale prefix contaminate a differently-routed run. The executor
+/// discards the log, restarts from scratch, and still concludes with the
+/// baseline verdict.
+#[test]
+fn resume_refuses_stage_log_from_a_different_dispatch_mode() {
+    let inst = instances::mismatched_path_instance(2, 3);
+    let oracle = DeterminacyOracle::new(inst.sig.clone());
+    let full = oracle.certify_run(&inst.views, &inst.q0, &ChaseBudget::stages(32));
+    let k = 2.min(full.run.stage_count() - 1);
+    let good = killed_log_text(&oracle, &inst.views, &inst.q0, &full.run, k);
+    assert!(good.contains("\nmeta dispatch=auto\n"), "meta line present");
+    assert_eq!(
+        parse_stage_log(&good).unwrap().meta,
+        vec![("dispatch".to_string(), "auto".to_string())],
+        "meta round-trips through the parser"
+    );
+
+    let budget = JobBudget::default()
+        .with_certificate(true)
+        .with_resume(true);
+    let job = instance_job(instances::mismatched_path_instance(2, 3), budget);
+    let baseline = run(&job, None, false);
+
+    let tampered = good.replace("meta dispatch=auto", "meta dispatch=semi");
+    let stripped = good.replace("meta dispatch=auto\n", "");
+    for (what, text) in [("wrong mode", tampered), ("missing meta", stripped)] {
+        let (store, dir) = temp_store(&format!("refuse-{}", what.len()));
+        let key = job_key(&job).unwrap();
+        fs::write(store.log_path(&key.hash), &text).unwrap();
+
+        let r = run(&job, Some(&store), false);
+        assert_eq!(r.outcome, baseline.outcome, "{what}: fresh run concludes");
+        assert_eq!(r.certificate, baseline.certificate, "{what}: same cert");
+        let (_, _, _, resumes) = store.counters();
+        assert_eq!(resumes, 0, "{what}: the foreign log was not resumed");
+
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    // Control: the unmolested log *is* resumed (mode matches).
+    let (store, dir) = temp_store("refuse-control");
+    let key = job_key(&job).unwrap();
+    fs::write(store.log_path(&key.hash), &good).unwrap();
+    let r = run(&job, Some(&store), false);
+    assert_eq!(r.outcome, baseline.outcome);
+    let (_, _, _, resumes) = store.counters();
+    assert_eq!(resumes, 1, "control: matching mode resumes");
     let _ = fs::remove_dir_all(dir);
 }
 
